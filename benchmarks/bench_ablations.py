@@ -1,0 +1,77 @@
+"""Ablations of the paper's explicitly-motivated design choices.
+
+* Swish vs Tanh vs Sine (Sec. V-A.3: "Swish yields relatively better
+  results compared to other popular activation functions used in PINNs");
+* Fourier features vs raw coordinates (Sec. IV-A: "to effectively learn
+  the high-frequency information of the temperature field");
+* aligned vs shared collocation (Exp. B redraws points per function).
+
+Each ablation trains equal-budget miniatures; artifacts list final
+physics loss and evaluation MAPE per arm.
+"""
+
+import numpy as np
+import pytest
+
+from repro import autodiff as ad
+from repro.analysis import format_table
+from repro.experiments import (
+    run_activation_ablation,
+    run_fourier_ablation,
+    run_sampling_ablation,
+)
+from repro.experiments.ablations import _small_setup
+
+
+def _write(out_dir, name, runs):
+    table = format_table(
+        ["variant", "final loss", "eval MAPE %", "train s"],
+        [[r.label, r.final_loss, r.eval_mape, r.wall_time] for r in runs],
+    )
+    (out_dir / f"ablation_{name}.txt").write_text(table + "\n")
+    print(f"\n[{name}]\n{table}")
+    return {r.label: r for r in runs}
+
+
+@pytest.fixture(scope="module")
+def training_step():
+    """A single physics-informed training step, for timing."""
+    model, plan, _ = _small_setup(iterations=1)
+    rng = np.random.default_rng(0)
+    params = model.net.parameters()
+
+    def step():
+        raws = [model.inputs[0].sample(rng, 8)]
+        batch = plan.batch(rng, 8)
+        total, _ = model.compute_loss(raws, batch)
+        grads = ad.grad(total, params)
+        return total.item(), grads
+
+    return step
+
+
+def test_ablation_activations(benchmark, out_dir, training_step):
+    """Benchmark = one training step; artifact = activation comparison."""
+    benchmark(training_step)
+    runs = _write(out_dir, "activations", run_activation_ablation(iterations=220))
+    # The paper's choice must not lose to both alternatives.
+    swish = runs["swish"].eval_mape
+    assert swish <= max(runs["tanh"].eval_mape, runs["sine"].eval_mape)
+
+
+def test_ablation_fourier(benchmark, out_dir, training_step):
+    """Benchmark = one training step; artifact = Fourier on/off comparison."""
+    benchmark(training_step)
+    runs = _write(out_dir, "fourier", run_fourier_ablation(iterations=220))
+    for run in runs.values():
+        assert np.isfinite(run.final_loss)
+        assert run.eval_mape < 10.0
+
+
+def test_ablation_sampling(benchmark, out_dir, training_step):
+    """Benchmark = one training step; artifact = aligned vs shared points."""
+    benchmark(training_step)
+    runs = _write(out_dir, "sampling", run_sampling_ablation(iterations=150))
+    assert set(runs) == {"aligned", "shared-points"}
+    for run in runs.values():
+        assert np.isfinite(run.eval_mape)

@@ -1,0 +1,38 @@
+"""Solver-cost scaling vs mesh size (paper Sec. V-A.7, closing claim).
+
+"For a larger-scale or more complicated design, the computational cost for
+FEM-based solvers will rapidly increase while remaining unchanged for
+DeepOHeat."  This bench measures both sides: FV solve time across mesh
+refinements, and the (resolution-independent) surrogate inference time.
+"""
+
+from repro.analysis import format_table
+from repro.experiments import fdm_scaling_curve
+from repro.fdm import solve_steady
+
+
+def test_fdm_scaling_curve(trained_a, out_dir, benchmark):
+    """Benchmark = the refined (x2) solve; artifact = the full curve."""
+    problem = trained_a.model.concrete_config(
+        {"power_map": trained_a.model.inputs[0].sample(
+            __import__("numpy").random.default_rng(0), 1)[0]}
+    ).heat_problem(trained_a.eval_grid.refine(2))
+    benchmark.pedantic(lambda: solve_steady(problem), rounds=2, iterations=1)
+
+    rows = fdm_scaling_curve(trained_a, factors=[1, 2, 3])
+    table = format_table(
+        ["refine", "nodes", "solver (s)", "surrogate (s)"],
+        [
+            [r["factor"], r["n_nodes"], r["solver_seconds"], r["surrogate_seconds"]]
+            for r in rows
+        ],
+    )
+    (out_dir / "fdm_scaling.txt").write_text(table + "\n")
+    print("\n" + table)
+
+    # Solver cost grows with the mesh...
+    assert rows[-1]["solver_seconds"] > rows[0]["solver_seconds"]
+    # ...superlinearly in wall-clock per step of 3x nodes growth...
+    assert rows[-1]["solver_seconds"] / rows[0]["solver_seconds"] > 3.0
+    # ...while the surrogate cost is independent of solver resolution.
+    assert rows[0]["surrogate_seconds"] == rows[-1]["surrogate_seconds"]

@@ -1,0 +1,69 @@
+"""Fig. 3: predicted temperature fields for different 2-D power maps.
+
+Writes ASCII field panels (prediction | reference) and CSV dumps for
+p1, p5 and p10, and times the full-grid field prediction they are built
+from.  Shape assertions: hotspots sit where the reference puts them.
+"""
+
+import numpy as np
+
+from repro.analysis import write_field_csv
+from repro.analysis.viz import field_slice
+
+
+def test_fig3_panels(benchmark, trained_a, exp_a_result, out_dir):
+    """Regenerate Fig.-3 panels; benchmark = predict_grid on the eval mesh."""
+    case = exp_a_result.cases[4]  # p5
+    benchmark(
+        lambda: trained_a.model.predict_grid(
+            {"power_map": case.grid_map}, trained_a.eval_grid
+        )
+    )
+
+    panels = []
+    for index in (0, 4, 9):
+        panels.append(exp_a_result.figure3_panel(index))
+    (out_dir / "fig3_fields.txt").write_text("\n\n".join(panels) + "\n")
+
+    points = trained_a.eval_grid.points()
+    for index in (0, 4, 9):
+        selected = exp_a_result.cases[index]
+        write_field_csv(
+            out_dir / f"fig3_{selected.name}.csv",
+            points,
+            [selected.predicted.ravel(), selected.reference.ravel()],
+            ["deepoheat_K", "reference_K"],
+        )
+
+    # Hotspot colocation: the predicted argmax on the top surface should sit
+    # near the reference's hot region.  Several suite maps are symmetric
+    # with multiple equal hotspots (argmax tie-break is luck), and on the
+    # most fragmented maps the CI-scale model can place its maximum between
+    # source clusters — the paper reports the same p10 behaviour
+    # ("overestimated temperatures at the regions between those small-sized
+    # heat sources").  Asserted: >= 8 of 10 maps colocate within 5 nodes of
+    # the reference's 30 %-of-range hot region.
+    colocated = 0
+    for selected in exp_a_result.cases:
+        top_pred = field_slice(selected.predicted)
+        top_ref = field_slice(selected.reference)
+        hot_pred = np.unravel_index(np.argmax(top_pred), top_pred.shape)
+        near_peak = top_ref >= top_ref.max() - 0.3 * (top_ref.max() - top_ref.min())
+        candidates = np.argwhere(near_peak)
+        distance = np.min(
+            np.hypot(candidates[:, 0] - hot_pred[0], candidates[:, 1] - hot_pred[1])
+        )
+        colocated += distance <= 5.0
+    assert colocated >= 8, f"only {colocated}/10 hotspots colocated"
+
+
+def test_fig3_vertical_structure(benchmark, trained_a, exp_a_result):
+    """Temperature decreases from heated top to convected bottom (all maps);
+    benchmark = one batched prediction over all ten designs."""
+    designs = [{"power_map": case.grid_map} for case in exp_a_result.cases]
+    points = trained_a.eval_grid.points()
+    benchmark(lambda: trained_a.model.predict_many(designs, points))
+
+    for case in exp_a_result.cases:
+        assert case.predicted[:, :, -1].mean() > case.predicted[:, :, 0].mean()
+        assert case.reference[:, :, -1].mean() > case.reference[:, :, 0].mean()

@@ -1,0 +1,53 @@
+"""Fig. 4: training GRF map | tile-based test map | interpolated grid map.
+
+Regenerates the three panels and times the two generator stages the paper's
+training/test pipelines depend on: GRF sampling and tile->grid bilinear
+interpolation.  Shape assertions: the interpolation smooths the map
+(complexity drops) while preserving its range (Sec. V-A.5).
+"""
+
+import numpy as np
+
+from repro.experiments import figure4_maps, figure4_text
+from repro.power import (
+    GaussianRandomField2D,
+    map_complexity,
+    paper_test_suite,
+    tiles_to_grid,
+)
+
+
+def test_fig4_panels_and_grf_sampling(benchmark, trained_a, out_dir):
+    """Benchmark = drawing one training batch of 50 GRF maps (paper size)."""
+    grf = GaussianRandomField2D((21, 21), length_scale=0.3)
+    rng = np.random.default_rng(0)
+    grf.sample(rng, 1)  # warm the Cholesky cache outside the timer
+    benchmark(lambda: grf.sample(rng, 50))
+
+    panels = figure4_maps(trained_a)
+    (out_dir / "fig4_powermaps.txt").write_text(figure4_text(panels))
+
+    assert panels["training_grf"].shape == (21, 21)
+    assert panels["tile_map"].shape == (20, 20)
+    assert panels["interpolated"].shape == (21, 21)
+
+
+def test_fig4_interpolation(benchmark, out_dir):
+    """Benchmark = one 20x20 -> 21x21 bilinear interpolation."""
+    tiles = paper_test_suite()[4].tiles
+    result = benchmark(lambda: tiles_to_grid(tiles, (21, 21)))
+
+    # "Smooths out these discretely defined power maps": total variation
+    # must not grow, and the value range must be preserved.
+    assert map_complexity(result) <= map_complexity(tiles) * 1.05
+    assert result.min() >= tiles.min() - 1e-12
+    assert result.max() <= tiles.max() + 1e-12
+
+    rows = []
+    for tile_map in paper_test_suite():
+        grid = tiles_to_grid(tile_map.tiles, (21, 21))
+        rows.append(
+            f"{tile_map.name}: tile TV {map_complexity(tile_map.tiles):8.1f}"
+            f" -> grid TV {map_complexity(grid):8.1f}"
+        )
+    (out_dir / "fig4_smoothing.txt").write_text("\n".join(rows) + "\n")

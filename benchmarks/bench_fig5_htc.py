@@ -1,0 +1,60 @@
+"""Fig. 5: temperature fields under different HTC configurations.
+
+Regenerates the two paper cases — (h_top, h_bottom) = (1000, 333.33) and
+(500, 500) — with the dual-input MIONet, compares against the reference
+solver, and records MAPE/PAPE next to the paper's in-text numbers
+(0.032/0.043 % and 0.011/0.025 %).  The paper also highlights that
+predicted max/min temperatures agree within 0.1 K; at CI scale we assert
+a proportionally relaxed bound.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.experiments import PAPER_HTC_CASES, run_experiment_b
+
+
+def test_fig5_cases(benchmark, trained_b, out_dir):
+    """Benchmark = one unseen-HTC full-field prediction."""
+    points = trained_b.eval_grid.points()
+    design = {"htc_top": 1000.0, "htc_bottom": 333.33}
+    benchmark(lambda: trained_b.model.predict(design, points))
+
+    result = run_experiment_b(trained_b)
+    table = format_table(
+        ["(h_top, h_bottom)", "MAPE %", "PAPE %", "paper MAPE/PAPE", "peak err K"],
+        result.summary_rows(),
+    )
+    body = [table, ""]
+    for index in range(len(result.cases)):
+        body.append(result.figure5_panel(index))
+    (out_dir / "fig5_htc.txt").write_text("\n".join(body) + "\n")
+    print("\n" + table)
+
+    for case in result.cases:
+        # Fields must be physically plausible and close to the reference.
+        assert case.report.mape < 0.5, f"MAPE {case.report.mape:.3f} %"
+        assert case.report.pape > case.report.mape
+        # Paper: colour-bar extremes agree within 0.1 K; CI-scale: 1 K.
+        assert case.report.peak_temp_error < 1.0
+
+
+def test_fig5_htc_ordering(benchmark, trained_b):
+    """More aggressive cooling must lower the predicted peak temperature.
+
+    Benchmark = the batched sweep (25 designs in one forward pass)."""
+    values = np.linspace(333.33, 1000.0, 5)
+    designs = [
+        {"htc_top": top, "htc_bottom": bottom}
+        for top in values
+        for bottom in values
+    ]
+    points = trained_b.eval_grid.points()
+    fields = benchmark(lambda: trained_b.model.predict_many(designs, points))
+
+    peaks = fields.max(axis=1).reshape(5, 5)
+    # Peak temperature decreases along both HTC axes (weak monotonicity
+    # with a small tolerance for surrogate noise).
+    assert peaks[0, 0] > peaks[-1, -1]
+    assert np.all(np.diff(peaks, axis=0).mean(axis=1) < 0.1)
+    assert np.all(np.diff(peaks, axis=1).mean(axis=0) < 0.1)

@@ -1,0 +1,89 @@
+"""Speedup study (paper Sec. V-A.7 and V-B).
+
+Paper: Exp. A — Celsius ~5 min vs 0.1 s CPU (3000x) and 0.001 s V100
+(300000x); Exp. B — Celsius ~2 min, 1200x / 120000x.
+
+Here the solver is our sparse FV substitute (far cheaper than commercial
+FEM on an industrial mesh), so the honest comparison set is: the paper
+grid, a refined mesh emulating FEM-resolution cost, and amortised batch
+inference standing in for GPU throughput.  The shape that must hold:
+the surrogate is orders of magnitude faster than any solve, and batching
+widens the gap by another 1-2 orders.
+"""
+
+import numpy as np
+
+from repro.analysis import SpeedupRow
+from repro.experiments import run_speedup_study
+from repro.fdm import solve_steady
+from repro.power import paper_test_suite, tiles_to_grid
+
+
+def _design_a(setup):
+    map_shape = setup.model.inputs[0].map_shape
+    return {"power_map": tiles_to_grid(paper_test_suite()[4].tiles, map_shape)}
+
+
+def test_speedup_solver_baseline(benchmark, trained_a):
+    """Benchmark = one FV reference solve at the paper grid (21x21x11)."""
+    problem = trained_a.model.concrete_config(_design_a(trained_a)).heat_problem(
+        trained_a.eval_grid
+    )
+    solution = benchmark(lambda: solve_steady(problem))
+    assert solution.info["linear_residual"] < 1e-8
+
+
+def test_speedup_surrogate_single(benchmark, trained_a):
+    """Benchmark = one surrogate field prediction (the paper's 0.1 s row)."""
+    design = _design_a(trained_a)
+    points = trained_a.eval_grid.points()
+    out = benchmark(lambda: trained_a.model.predict(design, points))
+    assert out.shape == (points.shape[0],)
+
+
+def test_speedup_surrogate_batched(benchmark, trained_a):
+    """Benchmark = 64 designs in one pass (the paper's GPU-throughput row)."""
+    rng = np.random.default_rng(0)
+    maps = trained_a.model.inputs[0].sample(rng, 64)
+    designs = [{"power_map": m} for m in maps]
+    points = trained_a.eval_grid.points()
+    out = benchmark(lambda: trained_a.model.predict_many(designs, points))
+    assert out.shape == (64, points.shape[0])
+
+
+def test_speedup_tables(trained_a, trained_b, out_dir, benchmark):
+    """Full study for both experiments, with the paper rows annotated.
+
+    Benchmark = the Experiment-B single prediction (its 'runtime remains
+    unchanged' claim)."""
+    study_a = run_speedup_study(
+        trained_a,
+        refine_factor=2,
+        batch_size=64,
+        paper_solver_seconds=300.0,
+        paper_speedup_cpu=3000.0,
+        paper_speedup_gpu=300000.0,
+    )
+    study_b = run_speedup_study(
+        trained_b,
+        refine_factor=2,
+        batch_size=64,
+        paper_solver_seconds=120.0,
+        paper_speedup_cpu=1200.0,
+        paper_speedup_gpu=120000.0,
+    )
+    text = study_a.format() + "\n\n" + study_b.format() + "\n"
+    (out_dir / "speedup.txt").write_text(text)
+    print("\n" + text)
+
+    points = trained_b.eval_grid.points()
+    design = {"htc_top": 700.0, "htc_bottom": 500.0}
+    benchmark(lambda: trained_b.model.predict(design, points))
+
+    for study in (study_a, study_b):
+        rows = study.table.rows
+        # Surrogate beats even our cheap FV solve; refinement widens the
+        # gap; batching widens it again.
+        assert rows[0].speedup > 1.0
+        assert rows[1].speedup > rows[0].speedup
+        assert rows[2].speedup > rows[0].speedup

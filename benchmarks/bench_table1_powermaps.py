@@ -1,0 +1,65 @@
+"""Table I: MAPE/PAPE of DeepOHeat on the ten unseen power maps p1..p10.
+
+Regenerates the paper's Table I (at CI scale) and times the operation the
+table is about: one full-field prediction for an unseen design.
+
+Paper-reported values (paper scale: 10 000 iters x 50 functions, V100):
+MAPE 0.02-0.16 %, PAPE 0.10-1.00 %.  At CI scale absolute errors are
+larger; the *shape* assertions below encode what must reproduce:
+errors grow with map complexity, and PAPE > MAPE for every map.
+"""
+
+import numpy as np
+
+from repro.analysis import markdown_table
+from repro.power import paper_test_suite, tiles_to_grid
+
+PAPER_MAPE = [0.03, 0.03, 0.02, 0.05, 0.14, 0.04, 0.13, 0.07, 0.16, 0.08]
+PAPER_PAPE = [0.10, 0.20, 0.24, 0.38, 0.52, 0.49, 0.71, 0.66, 1.00, 0.40]
+
+
+def test_table1_regeneration(benchmark, trained_a, exp_a_result, out_dir):
+    """Regenerate Table I; benchmark = one unseen-design field prediction."""
+    suite = paper_test_suite()
+    map_shape = trained_a.model.inputs[0].map_shape
+    grid_map = tiles_to_grid(suite[4].tiles, map_shape)
+    points = trained_a.eval_grid.points()
+
+    benchmark(
+        lambda: trained_a.model.predict({"power_map": grid_map}, points)
+    )
+
+    rows = [
+        ["MAPE (%) [ours]"] + [f"{c.report.mape:.3f}" for c in exp_a_result.cases],
+        ["MAPE (%) [paper]"] + [f"{v:.2f}" for v in PAPER_MAPE],
+        ["PAPE (%) [ours]"] + [f"{c.report.pape:.3f}" for c in exp_a_result.cases],
+        ["PAPE (%) [paper]"] + [f"{v:.2f}" for v in PAPER_PAPE],
+    ]
+    table = markdown_table(
+        ["metric"] + [c.name for c in exp_a_result.cases], rows
+    )
+    (out_dir / "table1.md").write_text(table + "\n")
+    print("\n" + exp_a_result.table_one_text())
+
+    mapes = exp_a_result.mapes()
+    papes = exp_a_result.papes()
+    # Shape assertion 1: PAPE dominates MAPE on every map (as in the paper).
+    assert all(p > m for p, m in zip(papes, mapes))
+    # Shape assertion 2: errors trend upward with map complexity — the
+    # paper's hardest map family (p8-p10) must err more than the easiest
+    # (p1-p3) on average.
+    assert np.mean(mapes[7:]) > np.mean(mapes[:3])
+    # Shape assertion 3: usable accuracy at CI scale (paper: <= 0.16 %).
+    assert max(mapes) < 3.0
+
+
+def test_table1_worst_map_is_complex(exp_a_result, benchmark, trained_a):
+    """The wiggliest maps dominate the error budget (paper Sec. V-A.6)."""
+    points = trained_a.eval_grid.points()
+    map_shape = trained_a.model.inputs[0].map_shape
+    p10 = tiles_to_grid(paper_test_suite()[-1].tiles, map_shape)
+    benchmark(lambda: trained_a.model.predict({"power_map": p10}, points))
+
+    papes = exp_a_result.papes()
+    worst = int(np.argmax(papes))
+    assert worst >= 4, f"worst PAPE at p{worst + 1}, expected a complex map"

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark suite.
+
+Trained models are cached on disk (``.model_cache/``) so the first
+``pytest benchmarks/ --benchmark-only`` run trains once (~5 min total) and
+every later run loads instantly.  Each bench writes its regenerated
+table/figure to ``benchmarks/out/`` alongside the timing numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import get_trained_setup
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def trained_a():
+    """CI-scale Experiment-A model (trained once, then disk-cached)."""
+    return get_trained_setup("a", scale="ci")
+
+
+@pytest.fixture(scope="session")
+def trained_b():
+    """CI-scale Experiment-B model (trained once, then disk-cached)."""
+    return get_trained_setup("b", scale="ci")
+
+
+@pytest.fixture(scope="session")
+def exp_a_result(trained_a):
+    """The full p1..p10 evaluation shared by Table-I and Fig.-3 benches."""
+    from repro.experiments import run_experiment_a
+
+    return run_experiment_a(trained_a)

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+``pip install -e .`` requires the ``wheel`` package for PEP-517 editable
+builds; this offline environment lacks it.  ``python setup.py develop``
+performs the equivalent editable install through setuptools directly.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""DeepOHeat reproduction: operator-learning thermal simulation for 3D ICs.
+
+Reproduces Liu et al., "DeepOHeat: Operator Learning-based Ultra-fast
+Thermal Simulation in 3D-IC Design" (DAC 2023) from scratch on numpy:
+
+* :mod:`repro.autodiff` — reverse-mode autodiff engine (PyTorch substitute)
+* :mod:`repro.nn` — MLP / Fourier features / DeepONet / MIONet / Adam
+* :mod:`repro.geometry`, :mod:`repro.bc`, :mod:`repro.power`,
+  :mod:`repro.materials` — the modular chip model of the paper's Sec. III
+* :mod:`repro.fdm` — finite-volume reference solver (Celsius 3D substitute)
+* :mod:`repro.core` — the DeepOHeat framework itself (Sec. IV)
+* :mod:`repro.baselines` — PINN / data-driven / regression / POD baselines
+* :mod:`repro.analysis` — MAPE/PAPE metrics, timing, ASCII field rendering
+* :mod:`repro.floorplan` — thermal-aware floorplan optimisation example
+* :mod:`repro.experiments` — drivers regenerating every table and figure
+
+Quickstart::
+
+    from repro.core import experiment_a
+    setup = experiment_a(scale="test")
+    setup.make_trainer().run()
+    field = setup.model.predict_grid(
+        {"power_map": my_map}, setup.eval_grid
+    )
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,48 @@
+"""Metrics, timing, rendering and reporting for the evaluation."""
+
+from .metrics import (
+    FieldErrorReport,
+    ape,
+    field_report,
+    mape,
+    max_abs_error,
+    pape,
+    peak_temperature_error,
+    rmse,
+)
+from .report import format_table, kv_block, markdown_table, table_one
+from .timing import SpeedupRow, SpeedupTable, measure
+from .viz import (
+    ascii_heatmap,
+    compare_fields_text,
+    field_slice,
+    history_chart,
+    side_by_side,
+    sparkline,
+    write_field_csv,
+)
+
+__all__ = [
+    "FieldErrorReport",
+    "SpeedupRow",
+    "SpeedupTable",
+    "ape",
+    "ascii_heatmap",
+    "compare_fields_text",
+    "field_report",
+    "field_slice",
+    "format_table",
+    "history_chart",
+    "kv_block",
+    "mape",
+    "markdown_table",
+    "max_abs_error",
+    "measure",
+    "pape",
+    "peak_temperature_error",
+    "rmse",
+    "side_by_side",
+    "sparkline",
+    "table_one",
+    "write_field_csv",
+]

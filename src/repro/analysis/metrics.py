@@ -1,0 +1,105 @@
+"""Accuracy metrics of the paper's evaluation (Table I and Sec. V-B).
+
+The paper reports MAPE (mean absolute percentage error) and PAPE (peak
+absolute percentage error) of the predicted temperature field against
+Celsius 3D, element-wise on the same grid, with temperatures in kelvin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+def _validate(predicted: np.ndarray, reference: np.ndarray):
+    predicted = np.asarray(predicted, dtype=np.float64).ravel()
+    reference = np.asarray(reference, dtype=np.float64).ravel()
+    if predicted.shape != reference.shape:
+        raise ValueError(
+            f"shape mismatch: predicted {predicted.shape} vs reference {reference.shape}"
+        )
+    if predicted.size == 0:
+        raise ValueError("empty fields")
+    if np.any(reference == 0.0):
+        raise ValueError("reference contains zeros; percentage errors undefined")
+    return predicted, reference
+
+
+def ape(predicted: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Element-wise absolute percentage error (%)."""
+    predicted, reference = _validate(predicted, reference)
+    return 100.0 * np.abs(predicted - reference) / np.abs(reference)
+
+
+def mape(predicted: np.ndarray, reference: np.ndarray) -> float:
+    """Mean absolute percentage error (%) — Table I row 1."""
+    return float(np.mean(ape(predicted, reference)))
+
+
+def pape(predicted: np.ndarray, reference: np.ndarray) -> float:
+    """Peak absolute percentage error (%) — Table I row 2."""
+    return float(np.max(ape(predicted, reference)))
+
+
+def rmse(predicted: np.ndarray, reference: np.ndarray) -> float:
+    """Root-mean-square error in kelvin."""
+    predicted, reference = _validate(predicted, reference)
+    return float(np.sqrt(np.mean((predicted - reference) ** 2)))
+
+
+def max_abs_error(predicted: np.ndarray, reference: np.ndarray) -> float:
+    """Worst-case error in kelvin."""
+    predicted, reference = _validate(predicted, reference)
+    return float(np.max(np.abs(predicted - reference)))
+
+
+def peak_temperature_error(predicted: np.ndarray, reference: np.ndarray) -> float:
+    """|max(T_pred) - max(T_ref)| in kelvin.
+
+    Fig. 5's colour-bar comparison: the paper highlights that predicted
+    max/min temperatures differ from Celsius by < 0.1 K.
+    """
+    predicted, reference = _validate(predicted, reference)
+    return float(abs(predicted.max() - reference.max()))
+
+
+@dataclass(frozen=True)
+class FieldErrorReport:
+    """All evaluation metrics for one predicted field."""
+
+    mape: float
+    pape: float
+    rmse: float
+    max_abs: float
+    peak_temp_error: float
+    t_max_predicted: float
+    t_max_reference: float
+    t_min_predicted: float
+    t_min_reference: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mape_pct": self.mape,
+            "pape_pct": self.pape,
+            "rmse_K": self.rmse,
+            "max_abs_K": self.max_abs,
+            "peak_temp_error_K": self.peak_temp_error,
+        }
+
+
+def field_report(predicted: np.ndarray, reference: np.ndarray) -> FieldErrorReport:
+    """Bundle every metric the paper quotes for one comparison."""
+    predicted_flat, reference_flat = _validate(predicted, reference)
+    return FieldErrorReport(
+        mape=mape(predicted_flat, reference_flat),
+        pape=pape(predicted_flat, reference_flat),
+        rmse=rmse(predicted_flat, reference_flat),
+        max_abs=max_abs_error(predicted_flat, reference_flat),
+        peak_temp_error=peak_temperature_error(predicted_flat, reference_flat),
+        t_max_predicted=float(predicted_flat.max()),
+        t_max_reference=float(reference_flat.max()),
+        t_min_predicted=float(predicted_flat.min()),
+        t_min_reference=float(reference_flat.min()),
+    )

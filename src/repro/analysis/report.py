@@ -1,0 +1,64 @@
+"""Markdown/console table formatting for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    floatfmt: str = "{:.4g}",
+) -> str:
+    """Plain-text table with aligned columns."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        rendered.append(
+            [
+                floatfmt.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered)) if rendered
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    def fmt_line(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt_line(headers), fmt_line(["-" * w for w in widths])]
+    lines.extend(fmt_line(r) for r in rendered)
+    return "\n".join(lines)
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence],
+                   floatfmt: str = "{:.4g}") -> str:
+    """GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+    def fmt(cell):
+        return floatfmt.format(cell) if isinstance(cell, float) else str(cell)
+
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def table_one(names: Sequence[str], mapes: Sequence[float],
+              papes: Sequence[float]) -> str:
+    """Reproduce the layout of the paper's Table I (maps as columns)."""
+    header = ["metric", *names]
+    rows = [
+        ["MAPE (%)", *[f"{m:.3f}" for m in mapes]],
+        ["PAPE (%)", *[f"{p:.3f}" for p in papes]],
+    ]
+    return format_table(header, rows)
+
+
+def kv_block(title: str, values: Dict[str, object]) -> str:
+    """A labelled key/value block for bench output."""
+    width = max(len(k) for k in values) if values else 0
+    lines = [title, "-" * len(title)]
+    lines.extend(f"{k.ljust(width)} : {v}" for k, v in values.items())
+    return "\n".join(lines)

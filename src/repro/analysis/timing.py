@@ -1,0 +1,80 @@
+"""Runtime measurement and speedup bookkeeping (paper Sec. V-A.7 / V-B).
+
+The paper's headline: Celsius ~5 min per simulation vs DeepOHeat 0.1 s on
+the same CPU (3000x) and 0.001 s on a V100 (300000x).  Here the solver
+side is our FDM substitute and the "GPU" side is amortised batched
+inference; :class:`SpeedupRow` keeps the paper's numbers alongside the
+measured ones so benches can print them side by side.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+def measure(fn: Callable[[], object], repeats: int = 3, warmup: int = 1) -> Dict:
+    """Best/median/mean wall-clock seconds of ``fn`` over ``repeats`` runs."""
+    if repeats < 1:
+        raise ValueError("need at least one repeat")
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    ordered = sorted(samples)
+    return {
+        "best": ordered[0],
+        "median": ordered[len(ordered) // 2],
+        "mean": sum(samples) / len(samples),
+        "samples": samples,
+    }
+
+
+@dataclass
+class SpeedupRow:
+    """One row of the speedup table: a solver time vs a surrogate time."""
+
+    label: str
+    solver_seconds: float
+    surrogate_seconds: float
+    paper_solver_seconds: Optional[float] = None
+    paper_speedup: Optional[float] = None
+
+    @property
+    def speedup(self) -> float:
+        if self.surrogate_seconds <= 0:
+            return float("inf")
+        return self.solver_seconds / self.surrogate_seconds
+
+    def format(self) -> str:
+        text = (
+            f"{self.label:<38} solver {self.solver_seconds * 1e3:10.2f} ms   "
+            f"surrogate {self.surrogate_seconds * 1e3:10.4f} ms   "
+            f"speedup {self.speedup:10.1f}x"
+        )
+        if self.paper_speedup is not None:
+            text += f"   (paper: {self.paper_speedup:.0f}x)"
+        return text
+
+
+@dataclass
+class SpeedupTable:
+    """A printable collection of speedup rows."""
+
+    title: str
+    rows: List[SpeedupRow] = field(default_factory=list)
+
+    def add(self, row: SpeedupRow) -> None:
+        self.rows.append(row)
+
+    def format(self) -> str:
+        lines = [self.title, "-" * len(self.title)]
+        lines.extend(row.format() for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()

@@ -1,0 +1,61 @@
+"""Numerical gradient checking used throughout the test suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .functional import grad
+from .tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[[], Tensor],
+    param: Tensor,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function w.r.t. ``param``.
+
+    The function is re-evaluated with perturbed parameter data; ``fn`` must
+    close over ``param`` so mutations are visible.
+    """
+    base = param.data.copy()
+    result = np.zeros_like(base)
+    flat_param = param.data.reshape(-1)
+    flat_result = result.reshape(-1)
+    for i in range(flat_param.size):
+        original = flat_param[i]
+        flat_param[i] = original + epsilon
+        f_plus = float(np.sum(fn().data))
+        flat_param[i] = original - epsilon
+        f_minus = float(np.sum(fn().data))
+        flat_param[i] = original
+        flat_result[i] = (f_plus - f_minus) / (2.0 * epsilon)
+    param.data[...] = base
+    return result
+
+
+def gradcheck(
+    fn: Callable[[], Tensor],
+    params: Sequence[Tensor],
+    epsilon: float = 1e-6,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+) -> bool:
+    """Compare reverse-mode gradients against central differences.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch so that
+    pytest failures are informative.
+    """
+    output = fn()
+    analytic = grad(output.sum(), params)
+    for index, (param, a_grad) in enumerate(zip(params, analytic)):
+        n_grad = numerical_gradient(fn, param, epsilon=epsilon)
+        if not np.allclose(a_grad.data, n_grad, rtol=rtol, atol=atol):
+            worst = np.max(np.abs(a_grad.data - n_grad))
+            raise AssertionError(
+                f"gradcheck failed for parameter {index}: max abs diff {worst:.3e}\n"
+                f"analytic:\n{a_grad.data}\nnumerical:\n{n_grad}"
+            )
+    return True

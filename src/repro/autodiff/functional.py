@@ -1,0 +1,136 @@
+"""Graph traversal: backward passes and functional gradient helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, no_grad, ones_like, zeros_like
+
+
+def _topological_order(root: Tensor) -> List[Tensor]:
+    """Return the nodes reachable from ``root`` in topological order."""
+    order: List[Tensor] = []
+    visited = set()
+    stack: List[Tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if parent.requires_grad and id(parent) not in visited:
+                stack.append((parent, False))
+    return order
+
+
+def _seed(output: Tensor, grad_output: Optional[Tensor]) -> Tensor:
+    if grad_output is None:
+        return ones_like(output)
+    grad_output = grad_output if isinstance(grad_output, Tensor) else Tensor(grad_output)
+    if grad_output.shape != output.shape:
+        raise ValueError(
+            f"grad_output shape {grad_output.shape} != output shape {output.shape}"
+        )
+    return grad_output
+
+
+def _traverse(
+    output: Tensor,
+    grad_output: Optional[Tensor],
+    create_graph: bool,
+    wanted: Optional[set] = None,
+) -> Dict[int, Tensor]:
+    """Run reverse-mode accumulation.
+
+    Returns ``{id(node): grad}`` for leaves and for nodes listed in
+    ``wanted`` (all nodes when ``wanted`` is None); gradients of other
+    intermediates are dropped as soon as they have been propagated, keeping
+    peak memory proportional to the forward pass.
+    """
+    if not output.requires_grad:
+        return {}
+    order = _topological_order(output)
+    grads: Dict[int, Tensor] = {id(output): _seed(output, grad_output)}
+    results: Dict[int, Tensor] = {}
+    for node in reversed(order):
+        node_grad = grads.pop(id(node), None)
+        if node_grad is None:
+            continue
+        if wanted is None or id(node) in wanted or node._vjp is None:
+            results[id(node)] = node_grad
+        if node._vjp is None:
+            continue
+        if create_graph:
+            parent_grads = node._vjp(node_grad)
+        else:
+            with no_grad():
+                parent_grads = node._vjp(node_grad)
+        for parent, parent_grad in zip(node._parents, parent_grads):
+            if parent_grad is None or not parent.requires_grad:
+                continue
+            existing = grads.get(id(parent))
+            if existing is None:
+                grads[id(parent)] = parent_grad
+            else:
+                if create_graph:
+                    grads[id(parent)] = existing + parent_grad
+                else:
+                    with no_grad():
+                        grads[id(parent)] = existing + parent_grad
+    return results
+
+
+def backward(output: Tensor, grad_output: Optional[Tensor] = None) -> None:
+    """Accumulate gradients into ``.grad`` of every reachable leaf tensor."""
+    results = _traverse(output, grad_output, create_graph=False, wanted=set())
+    for node in _topological_order(output):
+        if node._vjp is None and node.requires_grad and id(node) in results:
+            increment = results[id(node)]
+            if node.grad is None:
+                node.grad = Tensor(increment.data.copy())
+            else:
+                node.grad = Tensor(node.grad.data + increment.data)
+
+
+def grad(
+    output: Tensor,
+    inputs: Sequence[Tensor],
+    grad_output: Optional[Tensor] = None,
+    create_graph: bool = False,
+) -> Tuple[Tensor, ...]:
+    """Return d(output)/d(input) for each input, without touching ``.grad``.
+
+    Parameters
+    ----------
+    output:
+        The tensor to differentiate (usually a scalar loss).
+    inputs:
+        Tensors to differentiate with respect to.  Unreachable inputs
+        receive a zero gradient.
+    grad_output:
+        Seed cotangent, defaults to ones.
+    create_graph:
+        When ``True``, returned gradients carry their own tape so they can
+        be differentiated again (double backward).
+    """
+    wanted = {id(t) for t in inputs}
+    results = _traverse(output, grad_output, create_graph=create_graph, wanted=wanted)
+    return tuple(results.get(id(t), zeros_like(t)) for t in inputs)
+
+
+def value_and_grad(fn, params: Sequence[Tensor]):
+    """Return ``(value, grads)`` of a scalar function of ``params``."""
+    value = fn()
+    grads = grad(value, params)
+    return value, grads
+
+
+def gradient_vector(tensors: Sequence[Tensor]) -> np.ndarray:
+    """Flatten a sequence of gradient tensors into one numpy vector."""
+    return np.concatenate([t.data.reshape(-1) for t in tensors])

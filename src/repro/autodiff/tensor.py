@@ -1,0 +1,661 @@
+"""A reverse-mode automatic-differentiation engine on numpy arrays.
+
+This module is the substrate that replaces PyTorch/deepxde autograd in the
+DeepOHeat reproduction.  It implements a define-by-run tape:
+
+* :class:`Tensor` wraps a ``numpy.ndarray`` together with the operation that
+  produced it and a vector-Jacobian-product (VJP) closure.
+* Every VJP is itself written in terms of :class:`Tensor` operations, so
+  gradient computations build a differentiable graph.  Calling
+  :func:`repro.autodiff.functional.grad` with ``create_graph=True`` therefore
+  supports arbitrary-order derivatives (double backward), which the test-suite
+  uses to verify the specialised second-order trunk propagation in
+  :mod:`repro.nn.taylor`.
+
+The engine intentionally supports the subset of numpy semantics needed by the
+project: full broadcasting for elementwise ops, 2-D matrix multiplication,
+reductions with ``axis``/``keepdims``, reshaping, concatenation, indexing and
+row-repetition.  Everything is float64 for optimisation robustness.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction.
+
+    Inside the context every operation returns a plain constant
+    :class:`Tensor`; this makes inference and non-create-graph backward
+    passes cheaper.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return ``True`` when operations currently record the autodiff graph."""
+    return _GRAD_ENABLED
+
+
+class Tensor:
+    """A numpy array with an autodiff tape attached.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a float64 ``numpy.ndarray``.
+    requires_grad:
+        Mark this tensor as a differentiable leaf.  Non-leaf tensors infer
+        the flag from their parents.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_parents", "_vjp", "_op")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _vjp: Optional[Callable] = None,
+        _op: str = "leaf",
+    ):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[Tensor] = None
+        self._parents = _parents
+        self._vjp = _vjp
+        self._op = _op
+
+    # ------------------------------------------------------------------
+    # Basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return transpose(self)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, op={self._op!r}{grad_flag})"
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, do not mutate)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a constant tensor sharing this tensor's data."""
+        return Tensor(self.data)
+
+    # ------------------------------------------------------------------
+    # Backward
+    # ------------------------------------------------------------------
+    def backward(self, grad_output: Optional["Tensor"] = None) -> None:
+        """Accumulate gradients into ``.grad`` of every reachable leaf.
+
+        ``grad_output`` defaults to ones (the usual scalar-loss seed).
+        Gradients accumulate additively, mirroring the PyTorch convention;
+        call :meth:`zero_grad` (or set ``.grad = None``) between steps.
+        """
+        from .functional import backward as _backward
+
+        _backward(self, grad_output=grad_output)
+
+    # ------------------------------------------------------------------
+    # Operator overloads
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        return add(self, other)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return add(other, self)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return sub(self, other)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return sub(other, self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        return mul(self, other)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return mul(other, self)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        return div(self, other)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return div(other, self)
+
+    def __neg__(self) -> "Tensor":
+        return neg(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        return power(self, exponent)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        return matmul(self, other)
+
+    def __getitem__(self, index) -> "Tensor":
+        return take(self, index)
+
+    # ------------------------------------------------------------------
+    # Method sugar
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return sum_(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return mean(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return max_(self, axis=axis, keepdims=keepdims)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return min_(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return reshape(self, shape)
+
+    def flatten(self) -> "Tensor":
+        return reshape(self, (-1,))
+
+    def transpose(self, axes: Optional[Sequence[int]] = None) -> "Tensor":
+        return transpose(self, axes)
+
+
+# ----------------------------------------------------------------------
+# Construction helpers
+# ----------------------------------------------------------------------
+def astensor(value: ArrayLike) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (constants get no tape)."""
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def tensor(value: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Create a (leaf) tensor from array-like data."""
+    return Tensor(value, requires_grad=requires_grad)
+
+
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def zeros_like(t: Tensor) -> Tensor:
+    return Tensor(np.zeros_like(t.data))
+
+
+def ones_like(t: Tensor) -> Tensor:
+    return Tensor(np.ones_like(t.data))
+
+
+# ----------------------------------------------------------------------
+# Graph-node construction
+# ----------------------------------------------------------------------
+def _make(
+    data: np.ndarray,
+    parents: Tuple[Tensor, ...],
+    vjp: Callable,
+    op: str,
+) -> Tensor:
+    """Build an op output, attaching the tape only when it is needed."""
+    if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        return Tensor(data, requires_grad=True, _parents=parents, _vjp=vjp, _op=op)
+    return Tensor(data, _op=op)
+
+
+def _unbroadcast(t: Tensor, shape: Tuple[int, ...]) -> Tensor:
+    """Reduce ``t`` (a gradient) back to ``shape`` after broadcasting."""
+    if t.shape == shape:
+        return t
+    extra = t.ndim - len(shape)
+    if extra > 0:
+        t = sum_(t, axis=tuple(range(extra)))
+    kept_axes = tuple(
+        i for i, (have, want) in enumerate(zip(t.shape, shape)) if want == 1 and have != 1
+    )
+    if kept_axes:
+        t = sum_(t, axis=kept_axes, keepdims=True)
+    if t.shape != shape:
+        t = reshape(t, shape)
+    return t
+
+
+# ----------------------------------------------------------------------
+# Elementwise arithmetic
+# ----------------------------------------------------------------------
+def add(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = astensor(a), astensor(b)
+
+    def vjp(g: Tensor):
+        ga = _unbroadcast(g, a.shape) if a.requires_grad else None
+        gb = _unbroadcast(g, b.shape) if b.requires_grad else None
+        return ga, gb
+
+    return _make(a.data + b.data, (a, b), vjp, "add")
+
+
+def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = astensor(a), astensor(b)
+
+    def vjp(g: Tensor):
+        ga = _unbroadcast(g, a.shape) if a.requires_grad else None
+        gb = _unbroadcast(neg(g), b.shape) if b.requires_grad else None
+        return ga, gb
+
+    return _make(a.data - b.data, (a, b), vjp, "sub")
+
+
+def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = astensor(a), astensor(b)
+
+    def vjp(g: Tensor):
+        ga = _unbroadcast(mul(g, b), a.shape) if a.requires_grad else None
+        gb = _unbroadcast(mul(g, a), b.shape) if b.requires_grad else None
+        return ga, gb
+
+    return _make(a.data * b.data, (a, b), vjp, "mul")
+
+
+def div(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = astensor(a), astensor(b)
+
+    def vjp(g: Tensor):
+        ga = _unbroadcast(div(g, b), a.shape) if a.requires_grad else None
+        gb = (
+            _unbroadcast(neg(mul(g, div(a, mul(b, b)))), b.shape)
+            if b.requires_grad
+            else None
+        )
+        return ga, gb
+
+    return _make(a.data / b.data, (a, b), vjp, "div")
+
+
+def neg(a: ArrayLike) -> Tensor:
+    a = astensor(a)
+
+    def vjp(g: Tensor):
+        return (neg(g),)
+
+    return _make(-a.data, (a,), vjp, "neg")
+
+
+def power(a: ArrayLike, exponent: float) -> Tensor:
+    """Elementwise power with a *scalar* exponent."""
+    a = astensor(a)
+    exponent = float(exponent)
+
+    def vjp(g: Tensor):
+        return (mul(g, mul(exponent, power(a, exponent - 1.0))),)
+
+    return _make(np.power(a.data, exponent), (a,), vjp, f"pow{exponent}")
+
+
+def square(a: ArrayLike) -> Tensor:
+    return power(a, 2.0)
+
+
+def sqrt(a: ArrayLike) -> Tensor:
+    a = astensor(a)
+    out_data = np.sqrt(a.data)
+
+    def vjp(g: Tensor):
+        return (div(g, mul(2.0, out_ref)),)
+
+    out_ref = _make(out_data, (a,), vjp, "sqrt")
+    return out_ref
+
+
+# ----------------------------------------------------------------------
+# Transcendental functions
+# ----------------------------------------------------------------------
+def exp(a: ArrayLike) -> Tensor:
+    a = astensor(a)
+    out_data = np.exp(a.data)
+
+    def vjp(g: Tensor):
+        return (mul(g, out_ref),)
+
+    out_ref = _make(out_data, (a,), vjp, "exp")
+    return out_ref
+
+
+def log(a: ArrayLike) -> Tensor:
+    a = astensor(a)
+
+    def vjp(g: Tensor):
+        return (div(g, a),)
+
+    return _make(np.log(a.data), (a,), vjp, "log")
+
+
+def sin(a: ArrayLike) -> Tensor:
+    a = astensor(a)
+
+    def vjp(g: Tensor):
+        return (mul(g, cos(a)),)
+
+    return _make(np.sin(a.data), (a,), vjp, "sin")
+
+
+def cos(a: ArrayLike) -> Tensor:
+    a = astensor(a)
+
+    def vjp(g: Tensor):
+        return (neg(mul(g, sin(a))),)
+
+    return _make(np.cos(a.data), (a,), vjp, "cos")
+
+
+def tanh(a: ArrayLike) -> Tensor:
+    a = astensor(a)
+    out_data = np.tanh(a.data)
+
+    def vjp(g: Tensor):
+        return (mul(g, sub(1.0, mul(out_ref, out_ref))),)
+
+    out_ref = _make(out_data, (a,), vjp, "tanh")
+    return out_ref
+
+
+def sigmoid(a: ArrayLike) -> Tensor:
+    a = astensor(a)
+    out_data = 1.0 / (1.0 + np.exp(-a.data))
+
+    def vjp(g: Tensor):
+        return (mul(g, mul(out_ref, sub(1.0, out_ref))),)
+
+    out_ref = _make(out_data, (a,), vjp, "sigmoid")
+    return out_ref
+
+
+def abs_(a: ArrayLike) -> Tensor:
+    a = astensor(a)
+    sign = Tensor(np.sign(a.data))
+
+    def vjp(g: Tensor):
+        return (mul(g, sign),)
+
+    return _make(np.abs(a.data), (a,), vjp, "abs")
+
+
+# ----------------------------------------------------------------------
+# Comparisons / selection (piecewise-linear, subgradient semantics)
+# ----------------------------------------------------------------------
+def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = astensor(a), astensor(b)
+    mask = Tensor((a.data >= b.data).astype(np.float64))
+
+    def vjp(g: Tensor):
+        ga = _unbroadcast(mul(g, mask), a.shape) if a.requires_grad else None
+        gb = _unbroadcast(mul(g, sub(1.0, mask)), b.shape) if b.requires_grad else None
+        return ga, gb
+
+    return _make(np.maximum(a.data, b.data), (a, b), vjp, "maximum")
+
+
+def minimum(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = astensor(a), astensor(b)
+    mask = Tensor((a.data <= b.data).astype(np.float64))
+
+    def vjp(g: Tensor):
+        ga = _unbroadcast(mul(g, mask), a.shape) if a.requires_grad else None
+        gb = _unbroadcast(mul(g, sub(1.0, mask)), b.shape) if b.requires_grad else None
+        return ga, gb
+
+    return _make(np.minimum(a.data, b.data), (a, b), vjp, "minimum")
+
+
+def relu(a: ArrayLike) -> Tensor:
+    return maximum(a, 0.0)
+
+
+def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Select ``a`` where ``condition`` holds, else ``b`` (condition constant)."""
+    a, b = astensor(a), astensor(b)
+    mask = Tensor(np.asarray(condition, dtype=np.float64))
+    return add(mul(mask, a), mul(sub(1.0, mask), b))
+
+
+# ----------------------------------------------------------------------
+# Linear algebra
+# ----------------------------------------------------------------------
+def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = astensor(a), astensor(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(
+            f"matmul supports 2-D operands only, got {a.shape} @ {b.shape}"
+        )
+
+    def vjp(g: Tensor):
+        ga = matmul(g, transpose(b)) if a.requires_grad else None
+        gb = matmul(transpose(a), g) if b.requires_grad else None
+        return ga, gb
+
+    return _make(a.data @ b.data, (a, b), vjp, "matmul")
+
+
+def transpose(a: ArrayLike, axes: Optional[Sequence[int]] = None) -> Tensor:
+    a = astensor(a)
+    if axes is None:
+        axes_tuple = tuple(reversed(range(a.ndim)))
+    else:
+        axes_tuple = tuple(axes)
+    inverse = tuple(np.argsort(axes_tuple))
+
+    def vjp(g: Tensor):
+        return (transpose(g, inverse),)
+
+    return _make(np.transpose(a.data, axes_tuple), (a,), vjp, "transpose")
+
+
+# ----------------------------------------------------------------------
+# Shape manipulation
+# ----------------------------------------------------------------------
+def reshape(a: ArrayLike, shape) -> Tensor:
+    a = astensor(a)
+    original = a.shape
+
+    def vjp(g: Tensor):
+        return (reshape(g, original),)
+
+    return _make(a.data.reshape(shape), (a,), vjp, "reshape")
+
+
+def broadcast_to(a: ArrayLike, shape) -> Tensor:
+    a = astensor(a)
+    original = a.shape
+
+    def vjp(g: Tensor):
+        return (_unbroadcast_to_shape(g, original),)
+
+    return _make(np.broadcast_to(a.data, shape).copy(), (a,), vjp, "broadcast_to")
+
+
+def _unbroadcast_to_shape(g: Tensor, shape: Tuple[int, ...]) -> Tensor:
+    return _unbroadcast(g, shape)
+
+
+def concat(tensors: Iterable[ArrayLike], axis: int = 0) -> Tensor:
+    parts = [astensor(t) for t in tensors]
+    sizes = [p.shape[axis] for p in parts]
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+
+    def vjp(g: Tensor):
+        grads = []
+        for part, start, stop in zip(parts, offsets[:-1], offsets[1:]):
+            if part.requires_grad:
+                index = [slice(None)] * g.ndim
+                index[axis] = slice(int(start), int(stop))
+                grads.append(take(g, tuple(index)))
+            else:
+                grads.append(None)
+        return tuple(grads)
+
+    return _make(
+        np.concatenate([p.data for p in parts], axis=axis), tuple(parts), vjp, "concat"
+    )
+
+
+def repeat_rows(a: ArrayLike, repeats: int) -> Tensor:
+    """Repeat each row of a 2-D tensor ``repeats`` times (aligned batching)."""
+    a = astensor(a)
+    if a.ndim != 2:
+        raise ValueError(f"repeat_rows expects a 2-D tensor, got shape {a.shape}")
+    n, m = a.shape
+
+    def vjp(g: Tensor):
+        return (sum_(reshape(g, (n, repeats, m)), axis=1),)
+
+    return _make(np.repeat(a.data, repeats, axis=0), (a,), vjp, "repeat_rows")
+
+
+def tile_rows(a: ArrayLike, reps: int) -> Tensor:
+    """Tile a 2-D tensor ``reps`` times along axis 0 (aligned batching)."""
+    a = astensor(a)
+    if a.ndim != 2:
+        raise ValueError(f"tile_rows expects a 2-D tensor, got shape {a.shape}")
+    n, m = a.shape
+
+    def vjp(g: Tensor):
+        return (sum_(reshape(g, (reps, n, m)), axis=0),)
+
+    return _make(np.tile(a.data, (reps, 1)), (a,), vjp, "tile_rows")
+
+
+# ----------------------------------------------------------------------
+# Indexing
+# ----------------------------------------------------------------------
+def take(a: ArrayLike, index) -> Tensor:
+    """Differentiable ``a[index]`` for basic and advanced indexing."""
+    a = astensor(a)
+    original_shape = a.shape
+
+    def vjp(g: Tensor):
+        return (_scatter(g, index, original_shape),)
+
+    return _make(a.data[index], (a,), vjp, "take")
+
+
+def _scatter(g: Tensor, index, shape: Tuple[int, ...]) -> Tensor:
+    """Adjoint of :func:`take`: scatter-add ``g`` into zeros of ``shape``."""
+    g = astensor(g)
+    out = np.zeros(shape, dtype=np.float64)
+    np.add.at(out, index, g.data)
+
+    def vjp(g2: Tensor):
+        return (take(g2, index),)
+
+    return _make(out, (g,), vjp, "scatter")
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+def _normalize_axis(axis, ndim: int):
+    if axis is None:
+        return None
+    if isinstance(axis, int):
+        return (axis % ndim,)
+    return tuple(ax % ndim for ax in axis)
+
+
+def sum_(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    a = astensor(a)
+    axis_n = _normalize_axis(axis, a.ndim)
+    original_shape = a.shape
+
+    def vjp(g: Tensor):
+        if axis_n is None:
+            return (broadcast_to(reshape(g, (1,) * len(original_shape)), original_shape),)
+        if keepdims:
+            expanded = g
+        else:
+            kept = [1 if i in axis_n else s for i, s in enumerate(original_shape)]
+            expanded = reshape(g, tuple(kept))
+        return (broadcast_to(expanded, original_shape),)
+
+    return _make(np.sum(a.data, axis=axis_n, keepdims=keepdims), (a,), vjp, "sum")
+
+
+def mean(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    a = astensor(a)
+    axis_n = _normalize_axis(axis, a.ndim)
+    if axis_n is None:
+        count = a.size
+    else:
+        count = int(np.prod([a.shape[i] for i in axis_n]))
+    return mul(sum_(a, axis=axis, keepdims=keepdims), 1.0 / count)
+
+
+def _extreme_reduction(a: Tensor, axis, keepdims: bool, np_fn, name: str) -> Tensor:
+    axis_n = _normalize_axis(axis, a.ndim)
+    out_data = np_fn(a.data, axis=axis_n, keepdims=keepdims)
+    expanded = np_fn(a.data, axis=axis_n, keepdims=True)
+    hit = (a.data == expanded).astype(np.float64)
+    # Split gradient evenly among ties to keep the subgradient bounded.
+    hit /= np.sum(hit, axis=axis_n, keepdims=True)
+    mask = Tensor(hit)
+    original_shape = a.shape
+
+    def vjp(g: Tensor):
+        if axis_n is None:
+            g_full = broadcast_to(reshape(g, (1,) * len(original_shape)), original_shape)
+        elif keepdims:
+            g_full = broadcast_to(g, original_shape)
+        else:
+            kept = [1 if i in axis_n else s for i, s in enumerate(original_shape)]
+            g_full = broadcast_to(reshape(g, tuple(kept)), original_shape)
+        return (mul(g_full, mask),)
+
+    return _make(out_data, (a,), vjp, name)
+
+
+def max_(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    return _extreme_reduction(astensor(a), axis, keepdims, np.max, "max")
+
+
+def min_(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    return _extreme_reduction(astensor(a), axis, keepdims, np.min, "min")

@@ -1,0 +1,22 @@
+"""Baseline surrogates the paper compares against or motivates from."""
+
+from .datadriven import (
+    SupervisedDataset,
+    SupervisedHistory,
+    generate_dataset,
+    train_supervised,
+)
+from .pinn import PINNHistory, VanillaPINN
+from .pod import PODSurrogate
+from .regression import RidgeRegressionSurrogate
+
+__all__ = [
+    "PINNHistory",
+    "PODSurrogate",
+    "RidgeRegressionSurrogate",
+    "SupervisedDataset",
+    "SupervisedHistory",
+    "VanillaPINN",
+    "generate_dataset",
+    "train_supervised",
+]

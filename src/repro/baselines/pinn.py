@@ -1,0 +1,125 @@
+"""Vanilla physics-informed neural network — the per-design baseline.
+
+The paper positions DeepOHeat against plain PINNs (refs [14, 15], Sec. I):
+a PINN solves *one* concrete design per training run, so every floorplan
+change costs a full retraining, whereas DeepOHeat amortises training over
+the whole configuration space and answers new designs with one forward
+pass.  This module implements that baseline faithfully: same trunk-style
+network, same hat-space residuals, no branch nets.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..core.configs import ChipConfig
+from ..core.losses import PhysicsLossBuilder
+from ..core.sampler import CollocationPlan
+from ..nn import MLP, Adam, FourierFeatures, TrunkNet, paper_schedule
+from ..nn.taylor import DerivativeStreams
+
+
+@dataclass
+class PINNHistory:
+    iterations: List[int]
+    total_loss: List[float]
+    wall_time: float
+
+    @property
+    def final_loss(self) -> float:
+        return self.total_loss[-1]
+
+
+class VanillaPINN:
+    """A coordinate network T-hat(y-hat) for one fixed chip design."""
+
+    def __init__(
+        self,
+        config: ChipConfig,
+        hidden: int = 48,
+        depth: int = 3,
+        fourier_frequencies: int = 16,
+        # Scaled-budget default; the paper's 2*pi needs paper-scale budgets
+        # (see the Fourier ablation bench and EXPERIMENTS.md).
+        fourier_std: float = 1.0,
+        dt_ref: float = 10.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.config = config
+        self.nd = config.nondimensionalizer(dt_ref)
+        fourier = FourierFeatures(3, fourier_frequencies, std=fourier_std, rng=rng)
+        mlp = MLP(
+            [fourier.out_features] + [hidden] * depth + [1],
+            activation="swish",
+            rng=rng,
+        )
+        self.trunk = TrunkNet(mlp, fourier)
+        # No varying inputs: the builder reads every BC from the config.
+        self.builder = PhysicsLossBuilder(config, [], self.nd)
+
+    # ------------------------------------------------------------------
+    def _streams_by_region(self, batch) -> Dict[str, DerivativeStreams]:
+        regions = list(batch.hat)
+        counts = [batch.hat[r].shape[-2] for r in regions]
+        offsets = np.concatenate([[0], np.cumsum(counts)]).astype(int)
+        all_points = np.concatenate([batch.hat[r] for r in regions], axis=0)
+        streams = self.trunk.with_derivatives(all_points)
+        out: Dict[str, DerivativeStreams] = {}
+        for region, start, stop in zip(regions, offsets[:-1], offsets[1:]):
+            window = slice(int(start), int(stop))
+            # Builder expects (n_funcs, n_pts); a PINN is the n_funcs=1 case.
+            out[region] = DerivativeStreams(
+                value=streams.value[window].T,
+                gradient=[g[window].T for g in streams.gradient],
+                hessian_diag=[h[window].T for h in streams.hessian_diag],
+            )
+        return out
+
+    def compute_loss(self, batch):
+        streams = self._streams_by_region(batch)
+        return self.builder.loss(streams, batch, raws=[])
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        plan: CollocationPlan,
+        iterations: int = 500,
+        learning_rate: float = 1e-3,
+        seed: int = 0,
+        log_every: int = 50,
+    ) -> PINNHistory:
+        rng = np.random.default_rng(seed)
+        params = self.trunk.parameters()
+        optimizer = Adam(params, lr=learning_rate)
+        schedule = paper_schedule(learning_rate)
+        logged_iters: List[int] = []
+        logged_loss: List[float] = []
+        start = time.perf_counter()
+        for iteration in range(iterations):
+            batch = plan.batch(rng, 1)
+            total, _ = self.compute_loss(batch)
+            grads = ad.grad(total, params)
+            optimizer.lr = schedule(iteration)
+            optimizer.step([g.data for g in grads])
+            if iteration % log_every == 0 or iteration == iterations - 1:
+                logged_iters.append(iteration)
+                logged_loss.append(total.item())
+        return PINNHistory(
+            iterations=logged_iters,
+            total_loss=logged_loss,
+            wall_time=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    def predict(self, points_si: np.ndarray) -> np.ndarray:
+        """Temperature (kelvin) at SI points."""
+        points_hat = self.nd.to_hat(np.atleast_2d(points_si))
+        with ad.no_grad():
+            t_hat = self.trunk(ad.tensor(points_hat))
+        return self.nd.temp_to_si(t_hat.data[:, 0])

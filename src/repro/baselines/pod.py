@@ -1,0 +1,74 @@
+"""POD reduced-order surrogate — the model-order-reduction baseline.
+
+Stands in for the MOR approaches of the paper's refs [7, 8]: build a
+proper-orthogonal-decomposition basis from solved snapshots, then
+interpolate the modal coefficients over the (low-dimensional) parameter
+space with RBF interpolation.  Works well for parametric sweeps like
+Experiment B's two HTCs, but cannot represent non-parametric inputs like
+arbitrary power maps — exactly the gap DeepOHeat targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+from scipy.interpolate import RBFInterpolator
+
+
+@dataclass
+class PODSurrogate:
+    """Snapshot-POD plus RBF coefficient interpolation.
+
+    Parameters
+    ----------
+    energy:
+        Fraction of snapshot variance the retained modes must capture.
+    max_modes:
+        Optional hard cap on the basis size.
+    """
+
+    energy: float = 0.9999
+    max_modes: Optional[int] = None
+    _mean: Optional[np.ndarray] = None
+    _basis: Optional[np.ndarray] = None  # (n_points, r)
+    _interpolator: Optional[RBFInterpolator] = None
+    n_modes: int = field(default=0, init=False)
+
+    def fit(self, params: np.ndarray, snapshots: np.ndarray) -> "PODSurrogate":
+        """``params``: (n_snap, n_params); ``snapshots``: (n_snap, n_points)."""
+        params = np.atleast_2d(np.asarray(params, dtype=np.float64))
+        snapshots = np.asarray(snapshots, dtype=np.float64)
+        if snapshots.ndim != 2 or params.shape[0] != snapshots.shape[0]:
+            raise ValueError("params/snapshots sample counts must agree")
+        if snapshots.shape[0] < 2:
+            raise ValueError("need at least two snapshots")
+        self._mean = snapshots.mean(axis=0)
+        centered = snapshots - self._mean
+        # Thin SVD of the snapshot matrix (rows = snapshots).
+        u, s, vt = np.linalg.svd(centered, full_matrices=False)
+        energy = np.cumsum(s**2) / max(np.sum(s**2), 1e-300)
+        rank = int(np.searchsorted(energy, self.energy) + 1)
+        if self.max_modes is not None:
+            rank = min(rank, self.max_modes)
+        rank = max(1, min(rank, len(s)))
+        self.n_modes = rank
+        self._basis = vt[:rank].T  # (n_points, r)
+        coefficients = centered @ self._basis  # (n_snap, r)
+        self._interpolator = RBFInterpolator(
+            params, coefficients, kernel="thin_plate_spline"
+        )
+        return self
+
+    def predict(self, params: np.ndarray) -> np.ndarray:
+        """Fields at query parameters, shape (n_query, n_points)."""
+        if self._interpolator is None:
+            raise RuntimeError("fit() the surrogate before predicting")
+        params = np.atleast_2d(np.asarray(params, dtype=np.float64))
+        coefficients = self._interpolator(params)
+        return self._mean + coefficients @ self._basis.T
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._interpolator is not None

@@ -1,0 +1,60 @@
+"""Ridge-regression surrogate — the classical data-driven baseline.
+
+Stands in for the regression surrogates of the paper's refs [9, 10]
+("data-driven regression methods can model the dependence on certain
+design parameters in a specified range, but ... need massive
+high-resolution PDE simulation data").
+
+Honest note recorded in EXPERIMENTS.md: for Experiment A the map from
+power map to temperature field is *affine* (the PDE and its BCs are linear
+in T and in the load), so with enough samples ridge regression is nearly
+exact on this sub-problem.  The paper's advantage is generality — handling
+configurations that enter nonlinearly (HTCs) or non-parametrically — which
+is what the baselines bench demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class RidgeRegressionSurrogate:
+    """Linear map + intercept from encoded configuration to field.
+
+    Fit by ridge-regularised least squares in closed form.
+    """
+
+    regularization: float = 1e-8
+    _weights: Optional[np.ndarray] = None  # (n_features, n_outputs)
+    _intercept: Optional[np.ndarray] = None  # (n_outputs,)
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RidgeRegressionSurrogate":
+        """``features``: (n_samples, n_features); ``targets``: (n_samples, n_out)."""
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2 or targets.ndim != 2:
+            raise ValueError("features and targets must be 2-D")
+        if features.shape[0] != targets.shape[0]:
+            raise ValueError("sample-count mismatch")
+        feature_mean = features.mean(axis=0)
+        target_mean = targets.mean(axis=0)
+        x = features - feature_mean
+        y = targets - target_mean
+        gram = x.T @ x + self.regularization * np.eye(features.shape[1])
+        self._weights = np.linalg.solve(gram, x.T @ y)
+        self._intercept = target_mean - feature_mean @ self._weights
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("fit() the surrogate before predicting")
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        return features @ self._weights + self._intercept
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._weights is not None

@@ -1,0 +1,17 @@
+"""Boundary-condition vocabulary shared by the FDM solver and DeepOHeat."""
+
+from .conditions import (
+    AdiabaticBC,
+    BoundaryCondition,
+    ConvectionBC,
+    DirichletBC,
+    NeumannBC,
+)
+
+__all__ = [
+    "AdiabaticBC",
+    "BoundaryCondition",
+    "ConvectionBC",
+    "DirichletBC",
+    "NeumannBC",
+]

@@ -1,0 +1,117 @@
+"""Boundary conditions for 3D-IC thermal analysis (paper Sec. III).
+
+Sign conventions (made explicit because the paper's eq. (4)/(5) leave the
+orientation of ``d/dy_i`` implicit):
+
+* ``n`` is the *outward* unit normal of a face.
+* Fourier's law: heat-flux vector ``q = -k grad(T)``; flux leaving the body
+  through a face is ``q . n = -k dT/dn``.
+* :class:`NeumannBC` prescribes the *influx* ``P`` (W/m^2, positive heats
+  the chip):   ``k dT/dn = P``  — this is the paper's 2-D power map with
+  ``q_n = -P`` in its orientation.
+* :class:`ConvectionBC` (paper eq. 5): ``-k dT/dn = h (T - T_amb)``.
+* :class:`AdiabaticBC` is Neumann with zero influx.
+* :class:`DirichletBC` (paper eq. 3): ``T = q_d``.
+
+Each condition exposes per-point parameter evaluation; the FDM assembler
+and the PINN residual builder consume the same objects, which keeps the two
+solvers physically consistent by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+import numpy as np
+
+ValueSpec = Union[float, Callable[[np.ndarray], np.ndarray]]
+
+
+def _evaluate(spec: ValueSpec, points: np.ndarray) -> np.ndarray:
+    """Evaluate a scalar-or-callable spec at (n, 3) SI points."""
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    if callable(spec):
+        values = np.asarray(spec(points), dtype=np.float64)
+        if values.shape != (points.shape[0],):
+            raise ValueError(
+                f"boundary value callable returned shape {values.shape}, "
+                f"expected ({points.shape[0]},)"
+            )
+        return values
+    return np.full(points.shape[0], float(spec))
+
+
+class BoundaryCondition:
+    """Base class; subclasses define the physics at one face."""
+
+    kind = "base"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class DirichletBC(BoundaryCondition):
+    """Fixed temperature ``T = value`` (kelvin)."""
+
+    kind = "dirichlet"
+
+    def __init__(self, value: ValueSpec):
+        self.value = value
+
+    def temperature(self, points: np.ndarray) -> np.ndarray:
+        return _evaluate(self.value, points)
+
+    def __repr__(self) -> str:
+        label = "f(y)" if callable(self.value) else f"{self.value:g}K"
+        return f"DirichletBC({label})"
+
+
+class NeumannBC(BoundaryCondition):
+    """Prescribed heat influx ``k dT/dn = influx`` (W/m^2 into the body).
+
+    A 2-D power map is a Neumann BC whose influx callable interpolates the
+    map over the face (paper Sec. III, "Surface/2D power").
+    """
+
+    kind = "neumann"
+
+    def __init__(self, influx: ValueSpec):
+        self.influx = influx
+
+    def flux_into_body(self, points: np.ndarray) -> np.ndarray:
+        return _evaluate(self.influx, points)
+
+    def __repr__(self) -> str:
+        label = "f(y)" if callable(self.influx) else f"{self.influx:g}W/m^2"
+        return f"NeumannBC(influx={label})"
+
+
+class AdiabaticBC(NeumannBC):
+    """Perfectly insulated face: zero flux (paper's side surfaces)."""
+
+    kind = "adiabatic"
+
+    def __init__(self):
+        super().__init__(0.0)
+
+    def __repr__(self) -> str:
+        return "AdiabaticBC()"
+
+
+class ConvectionBC(BoundaryCondition):
+    """Newton cooling ``-k dT/dn = h (T - T_amb)`` (paper eq. 5)."""
+
+    kind = "convection"
+
+    def __init__(self, htc: ValueSpec, t_ambient: float = 298.15):
+        self.htc = htc
+        self.t_ambient = float(t_ambient)
+        if not callable(htc) and float(htc) < 0.0:
+            raise ValueError("heat-transfer coefficient must be non-negative")
+
+    def htc_values(self, points: np.ndarray) -> np.ndarray:
+        return _evaluate(self.htc, points)
+
+    def __repr__(self) -> str:
+        label = "f(y)" if callable(self.htc) else f"{self.htc:g}"
+        return f"ConvectionBC(h={label} W/m^2K, T_amb={self.t_ambient:g}K)"

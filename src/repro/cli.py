@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``info``      package/version and preset inventory
+``solve``     run the FV reference solver on a paper workload
+``train``     train a preset and save the checkpoint
+``evaluate``  evaluate a (cached or given) model on the paper's test cases
+``speedup``   measure the solver-vs-surrogate speedup table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DeepOHeat reproduction (DAC 2023) command-line tools",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("info", help="show version and preset inventory")
+
+    solve = subparsers.add_parser("solve", help="run the FV reference solver")
+    solve.add_argument("--experiment", choices=["a", "b"], default="a")
+    solve.add_argument("--map", dest="map_name", default="p5",
+                       help="test power map p1..p10 (experiment a)")
+    solve.add_argument("--htc", nargs=2, type=float, default=[1000.0, 333.33],
+                       metavar=("TOP", "BOTTOM"),
+                       help="HTC pair in W/m^2K (experiment b)")
+    solve.add_argument("--grid", nargs=3, type=int, default=None,
+                       metavar=("NX", "NY", "NZ"))
+
+    train = subparsers.add_parser("train", help="train a preset model")
+    train.add_argument("--experiment", choices=["a", "b", "volumetric"],
+                       default="a")
+    train.add_argument("--scale", choices=["test", "ci", "paper"], default="ci")
+    train.add_argument("--iterations", type=int, default=None,
+                       help="override the preset's iteration budget")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--output", default=None, help="checkpoint path (.npz)")
+    train.add_argument("--quiet", action="store_true")
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="evaluate a trained model on the paper's test cases"
+    )
+    evaluate.add_argument("--experiment", choices=["a", "b"], default="a")
+    evaluate.add_argument("--scale", choices=["test", "ci"], default="ci")
+    evaluate.add_argument("--checkpoint", default=None,
+                          help="explicit checkpoint (defaults to the cache)")
+
+    speedup = subparsers.add_parser("speedup", help="solver vs surrogate timing")
+    speedup.add_argument("--experiment", choices=["a", "b"], default="a")
+    speedup.add_argument("--scale", choices=["test", "ci"], default="ci")
+    speedup.add_argument("--batch", type=int, default=32)
+    speedup.add_argument("--refine", type=int, default=2)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations (each returns an exit code).
+# ----------------------------------------------------------------------
+def _cmd_info(args) -> int:
+    from . import __version__
+    from .analysis import kv_block
+
+    print(
+        kv_block(
+            f"repro {__version__} — DeepOHeat reproduction (DAC 2023)",
+            {
+                "experiment a": "2D power maps, 1x1x0.5 mm chip (Sec. V-A)",
+                "experiment b": "dual HTC inputs, volumetric layer (Sec. V-B)",
+                "experiment volumetric": "3D power maps (Sec. VI future work)",
+                "scales": "test (seconds) / ci (minutes) / paper (hours)",
+                "benches": "pytest benchmarks/ --benchmark-only",
+            },
+        )
+    )
+    return 0
+
+
+def _experiment_setup(name: str, scale: str):
+    from .core import experiment_a, experiment_b, experiment_volumetric
+
+    factories = {
+        "a": experiment_a,
+        "b": experiment_b,
+        "volumetric": experiment_volumetric,
+    }
+    return factories[name](scale=scale)
+
+
+def _cmd_solve(args) -> int:
+    from .analysis import ascii_heatmap, kv_block
+    from .fdm import solve_steady
+    from .geometry import StructuredGrid
+    from .power import paper_test_suite, tiles_to_grid
+
+    setup = _experiment_setup(args.experiment, "ci")
+    grid = setup.eval_grid
+    if args.grid is not None:
+        grid = StructuredGrid(setup.model.config.chip, tuple(args.grid))
+
+    if args.experiment == "a":
+        suite = {m.name: m for m in paper_test_suite()}
+        if args.map_name not in suite:
+            print(f"unknown map {args.map_name!r}; choose p1..p10", file=sys.stderr)
+            return 2
+        tiles = suite[args.map_name].tiles
+        design = {
+            "power_map": tiles_to_grid(tiles, setup.model.inputs[0].map_shape)
+        }
+        label = f"experiment a / {args.map_name}"
+    else:
+        design = {"htc_top": args.htc[0], "htc_bottom": args.htc[1]}
+        label = f"experiment b / h=({args.htc[0]:g}, {args.htc[1]:g})"
+
+    solution = solve_steady(setup.model.concrete_config(design).heat_problem(grid))
+    report = solution.info["energy"]
+    print(
+        kv_block(
+            f"FV solve — {label} on {grid.shape}",
+            {
+                "T max": f"{solution.t_max:.3f} K",
+                "T min": f"{solution.t_min:.3f} K",
+                "injected power": f"{report.injected * 1e3:.4f} mW",
+                "energy imbalance": f"{report.relative_imbalance:.2e}",
+                "solve time": f"{solution.info['total_time'] * 1e3:.1f} ms",
+            },
+        )
+    )
+    top = solution.to_array()[:, :, -1]
+    print()
+    print(ascii_heatmap(top, "top-surface temperature (K)"))
+    return 0
+
+
+def _cmd_train(args) -> int:
+    setup = _experiment_setup(args.experiment, args.scale)
+    if args.iterations is not None:
+        setup.trainer_config.iterations = args.iterations
+    if args.seed:
+        setup.trainer_config.seed = args.seed
+    print(f"training {setup.name} ({setup.scale}): {setup.description}")
+    history = setup.make_trainer().run(verbose=not args.quiet)
+    print(
+        f"loss {history.initial_loss:.4e} -> {history.final_loss:.4e} "
+        f"in {history.wall_time:.1f} s"
+    )
+    output = args.output
+    if output is None:
+        output = f"{setup.name}-{setup.scale}.npz"
+    setup.model.save(output, meta={"final_loss": history.final_loss})
+    print(f"checkpoint written to {output}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from .analysis import format_table
+    from .experiments import get_trained_setup, run_experiment_a, run_experiment_b
+
+    setup = get_trained_setup(args.experiment, scale=args.scale)
+    if args.checkpoint:
+        setup.model.load(args.checkpoint)
+
+    if args.experiment == "a":
+        result = run_experiment_a(setup)
+        print(result.table_one_text())
+    else:
+        result = run_experiment_b(setup)
+        print(
+            format_table(
+                ["(h_top, h_bottom)", "MAPE %", "PAPE %", "paper", "peak err K"],
+                result.summary_rows(),
+            )
+        )
+    return 0
+
+
+def _cmd_speedup(args) -> int:
+    from .experiments import get_trained_setup, run_speedup_study
+
+    setup = get_trained_setup(args.experiment, scale=args.scale)
+    paper = {
+        "a": dict(paper_solver_seconds=300.0, paper_speedup_cpu=3000.0,
+                  paper_speedup_gpu=300000.0),
+        "b": dict(paper_solver_seconds=120.0, paper_speedup_cpu=1200.0,
+                  paper_speedup_gpu=120000.0),
+    }[args.experiment]
+    study = run_speedup_study(
+        setup, refine_factor=args.refine, batch_size=args.batch, **paper
+    )
+    print(study.format())
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "solve": _cmd_solve,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "speedup": _cmd_speedup,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""DeepOHeat core: the paper's primary contribution."""
+
+from .configs import ChipConfig
+from .encoding import (
+    ConfigInput,
+    DirichletInput,
+    HTCInput,
+    HTCMapInput,
+    PowerMapInput,
+    VolumetricPowerMapInput,
+    apply_design,
+)
+from .losses import PhysicsLossBuilder
+from .model import DeepOHeat
+from .presets import (
+    ExperimentSetup,
+    experiment_a,
+    experiment_b,
+    experiment_volumetric,
+)
+from .sampler import (
+    CollocationBatch,
+    CollocationPlan,
+    MeshCollocation,
+    RandomCollocation,
+    total_points,
+)
+from .trainer import Trainer, TrainerConfig, TrainingHistory
+
+__all__ = [
+    "ChipConfig",
+    "CollocationBatch",
+    "CollocationPlan",
+    "ConfigInput",
+    "DeepOHeat",
+    "DirichletInput",
+    "ExperimentSetup",
+    "HTCInput",
+    "HTCMapInput",
+    "MeshCollocation",
+    "PhysicsLossBuilder",
+    "PowerMapInput",
+    "RandomCollocation",
+    "VolumetricPowerMapInput",
+    "Trainer",
+    "TrainerConfig",
+    "TrainingHistory",
+    "apply_design",
+    "experiment_a",
+    "experiment_b",
+    "experiment_volumetric",
+    "total_points",
+]

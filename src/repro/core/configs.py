@@ -1,0 +1,76 @@
+"""Modular chip configurations (paper Sec. III).
+
+A :class:`ChipConfig` bundles everything that defines one concrete thermal
+problem: geometry, conductivity field, volumetric power and one boundary
+condition per face.  It converts directly into an FDM
+:class:`~repro.fdm.HeatProblem` (the reference path) and provides the
+nondimensionalizer DeepOHeat trains in (the surrogate path), so both
+solvers consume *the same* physical description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from ..bc import AdiabaticBC, BoundaryCondition, ConvectionBC, DirichletBC
+from ..fdm.assembly import HeatProblem
+from ..geometry import Cuboid, Face, Nondimensionalizer, StructuredGrid
+from ..materials import ConductivityField, UniformConductivity
+from ..power import VolumetricPower, ZeroPower
+
+
+@dataclass
+class ChipConfig:
+    """One fully-specified chip design (a point in the paper's space U)."""
+
+    chip: Cuboid
+    conductivity: ConductivityField = field(
+        default_factory=lambda: UniformConductivity(0.1)
+    )
+    volumetric_power: VolumetricPower = field(default_factory=ZeroPower)
+    bcs: Dict[Face, BoundaryCondition] = field(default_factory=dict)
+    t_ambient: float = 298.15
+
+    def __post_init__(self):
+        for face in Face:
+            self.bcs.setdefault(face, AdiabaticBC())
+
+    # ------------------------------------------------------------------
+    def bc_for(self, face: Face) -> BoundaryCondition:
+        return self.bcs[face]
+
+    def with_bc(self, face: Face, bc: BoundaryCondition) -> "ChipConfig":
+        """A copy with one face's condition replaced (non-mutating)."""
+        new_bcs = dict(self.bcs)
+        new_bcs[face] = bc
+        return replace(self, bcs=new_bcs)
+
+    def with_volumetric_power(self, power: VolumetricPower) -> "ChipConfig":
+        return replace(self, volumetric_power=power)
+
+    # ------------------------------------------------------------------
+    def heat_problem(self, grid: Optional[StructuredGrid] = None,
+                     grid_shape=None) -> HeatProblem:
+        """The FDM problem for this design (reference-solver path)."""
+        if grid is None:
+            if grid_shape is None:
+                raise ValueError("provide either a grid or a grid_shape")
+            grid = StructuredGrid(self.chip, tuple(grid_shape))
+        return HeatProblem(
+            grid=grid,
+            conductivity=self.conductivity,
+            volumetric_power=self.volumetric_power,
+            bcs=dict(self.bcs),
+        )
+
+    def nondimensionalizer(self, dt_ref: float = 10.0) -> Nondimensionalizer:
+        """Hat-space map anchored at this design's ambient temperature."""
+        return Nondimensionalizer.for_cuboid(
+            self.chip, t_ref=self.t_ambient, dt_ref=dt_ref
+        )
+
+    def is_well_posed(self) -> bool:
+        return any(
+            isinstance(self.bcs[face], (DirichletBC, ConvectionBC)) for face in Face
+        )

@@ -1,0 +1,412 @@
+"""Design-configuration inputs: the functions DeepOHeat's branches consume.
+
+Each :class:`ConfigInput` describes one *varying* PDE configuration — a
+coordinate of the paper's function space U.  It knows how to
+
+* ``sample``   — draw raw training instances (e.g. GRF power maps);
+* ``encode``   — turn raw instances into the branch-net sensor vector
+  (paper: "identified by its values on fixed locations");
+* ``values_at`` — evaluate the physical configuration function at arbitrary
+  SI points for each instance (used by the PINN residuals);
+* ``apply``    — stamp a concrete instance onto a :class:`ChipConfig` so
+  the FDM reference can solve exactly the same design.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..bc import ConvectionBC, DirichletBC, NeumannBC
+from ..geometry import Face
+from ..power import GaussianRandomField2D, GaussianRandomField3D
+from ..power.interpolate import grid_bilinear_function
+from .configs import ChipConfig
+
+
+class ConfigInput:
+    """One varying design configuration; subclasses define the physics.
+
+    ``residual_kind`` tells the loss builder which physics the input's
+    face obeys: ``"neumann"`` (prescribed influx / power map),
+    ``"convection"`` (Robin, needs ``t_ambient``), ``"dirichlet"``
+    (fixed temperature), or ``"volumetric"`` (a 3-D source feeding the
+    PDE residual instead of a face).
+    """
+
+    name: str = "input"
+    residual_kind: str = "none"
+
+    @property
+    def sensor_dim(self) -> int:
+        """Width of the encoded branch-net input vector."""
+        raise NotImplementedError
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` raw training instances (leading axis ``n``)."""
+        raise NotImplementedError
+
+    def encode(self, raw: np.ndarray) -> np.ndarray:
+        """Encode raw instances (n, ...) into branch inputs (n, sensor_dim)."""
+        raise NotImplementedError
+
+    def values_at(self, raw: np.ndarray, points_si: np.ndarray) -> np.ndarray:
+        """Physical values of each instance at SI points, shape (n, n_pts)."""
+        raise NotImplementedError
+
+    def apply(self, config: ChipConfig, raw_single: np.ndarray) -> ChipConfig:
+        """Return a concrete ChipConfig embodying one raw instance."""
+        raise NotImplementedError
+
+
+class PowerMapInput(ConfigInput):
+    """A 2-D power map on one face (Experiment A's single input).
+
+    Raw instances are (n1, n2) maps in *power units*; ``unit_flux``
+    converts to W/m^2 (paper: one unit = 0.00625 mW per node = 2500 W/m^2).
+    Training maps come from a GRF with length scale 0.3 by default.
+    """
+
+    residual_kind = "neumann"
+
+    def __init__(
+        self,
+        chip,
+        face: Face = Face.TOP,
+        map_shape: Tuple[int, int] = (21, 21),
+        unit_flux: float = 2500.0,
+        grf: Optional[GaussianRandomField2D] = None,
+        encode_scale: float = 1.0,
+        name: str = "power_map",
+    ):
+        if face.axis != 2:
+            raise ValueError("power maps are defined on TOP/BOTTOM faces")
+        self.chip = chip
+        self.face = face
+        self.map_shape = tuple(map_shape)
+        self.unit_flux = float(unit_flux)
+        self.grf = grf if grf is not None else GaussianRandomField2D(
+            self.map_shape, length_scale=0.3
+        )
+        if self.grf.shape != self.map_shape:
+            raise ValueError(
+                f"GRF shape {self.grf.shape} != map shape {self.map_shape}"
+            )
+        self.encode_scale = float(encode_scale)
+        self.name = name
+
+    @property
+    def sensor_dim(self) -> int:
+        return int(np.prod(self.map_shape))
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.grf.sample(rng, n)
+
+    def encode(self, raw: np.ndarray) -> np.ndarray:
+        raw = np.asarray(raw, dtype=np.float64)
+        if raw.ndim == 2:
+            raw = raw[None, ...]
+        if raw.shape[1:] != self.map_shape:
+            raise ValueError(
+                f"power map shape {raw.shape[1:]} != expected {self.map_shape}"
+            )
+        return raw.reshape(raw.shape[0], -1) / self.encode_scale
+
+    def values_at(self, raw: np.ndarray, points_si: np.ndarray) -> np.ndarray:
+        """Bilinear flux (W/m^2) of each map at the given face points."""
+        raw = np.asarray(raw, dtype=np.float64)
+        if raw.ndim == 2:
+            raw = raw[None, ...]
+        points_si = np.atleast_2d(points_si)
+        out = np.empty((raw.shape[0], points_si.shape[0]))
+        extent = (self.chip.size[0], self.chip.size[1])
+        origin = (self.chip.origin[0], self.chip.origin[1])
+        for i, tile_map in enumerate(raw):
+            fn = grid_bilinear_function(tile_map * self.unit_flux, extent, origin)
+            out[i] = fn(points_si[:, :2])
+        return out
+
+    def apply(self, config: ChipConfig, raw_single: np.ndarray) -> ChipConfig:
+        raw_single = np.asarray(raw_single, dtype=np.float64)
+        if raw_single.shape != self.map_shape:
+            raise ValueError(
+                f"expected a single {self.map_shape} map, got {raw_single.shape}"
+            )
+        fn = grid_bilinear_function(
+            raw_single * self.unit_flux,
+            (self.chip.size[0], self.chip.size[1]),
+            (self.chip.origin[0], self.chip.origin[1]),
+        )
+        return config.with_bc(self.face, NeumannBC(lambda p: fn(p[:, :2])))
+
+
+class HTCInput(ConfigInput):
+    """A uniform heat-transfer coefficient on one face (Experiment B).
+
+    The paper treats a constant HTC as a *function* identified by a single
+    sensor value; encoding is min-max normalised onto [0, 1] for network
+    conditioning (raw values 333...1000 W/m^2K).
+    """
+
+    residual_kind = "convection"
+
+    def __init__(
+        self,
+        face: Face,
+        low: float = 333.33,
+        high: float = 1000.0,
+        t_ambient: float = 298.15,
+        name: Optional[str] = None,
+    ):
+        if high <= low:
+            raise ValueError("need high > low")
+        self.face = face
+        self.low = float(low)
+        self.high = float(high)
+        self.t_ambient = float(t_ambient)
+        self.name = name if name else f"htc_{face.name.lower()}"
+
+    @property
+    def sensor_dim(self) -> int:
+        return 1
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
+    def encode(self, raw: np.ndarray) -> np.ndarray:
+        raw = np.atleast_1d(np.asarray(raw, dtype=np.float64))
+        return ((raw - self.low) / (self.high - self.low)).reshape(-1, 1)
+
+    def values_at(self, raw: np.ndarray, points_si: np.ndarray) -> np.ndarray:
+        raw = np.atleast_1d(np.asarray(raw, dtype=np.float64))
+        points_si = np.atleast_2d(points_si)
+        return np.tile(raw[:, None], (1, points_si.shape[0]))
+
+    def apply(self, config: ChipConfig, raw_single) -> ChipConfig:
+        htc = float(np.asarray(raw_single).reshape(()))
+        return config.with_bc(self.face, ConvectionBC(htc, self.t_ambient))
+
+
+class HTCMapInput(ConfigInput):
+    """An inhomogeneous HTC distribution on one face.
+
+    The paper (Sec. IV-A example): "If the surface has an inhomogeneous
+    HTC distribution, one can simply encode it similarly as we encode a
+    2D power map."  Raw instances are (n1, n2) maps of h in W/m^2K over
+    the face; training samples come from a GRF mapped into [low, high].
+    """
+
+    residual_kind = "convection"
+
+    def __init__(
+        self,
+        chip,
+        face: Face = Face.BOTTOM,
+        map_shape: Tuple[int, int] = (11, 11),
+        low: float = 333.33,
+        high: float = 1000.0,
+        t_ambient: float = 298.15,
+        grf: Optional[GaussianRandomField2D] = None,
+        name: Optional[str] = None,
+    ):
+        if face.axis != 2:
+            raise ValueError("HTC maps are defined on TOP/BOTTOM faces")
+        if high <= low:
+            raise ValueError("need high > low")
+        self.chip = chip
+        self.face = face
+        self.map_shape = tuple(map_shape)
+        self.low = float(low)
+        self.high = float(high)
+        self.t_ambient = float(t_ambient)
+        self.grf = grf if grf is not None else GaussianRandomField2D(
+            self.map_shape, length_scale=0.4
+        )
+        if self.grf.shape != self.map_shape:
+            raise ValueError(
+                f"GRF shape {self.grf.shape} != map shape {self.map_shape}"
+            )
+        self.name = name if name else f"htc_map_{face.name.lower()}"
+
+    @property
+    def sensor_dim(self) -> int:
+        return int(np.prod(self.map_shape))
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """GRF fields squashed through a sigmoid onto [low, high]."""
+        fields = self.grf.sample(rng, n)
+        squashed = 1.0 / (1.0 + np.exp(-fields))
+        return self.low + (self.high - self.low) * squashed
+
+    def encode(self, raw: np.ndarray) -> np.ndarray:
+        raw = np.asarray(raw, dtype=np.float64)
+        if raw.ndim == 2:
+            raw = raw[None, ...]
+        if raw.shape[1:] != self.map_shape:
+            raise ValueError(
+                f"HTC map shape {raw.shape[1:]} != expected {self.map_shape}"
+            )
+        normalized = (raw - self.low) / (self.high - self.low)
+        return normalized.reshape(raw.shape[0], -1)
+
+    def values_at(self, raw: np.ndarray, points_si: np.ndarray) -> np.ndarray:
+        raw = np.asarray(raw, dtype=np.float64)
+        if raw.ndim == 2:
+            raw = raw[None, ...]
+        points_si = np.atleast_2d(points_si)
+        out = np.empty((raw.shape[0], points_si.shape[0]))
+        extent = (self.chip.size[0], self.chip.size[1])
+        origin = (self.chip.origin[0], self.chip.origin[1])
+        for index, htc_map in enumerate(raw):
+            fn = grid_bilinear_function(htc_map, extent, origin)
+            out[index] = fn(points_si[:, :2])
+        return out
+
+    def apply(self, config: ChipConfig, raw_single: np.ndarray) -> ChipConfig:
+        raw_single = np.asarray(raw_single, dtype=np.float64)
+        if raw_single.shape != self.map_shape:
+            raise ValueError(
+                f"expected a single {self.map_shape} map, got {raw_single.shape}"
+            )
+        fn = grid_bilinear_function(
+            raw_single,
+            (self.chip.size[0], self.chip.size[1]),
+            (self.chip.origin[0], self.chip.origin[1]),
+        )
+        return config.with_bc(
+            self.face, ConvectionBC(lambda p: fn(p[:, :2]), self.t_ambient)
+        )
+
+
+class DirichletInput(ConfigInput):
+    """A uniform fixed-temperature boundary as a varying configuration.
+
+    Models, e.g., a cold-plate set-point sweep: raw instances are scalar
+    temperatures in kelvin; encoding is min-max normalised.
+    """
+
+    residual_kind = "dirichlet"
+
+    def __init__(
+        self,
+        face: Face,
+        low: float = 293.15,
+        high: float = 323.15,
+        name: Optional[str] = None,
+    ):
+        if high <= low:
+            raise ValueError("need high > low")
+        self.face = face
+        self.low = float(low)
+        self.high = float(high)
+        self.name = name if name else f"tfix_{face.name.lower()}"
+
+    @property
+    def sensor_dim(self) -> int:
+        return 1
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
+    def encode(self, raw: np.ndarray) -> np.ndarray:
+        raw = np.atleast_1d(np.asarray(raw, dtype=np.float64))
+        return ((raw - self.low) / (self.high - self.low)).reshape(-1, 1)
+
+    def values_at(self, raw: np.ndarray, points_si: np.ndarray) -> np.ndarray:
+        raw = np.atleast_1d(np.asarray(raw, dtype=np.float64))
+        points_si = np.atleast_2d(points_si)
+        return np.tile(raw[:, None], (1, points_si.shape[0]))
+
+    def apply(self, config: ChipConfig, raw_single) -> ChipConfig:
+        value = float(np.asarray(raw_single).reshape(()))
+        return config.with_bc(self.face, DirichletBC(value))
+
+
+class VolumetricPowerMapInput(ConfigInput):
+    """A 3-D power map as an operator input (the paper's future work).
+
+    "In the future, we will further investigate how DeepOHeat performs ...
+    in optimizing 3D power maps" (Sec. VI).  Raw instances are
+    (n1, n2, n3) density maps in W/m^3 identified on an equispaced 3-D
+    sensor grid ("everything will be exactly the same except it will be
+    identified by its values on three-dimensional equispaced grid
+    points", Sec. IV-A); the interior PDE residual consumes them as a
+    per-function source term.
+    """
+
+    residual_kind = "volumetric"
+    face = None
+
+    def __init__(
+        self,
+        chip,
+        map_shape: Tuple[int, int, int] = (7, 7, 5),
+        unit_density: float = 1.0e7,
+        grf: Optional[GaussianRandomField3D] = None,
+        name: str = "power_map_3d",
+    ):
+        self.chip = chip
+        self.map_shape = tuple(map_shape)
+        self.unit_density = float(unit_density)
+        self.grf = grf if grf is not None else GaussianRandomField3D(
+            self.map_shape, length_scale=0.35, transform="softplus"
+        )
+        if self.grf.shape != self.map_shape:
+            raise ValueError(
+                f"GRF shape {self.grf.shape} != map shape {self.map_shape}"
+            )
+        self.name = name
+
+    @property
+    def sensor_dim(self) -> int:
+        return int(np.prod(self.map_shape))
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.grf.sample(rng, n)
+
+    def encode(self, raw: np.ndarray) -> np.ndarray:
+        raw = np.asarray(raw, dtype=np.float64)
+        if raw.ndim == 3:
+            raw = raw[None, ...]
+        if raw.shape[1:] != self.map_shape:
+            raise ValueError(
+                f"3-D power map shape {raw.shape[1:]} != expected {self.map_shape}"
+            )
+        return raw.reshape(raw.shape[0], -1)
+
+    def _interpolator(self, raw_single: np.ndarray):
+        from ..power import GridVolumetricPower
+
+        return GridVolumetricPower(raw_single * self.unit_density, self.chip)
+
+    def values_at(self, raw: np.ndarray, points_si: np.ndarray) -> np.ndarray:
+        """Source density (W/m^3) of each map at 3-D interior points."""
+        raw = np.asarray(raw, dtype=np.float64)
+        if raw.ndim == 3:
+            raw = raw[None, ...]
+        points_si = np.atleast_2d(points_si)
+        out = np.empty((raw.shape[0], points_si.shape[0]))
+        for index, volume_map in enumerate(raw):
+            out[index] = self._interpolator(volume_map).density(points_si)
+        return out
+
+    def apply(self, config: ChipConfig, raw_single: np.ndarray) -> ChipConfig:
+        raw_single = np.asarray(raw_single, dtype=np.float64)
+        if raw_single.shape != self.map_shape:
+            raise ValueError(
+                f"expected a single {self.map_shape} map, got {raw_single.shape}"
+            )
+        return config.with_volumetric_power(self._interpolator(raw_single))
+
+
+def apply_design(
+    config: ChipConfig, inputs: Sequence[ConfigInput], design: dict
+) -> ChipConfig:
+    """Stamp a named design (``{input_name: raw_value}``) onto a config."""
+    missing = {inp.name for inp in inputs} - set(design)
+    if missing:
+        raise KeyError(f"design missing values for inputs: {sorted(missing)}")
+    for inp in inputs:
+        config = inp.apply(config, design[inp.name])
+    return config

@@ -1,0 +1,213 @@
+"""Physics-informed residuals and loss assembly (paper eqs. 8-11).
+
+All residuals are written in hat (nondimensional) units so every component
+is O(1) and the unweighted sum of eq. (11) is well-conditioned:
+
+* interior PDE (eq. 10):      sum_i (L_ref/L_i)^2 d2That/dyhat_i^2
+                              + q_V L_ref^2 / (k dT_ref) = 0
+* Neumann / power map (eq. 8):  s G_a - P L_a / (k dT_ref) = 0
+* convection (eq. 9 / eq. 5):   s G_a + (h L_a / k) theta = 0,
+                                theta = That + (T_ref - T_amb) / dT_ref
+* Dirichlet (eq. 3):            That - (T_d - T_ref) / dT_ref = 0
+
+where ``G_a`` is the hat-space gradient along the face normal's axis and
+``s`` the outward-normal sign.  The dimensionless group ``h L / k`` is the
+Biot number; for the paper's Experiment A bottom surface it is 2.5.
+
+The PDE residual uses the paper's own form ``k lap T + q_V`` (eq. 2),
+which assumes locally uniform conductivity; piecewise-constant fields are
+fine away from interfaces, exactly as in the paper's modular model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..autodiff import Tensor
+from ..bc import AdiabaticBC, ConvectionBC, DirichletBC, NeumannBC
+from ..geometry import Face, Nondimensionalizer
+from ..nn.taylor import DerivativeStreams
+from .configs import ChipConfig
+from .encoding import ConfigInput
+from .sampler import CollocationBatch
+
+
+class PhysicsLossBuilder:
+    """Turns derivative streams + a collocation batch into residual losses.
+
+    Parameters
+    ----------
+    config:
+        The base chip design; faces not overridden by an input keep their
+        configured boundary condition.
+    inputs:
+        The varying configurations, in branch order.  Inputs that carry a
+        ``face`` attribute override that face's boundary condition.
+    nd:
+        The hat-coordinate map shared with the trunk net.
+    weights:
+        Optional per-component weights (default 1.0, as in eq. 11).
+    """
+
+    def __init__(
+        self,
+        config: ChipConfig,
+        inputs: Sequence[ConfigInput],
+        nd: Nondimensionalizer,
+        weights: Optional[Mapping[str, float]] = None,
+    ):
+        self.config = config
+        self.inputs = list(inputs)
+        self.nd = nd
+        self.weights = dict(weights) if weights else {}
+        self.l_ref = float(max(nd.lengths))
+        self._face_input: Dict[str, Tuple[int, ConfigInput]] = {}
+        self._volumetric_input: Optional[Tuple[int, ConfigInput]] = None
+        for index, config_input in enumerate(self.inputs):
+            if getattr(config_input, "residual_kind", None) == "volumetric":
+                if self._volumetric_input is not None:
+                    raise ValueError("two volumetric-power inputs configured")
+                self._volumetric_input = (index, config_input)
+                continue
+            face = getattr(config_input, "face", None)
+            if face is not None:
+                if face.name in self._face_input:
+                    raise ValueError(f"two inputs target face {face.name}")
+                self._face_input[face.name] = (index, config_input)
+
+    # ------------------------------------------------------------------
+    # Constant-field evaluation helpers (numpy; no gradients needed).
+    # ------------------------------------------------------------------
+    def _pointwise(self, fn, si: np.ndarray) -> np.ndarray:
+        """Evaluate a per-point field for cartesian (npts,3) or aligned
+        (nf, npts, 3) layouts; result broadcasts against (nf, npts)."""
+        if si.ndim == 3:
+            nf, npts, _ = si.shape
+            return np.asarray(fn(si.reshape(-1, 3))).reshape(nf, npts)
+        return np.asarray(fn(si))  # (npts,) broadcasts over functions
+
+    def _input_matrix(
+        self, index: int, config_input: ConfigInput, raws: Sequence[np.ndarray],
+        si: np.ndarray
+    ) -> np.ndarray:
+        """Per-function configuration values at face points, (nf, npts)."""
+        raw = raws[index]
+        if si.ndim == 3:
+            rows = [
+                config_input.values_at(raw[j : j + 1], si[j])[0]
+                for j in range(si.shape[0])
+            ]
+            return np.stack(rows)
+        return config_input.values_at(raw, si)
+
+    # ------------------------------------------------------------------
+    # Residuals.
+    # ------------------------------------------------------------------
+    def interior_residual(
+        self,
+        streams: DerivativeStreams,
+        si: np.ndarray,
+        raws: Sequence[np.ndarray] = (),
+    ) -> Tensor:
+        """Eq. (10): the PDE residual over the whole domain.
+
+        When a 3-D power-map input is configured, its per-function source
+        values replace the base config's volumetric power.
+        """
+        axis_weights = [
+            (self.l_ref / length) ** 2 for length in self.nd.lengths
+        ]
+        laplacian = streams.laplacian(axis_weights)
+        k_values = self._pointwise(self.config.conductivity, si)
+        if self._volumetric_input is not None:
+            index, config_input = self._volumetric_input
+            q_values = self._input_matrix(index, config_input, raws, si)
+        else:
+            q_values = self._pointwise(self.config.volumetric_power, si)
+        source = q_values * self.l_ref**2 / (k_values * self.nd.dt_ref)
+        return laplacian + ad.tensor(source)
+
+    def face_residual(
+        self,
+        face: Face,
+        streams: DerivativeStreams,
+        si: np.ndarray,
+        raws: Sequence[np.ndarray],
+    ) -> Tensor:
+        """Eqs. (8)/(9)/(3): the appropriate residual for one face."""
+        sign = 1.0 if face.is_max else -1.0
+        axis = face.axis
+        length = self.nd.lengths[axis]
+        normal_grad = sign * streams.gradient[axis]
+        k_values = self._pointwise(self.config.conductivity, si)
+
+        override = self._face_input.get(face.name)
+        bc = self.config.bc_for(face)
+
+        if override is not None:
+            index, config_input = override
+            values = self._input_matrix(index, config_input, raws, si)
+            # The input's residual_kind decides the physics at this face.
+            kind = getattr(config_input, "residual_kind", "none")
+            if kind == "neumann":
+                target = values * length / (k_values * self.nd.dt_ref)
+                return normal_grad - ad.tensor(target)
+            if kind == "convection":
+                biot = values * length / k_values
+                offset = (self.nd.t_ref - config_input.t_ambient) / self.nd.dt_ref
+                theta = streams.value + offset
+                return normal_grad + ad.tensor(biot) * theta
+            if kind == "dirichlet":
+                target = (values - self.nd.t_ref) / self.nd.dt_ref
+                return streams.value - ad.tensor(target)
+            raise TypeError(
+                f"input {config_input.name!r} on face {face.name} has "
+                f"residual_kind {kind!r} with no residual rule"
+            )
+
+        if isinstance(bc, NeumannBC):  # covers AdiabaticBC
+            influx = self._pointwise(bc.flux_into_body, si)
+            target = influx * length / (k_values * self.nd.dt_ref)
+            return normal_grad - ad.tensor(target)
+        if isinstance(bc, ConvectionBC):
+            htc = self._pointwise(bc.htc_values, si)
+            biot = htc * length / k_values
+            offset = (self.nd.t_ref - bc.t_ambient) / self.nd.dt_ref
+            theta = streams.value + offset
+            return normal_grad + ad.tensor(biot) * theta
+        if isinstance(bc, DirichletBC):
+            t_fixed = self._pointwise(bc.temperature, si)
+            target = (t_fixed - self.nd.t_ref) / self.nd.dt_ref
+            return streams.value - ad.tensor(target)
+        raise TypeError(f"unsupported boundary condition {bc!r}")
+
+    # ------------------------------------------------------------------
+    # Total loss (eq. 11).
+    # ------------------------------------------------------------------
+    def loss(
+        self,
+        streams_by_region: Mapping[str, DerivativeStreams],
+        batch: CollocationBatch,
+        raws: Sequence[np.ndarray],
+    ) -> Tuple[Tensor, Dict[str, float]]:
+        """Sum of mean-squared residuals plus per-component values."""
+        components: Dict[str, Tensor] = {}
+        components["pde"] = self.interior_residual(
+            streams_by_region["interior"], batch.si["interior"], raws
+        )
+        for face in Face:
+            components[f"bc:{face.name}"] = self.face_residual(
+                face, streams_by_region[face.name], batch.si[face.name], raws
+            )
+
+        total: Optional[Tensor] = None
+        values: Dict[str, float] = {}
+        for name, residual in components.items():
+            weight = self.weights.get(name, 1.0)
+            term = weight * ad.mean(residual * residual)
+            values[name] = term.item()
+            total = term if total is None else total + term
+        return total, values

@@ -1,0 +1,186 @@
+"""The DeepOHeat model facade: operator network + physics + units.
+
+Glues together the pieces of Fig. 2: configuration encoders feeding branch
+nets, the (Fourier-featured) trunk net over hat coordinates, the MIONet
+merge, and the physics-informed loss.  Provides prediction APIs in SI units
+and a reference path through the FDM solver for validation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..autodiff import Tensor
+from ..fdm import ThermalSolution, solve_steady
+from ..geometry import StructuredGrid
+from ..nn import MIONet, load_checkpoint, save_checkpoint
+from ..nn.taylor import DerivativeStreams
+from .configs import ChipConfig
+from .encoding import ConfigInput, apply_design
+from .losses import PhysicsLossBuilder
+from .sampler import CollocationBatch
+
+
+class DeepOHeat:
+    """Physics-informed multi-input operator surrogate for chip thermals.
+
+    Parameters
+    ----------
+    config:
+        Base chip design; the parts not covered by ``inputs`` stay fixed.
+    inputs:
+        Varying design configurations, in the same order as the MIONet's
+        branch nets.
+    net:
+        The operator network; branch count must match ``inputs``.
+    dt_ref:
+        Temperature scale of the hat system (K).
+    loss_weights:
+        Optional residual weights (paper uses the unweighted sum).
+    """
+
+    def __init__(
+        self,
+        config: ChipConfig,
+        inputs: Sequence[ConfigInput],
+        net: MIONet,
+        dt_ref: float = 10.0,
+        loss_weights: Optional[Mapping[str, float]] = None,
+    ):
+        if len(inputs) != net.n_inputs:
+            raise ValueError(
+                f"{len(inputs)} config inputs but the net has {net.n_inputs} branches"
+            )
+        for config_input, branch in zip(inputs, net.branches):
+            if config_input.sensor_dim != branch.in_features:
+                raise ValueError(
+                    f"input {config_input.name!r} encodes {config_input.sensor_dim} "
+                    f"sensors but its branch expects {branch.in_features}"
+                )
+        self.config = config
+        self.inputs = list(inputs)
+        self.net = net
+        self.nd = config.nondimensionalizer(dt_ref)
+        self.builder = PhysicsLossBuilder(config, inputs, self.nd, loss_weights)
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode_raws(self, raws: Sequence[np.ndarray]) -> List[Tensor]:
+        """Encode raw instance batches into branch input tensors."""
+        if len(raws) != len(self.inputs):
+            raise ValueError(f"expected {len(self.inputs)} raw batches")
+        return [
+            ad.tensor(config_input.encode(raw))
+            for config_input, raw in zip(self.inputs, raws)
+        ]
+
+    def encode_design(self, design: Mapping[str, np.ndarray]) -> List[Tensor]:
+        """Encode one named design ``{input_name: value}`` (batch of 1)."""
+        encoded = []
+        for config_input in self.inputs:
+            if config_input.name not in design:
+                raise KeyError(f"design missing input {config_input.name!r}")
+            raw = np.asarray(design[config_input.name], dtype=np.float64)
+            encoded.append(ad.tensor(config_input.encode(raw[None, ...] if raw.ndim
+                                                         else raw)))
+        return encoded
+
+    # ------------------------------------------------------------------
+    # Loss
+    # ------------------------------------------------------------------
+    def compute_loss(
+        self, raws: Sequence[np.ndarray], batch: CollocationBatch
+    ) -> Tuple[Tensor, Dict[str, float]]:
+        """Physics loss over a batch of sampled configurations."""
+        branch_inputs = self.encode_raws(raws)
+        regions = list(batch.hat)
+        counts = [batch.hat[r].shape[-2] for r in regions]
+        offsets = np.concatenate([[0], np.cumsum(counts)]).astype(int)
+
+        if batch.aligned:
+            all_points = np.concatenate([batch.hat[r] for r in regions], axis=1)
+            streams = self.net.forward_aligned_with_derivatives(
+                branch_inputs, all_points
+            )
+        else:
+            all_points = np.concatenate([batch.hat[r] for r in regions], axis=0)
+            streams = self.net.forward_cartesian_with_derivatives(
+                branch_inputs, all_points
+            )
+
+        streams_by_region: Dict[str, DerivativeStreams] = {}
+        for region, start, stop in zip(regions, offsets[:-1], offsets[1:]):
+            window = (slice(None), slice(int(start), int(stop)))
+            streams_by_region[region] = DerivativeStreams(
+                value=streams.value[window],
+                gradient=[g[window] for g in streams.gradient],
+                hessian_diag=[h[window] for h in streams.hessian_diag],
+            )
+        return self.builder.loss(streams_by_region, batch, raws)
+
+    # ------------------------------------------------------------------
+    # Prediction (SI units)
+    # ------------------------------------------------------------------
+    def predict(
+        self, design: Mapping[str, np.ndarray], points_si: np.ndarray
+    ) -> np.ndarray:
+        """Temperature (kelvin) at SI points for one design."""
+        return self.predict_many([design], points_si)[0]
+
+    def predict_many(
+        self, designs: Sequence[Mapping[str, np.ndarray]], points_si: np.ndarray
+    ) -> np.ndarray:
+        """Batched prediction: (n_designs, n_points) kelvin.
+
+        All designs share one trunk evaluation — this is the amortised
+        "GPU-like" throughput mode of the speedup study.
+        """
+        points_hat = self.nd.to_hat(np.atleast_2d(points_si))
+        with ad.no_grad():
+            branch_rows = []
+            for config_input in self.inputs:
+                rows = [
+                    config_input.encode(
+                        np.asarray(design[config_input.name], dtype=np.float64)
+                    )
+                    for design in designs
+                ]
+                branch_rows.append(ad.tensor(np.concatenate(rows, axis=0)))
+            t_hat = self.net.forward_cartesian(branch_rows, points_hat)
+        return self.nd.temp_to_si(t_hat.data)
+
+    def predict_grid(
+        self, design: Mapping[str, np.ndarray], grid: StructuredGrid
+    ) -> np.ndarray:
+        """Full nodal field, shaped like the grid."""
+        flat = self.predict(design, grid.points())
+        return grid.to_array(flat)
+
+    # ------------------------------------------------------------------
+    # Reference path
+    # ------------------------------------------------------------------
+    def concrete_config(self, design: Mapping[str, np.ndarray]) -> ChipConfig:
+        """The ChipConfig with this design stamped on (for the FDM oracle)."""
+        return apply_design(self.config, self.inputs, dict(design))
+
+    def reference_solution(
+        self, design: Mapping[str, np.ndarray], grid: StructuredGrid
+    ) -> ThermalSolution:
+        """Solve the same design with the FDM reference solver."""
+        return solve_steady(self.concrete_config(design).heat_problem(grid))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path, meta: Optional[Dict] = None):
+        meta = dict(meta or {})
+        meta.setdefault("dt_ref", self.nd.dt_ref)
+        meta.setdefault("inputs", [inp.name for inp in self.inputs])
+        return save_checkpoint(self.net, path, meta=meta)
+
+    def load(self, path) -> Dict:
+        return load_checkpoint(self.net, path)

@@ -1,0 +1,53 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from .ablations import (
+    AblationRun,
+    run_activation_ablation,
+    run_fourier_ablation,
+    run_sampling_ablation,
+)
+from .common import DEFAULT_CACHE_DIR, get_trained_setup, train_fresh
+from .exp_a import (
+    ExperimentAResult,
+    PowerMapCase,
+    evaluate_power_map,
+    figure4_maps,
+    figure4_text,
+    run_experiment_a,
+)
+from .exp_b import (
+    PAPER_ERRORS,
+    PAPER_HTC_CASES,
+    ExperimentBResult,
+    HTCCase,
+    evaluate_htc_case,
+    htc_design_sweep,
+    run_experiment_b,
+)
+from .speedup import SpeedupStudy, fdm_scaling_curve, run_speedup_study
+
+__all__ = [
+    "AblationRun",
+    "DEFAULT_CACHE_DIR",
+    "ExperimentAResult",
+    "ExperimentBResult",
+    "HTCCase",
+    "PAPER_ERRORS",
+    "PAPER_HTC_CASES",
+    "PowerMapCase",
+    "SpeedupStudy",
+    "evaluate_htc_case",
+    "evaluate_power_map",
+    "fdm_scaling_curve",
+    "figure4_maps",
+    "figure4_text",
+    "get_trained_setup",
+    "htc_design_sweep",
+    "run_experiment_a",
+    "run_experiment_b",
+    "run_sampling_ablation",
+    "run_activation_ablation",
+    "run_fourier_ablation",
+    "run_speedup_study",
+    "train_fresh",
+]

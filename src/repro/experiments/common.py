@@ -1,0 +1,81 @@
+"""Shared infrastructure for experiment drivers and benches.
+
+Training a CI-scale model takes minutes; benches and examples therefore
+share trained models through a small on-disk cache keyed by experiment
+name, scale and training budget.  Delete ``.model_cache/`` to force
+retraining.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+from ..core import ExperimentSetup, experiment_a, experiment_b
+from ..core.trainer import TrainingHistory
+
+DEFAULT_CACHE_DIR = Path(
+    os.environ.get("REPRO_MODEL_CACHE", Path(__file__).resolve().parents[3] / ".model_cache")
+)
+
+
+def _cache_path(cache_dir: Path, setup: ExperimentSetup) -> Path:
+    from .. import __version__
+
+    cfg = setup.trainer_config
+    # The package version participates in the key so preset/hyper-parameter
+    # changes between releases invalidate stale checkpoints.
+    key = (
+        f"{setup.name}-{setup.scale}-it{cfg.iterations}-nf{cfg.n_functions}"
+        f"-seed{cfg.seed}-p{setup.model.net.num_parameters()}-v{__version__}"
+    )
+    return cache_dir / f"{key}.npz"
+
+
+def get_trained_setup(
+    name: str,
+    scale: str = "ci",
+    cache_dir: Optional[Path] = None,
+    force_retrain: bool = False,
+    verbose: bool = False,
+) -> ExperimentSetup:
+    """Build a preset and ensure its model is trained (cached on disk).
+
+    Parameters
+    ----------
+    name:
+        ``"a"`` or ``"b"`` — the paper experiment.
+    scale:
+        Preset scale (``"test" | "ci" | "paper"``).
+    """
+    if name == "a":
+        setup = experiment_a(scale=scale)
+    elif name == "b":
+        setup = experiment_b(scale=scale)
+    else:
+        raise ValueError(f"unknown experiment {name!r}; use 'a' or 'b'")
+
+    cache_dir = Path(cache_dir) if cache_dir else DEFAULT_CACHE_DIR
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = _cache_path(cache_dir, setup)
+
+    if path.exists() and not force_retrain:
+        setup.model.load(path)
+        return setup
+
+    history = setup.make_trainer().run(verbose=verbose)
+    setup.model.save(
+        path,
+        meta={
+            "final_loss": history.final_loss,
+            "wall_time": history.wall_time,
+            "iterations": setup.trainer_config.iterations,
+        },
+    )
+    return setup
+
+
+def train_fresh(setup: ExperimentSetup, verbose: bool = False) -> TrainingHistory:
+    """Train a preset from scratch (no cache), returning the history."""
+    return setup.make_trainer().run(verbose=verbose)

@@ -1,0 +1,129 @@
+"""Experiment A driver (paper Sec. V-A): 2-D power maps on the top surface.
+
+Regenerates:
+
+* **Table I** — MAPE/PAPE over the ten unseen test power maps p1..p10;
+* **Fig. 3** — predicted vs reference temperature fields per map;
+* **Fig. 4** — a GRF training map, a tile-based test map, and its
+  grid interpolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..analysis import FieldErrorReport, compare_fields_text, field_report, table_one
+from ..analysis.viz import ascii_heatmap, field_slice
+from ..core import ExperimentSetup
+from ..fdm import solve_steady
+from ..power import (
+    GaussianRandomField2D,
+    TilePowerMap,
+    paper_test_suite,
+    tiles_to_grid,
+)
+
+
+@dataclass
+class PowerMapCase:
+    """One column of Table I: a test map with its errors and fields."""
+
+    name: str
+    tiles: np.ndarray
+    grid_map: np.ndarray
+    report: FieldErrorReport
+    predicted: np.ndarray  # (nx, ny, nz)
+    reference: np.ndarray  # (nx, ny, nz)
+
+
+@dataclass
+class ExperimentAResult:
+    cases: List[PowerMapCase]
+
+    def table_one_text(self) -> str:
+        return table_one(
+            [case.name for case in self.cases],
+            [case.report.mape for case in self.cases],
+            [case.report.pape for case in self.cases],
+        )
+
+    def mapes(self) -> List[float]:
+        return [case.report.mape for case in self.cases]
+
+    def papes(self) -> List[float]:
+        return [case.report.pape for case in self.cases]
+
+    def figure3_panel(self, index: int) -> str:
+        case = self.cases[index]
+        return compare_fields_text(
+            field_slice(case.predicted),
+            field_slice(case.reference),
+            title=f"{case.name} top surface (K)",
+        )
+
+
+def evaluate_power_map(
+    setup: ExperimentSetup, tiles: np.ndarray, name: str = "map"
+) -> PowerMapCase:
+    """Evaluate one tile-based test map against the FDM reference."""
+    map_shape = setup.model.inputs[0].map_shape
+    grid_map = tiles_to_grid(tiles, map_shape)
+    design = {"power_map": grid_map}
+    predicted = setup.model.predict_grid(design, setup.eval_grid)
+    reference_solution = solve_steady(
+        setup.model.concrete_config(design).heat_problem(setup.eval_grid)
+    )
+    reference = reference_solution.to_array()
+    return PowerMapCase(
+        name=name,
+        tiles=tiles,
+        grid_map=grid_map,
+        report=field_report(predicted, reference),
+        predicted=predicted,
+        reference=reference,
+    )
+
+
+def run_experiment_a(
+    setup: ExperimentSetup,
+    suite: Optional[List[TilePowerMap]] = None,
+) -> ExperimentAResult:
+    """Evaluate the trained model over the p1..p10 suite (Table I / Fig. 3)."""
+    suite = suite if suite is not None else paper_test_suite()
+    cases = [
+        evaluate_power_map(setup, tile_map.tiles, tile_map.name)
+        for tile_map in suite
+    ]
+    return ExperimentAResult(cases=cases)
+
+
+def figure4_maps(
+    setup: ExperimentSetup, seed: int = 0, test_index: int = 4
+) -> Dict[str, np.ndarray]:
+    """The three panels of Fig. 4.
+
+    Returns ``{"training_grf", "tile_map", "interpolated"}``.
+    """
+    map_shape = setup.model.inputs[0].map_shape
+    grf = GaussianRandomField2D(map_shape, length_scale=0.3)
+    training = grf.sample_one(np.random.default_rng(seed))
+    tile_map = paper_test_suite()[test_index].tiles
+    interpolated = tiles_to_grid(tile_map, map_shape)
+    return {
+        "training_grf": training,
+        "tile_map": tile_map,
+        "interpolated": interpolated,
+    }
+
+
+def figure4_text(panels: Dict[str, np.ndarray]) -> str:
+    """Console rendering of the Fig. 4 triptych."""
+    blocks = [
+        ascii_heatmap(panels["training_grf"], "training map (GRF, l=0.3)"),
+        ascii_heatmap(panels["tile_map"], "test map (20x20 tiles)"),
+        ascii_heatmap(panels["interpolated"], "interpolated (grid nodes)"),
+    ]
+    return "\n".join(blocks)

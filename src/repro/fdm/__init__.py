@@ -1,0 +1,40 @@
+"""Finite-volume thermal solver — the Celsius 3D substitute."""
+
+from .assembly import AssembledSystem, HeatProblem, assemble
+from .solver import (
+    EnergyReport,
+    ThermalSolution,
+    energy_report,
+    solve_chip,
+    solve_steady,
+)
+from .transient import TransientResult, TransientSolver
+from .verification import (
+    ManufacturedCase,
+    convergence_order,
+    dirichlet_slab_profile,
+    layered_series_resistance_t_top,
+    manufactured_case,
+    slab_flux_convection_profile,
+    slab_problem,
+)
+
+__all__ = [
+    "AssembledSystem",
+    "EnergyReport",
+    "HeatProblem",
+    "ManufacturedCase",
+    "ThermalSolution",
+    "TransientResult",
+    "TransientSolver",
+    "assemble",
+    "convergence_order",
+    "dirichlet_slab_profile",
+    "energy_report",
+    "layered_series_resistance_t_top",
+    "manufactured_case",
+    "slab_flux_convection_profile",
+    "slab_problem",
+    "solve_chip",
+    "solve_steady",
+]

@@ -1,0 +1,154 @@
+"""Analytic verification cases for the FDM substrate.
+
+Because this solver replaces Celsius 3D as the accuracy oracle, it must
+itself be validated against closed-form solutions:
+
+* 1-D slab, uniform top influx + bottom convection — exact linear profile
+  (the continuum limit of the paper's Experiment-A configuration under a
+  uniform power map);
+* Dirichlet-Dirichlet slab (pure conduction);
+* series thermal resistance of a layered stack;
+* a smooth manufactured solution for measuring the convergence order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from ..bc import ConvectionBC, DirichletBC, NeumannBC
+from ..geometry import Cuboid, Face, StructuredGrid
+from ..materials import UniformConductivity
+from ..power import VolumetricPower, ZeroPower
+from .assembly import HeatProblem
+
+
+def slab_flux_convection_profile(
+    chip: Cuboid, influx: float, htc: float, t_ambient: float, k: float
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Exact T(z) for: uniform influx P on TOP, convection (h) on BOTTOM,
+    adiabatic sides, homogeneous k.
+
+    Steady 1-D balance: all injected flux crosses every z-plane, so
+
+        T(z) = T_amb + P/h + (P/k) (z - z_bottom)
+    """
+
+    z0 = float(chip.lo[2])
+
+    def profile(points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return t_ambient + influx / htc + (influx / k) * (points[:, 2] - z0)
+
+    return profile
+
+
+def slab_problem(
+    chip: Cuboid,
+    grid_shape: Tuple[int, int, int],
+    influx: float,
+    htc: float,
+    t_ambient: float,
+    k: float,
+) -> HeatProblem:
+    """The discrete problem matching :func:`slab_flux_convection_profile`."""
+    grid = StructuredGrid(chip, grid_shape)
+    return HeatProblem(
+        grid=grid,
+        conductivity=UniformConductivity(k),
+        volumetric_power=ZeroPower(),
+        bcs={
+            Face.TOP: NeumannBC(influx),
+            Face.BOTTOM: ConvectionBC(htc, t_ambient),
+        },
+    )
+
+
+def dirichlet_slab_profile(
+    chip: Cuboid, t_bottom: float, t_top: float
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Linear profile between two fixed plate temperatures."""
+    z0, z1 = float(chip.lo[2]), float(chip.hi[2])
+
+    def profile(points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        frac = (points[:, 2] - z0) / (z1 - z0)
+        return t_bottom + (t_top - t_bottom) * frac
+
+    return profile
+
+
+def layered_series_resistance_t_top(
+    thicknesses, conductivities, influx: float, htc: float, t_ambient: float
+) -> float:
+    """Top-surface temperature of a layered slab heated from the top.
+
+    Series sum of conduction resistances plus the convective film:
+    ``T_top = T_amb + P (1/h + sum_i t_i / k_i)``.
+    """
+    resistance = 1.0 / htc + sum(t / k for t, k in zip(thicknesses, conductivities))
+    return t_ambient + influx * resistance
+
+
+@dataclass
+class ManufacturedCase:
+    """A smooth exact solution with matching source and Dirichlet data."""
+
+    problem: HeatProblem
+    exact: Callable[[np.ndarray], np.ndarray]
+
+    def exact_field(self) -> np.ndarray:
+        return self.exact(self.problem.grid.points())
+
+
+def manufactured_case(
+    grid_shape: Tuple[int, int, int],
+    k: float = 0.1,
+    amplitude: float = 10.0,
+    base: float = 300.0,
+) -> ManufacturedCase:
+    """T* = base + A sin(pi x/Lx) sin(pi y/Ly) sin(pi z/Lz) on the unit-ish chip.
+
+    Then ``lap T* = -s (T* - base)`` with ``s = sum (pi/L_i)^2``, so choosing
+    ``q_V = k s (T* - base)`` and Dirichlet T*=base on all faces makes T*
+    the exact solution.  Used for convergence-order measurement.
+    """
+    chip = Cuboid((0.0, 0.0, 0.0), (1e-3, 1e-3, 0.5e-3))
+    grid = StructuredGrid(chip, grid_shape)
+    lengths = np.asarray(chip.size)
+    s = float(np.sum((np.pi / lengths) ** 2))
+
+    def shape_fn(points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        rel = (points - chip.lo) / lengths
+        return np.sin(np.pi * rel[:, 0]) * np.sin(np.pi * rel[:, 1]) * np.sin(
+            np.pi * rel[:, 2]
+        )
+
+    def exact(points: np.ndarray) -> np.ndarray:
+        return base + amplitude * shape_fn(points)
+
+    class _Source(VolumetricPower):
+        def density(self, points: np.ndarray) -> np.ndarray:
+            return k * s * amplitude * shape_fn(points)
+
+        def total_power(self) -> float:
+            return k * s * amplitude * chip.volume * (2.0 / np.pi) ** 3
+
+    problem = HeatProblem(
+        grid=grid,
+        conductivity=UniformConductivity(k),
+        volumetric_power=_Source(),
+        bcs={face: DirichletBC(base) for face in Face},
+    )
+    return ManufacturedCase(problem=problem, exact=exact)
+
+
+def convergence_order(errors, spacings) -> float:
+    """Least-squares slope of log(error) vs log(h)."""
+    log_h = np.log(np.asarray(spacings))
+    log_e = np.log(np.asarray(errors))
+    slope, _ = np.polyfit(log_h, log_e, 1)
+    return float(slope)

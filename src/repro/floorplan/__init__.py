@@ -1,0 +1,13 @@
+"""Thermal-aware floorplan optimisation on top of the DeepOHeat surrogate."""
+
+from .anneal import AnnealResult, SurrogatePeakObjective, simulated_annealing
+from .blocks import Floorplan, FunctionalBlock, Placement
+
+__all__ = [
+    "AnnealResult",
+    "Floorplan",
+    "FunctionalBlock",
+    "Placement",
+    "SurrogatePeakObjective",
+    "simulated_annealing",
+]

@@ -1,0 +1,129 @@
+"""Functional blocks and floorplans on the power-map tile lattice.
+
+The paper's introduction motivates DeepOHeat with thermal-aware floorplan
+optimisation: "chip thermal optimization, which provides the optimal
+thermal-aware floorplan at an early stage, has become an important step in
+the 3D IC design flow."  This package closes that loop: functional blocks
+with fixed power are placed on the top-surface tile lattice, and the
+surrogate scores placements by peak temperature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..power.tiles import Block, blocks_to_tiles
+
+
+@dataclass(frozen=True)
+class FunctionalBlock:
+    """A movable IP block: footprint in tiles plus per-tile power (units)."""
+
+    name: str
+    height: int
+    width: int
+    power: float
+
+    def __post_init__(self):
+        if self.height <= 0 or self.width <= 0:
+            raise ValueError("block footprint must be positive")
+        if self.power < 0:
+            raise ValueError("block power must be non-negative")
+
+    @property
+    def total_power(self) -> float:
+        return self.power * self.height * self.width
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One block anchored at (row, col) on the tile lattice."""
+
+    block: FunctionalBlock
+    row: int
+    col: int
+
+    def footprint(self) -> Tuple[int, int, int, int]:
+        """(row0, row1, col0, col1), half-open."""
+        return (
+            self.row,
+            self.row + self.block.height,
+            self.col,
+            self.col + self.block.width,
+        )
+
+    def overlaps(self, other: "Placement") -> bool:
+        r0, r1, c0, c1 = self.footprint()
+        s0, s1, t0, t1 = other.footprint()
+        return not (r1 <= s0 or s1 <= r0 or c1 <= t0 or t1 <= c0)
+
+
+class Floorplan:
+    """An overlap-free arrangement of blocks on an (n, n) tile lattice."""
+
+    def __init__(self, placements: Sequence[Placement], lattice: Tuple[int, int] = (20, 20)):
+        self.lattice = tuple(lattice)
+        self.placements: List[Placement] = list(placements)
+        self._validate()
+
+    def _validate(self):
+        for placement in self.placements:
+            r0, r1, c0, c1 = placement.footprint()
+            if r0 < 0 or c0 < 0 or r1 > self.lattice[0] or c1 > self.lattice[1]:
+                raise ValueError(
+                    f"block {placement.block.name!r} at ({r0},{c0}) leaves the lattice"
+                )
+        for i, first in enumerate(self.placements):
+            for second in self.placements[i + 1 :]:
+                if first.overlaps(second):
+                    raise ValueError(
+                        f"blocks {first.block.name!r} and {second.block.name!r} overlap"
+                    )
+
+    # ------------------------------------------------------------------
+    def to_tiles(self) -> np.ndarray:
+        blocks = [
+            Block(p.row, p.col, p.block.height, p.block.width, p.block.power)
+            for p in self.placements
+        ]
+        return blocks_to_tiles(blocks, self.lattice)
+
+    def total_power(self) -> float:
+        return sum(p.block.total_power for p in self.placements)
+
+    def moved(self, index: int, row: int, col: int) -> "Floorplan":
+        """A copy with one block re-anchored (validates bounds + overlap)."""
+        placements = list(self.placements)
+        placements[index] = Placement(placements[index].block, row, col)
+        return Floorplan(placements, self.lattice)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        blocks: Sequence[FunctionalBlock],
+        rng: np.random.Generator,
+        lattice: Tuple[int, int] = (20, 20),
+        max_tries: int = 2000,
+    ) -> "Floorplan":
+        """Rejection-sample an overlap-free placement of all blocks."""
+        for _ in range(max_tries):
+            placements: List[Placement] = []
+            feasible = True
+            for block in blocks:
+                for _ in range(max_tries):
+                    row = int(rng.integers(0, lattice[0] - block.height + 1))
+                    col = int(rng.integers(0, lattice[1] - block.width + 1))
+                    candidate = Placement(block, row, col)
+                    if not any(candidate.overlaps(p) for p in placements):
+                        placements.append(candidate)
+                        break
+                else:
+                    feasible = False
+                    break
+            if feasible:
+                return cls(placements, lattice)
+        raise RuntimeError("could not find an overlap-free initial placement")

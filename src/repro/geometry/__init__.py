@@ -1,0 +1,49 @@
+"""Chip geometry: cuboids, stacks, structured grids, samplers, units."""
+
+from .cuboid import SIDE_FACES, Cuboid, Face, paper_chip_a, paper_chip_b
+from .grid import StructuredGrid, paper_grid_a
+from .sampling import (
+    sample_boundary,
+    sample_face,
+    sample_interior,
+    sample_interior_lhs,
+    sample_volume_and_faces,
+    stratified_interior,
+)
+from .stack import CuboidStack, Layer
+from .units import (
+    MM,
+    MW,
+    PAPER_TILE_AREA_M2,
+    PAPER_UNIT_FLUX_W_PER_M2,
+    PAPER_UNIT_POWER_W,
+    Nondimensionalizer,
+    flux_to_power_units,
+    power_units_to_flux,
+)
+
+__all__ = [
+    "MM",
+    "MW",
+    "PAPER_TILE_AREA_M2",
+    "PAPER_UNIT_FLUX_W_PER_M2",
+    "PAPER_UNIT_POWER_W",
+    "SIDE_FACES",
+    "Cuboid",
+    "CuboidStack",
+    "Face",
+    "Layer",
+    "Nondimensionalizer",
+    "StructuredGrid",
+    "flux_to_power_units",
+    "paper_chip_a",
+    "paper_chip_b",
+    "paper_grid_a",
+    "power_units_to_flux",
+    "sample_boundary",
+    "sample_face",
+    "sample_interior",
+    "sample_interior_lhs",
+    "sample_volume_and_faces",
+    "stratified_interior",
+]

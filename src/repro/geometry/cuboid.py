@@ -1,0 +1,134 @@
+"""Cuboid geometry primitives (the paper's chip model, Fig. 1)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+class Face(enum.Enum):
+    """One of the six axis-aligned faces of a cuboid.
+
+    Values encode ``(axis, is_max)``; e.g. ``TOP`` is the +z face where the
+    paper's 2-D power maps live, ``BOTTOM`` the -z convection surface.
+    """
+
+    XMIN = (0, False)
+    XMAX = (0, True)
+    YMIN = (1, False)
+    YMAX = (1, True)
+    BOTTOM = (2, False)
+    TOP = (2, True)
+
+    @property
+    def axis(self) -> int:
+        return self.value[0]
+
+    @property
+    def is_max(self) -> bool:
+        return self.value[1]
+
+    @property
+    def normal(self) -> np.ndarray:
+        """Outward unit normal."""
+        direction = np.zeros(3)
+        direction[self.axis] = 1.0 if self.is_max else -1.0
+        return direction
+
+    @property
+    def tangent_axes(self) -> Tuple[int, int]:
+        """The two in-plane axes, ordered ascending."""
+        return tuple(i for i in range(3) if i != self.axis)
+
+    @property
+    def opposite(self) -> "Face":
+        return _OPPOSITE[self]
+
+
+_OPPOSITE = {
+    Face.XMIN: Face.XMAX,
+    Face.XMAX: Face.XMIN,
+    Face.YMIN: Face.YMAX,
+    Face.YMAX: Face.YMIN,
+    Face.BOTTOM: Face.TOP,
+    Face.TOP: Face.BOTTOM,
+}
+
+SIDE_FACES = (Face.XMIN, Face.XMAX, Face.YMIN, Face.YMAX)
+"""The four lateral faces — adiabatic in both paper experiments."""
+
+
+@dataclass(frozen=True)
+class Cuboid:
+    """Axis-aligned cuboid: ``origin`` corner plus positive ``size`` (SI metres)."""
+
+    origin: Tuple[float, float, float]
+    size: Tuple[float, float, float]
+
+    def __post_init__(self):
+        if len(self.origin) != 3 or len(self.size) != 3:
+            raise ValueError("origin and size must be 3-vectors")
+        if any(s <= 0 for s in self.size):
+            raise ValueError(f"size components must be positive, got {self.size}")
+
+    # ------------------------------------------------------------------
+    @property
+    def lo(self) -> np.ndarray:
+        return np.asarray(self.origin, dtype=np.float64)
+
+    @property
+    def hi(self) -> np.ndarray:
+        return self.lo + np.asarray(self.size, dtype=np.float64)
+
+    @property
+    def center(self) -> np.ndarray:
+        return 0.5 * (self.lo + self.hi)
+
+    @property
+    def volume(self) -> float:
+        return float(np.prod(self.size))
+
+    def face_area(self, face: Face) -> float:
+        a, b = face.tangent_axes
+        return float(self.size[a] * self.size[b])
+
+    def face_coordinate(self, face: Face) -> float:
+        """The constant coordinate value of ``face`` along its axis."""
+        return float(self.hi[face.axis] if face.is_max else self.lo[face.axis])
+
+    # ------------------------------------------------------------------
+    def contains(self, points: np.ndarray, tol: float = 1e-12) -> np.ndarray:
+        """Boolean mask of points inside or on the boundary."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return np.all(
+            (points >= self.lo - tol) & (points <= self.hi + tol), axis=1
+        )
+
+    def on_face(self, points: np.ndarray, face: Face, tol: float = 1e-12) -> np.ndarray:
+        """Boolean mask of points lying on a given face."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        coordinate = self.face_coordinate(face)
+        return self.contains(points, tol) & (
+            np.abs(points[:, face.axis] - coordinate) <= tol
+        )
+
+    @classmethod
+    def from_mm(cls, origin_mm, size_mm) -> "Cuboid":
+        """Convenience constructor in millimetres (the paper's unit)."""
+        return cls(
+            origin=tuple(float(v) * 1e-3 for v in origin_mm),
+            size=tuple(float(v) * 1e-3 for v in size_mm),
+        )
+
+
+def paper_chip_a() -> Cuboid:
+    """Experiment A chip: 1 mm x 1 mm x 0.5 mm (Sec. V-A.1)."""
+    return Cuboid.from_mm((0.0, 0.0, 0.0), (1.0, 1.0, 0.5))
+
+
+def paper_chip_b() -> Cuboid:
+    """Experiment B chip: 1 mm x 1 mm x 0.55 mm (Sec. V-B)."""
+    return Cuboid.from_mm((0.0, 0.0, 0.0), (1.0, 1.0, 0.55))

@@ -1,0 +1,123 @@
+"""Structured node grids on cuboids.
+
+The paper's Experiment A uses a 21 x 21 x 11 node grid over the chip; both
+the FDM reference solver and DeepOHeat evaluation reuse this class, so the
+element-wise comparison in Table I happens on identical coordinates.
+
+Node layout: ``flat_index = (ix * ny + iy) * nz + iz`` (z fastest), and all
+reshapes use C order ``(nx, ny, nz)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Tuple
+
+import numpy as np
+
+from .cuboid import Cuboid, Face
+
+
+@dataclass(frozen=True)
+class StructuredGrid:
+    """Uniform vertex grid with ``shape`` nodes per axis over ``cuboid``."""
+
+    cuboid: Cuboid
+    shape: Tuple[int, int, int]
+
+    def __post_init__(self):
+        if len(self.shape) != 3 or any(n < 2 for n in self.shape):
+            raise ValueError(f"grid shape needs >= 2 nodes per axis, got {self.shape}")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def spacing(self) -> Tuple[float, float, float]:
+        """Node spacing per axis (SI metres)."""
+        return tuple(
+            self.cuboid.size[axis] / (self.shape[axis] - 1) for axis in range(3)
+        )
+
+    @cached_property
+    def axes(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Node coordinate arrays per axis."""
+        return tuple(
+            np.linspace(self.cuboid.lo[axis], self.cuboid.hi[axis], self.shape[axis])
+            for axis in range(3)
+        )
+
+    def points(self) -> np.ndarray:
+        """All node coordinates, shape ``(n_nodes, 3)`` in flat-index order."""
+        gx, gy, gz = np.meshgrid(*self.axes, indexing="ij")
+        return np.column_stack([gx.ravel(), gy.ravel(), gz.ravel()])
+
+    # ------------------------------------------------------------------
+    def flat_index(self, ix, iy, iz) -> np.ndarray:
+        """Flat node index from per-axis indices (broadcasting)."""
+        nx, ny, nz = self.shape
+        return (np.asarray(ix) * ny + np.asarray(iy)) * nz + np.asarray(iz)
+
+    def unravel(self, flat) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        nx, ny, nz = self.shape
+        flat = np.asarray(flat)
+        return flat // (ny * nz), (flat // nz) % ny, flat % nz
+
+    def to_array(self, field: np.ndarray) -> np.ndarray:
+        """Reshape a flat nodal field to ``(nx, ny, nz)``."""
+        return np.asarray(field).reshape(self.shape)
+
+    def to_flat(self, array: np.ndarray) -> np.ndarray:
+        return np.asarray(array).reshape(-1)
+
+    # ------------------------------------------------------------------
+    def face_mask(self, face: Face) -> np.ndarray:
+        """Boolean mask (flat order) of nodes on ``face``."""
+        index = np.zeros(self.shape, dtype=bool)
+        selector = [slice(None)] * 3
+        selector[face.axis] = -1 if face.is_max else 0
+        index[tuple(selector)] = True
+        return index.ravel()
+
+    def face_indices(self, face: Face) -> np.ndarray:
+        return np.flatnonzero(self.face_mask(face))
+
+    def face_points(self, face: Face) -> np.ndarray:
+        return self.points()[self.face_mask(face)]
+
+    def face_shape(self, face: Face) -> Tuple[int, int]:
+        a, b = face.tangent_axes
+        return self.shape[a], self.shape[b]
+
+    def boundary_mask(self) -> np.ndarray:
+        mask = np.zeros(self.n_nodes, dtype=bool)
+        for face in Face:
+            mask |= self.face_mask(face)
+        return mask
+
+    def interior_mask(self) -> np.ndarray:
+        return ~self.boundary_mask()
+
+    def interior_points(self) -> np.ndarray:
+        return self.points()[self.interior_mask()]
+
+    # ------------------------------------------------------------------
+    def refine(self, factor: int) -> "StructuredGrid":
+        """Return a grid with ``factor``x the cells per axis (same cuboid).
+
+        Used by the speedup bench to emulate FEM-resolution solves.
+        """
+        if factor < 1:
+            raise ValueError("refinement factor must be >= 1")
+        new_shape = tuple((n - 1) * factor + 1 for n in self.shape)
+        return StructuredGrid(self.cuboid, new_shape)
+
+
+def paper_grid_a() -> StructuredGrid:
+    """The 21 x 21 x 11 mesh of Experiment A (4851 nodes)."""
+    from .cuboid import paper_chip_a
+
+    return StructuredGrid(paper_chip_a(), (21, 21, 11))

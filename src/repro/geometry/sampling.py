@@ -1,0 +1,92 @@
+"""Collocation-point samplers.
+
+Experiment A evaluates on the fixed mesh; Experiment B "randomly draw[s] a
+new set of coordinates from the simulation domain" every iteration.  Both
+styles are provided, plus Latin-hypercube sampling for better space filling
+in ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+from scipy.stats import qmc
+
+from .cuboid import Cuboid, Face
+
+
+def sample_interior(
+    cuboid: Cuboid, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform random points strictly inside the cuboid, shape (n, 3)."""
+    u = rng.uniform(size=(n, 3))
+    return cuboid.lo + u * (cuboid.hi - cuboid.lo)
+
+
+def sample_interior_lhs(
+    cuboid: Cuboid, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Latin-hypercube points inside the cuboid (scipy QMC engine)."""
+    sampler = qmc.LatinHypercube(d=3, seed=rng)
+    u = sampler.random(n)
+    return cuboid.lo + u * (cuboid.hi - cuboid.lo)
+
+
+def sample_face(
+    cuboid: Cuboid, face: Face, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform random points on one face, shape (n, 3)."""
+    points = sample_interior(cuboid, n, rng)
+    points[:, face.axis] = cuboid.face_coordinate(face)
+    return points
+
+
+def sample_boundary(
+    cuboid: Cuboid, n_per_face: int, rng: np.random.Generator
+) -> Dict[Face, np.ndarray]:
+    """Random points on all six faces."""
+    return {face: sample_face(cuboid, face, n_per_face, rng) for face in Face}
+
+
+def sample_volume_and_faces(
+    cuboid: Cuboid,
+    n_interior: int,
+    n_per_face: int,
+    rng: np.random.Generator,
+    latin_hypercube: bool = False,
+) -> Dict[str, np.ndarray]:
+    """Convenience bundle: interior plus per-face samples.
+
+    Returns a dict with key ``"interior"`` and one key per face name.
+    """
+    interior_sampler = sample_interior_lhs if latin_hypercube else sample_interior
+    out: Dict[str, np.ndarray] = {
+        "interior": interior_sampler(cuboid, n_interior, rng)
+    }
+    for face in Face:
+        out[face.name] = sample_face(cuboid, face, n_per_face, rng)
+    return out
+
+
+def stratified_interior(
+    cuboid: Cuboid,
+    n_per_axis: int,
+    rng: Optional[np.random.Generator] = None,
+    jitter: float = 0.0,
+) -> np.ndarray:
+    """Cell-centred regular points with optional uniform jitter.
+
+    With ``jitter=0`` this is a deterministic interior lattice; jitter up to
+    0.5 keeps each point inside its cell.
+    """
+    if not 0.0 <= jitter <= 0.5:
+        raise ValueError("jitter must be within [0, 0.5]")
+    centers = (np.arange(n_per_axis) + 0.5) / n_per_axis
+    gx, gy, gz = np.meshgrid(centers, centers, centers, indexing="ij")
+    u = np.column_stack([gx.ravel(), gy.ravel(), gz.ravel()])
+    if jitter > 0.0:
+        if rng is None:
+            raise ValueError("jitter requires an rng")
+        u = u + rng.uniform(-jitter, jitter, size=u.shape) / n_per_axis
+    return cuboid.lo + u * (cuboid.hi - cuboid.lo)

@@ -1,0 +1,115 @@
+"""Stacked-cuboid chip models (3D-IC die stacks).
+
+The paper's modular chip model (Sec. III, Fig. 1) represents a 3D IC as
+"single or multiple stacked rectangular cuboid(s)".  A :class:`CuboidStack`
+is a z-ordered list of cuboids sharing one footprint; it exposes the layer
+structure (for per-layer conductivity and volumetric power) and collapses to
+a single bounding cuboid for grid generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cuboid import Cuboid
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One die/interposer layer: a cuboid plus an optional label."""
+
+    cuboid: Cuboid
+    name: str = ""
+
+    @property
+    def z_interval(self) -> Tuple[float, float]:
+        return float(self.cuboid.lo[2]), float(self.cuboid.hi[2])
+
+
+class CuboidStack:
+    """Z-contiguous stack of same-footprint cuboids.
+
+    Raises ``ValueError`` if footprints differ or gaps/overlaps exist, so an
+    inconsistent 3D-IC model fails fast at construction.
+    """
+
+    def __init__(self, layers: Sequence[Layer]):
+        if not layers:
+            raise ValueError("stack needs at least one layer")
+        ordered = sorted(layers, key=lambda layer: layer.cuboid.lo[2])
+        footprint = (ordered[0].cuboid.origin[:2], ordered[0].cuboid.size[:2])
+        for layer in ordered[1:]:
+            if (layer.cuboid.origin[:2], layer.cuboid.size[:2]) != footprint:
+                raise ValueError(
+                    f"layer {layer.name!r} footprint differs from the stack's"
+                )
+        for below, above in zip(ordered[:-1], ordered[1:]):
+            gap = above.cuboid.lo[2] - below.cuboid.hi[2]
+            if abs(gap) > 1e-12:
+                raise ValueError(
+                    f"layers {below.name!r} and {above.name!r} are not contiguous "
+                    f"(gap {gap:.3e} m)"
+                )
+        self.layers: List[Layer] = list(ordered)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def bounding_cuboid(self) -> Cuboid:
+        bottom = self.layers[0].cuboid
+        top = self.layers[-1].cuboid
+        height = float(top.hi[2] - bottom.lo[2])
+        return Cuboid(
+            origin=tuple(bottom.origin),
+            size=(bottom.size[0], bottom.size[1], height),
+        )
+
+    @property
+    def z_boundaries(self) -> np.ndarray:
+        """Layer interface z-coordinates, length ``n_layers + 1``."""
+        lows = [layer.cuboid.lo[2] for layer in self.layers]
+        return np.asarray(lows + [self.layers[-1].cuboid.hi[2]])
+
+    # ------------------------------------------------------------------
+    def layer_of(self, z: np.ndarray) -> np.ndarray:
+        """Layer index containing each z (clipped to valid layers)."""
+        z = np.asarray(z, dtype=np.float64)
+        boundaries = self.z_boundaries
+        index = np.searchsorted(boundaries, z, side="right") - 1
+        return np.clip(index, 0, self.n_layers - 1)
+
+    def layer_by_name(self, name: str) -> Layer:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no layer named {name!r}")
+
+    @classmethod
+    def from_thicknesses(
+        cls,
+        footprint_origin: Tuple[float, float],
+        footprint_size: Tuple[float, float],
+        thicknesses: Sequence[float],
+        names: Optional[Sequence[str]] = None,
+        z0: float = 0.0,
+    ) -> "CuboidStack":
+        """Build a stack from per-layer thicknesses, bottom-up."""
+        names = list(names) if names else [f"layer{i}" for i in range(len(thicknesses))]
+        if len(names) != len(thicknesses):
+            raise ValueError("names/thicknesses length mismatch")
+        layers = []
+        z = z0
+        for thickness, name in zip(thicknesses, names):
+            cuboid = Cuboid(
+                origin=(footprint_origin[0], footprint_origin[1], z),
+                size=(footprint_size[0], footprint_size[1], thickness),
+            )
+            layers.append(Layer(cuboid, name))
+            z += thickness
+        return cls(layers)

@@ -1,0 +1,124 @@
+"""Unit handling and nondimensionalization.
+
+Chips are millimetre-scale while PINN training is only well-conditioned on
+O(1) quantities, so DeepOHeat training runs in a "hat" system:
+
+* coordinates mapped per-axis onto the unit cube,
+* temperature mapped to ``(T - T_ref) / dT_ref``.
+
+Under this map the steady heat equation ``k * lap(T) + qV = 0`` becomes
+
+    k * dT_ref * sum_i (1 / L_i^2) d^2 That / dyhat_i^2 + qV = 0
+
+so each axis contributes a Laplacian weight ``1 / L_i^2``.  The class below
+centralises those factors and round-trips exactly (unit tested).
+
+The paper's unit conventions (Sec. V-A.1): the chip is 1 mm x 1 mm x 0.5 mm,
+and "one-unit power corresponds to 0.00625 mW" on a 21 x 21 top-surface
+grid, i.e. one power unit per node is 0.00625 mW over a (0.05 mm)^2 tile —
+a surface flux of 2500 W/m^2 per unit.  Helpers below make that conversion
+explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+MM = 1e-3
+"""One millimetre in metres."""
+
+MW = 1e-3
+"""One milliwatt in watts."""
+
+# Paper Experiment A: power-map units (Sec. V-A.1).
+PAPER_UNIT_POWER_W = 0.00625e-3
+"""Watts represented by one power-map unit at a grid node."""
+
+PAPER_TILE_AREA_M2 = (0.05 * MM) ** 2
+"""Area of one 21x21-grid tile on the 1 mm x 1 mm top surface."""
+
+PAPER_UNIT_FLUX_W_PER_M2 = PAPER_UNIT_POWER_W / PAPER_TILE_AREA_M2
+"""Surface heat flux (W/m^2) represented by one power-map unit (= 2500)."""
+
+
+def power_units_to_flux(units: np.ndarray) -> np.ndarray:
+    """Convert paper power-map units to a surface flux in W/m^2."""
+    return np.asarray(units, dtype=np.float64) * PAPER_UNIT_FLUX_W_PER_M2
+
+
+def flux_to_power_units(flux: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`power_units_to_flux`."""
+    return np.asarray(flux, dtype=np.float64) / PAPER_UNIT_FLUX_W_PER_M2
+
+
+@dataclass(frozen=True)
+class Nondimensionalizer:
+    """Bidirectional map between SI and unit-cube ("hat") coordinates.
+
+    Parameters
+    ----------
+    origin:
+        SI coordinates of the domain corner mapped to ``(0, 0, 0)``.
+    lengths:
+        SI extent of each axis (must be positive).
+    t_ref:
+        Reference (ambient) temperature in kelvin; maps to ``That = 0``.
+    dt_ref:
+        Temperature scale in kelvin; ``That = 1`` corresponds to
+        ``t_ref + dt_ref``.
+    """
+
+    origin: Tuple[float, float, float]
+    lengths: Tuple[float, float, float]
+    t_ref: float = 298.15
+    dt_ref: float = 10.0
+
+    def __post_init__(self):
+        if any(length <= 0 for length in self.lengths):
+            raise ValueError(f"lengths must be positive, got {self.lengths}")
+        if self.dt_ref <= 0:
+            raise ValueError("dt_ref must be positive")
+
+    # -- coordinates ----------------------------------------------------
+    def to_hat(self, points_si: np.ndarray) -> np.ndarray:
+        """Map SI points (n, d) into the unit cube."""
+        points_si = np.asarray(points_si, dtype=np.float64)
+        origin = np.asarray(self.origin[: points_si.shape[-1]])
+        lengths = np.asarray(self.lengths[: points_si.shape[-1]])
+        return (points_si - origin) / lengths
+
+    def to_si(self, points_hat: np.ndarray) -> np.ndarray:
+        """Map unit-cube points back to SI coordinates."""
+        points_hat = np.asarray(points_hat, dtype=np.float64)
+        origin = np.asarray(self.origin[: points_hat.shape[-1]])
+        lengths = np.asarray(self.lengths[: points_hat.shape[-1]])
+        return origin + points_hat * lengths
+
+    # -- temperature ----------------------------------------------------
+    def temp_to_hat(self, t_kelvin: np.ndarray) -> np.ndarray:
+        return (np.asarray(t_kelvin, dtype=np.float64) - self.t_ref) / self.dt_ref
+
+    def temp_to_si(self, t_hat: np.ndarray) -> np.ndarray:
+        return self.t_ref + np.asarray(t_hat, dtype=np.float64) * self.dt_ref
+
+    # -- PDE scale factors ----------------------------------------------
+    def laplacian_weights(self) -> Tuple[float, float, float]:
+        """Per-axis weights ``1 / L_i^2`` of the hat-space Laplacian."""
+        return tuple(1.0 / length**2 for length in self.lengths)
+
+    def gradient_weight(self, axis: int) -> float:
+        """``d/dy_i = (1 / L_i) d/dyhat_i``."""
+        return 1.0 / self.lengths[axis]
+
+    @classmethod
+    def for_cuboid(cls, cuboid, t_ref: float = 298.15, dt_ref: float = 10.0):
+        """Build from a :class:`repro.geometry.cuboid.Cuboid`."""
+        return cls(
+            origin=tuple(cuboid.origin),
+            lengths=tuple(cuboid.size),
+            t_ref=t_ref,
+            dt_ref=dt_ref,
+        )

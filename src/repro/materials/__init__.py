@@ -1,0 +1,39 @@
+"""Material properties and conductivity fields."""
+
+from .conductivity import (
+    ConductivityField,
+    LayeredConductivity,
+    UniformConductivity,
+    VoxelConductivity,
+)
+from .database import (
+    COPPER,
+    MATERIALS,
+    MOLD_COMPOUND,
+    PAPER_MATERIAL,
+    SILICON,
+    SILICON_DIOXIDE,
+    SOLDER,
+    TIM,
+    UNDERFILL,
+    Material,
+    get_material,
+)
+
+__all__ = [
+    "COPPER",
+    "ConductivityField",
+    "LayeredConductivity",
+    "MATERIALS",
+    "MOLD_COMPOUND",
+    "Material",
+    "PAPER_MATERIAL",
+    "SILICON",
+    "SILICON_DIOXIDE",
+    "SOLDER",
+    "TIM",
+    "UNDERFILL",
+    "UniformConductivity",
+    "VoxelConductivity",
+    "get_material",
+]

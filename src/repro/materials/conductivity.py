@@ -1,0 +1,86 @@
+"""Thermal-conductivity fields.
+
+The paper's modular model supports "full-chip flexible material
+conductivity distribution" (contribution list); both experiments use a
+homogeneous k = 0.1 W/(m K), but the FDM solver and the encoders accept any
+of the field types below (uniform, per-layer, voxel).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.interpolate import RegularGridInterpolator
+
+from ..geometry.cuboid import Cuboid
+from ..geometry.stack import CuboidStack
+
+
+class ConductivityField:
+    """Base class: isotropic conductivity k (W/mK) at SI points."""
+
+    def values(self, points: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, points: np.ndarray) -> np.ndarray:
+        return self.values(points)
+
+
+class UniformConductivity(ConductivityField):
+    """Homogeneous medium (the paper's k = 0.1 W/mK)."""
+
+    def __init__(self, k: float):
+        if k <= 0:
+            raise ValueError("conductivity must be positive")
+        self.k = float(k)
+
+    def values(self, points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(points)
+        return np.full(points.shape[0], self.k)
+
+    def __repr__(self) -> str:
+        return f"UniformConductivity({self.k:g})"
+
+
+class LayeredConductivity(ConductivityField):
+    """Per-layer conductivity over a :class:`CuboidStack` (die stacks)."""
+
+    def __init__(self, stack: CuboidStack, k_per_layer: Sequence[float]):
+        if len(k_per_layer) != stack.n_layers:
+            raise ValueError(
+                f"{len(k_per_layer)} conductivities for {stack.n_layers} layers"
+            )
+        if any(k <= 0 for k in k_per_layer):
+            raise ValueError("conductivities must be positive")
+        self.stack = stack
+        self.k_per_layer = np.asarray(k_per_layer, dtype=np.float64)
+
+    def values(self, points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return self.k_per_layer[self.stack.layer_of(points[:, 2])]
+
+
+class VoxelConductivity(ConductivityField):
+    """Nodal (n1, n2, n3) conductivity map, trilinearly interpolated."""
+
+    def __init__(self, values: np.ndarray, cuboid: Cuboid):
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 3:
+            raise ValueError(f"need a 3-D array, got shape {values.shape}")
+        if np.any(values <= 0):
+            raise ValueError("conductivities must be positive")
+        self.array = values
+        self.cuboid = cuboid
+        axes = tuple(
+            np.linspace(cuboid.lo[a], cuboid.hi[a], values.shape[a]) for a in range(3)
+        )
+        self._interp = RegularGridInterpolator(axes, values, method="linear")
+
+    def values(self, points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64)).copy()
+        for axis in range(3):
+            points[:, axis] = np.clip(
+                points[:, axis], self.cuboid.lo[axis], self.cuboid.hi[axis]
+            )
+        return self._interp(points)

@@ -1,0 +1,68 @@
+"""A small material library for 3D-IC thermal modelling.
+
+Values are typical room-temperature bulk properties from standard
+references; the paper's experiments use a deliberately low homogeneous
+k = 0.1 W/(m K) (mold-compound-like), exposed as ``PAPER_MATERIAL``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Material:
+    """Thermal properties: conductivity k, density rho, heat capacity cp."""
+
+    name: str
+    conductivity: float  # W / (m K)
+    density: float  # kg / m^3
+    heat_capacity: float  # J / (kg K)
+
+    @property
+    def diffusivity(self) -> float:
+        """Thermal diffusivity alpha = k / (rho * cp), m^2/s."""
+        return self.conductivity / (self.density * self.heat_capacity)
+
+
+SILICON = Material("silicon", conductivity=148.0, density=2330.0, heat_capacity=700.0)
+SILICON_DIOXIDE = Material("sio2", conductivity=1.4, density=2200.0, heat_capacity=730.0)
+COPPER = Material("copper", conductivity=400.0, density=8960.0, heat_capacity=385.0)
+SOLDER = Material("solder", conductivity=50.0, density=7400.0, heat_capacity=220.0)
+TIM = Material("tim", conductivity=3.0, density=2300.0, heat_capacity=1000.0)
+UNDERFILL = Material("underfill", conductivity=0.5, density=1700.0, heat_capacity=1000.0)
+MOLD_COMPOUND = Material("mold", conductivity=0.9, density=1900.0, heat_capacity=880.0)
+
+PAPER_MATERIAL = Material(
+    "paper-homogeneous", conductivity=0.1, density=1900.0, heat_capacity=880.0
+)
+"""The homogeneous k = 0.1 W/(m K) medium used in both paper experiments.
+
+The paper only specifies conductivity (steady-state analysis); density and
+heat capacity are mold-compound-like values used by the transient extension.
+"""
+
+MATERIALS: Dict[str, Material] = {
+    m.name: m
+    for m in (
+        SILICON,
+        SILICON_DIOXIDE,
+        COPPER,
+        SOLDER,
+        TIM,
+        UNDERFILL,
+        MOLD_COMPOUND,
+        PAPER_MATERIAL,
+    )
+}
+
+
+def get_material(name: str) -> Material:
+    """Look up a material by name with a helpful error."""
+    try:
+        return MATERIALS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown material {name!r}; available: {sorted(MATERIALS)}"
+        ) from None

@@ -1,0 +1,75 @@
+"""Neural-network library: the deepxde/PyTorch substitute for DeepOHeat."""
+
+from .activations import (
+    Activation,
+    Gelu,
+    Identity,
+    Relu,
+    Sine,
+    Swish,
+    Tanh,
+    get_activation,
+)
+from .deeponet import DeepONet, MIONet, TrunkNet
+from .fourier import FourierFeatures
+from .initializers import get_initializer
+from .modules import MLP, Dense, Module, Sequential
+from .optimizers import LBFGS, SGD, Adam, Optimizer, clip_grad_norm
+from .schedules import (
+    ConstantLR,
+    ExponentialDecay,
+    Schedule,
+    StepLR,
+    WarmupCosine,
+    paper_schedule,
+)
+from .serialize import load_checkpoint, save_checkpoint
+from .taylor import (
+    DerivativeStreams,
+    input_streams,
+    propagate_activation,
+    propagate_dense,
+    propagate_fourier,
+    propagate_mlp,
+    trunk_with_derivatives,
+)
+
+__all__ = [
+    "Activation",
+    "Adam",
+    "ConstantLR",
+    "DeepONet",
+    "Dense",
+    "DerivativeStreams",
+    "ExponentialDecay",
+    "FourierFeatures",
+    "Gelu",
+    "Identity",
+    "LBFGS",
+    "MIONet",
+    "MLP",
+    "Module",
+    "Optimizer",
+    "Relu",
+    "SGD",
+    "Schedule",
+    "Sequential",
+    "Sine",
+    "StepLR",
+    "Swish",
+    "Tanh",
+    "TrunkNet",
+    "WarmupCosine",
+    "clip_grad_norm",
+    "get_activation",
+    "get_initializer",
+    "input_streams",
+    "load_checkpoint",
+    "paper_schedule",
+    "propagate_activation",
+    "propagate_dense",
+    "propagate_fourier",
+    "propagate_mlp",
+    "save_checkpoint",
+    "trunk_with_derivatives",
+]

@@ -1,0 +1,173 @@
+"""Activation functions with closed-form first and second derivatives.
+
+The physics-informed loss needs the Laplacian of the trunk net with respect
+to the spatial coordinates.  :mod:`repro.nn.taylor` propagates value /
+gradient / diagonal-Hessian streams through each layer, which requires
+sigma, sigma' and sigma'' for every activation.  Each is expressed with
+:mod:`repro.autodiff` ops, so parameter gradients flow through all three.
+
+The paper uses Swish (Ramachandran et al., 2017) and reports it beats Tanh
+and Sine in their PINN setting; all three are provided so the ablation bench
+can reproduce that comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .. import autodiff as ad
+from ..autodiff import Tensor
+
+
+class Activation:
+    """Interface: ``value``, ``first`` and ``second`` derivative at ``x``."""
+
+    name = "base"
+
+    def value(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def first(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def second(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.value(x)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Swish(Activation):
+    """swish(x) = x * sigmoid(x), the paper's activation of choice."""
+
+    name = "swish"
+
+    def value(self, x: Tensor) -> Tensor:
+        return x * ad.sigmoid(x)
+
+    def first(self, x: Tensor) -> Tensor:
+        s = ad.sigmoid(x)
+        return s + x * s * (1.0 - s)
+
+    def second(self, x: Tensor) -> Tensor:
+        s = ad.sigmoid(x)
+        s_prime = s * (1.0 - s)
+        return s_prime * (2.0 + x * (1.0 - 2.0 * s))
+
+
+class Tanh(Activation):
+    name = "tanh"
+
+    def value(self, x: Tensor) -> Tensor:
+        return ad.tanh(x)
+
+    def first(self, x: Tensor) -> Tensor:
+        t = ad.tanh(x)
+        return 1.0 - t * t
+
+    def second(self, x: Tensor) -> Tensor:
+        t = ad.tanh(x)
+        return -2.0 * t * (1.0 - t * t)
+
+
+class Sine(Activation):
+    """sin activation (SIREN-style), one of the paper's compared PINN picks."""
+
+    name = "sine"
+
+    def __init__(self, frequency: float = 1.0):
+        self.frequency = float(frequency)
+
+    def value(self, x: Tensor) -> Tensor:
+        return ad.sin(self.frequency * x)
+
+    def first(self, x: Tensor) -> Tensor:
+        return self.frequency * ad.cos(self.frequency * x)
+
+    def second(self, x: Tensor) -> Tensor:
+        return -(self.frequency**2) * ad.sin(self.frequency * x)
+
+
+class Relu(Activation):
+    """ReLU — second derivative is zero a.e.; unsuited for PDE residuals
+    (and therefore a useful negative control in tests)."""
+
+    name = "relu"
+
+    def value(self, x: Tensor) -> Tensor:
+        return ad.relu(x)
+
+    def first(self, x: Tensor) -> Tensor:
+        return ad.where(x.data > 0.0, ad.ones_like(x), ad.zeros_like(x))
+
+    def second(self, x: Tensor) -> Tensor:
+        return ad.zeros_like(x)
+
+
+class Gelu(Activation):
+    """GELU with the tanh approximation."""
+
+    name = "gelu"
+    _C = 0.7978845608028654  # sqrt(2/pi)
+    _A = 0.044715
+
+    def _inner(self, x: Tensor) -> Tensor:
+        return self._C * (x + self._A * x * x * x)
+
+    def value(self, x: Tensor) -> Tensor:
+        return 0.5 * x * (1.0 + ad.tanh(self._inner(x)))
+
+    def first(self, x: Tensor) -> Tensor:
+        u = self._inner(x)
+        t = ad.tanh(u)
+        u1 = self._C * (1.0 + 3.0 * self._A * x * x)
+        return 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * u1
+
+    def second(self, x: Tensor) -> Tensor:
+        u = self._inner(x)
+        t = ad.tanh(u)
+        t1 = 1.0 - t * t
+        t2 = -2.0 * t * t1
+        u1 = self._C * (1.0 + 3.0 * self._A * x * x)
+        u2 = 6.0 * self._C * self._A * x
+        return t1 * u1 + 0.5 * x * (t2 * u1 * u1 + t1 * u2)
+
+
+class Identity(Activation):
+    name = "identity"
+
+    def value(self, x: Tensor) -> Tensor:
+        return x
+
+    def first(self, x: Tensor) -> Tensor:
+        return ad.ones_like(x)
+
+    def second(self, x: Tensor) -> Tensor:
+        return ad.zeros_like(x)
+
+
+_REGISTRY: Dict[str, type] = {
+    "swish": Swish,
+    "tanh": Tanh,
+    "sine": Sine,
+    "sin": Sine,
+    "relu": Relu,
+    "gelu": Gelu,
+    "identity": Identity,
+    "linear": Identity,
+}
+
+
+def get_activation(spec) -> Activation:
+    """Resolve an activation from a name or pass an instance through."""
+    if isinstance(spec, Activation):
+        return spec
+    try:
+        return _REGISTRY[spec]()
+    except KeyError:
+        raise KeyError(
+            f"unknown activation {spec!r}; available: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,193 @@
+"""DeepONet and multi-input DeepONet (MIONet) architectures.
+
+Implements the operator networks of the paper (Fig. 2):
+
+* k branch nets, one per encoded PDE configuration function;
+* one trunk net over spatial coordinates, optionally prefixed by a random
+  Fourier feature mapping;
+* merge: Hadamard product of all branch output features and the trunk
+  feature, summed over the feature axis plus a trainable scalar bias
+  (Lu et al. 2021 for k=1; Jin et al. 2022 "MIONet" for k>1).
+
+Two batching modes mirror the paper's two experiments:
+
+* ``cartesian`` — every sampled configuration is evaluated on one shared
+  point set (Experiment A: the fixed 21x21x11 mesh).  The combine step is a
+  single matmul: ``T = B_prod @ Trunk^T`` with shape (n_funcs, n_points).
+* ``aligned`` — each configuration gets its own point set (Experiment B:
+  fresh random points per HTC sample).  Branch rows are repeated per point
+  and contracted elementwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..autodiff import Tensor
+from .fourier import FourierFeatures
+from .modules import MLP, Module
+from .taylor import DerivativeStreams, trunk_with_derivatives
+
+
+class TrunkNet(Module):
+    """Coordinate network: optional Fourier features followed by an MLP."""
+
+    def __init__(self, mlp: MLP, fourier: Optional[FourierFeatures] = None):
+        super().__init__()
+        if fourier is not None and fourier.out_features != mlp.in_features:
+            raise ValueError(
+                f"Fourier output width {fourier.out_features} does not match "
+                f"trunk MLP input width {mlp.in_features}"
+            )
+        self.mlp = mlp
+        self.fourier = fourier
+
+    @property
+    def in_features(self) -> int:
+        return self.fourier.in_features if self.fourier else self.mlp.in_features
+
+    @property
+    def out_features(self) -> int:
+        return self.mlp.out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.fourier(x) if self.fourier else x
+        return self.mlp(out)
+
+    def with_derivatives(self, points: np.ndarray) -> DerivativeStreams:
+        return trunk_with_derivatives(points, self.mlp, self.fourier)
+
+
+class MIONet(Module):
+    """Multi-input DeepONet with Hadamard-product feature merge.
+
+    Parameters
+    ----------
+    branches:
+        One MLP per encoded configuration function.  All must share the
+        same output feature width as the trunk.
+    trunk:
+        The coordinate network.
+    """
+
+    def __init__(self, branches: Sequence[MLP], trunk: TrunkNet):
+        super().__init__()
+        if not branches:
+            raise ValueError("MIONet needs at least one branch net")
+        widths = {b.out_features for b in branches} | {trunk.out_features}
+        if len(widths) != 1:
+            raise ValueError(
+                f"branch/trunk feature widths must agree, got {sorted(widths)}"
+            )
+        self.branches = list(branches)
+        self.trunk = trunk
+        self.bias = ad.tensor(np.zeros(()), requires_grad=True)
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.branches)
+
+    @property
+    def feature_width(self) -> int:
+        return self.trunk.out_features
+
+    # ------------------------------------------------------------------
+    def branch_features(self, branch_inputs: Sequence[Tensor]) -> Tensor:
+        """Hadamard product of all branch outputs, shape (n_funcs, q)."""
+        if len(branch_inputs) != len(self.branches):
+            raise ValueError(
+                f"expected {len(self.branches)} branch inputs, got {len(branch_inputs)}"
+            )
+        product = self.branches[0](ad.astensor(branch_inputs[0]))
+        for branch, u in zip(self.branches[1:], branch_inputs[1:]):
+            product = product * branch(ad.astensor(u))
+        return product
+
+    # ------------------------------------------------------------------
+    def forward_cartesian(
+        self, branch_inputs: Sequence[Tensor], points: np.ndarray
+    ) -> Tensor:
+        """Predict T for every (function, point) pair; shape (n_funcs, n_pts)."""
+        features = self.branch_features(branch_inputs)
+        trunk_features = self.trunk(ad.tensor(np.asarray(points, dtype=np.float64)))
+        return features @ trunk_features.T + self.bias
+
+    def forward_cartesian_with_derivatives(
+        self,
+        branch_inputs: Sequence[Tensor],
+        points: np.ndarray,
+    ) -> DerivativeStreams:
+        """Cartesian prediction plus spatial derivative fields.
+
+        Returns streams whose entries have shape (n_funcs, n_points); the
+        bias only offsets the value, not the derivatives.
+        """
+        features = self.branch_features(branch_inputs)
+        trunk_streams = self.trunk.with_derivatives(points)
+        value = features @ trunk_streams.value.T + self.bias
+        gradient = [features @ g.T for g in trunk_streams.gradient]
+        hessian = [features @ h.T for h in trunk_streams.hessian_diag]
+        return DerivativeStreams(value, gradient, hessian)
+
+    # ------------------------------------------------------------------
+    def forward_aligned(
+        self, branch_inputs: Sequence[Tensor], points: np.ndarray
+    ) -> Tensor:
+        """Per-function point sets: ``points`` is (n_funcs, n_pts, dim).
+
+        Returns (n_funcs, n_pts).
+        """
+        features, trunk_features, n_funcs, n_pts = self._aligned_parts(
+            branch_inputs, points
+        )
+        combined = ad.sum_(features * trunk_features, axis=1)
+        return ad.reshape(combined, (n_funcs, n_pts)) + self.bias
+
+    def forward_aligned_with_derivatives(
+        self,
+        branch_inputs: Sequence[Tensor],
+        points: np.ndarray,
+    ) -> DerivativeStreams:
+        """Aligned prediction plus derivatives; entries shaped (n_funcs, n_pts)."""
+        points = np.asarray(points, dtype=np.float64)
+        n_funcs, n_pts, _ = points.shape
+        features = self.branch_features(branch_inputs)
+        features = ad.repeat_rows(features, n_pts)
+        trunk_streams = self.trunk.with_derivatives(points.reshape(n_funcs * n_pts, -1))
+
+        def contract(stream: Tensor) -> Tensor:
+            return ad.reshape(ad.sum_(features * stream, axis=1), (n_funcs, n_pts))
+
+        value = contract(trunk_streams.value) + self.bias
+        gradient = [contract(g) for g in trunk_streams.gradient]
+        hessian = [contract(h) for h in trunk_streams.hessian_diag]
+        return DerivativeStreams(value, gradient, hessian)
+
+    def _aligned_parts(self, branch_inputs, points):
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 3:
+            raise ValueError(
+                f"aligned mode expects points shaped (n_funcs, n_pts, dim), got {points.shape}"
+            )
+        n_funcs, n_pts, _ = points.shape
+        features = self.branch_features(branch_inputs)
+        if features.shape[0] != n_funcs:
+            raise ValueError(
+                f"{features.shape[0]} branch rows vs {n_funcs} point groups"
+            )
+        features = ad.repeat_rows(features, n_pts)
+        trunk_features = self.trunk(ad.tensor(points.reshape(n_funcs * n_pts, -1)))
+        return features, trunk_features, n_funcs, n_pts
+
+
+class DeepONet(MIONet):
+    """Single-input operator network (k = 1), Lu et al. 2021."""
+
+    def __init__(self, branch: MLP, trunk: TrunkNet):
+        super().__init__([branch], trunk)
+
+    def forward(self, branch_input: Tensor, points: np.ndarray) -> Tensor:  # type: ignore[override]
+        return self.forward_cartesian([branch_input], points)

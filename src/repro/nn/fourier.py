@@ -1,0 +1,78 @@
+"""Random Fourier feature mapping (Tancik et al., 2020).
+
+The paper applies this to the first trunk-net layer so the operator can
+capture the high-frequency content of 3-D temperature fields.  Experiment A
+samples the coefficients from ``N(0, (2*pi)^2)``; Experiment B uses a ``pi``
+standard deviation.  The mapping is fixed (non-trainable), matching the
+reference implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..autodiff import Tensor
+from .modules import Module
+
+
+class FourierFeatures(Module):
+    """Map ``x -> [sin(x @ B), cos(x @ B)]`` with fixed Gaussian ``B``.
+
+    Parameters
+    ----------
+    in_features:
+        Input coordinate dimension (3 for volumetric chips).
+    n_frequencies:
+        Number of random frequencies; output width is ``2 * n_frequencies``.
+    std:
+        Standard deviation of the Gaussian the frequencies are drawn from
+        (the paper uses ``2*pi`` for Experiment A and ``pi`` for B).
+    include_input:
+        Also pass the raw coordinates through alongside the sinusoids.
+        A documented deviation from Tancik et al.'s pure mapping: thermal
+        fields are dominated by low-order ramps (the 1-D conduction
+        profile), which pure sinusoid features can only approximate with
+        high-curvature combinations that the PDE residual then penalises.
+        The passthrough restores exact representability of linear modes
+        and is essential at small training budgets (see the Fourier
+        ablation bench).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        n_frequencies: int,
+        std: float = 2.0 * np.pi,
+        rng: Optional[np.random.Generator] = None,
+        include_input: bool = True,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.n_frequencies = n_frequencies
+        self.std = float(std)
+        self.include_input = bool(include_input)
+        # Fixed (non-trainable) frequency matrix: requires_grad stays False.
+        self.frequencies = ad.tensor(rng.normal(0.0, self.std, size=(in_features, n_frequencies)))
+
+    @property
+    def out_features(self) -> int:
+        extra = self.in_features if self.include_input else 0
+        return 2 * self.n_frequencies + extra
+
+    def forward(self, x: Tensor) -> Tensor:
+        angles = x @ self.frequencies
+        parts = [ad.sin(angles), ad.cos(angles)]
+        if self.include_input:
+            parts.append(x)
+        return ad.concat(parts, axis=1)
+
+    def __repr__(self) -> str:
+        return (
+            f"FourierFeatures(in={self.in_features}, "
+            f"n={self.n_frequencies}, std={self.std:.3f}, "
+            f"include_input={self.include_input})"
+        )

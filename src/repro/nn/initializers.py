@@ -1,0 +1,73 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so every model
+build in the reproduction is deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+Initializer = Callable[[np.random.Generator, Tuple[int, ...]], np.ndarray]
+
+
+def glorot_uniform(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    """Glorot/Xavier uniform — the deepxde default used by the paper."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def glorot_normal(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    fan_in, fan_out = _fans(shape)
+    scale = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, scale, size=shape)
+
+
+def he_normal(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    fan_in, _ = _fans(shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def he_uniform(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def normal(rng: np.random.Generator, shape: Tuple[int, ...], std: float = 1.0) -> np.ndarray:
+    return rng.normal(0.0, std, size=shape)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[0] * receptive, shape[1] * receptive
+
+
+_REGISTRY: Dict[str, Initializer] = {
+    "glorot_uniform": glorot_uniform,
+    "glorot_normal": glorot_normal,
+    "he_normal": he_normal,
+    "he_uniform": he_uniform,
+    "zeros": zeros,
+}
+
+
+def get_initializer(name: str) -> Initializer:
+    """Look up an initializer by name (raises ``KeyError`` with choices)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown initializer {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None

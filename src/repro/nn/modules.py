@@ -1,0 +1,195 @@
+"""Module / Dense / MLP building blocks (the deepxde-network substitute)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..autodiff import Tensor
+from .activations import Activation, get_activation
+from .initializers import get_initializer
+
+
+class Module:
+    """Base class with recursive parameter registration.
+
+    Assigning a :class:`Tensor` with ``requires_grad=True`` or another
+    :class:`Module` to an attribute registers it automatically, mirroring
+    the PyTorch convention the paper's deepxde models rely on.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_params", {})
+        object.__setattr__(self, "_buffers", {})
+        object.__setattr__(self, "_children", {})
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Tensor) and value.requires_grad:
+            self._params[name] = value
+        elif isinstance(value, Tensor):
+            # Non-trainable state (e.g. Fourier frequency matrices) must
+            # survive checkpointing even though it never receives gradients.
+            self._buffers[name] = value
+        elif isinstance(value, Module):
+            self._children[name] = value
+        elif isinstance(value, (list, tuple)) and value and all(
+            isinstance(v, Module) for v in value
+        ):
+            for index, child in enumerate(value):
+                self._children[f"{name}.{index}"] = child
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        for name, param in self._params.items():
+            yield f"{prefix}{name}", param
+        for name, child in self._children.items():
+            yield from child.named_parameters(prefix=f"{prefix}{name}.")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        for name, buffer in self._buffers.items():
+            yield f"{prefix}{name}", buffer
+        for name, child in self._children.items():
+            yield from child.named_buffers(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> List[Tensor]:
+        return [param for _, param in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        return sum(param.size for param in self.parameters())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """All persistent state: trainable parameters plus buffers."""
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        state.update(
+            {name: buffer.data.copy() for name, buffer in self.named_buffers()}
+        )
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        own.update(dict(self.named_buffers()))
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state mismatch; missing={sorted(missing)} unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: have {param.shape}, got {value.shape}"
+                )
+            param.data[...] = value
+
+    def forward(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+
+class Dense(Module):
+    """Affine layer ``x @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        weight_init: str = "glorot_uniform",
+        use_bias: bool = True,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        init = get_initializer(weight_init)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = ad.tensor(init(rng, (in_features, out_features)), requires_grad=True)
+        self.use_bias = use_bias
+        if use_bias:
+            self.bias = ad.tensor(np.zeros(out_features), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.use_bias:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Dense({self.in_features}, {self.out_features})"
+
+
+class MLP(Module):
+    """Fully-connected network with a shared hidden activation.
+
+    ``layer_sizes`` lists every width including input and output, e.g. the
+    paper's Experiment-A branch net is ``[441] + [256] * 9 + [128]``.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        activation="swish",
+        output_activation=None,
+        rng: Optional[np.random.Generator] = None,
+        weight_init: str = "glorot_uniform",
+    ):
+        super().__init__()
+        if len(layer_sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.layer_sizes = list(layer_sizes)
+        self.activation: Activation = get_activation(activation)
+        self.output_activation: Optional[Activation] = (
+            get_activation(output_activation) if output_activation else None
+        )
+        self.layers = [
+            Dense(n_in, n_out, rng=rng, weight_init=weight_init)
+            for n_in, n_out in zip(layer_sizes[:-1], layer_sizes[1:])
+        ]
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x
+        for layer in self.layers[:-1]:
+            out = self.activation(layer(out))
+        out = self.layers[-1](out)
+        if self.output_activation is not None:
+            out = self.output_activation(out)
+        return out
+
+    @property
+    def in_features(self) -> int:
+        return self.layer_sizes[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.layer_sizes[-1]
+
+    def __repr__(self) -> str:
+        return f"MLP({self.layer_sizes}, activation={self.activation.name})"
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.steps = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x
+        for step in self.steps:
+            out = step(out)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.steps)

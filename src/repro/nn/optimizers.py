@@ -1,0 +1,236 @@
+"""First-order optimizers (the PyTorch-optim substitute).
+
+The paper trains with Adam at 1e-3, decayed 0.9x every 500 iterations; the
+schedule lives in :mod:`repro.nn.schedules` and is applied by assigning
+``optimizer.lr`` before each step (or by the trainer).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..autodiff import Tensor
+
+GradLike = Union[Tensor, np.ndarray]
+
+
+class Optimizer:
+    """Base class: holds parameters and applies in-place updates."""
+
+    def __init__(self, params: Sequence[Tensor], lr: float):
+        self.params: List[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+        self.step_count = 0
+
+    def _resolve_grads(self, grads: Optional[Sequence[GradLike]]) -> List[np.ndarray]:
+        if grads is None:
+            missing = [i for i, p in enumerate(self.params) if p.grad is None]
+            if missing:
+                raise ValueError(
+                    f"parameters {missing} have no .grad; run backward() or pass grads"
+                )
+            return [p.grad.data for p in self.params]
+        if len(grads) != len(self.params):
+            raise ValueError(
+                f"got {len(grads)} grads for {len(self.params)} parameters"
+            )
+        return [g.data if isinstance(g, Tensor) else np.asarray(g) for g in grads]
+
+    def step(self, grads: Optional[Sequence[GradLike]] = None) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.grad = None
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, params: Sequence[Tensor], lr: float = 1e-3, momentum: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self, grads: Optional[Sequence[GradLike]] = None) -> None:
+        resolved = self._resolve_grads(grads)
+        self.step_count += 1
+        for param, grad, velocity in zip(self.params, resolved, self._velocity):
+            if self.momentum > 0.0:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction and optional weight decay.
+
+    ``weight_decay`` is decoupled (AdamW-style) so that L2 regularisation
+    does not interact with the adaptive scaling.
+    """
+
+    def __init__(
+        self,
+        params: Sequence[Tensor],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self, grads: Optional[Sequence[GradLike]] = None) -> None:
+        resolved = self._resolve_grads(grads)
+        self.step_count += 1
+        t = self.step_count
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for param, grad, m, v in zip(self.params, resolved, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            if self.weight_decay > 0.0:
+                param.data -= self.lr * self.weight_decay * param.data
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_grad_norm(grads: Sequence[GradLike], max_norm: float) -> List[np.ndarray]:
+    """Scale gradients so their global L2 norm is at most ``max_norm``."""
+    arrays = [g.data if isinstance(g, Tensor) else np.asarray(g) for g in grads]
+    total = float(np.sqrt(sum(np.sum(a * a) for a in arrays)))
+    if total <= max_norm or total == 0.0:
+        return arrays
+    scale = max_norm / total
+    return [a * scale for a in arrays]
+
+
+class LBFGS(Optimizer):
+    """Limited-memory BFGS with two-loop recursion and backtracking line
+    search.
+
+    PINN practice commonly refines an Adam-trained model with (L-)BFGS;
+    this implementation targets that fine-tuning role.  Unlike the
+    first-order optimizers it needs a closure that re-evaluates the loss
+    and gradients, because the line search probes multiple points per step.
+    """
+
+    def __init__(
+        self,
+        params: Sequence[Tensor],
+        lr: float = 1.0,
+        history: int = 10,
+        max_line_search: int = 12,
+        curvature_eps: float = 1e-10,
+    ):
+        super().__init__(params, lr)
+        if history < 1:
+            raise ValueError("history size must be >= 1")
+        self.history = int(history)
+        self.max_line_search = int(max_line_search)
+        self.curvature_eps = float(curvature_eps)
+        self._s: List[np.ndarray] = []
+        self._y: List[np.ndarray] = []
+        self._rho: List[float] = []
+        self._last_grad: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def _flatten(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        return np.concatenate([a.reshape(-1) for a in arrays])
+
+    def _assign(self, flat: np.ndarray) -> None:
+        offset = 0
+        for param in self.params:
+            size = param.data.size
+            param.data[...] = flat[offset : offset + size].reshape(param.shape)
+            offset += size
+
+    def _direction(self, grad: np.ndarray) -> np.ndarray:
+        """Two-loop recursion for H^{-1} g."""
+        q = grad.copy()
+        alphas = []
+        for s, y, rho in zip(reversed(self._s), reversed(self._y),
+                             reversed(self._rho)):
+            alpha = rho * np.dot(s, q)
+            alphas.append(alpha)
+            q -= alpha * y
+        if self._s:
+            gamma = np.dot(self._s[-1], self._y[-1]) / max(
+                np.dot(self._y[-1], self._y[-1]), 1e-300
+            )
+            q *= gamma
+        for (s, y, rho), alpha in zip(
+            zip(self._s, self._y, self._rho), reversed(alphas)
+        ):
+            beta = rho * np.dot(y, q)
+            q += (alpha - beta) * s
+        return -q
+
+    # ------------------------------------------------------------------
+    def step_closure(self, closure) -> float:
+        """One quasi-Newton step.
+
+        ``closure()`` must return ``(loss_value: float, grads: list)`` at
+        the *current* parameter values.
+        """
+        loss, grads = closure()
+        grad_flat = self._flatten(self._resolve_grads(grads))
+        x0 = self._flatten([p.data for p in self.params])
+
+        direction = self._direction(grad_flat)
+        derivative = float(np.dot(grad_flat, direction))
+        if derivative >= 0.0:  # not a descent direction: reset memory
+            self._s.clear()
+            self._y.clear()
+            self._rho.clear()
+            direction = -grad_flat
+            derivative = float(np.dot(grad_flat, direction))
+
+        # Backtracking Armijo line search.
+        step = self.lr
+        accepted_loss = loss
+        for _ in range(self.max_line_search):
+            self._assign(x0 + step * direction)
+            trial_loss, trial_grads = closure()
+            if trial_loss <= loss + 1e-4 * step * derivative:
+                accepted_loss = trial_loss
+                new_grad = self._flatten(self._resolve_grads(trial_grads))
+                s_vec = step * direction
+                y_vec = new_grad - grad_flat
+                curvature = float(np.dot(s_vec, y_vec))
+                if curvature > self.curvature_eps:
+                    self._s.append(s_vec)
+                    self._y.append(y_vec)
+                    self._rho.append(1.0 / curvature)
+                    if len(self._s) > self.history:
+                        self._s.pop(0)
+                        self._y.pop(0)
+                        self._rho.pop(0)
+                break
+            step *= 0.5
+        else:
+            self._assign(x0)  # line search failed: keep the old iterate
+            accepted_loss = loss
+        self.step_count += 1
+        return accepted_loss
+
+    def step(self, grads: Optional[Sequence[GradLike]] = None) -> None:
+        raise RuntimeError(
+            "LBFGS needs a closure; call step_closure(closure) instead"
+        )

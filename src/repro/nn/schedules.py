@@ -1,0 +1,86 @@
+"""Learning-rate schedules.
+
+The paper's training recipe: initial LR 1e-3, decayed by 0.9x every 500
+iterations (staircase exponential decay).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Schedule:
+    """Maps an iteration index to a learning rate."""
+
+    def __call__(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(Schedule):
+    def __init__(self, lr: float):
+        self.lr = float(lr)
+
+    def __call__(self, step: int) -> float:
+        return self.lr
+
+
+class ExponentialDecay(Schedule):
+    """``lr = initial * rate ** (step / every)``; staircase floors the exponent.
+
+    ``ExponentialDecay(1e-3, 0.9, 500)`` is the paper's schedule.
+    """
+
+    def __init__(self, initial: float, rate: float, every: int, staircase: bool = True):
+        if every <= 0:
+            raise ValueError("decay interval must be positive")
+        self.initial = float(initial)
+        self.rate = float(rate)
+        self.every = int(every)
+        self.staircase = staircase
+
+    def __call__(self, step: int) -> float:
+        exponent = step / self.every
+        if self.staircase:
+            exponent = np.floor(exponent)
+        return self.initial * self.rate**exponent
+
+
+class StepLR(Schedule):
+    """Piecewise-constant schedule over explicit boundaries."""
+
+    def __init__(self, boundaries, values):
+        if len(values) != len(boundaries) + 1:
+            raise ValueError("need len(values) == len(boundaries) + 1")
+        self.boundaries = list(boundaries)
+        self.values = [float(v) for v in values]
+
+    def __call__(self, step: int) -> float:
+        for boundary, value in zip(self.boundaries, self.values):
+            if step < boundary:
+                return value
+        return self.values[-1]
+
+
+class WarmupCosine(Schedule):
+    """Linear warmup followed by cosine decay to ``floor`` — used by the
+    ablation benches as an alternative to the paper's staircase schedule."""
+
+    def __init__(self, peak: float, warmup: int, total: int, floor: float = 0.0):
+        if total <= warmup:
+            raise ValueError("total steps must exceed warmup")
+        self.peak = float(peak)
+        self.warmup = int(warmup)
+        self.total = int(total)
+        self.floor = float(floor)
+
+    def __call__(self, step: int) -> float:
+        if step < self.warmup:
+            return self.peak * (step + 1) / self.warmup
+        progress = min(1.0, (step - self.warmup) / (self.total - self.warmup))
+        cosine = 0.5 * (1.0 + np.cos(np.pi * progress))
+        return self.floor + (self.peak - self.floor) * cosine
+
+
+def paper_schedule(initial: float = 1e-3, rate: float = 0.9, every: int = 500) -> ExponentialDecay:
+    """The exact schedule from the paper's training settings (Sec. V-A.4)."""
+    return ExponentialDecay(initial, rate, every, staircase=True)

@@ -1,0 +1,42 @@
+"""Checkpoint save/load for modules (npz-based)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from .modules import Module
+
+PathLike = Union[str, Path]
+
+_META_KEY = "__meta_json__"
+
+
+def save_checkpoint(module: Module, path: PathLike, meta: Optional[Dict] = None) -> Path:
+    """Write a module's parameters (and optional JSON metadata) to ``path``.
+
+    Parameter names may contain dots; they are stored verbatim as npz keys.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(module.state_dict())
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_checkpoint(module: Module, path: PathLike) -> Dict:
+    """Restore parameters saved by :func:`save_checkpoint`; returns metadata."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        meta_raw = archive[_META_KEY].tobytes().decode("utf-8") if _META_KEY in archive else "{}"
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+    module.load_state_dict(state)
+    return json.loads(meta_raw)

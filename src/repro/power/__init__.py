@@ -1,0 +1,42 @@
+"""Power-map generation, conversion and interpolation."""
+
+from .grf import GaussianRandomField2D, GaussianRandomField3D
+from .interpolate import (
+    grid_bilinear_function,
+    tile_centers,
+    tiles_piecewise_function,
+    tiles_to_grid,
+)
+from .tiles import (
+    Block,
+    TilePowerMap,
+    blocks_to_tiles,
+    map_complexity,
+    paper_test_suite,
+    random_block_map,
+)
+from .volumetric import (
+    GridVolumetricPower,
+    UniformLayerPower,
+    VolumetricPower,
+    ZeroPower,
+)
+
+__all__ = [
+    "Block",
+    "GaussianRandomField2D",
+    "GaussianRandomField3D",
+    "GridVolumetricPower",
+    "TilePowerMap",
+    "UniformLayerPower",
+    "VolumetricPower",
+    "ZeroPower",
+    "blocks_to_tiles",
+    "grid_bilinear_function",
+    "map_complexity",
+    "paper_test_suite",
+    "random_block_map",
+    "tile_centers",
+    "tiles_piecewise_function",
+    "tiles_to_grid",
+]

@@ -1,0 +1,161 @@
+"""Gaussian-random-field power-map generators.
+
+The paper trains on 2-D power maps "sampled from a two-dimensional standard
+Gaussian random field (GRF) with the length scale parameter equal to 0.3"
+(Sec. V-A.2).  We use the standard RBF covariance
+
+    C(r) = variance * exp(-r^2 / (2 * length_scale^2))
+
+on the unit square, factorised once per grid with a jittered Cholesky.  A
+3-D variant supports the paper's future-work direction (volumetric power
+optimisation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+_TRANSFORMS = ("none", "shift_nonneg", "abs", "softplus")
+
+
+def _rbf_covariance(points: np.ndarray, length_scale: float, variance: float) -> np.ndarray:
+    deltas = points[:, None, :] - points[None, :, :]
+    sq_dist = np.sum(deltas**2, axis=-1)
+    return variance * np.exp(-0.5 * sq_dist / length_scale**2)
+
+
+def _apply_transform(samples: np.ndarray, transform: str) -> np.ndarray:
+    if transform == "none":
+        return samples
+    if transform == "shift_nonneg":
+        flat_min = samples.min(axis=tuple(range(1, samples.ndim)), keepdims=True)
+        return samples - flat_min
+    if transform == "abs":
+        return np.abs(samples)
+    if transform == "softplus":
+        return np.logaddexp(0.0, samples)
+    raise ValueError(f"unknown transform {transform!r}; choices: {_TRANSFORMS}")
+
+
+class GaussianRandomField2D:
+    """Samples smooth random functions on an (n1, n2) unit-square grid.
+
+    Parameters
+    ----------
+    shape:
+        Grid node counts, e.g. ``(21, 21)`` for the paper's top surface.
+    length_scale:
+        RBF length scale in unit-square coordinates; the paper uses 0.3
+        ("controls the smoothness of the sampled functions").
+    variance, mean:
+        Marginal variance / mean of the field (standard GRF: 1.0 / 0.0).
+    transform:
+        Optional post-transform making maps non-negative:
+        ``"none" | "shift_nonneg" | "abs" | "softplus"``.
+    """
+
+    def __init__(
+        self,
+        shape: Tuple[int, int] = (21, 21),
+        length_scale: float = 0.3,
+        variance: float = 1.0,
+        mean: float = 0.0,
+        transform: str = "none",
+        jitter: float = 1e-10,
+    ):
+        if length_scale <= 0:
+            raise ValueError("length_scale must be positive")
+        if transform not in _TRANSFORMS:
+            raise ValueError(f"unknown transform {transform!r}; choices: {_TRANSFORMS}")
+        self.shape = tuple(shape)
+        self.length_scale = float(length_scale)
+        self.variance = float(variance)
+        self.mean = float(mean)
+        self.transform = transform
+        self._factor: Optional[np.ndarray] = None
+        self._jitter = float(jitter)
+
+    # ------------------------------------------------------------------
+    @property
+    def grid_points(self) -> np.ndarray:
+        """Unit-square node coordinates, shape (n1*n2, 2)."""
+        u = np.linspace(0.0, 1.0, self.shape[0])
+        v = np.linspace(0.0, 1.0, self.shape[1])
+        gu, gv = np.meshgrid(u, v, indexing="ij")
+        return np.column_stack([gu.ravel(), gv.ravel()])
+
+    def _cholesky(self) -> np.ndarray:
+        if self._factor is None:
+            cov = _rbf_covariance(self.grid_points, self.length_scale, self.variance)
+            jitter = self._jitter
+            while True:
+                try:
+                    self._factor = np.linalg.cholesky(
+                        cov + jitter * np.eye(cov.shape[0])
+                    )
+                    break
+                except np.linalg.LinAlgError:
+                    jitter *= 10.0
+                    if jitter > 1e-2:
+                        raise
+        return self._factor
+
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator, n_samples: int = 1) -> np.ndarray:
+        """Draw fields, shape ``(n_samples, n1, n2)``."""
+        factor = self._cholesky()
+        white = rng.standard_normal(size=(factor.shape[0], n_samples))
+        fields = (factor @ white).T.reshape((n_samples,) + self.shape)
+        return _apply_transform(self.mean + fields, self.transform)
+
+    def sample_one(self, rng: np.random.Generator) -> np.ndarray:
+        return self.sample(rng, 1)[0]
+
+
+class GaussianRandomField3D:
+    """3-D GRF on an (n1, n2, n3) unit-cube grid (future-work: 3-D power).
+
+    Uses a separable RBF kernel (Kronecker structure) so the factorisation
+    stays cheap: Cov = C1 (x) C2 (x) C3, with per-axis Cholesky factors.
+    """
+
+    def __init__(
+        self,
+        shape: Tuple[int, int, int],
+        length_scale: float = 0.3,
+        variance: float = 1.0,
+        transform: str = "none",
+        jitter: float = 1e-10,
+    ):
+        if length_scale <= 0:
+            raise ValueError("length_scale must be positive")
+        if transform not in _TRANSFORMS:
+            raise ValueError(f"unknown transform {transform!r}; choices: {_TRANSFORMS}")
+        self.shape = tuple(shape)
+        self.length_scale = float(length_scale)
+        self.variance = float(variance)
+        self.transform = transform
+        self._factors = None
+        self._jitter = float(jitter)
+
+    def _axis_factor(self, n: int) -> np.ndarray:
+        coords = np.linspace(0.0, 1.0, n)[:, None]
+        cov = _rbf_covariance(coords, self.length_scale, 1.0)
+        return np.linalg.cholesky(cov + self._jitter * np.eye(n))
+
+    def sample(self, rng: np.random.Generator, n_samples: int = 1) -> np.ndarray:
+        if self._factors is None:
+            self._factors = [self._axis_factor(n) for n in self.shape]
+        l1, l2, l3 = self._factors
+        scale = np.sqrt(self.variance)
+        out = np.empty((n_samples,) + self.shape)
+        for s in range(n_samples):
+            white = rng.standard_normal(size=self.shape)
+            # Apply the Kronecker factor along each axis in turn.
+            field = np.einsum("ia,ajk->ijk", l1, white)
+            field = np.einsum("jb,ibk->ijk", l2, field)
+            field = np.einsum("kc,ijc->ijk", l3, field)
+            out[s] = scale * field
+        return _apply_transform(out, self.transform)

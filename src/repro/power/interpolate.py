@@ -1,0 +1,91 @@
+"""Tile-to-grid power-map interpolation (paper Fig. 4).
+
+Celsius 3D consumes *tile-based* power maps: piecewise-constant values on a
+20 x 20 partition of the top surface.  DeepOHeat consumes *grid-based* maps:
+values at the 21 x 21 mesh nodes.  The paper bridges them by interpolating
+tile values onto grid nodes, which "not only enables DeepOHeat to accept
+almost the same realistic power maps as in Celsius 3D but also smooths out
+these discretely defined power maps" (Sec. V-A.5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+from scipy.interpolate import RegularGridInterpolator
+
+
+def tile_centers(n_tiles: int) -> np.ndarray:
+    """Unit-interval coordinates of tile centres: (i + 0.5) / n."""
+    return (np.arange(n_tiles) + 0.5) / n_tiles
+
+
+def tiles_to_grid(tiles: np.ndarray, grid_shape: Tuple[int, int]) -> np.ndarray:
+    """Bilinearly interpolate an (nt1, nt2) tile map onto grid nodes.
+
+    Grid nodes outside the tile-centre hull (the outermost half-tile ring)
+    are clamped to the nearest edge value, preserving the map's range —
+    important because the paper compares *peak* errors.
+    """
+    tiles = np.asarray(tiles, dtype=np.float64)
+    if tiles.ndim != 2:
+        raise ValueError(f"tile map must be 2-D, got shape {tiles.shape}")
+    nt1, nt2 = tiles.shape
+    interpolator = RegularGridInterpolator(
+        (tile_centers(nt1), tile_centers(nt2)), tiles, method="linear"
+    )
+    g1 = np.linspace(0.0, 1.0, grid_shape[0])
+    g2 = np.linspace(0.0, 1.0, grid_shape[1])
+    gu, gv = np.meshgrid(g1, g2, indexing="ij")
+    query = np.column_stack([gu.ravel(), gv.ravel()])
+    # Clamp into the tile-centre hull -> nearest-edge extension.
+    query[:, 0] = np.clip(query[:, 0], tile_centers(nt1)[0], tile_centers(nt1)[-1])
+    query[:, 1] = np.clip(query[:, 1], tile_centers(nt2)[0], tile_centers(nt2)[-1])
+    return interpolator(query).reshape(grid_shape)
+
+
+def grid_bilinear_function(
+    grid_values: np.ndarray,
+    extent: Tuple[float, float],
+    origin: Tuple[float, float] = (0.0, 0.0),
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Wrap a nodal (n1, n2) map as a bilinear function of SI (x, y).
+
+    The returned callable accepts (n, 2) points in metres and clamps
+    queries to the map extent, matching the FDM assembler's expectations
+    for a :class:`repro.bc.NeumannBC` influx.
+    """
+    grid_values = np.asarray(grid_values, dtype=np.float64)
+    n1, n2 = grid_values.shape
+    x_axis = origin[0] + np.linspace(0.0, extent[0], n1)
+    y_axis = origin[1] + np.linspace(0.0, extent[1], n2)
+    interpolator = RegularGridInterpolator((x_axis, y_axis), grid_values, method="linear")
+
+    def evaluate(points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))[:, :2].copy()
+        points[:, 0] = np.clip(points[:, 0], x_axis[0], x_axis[-1])
+        points[:, 1] = np.clip(points[:, 1], y_axis[0], y_axis[-1])
+        return interpolator(points)
+
+    return evaluate
+
+
+def tiles_piecewise_function(
+    tiles: np.ndarray,
+    extent: Tuple[float, float],
+    origin: Tuple[float, float] = (0.0, 0.0),
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Wrap a tile map as the piecewise-constant function Celsius uses."""
+    tiles = np.asarray(tiles, dtype=np.float64)
+    nt1, nt2 = tiles.shape
+
+    def evaluate(points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        u = (points[:, 0] - origin[0]) / extent[0]
+        v = (points[:, 1] - origin[1]) / extent[1]
+        i = np.clip((u * nt1).astype(int), 0, nt1 - 1)
+        j = np.clip((v * nt2).astype(int), 0, nt2 - 1)
+        return tiles[i, j]
+
+    return evaluate

@@ -1,0 +1,194 @@
+"""Tile-based power maps and the paper's p1...p10 test suite.
+
+Industrial power maps (as consumed by Celsius 3D) are piecewise-constant on
+a coarse tile partition of the top surface; the paper's unseen test maps
+are "composed of heat blocks" of increasing spatial complexity, ending in
+p10 which has "multiple small-sized heat sources and one of them is also
+given a relatively large power" (Sec. V-A.6).  Those maps are proprietary,
+so :func:`paper_test_suite` builds a deterministic synthetic family with
+the same qualitative progression — block count grows, block size shrinks,
+and the final map carries one hot small block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Block:
+    """A rectangular heat block on the tile lattice.
+
+    ``row``/``col`` index the upper-left tile; ``height``/``width`` count
+    tiles; ``value`` is the per-tile power in power-map units.
+    """
+
+    row: int
+    col: int
+    height: int
+    width: int
+    value: float
+
+    def __post_init__(self):
+        if self.height <= 0 or self.width <= 0:
+            raise ValueError("block dimensions must be positive")
+        if self.row < 0 or self.col < 0:
+            raise ValueError("block position must be non-negative")
+
+
+def blocks_to_tiles(
+    blocks: Sequence[Block], shape: Tuple[int, int] = (20, 20)
+) -> np.ndarray:
+    """Paint blocks onto a zero tile map (overlaps accumulate)."""
+    tiles = np.zeros(shape)
+    for block in blocks:
+        if block.row + block.height > shape[0] or block.col + block.width > shape[1]:
+            raise ValueError(f"{block} exceeds tile map of shape {shape}")
+        tiles[
+            block.row : block.row + block.height,
+            block.col : block.col + block.width,
+        ] += block.value
+    return tiles
+
+
+@dataclass(frozen=True)
+class TilePowerMap:
+    """A named tile map plus a scalar complexity score for ordering."""
+
+    name: str
+    tiles: np.ndarray
+    complexity: float
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.tiles.shape
+
+    @property
+    def total_units(self) -> float:
+        return float(np.sum(self.tiles))
+
+
+def map_complexity(tiles: np.ndarray) -> float:
+    """Total-variation complexity proxy: sum of absolute tile-to-tile jumps.
+
+    Monotonically increasing over the p1..p10 suite by construction; used
+    in tests to assert the "increasing complexity" property the paper's
+    Fig. 3 panels are ordered by.
+    """
+    tiles = np.asarray(tiles, dtype=np.float64)
+    dv = np.abs(np.diff(tiles, axis=0)).sum()
+    dh = np.abs(np.diff(tiles, axis=1)).sum()
+    return float(dv + dh)
+
+
+def _suite_blocks() -> List[List[Block]]:
+    """Hand-laid block lists p1..p10 with strictly growing complexity."""
+    return [
+        # p1: one large central block.
+        [Block(6, 6, 8, 8, 1.0)],
+        # p2: two medium blocks, diagonal.
+        [Block(2, 2, 6, 6, 1.0), Block(12, 12, 6, 6, 1.0)],
+        # p3: three blocks forming an L.
+        [Block(2, 2, 5, 5, 1.0), Block(2, 13, 5, 5, 1.0), Block(13, 2, 5, 5, 1.0)],
+        # p4: four corner blocks.
+        [
+            Block(1, 1, 5, 5, 1.0),
+            Block(1, 14, 5, 5, 1.0),
+            Block(14, 1, 5, 5, 1.0),
+            Block(14, 14, 5, 5, 1.0),
+        ],
+        # p5: four corners + hot centre.
+        [
+            Block(1, 1, 4, 4, 1.0),
+            Block(1, 15, 4, 4, 1.0),
+            Block(15, 1, 4, 4, 1.0),
+            Block(15, 15, 4, 4, 1.0),
+            Block(8, 8, 4, 4, 1.5),
+        ],
+        # p6: six blocks, two intensity levels.
+        [
+            Block(1, 1, 4, 4, 1.0),
+            Block(1, 8, 4, 4, 1.5),
+            Block(1, 15, 4, 4, 1.0),
+            Block(15, 1, 4, 4, 1.5),
+            Block(15, 8, 4, 4, 1.0),
+            Block(15, 15, 4, 4, 1.5),
+        ],
+        # p7: seven blocks in a ring.
+        [
+            Block(1, 1, 3, 3, 1.5),
+            Block(1, 8, 3, 3, 1.5),
+            Block(1, 16, 3, 3, 1.5),
+            Block(8, 1, 3, 3, 1.5),
+            Block(8, 16, 3, 3, 1.5),
+            Block(16, 1, 3, 3, 1.5),
+            Block(16, 16, 3, 3, 1.5),
+        ],
+        # p8: 3x3 lattice minus centre, alternating power.
+        [
+            Block(1, 1, 3, 3, 1.0),
+            Block(1, 9, 3, 3, 2.0),
+            Block(1, 16, 3, 3, 1.0),
+            Block(9, 1, 3, 3, 2.0),
+            Block(9, 16, 3, 3, 2.0),
+            Block(16, 1, 3, 3, 1.0),
+            Block(16, 9, 3, 3, 2.0),
+            Block(16, 16, 3, 3, 1.0),
+        ],
+        # p9: full 3x3 lattice of small blocks.
+        [
+            Block(r, c, 2, 2, 1.75 + 0.5 * ((r + c) % 3))
+            for r in (2, 9, 16)
+            for c in (2, 9, 16)
+        ],
+        # p10: many small sources, one given a relatively large power.
+        [
+            Block(1, 1, 2, 2, 1.0),
+            Block(1, 6, 2, 2, 1.5),
+            Block(1, 11, 2, 2, 1.0),
+            Block(1, 16, 2, 2, 1.5),
+            Block(6, 3, 2, 2, 1.5),
+            Block(6, 9, 2, 2, 1.0),
+            Block(6, 15, 2, 2, 1.5),
+            Block(11, 1, 2, 2, 1.0),
+            Block(11, 6, 2, 2, 6.0),  # the hot small source
+            Block(11, 11, 2, 2, 1.0),
+            Block(11, 16, 2, 2, 1.5),
+            Block(16, 3, 2, 2, 1.0),
+            Block(16, 9, 2, 2, 1.5),
+            Block(16, 15, 2, 2, 1.0),
+        ],
+    ]
+
+
+def paper_test_suite(shape: Tuple[int, int] = (20, 20)) -> List[TilePowerMap]:
+    """The deterministic p1..p10 stand-ins for the paper's test maps."""
+    suite = []
+    for index, blocks in enumerate(_suite_blocks(), start=1):
+        tiles = blocks_to_tiles(blocks, shape)
+        suite.append(
+            TilePowerMap(name=f"p{index}", tiles=tiles, complexity=map_complexity(tiles))
+        )
+    return suite
+
+
+def random_block_map(
+    rng: np.random.Generator,
+    shape: Tuple[int, int] = (20, 20),
+    n_blocks: int = 4,
+    value_range: Tuple[float, float] = (0.5, 2.0),
+    size_range: Tuple[int, int] = (2, 6),
+) -> np.ndarray:
+    """Random block-composed map (used for out-of-suite generalisation tests)."""
+    blocks = []
+    for _ in range(n_blocks):
+        height = int(rng.integers(size_range[0], size_range[1] + 1))
+        width = int(rng.integers(size_range[0], size_range[1] + 1))
+        row = int(rng.integers(0, shape[0] - height + 1))
+        col = int(rng.integers(0, shape[1] - width + 1))
+        value = float(rng.uniform(*value_range))
+        blocks.append(Block(row, col, height, width, value))
+    return blocks_to_tiles(blocks, shape)

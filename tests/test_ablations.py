@@ -1,0 +1,50 @@
+"""Smoke tests for the ablation drivers (full runs live in the benches)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    _small_setup,
+    run_activation_ablation,
+    run_fourier_ablation,
+    run_sampling_ablation,
+)
+
+
+class TestSmallSetup:
+    def test_builds_all_activations(self):
+        for activation in ("swish", "tanh", "sine"):
+            model, plan, cfg = _small_setup(activation=activation, iterations=1)
+            assert model.net.trunk.mlp.activation.name in (activation, "sin")
+
+    def test_fourier_toggle(self):
+        with_ff, _, _ = _small_setup(use_fourier=True, iterations=1)
+        without_ff, _, _ = _small_setup(use_fourier=False, iterations=1)
+        assert with_ff.net.trunk.fourier is not None
+        assert without_ff.net.trunk.fourier is None
+
+    def test_deterministic_under_seed(self):
+        a, _, _ = _small_setup(seed=5, iterations=1)
+        b, _, _ = _small_setup(seed=5, iterations=1)
+        for (na, pa), (nb, pb) in zip(
+            a.net.named_parameters(), b.net.named_parameters()
+        ):
+            assert na == nb and np.array_equal(pa.data, pb.data)
+
+
+class TestAblationRuns:
+    def test_activation_ablation_structure(self):
+        runs = run_activation_ablation(iterations=12)
+        assert [r.label for r in runs] == ["swish", "tanh", "sine"]
+        for run in runs:
+            assert np.isfinite(run.final_loss)
+            assert run.eval_mape is not None and run.eval_mape >= 0.0
+            assert run.wall_time > 0.0
+
+    def test_fourier_ablation_structure(self):
+        runs = run_fourier_ablation(iterations=12)
+        assert [r.label for r in runs] == ["fourier", "raw-coords"]
+
+    def test_sampling_ablation_structure(self):
+        runs = run_sampling_ablation(iterations=12)
+        assert {r.label for r in runs} == {"aligned", "shared-points"}

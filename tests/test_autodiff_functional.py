@@ -1,0 +1,206 @@
+"""Tests for grad(), double-backward, and numerical gradient checking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import autodiff as ad
+from repro.autodiff.check import gradcheck, numerical_gradient
+
+
+def _leaf(data):
+    return ad.tensor(np.asarray(data, dtype=float), requires_grad=True)
+
+
+class TestGradFunctional:
+    def test_grad_does_not_touch_dot_grad(self):
+        x = _leaf([2.0])
+        (gx,) = ad.grad((x * x).sum(), [x])
+        assert np.allclose(gx.data, [4.0])
+        assert x.grad is None
+
+    def test_grad_unreachable_input_is_zero(self):
+        x, y = _leaf([1.0]), _leaf([1.0])
+        (gy,) = ad.grad((x * 2.0).sum(), [y])
+        assert np.allclose(gy.data, [0.0])
+
+    def test_grad_multiple_inputs(self):
+        x, y = _leaf([2.0]), _leaf([3.0])
+        gx, gy = ad.grad((x * y + x).sum(), [x, y])
+        assert np.allclose(gx.data, [4.0])
+        assert np.allclose(gy.data, [2.0])
+
+    def test_grad_with_seed(self):
+        x = _leaf([1.0, 1.0])
+        (gx,) = ad.grad(x * 5.0, [x], grad_output=ad.tensor([1.0, 2.0]))
+        assert np.allclose(gx.data, [5.0, 10.0])
+
+    def test_grad_of_non_requires_grad_output(self):
+        x = ad.tensor([1.0])
+        y = _leaf([1.0])
+        (gy,) = ad.grad(x * 2.0, [y])
+        assert np.allclose(gy.data, [0.0])
+
+    def test_value_and_grad(self):
+        x = _leaf([3.0])
+        value, (gx,) = ad.value_and_grad(lambda: (x * x).sum(), [x])
+        assert value.item() == pytest.approx(9.0)
+        assert np.allclose(gx.data, [6.0])
+
+    def test_gradient_vector_flattens(self):
+        grads = [ad.tensor([[1.0, 2.0]]), ad.tensor([3.0])]
+        assert np.allclose(ad.gradient_vector(grads), [1.0, 2.0, 3.0])
+
+
+class TestDoubleBackward:
+    def test_second_derivative_of_cube(self):
+        x = _leaf([2.0])
+        y = x * x * x
+        (first,) = ad.grad(y.sum(), [x], create_graph=True)
+        (second,) = ad.grad(first.sum(), [x])
+        assert np.allclose(first.data, [12.0])
+        assert np.allclose(second.data, [12.0])
+
+    def test_second_derivative_of_sin(self):
+        raw = np.array([0.5, 1.2])
+        x = _leaf(raw)
+        (first,) = ad.grad(ad.sin(x).sum(), [x], create_graph=True)
+        (second,) = ad.grad(first.sum(), [x])
+        assert np.allclose(second.data, -np.sin(raw))
+
+    def test_second_derivative_of_tanh(self):
+        raw = np.array([0.3])
+        x = _leaf(raw)
+        (first,) = ad.grad(ad.tanh(x).sum(), [x], create_graph=True)
+        (second,) = ad.grad(first.sum(), [x])
+        t = np.tanh(raw)
+        assert np.allclose(second.data, -2.0 * t * (1.0 - t**2))
+
+    def test_second_derivative_of_sigmoid(self):
+        raw = np.array([0.7])
+        x = _leaf(raw)
+        (first,) = ad.grad(ad.sigmoid(x).sum(), [x], create_graph=True)
+        (second,) = ad.grad(first.sum(), [x])
+        s = 1.0 / (1.0 + np.exp(-raw))
+        assert np.allclose(second.data, s * (1.0 - s) * (1.0 - 2.0 * s))
+
+    def test_third_derivative(self):
+        x = _leaf([1.5])
+        y = x ** 4
+        (d1,) = ad.grad(y.sum(), [x], create_graph=True)
+        (d2,) = ad.grad(d1.sum(), [x], create_graph=True)
+        (d3,) = ad.grad(d2.sum(), [x])
+        assert np.allclose(d3.data, [24.0 * 1.5])
+
+    def test_laplacian_through_matmul_chain(self):
+        """d2/dx2 of a tiny network-like composition, vs analytic."""
+        w = np.array([[0.7, -0.3]])
+        x = _leaf([[0.4]])
+        hidden = ad.tanh(x @ ad.tensor(w))
+        out = hidden @ ad.tensor([[1.0], [1.0]])
+        (first,) = ad.grad(out.sum(), [x], create_graph=True)
+        (second,) = ad.grad(first.sum(), [x])
+        z = 0.4 * w
+        analytic = np.sum(-2.0 * np.tanh(z) * (1.0 - np.tanh(z) ** 2) * w**2)
+        assert np.allclose(second.data, [[analytic]])
+
+    def test_mixed_partial_symmetry(self):
+        x, y = _leaf([0.3]), _leaf([0.8])
+        f = (ad.sin(x * y)).sum()
+        (fx,) = ad.grad(f, [x], create_graph=True)
+        (fxy,) = ad.grad(fx.sum(), [y], create_graph=True)
+        (fy,) = ad.grad(f, [y], create_graph=True)
+        (fyx,) = ad.grad(fy.sum(), [x])
+        assert np.allclose(fxy.data, fyx.data)
+
+
+class TestGradcheckUtilities:
+    def test_numerical_gradient_simple(self):
+        x = _leaf([2.0, 3.0])
+        num = numerical_gradient(lambda: (x * x).sum(), x)
+        assert np.allclose(num, [4.0, 6.0], atol=1e-5)
+
+    def test_numerical_gradient_restores_data(self):
+        x = _leaf([2.0])
+        numerical_gradient(lambda: (x * x).sum(), x)
+        assert np.allclose(x.data, [2.0])
+
+    def test_gradcheck_passes_for_correct_op(self):
+        x = _leaf(np.array([0.5, 1.5]))
+        assert gradcheck(lambda: ad.exp(x).sum(), [x])
+
+    def test_gradcheck_catches_wrong_gradient(self):
+        # maximum(x, -x) at x=0 has subgradient 1 analytically (ties break
+        # toward the first argument) but central differences give 0.
+        x = _leaf([0.0])
+
+        def kinked_fn():
+            return ad.maximum(x, -x).sum()
+
+        with pytest.raises(AssertionError):
+            gradcheck(kinked_fn, [x], epsilon=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=4),
+    cols=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_gradcheck_mlp_like_composition(rows, cols, seed):
+    """Random small compositions of core ops pass numerical gradcheck."""
+    rng = np.random.default_rng(seed)
+    x = ad.tensor(rng.normal(size=(rows, cols)), requires_grad=True)
+    w = ad.tensor(rng.normal(size=(cols, 3)), requires_grad=True)
+    b = ad.tensor(rng.normal(size=(3,)), requires_grad=True)
+
+    def fn():
+        hidden = ad.tanh(x @ w + b)
+        return (ad.sigmoid(hidden) * ad.sin(hidden)).mean()
+
+    assert gradcheck(fn, [x, w, b], epsilon=1e-6, rtol=1e-3, atol=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_sum_of_grads_linearity(n, seed):
+    """grad(a*f + b*g) == a*grad(f) + b*grad(g)."""
+    rng = np.random.default_rng(seed)
+    x = ad.tensor(rng.normal(size=n), requires_grad=True)
+    a, b = 2.0, -0.7
+    f = ad.exp(x).sum()
+    g = (x ** 2).sum()
+    combined = a * f + b * g
+    (g_combined,) = ad.grad(combined, [x])
+    (gf,) = ad.grad(ad.exp(x).sum(), [x])
+    (gg,) = ad.grad((x ** 2).sum(), [x])
+    assert np.allclose(g_combined.data, a * gf.data + b * gg.data)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_double_backward_matches_numerical_hessian_diag(seed):
+    rng = np.random.default_rng(seed)
+    raw = rng.normal(size=3)
+    x = ad.tensor(raw, requires_grad=True)
+
+    def scalar():
+        return (ad.sin(x) * ad.exp(0.3 * x)).sum()
+
+    (first,) = ad.grad(scalar(), [x], create_graph=True)
+    (second,) = ad.grad(first.sum(), [x])
+
+    eps = 1e-5
+    hess_diag = np.zeros(3)
+    for i in range(3):
+        x.data[i] += eps
+        f_plus = scalar().item()
+        x.data[i] -= 2 * eps
+        f_minus = scalar().item()
+        x.data[i] += eps
+        hess_diag[i] = (f_plus - 2.0 * scalar().item() + f_minus) / eps**2
+    assert np.allclose(second.data, hess_diag, rtol=1e-3, atol=1e-4)

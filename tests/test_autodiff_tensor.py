@@ -1,0 +1,430 @@
+"""Unit tests for the autodiff Tensor class and its primitive ops."""
+
+import numpy as np
+import pytest
+
+from repro import autodiff as ad
+
+
+def _leaf(data):
+    return ad.tensor(np.asarray(data, dtype=float), requires_grad=True)
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = ad.tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.data.dtype == np.float64
+
+    def test_construction_from_tensor_shares_data(self):
+        base = ad.tensor([1.0, 2.0])
+        copy = ad.tensor(base)
+        assert np.array_equal(copy.data, base.data)
+
+    def test_requires_grad_defaults_false(self):
+        assert not ad.tensor([1.0]).requires_grad
+
+    def test_item_scalar(self):
+        assert ad.tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_detach_drops_tape(self):
+        x = _leaf([1.0, 2.0])
+        y = (x * 2.0).detach()
+        assert not y.requires_grad
+        assert y._parents == ()
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(ad.tensor([1.0, 2.0]))
+
+    def test_len(self):
+        assert len(ad.tensor([1.0, 2.0, 3.0])) == 3
+
+    def test_zeros_ones_like(self):
+        x = ad.tensor([[1.0, 2.0]])
+        assert np.array_equal(ad.zeros_like(x).data, np.zeros((1, 2)))
+        assert np.array_equal(ad.ones_like(x).data, np.ones((1, 2)))
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        z = ad.tensor([1.0, 2.0]) + ad.tensor([3.0, 4.0])
+        assert np.allclose(z.data, [4.0, 6.0])
+
+    def test_scalar_radd(self):
+        z = 1.0 + ad.tensor([1.0])
+        assert np.allclose(z.data, [2.0])
+
+    def test_sub_and_rsub(self):
+        x = ad.tensor([5.0])
+        assert np.allclose((x - 2.0).data, [3.0])
+        assert np.allclose((2.0 - x).data, [-3.0])
+
+    def test_mul_div(self):
+        x = ad.tensor([6.0])
+        assert np.allclose((x * 2.0).data, [12.0])
+        assert np.allclose((x / 3.0).data, [2.0])
+        assert np.allclose((3.0 / x).data, [0.5])
+
+    def test_neg_pow(self):
+        x = ad.tensor([2.0])
+        assert np.allclose((-x).data, [-2.0])
+        assert np.allclose((x ** 3).data, [8.0])
+
+    def test_matmul_values(self):
+        a = ad.tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = ad.tensor([[5.0], [6.0]])
+        assert np.allclose((a @ b).data, [[17.0], [39.0]])
+
+    def test_matmul_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ad.matmul(ad.tensor([1.0]), ad.tensor([1.0]))
+
+
+class TestBackwardGradients:
+    def test_add_grad(self):
+        x, y = _leaf([1.0, 2.0]), _leaf([3.0, 4.0])
+        (x + y).sum().backward()
+        assert np.allclose(x.grad.data, [1.0, 1.0])
+        assert np.allclose(y.grad.data, [1.0, 1.0])
+
+    def test_mul_grad(self):
+        x, y = _leaf([2.0]), _leaf([5.0])
+        (x * y).backward()
+        assert np.allclose(x.grad.data, [5.0])
+        assert np.allclose(y.grad.data, [2.0])
+
+    def test_div_grad(self):
+        x, y = _leaf([6.0]), _leaf([3.0])
+        (x / y).backward()
+        assert np.allclose(x.grad.data, [1.0 / 3.0])
+        assert np.allclose(y.grad.data, [-6.0 / 9.0])
+
+    def test_pow_grad(self):
+        x = _leaf([3.0])
+        (x ** 2).backward()
+        assert np.allclose(x.grad.data, [6.0])
+
+    def test_chain_rule(self):
+        x = _leaf([2.0])
+        ((x * x) * x).backward()
+        assert np.allclose(x.grad.data, [12.0])
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = _leaf([1.0])
+        (x * 2.0).backward()
+        (x * 3.0).backward()
+        assert np.allclose(x.grad.data, [5.0])
+
+    def test_diamond_graph_accumulation(self):
+        x = _leaf([3.0])
+        y = x * 2.0
+        z = y + y
+        z.backward()
+        assert np.allclose(x.grad.data, [4.0])
+
+    def test_matmul_grad(self):
+        a = _leaf([[1.0, 2.0], [3.0, 4.0]])
+        b = _leaf([[1.0], [1.0]])
+        (a @ b).sum().backward()
+        assert np.allclose(a.grad.data, np.ones((2, 2)))
+        assert np.allclose(b.grad.data, [[4.0], [6.0]])
+
+    def test_broadcast_add_grad(self):
+        x = _leaf([[1.0, 2.0], [3.0, 4.0]])
+        bias = _leaf([10.0, 20.0])
+        (x + bias).sum().backward()
+        assert np.allclose(bias.grad.data, [2.0, 2.0])
+
+    def test_broadcast_scalar_grad(self):
+        s = _leaf(2.0)
+        x = ad.tensor([[1.0, 2.0], [3.0, 4.0]])
+        (s * x).sum().backward()
+        assert np.allclose(s.grad.data, 10.0)
+
+    def test_backward_with_explicit_seed(self):
+        x = _leaf([1.0, 2.0])
+        y = x * 3.0
+        y.backward(ad.tensor([1.0, 10.0]))
+        assert np.allclose(x.grad.data, [3.0, 30.0])
+
+    def test_backward_seed_shape_mismatch_raises(self):
+        x = _leaf([1.0, 2.0])
+        with pytest.raises(ValueError):
+            (x * 1.0).backward(ad.tensor([1.0, 2.0, 3.0]))
+
+
+class TestTranscendental:
+    @pytest.mark.parametrize(
+        "fn, derivative",
+        [
+            (ad.exp, lambda x: np.exp(x)),
+            (ad.log, lambda x: 1.0 / x),
+            (ad.sin, lambda x: np.cos(x)),
+            (ad.cos, lambda x: -np.sin(x)),
+            (ad.tanh, lambda x: 1.0 - np.tanh(x) ** 2),
+            (ad.sqrt, lambda x: 0.5 / np.sqrt(x)),
+        ],
+    )
+    def test_elementwise_derivatives(self, fn, derivative):
+        raw = np.array([0.3, 0.9, 1.7])
+        x = _leaf(raw)
+        fn(x).sum().backward()
+        assert np.allclose(x.grad.data, derivative(raw))
+
+    def test_sigmoid_values_and_grad(self):
+        raw = np.array([-1.0, 0.0, 2.0])
+        x = _leaf(raw)
+        out = ad.sigmoid(x)
+        expected = 1.0 / (1.0 + np.exp(-raw))
+        assert np.allclose(out.data, expected)
+        out.sum().backward()
+        assert np.allclose(x.grad.data, expected * (1.0 - expected))
+
+    def test_abs_grad_uses_sign(self):
+        x = _leaf([-2.0, 3.0])
+        ad.abs_(x).sum().backward()
+        assert np.allclose(x.grad.data, [-1.0, 1.0])
+
+
+class TestSelectionOps:
+    def test_maximum_values_and_grad(self):
+        x, y = _leaf([1.0, 5.0]), _leaf([3.0, 2.0])
+        z = ad.maximum(x, y)
+        assert np.allclose(z.data, [3.0, 5.0])
+        z.sum().backward()
+        assert np.allclose(x.grad.data, [0.0, 1.0])
+        assert np.allclose(y.grad.data, [1.0, 0.0])
+
+    def test_minimum(self):
+        z = ad.minimum(ad.tensor([1.0, 5.0]), ad.tensor([3.0, 2.0]))
+        assert np.allclose(z.data, [1.0, 2.0])
+
+    def test_relu(self):
+        x = _leaf([-1.0, 2.0])
+        ad.relu(x).sum().backward()
+        assert np.allclose(x.grad.data, [0.0, 1.0])
+
+    def test_where_selects(self):
+        out = ad.where(np.array([True, False]), ad.tensor([1.0, 1.0]), ad.tensor([9.0, 9.0]))
+        assert np.allclose(out.data, [1.0, 9.0])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_grad(self):
+        x = _leaf(np.arange(6.0))
+        x.reshape(2, 3).sum().backward()
+        assert np.allclose(x.grad.data, np.ones(6))
+
+    def test_transpose_grad(self):
+        x = _leaf(np.arange(6.0).reshape(2, 3))
+        (x.T * ad.tensor(np.arange(6.0).reshape(3, 2))).sum().backward()
+        assert np.allclose(x.grad.data, np.arange(6.0).reshape(3, 2).T)
+
+    def test_concat_values_and_grads(self):
+        a, b = _leaf([[1.0], [2.0]]), _leaf([[3.0], [4.0]])
+        out = ad.concat([a, b], axis=0)
+        assert out.shape == (4, 1)
+        (out * ad.tensor([[1.0], [2.0], [3.0], [4.0]])).sum().backward()
+        assert np.allclose(a.grad.data, [[1.0], [2.0]])
+        assert np.allclose(b.grad.data, [[3.0], [4.0]])
+
+    def test_concat_axis1(self):
+        a, b = _leaf([[1.0, 2.0]]), _leaf([[3.0]])
+        out = ad.concat([a, b], axis=1)
+        assert np.allclose(out.data, [[1.0, 2.0, 3.0]])
+
+    def test_broadcast_to_grad_sums(self):
+        x = _leaf([[1.0], [2.0]])
+        ad.broadcast_to(x, (2, 3)).sum().backward()
+        assert np.allclose(x.grad.data, [[3.0], [3.0]])
+
+    def test_repeat_rows_values(self):
+        x = ad.tensor([[1.0, 2.0], [3.0, 4.0]])
+        out = ad.repeat_rows(x, 2)
+        assert np.allclose(out.data, [[1.0, 2.0], [1.0, 2.0], [3.0, 4.0], [3.0, 4.0]])
+
+    def test_repeat_rows_grad(self):
+        x = _leaf([[1.0, 2.0], [3.0, 4.0]])
+        ad.repeat_rows(x, 3).sum().backward()
+        assert np.allclose(x.grad.data, 3.0 * np.ones((2, 2)))
+
+    def test_tile_rows_values_and_grad(self):
+        x = _leaf([[1.0, 2.0], [3.0, 4.0]])
+        out = ad.tile_rows(x, 2)
+        assert np.allclose(out.data, [[1.0, 2.0], [3.0, 4.0], [1.0, 2.0], [3.0, 4.0]])
+        out.sum().backward()
+        assert np.allclose(x.grad.data, 2.0 * np.ones((2, 2)))
+
+    def test_repeat_rows_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ad.repeat_rows(ad.tensor([1.0, 2.0]), 2)
+
+
+class TestIndexing:
+    def test_take_slice(self):
+        x = _leaf(np.arange(10.0))
+        x[2:5].sum().backward()
+        expected = np.zeros(10)
+        expected[2:5] = 1.0
+        assert np.allclose(x.grad.data, expected)
+
+    def test_take_fancy_index_with_duplicates_accumulates(self):
+        x = _leaf([1.0, 2.0, 3.0])
+        x[np.array([0, 0, 2])].sum().backward()
+        assert np.allclose(x.grad.data, [2.0, 0.0, 1.0])
+
+    def test_take_2d_row(self):
+        x = _leaf(np.arange(6.0).reshape(2, 3))
+        row = x[1]
+        assert np.allclose(row.data, [3.0, 4.0, 5.0])
+        row.sum().backward()
+        assert np.allclose(x.grad.data, [[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]])
+
+    def test_boolean_mask(self):
+        x = _leaf([1.0, -2.0, 3.0])
+        mask = np.array([True, False, True])
+        x[mask].sum().backward()
+        assert np.allclose(x.grad.data, [1.0, 0.0, 1.0])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        x = ad.tensor(np.arange(6.0).reshape(2, 3))
+        assert ad.sum_(x, axis=0).shape == (3,)
+        assert ad.sum_(x, axis=1, keepdims=True).shape == (2, 1)
+        assert ad.sum_(x).shape == ()
+
+    def test_sum_axis_grad(self):
+        x = _leaf(np.arange(6.0).reshape(2, 3))
+        weights = ad.tensor([1.0, 2.0, 3.0])
+        (ad.sum_(x, axis=0) * weights).sum().backward()
+        assert np.allclose(x.grad.data, np.tile([1.0, 2.0, 3.0], (2, 1)))
+
+    def test_sum_negative_axis(self):
+        x = ad.tensor(np.ones((2, 3)))
+        assert ad.sum_(x, axis=-1).shape == (2,)
+
+    def test_mean_value_and_grad(self):
+        x = _leaf([1.0, 2.0, 3.0, 4.0])
+        m = x.mean()
+        assert m.item() == pytest.approx(2.5)
+        m.backward()
+        assert np.allclose(x.grad.data, 0.25 * np.ones(4))
+
+    def test_max_reduction_value(self):
+        x = ad.tensor([[1.0, 5.0], [7.0, 2.0]])
+        assert ad.max_(x).item() == pytest.approx(7.0)
+        assert np.allclose(ad.max_(x, axis=0).data, [7.0, 5.0])
+
+    def test_max_grad_flows_to_argmax(self):
+        x = _leaf([1.0, 5.0, 2.0])
+        x.max().backward()
+        assert np.allclose(x.grad.data, [0.0, 1.0, 0.0])
+
+    def test_max_grad_splits_ties(self):
+        x = _leaf([5.0, 5.0])
+        x.max().backward()
+        assert np.allclose(x.grad.data, [0.5, 0.5])
+
+    def test_min_grad(self):
+        x = _leaf([3.0, 1.0, 2.0])
+        x.min().backward()
+        assert np.allclose(x.grad.data, [0.0, 1.0, 0.0])
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_tape(self):
+        x = _leaf([1.0])
+        with ad.no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert y._parents == ()
+
+    def test_no_grad_restores_state(self):
+        assert ad.is_grad_enabled()
+        with ad.no_grad():
+            assert not ad.is_grad_enabled()
+        assert ad.is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with ad.no_grad():
+                raise RuntimeError("boom")
+        assert ad.is_grad_enabled()
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=5),
+    cols=st.integers(min_value=1, max_value=5),
+)
+def test_property_broadcast_gradient_counts_copies(rows, cols):
+    """d/db sum(a + b) equals the number of broadcast copies of b."""
+    a = ad.tensor(np.zeros((rows, cols)))
+    b = ad.tensor(np.zeros(cols), requires_grad=True)
+    (gb,) = ad.grad((a + b).sum(), [b])
+    assert np.allclose(gb.data, rows * np.ones(cols))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=4),
+    m=st.integers(min_value=1, max_value=4),
+    k=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_matmul_grad_matches_numeric(n, m, k, seed):
+    rng = np.random.default_rng(seed)
+    a = ad.tensor(rng.normal(size=(n, m)), requires_grad=True)
+    b = ad.tensor(rng.normal(size=(m, k)), requires_grad=True)
+    weights = ad.tensor(rng.normal(size=(n, k)))
+
+    from repro.autodiff.check import gradcheck
+
+    assert gradcheck(lambda: ((a @ b) * weights).sum(), [a, b], rtol=1e-4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_concat_then_split_roundtrip_gradients(n, seed):
+    rng = np.random.default_rng(seed)
+    a = ad.tensor(rng.normal(size=(n, 2)), requires_grad=True)
+    b = ad.tensor(rng.normal(size=(n, 2)), requires_grad=True)
+    joined = ad.concat([a, b], axis=1)
+    back_a = joined[:, :2]
+    back_b = joined[:, 2:]
+    assert np.allclose(back_a.data, a.data)
+    assert np.allclose(back_b.data, b.data)
+    (ga,) = ad.grad((back_a * 3.0).sum(), [a])
+    assert np.allclose(ga.data, 3.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    reps=st.integers(min_value=1, max_value=5),
+)
+def test_property_repeat_rows_gradient_sums(seed, reps):
+    rng = np.random.default_rng(seed)
+    x = ad.tensor(rng.normal(size=(3, 2)), requires_grad=True)
+    weights = rng.normal(size=(3 * reps, 2))
+    (gx,) = ad.grad((ad.repeat_rows(x, reps) * ad.tensor(weights)).sum(), [x])
+    expected = weights.reshape(3, reps, 2).sum(axis=1)
+    assert np.allclose(gx.data, expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_sum_then_mean_consistency(seed):
+    rng = np.random.default_rng(seed)
+    x = ad.tensor(rng.normal(size=(4, 5)), requires_grad=True)
+    (g_mean,) = ad.grad(x.mean(), [x])
+    (g_sum,) = ad.grad(x.sum() * (1.0 / 20.0), [x])
+    assert np.allclose(g_mean.data, g_sum.data)

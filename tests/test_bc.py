@@ -1,0 +1,68 @@
+"""Tests for boundary-condition objects."""
+
+import numpy as np
+import pytest
+
+from repro.bc import AdiabaticBC, ConvectionBC, DirichletBC, NeumannBC
+
+POINTS = np.array([[0.0, 0.0, 0.0], [1e-3, 0.5e-3, 0.0]])
+
+
+class TestDirichlet:
+    def test_constant_value(self):
+        bc = DirichletBC(300.0)
+        assert np.allclose(bc.temperature(POINTS), [300.0, 300.0])
+
+    def test_callable_value(self):
+        bc = DirichletBC(lambda p: 298.0 + 1000.0 * p[:, 0])
+        assert np.allclose(bc.temperature(POINTS), [298.0, 299.0])
+
+    def test_callable_shape_validated(self):
+        bc = DirichletBC(lambda p: np.zeros((p.shape[0], 2)))
+        with pytest.raises(ValueError, match="shape"):
+            bc.temperature(POINTS)
+
+    def test_repr(self):
+        assert "300" in repr(DirichletBC(300.0))
+        assert "f(y)" in repr(DirichletBC(lambda p: p[:, 0]))
+
+
+class TestNeumann:
+    def test_constant_influx(self):
+        bc = NeumannBC(2500.0)
+        assert np.allclose(bc.flux_into_body(POINTS), [2500.0, 2500.0])
+
+    def test_power_map_callable(self):
+        bc = NeumannBC(lambda p: 1000.0 * (p[:, 0] > 0.5e-3))
+        assert np.allclose(bc.flux_into_body(POINTS), [0.0, 1000.0])
+
+    def test_kind(self):
+        assert NeumannBC(0.0).kind == "neumann"
+
+
+class TestAdiabatic:
+    def test_zero_flux(self):
+        bc = AdiabaticBC()
+        assert np.allclose(bc.flux_into_body(POINTS), 0.0)
+
+    def test_is_neumann_subclass(self):
+        assert isinstance(AdiabaticBC(), NeumannBC)
+        assert AdiabaticBC().kind == "adiabatic"
+
+
+class TestConvection:
+    def test_paper_bottom_surface(self):
+        bc = ConvectionBC(htc=500.0, t_ambient=298.15)
+        assert np.allclose(bc.htc_values(POINTS), 500.0)
+        assert bc.t_ambient == pytest.approx(298.15)
+
+    def test_inhomogeneous_htc(self):
+        bc = ConvectionBC(htc=lambda p: 500.0 + 1e6 * p[:, 0])
+        assert np.allclose(bc.htc_values(POINTS), [500.0, 1500.0])
+
+    def test_negative_htc_rejected(self):
+        with pytest.raises(ValueError):
+            ConvectionBC(htc=-1.0)
+
+    def test_repr_includes_ambient(self):
+        assert "298.15" in repr(ConvectionBC(500.0))

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_info_prints_version(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "experiment a" in out
+
+
+class TestSolve:
+    def test_solve_experiment_a_default(self, capsys):
+        assert main(["solve", "--experiment", "a", "--map", "p1",
+                     "--grid", "7", "7", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "T max" in out and "top-surface temperature" in out
+
+    def test_solve_experiment_b(self, capsys):
+        assert main(["solve", "--experiment", "b", "--htc", "800", "400",
+                     "--grid", "7", "7", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "injected power" in out
+        assert "0.6250 mW" in out
+
+    def test_solve_unknown_map(self, capsys):
+        assert main(["solve", "--map", "p99", "--grid", "5", "5", "4"]) == 2
+        assert "unknown map" in capsys.readouterr().err
+
+    def test_solve_energy_balanced(self, capsys):
+        main(["solve", "--map", "p3", "--grid", "7", "7", "5"])
+        out = capsys.readouterr().out
+        imbalance_line = [l for l in out.splitlines() if "imbalance" in l][0]
+        value = float(imbalance_line.split(":")[1])
+        assert abs(value) < 1e-8
+
+
+class TestTrain:
+    def test_train_writes_checkpoint(self, tmp_path, capsys):
+        out_path = tmp_path / "model.npz"
+        code = main([
+            "train", "--experiment", "a", "--scale", "test",
+            "--iterations", "5", "--output", str(out_path), "--quiet",
+        ])
+        assert code == 0
+        assert out_path.exists()
+        out = capsys.readouterr().out
+        assert "checkpoint written" in out
+
+    def test_train_volumetric_runs(self, tmp_path):
+        out_path = tmp_path / "vol.npz"
+        code = main([
+            "train", "--experiment", "volumetric", "--scale", "test",
+            "--iterations", "3", "--output", str(out_path), "--quiet",
+        ])
+        assert code == 0
+        assert out_path.exists()
+
+
+class TestEvaluateAndSpeedup:
+    def test_evaluate_experiment_a(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_MODEL_CACHE", str(tmp_path))
+        # Re-import common to pick up the env var through a fresh default.
+        import repro.experiments.common as common
+
+        monkeypatch.setattr(common, "DEFAULT_CACHE_DIR", tmp_path)
+        assert main(["evaluate", "--experiment", "a", "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "MAPE (%)" in out and "p10" in out
+
+    def test_speedup_table(self, tmp_path, capsys, monkeypatch):
+        import repro.experiments.common as common
+
+        monkeypatch.setattr(common, "DEFAULT_CACHE_DIR", tmp_path)
+        assert main(["speedup", "--experiment", "a", "--scale", "test",
+                     "--batch", "4", "--refine", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Speedup study" in out and "paper" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,168 @@
+"""Tests for ChipConfig and configuration-input encoders."""
+
+import numpy as np
+import pytest
+
+from repro.bc import AdiabaticBC, ConvectionBC, DirichletBC, NeumannBC
+from repro.core import ChipConfig, HTCInput, PowerMapInput, apply_design
+from repro.fdm import solve_steady
+from repro.geometry import Face, StructuredGrid, paper_chip_a
+from repro.materials import UniformConductivity
+
+T_AMB = 298.15
+
+
+def _base_config():
+    return ChipConfig(
+        chip=paper_chip_a(),
+        conductivity=UniformConductivity(0.1),
+        bcs={Face.BOTTOM: ConvectionBC(500.0, T_AMB)},
+        t_ambient=T_AMB,
+    )
+
+
+class TestChipConfig:
+    def test_defaults_fill_adiabatic(self):
+        config = _base_config()
+        for face in (Face.XMIN, Face.XMAX, Face.YMIN, Face.YMAX, Face.TOP):
+            assert isinstance(config.bc_for(face), AdiabaticBC)
+
+    def test_with_bc_is_non_mutating(self):
+        config = _base_config()
+        updated = config.with_bc(Face.TOP, NeumannBC(2500.0))
+        assert isinstance(config.bc_for(Face.TOP), AdiabaticBC)
+        assert isinstance(updated.bc_for(Face.TOP), NeumannBC)
+
+    def test_heat_problem_roundtrip(self):
+        config = _base_config().with_bc(Face.TOP, NeumannBC(2500.0))
+        problem = config.heat_problem(grid_shape=(5, 5, 5))
+        solution = solve_steady(problem)
+        assert solution.t_max > T_AMB
+
+    def test_heat_problem_needs_grid(self):
+        with pytest.raises(ValueError):
+            _base_config().heat_problem()
+
+    def test_nondimensionalizer_anchored_at_ambient(self):
+        nd = _base_config().nondimensionalizer(dt_ref=5.0)
+        assert nd.t_ref == pytest.approx(T_AMB)
+        assert nd.dt_ref == pytest.approx(5.0)
+
+    def test_is_well_posed(self):
+        assert _base_config().is_well_posed()
+        floating = ChipConfig(chip=paper_chip_a())
+        assert not floating.is_well_posed()
+
+
+class TestPowerMapInput:
+    def _input(self, shape=(21, 21)):
+        return PowerMapInput(chip=paper_chip_a(), map_shape=shape)
+
+    def test_sensor_dim(self):
+        assert self._input().sensor_dim == 441
+        assert self._input((7, 7)).sensor_dim == 49
+
+    def test_sample_shape(self):
+        maps = self._input((9, 9)).sample(np.random.default_rng(0), 5)
+        assert maps.shape == (5, 9, 9)
+
+    def test_encode_flattens(self):
+        encoder = self._input((3, 3))
+        raw = np.arange(9.0).reshape(1, 3, 3)
+        assert np.allclose(encoder.encode(raw), np.arange(9.0)[None, :])
+
+    def test_encode_single_map(self):
+        encoder = self._input((3, 3))
+        assert encoder.encode(np.zeros((3, 3))).shape == (1, 9)
+
+    def test_encode_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            self._input((3, 3)).encode(np.zeros((1, 4, 4)))
+
+    def test_values_at_converts_units_to_flux(self):
+        encoder = self._input((3, 3))
+        uniform = np.ones((1, 3, 3))
+        pts = np.array([[0.5e-3, 0.5e-3, 0.5e-3]])
+        assert np.allclose(encoder.values_at(uniform, pts), 2500.0)
+
+    def test_values_at_interpolates_per_map(self):
+        encoder = self._input((3, 3))
+        maps = np.stack([np.zeros((3, 3)), np.ones((3, 3))])
+        pts = np.array([[0.25e-3, 0.75e-3, 0.5e-3]])
+        out = encoder.values_at(maps, pts)
+        assert out.shape == (2, 1)
+        assert out[0, 0] == pytest.approx(0.0)
+        assert out[1, 0] == pytest.approx(2500.0)
+
+    def test_apply_creates_neumann_bc(self):
+        config = _base_config()
+        applied = self._input((3, 3)).apply(config, np.full((3, 3), 2.0))
+        bc = applied.bc_for(Face.TOP)
+        assert isinstance(bc, NeumannBC)
+        flux = bc.flux_into_body(np.array([[0.5e-3, 0.5e-3, 0.5e-3]]))
+        assert flux[0] == pytest.approx(5000.0)
+
+    def test_apply_rejects_batch(self):
+        with pytest.raises(ValueError):
+            self._input((3, 3)).apply(_base_config(), np.zeros((2, 3, 3)))
+
+    def test_side_face_rejected(self):
+        with pytest.raises(ValueError):
+            PowerMapInput(chip=paper_chip_a(), face=Face.XMIN)
+
+    def test_grf_shape_must_match(self):
+        from repro.power import GaussianRandomField2D
+
+        with pytest.raises(ValueError):
+            PowerMapInput(
+                chip=paper_chip_a(),
+                map_shape=(5, 5),
+                grf=GaussianRandomField2D((7, 7)),
+            )
+
+
+class TestHTCInput:
+    def test_sample_within_range(self):
+        htc = HTCInput(Face.TOP, 333.33, 1000.0)
+        values = htc.sample(np.random.default_rng(0), 100)
+        assert np.all((values >= 333.33) & (values <= 1000.0))
+
+    def test_encode_normalises(self):
+        htc = HTCInput(Face.TOP, 0.0, 1000.0)
+        encoded = htc.encode(np.array([0.0, 500.0, 1000.0]))
+        assert encoded.shape == (3, 1)
+        assert np.allclose(encoded[:, 0], [0.0, 0.5, 1.0])
+
+    def test_values_at_broadcasts(self):
+        htc = HTCInput(Face.BOTTOM)
+        out = htc.values_at(np.array([400.0, 800.0]), np.zeros((5, 3)))
+        assert out.shape == (2, 5)
+        assert np.allclose(out[0], 400.0)
+
+    def test_apply_sets_convection(self):
+        config = _base_config()
+        applied = HTCInput(Face.TOP, t_ambient=T_AMB).apply(config, 750.0)
+        bc = applied.bc_for(Face.TOP)
+        assert isinstance(bc, ConvectionBC)
+        assert bc.htc_values(np.zeros((1, 3)))[0] == pytest.approx(750.0)
+
+    def test_default_name_from_face(self):
+        assert HTCInput(Face.TOP).name == "htc_top"
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            HTCInput(Face.TOP, 100.0, 100.0)
+
+
+class TestApplyDesign:
+    def test_multiple_inputs_applied(self):
+        config = _base_config()
+        inputs = [HTCInput(Face.TOP), HTCInput(Face.BOTTOM)]
+        design = {"htc_top": 600.0, "htc_bottom": 400.0}
+        applied = apply_design(config, inputs, design)
+        assert applied.bc_for(Face.TOP).htc_values(np.zeros((1, 3)))[0] == 600.0
+        assert applied.bc_for(Face.BOTTOM).htc_values(np.zeros((1, 3)))[0] == 400.0
+
+    def test_missing_design_value_raises(self):
+        with pytest.raises(KeyError, match="htc_bottom"):
+            apply_design(_base_config(), [HTCInput(Face.BOTTOM)], {})

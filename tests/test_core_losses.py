@@ -1,0 +1,235 @@
+"""Tests for the physics-informed residuals (paper eqs. 8-11).
+
+The decisive test: hand-built derivative streams of the *exact analytic
+solution* of Experiment A's continuum limit (uniform power map) must zero
+every residual component simultaneously — this pins down all the sign and
+nondimensionalization conventions at once.
+"""
+
+import numpy as np
+import pytest
+
+from repro import autodiff as ad
+from repro.bc import ConvectionBC, DirichletBC, NeumannBC
+from repro.core import ChipConfig, HTCInput, PowerMapInput
+from repro.core.losses import PhysicsLossBuilder
+from repro.core.sampler import CollocationBatch
+from repro.geometry import Face, paper_chip_a
+from repro.materials import UniformConductivity
+from repro.nn.taylor import DerivativeStreams
+
+T_AMB = 298.15
+K = 0.1
+HTC = 500.0
+FLUX = 2500.0  # one power unit
+
+
+def _config():
+    return ChipConfig(
+        chip=paper_chip_a(),
+        conductivity=UniformConductivity(K),
+        bcs={Face.BOTTOM: ConvectionBC(HTC, T_AMB)},
+        t_ambient=T_AMB,
+    )
+
+
+def _power_input():
+    return PowerMapInput(chip=paper_chip_a(), map_shape=(5, 5), unit_flux=FLUX)
+
+
+def _builder(config=None, inputs=None, dt_ref=10.0):
+    config = config if config is not None else _config()
+    inputs = inputs if inputs is not None else [_power_input()]
+    nd = config.nondimensionalizer(dt_ref)
+    return PhysicsLossBuilder(config, inputs, nd), nd
+
+
+def _exact_streams(nd, points_hat, n_funcs=2):
+    """Streams of the exact 1-D solution T = T_amb + P/h + P z / k."""
+    lz = nd.lengths[2]
+    z_hat = points_hat[:, 2]
+    t_hat = (FLUX / HTC + FLUX * lz * z_hat / K) / nd.dt_ref
+    value = np.tile(t_hat, (n_funcs, 1))
+    zeros = np.zeros_like(value)
+    dz = np.full_like(value, FLUX * lz / (K * nd.dt_ref))
+    return DerivativeStreams(
+        value=ad.tensor(value),
+        gradient=[ad.tensor(zeros), ad.tensor(zeros), ad.tensor(dz)],
+        hessian_diag=[ad.tensor(zeros), ad.tensor(zeros), ad.tensor(zeros)],
+    )
+
+
+def _region_points(nd, n=7, face=None, seed=0):
+    rng = np.random.default_rng(seed)
+    hat = rng.uniform(size=(n, 3))
+    if face is not None:
+        hat[:, face.axis] = 1.0 if face.is_max else 0.0
+    return hat, nd.to_si(hat)
+
+
+class TestExactSolutionZerosAllResiduals:
+    """The linchpin convention test."""
+
+    def _batch_and_streams(self, builder, nd):
+        hat, si, streams = {}, {}, {}
+        for region, face in [("interior", None)] + [(f.name, f) for f in Face]:
+            h, s = _region_points(nd, face=face, seed=hash(region) % 1000)
+            hat[region], si[region] = h, s
+            streams[region] = _exact_streams(nd, h)
+        batch = CollocationBatch(hat=hat, si=si, aligned=False)
+        return batch, streams
+
+    def test_all_components_vanish(self):
+        builder, nd = _builder()
+        batch, streams = self._batch_and_streams(builder, nd)
+        raws = [np.ones((2, 5, 5))]  # uniform one-unit power maps
+        total, parts = builder.loss(streams, batch, raws)
+        for name, value in parts.items():
+            assert value < 1e-20, f"residual {name} = {value:.3e} should vanish"
+        assert total.item() < 1e-19
+
+    def test_wrong_flux_breaks_top_residual_only(self):
+        builder, nd = _builder()
+        batch, streams = self._batch_and_streams(builder, nd)
+        raws = [np.full((2, 5, 5), 2.0)]  # maps say 2 units, field says 1
+        _, parts = builder.loss(streams, batch, raws)
+        assert parts["bc:TOP"] > 1e-3
+        assert parts["pde"] < 1e-20
+        assert parts["bc:BOTTOM"] < 1e-20
+
+
+class TestInteriorResidual:
+    def test_laplacian_weights_follow_axis_lengths(self):
+        builder, nd = _builder()
+        hat, si = _region_points(nd, n=4)
+        ones = np.ones((1, 4))
+        streams = DerivativeStreams(
+            value=ad.tensor(np.zeros((1, 4))),
+            gradient=[ad.tensor(np.zeros((1, 4)))] * 3,
+            hessian_diag=[ad.tensor(ones), ad.tensor(ones), ad.tensor(ones)],
+        )
+        residual = builder.interior_residual(streams, si)
+        # L_ref = 1 mm; weights 1, 1, (1/0.5)^2 = 4 -> residual = 6.
+        assert np.allclose(residual.data, 6.0)
+
+    def test_volumetric_source_enters_with_correct_scale(self):
+        from repro.power import UniformLayerPower
+
+        chip = paper_chip_a()
+        config = _config().with_volumetric_power(
+            UniformLayerPower((0.0, 0.5e-3), 1e-3, 1e-6)  # q = 2e6 W/m^3
+        )
+        builder, nd = _builder(config=config)
+        si = np.array([[0.5e-3, 0.5e-3, 0.25e-3]])
+        zeros = np.zeros((1, 1))
+        streams = DerivativeStreams(
+            value=ad.tensor(zeros),
+            gradient=[ad.tensor(zeros)] * 3,
+            hessian_diag=[ad.tensor(zeros)] * 3,
+        )
+        residual = builder.interior_residual(streams, si)
+        expected = 2e6 * (1e-3) ** 2 / (K * 10.0)
+        assert np.allclose(residual.data, expected)
+
+
+class TestFaceResiduals:
+    def test_adiabatic_side_penalises_normal_gradient(self):
+        builder, nd = _builder()
+        hat, si = _region_points(nd, face=Face.XMIN)
+        g = np.full((1, 7), 0.3)
+        zeros = np.zeros((1, 7))
+        streams = DerivativeStreams(
+            value=ad.tensor(zeros),
+            gradient=[ad.tensor(g), ad.tensor(zeros), ad.tensor(zeros)],
+            hessian_diag=[ad.tensor(zeros)] * 3,
+        )
+        residual = builder.face_residual(Face.XMIN, streams, si, [np.ones((1, 5, 5))])
+        # Outward normal is -x: residual = -G_x.
+        assert np.allclose(residual.data, -0.3)
+
+    def test_dirichlet_residual(self):
+        config = _config().with_bc(Face.BOTTOM, DirichletBC(T_AMB + 5.0))
+        builder, nd = _builder(config=config)
+        hat, si = _region_points(nd, face=Face.BOTTOM)
+        value = np.full((1, 7), 0.2)
+        zeros = np.zeros((1, 7))
+        streams = DerivativeStreams(
+            value=ad.tensor(value),
+            gradient=[ad.tensor(zeros)] * 3,
+            hessian_diag=[ad.tensor(zeros)] * 3,
+        )
+        residual = builder.face_residual(Face.BOTTOM, streams, si, [np.ones((1, 5, 5))])
+        assert np.allclose(residual.data, 0.2 - 0.5)  # (T_d - T_ref)/dT_ref = 0.5
+
+    def test_htc_input_residual_uses_per_function_biot(self):
+        config = ChipConfig(
+            chip=paper_chip_a(),
+            conductivity=UniformConductivity(K),
+            bcs={
+                Face.TOP: ConvectionBC(500.0, T_AMB),
+                Face.BOTTOM: ConvectionBC(500.0, T_AMB),
+            },
+            t_ambient=T_AMB,
+        )
+        htc_input = HTCInput(Face.TOP, 100.0, 1000.0, t_ambient=T_AMB)
+        builder, nd = _builder(config=config, inputs=[htc_input])
+        hat, si = _region_points(nd, face=Face.TOP, n=3)
+        value = np.full((2, 3), 1.0)
+        zeros = np.zeros((2, 3))
+        streams = DerivativeStreams(
+            value=ad.tensor(value),
+            gradient=[ad.tensor(zeros), ad.tensor(zeros), ad.tensor(zeros)],
+            hessian_diag=[ad.tensor(zeros)] * 3,
+        )
+        raws = [np.array([200.0, 400.0])]
+        residual = builder.face_residual(Face.TOP, streams, si, raws)
+        lz = nd.lengths[2]
+        assert np.allclose(residual.data[0], 200.0 * lz / K)
+        assert np.allclose(residual.data[1], 400.0 * lz / K)
+
+    def test_two_inputs_on_same_face_rejected(self):
+        config = _config()
+        with pytest.raises(ValueError, match="two inputs"):
+            PhysicsLossBuilder(
+                config,
+                [HTCInput(Face.TOP), HTCInput(Face.TOP, name="dup")],
+                config.nondimensionalizer(),
+            )
+
+
+class TestLossAssembly:
+    def test_weights_scale_components(self):
+        builder_plain, nd = _builder()
+        config = _config()
+        builder_weighted = PhysicsLossBuilder(
+            config, [_power_input()], nd, weights={"pde": 10.0}
+        )
+        hat, si, streams = {}, {}, {}
+        rng = np.random.default_rng(5)
+        for region, face in [("interior", None)] + [(f.name, f) for f in Face]:
+            h, s = _region_points(nd, face=face, seed=abs(hash(region)) % 99)
+            hat[region], si[region] = h, s
+            noise = rng.normal(size=(1, 7))
+            streams[region] = DerivativeStreams(
+                value=ad.tensor(noise),
+                gradient=[ad.tensor(noise)] * 3,
+                hessian_diag=[ad.tensor(noise)] * 3,
+            )
+        batch = CollocationBatch(hat=hat, si=si, aligned=False)
+        raws = [np.ones((1, 5, 5))]
+        _, parts_plain = builder_plain.loss(streams, batch, raws)
+        _, parts_weighted = builder_weighted.loss(streams, batch, raws)
+        assert parts_weighted["pde"] == pytest.approx(10.0 * parts_plain["pde"])
+        assert parts_weighted["bc:TOP"] == pytest.approx(parts_plain["bc:TOP"])
+
+    def test_component_names_cover_all_faces(self):
+        builder, nd = _builder()
+        hat, si, streams = {}, {}, {}
+        for region, face in [("interior", None)] + [(f.name, f) for f in Face]:
+            h, s = _region_points(nd, face=face)
+            hat[region], si[region] = h, s
+            streams[region] = _exact_streams(nd, h, n_funcs=1)
+        batch = CollocationBatch(hat=hat, si=si, aligned=False)
+        _, parts = builder.loss(streams, batch, [np.ones((1, 5, 5))])
+        expected = {"pde"} | {f"bc:{f.name}" for f in Face}
+        assert set(parts) == expected

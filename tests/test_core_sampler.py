@@ -1,0 +1,136 @@
+"""Tests for collocation plans (mesh / random, cartesian / aligned)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampler import (
+    CollocationBatch,
+    MeshCollocation,
+    RandomCollocation,
+    total_points,
+)
+from repro.geometry import Face, Nondimensionalizer, StructuredGrid, paper_chip_a
+
+
+@pytest.fixture()
+def nd():
+    return Nondimensionalizer.for_cuboid(paper_chip_a())
+
+
+class TestMeshCollocation:
+    def test_regions_cover_interior_and_faces(self, nd):
+        grid = StructuredGrid(paper_chip_a(), (5, 5, 4))
+        plan = MeshCollocation(grid, nd)
+        batch = plan.batch(np.random.default_rng(0), 3)
+        assert set(batch.regions) == {"interior"} | {f.name for f in Face}
+        assert not batch.aligned
+
+    def test_interior_is_the_whole_mesh(self, nd):
+        grid = StructuredGrid(paper_chip_a(), (5, 5, 4))
+        plan = MeshCollocation(grid, nd)
+        batch = plan.batch(np.random.default_rng(0), 1)
+        assert batch.hat["interior"].shape == (grid.n_nodes, 3)
+        assert np.allclose(batch.si["interior"], grid.points())
+
+    def test_hat_coordinates_in_unit_cube(self, nd):
+        grid = StructuredGrid(paper_chip_a(), (4, 4, 4))
+        batch = MeshCollocation(grid, nd).batch(np.random.default_rng(0), 1)
+        for region in batch.regions:
+            assert batch.hat[region].min() >= -1e-12
+            assert batch.hat[region].max() <= 1.0 + 1e-12
+
+    def test_face_points_on_their_faces(self, nd):
+        grid = StructuredGrid(paper_chip_a(), (4, 4, 4))
+        batch = MeshCollocation(grid, nd).batch(np.random.default_rng(0), 1)
+        assert np.allclose(batch.hat["TOP"][:, 2], 1.0)
+        assert np.allclose(batch.hat["BOTTOM"][:, 2], 0.0)
+        assert np.allclose(batch.hat["XMIN"][:, 0], 0.0)
+
+    def test_deterministic_across_calls(self, nd):
+        grid = StructuredGrid(paper_chip_a(), (4, 4, 4))
+        plan = MeshCollocation(grid, nd)
+        a = plan.batch(np.random.default_rng(0), 2)
+        b = plan.batch(np.random.default_rng(99), 5)
+        assert np.array_equal(a.hat["interior"], b.hat["interior"])
+
+
+class TestRandomCollocation:
+    def test_aligned_shapes(self, nd):
+        plan = RandomCollocation(paper_chip_a(), nd, n_interior=30,
+                                 n_per_face=7, aligned=True)
+        batch = plan.batch(np.random.default_rng(0), 4)
+        assert batch.aligned
+        assert batch.hat["interior"].shape == (4, 30, 3)
+        assert batch.hat["TOP"].shape == (4, 7, 3)
+
+    def test_cartesian_shapes(self, nd):
+        plan = RandomCollocation(paper_chip_a(), nd, n_interior=30,
+                                 n_per_face=7, aligned=False)
+        batch = plan.batch(np.random.default_rng(0), 4)
+        assert not batch.aligned
+        assert batch.hat["interior"].shape == (30, 3)
+
+    def test_resamples_every_batch(self, nd):
+        plan = RandomCollocation(paper_chip_a(), nd, n_interior=20, n_per_face=5)
+        rng = np.random.default_rng(0)
+        a = plan.batch(rng, 2)
+        b = plan.batch(rng, 2)
+        assert not np.array_equal(a.hat["interior"], b.hat["interior"])
+
+    def test_si_hat_consistency(self, nd):
+        plan = RandomCollocation(paper_chip_a(), nd, n_interior=10, n_per_face=4)
+        batch = plan.batch(np.random.default_rng(1), 2)
+        flat_hat = batch.hat["interior"].reshape(-1, 3)
+        flat_si = batch.si["interior"].reshape(-1, 3)
+        assert np.allclose(nd.to_si(flat_hat), flat_si)
+
+    def test_face_points_pinned(self, nd):
+        plan = RandomCollocation(paper_chip_a(), nd, n_interior=10, n_per_face=6)
+        batch = plan.batch(np.random.default_rng(2), 3)
+        assert np.allclose(batch.hat["BOTTOM"][..., 2], 0.0)
+        assert np.allclose(batch.hat["YMAX"][..., 1], 1.0)
+
+    def test_validation(self, nd):
+        with pytest.raises(ValueError):
+            RandomCollocation(paper_chip_a(), nd, n_interior=0)
+
+    def test_focus_band_concentrates_points(self, nd):
+        plan = RandomCollocation(
+            paper_chip_a(), nd, n_interior=200, n_per_face=5,
+            focus_band=(0.4, 0.6, 0.5),
+        )
+        batch = plan.batch(np.random.default_rng(3), 1)
+        z = batch.hat["interior"][0, :, 2]
+        inside = np.mean((z >= 0.4) & (z <= 0.6))
+        # 50% forced into the band + ~20% of the uniform remainder.
+        assert inside > 0.45
+
+    def test_focus_band_leaves_faces_alone(self, nd):
+        plan = RandomCollocation(
+            paper_chip_a(), nd, n_interior=20, n_per_face=10,
+            focus_band=(0.4, 0.6, 0.5),
+        )
+        batch = plan.batch(np.random.default_rng(4), 1)
+        assert np.allclose(batch.hat["TOP"][..., 2], 1.0)
+
+    def test_focus_band_validation(self, nd):
+        with pytest.raises(ValueError, match="focus band"):
+            RandomCollocation(paper_chip_a(), nd, focus_band=(0.6, 0.4, 0.5))
+        with pytest.raises(ValueError, match="fraction"):
+            RandomCollocation(paper_chip_a(), nd, focus_band=(0.4, 0.6, 1.5))
+
+
+class TestBatchHelpers:
+    def test_counts_and_total_points(self, nd):
+        plan = RandomCollocation(paper_chip_a(), nd, n_interior=25,
+                                 n_per_face=5, aligned=True)
+        batch = plan.batch(np.random.default_rng(0), 3)
+        counts = batch.counts()
+        assert counts["interior"] == 25
+        assert total_points(batch) == 3 * (25 + 6 * 5)
+
+    def test_total_points_cartesian(self, nd):
+        grid = StructuredGrid(paper_chip_a(), (4, 4, 4))
+        batch = MeshCollocation(grid, nd).batch(np.random.default_rng(0), 9)
+        expected = grid.n_nodes + 6 * 16
+        assert total_points(batch) == expected

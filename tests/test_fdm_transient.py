@@ -1,0 +1,99 @@
+"""Tests for the transient extension of the FDM solver."""
+
+import numpy as np
+import pytest
+
+from repro.bc import ConvectionBC, DirichletBC, NeumannBC
+from repro.fdm import HeatProblem, TransientSolver, solve_steady
+from repro.geometry import Face, StructuredGrid, paper_chip_a
+from repro.materials import PAPER_MATERIAL, UniformConductivity
+
+T_AMB = 298.15
+
+
+def _problem(grid_shape=(5, 5, 7)):
+    chip = paper_chip_a()
+    return HeatProblem(
+        grid=StructuredGrid(chip, grid_shape),
+        conductivity=UniformConductivity(0.1),
+        bcs={
+            Face.TOP: NeumannBC(2500.0),
+            Face.BOTTOM: ConvectionBC(500.0, T_AMB),
+        },
+    )
+
+
+def _rho_cp():
+    return PAPER_MATERIAL.density * PAPER_MATERIAL.heat_capacity
+
+
+class TestTransientSolver:
+    def test_converges_to_steady_state(self):
+        problem = _problem()
+        solver = TransientSolver(problem, _rho_cp())
+        tau = solver.time_constant()
+        result = solver.run(T_AMB, dt=tau / 10.0, n_steps=200)
+        steady = solve_steady(problem).temperature
+        assert np.allclose(result.final, steady, atol=0.05)
+
+    def test_monotone_heating_from_ambient(self):
+        solver = TransientSolver(_problem(), _rho_cp())
+        tau = solver.time_constant()
+        result = solver.run(T_AMB, dt=tau / 20.0, n_steps=40)
+        peaks = result.peak_history()
+        assert np.all(np.diff(peaks) >= -1e-9)
+
+    def test_steady_state_is_fixed_point(self):
+        problem = _problem()
+        solver = TransientSolver(problem, _rho_cp())
+        steady = solver.steady_state()
+        result = solver.run(steady, dt=1.0, n_steps=3)
+        assert np.allclose(result.final, steady, atol=1e-8)
+
+    def test_crank_nicolson_matches_backward_euler_limit(self):
+        problem = _problem((4, 4, 5))
+        solver = TransientSolver(problem, _rho_cp())
+        tau = solver.time_constant()
+        be = solver.run(T_AMB, dt=tau / 50, n_steps=100, theta=1.0).final
+        cn = solver.run(T_AMB, dt=tau / 50, n_steps=100, theta=0.5).final
+        assert np.allclose(be, cn, atol=0.05)
+
+    def test_save_every_subsamples(self):
+        solver = TransientSolver(_problem((4, 4, 4)), _rho_cp())
+        result = solver.run(T_AMB, dt=1e-3, n_steps=10, save_every=5)
+        assert len(result.times) == 3  # t=0, t=5dt, t=10dt
+
+    def test_dirichlet_held_during_transient(self):
+        problem = _problem((4, 4, 5))
+        problem.bcs[Face.BOTTOM] = DirichletBC(310.0)
+        solver = TransientSolver(problem, _rho_cp())
+        result = solver.run(T_AMB, dt=1e-2, n_steps=5)
+        bottom = problem.grid.face_indices(Face.BOTTOM)
+        assert np.allclose(result.final[bottom], 310.0, atol=1e-9)
+
+    def test_validation(self):
+        solver = TransientSolver(_problem((4, 4, 4)), _rho_cp())
+        with pytest.raises(ValueError):
+            solver.run(T_AMB, dt=-1.0, n_steps=5)
+        with pytest.raises(ValueError):
+            solver.run(T_AMB, dt=1.0, n_steps=0)
+        with pytest.raises(ValueError):
+            solver.run(T_AMB, dt=1.0, n_steps=2, theta=1.5)
+        with pytest.raises(ValueError):
+            solver.run(np.zeros(3), dt=1.0, n_steps=2)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TransientSolver(_problem((4, 4, 4)), 0.0)
+
+    def test_time_constant_positive(self):
+        solver = TransientSolver(_problem((4, 4, 4)), _rho_cp())
+        assert solver.time_constant() > 0.0
+
+    def test_callable_capacity_field(self):
+        solver = TransientSolver(
+            _problem((4, 4, 4)),
+            lambda points: np.full(np.atleast_2d(points).shape[0], _rho_cp()),
+        )
+        result = solver.run(T_AMB, dt=1e-2, n_steps=2)
+        assert result.final.shape == (64,)

@@ -1,0 +1,306 @@
+"""Tests for cuboids, stacks, grids, samplers and nondimensionalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    MM,
+    Cuboid,
+    CuboidStack,
+    Face,
+    Layer,
+    Nondimensionalizer,
+    PAPER_UNIT_FLUX_W_PER_M2,
+    SIDE_FACES,
+    StructuredGrid,
+    flux_to_power_units,
+    paper_chip_a,
+    paper_chip_b,
+    paper_grid_a,
+    power_units_to_flux,
+    sample_boundary,
+    sample_face,
+    sample_interior,
+    sample_interior_lhs,
+    sample_volume_and_faces,
+    stratified_interior,
+)
+
+
+class TestFace:
+    def test_axes_and_signs(self):
+        assert Face.TOP.axis == 2 and Face.TOP.is_max
+        assert Face.XMIN.axis == 0 and not Face.XMIN.is_max
+
+    def test_normals_are_unit_outward(self):
+        assert np.allclose(Face.TOP.normal, [0, 0, 1])
+        assert np.allclose(Face.BOTTOM.normal, [0, 0, -1])
+        assert np.allclose(Face.YMIN.normal, [0, -1, 0])
+
+    def test_tangent_axes(self):
+        assert Face.TOP.tangent_axes == (0, 1)
+        assert Face.XMAX.tangent_axes == (1, 2)
+
+    def test_opposite(self):
+        assert Face.TOP.opposite is Face.BOTTOM
+        assert Face.XMIN.opposite is Face.XMAX
+
+    def test_side_faces_exclude_top_bottom(self):
+        assert Face.TOP not in SIDE_FACES
+        assert Face.BOTTOM not in SIDE_FACES
+        assert len(SIDE_FACES) == 4
+
+
+class TestCuboid:
+    def test_paper_chips(self):
+        a, b = paper_chip_a(), paper_chip_b()
+        assert np.allclose(a.size, [1e-3, 1e-3, 0.5e-3])
+        assert np.allclose(b.size, [1e-3, 1e-3, 0.55e-3])
+
+    def test_volume_and_areas(self):
+        c = Cuboid((0, 0, 0), (2.0, 3.0, 4.0))
+        assert c.volume == pytest.approx(24.0)
+        assert c.face_area(Face.TOP) == pytest.approx(6.0)
+        assert c.face_area(Face.XMIN) == pytest.approx(12.0)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            Cuboid((0, 0, 0), (1.0, 0.0, 1.0))
+
+    def test_contains(self):
+        c = Cuboid((0, 0, 0), (1, 1, 1))
+        inside = c.contains(np.array([[0.5, 0.5, 0.5], [2.0, 0.5, 0.5]]))
+        assert inside.tolist() == [True, False]
+
+    def test_on_face(self):
+        c = Cuboid((0, 0, 0), (1, 1, 1))
+        points = np.array([[0.5, 0.5, 1.0], [0.5, 0.5, 0.5]])
+        assert c.on_face(points, Face.TOP).tolist() == [True, False]
+
+    def test_face_coordinate(self):
+        c = Cuboid((1.0, 0, 0), (2.0, 1, 1))
+        assert c.face_coordinate(Face.XMIN) == pytest.approx(1.0)
+        assert c.face_coordinate(Face.XMAX) == pytest.approx(3.0)
+
+    def test_from_mm(self):
+        c = Cuboid.from_mm((0, 0, 0), (1, 1, 0.5))
+        assert c.size[2] == pytest.approx(0.5 * MM)
+
+
+class TestCuboidStack:
+    def _two_layer(self):
+        return CuboidStack.from_thicknesses(
+            (0.0, 0.0), (1e-3, 1e-3), [0.3e-3, 0.2e-3], names=["die", "tim"]
+        )
+
+    def test_from_thicknesses_contiguous(self):
+        stack = self._two_layer()
+        assert stack.n_layers == 2
+        assert np.allclose(stack.z_boundaries, [0.0, 0.3e-3, 0.5e-3])
+
+    def test_bounding_cuboid(self):
+        box = self._two_layer().bounding_cuboid
+        assert box.size[2] == pytest.approx(0.5e-3)
+
+    def test_layer_of(self):
+        stack = self._two_layer()
+        z = np.array([0.1e-3, 0.4e-3, 0.5e-3])
+        assert stack.layer_of(z).tolist() == [0, 1, 1]
+
+    def test_layer_by_name(self):
+        stack = self._two_layer()
+        assert stack.layer_by_name("tim").name == "tim"
+        with pytest.raises(KeyError):
+            stack.layer_by_name("missing")
+
+    def test_gap_detected(self):
+        layers = [
+            Layer(Cuboid((0, 0, 0.0), (1, 1, 0.3))),
+            Layer(Cuboid((0, 0, 0.4), (1, 1, 0.3))),
+        ]
+        with pytest.raises(ValueError, match="contiguous"):
+            CuboidStack(layers)
+
+    def test_footprint_mismatch_detected(self):
+        layers = [
+            Layer(Cuboid((0, 0, 0.0), (1, 1, 0.3))),
+            Layer(Cuboid((0, 0, 0.3), (2, 1, 0.3))),
+        ]
+        with pytest.raises(ValueError, match="footprint"):
+            CuboidStack(layers)
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValueError):
+            CuboidStack([])
+
+    def test_layers_sorted_by_z(self):
+        low = Layer(Cuboid((0, 0, 0.0), (1, 1, 0.5)), "low")
+        high = Layer(Cuboid((0, 0, 0.5), (1, 1, 0.5)), "high")
+        stack = CuboidStack([high, low])
+        assert [l.name for l in stack.layers] == ["low", "high"]
+
+
+class TestStructuredGrid:
+    def test_paper_grid_node_count(self):
+        grid = paper_grid_a()
+        assert grid.shape == (21, 21, 11)
+        assert grid.n_nodes == 4851  # quoted in Sec. V-A.1
+
+    def test_spacing(self):
+        grid = paper_grid_a()
+        assert np.allclose(grid.spacing, [0.05e-3, 0.05e-3, 0.05e-3])
+
+    def test_points_flat_order(self):
+        grid = StructuredGrid(Cuboid((0, 0, 0), (1, 1, 1)), (2, 2, 2))
+        pts = grid.points()
+        assert np.allclose(pts[0], [0, 0, 0])
+        assert np.allclose(pts[1], [0, 0, 1])  # z fastest
+        assert np.allclose(pts[-1], [1, 1, 1])
+
+    def test_flat_index_and_unravel_roundtrip(self):
+        grid = StructuredGrid(Cuboid((0, 0, 0), (1, 1, 1)), (4, 5, 6))
+        flat = grid.flat_index(2, 3, 4)
+        ix, iy, iz = grid.unravel(flat)
+        assert (ix, iy, iz) == (2, 3, 4)
+
+    def test_face_masks_partition_boundary(self):
+        grid = StructuredGrid(Cuboid((0, 0, 0), (1, 1, 1)), (5, 5, 5))
+        boundary = grid.boundary_mask()
+        assert boundary.sum() == 5**3 - 3**3
+        assert grid.interior_mask().sum() == 3**3
+
+    def test_face_points_on_face(self):
+        grid = paper_grid_a()
+        top = grid.face_points(Face.TOP)
+        assert top.shape == (21 * 21, 3)
+        assert np.allclose(top[:, 2], 0.5e-3)
+
+    def test_face_shape(self):
+        grid = paper_grid_a()
+        assert grid.face_shape(Face.TOP) == (21, 21)
+        assert grid.face_shape(Face.XMIN) == (21, 11)
+
+    def test_to_array_roundtrip(self):
+        grid = StructuredGrid(Cuboid((0, 0, 0), (1, 1, 1)), (3, 4, 5))
+        field = np.arange(grid.n_nodes, dtype=float)
+        assert np.array_equal(grid.to_flat(grid.to_array(field)), field)
+
+    def test_refine(self):
+        grid = StructuredGrid(Cuboid((0, 0, 0), (1, 1, 1)), (3, 3, 3))
+        fine = grid.refine(2)
+        assert fine.shape == (5, 5, 5)
+        with pytest.raises(ValueError):
+            grid.refine(0)
+
+    def test_rejects_single_node_axis(self):
+        with pytest.raises(ValueError):
+            StructuredGrid(Cuboid((0, 0, 0), (1, 1, 1)), (1, 2, 2))
+
+
+class TestSampling:
+    def test_interior_inside(self):
+        rng = np.random.default_rng(0)
+        c = paper_chip_a()
+        pts = sample_interior(c, 500, rng)
+        assert pts.shape == (500, 3)
+        assert c.contains(pts).all()
+
+    def test_lhs_inside_and_stratified(self):
+        rng = np.random.default_rng(0)
+        c = Cuboid((0, 0, 0), (1, 1, 1))
+        pts = sample_interior_lhs(c, 64, rng)
+        assert c.contains(pts).all()
+        # LHS: each of 64 equal x-slabs contains exactly one point.
+        counts = np.histogram(pts[:, 0], bins=64, range=(0, 1))[0]
+        assert np.all(counts == 1)
+
+    def test_face_sampling_on_plane(self):
+        rng = np.random.default_rng(1)
+        c = paper_chip_a()
+        pts = sample_face(c, Face.TOP, 100, rng)
+        assert np.allclose(pts[:, 2], c.hi[2])
+
+    def test_boundary_covers_all_faces(self):
+        rng = np.random.default_rng(2)
+        out = sample_boundary(Cuboid((0, 0, 0), (1, 1, 1)), 10, rng)
+        assert set(out) == set(Face)
+
+    def test_volume_and_faces_bundle(self):
+        rng = np.random.default_rng(3)
+        out = sample_volume_and_faces(Cuboid((0, 0, 0), (1, 1, 1)), 20, 5, rng)
+        assert out["interior"].shape == (20, 3)
+        assert out["TOP"].shape == (5, 3)
+
+    def test_stratified_deterministic(self):
+        c = Cuboid((0, 0, 0), (1, 1, 1))
+        a = stratified_interior(c, 3)
+        b = stratified_interior(c, 3)
+        assert np.array_equal(a, b)
+        assert a.shape == (27, 3)
+
+    def test_stratified_jitter_needs_rng(self):
+        with pytest.raises(ValueError):
+            stratified_interior(Cuboid((0, 0, 0), (1, 1, 1)), 3, jitter=0.2)
+
+    def test_stratified_jitter_bound(self):
+        with pytest.raises(ValueError):
+            stratified_interior(
+                Cuboid((0, 0, 0), (1, 1, 1)), 3, np.random.default_rng(0), jitter=0.9
+            )
+
+
+class TestUnits:
+    def test_paper_unit_flux(self):
+        # 0.00625 mW over a (0.05 mm)^2 tile = 2500 W/m^2.
+        assert PAPER_UNIT_FLUX_W_PER_M2 == pytest.approx(2500.0)
+
+    def test_power_flux_roundtrip(self):
+        units = np.array([0.0, 1.0, 2.5])
+        assert np.allclose(flux_to_power_units(power_units_to_flux(units)), units)
+
+    def test_nondimensionalizer_roundtrip(self):
+        nd = Nondimensionalizer.for_cuboid(paper_chip_a())
+        pts = np.array([[0.5e-3, 0.25e-3, 0.1e-3]])
+        assert np.allclose(nd.to_si(nd.to_hat(pts)), pts)
+        assert np.allclose(nd.to_hat(pts), [[0.5, 0.25, 0.2]])
+
+    def test_temperature_roundtrip(self):
+        nd = Nondimensionalizer((0, 0, 0), (1, 1, 1), t_ref=298.15, dt_ref=20.0)
+        t = np.array([298.15, 318.15])
+        assert np.allclose(nd.temp_to_hat(t), [0.0, 1.0])
+        assert np.allclose(nd.temp_to_si(nd.temp_to_hat(t)), t)
+
+    def test_laplacian_weights(self):
+        nd = Nondimensionalizer.for_cuboid(paper_chip_a())
+        wx, wy, wz = nd.laplacian_weights()
+        assert wx == pytest.approx(1.0 / (1e-3) ** 2)
+        assert wz == pytest.approx(1.0 / (0.5e-3) ** 2)
+
+    def test_gradient_weight(self):
+        nd = Nondimensionalizer.for_cuboid(paper_chip_a())
+        assert nd.gradient_weight(2) == pytest.approx(1.0 / 0.5e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Nondimensionalizer((0, 0, 0), (1.0, -1.0, 1.0))
+        with pytest.raises(ValueError):
+            Nondimensionalizer((0, 0, 0), (1, 1, 1), dt_ref=0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    lx=st.floats(min_value=1e-4, max_value=1e-2),
+    ly=st.floats(min_value=1e-4, max_value=1e-2),
+    lz=st.floats(min_value=1e-4, max_value=1e-2),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_nondimensionalization_roundtrip(lx, ly, lz, seed):
+    cuboid = Cuboid((0.0, 0.0, 0.0), (lx, ly, lz))
+    nd = Nondimensionalizer.for_cuboid(cuboid)
+    rng = np.random.default_rng(seed)
+    pts = sample_interior(cuboid, 17, rng)
+    hat = nd.to_hat(pts)
+    assert np.all(hat >= -1e-9) and np.all(hat <= 1.0 + 1e-9)
+    assert np.allclose(nd.to_si(hat), pts, rtol=1e-12, atol=1e-15)

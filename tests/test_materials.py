@@ -1,0 +1,82 @@
+"""Tests for the material database and conductivity fields."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Cuboid, CuboidStack
+from repro.materials import (
+    PAPER_MATERIAL,
+    SILICON,
+    LayeredConductivity,
+    UniformConductivity,
+    VoxelConductivity,
+    get_material,
+)
+
+
+class TestDatabase:
+    def test_paper_material_conductivity(self):
+        assert PAPER_MATERIAL.conductivity == pytest.approx(0.1)
+
+    def test_silicon_typical(self):
+        assert 100.0 < SILICON.conductivity < 200.0
+
+    def test_diffusivity_positive(self):
+        assert SILICON.diffusivity > 0.0
+
+    def test_lookup(self):
+        assert get_material("copper").conductivity == pytest.approx(400.0)
+        with pytest.raises(KeyError, match="available"):
+            get_material("unobtainium")
+
+
+class TestUniformConductivity:
+    def test_values(self):
+        field = UniformConductivity(0.1)
+        assert np.allclose(field(np.zeros((5, 3))), 0.1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            UniformConductivity(0.0)
+
+
+class TestLayeredConductivity:
+    def _stack(self):
+        return CuboidStack.from_thicknesses(
+            (0, 0), (1e-3, 1e-3), [0.2e-3, 0.1e-3, 0.2e-3], names=["si", "tim", "si2"]
+        )
+
+    def test_values_per_layer(self):
+        field = LayeredConductivity(self._stack(), [148.0, 3.0, 148.0])
+        pts = np.array([[0, 0, 0.1e-3], [0, 0, 0.25e-3], [0, 0, 0.4e-3]])
+        assert np.allclose(field(pts), [148.0, 3.0, 148.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="layers"):
+            LayeredConductivity(self._stack(), [1.0, 2.0])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            LayeredConductivity(self._stack(), [1.0, -2.0, 1.0])
+
+
+class TestVoxelConductivity:
+    def test_interpolates(self):
+        cuboid = Cuboid((0, 0, 0), (1, 1, 1))
+        values = np.ones((3, 3, 3))
+        values[2, :, :] = 3.0
+        field = VoxelConductivity(values, cuboid)
+        assert field(np.array([[0.0, 0.5, 0.5]]))[0] == pytest.approx(1.0)
+        assert field(np.array([[1.0, 0.5, 0.5]]))[0] == pytest.approx(3.0)
+        assert field(np.array([[0.75, 0.5, 0.5]]))[0] == pytest.approx(2.0)
+
+    def test_clamps_outside(self):
+        field = VoxelConductivity(np.ones((2, 2, 2)), Cuboid((0, 0, 0), (1, 1, 1)))
+        assert field(np.array([[5.0, 5.0, 5.0]]))[0] == pytest.approx(1.0)
+
+    def test_validation(self):
+        cuboid = Cuboid((0, 0, 0), (1, 1, 1))
+        with pytest.raises(ValueError):
+            VoxelConductivity(np.ones((2, 2)), cuboid)
+        with pytest.raises(ValueError):
+            VoxelConductivity(np.zeros((2, 2, 2)), cuboid)

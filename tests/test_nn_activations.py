@@ -1,0 +1,111 @@
+"""Activation values and derivatives, verified against autodiff."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import autodiff as ad
+from repro.nn.activations import (
+    Gelu,
+    Identity,
+    Relu,
+    Sine,
+    Swish,
+    Tanh,
+    get_activation,
+)
+
+SMOOTH_ACTIVATIONS = [Swish(), Tanh(), Sine(), Gelu(), Identity()]
+
+
+class TestValues:
+    def test_swish_value(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        out = Swish().value(ad.tensor(x))
+        assert np.allclose(out.data, x / (1.0 + np.exp(-x)))
+
+    def test_tanh_value(self):
+        x = np.array([0.5])
+        assert np.allclose(Tanh().value(ad.tensor(x)).data, np.tanh(x))
+
+    def test_sine_frequency(self):
+        x = np.array([0.25])
+        assert np.allclose(Sine(2.0).value(ad.tensor(x)).data, np.sin(0.5))
+
+    def test_relu_value(self):
+        out = Relu().value(ad.tensor([-1.0, 3.0]))
+        assert np.allclose(out.data, [0.0, 3.0])
+
+    def test_gelu_at_zero(self):
+        assert Gelu().value(ad.tensor([0.0])).data[0] == pytest.approx(0.0)
+
+    def test_gelu_large_positive_is_identity(self):
+        assert Gelu().value(ad.tensor([10.0])).data[0] == pytest.approx(10.0, rel=1e-6)
+
+    def test_identity(self):
+        x = ad.tensor([1.5])
+        assert Identity().value(x) is x
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(get_activation("swish"), Swish)
+        assert isinstance(get_activation("sin"), Sine)
+
+    def test_instance_passthrough(self):
+        act = Sine(3.0)
+        assert get_activation(act) is act
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(KeyError, match="swish"):
+            get_activation("nope")
+
+
+@pytest.mark.parametrize("activation", SMOOTH_ACTIVATIONS, ids=lambda a: a.name)
+class TestDerivativesAgainstAutodiff:
+    """sigma' and sigma'' must equal what reverse-mode computes from sigma."""
+
+    def test_first_derivative(self, activation):
+        raw = np.linspace(-2.0, 2.0, 9)
+        x = ad.tensor(raw, requires_grad=True)
+        (auto_first,) = ad.grad(activation.value(x).sum(), [x])
+        closed_first = activation.first(ad.tensor(raw))
+        assert np.allclose(closed_first.data, auto_first.data, atol=1e-10)
+
+    def test_second_derivative(self, activation):
+        raw = np.linspace(-2.0, 2.0, 9)
+        x = ad.tensor(raw, requires_grad=True)
+        (first,) = ad.grad(activation.value(x).sum(), [x], create_graph=True)
+        (auto_second,) = ad.grad(first.sum(), [x])
+        closed_second = activation.second(ad.tensor(raw))
+        assert np.allclose(closed_second.data, auto_second.data, atol=1e-9)
+
+
+class TestReluDerivatives:
+    def test_first(self):
+        out = Relu().first(ad.tensor([-1.0, 2.0]))
+        assert np.allclose(out.data, [0.0, 1.0])
+
+    def test_second_is_zero(self):
+        out = Relu().second(ad.tensor([-1.0, 2.0]))
+        assert np.allclose(out.data, [0.0, 0.0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    value=st.floats(min_value=-4.0, max_value=4.0, allow_nan=False),
+    index=st.integers(min_value=0, max_value=len(SMOOTH_ACTIVATIONS) - 1),
+)
+def test_property_derivatives_consistent_with_finite_differences(value, index):
+    activation = SMOOTH_ACTIVATIONS[index]
+    eps = 1e-5
+    f = lambda v: activation.value(ad.tensor([v])).data[0]
+    numeric_first = (f(value + eps) - f(value - eps)) / (2 * eps)
+    numeric_second = (f(value + eps) - 2 * f(value) + f(value - eps)) / eps**2
+    assert activation.first(ad.tensor([value])).data[0] == pytest.approx(
+        numeric_first, rel=1e-3, abs=1e-5
+    )
+    assert activation.second(ad.tensor([value])).data[0] == pytest.approx(
+        numeric_second, rel=1e-2, abs=1e-3
+    )

@@ -1,0 +1,226 @@
+"""Tests for DeepONet / MIONet architectures and batching modes."""
+
+import numpy as np
+import pytest
+
+from repro import autodiff as ad
+from repro import nn
+
+
+def _make_deeponet(seed=0, q=6, sensor_dim=5):
+    rng = np.random.default_rng(seed)
+    branch = nn.MLP([sensor_dim, 16, q], activation="swish", rng=rng)
+    trunk = nn.TrunkNet(nn.MLP([3, 16, q], activation="swish", rng=rng))
+    return nn.DeepONet(branch, trunk)
+
+
+def _make_mionet(seed=0, q=4):
+    rng = np.random.default_rng(seed)
+    branches = [
+        nn.MLP([1, 8, q], activation="swish", rng=rng),
+        nn.MLP([1, 8, q], activation="swish", rng=rng),
+    ]
+    fourier = nn.FourierFeatures(3, 5, std=np.pi, rng=rng)
+    trunk = nn.TrunkNet(
+        nn.MLP([fourier.out_features, 12, q], activation="swish", rng=rng), fourier
+    )
+    return nn.MIONet(branches, trunk)
+
+
+class TestConstruction:
+    def test_width_mismatch_rejected(self):
+        branch = nn.MLP([5, 8, 7])
+        trunk = nn.TrunkNet(nn.MLP([3, 8, 6]))
+        with pytest.raises(ValueError, match="widths"):
+            nn.DeepONet(branch, trunk)
+
+    def test_fourier_width_mismatch_rejected(self):
+        fourier = nn.FourierFeatures(3, 4)  # out 2*4 + 3 passthrough = 11
+        with pytest.raises(ValueError, match="Fourier"):
+            nn.TrunkNet(nn.MLP([10, 8, 4]), fourier)
+
+    def test_empty_branches_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            nn.MIONet([], nn.TrunkNet(nn.MLP([3, 4, 4])))
+
+    def test_bias_is_trainable_parameter(self):
+        model = _make_deeponet()
+        names = dict(model.named_parameters())
+        assert "bias" in names
+
+    def test_n_inputs_and_width(self):
+        model = _make_mionet(q=4)
+        assert model.n_inputs == 2
+        assert model.feature_width == 4
+
+
+class TestCartesianForward:
+    def test_output_shape(self):
+        model = _make_deeponet()
+        u = ad.tensor(np.random.default_rng(1).normal(size=(7, 5)))
+        points = np.random.default_rng(2).uniform(size=(11, 3))
+        out = model.forward_cartesian([u], points)
+        assert out.shape == (7, 11)
+
+    def test_matches_manual_contraction(self):
+        model = _make_deeponet(q=3)
+        u = ad.tensor(np.random.default_rng(3).normal(size=(2, 5)))
+        points = np.random.default_rng(4).uniform(size=(4, 3))
+        out = model.forward_cartesian([u], points)
+        b = model.branches[0](u).data
+        t = model.trunk(ad.tensor(points)).data
+        manual = b @ t.T + model.bias.data
+        assert np.allclose(out.data, manual)
+
+    def test_branch_count_validated(self):
+        model = _make_mionet()
+        with pytest.raises(ValueError, match="branch inputs"):
+            model.forward_cartesian([ad.tensor(np.zeros((1, 1)))], np.zeros((2, 3)))
+
+    def test_mionet_hadamard_merge(self):
+        model = _make_mionet(q=4)
+        u1 = ad.tensor(np.random.default_rng(5).normal(size=(3, 1)))
+        u2 = ad.tensor(np.random.default_rng(6).normal(size=(3, 1)))
+        features = model.branch_features([u1, u2])
+        manual = model.branches[0](u1).data * model.branches[1](u2).data
+        assert np.allclose(features.data, manual)
+
+
+class TestAlignedForward:
+    def test_shape_and_consistency_with_cartesian(self):
+        """Aligned mode with identical point sets must equal cartesian mode."""
+        model = _make_deeponet(seed=8)
+        rng = np.random.default_rng(9)
+        u = ad.tensor(rng.normal(size=(3, 5)))
+        shared = rng.uniform(size=(6, 3))
+        cartesian = model.forward_cartesian([u], shared)
+        aligned_points = np.stack([shared] * 3)
+        aligned = model.forward_aligned([u], aligned_points)
+        assert aligned.shape == (3, 6)
+        assert np.allclose(aligned.data, cartesian.data, atol=1e-12)
+
+    def test_rejects_2d_points(self):
+        model = _make_deeponet()
+        u = ad.tensor(np.zeros((2, 5)))
+        with pytest.raises(ValueError, match="aligned"):
+            model.forward_aligned([u], np.zeros((4, 3)))
+
+    def test_rejects_function_count_mismatch(self):
+        model = _make_deeponet()
+        u = ad.tensor(np.zeros((2, 5)))
+        with pytest.raises(ValueError, match="branch rows"):
+            model.forward_aligned([u], np.zeros((3, 4, 3)))
+
+    def test_distinct_point_sets_differ(self):
+        model = _make_deeponet(seed=10)
+        rng = np.random.default_rng(11)
+        u = ad.tensor(rng.normal(size=(2, 5)))
+        points = rng.uniform(size=(2, 5, 3))
+        out = model.forward_aligned([u], points)
+        # Same function rows, different points: rows should not coincide.
+        assert not np.allclose(out.data[0], out.data[1])
+
+
+class TestDerivativeForwards:
+    def test_cartesian_derivative_shapes(self):
+        model = _make_deeponet()
+        u = ad.tensor(np.random.default_rng(12).normal(size=(4, 5)))
+        points = np.random.default_rng(13).uniform(size=(9, 3))
+        streams = model.forward_cartesian_with_derivatives([u], points)
+        assert streams.value.shape == (4, 9)
+        assert len(streams.gradient) == 3
+        assert all(g.shape == (4, 9) for g in streams.gradient)
+        assert all(h.shape == (4, 9) for h in streams.hessian_diag)
+
+    def test_cartesian_value_matches_plain_forward(self):
+        model = _make_deeponet(seed=14)
+        u = ad.tensor(np.random.default_rng(15).normal(size=(2, 5)))
+        points = np.random.default_rng(16).uniform(size=(5, 3))
+        plain = model.forward_cartesian([u], points)
+        streams = model.forward_cartesian_with_derivatives([u], points)
+        assert np.allclose(plain.data, streams.value.data, atol=1e-12)
+
+    def test_cartesian_gradient_matches_finite_difference(self):
+        model = _make_deeponet(seed=17)
+        rng = np.random.default_rng(18)
+        u = ad.tensor(rng.normal(size=(2, 5)))
+        points = rng.uniform(0.2, 0.8, size=(4, 3))
+        streams = model.forward_cartesian_with_derivatives([u], points)
+        eps = 1e-5
+        for axis in range(3):
+            plus = points.copy()
+            plus[:, axis] += eps
+            minus = points.copy()
+            minus[:, axis] -= eps
+            with ad.no_grad():
+                fd = (
+                    model.forward_cartesian([u], plus).data
+                    - model.forward_cartesian([u], minus).data
+                ) / (2 * eps)
+            assert np.allclose(streams.gradient[axis].data, fd, rtol=1e-4, atol=1e-6)
+
+    def test_cartesian_hessian_matches_finite_difference(self):
+        model = _make_deeponet(seed=19)
+        rng = np.random.default_rng(20)
+        u = ad.tensor(rng.normal(size=(2, 5)))
+        points = rng.uniform(0.2, 0.8, size=(3, 3))
+        streams = model.forward_cartesian_with_derivatives([u], points)
+        eps = 1e-4
+        with ad.no_grad():
+            base = model.forward_cartesian([u], points).data
+            for axis in range(3):
+                plus = points.copy()
+                plus[:, axis] += eps
+                minus = points.copy()
+                minus[:, axis] -= eps
+                fd = (
+                    model.forward_cartesian([u], plus).data
+                    - 2 * base
+                    + model.forward_cartesian([u], minus).data
+                ) / eps**2
+                assert np.allclose(
+                    streams.hessian_diag[axis].data, fd, rtol=1e-3, atol=1e-4
+                )
+
+    def test_aligned_derivatives_match_cartesian_on_shared_points(self):
+        model = _make_mionet(seed=21)
+        rng = np.random.default_rng(22)
+        u1 = ad.tensor(rng.normal(size=(3, 1)))
+        u2 = ad.tensor(rng.normal(size=(3, 1)))
+        shared = rng.uniform(size=(5, 3))
+        cart = model.forward_cartesian_with_derivatives([u1, u2], shared)
+        aligned = model.forward_aligned_with_derivatives(
+            [u1, u2], np.stack([shared] * 3)
+        )
+        assert np.allclose(cart.value.data, aligned.value.data, atol=1e-10)
+        for axis in range(3):
+            assert np.allclose(
+                cart.gradient[axis].data, aligned.gradient[axis].data, atol=1e-10
+            )
+            assert np.allclose(
+                cart.hessian_diag[axis].data, aligned.hessian_diag[axis].data, atol=1e-9
+            )
+
+    def test_parameter_gradients_flow_through_residual(self):
+        model = _make_deeponet(seed=23)
+        u = ad.tensor(np.random.default_rng(24).normal(size=(2, 5)))
+        points = np.random.default_rng(25).uniform(size=(6, 3))
+        streams = model.forward_cartesian_with_derivatives([u], points)
+        loss = (streams.laplacian() ** 2).mean() + (streams.value**2).mean()
+        grads = ad.grad(loss, model.parameters())
+        nonzero = sum(1 for g in grads if np.any(g.data != 0.0))
+        assert nonzero >= len(grads) - 1  # bias may be tiny but not structural
+
+
+class TestCheckpointing:
+    def test_deeponet_save_load_roundtrip(self, tmp_path):
+        model = _make_deeponet(seed=26)
+        clone = _make_deeponet(seed=99)
+        nn.save_checkpoint(model, tmp_path / "don.npz")
+        nn.load_checkpoint(clone, tmp_path / "don.npz")
+        u = ad.tensor(np.random.default_rng(27).normal(size=(2, 5)))
+        points = np.random.default_rng(28).uniform(size=(4, 3))
+        assert np.allclose(
+            model.forward_cartesian([u], points).data,
+            clone.forward_cartesian([u], points).data,
+        )

@@ -1,0 +1,364 @@
+"""Tests for Module/Dense/MLP, initializers, optimizers, schedules, serialization."""
+
+import numpy as np
+import pytest
+
+from repro import autodiff as ad
+from repro import nn
+from repro.nn.initializers import get_initializer, glorot_uniform, he_normal
+
+
+class TestInitializers:
+    def test_glorot_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        w = glorot_uniform(rng, (100, 50))
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_he_normal_scale(self):
+        rng = np.random.default_rng(0)
+        w = he_normal(rng, (2000, 10))
+        assert np.std(w) == pytest.approx(np.sqrt(2.0 / 2000), rel=0.1)
+
+    def test_registry_lookup_and_error(self):
+        assert get_initializer("zeros")(np.random.default_rng(0), (2,)).sum() == 0.0
+        with pytest.raises(KeyError):
+            get_initializer("bogus")
+
+    def test_determinism_under_seed(self):
+        a = glorot_uniform(np.random.default_rng(7), (3, 3))
+        b = glorot_uniform(np.random.default_rng(7), (3, 3))
+        assert np.array_equal(a, b)
+
+
+class TestModuleRegistration:
+    def test_dense_registers_weight_and_bias(self):
+        layer = nn.Dense(3, 4)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_dense_no_bias(self):
+        layer = nn.Dense(3, 4, use_bias=False)
+        assert set(dict(layer.named_parameters())) == {"weight"}
+
+    def test_mlp_collects_nested_parameters(self):
+        mlp = nn.MLP([3, 8, 8, 1])
+        assert len(mlp.parameters()) == 6  # 3 layers x (W, b)
+
+    def test_num_parameters(self):
+        mlp = nn.MLP([2, 4, 1])
+        assert mlp.num_parameters() == 2 * 4 + 4 + 4 * 1 + 1
+
+    def test_zero_grad_clears(self):
+        mlp = nn.MLP([2, 3, 1])
+        out = mlp(ad.tensor(np.ones((5, 2)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in mlp.parameters())
+        mlp.zero_grad()
+        assert all(p.grad is None for p in mlp.parameters())
+
+    def test_state_dict_roundtrip(self):
+        source = nn.MLP([2, 5, 1], rng=np.random.default_rng(1))
+        target = nn.MLP([2, 5, 1], rng=np.random.default_rng(2))
+        target.load_state_dict(source.state_dict())
+        x = ad.tensor(np.random.default_rng(3).normal(size=(4, 2)))
+        assert np.allclose(source(x).data, target(x).data)
+
+    def test_load_state_dict_rejects_mismatch(self):
+        mlp = nn.MLP([2, 5, 1])
+        state = mlp.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            mlp.load_state_dict(state)
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        mlp = nn.MLP([2, 5, 1])
+        state = mlp.state_dict()
+        first = next(iter(state))
+        state[first] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            mlp.load_state_dict(state)
+
+
+class TestMLPForward:
+    def test_shapes(self):
+        mlp = nn.MLP([3, 16, 16, 2])
+        out = mlp(ad.tensor(np.zeros((7, 3))))
+        assert out.shape == (7, 2)
+
+    def test_requires_at_least_two_sizes(self):
+        with pytest.raises(ValueError):
+            nn.MLP([3])
+
+    def test_output_activation_applied(self):
+        mlp = nn.MLP([1, 4, 1], output_activation="tanh")
+        out = mlp(ad.tensor(np.full((1, 1), 100.0)))
+        assert np.all(np.abs(out.data) <= 1.0)
+
+    def test_gradients_flow_to_all_parameters(self):
+        mlp = nn.MLP([2, 4, 1], rng=np.random.default_rng(0))
+        loss = (mlp(ad.tensor(np.random.default_rng(1).normal(size=(6, 2)))) ** 2).mean()
+        grads = ad.grad(loss, mlp.parameters())
+        assert all(np.any(g.data != 0.0) for g in grads)
+
+    def test_sequential_chains(self):
+        seq = nn.Sequential(nn.Dense(2, 3), nn.Dense(3, 1))
+        assert seq(ad.tensor(np.ones((4, 2)))).shape == (4, 1)
+        assert len(seq) == 2
+        assert len(seq.parameters()) == 4
+
+
+class TestOptimizers:
+    def _quadratic_setup(self):
+        target = np.array([1.0, -2.0, 3.0])
+        x = ad.tensor(np.zeros(3), requires_grad=True)
+        return x, target
+
+    def test_sgd_converges_on_quadratic(self):
+        x, target = self._quadratic_setup()
+        opt = nn.SGD([x], lr=0.1)
+        for _ in range(200):
+            loss = ((x - ad.tensor(target)) ** 2).sum()
+            grads = ad.grad(loss, [x])
+            opt.step(grads)
+        assert np.allclose(x.data, target, atol=1e-3)
+
+    def test_sgd_momentum_faster_than_plain(self):
+        def run(momentum):
+            x = ad.tensor(np.zeros(1), requires_grad=True)
+            opt = nn.SGD([x], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                grads = ad.grad(((x - 1.0) ** 2).sum(), [x])
+                opt.step(grads)
+            return abs(x.data[0] - 1.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_adam_converges_on_quadratic(self):
+        x, target = self._quadratic_setup()
+        opt = nn.Adam([x], lr=0.1)
+        for _ in range(300):
+            grads = ad.grad(((x - ad.tensor(target)) ** 2).sum(), [x])
+            opt.step(grads)
+        assert np.allclose(x.data, target, atol=1e-2)
+
+    def test_adam_uses_dot_grad_when_no_grads_passed(self):
+        x = ad.tensor(np.array([5.0]), requires_grad=True)
+        opt = nn.Adam([x], lr=0.5)
+        ((x - 1.0) ** 2).sum().backward()
+        opt.step()
+        assert x.data[0] < 5.0
+
+    def test_step_without_grads_raises(self):
+        x = ad.tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            nn.Adam([x]).step()
+
+    def test_grad_count_mismatch_raises(self):
+        x = ad.tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            nn.Adam([x]).step([np.zeros(1), np.zeros(1)])
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            nn.Adam([])
+
+    def test_weight_decay_shrinks_weights(self):
+        x = ad.tensor(np.array([10.0]), requires_grad=True)
+        opt = nn.Adam([x], lr=0.1, weight_decay=0.1)
+        opt.step([np.zeros(1)])
+        assert abs(x.data[0]) < 10.0
+
+    def test_clip_grad_norm(self):
+        grads = [np.array([3.0]), np.array([4.0])]
+        clipped = nn.clip_grad_norm(grads, 1.0)
+        total = np.sqrt(sum(np.sum(g**2) for g in clipped))
+        assert total == pytest.approx(1.0)
+
+    def test_clip_grad_norm_noop_below_threshold(self):
+        grads = [np.array([0.1])]
+        assert np.allclose(nn.clip_grad_norm(grads, 1.0)[0], [0.1])
+
+
+class TestSchedules:
+    def test_paper_schedule_matches_reported_recipe(self):
+        sched = nn.paper_schedule()
+        assert sched(0) == pytest.approx(1e-3)
+        assert sched(499) == pytest.approx(1e-3)
+        assert sched(500) == pytest.approx(9e-4)
+        assert sched(1000) == pytest.approx(8.1e-4)
+
+    def test_exponential_decay_smooth(self):
+        sched = nn.ExponentialDecay(1.0, 0.5, 10, staircase=False)
+        assert sched(10) == pytest.approx(0.5)
+        assert sched(5) == pytest.approx(0.5**0.5)
+
+    def test_exponential_decay_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            nn.ExponentialDecay(1.0, 0.5, 0)
+
+    def test_constant(self):
+        assert nn.ConstantLR(0.01)(12345) == 0.01
+
+    def test_step_lr(self):
+        sched = nn.StepLR([10, 20], [1.0, 0.1, 0.01])
+        assert sched(0) == 1.0
+        assert sched(15) == 0.1
+        assert sched(25) == 0.01
+
+    def test_step_lr_validates_lengths(self):
+        with pytest.raises(ValueError):
+            nn.StepLR([10], [1.0])
+
+    def test_warmup_cosine_shape(self):
+        sched = nn.WarmupCosine(1.0, warmup=10, total=110)
+        assert sched(0) < sched(9)
+        assert sched(9) == pytest.approx(1.0)
+        assert sched(110) == pytest.approx(0.0, abs=1e-12)
+
+    def test_warmup_cosine_validates(self):
+        with pytest.raises(ValueError):
+            nn.WarmupCosine(1.0, warmup=10, total=5)
+
+
+class TestSerialization:
+    def test_checkpoint_roundtrip(self, tmp_path):
+        source = nn.MLP([2, 6, 1], rng=np.random.default_rng(0))
+        target = nn.MLP([2, 6, 1], rng=np.random.default_rng(99))
+        path = tmp_path / "model.npz"
+        nn.save_checkpoint(source, path, meta={"iterations": 42})
+        meta = nn.load_checkpoint(target, path)
+        assert meta == {"iterations": 42}
+        x = ad.tensor(np.ones((3, 2)))
+        assert np.allclose(source(x).data, target(x).data)
+
+    def test_checkpoint_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "model.npz"
+        nn.save_checkpoint(nn.MLP([1, 2, 1]), path)
+        assert path.exists()
+
+    def test_load_missing_suffix(self, tmp_path):
+        model = nn.MLP([1, 2, 1])
+        np_path = tmp_path / "ckpt"
+        nn.save_checkpoint(model, np_path)
+        nn.load_checkpoint(model, np_path)  # resolves ckpt.npz
+
+
+class TestBuffers:
+    """Non-trainable state (e.g. Fourier frequencies) must persist."""
+
+    def test_fourier_frequencies_registered_as_buffer(self):
+        fourier = nn.FourierFeatures(3, 4, rng=np.random.default_rng(0))
+        buffers = dict(fourier.named_buffers())
+        assert "frequencies" in buffers
+        assert "frequencies" not in dict(fourier.named_parameters())
+
+    def test_state_dict_includes_buffers(self):
+        fourier = nn.FourierFeatures(3, 4, rng=np.random.default_rng(0))
+        assert "frequencies" in fourier.state_dict()
+
+    def test_loading_restores_buffers(self):
+        source = nn.FourierFeatures(3, 4, rng=np.random.default_rng(1))
+        target = nn.FourierFeatures(3, 4, rng=np.random.default_rng(2))
+        assert not np.allclose(source.frequencies.data, target.frequencies.data)
+        target.load_state_dict(source.state_dict())
+        assert np.allclose(source.frequencies.data, target.frequencies.data)
+
+    def test_trunknet_checkpoint_restores_fourier(self, tmp_path):
+        rng = np.random.default_rng(3)
+        fourier = nn.FourierFeatures(3, 4, rng=rng)
+        source = nn.TrunkNet(nn.MLP([fourier.out_features, 6, 2], rng=rng), fourier)
+        rng2 = np.random.default_rng(99)
+        fourier2 = nn.FourierFeatures(3, 4, rng=rng2)
+        target = nn.TrunkNet(nn.MLP([fourier2.out_features, 6, 2], rng=rng2), fourier2)
+        nn.save_checkpoint(source, tmp_path / "trunk.npz")
+        nn.load_checkpoint(target, tmp_path / "trunk.npz")
+        x = __import__("repro.autodiff", fromlist=["tensor"]).tensor(
+            np.random.default_rng(5).uniform(size=(4, 3))
+        )
+        assert np.allclose(source(x).data, target(x).data)
+
+
+class TestLBFGS:
+    def _closure_factory(self, x, target):
+        def closure():
+            loss = ((x - ad.tensor(target)) ** 2).sum()
+            grads = ad.grad(loss, [x])
+            return loss.item(), grads
+
+        return closure
+
+    def test_converges_on_quadratic_fast(self):
+        target = np.array([1.0, -2.0, 3.0])
+        x = ad.tensor(np.zeros(3), requires_grad=True)
+        opt = nn.LBFGS([x], lr=1.0)
+        closure = self._closure_factory(x, target)
+        for _ in range(10):
+            loss = opt.step_closure(closure)
+        assert loss < 1e-8
+        assert np.allclose(x.data, target, atol=1e-4)
+
+    def test_beats_adam_on_rosenbrock_budget(self):
+        def rosenbrock_closure(x):
+            def closure():
+                a = x[0]
+                b = x[1]
+                loss = (1.0 - a) ** 2 + 100.0 * (b - a * a) ** 2
+                grads = ad.grad(loss, [x])
+                return loss.item(), grads
+
+            return closure
+
+        x_lbfgs = ad.tensor(np.array([-1.0, 1.0]), requires_grad=True)
+        opt = nn.LBFGS([x_lbfgs], lr=1.0)
+        closure = rosenbrock_closure(x_lbfgs)
+        for _ in range(60):
+            final_lbfgs = opt.step_closure(closure)
+
+        x_adam = ad.tensor(np.array([-1.0, 1.0]), requires_grad=True)
+        adam = nn.Adam([x_adam], lr=1e-2)
+        for _ in range(60):
+            a, b = x_adam[0], x_adam[1]
+            loss = (1.0 - a) ** 2 + 100.0 * (b - a * a) ** 2
+            adam.step(ad.grad(loss, [x_adam]))
+        assert final_lbfgs < loss.item()
+
+    def test_monotone_loss_under_line_search(self):
+        rng = np.random.default_rng(0)
+        mlp = nn.MLP([2, 8, 1], rng=rng)
+        data = rng.normal(size=(16, 2))
+        target = np.sin(data[:, :1])
+
+        def closure():
+            loss = ((mlp(ad.tensor(data)) - ad.tensor(target)) ** 2).mean()
+            grads = ad.grad(loss, mlp.parameters())
+            return loss.item(), grads
+
+        opt = nn.LBFGS(mlp.parameters(), lr=1.0)
+        losses = [opt.step_closure(closure) for _ in range(15)]
+        assert all(b <= a + 1e-12 for a, b in zip(losses, losses[1:]))
+
+    def test_refines_adam_result(self):
+        """The PINN fine-tuning pattern: Adam then L-BFGS improves further."""
+        target = np.array([0.3, -0.7])
+        x = ad.tensor(np.zeros(2), requires_grad=True)
+        adam = nn.Adam([x], lr=0.05)
+        for _ in range(30):
+            adam.step(ad.grad(((x - ad.tensor(target)) ** 2).sum(), [x]))
+        adam_loss = float(np.sum((x.data - target) ** 2))
+
+        opt = nn.LBFGS([x], lr=1.0)
+        closure = self._closure_factory(x, target)
+        for _ in range(5):
+            lbfgs_loss = opt.step_closure(closure)
+        assert lbfgs_loss < adam_loss
+
+    def test_plain_step_rejected(self):
+        x = ad.tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(RuntimeError, match="closure"):
+            nn.LBFGS([x]).step([np.zeros(1)])
+
+    def test_history_validation(self):
+        x = ad.tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            nn.LBFGS([x], history=0)

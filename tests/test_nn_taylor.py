@@ -1,0 +1,208 @@
+"""Verification of the second-order forward propagation (repro.nn.taylor).
+
+These tests are the linchpin of the reproduction: the physics-informed loss
+is only correct if the propagated gradient and diagonal-Hessian streams
+exactly match what generic autodiff (double backward) and finite differences
+produce.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import autodiff as ad
+from repro import nn
+from repro.nn.taylor import (
+    input_streams,
+    propagate_activation,
+    propagate_dense,
+    propagate_fourier,
+    trunk_with_derivatives,
+)
+
+
+def _scalar_net(activation="swish", seed=0, width=8, depth=3, in_dim=3):
+    rng = np.random.default_rng(seed)
+    sizes = [in_dim] + [width] * depth + [1]
+    return nn.MLP(sizes, activation=activation, rng=rng)
+
+
+def _autodiff_reference(mlp, points, fourier=None):
+    """Value, gradient and Hessian diagonal via nested reverse-mode."""
+    x = ad.tensor(points, requires_grad=True)
+    out = fourier(x) if fourier else x
+    value = mlp(out)
+    grads = []
+    hess = []
+    (first,) = ad.grad(value.sum(), [x], create_graph=True)
+    for i in range(points.shape[1]):
+        grads.append(first.data[:, i].copy())
+        (second,) = ad.grad(first[:, i].sum(), [x], create_graph=True)
+        hess.append(second.data[:, i].copy())
+    return value.data, grads, hess
+
+
+class TestInputStreams:
+    def test_seed_shapes(self):
+        streams = input_streams(np.zeros((5, 3)))
+        assert streams.value.shape == (5, 3)
+        assert len(streams.gradient) == 3
+        assert all(g.shape == (5, 3) for g in streams.gradient)
+
+    def test_seed_identity_jacobian(self):
+        streams = input_streams(np.zeros((2, 3)))
+        for i in range(3):
+            expected = np.zeros((2, 3))
+            expected[:, i] = 1.0
+            assert np.array_equal(streams.gradient[i].data, expected)
+            assert np.array_equal(streams.hessian_diag[i].data, np.zeros((2, 3)))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            input_streams(np.zeros(3))
+
+
+class TestLayerRules:
+    def test_dense_is_linear_in_streams(self):
+        rng = np.random.default_rng(0)
+        layer = nn.Dense(3, 4, rng=rng)
+        streams = input_streams(rng.normal(size=(6, 3)))
+        out = propagate_dense(streams, layer)
+        assert out.value.shape == (6, 4)
+        # Gradient of affine map w.r.t. x_i is the i-th weight row.
+        assert np.allclose(out.gradient[1].data, np.tile(layer.weight.data[1], (6, 1)))
+        assert np.allclose(out.hessian_diag[0].data, 0.0)
+
+    @pytest.mark.parametrize("name", ["swish", "tanh", "sine", "gelu"])
+    def test_activation_rule_matches_chain_rule(self, name):
+        activation = nn.get_activation(name)
+        rng = np.random.default_rng(1)
+        layer = nn.Dense(2, 3, rng=rng)
+        streams = propagate_dense(input_streams(rng.normal(size=(4, 2))), layer)
+        out = propagate_activation(streams, activation)
+        z = streams.value.data
+        g = streams.gradient[0].data
+        d1 = activation.first(ad.tensor(z)).data
+        d2 = activation.second(ad.tensor(z)).data
+        assert np.allclose(out.gradient[0].data, d1 * g)
+        assert np.allclose(out.hessian_diag[0].data, d2 * g * g)
+
+
+class TestAgainstDoubleBackward:
+    @pytest.mark.parametrize("activation", ["swish", "tanh", "sine"])
+    def test_mlp_streams_match_nested_autodiff(self, activation):
+        mlp = _scalar_net(activation=activation, seed=3)
+        points = np.random.default_rng(4).uniform(size=(7, 3))
+        streams = trunk_with_derivatives(points, mlp)
+        ref_value, ref_grads, ref_hess = _autodiff_reference(mlp, points)
+        assert np.allclose(streams.value.data, ref_value, atol=1e-10)
+        for i in range(3):
+            assert np.allclose(streams.gradient[i].data[:, 0], ref_grads[i], atol=1e-9)
+            assert np.allclose(streams.hessian_diag[i].data[:, 0], ref_hess[i], atol=1e-8)
+
+    def test_fourier_trunk_matches_nested_autodiff(self):
+        rng = np.random.default_rng(5)
+        fourier = nn.FourierFeatures(3, 4, std=np.pi, rng=rng)
+        mlp = nn.MLP([fourier.out_features, 8, 1], activation="swish", rng=rng)
+        points = rng.uniform(size=(5, 3))
+        streams = trunk_with_derivatives(points, mlp, fourier)
+        ref_value, ref_grads, ref_hess = _autodiff_reference(mlp, points, fourier)
+        assert np.allclose(streams.value.data, ref_value, atol=1e-10)
+        for i in range(3):
+            assert np.allclose(streams.gradient[i].data[:, 0], ref_grads[i], atol=1e-8)
+            assert np.allclose(streams.hessian_diag[i].data[:, 0], ref_hess[i], atol=1e-7)
+
+
+class TestAgainstFiniteDifferences:
+    def test_laplacian_matches_finite_differences(self):
+        mlp = _scalar_net(seed=8)
+        rng = np.random.default_rng(9)
+        points = rng.uniform(0.2, 0.8, size=(4, 3))
+        streams = trunk_with_derivatives(points, mlp)
+        laplacian = streams.laplacian().data[:, 0]
+
+        eps = 1e-4
+        fd = np.zeros(4)
+        with ad.no_grad():
+            base = mlp(ad.tensor(points)).data[:, 0]
+            for i in range(3):
+                plus = points.copy()
+                plus[:, i] += eps
+                minus = points.copy()
+                minus[:, i] -= eps
+                fd += (
+                    mlp(ad.tensor(plus)).data[:, 0]
+                    - 2 * base
+                    + mlp(ad.tensor(minus)).data[:, 0]
+                ) / eps**2
+        assert np.allclose(laplacian, fd, rtol=1e-3, atol=1e-4)
+
+    def test_laplacian_axis_weights(self):
+        mlp = _scalar_net(seed=10)
+        points = np.random.default_rng(11).uniform(size=(3, 3))
+        streams = trunk_with_derivatives(points, mlp)
+        weighted = streams.laplacian([1.0, 4.0, 0.25]).data
+        manual = (
+            streams.hessian_diag[0].data
+            + 4.0 * streams.hessian_diag[1].data
+            + 0.25 * streams.hessian_diag[2].data
+        )
+        assert np.allclose(weighted, manual)
+
+    def test_laplacian_weight_count_validated(self):
+        streams = trunk_with_derivatives(np.zeros((2, 3)), _scalar_net())
+        with pytest.raises(ValueError):
+            streams.laplacian([1.0, 2.0])
+
+
+class TestParameterGradientsThroughStreams:
+    """The whole point: residuals built from streams must be trainable."""
+
+    def test_gradcheck_of_laplacian_loss_wrt_parameters(self):
+        mlp = _scalar_net(seed=12, width=5, depth=2)
+        points = np.random.default_rng(13).uniform(size=(4, 3))
+
+        def loss_fn():
+            streams = trunk_with_derivatives(points, mlp)
+            return (streams.laplacian() ** 2).mean()
+
+        params = mlp.parameters()
+        loss = loss_fn()
+        analytic = ad.grad(loss, params)
+        for param, a_grad in zip(params[:2], analytic[:2]):
+            numeric = ad.numerical_gradient(loss_fn, param, epsilon=1e-6)
+            assert np.allclose(a_grad.data, numeric, rtol=2e-3, atol=1e-6)
+
+    def test_gradient_stream_loss_is_trainable(self):
+        """Minimising ||dT/dx - 1|| should drive the derivative toward 1."""
+        rng = np.random.default_rng(14)
+        mlp = nn.MLP([1, 12, 12, 1], activation="tanh", rng=rng)
+        points = rng.uniform(size=(32, 1))
+        opt = nn.Adam(mlp.parameters(), lr=5e-3)
+        first_loss = None
+        for _ in range(150):
+            streams = trunk_with_derivatives(points, mlp)
+            loss = ((streams.gradient[0] - 1.0) ** 2).mean()
+            if first_loss is None:
+                first_loss = loss.item()
+            grads = ad.grad(loss, mlp.parameters())
+            opt.step(grads)
+        assert loss.item() < 0.1 * first_loss
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    width=st.integers(min_value=2, max_value=10),
+)
+def test_property_streams_match_double_backward(seed, width):
+    rng = np.random.default_rng(seed)
+    mlp = nn.MLP([2, width, 1], activation="swish", rng=rng)
+    points = rng.uniform(-1.0, 1.0, size=(3, 2))
+    streams = trunk_with_derivatives(points, mlp)
+    ref_value, ref_grads, ref_hess = _autodiff_reference(mlp, points)
+    assert np.allclose(streams.value.data, ref_value, atol=1e-9)
+    for i in range(2):
+        assert np.allclose(streams.gradient[i].data[:, 0], ref_grads[i], atol=1e-8)
+        assert np.allclose(streams.hessian_diag[i].data[:, 0], ref_hess[i], atol=1e-7)

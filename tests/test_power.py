@@ -1,0 +1,314 @@
+"""Tests for GRF generators, tile maps, interpolation and volumetric power."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import paper_chip_b
+from repro.power import (
+    Block,
+    GaussianRandomField2D,
+    GaussianRandomField3D,
+    GridVolumetricPower,
+    TilePowerMap,
+    UniformLayerPower,
+    ZeroPower,
+    blocks_to_tiles,
+    grid_bilinear_function,
+    map_complexity,
+    paper_test_suite,
+    random_block_map,
+    tile_centers,
+    tiles_piecewise_function,
+    tiles_to_grid,
+)
+
+
+class TestGRF2D:
+    def test_shape(self):
+        grf = GaussianRandomField2D((21, 21), length_scale=0.3)
+        fields = grf.sample(np.random.default_rng(0), 5)
+        assert fields.shape == (5, 21, 21)
+
+    def test_determinism_under_seed(self):
+        grf = GaussianRandomField2D((11, 11))
+        a = grf.sample(np.random.default_rng(42), 2)
+        b = grf.sample(np.random.default_rng(42), 2)
+        assert np.array_equal(a, b)
+
+    def test_standard_moments(self):
+        grf = GaussianRandomField2D((9, 9), length_scale=0.3)
+        fields = grf.sample(np.random.default_rng(1), 600)
+        assert abs(fields.mean()) < 0.1
+        assert np.std(fields) == pytest.approx(1.0, rel=0.1)
+
+    def test_longer_length_scale_is_smoother(self):
+        rng_a, rng_b = np.random.default_rng(2), np.random.default_rng(2)
+        rough = GaussianRandomField2D((15, 15), length_scale=0.05).sample(rng_a, 50)
+        smooth = GaussianRandomField2D((15, 15), length_scale=0.8).sample(rng_b, 50)
+        tv_rough = np.mean([map_complexity(f) for f in rough])
+        tv_smooth = np.mean([map_complexity(f) for f in smooth])
+        assert tv_smooth < tv_rough
+
+    def test_spatial_correlation_decays(self):
+        grf = GaussianRandomField2D((15, 15), length_scale=0.3)
+        fields = grf.sample(np.random.default_rng(3), 800)
+        near = np.mean(fields[:, 7, 7] * fields[:, 7, 8])
+        far = np.mean(fields[:, 0, 0] * fields[:, 14, 14])
+        assert near > far
+
+    def test_shift_nonneg_transform(self):
+        grf = GaussianRandomField2D((7, 7), transform="shift_nonneg")
+        fields = grf.sample(np.random.default_rng(4), 3)
+        assert np.all(fields >= 0.0)
+        assert np.all(fields.reshape(3, -1).min(axis=1) == 0.0)
+
+    def test_softplus_and_abs_transforms(self):
+        for transform in ("softplus", "abs"):
+            grf = GaussianRandomField2D((5, 5), transform=transform)
+            assert np.all(grf.sample(np.random.default_rng(5), 2) >= 0.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GaussianRandomField2D((5, 5), length_scale=0.0)
+        with pytest.raises(ValueError):
+            GaussianRandomField2D((5, 5), transform="bogus")
+
+    def test_mean_offset(self):
+        grf = GaussianRandomField2D((7, 7), mean=5.0)
+        fields = grf.sample(np.random.default_rng(6), 200)
+        assert fields.mean() == pytest.approx(5.0, abs=0.3)
+
+
+class TestGRF3D:
+    def test_shape_and_determinism(self):
+        grf = GaussianRandomField3D((6, 6, 4), length_scale=0.4)
+        a = grf.sample(np.random.default_rng(7), 2)
+        b = GaussianRandomField3D((6, 6, 4), length_scale=0.4).sample(
+            np.random.default_rng(7), 2
+        )
+        assert a.shape == (2, 6, 6, 4)
+        assert np.array_equal(a, b)
+
+    def test_unit_marginal_variance(self):
+        grf = GaussianRandomField3D((5, 5, 5), length_scale=0.3)
+        fields = grf.sample(np.random.default_rng(8), 400)
+        assert np.std(fields) == pytest.approx(1.0, rel=0.15)
+
+
+class TestBlocksAndSuite:
+    def test_block_validation(self):
+        with pytest.raises(ValueError):
+            Block(0, 0, 0, 2, 1.0)
+        with pytest.raises(ValueError):
+            Block(-1, 0, 2, 2, 1.0)
+
+    def test_blocks_to_tiles_paints(self):
+        tiles = blocks_to_tiles([Block(0, 0, 2, 3, 2.0)], (5, 5))
+        assert tiles[0, 0] == 2.0
+        assert tiles[1, 2] == 2.0
+        assert tiles[2, 0] == 0.0
+        assert tiles.sum() == pytest.approx(12.0)
+
+    def test_out_of_bounds_block_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            blocks_to_tiles([Block(18, 18, 5, 5, 1.0)], (20, 20))
+
+    def test_suite_has_ten_maps(self):
+        suite = paper_test_suite()
+        assert [m.name for m in suite] == [f"p{i}" for i in range(1, 11)]
+        assert all(m.shape == (20, 20) for m in suite)
+
+    def test_suite_complexity_increases(self):
+        """The paper orders p1..p10 by increasing complexity (Fig. 3)."""
+        suite = paper_test_suite()
+        complexities = [m.complexity for m in suite]
+        assert all(a < b for a, b in zip(complexities, complexities[1:]))
+
+    def test_p10_has_dominant_small_source(self):
+        p10 = paper_test_suite()[-1]
+        assert p10.tiles.max() == pytest.approx(6.0)
+        # The hot source is small: a 2x2 block, i.e. 4 tiles at the max.
+        assert np.sum(p10.tiles == p10.tiles.max()) == 4
+
+    def test_suite_deterministic(self):
+        a, b = paper_test_suite(), paper_test_suite()
+        for ma, mb in zip(a, b):
+            assert np.array_equal(ma.tiles, mb.tiles)
+
+    def test_random_block_map(self):
+        tiles = random_block_map(np.random.default_rng(9), n_blocks=3)
+        assert tiles.shape == (20, 20)
+        assert tiles.max() > 0.0
+
+
+class TestInterpolation:
+    def test_tile_centers(self):
+        centers = tile_centers(4)
+        assert np.allclose(centers, [0.125, 0.375, 0.625, 0.875])
+
+    def test_constant_map_preserved(self):
+        tiles = np.full((20, 20), 3.0)
+        grid = tiles_to_grid(tiles, (21, 21))
+        assert np.allclose(grid, 3.0)
+
+    def test_linear_map_reproduced_in_interior(self):
+        centers = tile_centers(20)
+        tiles = np.add.outer(centers, 2.0 * centers)
+        grid = tiles_to_grid(tiles, (21, 21))
+        nodes = np.linspace(0, 1, 21)
+        expected = np.add.outer(nodes, 2.0 * nodes)
+        interior = slice(1, -1)
+        assert np.allclose(grid[interior, interior], expected[interior, interior])
+
+    def test_range_preserved(self):
+        """Clamped extension cannot overshoot the tile range (peak errors!)."""
+        tiles = random_block_map(np.random.default_rng(10), n_blocks=5)
+        grid = tiles_to_grid(tiles, (21, 21))
+        assert grid.min() >= tiles.min() - 1e-12
+        assert grid.max() <= tiles.max() + 1e-12
+
+    def test_grid_shape(self):
+        assert tiles_to_grid(np.zeros((20, 20)), (21, 21)).shape == (21, 21)
+        assert tiles_to_grid(np.zeros((10, 20)), (11, 21)).shape == (11, 21)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            tiles_to_grid(np.zeros(20), (21, 21))
+
+    def test_grid_bilinear_function_matches_nodes(self):
+        grid_values = np.arange(9.0).reshape(3, 3)
+        fn = grid_bilinear_function(grid_values, (1e-3, 1e-3))
+        pts = np.array([[0.0, 0.0], [0.5e-3, 0.5e-3], [1e-3, 1e-3]])
+        assert np.allclose(fn(pts), [0.0, 4.0, 8.0])
+
+    def test_grid_bilinear_function_clamps(self):
+        fn = grid_bilinear_function(np.ones((3, 3)), (1e-3, 1e-3))
+        assert np.allclose(fn(np.array([[5e-3, -1e-3]])), 1.0)
+
+    def test_piecewise_function_constant_per_tile(self):
+        tiles = np.array([[1.0, 2.0], [3.0, 4.0]])
+        fn = tiles_piecewise_function(tiles, (1.0, 1.0))
+        pts = np.array([[0.25, 0.25], [0.25, 0.75], [0.75, 0.25], [0.99, 0.99]])
+        assert np.allclose(fn(pts), [1.0, 2.0, 3.0, 4.0])
+
+    def test_smoothing_reduces_complexity(self):
+        """Fig. 4: interpolation 'smooths out' discrete maps."""
+        tiles = paper_test_suite()[-1].tiles
+        grid = tiles_to_grid(tiles, (21, 21))
+        assert map_complexity(grid) <= map_complexity(tiles) * 1.05
+
+
+class TestVolumetricPower:
+    def test_zero_power(self):
+        zp = ZeroPower()
+        assert np.allclose(zp.density(np.zeros((4, 3))), 0.0)
+        assert zp.total_power() == 0.0
+
+    def test_uniform_layer_density_value(self):
+        chip = paper_chip_b()
+        source = UniformLayerPower.paper_experiment_b(chip)
+        # 0.625 mW over 1 mm^2 x 0.05 mm = 1.25e7 W/m^3.
+        assert source.q_density == pytest.approx(1.25e7)
+        assert source.total_power() == pytest.approx(0.000625)
+
+    def test_layer_masking(self):
+        source = UniformLayerPower((0.2e-3, 0.3e-3), 1.0, 1e-6)
+        pts = np.array([[0, 0, 0.1e-3], [0, 0, 0.25e-3], [0, 0, 0.5e-3]])
+        density = source.density(pts)
+        assert density[0] == 0.0 and density[2] == 0.0
+        assert density[1] > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformLayerPower((0.2, 0.2), 1.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformLayerPower((0.1, 0.2), 1.0, 0.0)
+
+    def test_grid_power_interpolates_and_integrates(self):
+        chip = paper_chip_b()
+        values = np.full((5, 5, 5), 2.0e6)
+        source = GridVolumetricPower(values, chip)
+        assert np.allclose(source.density(chip.center[None, :]), 2.0e6)
+        assert source.total_power() == pytest.approx(2.0e6 * chip.volume, rel=1e-9)
+
+    def test_grid_power_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            GridVolumetricPower(np.zeros((3, 3)), paper_chip_b())
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_tile_interpolation_bounded(seed):
+    """For any random block map, bilinear+clamp never exceeds tile range."""
+    tiles = random_block_map(np.random.default_rng(seed), n_blocks=6)
+    grid = tiles_to_grid(tiles, (21, 21))
+    assert grid.min() >= tiles.min() - 1e-12
+    assert grid.max() <= tiles.max() + 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=5, max_value=12),
+)
+def test_property_grf_determinism_and_shape(seed, n):
+    grf = GaussianRandomField2D((n, n), length_scale=0.3)
+    a = grf.sample(np.random.default_rng(seed), 2)
+    b = GaussianRandomField2D((n, n), length_scale=0.3).sample(
+        np.random.default_rng(seed), 2
+    )
+    assert a.shape == (2, n, n)
+    assert np.allclose(a, b)
+
+
+class TestCellAverage:
+    """Control-volume integration of volumetric sources (FV consistency)."""
+
+    def test_uniform_layer_exact_overlap(self):
+        source = UniformLayerPower((0.2e-3, 0.3e-3), 1e-3, 1e-6)
+        # Node at 0.25e-3 with a control interval wider than the layer.
+        pts = np.array([[0.0, 0.0, 0.25e-3]])
+        avg = source.cell_average(pts, np.array([0.1e-3]), np.array([0.1e-3]))
+        # Overlap 0.1 mm of 0.2 mm interval -> half the density.
+        assert avg[0] == pytest.approx(0.5 * source.q_density)
+
+    def test_uniform_layer_fully_inside(self):
+        source = UniformLayerPower((0.2e-3, 0.3e-3), 1e-3, 1e-6)
+        pts = np.array([[0.0, 0.0, 0.25e-3]])
+        avg = source.cell_average(pts, np.array([0.01e-3]), np.array([0.01e-3]))
+        assert avg[0] == pytest.approx(source.q_density)
+
+    def test_uniform_layer_disjoint(self):
+        source = UniformLayerPower((0.2e-3, 0.3e-3), 1e-3, 1e-6)
+        pts = np.array([[0.0, 0.0, 0.45e-3]])
+        avg = source.cell_average(pts, np.array([0.05e-3]), np.array([0.05e-3]))
+        assert avg[0] == 0.0
+
+    def test_generic_quadrature_matches_exact_for_smooth_field(self):
+        chip = paper_chip_b()
+        values = np.ones((4, 4, 4)) * 5.0e6
+        source = GridVolumetricPower(values, chip)
+        pts = np.array([[0.5e-3, 0.5e-3, 0.3e-3]])
+        avg = source.cell_average(pts, np.array([0.02e-3]), np.array([0.02e-3]))
+        assert avg[0] == pytest.approx(5.0e6)
+
+    def test_zero_power_cell_average(self):
+        avg = ZeroPower().cell_average(
+            np.zeros((3, 3)), np.full(3, 1e-4), np.full(3, 1e-4)
+        )
+        assert np.allclose(avg, 0.0)
+
+    def test_conservation_property_any_grid(self):
+        """Sum of cell_average x control width == total power (1-D column)."""
+        source = UniformLayerPower((0.21e-3, 0.29e-3), 2e-3, 1e-6)
+        for n in (7, 10, 23):
+            z = np.linspace(0.0, 0.55e-3, n)
+            h = z[1] - z[0]
+            dz_lo = np.where(np.arange(n) == 0, 0.0, h / 2)
+            dz_hi = np.where(np.arange(n) == n - 1, 0.0, h / 2)
+            pts = np.column_stack([np.zeros(n), np.zeros(n), z])
+            avg = source.cell_average(pts, dz_lo, dz_hi)
+            integral = np.sum(avg * (dz_lo + dz_hi)) * 1e-6  # x footprint area
+            assert integral == pytest.approx(2e-3, rel=1e-12), n
