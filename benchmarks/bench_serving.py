@@ -1,0 +1,102 @@
+"""Serving-engine benchmark: ``CompiledSurrogate.predict_batch`` vs naive.
+
+The engine exists for one number: designs/sec on repeated evaluations of
+a trained operator over a fixed query grid (the power-map / HTC sweep
+workload of the speedup study, and the serving workload of follow-on
+foundation-model work).  This bench pins the acceptance shape:
+
+* a 64-design batch through the compiled engine must deliver >= 10x the
+  throughput of the naive per-design legacy loop (it re-runs the full
+  autodiff-layer forward, trunk included, once per design);
+* the engine's temperatures must match the legacy path to <= 1e-10 K.
+
+Run with ``pytest benchmarks/bench_serving.py --benchmark-only``.
+"""
+
+import time
+
+import numpy as np
+
+N_DESIGNS = 64
+
+
+def _designs(setup, n=N_DESIGNS):
+    rng = np.random.default_rng(7)
+    maps = setup.model.inputs[0].sample(rng, n)
+    return [{"power_map": m} for m in maps]
+
+
+def test_serving_engine_batch(benchmark, trained_a):
+    """Benchmark = one 64-design ``predict_batch`` on a warm trunk cache."""
+    engine = trained_a.model.compile().warmup(trained_a.eval_grid)
+    designs = _designs(trained_a)
+    out = benchmark(
+        lambda: engine.predict_batch(designs, grid=trained_a.eval_grid)
+    )
+    assert out.shape == (N_DESIGNS, trained_a.eval_grid.n_nodes)
+
+
+def test_serving_naive_loop(benchmark, trained_a):
+    """Benchmark = the legacy per-design loop the engine replaces (8 designs)."""
+    designs = _designs(trained_a, 8)
+    points = trained_a.eval_grid.points()
+    out = benchmark(
+        lambda: [
+            trained_a.model.predict_many_uncached([design], points)
+            for design in designs
+        ]
+    )
+    assert len(out) == 8
+
+
+def test_serving_throughput_and_accuracy(benchmark, trained_a, out_dir):
+    """The acceptance numbers: >= 10x designs/sec and <= 1e-10 K match."""
+    model = trained_a.model
+    grid = trained_a.eval_grid
+    points = grid.points()
+    designs = _designs(trained_a)
+    engine = model.compile().warmup(grid)
+
+    # Naive loop: per-design legacy prediction, trunk recomputed each time.
+    start = time.perf_counter()
+    naive = np.vstack(
+        [model.predict_many_uncached([design], points) for design in designs]
+    )
+    naive_seconds = time.perf_counter() - start
+
+    # Engine: one stacked branch pass + one matmul against cached trunk
+    # features.  Best of three to de-noise the (sub-millisecond) timing.
+    batched = engine.predict_batch(designs, grid=grid)
+    engine_seconds = min(
+        _timed(lambda: engine.predict_batch(designs, grid=grid))
+        for _ in range(3)
+    )
+
+    max_diff = float(np.abs(batched - naive).max())
+    naive_rate = N_DESIGNS / naive_seconds
+    engine_rate = N_DESIGNS / max(engine_seconds, 1e-12)
+    speedup = engine_rate / naive_rate
+
+    text = "\n".join(
+        [
+            f"serving throughput ({N_DESIGNS} designs, grid {grid.shape})",
+            f"naive loop   : {naive_rate:10.1f} designs/s",
+            f"engine batch : {engine_rate:10.1f} designs/s",
+            f"speedup      : {speedup:10.1f}x",
+            f"max |dT|     : {max_diff:10.3e} K",
+            "",
+        ]
+    )
+    (out_dir / "serving.txt").write_text(text)
+    print("\n" + text)
+
+    assert max_diff <= 1e-10, f"engine deviates from legacy path by {max_diff}"
+    assert speedup >= 10.0, f"engine only {speedup:.1f}x over the naive loop"
+
+    benchmark(lambda: engine.predict_batch(designs, grid=grid))
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

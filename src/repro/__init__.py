@@ -9,6 +9,8 @@ Thermal Simulation in 3D-IC Design" (DAC 2023) from scratch on numpy:
   :mod:`repro.materials` — the modular chip model of the paper's Sec. III
 * :mod:`repro.fdm` — finite-volume reference solver (Celsius 3D substitute)
 * :mod:`repro.core` — the DeepOHeat framework itself (Sec. IV)
+* :mod:`repro.engine` — compiled tape-free serving engine (batched sweeps,
+  trunk-feature caching); ``DeepOHeat.compile()`` / ``repro sweep``
 * :mod:`repro.baselines` — PINN / data-driven / regression / POD baselines
 * :mod:`repro.analysis` — MAPE/PAPE metrics, timing, ASCII field rendering
 * :mod:`repro.floorplan` — thermal-aware floorplan optimisation example

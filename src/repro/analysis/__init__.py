@@ -10,7 +10,7 @@ from .metrics import (
     peak_temperature_error,
     rmse,
 )
-from .report import format_table, kv_block, markdown_table, table_one
+from .report import format_table, kv_block, markdown_table, model_summary, table_one
 from .timing import SpeedupRow, SpeedupTable, measure
 from .viz import (
     ascii_heatmap,
@@ -38,6 +38,7 @@ __all__ = [
     "markdown_table",
     "max_abs_error",
     "measure",
+    "model_summary",
     "pape",
     "peak_temperature_error",
     "rmse",

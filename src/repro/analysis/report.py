@@ -62,3 +62,25 @@ def kv_block(title: str, values: Dict[str, object]) -> str:
     lines = [title, "-" * len(title)]
     lines.extend(f"{k.ljust(width)} : {v}" for k, v in values.items())
     return "\n".join(lines)
+
+
+def model_summary(model, title: str = "operator network") -> str:
+    """Network inventory for a :class:`~repro.core.DeepOHeat` model.
+
+    Lists every branch net, the trunk (Fourier prefix included), and the
+    parameter count of each component plus the total.
+    """
+    net = model.net
+    values: Dict[str, object] = {}
+    for config_input, branch in zip(model.inputs, net.branches):
+        values[f"branch '{config_input.name}'"] = (
+            f"{branch.layer_sizes}  ({branch.num_parameters():,} params)"
+        )
+    if net.trunk.fourier is not None:
+        values["trunk fourier"] = repr(net.trunk.fourier)
+    values["trunk mlp"] = (
+        f"{net.trunk.mlp.layer_sizes}  ({net.trunk.mlp.num_parameters():,} params)"
+    )
+    values["feature width q"] = net.feature_width
+    values["total parameters"] = f"{net.num_parameters():,}"
+    return kv_block(title, values)

@@ -7,6 +7,7 @@ Subcommands
 ``train``     train a preset and save the checkpoint
 ``evaluate``  evaluate a (cached or given) model on the paper's test cases
 ``speedup``   measure the solver-vs-surrogate speedup table
+``sweep``     stream a batch of designs through the compiled serving engine
 """
 
 from __future__ import annotations
@@ -60,6 +61,22 @@ def _build_parser() -> argparse.ArgumentParser:
     speedup.add_argument("--scale", choices=["test", "ci"], default="ci")
     speedup.add_argument("--batch", type=int, default=32)
     speedup.add_argument("--refine", type=int, default=2)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="stream a batch of sampled designs through the serving engine",
+    )
+    sweep.add_argument("--experiment", choices=["a", "b"], default="a")
+    sweep.add_argument("--scale", choices=["test", "ci"], default="ci")
+    sweep.add_argument("--checkpoint", default=None,
+                       help="explicit checkpoint (defaults to the cache)")
+    sweep.add_argument("--designs", type=int, default=64,
+                       help="number of random designs to evaluate")
+    sweep.add_argument("--chunk", type=int, default=16,
+                       help="designs per predict_batch call (streaming chunk)")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--compare-naive", action="store_true",
+                       help="also time the legacy per-design predict loop")
     return parser
 
 
@@ -142,12 +159,15 @@ def _cmd_solve(args) -> int:
 
 
 def _cmd_train(args) -> int:
+    from .analysis import model_summary
+
     setup = _experiment_setup(args.experiment, args.scale)
     if args.iterations is not None:
         setup.trainer_config.iterations = args.iterations
     if args.seed:
         setup.trainer_config.seed = args.seed
     print(f"training {setup.name} ({setup.scale}): {setup.description}")
+    print(model_summary(setup.model))
     history = setup.make_trainer().run(verbose=not args.quiet)
     print(
         f"loss {history.initial_loss:.4e} -> {history.final_loss:.4e} "
@@ -200,12 +220,84 @@ def _cmd_speedup(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    import time
+
+    from .analysis import kv_block, model_summary
+    from .experiments import get_trained_setup
+
+    setup = get_trained_setup(args.experiment, scale=args.scale)
+    if args.checkpoint:
+        setup.model.load(args.checkpoint)
+    model = setup.model
+    grid = setup.eval_grid
+    n_designs = max(1, args.designs)
+    chunk_size = max(1, args.chunk)
+    rng = np.random.default_rng(args.seed)
+
+    # One stacked raw batch per branch input, streamed through in chunks.
+    raws = {
+        config_input.name: config_input.sample(rng, n_designs)
+        for config_input in model.inputs
+    }
+    engine = model.compile()
+    engine.warmup(grid)
+
+    start = time.perf_counter()
+    peaks = []
+    for lo in range(0, n_designs, chunk_size):
+        hi = min(n_designs, lo + chunk_size)
+        fields = engine.predict_batch(
+            {name: batch[lo:hi] for name, batch in raws.items()}, grid=grid
+        )
+        peaks.append(fields.max(axis=1))
+    elapsed = time.perf_counter() - start
+    peaks = np.concatenate(peaks)
+
+    print(model_summary(model, title=f"sweep — {setup.name} ({setup.scale})"))
+    print()
+    cache = engine.cache_info()
+    values = {
+        "designs": n_designs,
+        "grid": "x".join(str(n) for n in grid.shape) + f" ({grid.n_nodes} nodes)",
+        "chunk size": chunk_size,
+        "engine time": f"{elapsed * 1e3:.1f} ms",
+        "throughput": f"{n_designs / max(elapsed, 1e-12):.0f} designs/s",
+        "trunk cache": f"{cache.hits} hits / {cache.misses} misses",
+        "peak T across sweep": f"{peaks.max():.3f} K",
+        "coolest peak T": f"{peaks.min():.3f} K",
+    }
+
+    if args.compare_naive:
+        n_naive = min(n_designs, 16)
+        designs = [
+            {name: batch[index] for name, batch in raws.items()}
+            for index in range(n_naive)
+        ]
+        points = grid.points()
+        start = time.perf_counter()
+        for design in designs:
+            model.predict_many_uncached([design], points)
+        naive_elapsed = time.perf_counter() - start
+        naive_rate = n_naive / max(naive_elapsed, 1e-12)
+        values["naive loop"] = (
+            f"{naive_rate:.1f} designs/s over {n_naive} designs (legacy path)"
+        )
+        values["engine speedup"] = (
+            f"{(n_designs / max(elapsed, 1e-12)) / max(naive_rate, 1e-12):.1f}x"
+        )
+
+    print(kv_block("serving engine sweep", values))
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "solve": _cmd_solve,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "speedup": _cmd_speedup,
+    "sweep": _cmd_sweep,
 }
 
 

@@ -14,6 +14,7 @@ import numpy as np
 
 from .. import autodiff as ad
 from ..autodiff import Tensor
+from ..engine import CompiledSurrogate
 from ..fdm import ThermalSolution, solve_steady
 from ..geometry import StructuredGrid
 from ..nn import MIONet, load_checkpoint, save_checkpoint
@@ -65,6 +66,7 @@ class DeepOHeat:
         self.net = net
         self.nd = config.nondimensionalizer(dt_ref)
         self.builder = PhysicsLossBuilder(config, inputs, self.nd, loss_weights)
+        self._engine: Optional[CompiledSurrogate] = None
 
     # ------------------------------------------------------------------
     # Encoding
@@ -123,21 +125,61 @@ class DeepOHeat:
         return self.builder.loss(streams_by_region, batch, raws)
 
     # ------------------------------------------------------------------
+    # Serving engine
+    # ------------------------------------------------------------------
+    def compile(
+        self, copy: bool = True, max_cache_entries: int = 8
+    ) -> CompiledSurrogate:
+        """Freeze the current weights into a serving engine.
+
+        ``copy=True`` (default) snapshots the weights, so the engine is
+        immune to further training on this model; ``copy=False`` returns
+        a live view that always evaluates the current parameters.
+        """
+        return CompiledSurrogate(self, copy=copy,
+                                 max_cache_entries=max_cache_entries)
+
+    @property
+    def engine(self) -> CompiledSurrogate:
+        """Lazily-built live-view engine backing the ``predict*`` facade.
+
+        Shares the model's parameter arrays (all updates are in place),
+        and its trunk-feature cache keys on a weight digest, so continued
+        training or checkpoint loads are picked up automatically.
+        """
+        if self._engine is None:
+            self._engine = CompiledSurrogate(self, copy=False)
+        return self._engine
+
+    # ------------------------------------------------------------------
     # Prediction (SI units)
     # ------------------------------------------------------------------
     def predict(
         self, design: Mapping[str, np.ndarray], points_si: np.ndarray
     ) -> np.ndarray:
         """Temperature (kelvin) at SI points for one design."""
-        return self.predict_many([design], points_si)[0]
+        return self.engine.predict(design, points_si=points_si)
 
     def predict_many(
         self, designs: Sequence[Mapping[str, np.ndarray]], points_si: np.ndarray
     ) -> np.ndarray:
         """Batched prediction: (n_designs, n_points) kelvin.
 
-        All designs share one trunk evaluation — this is the amortised
-        "GPU-like" throughput mode of the speedup study.
+        Delegates to the compiled engine: one (cached) trunk evaluation,
+        one stacked branch pass, one matmul — the amortised "GPU-like"
+        throughput mode of the speedup study.
+        """
+        return self.engine.predict_batch(designs, points_si=points_si)
+
+    def predict_many_uncached(
+        self, designs: Sequence[Mapping[str, np.ndarray]], points_si: np.ndarray
+    ) -> np.ndarray:
+        """Legacy autodiff-layer prediction path: (n_designs, n_points) kelvin.
+
+        Re-evaluates the full network (branch *and* trunk) through the
+        :mod:`repro.autodiff` ops under ``no_grad``.  Kept as the numerical
+        reference for engine-correctness tests and as the naive baseline
+        the serving benchmark compares against.
         """
         points_hat = self.nd.to_hat(np.atleast_2d(points_si))
         with ad.no_grad():
@@ -157,7 +199,7 @@ class DeepOHeat:
         self, design: Mapping[str, np.ndarray], grid: StructuredGrid
     ) -> np.ndarray:
         """Full nodal field, shaped like the grid."""
-        flat = self.predict(design, grid.points())
+        flat = self.engine.predict(design, grid=grid)
         return grid.to_array(flat)
 
     # ------------------------------------------------------------------

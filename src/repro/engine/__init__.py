@@ -1,0 +1,24 @@
+"""Serving engine: compiled, tape-free, batched DeepOHeat inference.
+
+Entry points:
+
+* :class:`CompiledSurrogate` — snapshot of a trained model with a keyed
+  trunk-feature cache and ``predict_batch`` for design sweeps;
+* the ``Frozen*`` classes — plain-ndarray network snapshots.
+
+``DeepOHeat.compile()`` is the usual way to obtain a
+:class:`CompiledSurrogate`; ``DeepOHeat.predict*`` also delegate here
+(live-view engine) so even single-design calls skip the autodiff layer.
+"""
+
+from .frozen import FrozenDense, FrozenMIONet, FrozenMLP, FrozenTrunk
+from .surrogate import CacheInfo, CompiledSurrogate
+
+__all__ = [
+    "CacheInfo",
+    "CompiledSurrogate",
+    "FrozenDense",
+    "FrozenMIONet",
+    "FrozenMLP",
+    "FrozenTrunk",
+]

@@ -1,0 +1,243 @@
+"""Compiled serving engine: batched, tape-free DeepOHeat inference.
+
+The amortization story of the paper — train once, evaluate thousands of
+candidate designs — is only as good as the cost of one evaluation.  The
+legacy ``DeepOHeat.predict`` path rebuilt branch *and* trunk activations
+per call even though the trunk only depends on the query points, which
+are fixed across an entire design sweep.  :class:`CompiledSurrogate`
+removes both redundancies:
+
+* weights are frozen into plain ndarrays (:mod:`repro.engine.frozen`),
+  so no autodiff ``Tensor`` objects are constructed at all;
+* trunk features (including the Fourier mapping) are computed **once per
+  query grid** and cached, keyed on the grid geometry and a digest of
+  the trunk weights — a new grid or freshly-trained weights miss the
+  cache and recompute, so results are never stale;
+* a batch of B designs is evaluated as one stacked branch-MLP pass plus
+  a single ``(B, q) @ (q, N)`` matmul.
+
+The hot loop of a 10k-design sweep is therefore B branch forwards and
+one matmul, instead of 10k full network evaluations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, namedtuple
+from typing import TYPE_CHECKING, List, Mapping, Optional, Sequence, Union
+
+import hashlib
+
+import numpy as np
+
+from ..geometry import StructuredGrid
+from .frozen import FrozenMIONet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports engine)
+    from ..core.model import DeepOHeat
+
+DesignBatch = Union[Sequence[Mapping[str, np.ndarray]], Mapping[str, np.ndarray]]
+
+CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "entries", "max_entries"])
+
+
+class CompiledSurrogate:
+    """A trained :class:`~repro.core.DeepOHeat`, compiled for serving.
+
+    Parameters
+    ----------
+    model:
+        The trained surrogate to snapshot.  Encoders (:class:`ConfigInput`)
+        and the nondimensionalizer are shared; network weights are copied
+        (``copy=True``) or aliased (``copy=False``, the live-view mode the
+        model facade uses so continued training stays visible).
+    copy:
+        Snapshot (``True``) vs live-view (``False``) weight semantics;
+        see :mod:`repro.engine.frozen`.
+    max_cache_entries:
+        Trunk-feature cache capacity (LRU eviction).  Each entry holds an
+        ``(n_points, q)`` float64 array, so a 21x21x11 grid with q=128
+        costs ~5 MB.
+    """
+
+    def __init__(
+        self,
+        model: "DeepOHeat",
+        copy: bool = True,
+        max_cache_entries: int = 8,
+    ):
+        if max_cache_entries < 1:
+            raise ValueError("max_cache_entries must be >= 1")
+        self.inputs = list(model.inputs)
+        self.net = FrozenMIONet(model.net, copy=copy)
+        self.nd = model.nd
+        self.copied = bool(copy)
+        self._max_cache_entries = int(max_cache_entries)
+        self._cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        # Snapshot engines are immutable: hash the trunk weights once.
+        self._static_digest: Optional[str] = (
+            self.net.trunk.digest() if copy else None
+        )
+
+    # ------------------------------------------------------------------
+    # Trunk-feature cache
+    # ------------------------------------------------------------------
+    def _weights_token(self) -> str:
+        return self._static_digest or self.net.trunk.digest()
+
+    @staticmethod
+    def _grid_key(grid: StructuredGrid) -> tuple:
+        cuboid = grid.cuboid
+        return (
+            "grid",
+            tuple(float(v) for v in cuboid.lo),
+            tuple(float(v) for v in cuboid.hi),
+            tuple(int(n) for n in grid.shape),
+        )
+
+    @staticmethod
+    def _points_key(points_si: np.ndarray) -> tuple:
+        points_si = np.ascontiguousarray(points_si, dtype=np.float64)
+        return ("points", points_si.shape, hashlib.sha1(points_si).hexdigest())
+
+    def trunk_features(
+        self,
+        grid: Optional[StructuredGrid] = None,
+        points_si: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Cached trunk features ``(n_points, q)`` for a query point set.
+
+        Exactly one of ``grid`` / ``points_si`` must be given.  The cache
+        key combines the point-set identity with a digest of the trunk
+        weights, so both a grid change and a weight change (live-view
+        engines) invalidate transparently.
+        """
+        if (grid is None) == (points_si is None):
+            raise ValueError("pass exactly one of grid= or points_si=")
+        if grid is not None:
+            base_key = self._grid_key(grid)
+        else:
+            points_si = np.atleast_2d(np.asarray(points_si, dtype=np.float64))
+            base_key = self._points_key(points_si)
+        key = base_key + (self._weights_token(),)
+
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._hits += 1
+            self._cache.move_to_end(key)
+            return cached
+
+        self._misses += 1
+        points = grid.points() if grid is not None else points_si
+        features = self.net.trunk(self.nd.to_hat(points))
+        self._cache[key] = features
+        while len(self._cache) > self._max_cache_entries:
+            self._cache.popitem(last=False)
+        return features
+
+    def warmup(self, grid: StructuredGrid) -> "CompiledSurrogate":
+        """Precompute trunk features for ``grid`` (e.g. before serving)."""
+        self.trunk_features(grid=grid)
+        return self
+
+    def cache_info(self) -> CacheInfo:
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            entries=len(self._cache),
+            max_entries=self._max_cache_entries,
+        )
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # Design encoding
+    # ------------------------------------------------------------------
+    def encode_designs(self, designs: DesignBatch) -> List[np.ndarray]:
+        """Stack a design batch into one encoded array per branch.
+
+        ``designs`` is either a sequence of ``{input_name: raw}`` mappings
+        or a single mapping of already-stacked raw batches (leading axis =
+        designs).  Returns ``(B, sensor_dim)`` float64 arrays, one per
+        branch, in branch order.
+        """
+        if isinstance(designs, Mapping):
+            stacked = {
+                name: np.asarray(raw, dtype=np.float64)
+                for name, raw in designs.items()
+            }
+        else:
+            designs = list(designs)
+            if not designs:
+                raise ValueError("empty design batch")
+            stacked = {}
+            for config_input in self.inputs:
+                rows = []
+                for design in designs:
+                    if config_input.name not in design:
+                        raise KeyError(
+                            f"design missing input {config_input.name!r}"
+                        )
+                    rows.append(np.asarray(design[config_input.name],
+                                           dtype=np.float64))
+                stacked[config_input.name] = np.stack(rows, axis=0)
+
+        encoded = []
+        batch_sizes = set()
+        for config_input in self.inputs:
+            if config_input.name not in stacked:
+                raise KeyError(f"design batch missing input {config_input.name!r}")
+            rows = config_input.encode(stacked[config_input.name])
+            batch_sizes.add(rows.shape[0])
+            encoded.append(rows)
+        if len(batch_sizes) > 1:
+            raise ValueError(
+                f"inconsistent batch sizes across inputs: {sorted(batch_sizes)}"
+            )
+        return encoded
+
+    # ------------------------------------------------------------------
+    # Prediction (SI units)
+    # ------------------------------------------------------------------
+    def predict_batch(
+        self,
+        designs: DesignBatch,
+        grid: Optional[StructuredGrid] = None,
+        points_si: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Temperatures (kelvin) for every design, shape ``(B, n_points)``."""
+        trunk = self.trunk_features(grid=grid, points_si=points_si)
+        features = self.net.branch_features(self.encode_designs(designs))
+        return self.nd.temp_to_si(self.net.combine(features, trunk))
+
+    def predict(
+        self,
+        design: Mapping[str, np.ndarray],
+        grid: Optional[StructuredGrid] = None,
+        points_si: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Single-design temperatures (kelvin), shape ``(n_points,)``."""
+        return self.predict_batch([design], grid=grid, points_si=points_si)[0]
+
+    def predict_grid_batch(
+        self, designs: DesignBatch, grid: StructuredGrid
+    ) -> np.ndarray:
+        """Full nodal fields, shape ``(B, nx, ny, nz)``."""
+        flat = self.predict_batch(designs, grid=grid)
+        return flat.reshape((flat.shape[0],) + tuple(grid.shape))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_parameters(self) -> int:
+        return self.net.num_parameters
+
+    def __repr__(self) -> str:
+        mode = "snapshot" if self.copied else "live-view"
+        return (
+            f"CompiledSurrogate({mode}, {self.net.n_inputs} branches, "
+            f"q={self.net.feature_width}, params={self.num_parameters})"
+        )

@@ -15,16 +15,27 @@ from __future__ import annotations
 
 from typing import Dict
 
+import numpy as np
+
 from .. import autodiff as ad
 from ..autodiff import Tensor
 
 
 class Activation:
-    """Interface: ``value``, ``first`` and ``second`` derivative at ``x``."""
+    """Interface: ``value``, ``first`` and ``second`` derivative at ``x``.
+
+    ``array`` is the tape-free twin of ``value``: it maps a plain ndarray
+    to a plain ndarray without constructing any :class:`Tensor`, for the
+    compiled inference path (:mod:`repro.engine`).
+    """
 
     name = "base"
 
     def value(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def array(self, x: np.ndarray) -> np.ndarray:
+        """Pure-NumPy value (no autodiff graph); must match ``value``."""
         raise NotImplementedError
 
     def first(self, x: Tensor) -> Tensor:
@@ -48,6 +59,9 @@ class Swish(Activation):
     def value(self, x: Tensor) -> Tensor:
         return x * ad.sigmoid(x)
 
+    def array(self, x: np.ndarray) -> np.ndarray:
+        return x * (1.0 / (1.0 + np.exp(-x)))
+
     def first(self, x: Tensor) -> Tensor:
         s = ad.sigmoid(x)
         return s + x * s * (1.0 - s)
@@ -63,6 +77,9 @@ class Tanh(Activation):
 
     def value(self, x: Tensor) -> Tensor:
         return ad.tanh(x)
+
+    def array(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
 
     def first(self, x: Tensor) -> Tensor:
         t = ad.tanh(x)
@@ -84,6 +101,9 @@ class Sine(Activation):
     def value(self, x: Tensor) -> Tensor:
         return ad.sin(self.frequency * x)
 
+    def array(self, x: np.ndarray) -> np.ndarray:
+        return np.sin(self.frequency * x)
+
     def first(self, x: Tensor) -> Tensor:
         return self.frequency * ad.cos(self.frequency * x)
 
@@ -99,6 +119,9 @@ class Relu(Activation):
 
     def value(self, x: Tensor) -> Tensor:
         return ad.relu(x)
+
+    def array(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
 
     def first(self, x: Tensor) -> Tensor:
         return ad.where(x.data > 0.0, ad.ones_like(x), ad.zeros_like(x))
@@ -120,6 +143,9 @@ class Gelu(Activation):
     def value(self, x: Tensor) -> Tensor:
         return 0.5 * x * (1.0 + ad.tanh(self._inner(x)))
 
+    def array(self, x: np.ndarray) -> np.ndarray:
+        return 0.5 * x * (1.0 + np.tanh(self._C * (x + self._A * x * x * x)))
+
     def first(self, x: Tensor) -> Tensor:
         u = self._inner(x)
         t = ad.tanh(u)
@@ -140,6 +166,9 @@ class Identity(Activation):
     name = "identity"
 
     def value(self, x: Tensor) -> Tensor:
+        return x
+
+    def array(self, x: np.ndarray) -> np.ndarray:
         return x
 
     def first(self, x: Tensor) -> Tensor:

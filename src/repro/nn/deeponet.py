@@ -57,6 +57,12 @@ class TrunkNet(Module):
         out = self.fourier(x) if self.fourier else x
         return self.mlp(out)
 
+    def fast_forward(self, points: np.ndarray) -> np.ndarray:
+        """Tape-free trunk features for plain hat points, shape (n_pts, q)."""
+        points = np.asarray(points, dtype=np.float64)
+        out = self.fourier.fast_forward(points) if self.fourier else points
+        return self.mlp.fast_forward(out)
+
     def with_derivatives(self, points: np.ndarray) -> DerivativeStreams:
         return trunk_with_derivatives(points, self.mlp, self.fourier)
 
@@ -105,6 +111,27 @@ class MIONet(Module):
         for branch, u in zip(self.branches[1:], branch_inputs[1:]):
             product = product * branch(ad.astensor(u))
         return product
+
+    def fast_branch_features(
+        self, branch_arrays: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Tape-free Hadamard product of branch outputs, shape (n_funcs, q)."""
+        if len(branch_arrays) != len(self.branches):
+            raise ValueError(
+                f"expected {len(self.branches)} branch inputs, got {len(branch_arrays)}"
+            )
+        product = self.branches[0].fast_forward(np.asarray(branch_arrays[0]))
+        for branch, u in zip(self.branches[1:], branch_arrays[1:]):
+            product = product * branch.fast_forward(np.asarray(u))
+        return product
+
+    def fast_forward_cartesian(
+        self, branch_arrays: Sequence[np.ndarray], points: np.ndarray
+    ) -> np.ndarray:
+        """Tape-free twin of :meth:`forward_cartesian` on plain ndarrays."""
+        features = self.fast_branch_features(branch_arrays)
+        trunk_features = self.trunk.fast_forward(points)
+        return features @ trunk_features.T + self.bias.data
 
     # ------------------------------------------------------------------
     def forward_cartesian(

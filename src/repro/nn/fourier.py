@@ -18,6 +18,23 @@ from ..autodiff import Tensor
 from .modules import Module
 
 
+def fourier_fast_forward(
+    x: np.ndarray, frequencies: np.ndarray, include_input: bool
+) -> np.ndarray:
+    """Tape-free Fourier mapping on plain ndarrays.
+
+    Shared by :meth:`FourierFeatures.fast_forward` and the engine's
+    :class:`~repro.engine.frozen.FrozenTrunk` so both tape-free paths run
+    the same arithmetic.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    angles = x @ frequencies
+    parts = [np.sin(angles), np.cos(angles)]
+    if include_input:
+        parts.append(x)
+    return np.concatenate(parts, axis=1)
+
+
 class FourierFeatures(Module):
     """Map ``x -> [sin(x @ B), cos(x @ B)]`` with fixed Gaussian ``B``.
 
@@ -69,6 +86,10 @@ class FourierFeatures(Module):
         if self.include_input:
             parts.append(x)
         return ad.concat(parts, axis=1)
+
+    def fast_forward(self, x: np.ndarray) -> np.ndarray:
+        """Tape-free mapping on a plain ndarray; matches :meth:`forward`."""
+        return fourier_fast_forward(x, self.frequencies.data, self.include_input)
 
     def __repr__(self) -> str:
         return (

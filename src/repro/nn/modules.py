@@ -12,6 +12,33 @@ from .activations import Activation, get_activation
 from .initializers import get_initializer
 
 
+def mlp_fast_forward(
+    x: np.ndarray,
+    weights: Sequence[np.ndarray],
+    biases: Sequence[Optional[np.ndarray]],
+    activation: Activation,
+    output_activation: Optional[Activation] = None,
+) -> np.ndarray:
+    """Tape-free MLP forward on plain ndarrays.
+
+    The single implementation of the no-autodiff forward pass, shared by
+    :meth:`MLP.fast_forward` (live module weights) and the engine's
+    :class:`~repro.engine.frozen.FrozenMLP` (snapshot weights), so the
+    two paths cannot drift numerically.
+    """
+    out = np.asarray(x, dtype=np.float64)
+    last = len(weights) - 1
+    for index, (weight, bias) in enumerate(zip(weights, biases)):
+        out = out @ weight
+        if bias is not None:
+            out = out + bias
+        if index < last:
+            out = activation.array(out)
+    if output_activation is not None:
+        out = output_activation.array(out)
+    return out
+
+
 class Module:
     """Base class with recursive parameter registration.
 
@@ -124,6 +151,13 @@ class Dense(Module):
             out = out + self.bias
         return out
 
+    def fast_forward(self, x: np.ndarray) -> np.ndarray:
+        """Tape-free forward on a plain ndarray (no Tensor construction)."""
+        out = x @ self.weight.data
+        if self.use_bias:
+            out = out + self.bias.data
+        return out
+
     def __repr__(self) -> str:
         return f"Dense({self.in_features}, {self.out_features})"
 
@@ -165,6 +199,16 @@ class MLP(Module):
         if self.output_activation is not None:
             out = self.output_activation(out)
         return out
+
+    def fast_forward(self, x: np.ndarray) -> np.ndarray:
+        """Tape-free forward on a plain ndarray; matches :meth:`forward`."""
+        return mlp_fast_forward(
+            x,
+            [layer.weight.data for layer in self.layers],
+            [layer.bias.data if layer.use_bias else None for layer in self.layers],
+            self.activation,
+            self.output_activation,
+        )
 
     @property
     def in_features(self) -> int:

@@ -84,3 +84,32 @@ class TestEvaluateAndSpeedup:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSweep:
+    def test_sweep_streams_designs(self, tmp_path, capsys, monkeypatch):
+        import repro.experiments.common as common
+
+        monkeypatch.setattr(common, "DEFAULT_CACHE_DIR", tmp_path)
+        assert main(["sweep", "--experiment", "a", "--scale", "test",
+                     "--designs", "12", "--chunk", "5",
+                     "--compare-naive"]) == 0
+        out = capsys.readouterr().out
+        assert "serving engine sweep" in out
+        assert "designs/s" in out
+        assert "total parameters" in out
+        assert "engine speedup" in out
+
+    def test_sweep_loads_explicit_checkpoint(self, tmp_path, capsys,
+                                             monkeypatch):
+        import repro.experiments.common as common
+
+        monkeypatch.setattr(common, "DEFAULT_CACHE_DIR", tmp_path)
+        ckpt = tmp_path / "model.npz"
+        assert main(["train", "--experiment", "a", "--scale", "test",
+                     "--iterations", "3", "--output", str(ckpt),
+                     "--quiet"]) == 0
+        assert main(["sweep", "--experiment", "a", "--scale", "test",
+                     "--checkpoint", str(ckpt), "--designs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "trunk cache" in out
