@@ -10,12 +10,20 @@ foundation-model work).  This bench pins the acceptance shape:
   autodiff-layer forward, trunk included, once per design);
 * the engine's temperatures must match the legacy path to <= 1e-10 K.
 
+Methodology: the naive loop is timed over one full pass (it is seconds
+slow), the engine batch as the best of three repeats (it is sub-ms fast
+on a warm trunk cache); designs/sec = N / wall seconds.  With
+``REPRO_SMOKE=1`` (the CI perf-contract job) models shrink to the tiny
+"test" scale and only the <= 1e-10 K parity contract is asserted —
+throughput ratios on loaded CI runners are noise.
+
 Run with ``pytest benchmarks/bench_serving.py --benchmark-only``.
 """
 
 import time
 
 import numpy as np
+from conftest import SMOKE
 
 N_DESIGNS = 64
 
@@ -91,7 +99,8 @@ def test_serving_throughput_and_accuracy(benchmark, trained_a, out_dir):
     print("\n" + text)
 
     assert max_diff <= 1e-10, f"engine deviates from legacy path by {max_diff}"
-    assert speedup >= 10.0, f"engine only {speedup:.1f}x over the naive loop"
+    if not SMOKE:
+        assert speedup >= 10.0, f"engine only {speedup:.1f}x over the naive loop"
 
     benchmark(lambda: engine.predict_batch(designs, grid=grid))
 

@@ -8,6 +8,7 @@ table/figure to ``benchmarks/out/`` alongside the timing numbers.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -15,6 +16,11 @@ import pytest
 from repro.experiments import get_trained_setup
 
 OUT_DIR = Path(__file__).parent / "out"
+
+# REPRO_SMOKE=1 switches the suite into the CI perf-contract mode: tiny
+# "test"-scale models (seconds to train) and parity-only assertions.
+SMOKE = os.environ.get("REPRO_SMOKE", "") == "1"
+MODEL_SCALE = "test" if SMOKE else "ci"
 
 
 @pytest.fixture(scope="session")
@@ -26,13 +32,13 @@ def out_dir() -> Path:
 @pytest.fixture(scope="session")
 def trained_a():
     """CI-scale Experiment-A model (trained once, then disk-cached)."""
-    return get_trained_setup("a", scale="ci")
+    return get_trained_setup("a", scale=MODEL_SCALE)
 
 
 @pytest.fixture(scope="session")
 def trained_b():
     """CI-scale Experiment-B model (trained once, then disk-cached)."""
-    return get_trained_setup("b", scale="ci")
+    return get_trained_setup("b", scale=MODEL_SCALE)
 
 
 @pytest.fixture(scope="session")

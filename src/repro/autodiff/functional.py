@@ -45,25 +45,32 @@ def _traverse(
     grad_output: Optional[Tensor],
     create_graph: bool,
     wanted: Optional[set] = None,
-) -> Dict[int, Tensor]:
-    """Run reverse-mode accumulation.
+) -> Dict[int, Tuple[Tensor, Tensor]]:
+    """Run reverse-mode accumulation over one (cached) topological order.
 
-    Returns ``{id(node): grad}`` for leaves and for nodes listed in
-    ``wanted`` (all nodes when ``wanted`` is None); gradients of other
-    intermediates are dropped as soon as they have been propagated, keeping
-    peak memory proportional to the forward pass.
+    Returns ``{id(node): (node, grad)}`` for leaves and for nodes listed
+    in ``wanted`` (all nodes when ``wanted`` is None); gradients of other
+    intermediates are dropped as soon as they have been propagated,
+    keeping peak memory proportional to the forward pass.
+
+    When ``create_graph`` is off (the training hot path), fan-in
+    accumulation is done with in-place ``np.add`` into a buffer owned by
+    the traversal: the first contribution is kept as-is, the second
+    allocates the accumulation buffer once, and every later contribution
+    adds into it without constructing tape nodes or fresh arrays.
     """
     if not output.requires_grad:
         return {}
     order = _topological_order(output)
     grads: Dict[int, Tensor] = {id(output): _seed(output, grad_output)}
-    results: Dict[int, Tensor] = {}
+    owned: set = set()
+    results: Dict[int, Tuple[Tensor, Tensor]] = {}
     for node in reversed(order):
         node_grad = grads.pop(id(node), None)
         if node_grad is None:
             continue
         if wanted is None or id(node) in wanted or node._vjp is None:
-            results[id(node)] = node_grad
+            results[id(node)] = (node, node_grad)
         if node._vjp is None:
             continue
         if create_graph:
@@ -74,28 +81,33 @@ def _traverse(
         for parent, parent_grad in zip(node._parents, parent_grads):
             if parent_grad is None or not parent.requires_grad:
                 continue
-            existing = grads.get(id(parent))
+            pid = id(parent)
+            existing = grads.get(pid)
             if existing is None:
-                grads[id(parent)] = parent_grad
+                grads[pid] = parent_grad
+            elif create_graph:
+                grads[pid] = existing + parent_grad
+            elif pid in owned:
+                # Buffer allocated by us below: safe to mutate in place.
+                np.add(existing.data, parent_grad.data, out=existing.data)
             else:
-                if create_graph:
-                    grads[id(parent)] = existing + parent_grad
-                else:
-                    with no_grad():
-                        grads[id(parent)] = existing + parent_grad
+                # First fan-in: the held tensor may alias forward data or
+                # another node's cotangent, so allocate the accumulation
+                # buffer (once) instead of mutating it.
+                grads[pid] = Tensor(existing.data + parent_grad.data)
+                owned.add(pid)
     return results
 
 
 def backward(output: Tensor, grad_output: Optional[Tensor] = None) -> None:
     """Accumulate gradients into ``.grad`` of every reachable leaf tensor."""
     results = _traverse(output, grad_output, create_graph=False, wanted=set())
-    for node in _topological_order(output):
-        if node._vjp is None and node.requires_grad and id(node) in results:
-            increment = results[id(node)]
+    for node, increment in results.values():
+        if node._vjp is None and node.requires_grad:
             if node.grad is None:
                 node.grad = Tensor(increment.data.copy())
             else:
-                node.grad = Tensor(node.grad.data + increment.data)
+                np.add(node.grad.data, increment.data, out=node.grad.data)
 
 
 def grad(
@@ -121,7 +133,24 @@ def grad(
     """
     wanted = {id(t) for t in inputs}
     results = _traverse(output, grad_output, create_graph=create_graph, wanted=wanted)
-    return tuple(results.get(id(t), zeros_like(t)) for t in inputs)
+    grads = []
+    buffers = []
+    for t in inputs:
+        entry = results.get(id(t))
+        g = entry[1] if entry is not None else zeros_like(t)
+        # Single-fan-in VJPs may hand two inputs the *same* cotangent
+        # tensor (add(a, b) with equal shapes) or views of one buffer
+        # (reshape of a shared cotangent).  Copy overlapping results so
+        # callers that update gradients in place (clip_grad_norm) never
+        # touch one underlying buffer twice.  Skipped with create_graph,
+        # where a copy would sever the returned gradient's tape.
+        if not create_graph and any(
+            np.may_share_memory(g.data, buffer) for buffer in buffers
+        ):
+            g = Tensor(g.data.copy())
+        buffers.append(g.data)
+        grads.append(g)
+    return tuple(grads)
 
 
 def value_and_grad(fn, params: Sequence[Tensor]):

@@ -183,6 +183,12 @@ class Tensor:
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         return mean(self, axis=axis, keepdims=keepdims)
 
+    def sum_squares(self) -> "Tensor":
+        return sum_squares(self)
+
+    def mean_square(self) -> "Tensor":
+        return mean_square(self)
+
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         return max_(self, axis=axis, keepdims=keepdims)
 
@@ -579,11 +585,26 @@ def take(a: ArrayLike, index) -> Tensor:
     return _make(a.data[index], (a,), vjp, "take")
 
 
+def _is_basic_index(index) -> bool:
+    """True for indices made only of slices/ints (no repeated positions)."""
+    if isinstance(index, (slice, int)):
+        return True
+    if isinstance(index, tuple):
+        return all(isinstance(i, (slice, int)) for i in index)
+    return False
+
+
 def _scatter(g: Tensor, index, shape: Tuple[int, ...]) -> Tensor:
     """Adjoint of :func:`take`: scatter-add ``g`` into zeros of ``shape``."""
     g = astensor(g)
     out = np.zeros(shape, dtype=np.float64)
-    np.add.at(out, index, g.data)
+    if _is_basic_index(index):
+        # Basic indexing selects each position at most once, so the plain
+        # (much faster) in-place add is equivalent to the buffered
+        # ``np.add.at`` needed for repeated advanced indices.
+        out[index] += g.data
+    else:
+        np.add.at(out, index, g.data)
 
     def vjp(g2: Tensor):
         return (take(g2, index),)
@@ -628,6 +649,39 @@ def mean(a: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
     else:
         count = int(np.prod([a.shape[i] for i in axis_n]))
     return mul(sum_(a, axis=axis, keepdims=keepdims), 1.0 / count)
+
+
+def sum_squares(a: ArrayLike) -> Tensor:
+    """Fused ``sum(a * a)`` over all elements: one tape node, no square
+    temporary on the forward pass (a flat dot product instead).
+
+    The VJP ``2 * g * a`` is built from Tensor ops, so ``create_graph``
+    double-backward works as for any composed op.
+    """
+    a = astensor(a)
+    flat = np.ravel(a.data)
+
+    def vjp(g: Tensor):
+        return (mul(a, mul(g, 2.0)),)
+
+    return _make(np.dot(flat, flat), (a,), vjp, "sum_squares")
+
+
+def mean_square(a: ArrayLike) -> Tensor:
+    """Fused ``mean(a * a)`` over all elements (a single tape node).
+
+    This is the reduction every physics residual ends in (the MSE of
+    eq. 11); fusing it removes the square -> sum -> scale chain of tape
+    nodes and the ``a * a`` intermediate from the training hot path.
+    """
+    a = astensor(a)
+    flat = np.ravel(a.data)
+    scale = 2.0 / a.size
+
+    def vjp(g: Tensor):
+        return (mul(a, mul(g, scale)),)
+
+    return _make(np.dot(flat, flat) / a.size, (a,), vjp, "mean_square")
 
 
 def _extreme_reduction(a: Tensor, axis, keepdims: bool, np_fn, name: str) -> Tensor:

@@ -64,6 +64,11 @@ class PhysicsLossBuilder:
         self.nd = nd
         self.weights = dict(weights) if weights else {}
         self.l_ref = float(max(nd.lengths))
+        # Nondimensional Laplacian weights (L_ref/L_i)^2 of eq. (10); the
+        # trainer hands these to the Laplacian-fused stacked propagation.
+        self.axis_weights = tuple(
+            (self.l_ref / length) ** 2 for length in nd.lengths
+        )
         self._face_input: Dict[str, Tuple[int, ConfigInput]] = {}
         self._volumetric_input: Optional[Tuple[int, ConfigInput]] = None
         for index, config_input in enumerate(self.inputs):
@@ -104,6 +109,52 @@ class PhysicsLossBuilder:
         return config_input.values_at(raw, si)
 
     # ------------------------------------------------------------------
+    # Stream requirements (for the selective stacked combine).
+    # ------------------------------------------------------------------
+    def stream_requirements(self) -> Dict[str, Tuple[str, ...]]:
+        """Which streams each region's residual actually consumes.
+
+        Keys are region names, entries are sorted tuples drawn from
+        ``"value"``, ``"grad<axis>"`` and ``"laplacian"``.  The training
+        path uses this to combine only the (stream, point-range) pairs
+        the loss reads — e.g. a Neumann face needs just the gradient
+        along its own axis.  Must stay in lock-step with the branching in
+        :meth:`face_residual` / :meth:`interior_residual`; kinds those
+        methods would reject request everything so the error surfaces
+        there, exactly as on the unselective paths.
+        """
+        everything = tuple(
+            ["value"] + [f"grad{i}" for i in range(len(self.nd.lengths))]
+        )
+        requirements: Dict[str, Tuple[str, ...]] = {
+            "interior": ("laplacian",)
+        }
+        for face in Face:
+            override = self._face_input.get(face.name)
+            if override is not None:
+                kind = getattr(override[1], "residual_kind", "none")
+            else:
+                bc = self.config.bc_for(face)
+                if isinstance(bc, NeumannBC):
+                    kind = "neumann"
+                elif isinstance(bc, ConvectionBC):
+                    kind = "convection"
+                elif isinstance(bc, DirichletBC):
+                    kind = "dirichlet"
+                else:
+                    kind = "unknown"
+            if kind == "neumann":
+                need = (f"grad{face.axis}",)
+            elif kind == "convection":
+                need = (f"grad{face.axis}", "value")
+            elif kind == "dirichlet":
+                need = ("value",)
+            else:
+                need = everything
+            requirements[face.name] = tuple(sorted(need))
+        return requirements
+
+    # ------------------------------------------------------------------
     # Residuals.
     # ------------------------------------------------------------------
     def interior_residual(
@@ -117,10 +168,7 @@ class PhysicsLossBuilder:
         When a 3-D power-map input is configured, its per-function source
         values replace the base config's volumetric power.
         """
-        axis_weights = [
-            (self.l_ref / length) ** 2 for length in self.nd.lengths
-        ]
-        laplacian = streams.laplacian(axis_weights)
+        laplacian = streams.laplacian(self.axis_weights)
         k_values = self._pointwise(self.config.conductivity, si)
         if self._volumetric_input is not None:
             index, config_input = self._volumetric_input
@@ -141,8 +189,12 @@ class PhysicsLossBuilder:
         sign = 1.0 if face.is_max else -1.0
         axis = face.axis
         length = self.nd.lengths[axis]
-        normal_grad = sign * streams.gradient[axis]
         k_values = self._pointwise(self.config.conductivity, si)
+
+        def normal_grad() -> Tensor:
+            # Lazy: Dirichlet residuals never touch the gradient stream,
+            # and the selective stacked combine does not provide it there.
+            return sign * streams.gradient[axis]
 
         override = self._face_input.get(face.name)
         bc = self.config.bc_for(face)
@@ -154,12 +206,12 @@ class PhysicsLossBuilder:
             kind = getattr(config_input, "residual_kind", "none")
             if kind == "neumann":
                 target = values * length / (k_values * self.nd.dt_ref)
-                return normal_grad - ad.tensor(target)
+                return normal_grad() - ad.tensor(target)
             if kind == "convection":
                 biot = values * length / k_values
                 offset = (self.nd.t_ref - config_input.t_ambient) / self.nd.dt_ref
                 theta = streams.value + offset
-                return normal_grad + ad.tensor(biot) * theta
+                return normal_grad() + ad.tensor(biot) * theta
             if kind == "dirichlet":
                 target = (values - self.nd.t_ref) / self.nd.dt_ref
                 return streams.value - ad.tensor(target)
@@ -171,13 +223,13 @@ class PhysicsLossBuilder:
         if isinstance(bc, NeumannBC):  # covers AdiabaticBC
             influx = self._pointwise(bc.flux_into_body, si)
             target = influx * length / (k_values * self.nd.dt_ref)
-            return normal_grad - ad.tensor(target)
+            return normal_grad() - ad.tensor(target)
         if isinstance(bc, ConvectionBC):
             htc = self._pointwise(bc.htc_values, si)
             biot = htc * length / k_values
             offset = (self.nd.t_ref - bc.t_ambient) / self.nd.dt_ref
             theta = streams.value + offset
-            return normal_grad + ad.tensor(biot) * theta
+            return normal_grad() + ad.tensor(biot) * theta
         if isinstance(bc, DirichletBC):
             t_fixed = self._pointwise(bc.temperature, si)
             target = (t_fixed - self.nd.t_ref) / self.nd.dt_ref
@@ -207,7 +259,9 @@ class PhysicsLossBuilder:
         values: Dict[str, float] = {}
         for name, residual in components.items():
             weight = self.weights.get(name, 1.0)
-            term = weight * ad.mean(residual * residual)
+            # ad.mean_square fuses square -> mean into a single tape node
+            # (and skips the residual-sized square temporary).
+            term = weight * ad.mean_square(residual)
             values[name] = term.item()
             total = term if total is None else total + term
         return total, values

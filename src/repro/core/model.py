@@ -18,7 +18,7 @@ from ..engine import CompiledSurrogate
 from ..fdm import ThermalSolution, solve_steady
 from ..geometry import StructuredGrid
 from ..nn import MIONet, load_checkpoint, save_checkpoint
-from ..nn.taylor import DerivativeStreams
+from ..nn.taylor import DerivativeStreams, stream_block_index
 from .configs import ChipConfig
 from .encoding import ConfigInput, apply_design
 from .losses import PhysicsLossBuilder
@@ -67,6 +67,9 @@ class DeepOHeat:
         self.nd = config.nondimensionalizer(dt_ref)
         self.builder = PhysicsLossBuilder(config, inputs, self.nd, loss_weights)
         self._engine: Optional[CompiledSurrogate] = None
+        # Per-batch derived geometry (regions/offsets/points/selections),
+        # keyed by batch object identity; see compute_loss.
+        self._loss_geometry: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # Encoding
@@ -95,23 +98,65 @@ class DeepOHeat:
     # Loss
     # ------------------------------------------------------------------
     def compute_loss(
-        self, raws: Sequence[np.ndarray], batch: CollocationBatch
+        self,
+        raws: Sequence[np.ndarray],
+        batch: CollocationBatch,
+        stacked: bool = True,
     ) -> Tuple[Tensor, Dict[str, float]]:
-        """Physics loss over a batch of sampled configurations."""
+        """Physics loss over a batch of sampled configurations.
+
+        ``stacked`` selects the fused single-tensor derivative-stream
+        propagation (the default training hot path, carrying the weighted
+        Laplacian instead of per-axis Hessians); ``stacked=False`` runs
+        the legacy per-axis streams as the numerical reference.
+        """
         branch_inputs = self.encode_raws(raws)
-        regions = list(batch.hat)
-        counts = [batch.hat[r].shape[-2] for r in regions]
-        offsets = np.concatenate([[0], np.cumsum(counts)]).astype(int)
+        geometry = self._loss_geometry
+        if geometry is None or geometry.get("batch") is not batch:
+            # Fixed-mesh plans return the identical batch object every
+            # iteration; caching the derived geometry keeps the
+            # points-array identity stable so the trunk's constant-prefix
+            # cache hits, and reuses the (range/index) selections.  The
+            # concatenation / selection entries are filled lazily by
+            # whichever path runs.
+            regions = list(batch.hat)
+            counts = [batch.hat[r].shape[-2] for r in regions]
+            offsets = np.concatenate([[0], np.cumsum(counts)]).astype(int)
+            geometry = {"batch": batch, "regions": regions, "offsets": offsets}
+            self._loss_geometry = geometry
+        regions = geometry["regions"]
+        offsets = geometry["offsets"]
+
+        lap_weights = self.builder.axis_weights if stacked else None
+        if stacked and not batch.aligned:
+            if "selections" not in geometry:
+                geometry["trunk_points"], geometry["selections"] = (
+                    self._build_selections(batch, regions, offsets)
+                )
+            streams_by_region = self._selected_streams(
+                branch_inputs,
+                geometry["trunk_points"],
+                geometry["selections"],
+                regions,
+                lap_weights,
+            )
+            return self.builder.loss(streams_by_region, batch, raws)
+
+        if "all_points" not in geometry:
+            axis = 1 if batch.aligned else 0
+            geometry["all_points"] = np.concatenate(
+                [batch.hat[r] for r in regions], axis=axis
+            )
+        all_points = geometry["all_points"]
 
         if batch.aligned:
-            all_points = np.concatenate([batch.hat[r] for r in regions], axis=1)
             streams = self.net.forward_aligned_with_derivatives(
-                branch_inputs, all_points
+                branch_inputs, all_points, stacked=stacked,
+                laplacian_weights=lap_weights,
             )
         else:
-            all_points = np.concatenate([batch.hat[r] for r in regions], axis=0)
             streams = self.net.forward_cartesian_with_derivatives(
-                branch_inputs, all_points
+                branch_inputs, all_points, stacked=stacked,
             )
 
         streams_by_region: Dict[str, DerivativeStreams] = {}
@@ -121,8 +166,96 @@ class DeepOHeat:
                 value=streams.value[window],
                 gradient=[g[window] for g in streams.gradient],
                 hessian_diag=[h[window] for h in streams.hessian_diag],
+                laplacian_weighted=(
+                    streams.laplacian_weighted[window]
+                    if streams.laplacian_weighted is not None and region == "interior"
+                    else None
+                ),
+                laplacian_axis_weights=streams.laplacian_axis_weights,
             )
         return self.builder.loss(streams_by_region, batch, raws)
+
+    def _build_selections(
+        self, batch: CollocationBatch, regions: Sequence[str], offsets: np.ndarray
+    ):
+        """Map each (region, required stream) pair to stack rows.
+
+        The builder declares which streams each residual reads
+        (:meth:`PhysicsLossBuilder.stream_requirements`).  With a
+        deduplicating batch (structured mesh: face nodes are rows of the
+        base region) the trunk runs only on the unique base points and
+        face windows become index selections into the stack; otherwise
+        the regions' concatenated points are used with range selections.
+        Returns ``(trunk_points, [(region, need, rows), ...])``.
+        """
+        dedup = batch.dedup_indices if batch.dedup_base else None
+        if dedup is not None:
+            trunk_points = batch.hat[batch.dedup_base]
+        else:
+            trunk_points = np.concatenate(
+                [batch.hat[r] for r in regions], axis=0
+            )
+        n, d = trunk_points.shape
+        requirements = self.builder.stream_requirements()
+
+        selections = []  # (region, need, rows) — rows: (start, stop) | index array
+        for region, start, stop in zip(regions, offsets[:-1], offsets[1:]):
+            for need in requirements[region]:
+                base = stream_block_index(need, d) * n
+                if dedup is None:
+                    rows = (base + int(start), base + int(stop))
+                elif region == batch.dedup_base:
+                    rows = (base, base + n)
+                else:
+                    rows = base + dedup[region]
+                selections.append((region, need, rows))
+        return trunk_points, selections
+
+    def _selected_streams(
+        self,
+        branch_inputs: Sequence[Tensor],
+        trunk_points: np.ndarray,
+        selections,
+        regions: Sequence[str],
+        lap_weights: Sequence[float],
+    ) -> Dict[str, DerivativeStreams]:
+        """Combine only the (stream, region) windows the loss consumes.
+
+        ``MIONet.forward_cartesian_selected`` contracts the selected
+        windows in one fused ``gather_combine`` node — skipping e.g. the
+        interior windows of all gradient streams, by far the widest
+        unused blocks — and, with a deduplicating batch, evaluates the
+        trunk only once per unique mesh node.
+        """
+        d = trunk_points.shape[1]
+        combined, _ = self.net.forward_cartesian_selected(
+            branch_inputs,
+            trunk_points,
+            [rows for _, _, rows in selections],
+            laplacian_weights=lap_weights,
+        )
+
+        parts: Dict[str, Dict[str, Tensor]] = {region: {} for region in regions}
+        col = 0
+        for region, need, rows in selections:
+            length = (rows[1] - rows[0]) if isinstance(rows, tuple) else len(rows)
+            window = combined[:, col : col + length]
+            col += length
+            if need == "value":
+                window = window + self.net.bias
+            parts[region][need] = window
+
+        streams_by_region: Dict[str, DerivativeStreams] = {}
+        for region in regions:
+            entries = parts[region]
+            streams_by_region[region] = DerivativeStreams(
+                value=entries.get("value"),
+                gradient=[entries.get(f"grad{i}") for i in range(d)],
+                hessian_diag=[],
+                laplacian_weighted=entries.get("laplacian"),
+                laplacian_axis_weights=tuple(lap_weights),
+            )
+        return streams_by_region
 
     # ------------------------------------------------------------------
     # Serving engine

@@ -30,11 +30,21 @@ class CollocationBatch:
 
     ``hat[region]`` is (n_pts, 3) for cartesian mode or
     (n_funcs, n_pts, 3) for aligned mode; ``si`` mirrors the layout.
+
+    When every region's points are rows of one base region (a structured
+    mesh: face nodes are mesh nodes), ``dedup_base`` names that region
+    and ``dedup_indices[region]`` holds each other region's row indices
+    into it (unique within a region, in the region's own row order).
+    The stacked training path then evaluates the trunk only on the
+    unique points and gathers region windows by index instead of
+    propagating duplicate rows.
     """
 
     hat: Dict[str, np.ndarray]
     si: Dict[str, np.ndarray]
     aligned: bool
+    dedup_base: Optional[str] = None
+    dedup_indices: Optional[Dict[str, np.ndarray]] = None
 
     @property
     def regions(self) -> Tuple[str, ...]:
@@ -71,13 +81,27 @@ class MeshCollocation(CollocationPlan):
         points = grid.points()
         self._si = {"interior": points}
         self._hat = {"interior": nd.to_hat(points)}
+        dedup_indices = {}
         for face in Face:
             face_points = grid.face_points(face)
             self._si[face.name] = face_points
             self._hat[face.name] = nd.to_hat(face_points)
+            # face_points is points()[face_mask], so the flat node indices
+            # are exactly the face rows' positions in the interior block.
+            dedup_indices[face.name] = grid.face_indices(face)
+        # The grid never changes, so the batch is assembled exactly once;
+        # every iteration gets the same (read-only by convention) views
+        # rather than fresh dicts/arrays.
+        self._batch = CollocationBatch(
+            hat=self._hat,
+            si=self._si,
+            aligned=False,
+            dedup_base="interior",
+            dedup_indices=dedup_indices,
+        )
 
     def batch(self, rng: np.random.Generator, n_funcs: int) -> CollocationBatch:
-        return CollocationBatch(hat=dict(self._hat), si=dict(self._si), aligned=False)
+        return self._batch
 
 
 class RandomCollocation(CollocationPlan):

@@ -43,6 +43,10 @@ class TrainerConfig:
     balance_every: Optional[int] = None
     balance_momentum: float = 0.7
     balance_clip: float = 100.0
+    # Fused stacked derivative-stream propagation (see repro.nn.taylor).
+    # False falls back to the legacy per-axis tape chains — the reference
+    # path the fused-kernel parity tests and benchmarks compare against.
+    stacked: bool = True
 
     def schedule(self) -> ExponentialDecay:
         return ExponentialDecay(
@@ -120,7 +124,7 @@ class Trainer:
                 for config_input in self.model.inputs
             ]
             batch = self.plan.batch(rng, cfg.n_functions)
-            total, parts = self.model.compute_loss(raws, batch)
+            total, parts = self.model.compute_loss(raws, batch, stacked=cfg.stacked)
             if cfg.balance_every and iteration % cfg.balance_every == 0:
                 self._rebalance(parts)
             grads = ad.grad(total, params)

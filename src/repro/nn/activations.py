@@ -13,7 +13,7 @@ can reproduce that comparison.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -44,6 +44,28 @@ class Activation:
     def second(self, x: Tensor) -> Tensor:
         raise NotImplementedError
 
+    def taylor(self, x: Tensor) -> "Tuple[Tensor, Tensor, Tensor]":
+        """``(value, first, second)`` with shared subexpressions.
+
+        The stacked second-order propagation needs all three at once;
+        evaluating them together lets an activation compute its expensive
+        inner transcendental (sigmoid, tanh, ...) a single time instead
+        of once per stream.  The default simply delegates.
+        """
+        return self.value(x), self.first(x), self.second(x)
+
+    def array_taylor3(self, x: np.ndarray):
+        """``(value, first, second, third)`` as plain ndarrays, or None.
+
+        The fused stacked-activation training kernel needs sigma through
+        its *third* derivative: the forward pass propagates (sigma,
+        sigma', sigma'') and the hand-written VJP differentiates them one
+        more order.  Activations that return None here (no closed-form
+        third derivative implemented) fall back to the composed
+        tape-level stacked propagation, which needs only ``taylor``.
+        """
+        return None
+
     def __call__(self, x: Tensor) -> Tensor:
         return self.value(x)
 
@@ -71,6 +93,32 @@ class Swish(Activation):
         s_prime = s * (1.0 - s)
         return s_prime * (2.0 + x * (1.0 - 2.0 * s))
 
+    def array_taylor3(self, x: np.ndarray):
+        # In-place formulation: the stacked training kernel calls this on
+        # every activation layer, so each avoided temporary is a full
+        # (n, width) pass saved.
+        s = np.exp(-x)
+        s += 1.0
+        np.divide(1.0, s, out=s)               # s = sigmoid(x)
+        u = 1.0 - s                             # 1 - s
+        sp = s * u                              # sigma of the sigmoid
+        u -= s                                  # u = 1 - 2 s
+        value = x * s
+        first = x * sp
+        first += s                              # s + x sp
+        second = x * u
+        second += 2.0                           # 2 + x u
+        second *= sp
+        third = u * u
+        third *= x                              # x u^2
+        tmp = x * sp
+        tmp *= 2.0
+        third -= tmp                            # x u^2 - 2 x sp
+        np.multiply(u, 3.0, out=tmp)
+        third += tmp                            # 3 u + x u^2 - 2 x sp
+        third *= sp
+        return value, first, second, third
+
 
 class Tanh(Activation):
     name = "tanh"
@@ -88,6 +136,11 @@ class Tanh(Activation):
     def second(self, x: Tensor) -> Tensor:
         t = ad.tanh(x)
         return -2.0 * t * (1.0 - t * t)
+
+    def array_taylor3(self, x: np.ndarray):
+        t = np.tanh(x)
+        first = 1.0 - t * t
+        return t, first, -2.0 * t * first, first * (6.0 * t * t - 2.0)
 
 
 class Sine(Activation):
@@ -110,6 +163,12 @@ class Sine(Activation):
     def second(self, x: Tensor) -> Tensor:
         return -(self.frequency**2) * ad.sin(self.frequency * x)
 
+    def array_taylor3(self, x: np.ndarray):
+        f = self.frequency
+        angle = f * x
+        s, c = np.sin(angle), np.cos(angle)
+        return s, f * c, -(f**2) * s, -(f**3) * c
+
 
 class Relu(Activation):
     """ReLU — second derivative is zero a.e.; unsuited for PDE residuals
@@ -128,6 +187,11 @@ class Relu(Activation):
 
     def second(self, x: Tensor) -> Tensor:
         return ad.zeros_like(x)
+
+    def array_taylor3(self, x: np.ndarray):
+        first = (x > 0.0).astype(np.float64)
+        zero = np.zeros_like(x)
+        return np.maximum(x, 0.0), first, zero, zero
 
 
 class Gelu(Activation):
@@ -161,6 +225,27 @@ class Gelu(Activation):
         u2 = 6.0 * self._C * self._A * x
         return t1 * u1 + 0.5 * x * (t2 * u1 * u1 + t1 * u2)
 
+    def array_taylor3(self, x: np.ndarray):
+        u1 = self._C * (1.0 + 3.0 * self._A * x * x)
+        u2 = 6.0 * self._C * self._A * x
+        u3 = 6.0 * self._C * self._A
+        t = np.tanh(self._C * (x + self._A * x * x * x))
+        one_minus_t2 = 1.0 - t * t
+        # Chain rule through t = tanh(u(x)):
+        t_1 = one_minus_t2 * u1
+        t_2 = one_minus_t2 * u2 - 2.0 * t * one_minus_t2 * u1 * u1
+        t_3 = (
+            one_minus_t2 * u3
+            - 6.0 * t * one_minus_t2 * u1 * u2
+            - 2.0 * one_minus_t2 * one_minus_t2 * u1**3
+            + 4.0 * t * t * one_minus_t2 * u1**3
+        )
+        value = 0.5 * x * (1.0 + t)
+        first = 0.5 * (1.0 + t) + 0.5 * x * t_1
+        second = t_1 + 0.5 * x * t_2
+        third = 1.5 * t_2 + 0.5 * x * t_3
+        return value, first, second, third
+
 
 class Identity(Activation):
     name = "identity"
@@ -176,6 +261,10 @@ class Identity(Activation):
 
     def second(self, x: Tensor) -> Tensor:
         return ad.zeros_like(x)
+
+    def array_taylor3(self, x: np.ndarray):
+        zero = np.zeros_like(x)
+        return x, np.ones_like(x), zero, zero
 
 
 _REGISTRY: Dict[str, type] = {

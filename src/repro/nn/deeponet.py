@@ -21,15 +21,79 @@ Two batching modes mirror the paper's two experiments:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from .. import autodiff as ad
 from ..autodiff import Tensor
+from ..autodiff.tensor import _make as _make_op
 from .fourier import FourierFeatures
 from .modules import MLP, Module
-from .taylor import DerivativeStreams, trunk_with_derivatives
+from .taylor import (
+    DerivativeStreams,
+    StackedStreams,
+    propagate_stacked_mlp,
+    stacked_prefix,
+    trunk_with_derivatives,
+)
+
+
+def gather_combine(features: Tensor, stack: Tensor, selections) -> Tensor:
+    """Contract branch features against *selected rows* of a stream
+    stack: ``concat([features @ stack[sel].T for sel in selections],
+    axis=1)`` as one fused tape node.
+
+    The physics loss reads only a fraction of the combined streams (the
+    Laplacian at interior points, a face's own-axis gradient at its
+    points, ...), so combining just those (stream, point-window) pairs
+    cuts the dgemm work of the combine step and its VJP several-fold.
+
+    Each selection is either a ``(start, stop)`` pair or an integer index
+    array whose entries are **unique within that selection** (required
+    for the in-place fancy-index accumulation in the VJP; selections may
+    overlap each other, e.g. deduplicated mesh faces sharing edge nodes
+    with another stream block).  The VJP is hand-written numpy
+    (``create_graph`` is unsupported, like the other fused kernels).
+    """
+    f, s = features.data, stack.data
+    subsets = [
+        s[sel[0] : sel[1]] if isinstance(sel, tuple) else s[sel]
+        for sel in selections
+    ]
+    lengths = [sub.shape[0] for sub in subsets]
+    out = np.empty((f.shape[0], int(sum(lengths))))
+    col = 0
+    for sub, length in zip(subsets, lengths):
+        out[:, col : col + length] = f @ sub.T
+        col += length
+
+    def vjp(g: Tensor):
+        if ad.is_grad_enabled():
+            raise NotImplementedError(
+                "gather_combine does not support create_graph; use the "
+                "per-axis path (stacked=False) for higher-order derivatives"
+            )
+        g_data = g.data
+        g_features = np.zeros_like(f) if features.requires_grad else None
+        g_stack = np.zeros_like(s) if stack.requires_grad else None
+        col = 0
+        for sel, sub, length in zip(selections, subsets, lengths):
+            g_part = g_data[:, col : col + length]
+            if g_features is not None:
+                g_features += g_part @ sub
+            if g_stack is not None:
+                if isinstance(sel, tuple):
+                    g_stack[sel[0] : sel[1]] += g_part.T @ f
+                else:
+                    g_stack[sel] += g_part.T @ f
+            col += length
+        return (
+            Tensor(g_features) if g_features is not None else None,
+            Tensor(g_stack) if g_stack is not None else None,
+        )
+
+    return _make_op(out, (features, stack), vjp, "gather_combine")
 
 
 class TrunkNet(Module):
@@ -44,6 +108,7 @@ class TrunkNet(Module):
             )
         self.mlp = mlp
         self.fourier = fourier
+        self._stack_prefix_cache = None
 
     @property
     def in_features(self) -> int:
@@ -63,8 +128,43 @@ class TrunkNet(Module):
         out = self.fourier.fast_forward(points) if self.fourier else points
         return self.mlp.fast_forward(out)
 
-    def with_derivatives(self, points: np.ndarray) -> DerivativeStreams:
-        return trunk_with_derivatives(points, self.mlp, self.fourier)
+    def with_derivatives(
+        self, points: np.ndarray, stacked: bool = True
+    ) -> DerivativeStreams:
+        if stacked:
+            # Route through stacked_streams so repeated evaluation on the
+            # same points array reuses the cached constant prefix.
+            return self.stacked_streams(points).unpack()
+        return trunk_with_derivatives(
+            points, self.mlp, self.fourier, stacked=False
+        )
+
+    def stacked_streams(
+        self,
+        points: np.ndarray,
+        laplacian_weights: Optional[Sequence[float]] = None,
+    ) -> StackedStreams:
+        """Fused stacked-layout streams (see :mod:`repro.nn.taylor`).
+
+        The seed + Fourier prefix of the stack depends only on the
+        (fixed) frequencies and the points, not on any trainable weight,
+        so it is cached and reused as long as the *same points array
+        object* comes back — which is every iteration for a fixed-mesh
+        collocation plan.
+        """
+        key = (
+            None
+            if laplacian_weights is None
+            else tuple(float(w) for w in laplacian_weights)
+        )
+        cache = self._stack_prefix_cache
+        if cache is not None and cache[0] is points and cache[1] == key:
+            prefix = cache[2]
+        else:
+            prefix = stacked_prefix(points, self.fourier, laplacian_weights)
+            if not prefix.data.requires_grad:
+                self._stack_prefix_cache = (points, key, prefix)
+        return propagate_stacked_mlp(prefix, self.mlp)
 
 
 class MIONet(Module):
@@ -146,18 +246,72 @@ class MIONet(Module):
         self,
         branch_inputs: Sequence[Tensor],
         points: np.ndarray,
+        stacked: bool = True,
+        laplacian_weights: Optional[Sequence[float]] = None,
     ) -> DerivativeStreams:
         """Cartesian prediction plus spatial derivative fields.
 
         Returns streams whose entries have shape (n_funcs, n_points); the
-        bias only offsets the value, not the derivatives.
+        bias only offsets the value, not the derivatives.  The default
+        stacked path contracts branch features against all trunk streams
+        in one matmul and slices per-axis views afterwards;
+        ``stacked=False`` keeps the legacy per-stream combine.  With
+        ``laplacian_weights`` (stacked only) the streams carry the fused
+        weighted Laplacian instead of per-axis Hessians.
         """
         features = self.branch_features(branch_inputs)
-        trunk_streams = self.trunk.with_derivatives(points)
+        if stacked:
+            streams = self.trunk.stacked_streams(points, laplacian_weights)
+            n, d = streams.n, streams.n_dims
+            combined = features @ streams.data.T
+            value = combined[:, :n] + self.bias
+            gradient = [
+                combined[:, (1 + i) * n : (2 + i) * n] for i in range(d)
+            ]
+            if streams.laplacian_weights is not None:
+                return DerivativeStreams(
+                    value,
+                    gradient,
+                    [],
+                    laplacian_weighted=combined[:, (1 + d) * n :],
+                    laplacian_axis_weights=tuple(
+                        float(w) for w in streams.laplacian_weights
+                    ),
+                )
+            hessian = [
+                combined[:, (1 + d + i) * n : (2 + d + i) * n]
+                for i in range(d)
+            ]
+            return DerivativeStreams(value, gradient, hessian)
+        if laplacian_weights is not None:
+            raise ValueError("laplacian_weights requires the stacked path")
+        trunk_streams = self.trunk.with_derivatives(points, stacked=False)
         value = features @ trunk_streams.value.T + self.bias
         gradient = [features @ g.T for g in trunk_streams.gradient]
         hessian = [features @ h.T for h in trunk_streams.hessian_diag]
         return DerivativeStreams(value, gradient, hessian)
+
+    def forward_cartesian_selected(
+        self,
+        branch_inputs: Sequence[Tensor],
+        points: np.ndarray,
+        selections,
+        laplacian_weights: Optional[Sequence[float]] = None,
+    ) -> Tuple[Tensor, StackedStreams]:
+        """Stacked trunk propagation + selective combine.
+
+        Returns ``(combined, streams)`` where ``combined`` is
+        ``(n_funcs, sum(selection lengths))`` — the concatenation of
+        ``features @ stack[sel].T`` over ``selections`` (ranges or index
+        arrays of rows in the stacked layout, see
+        :class:`StackedStreams` and :func:`gather_combine`).  The caller
+        slices it back apart; the trainer uses this to combine only the
+        stream windows the physics loss reads.  The scalar bias is *not*
+        added (it belongs to value entries only).
+        """
+        features = self.branch_features(branch_inputs)
+        streams = self.trunk.stacked_streams(points, laplacian_weights)
+        return gather_combine(features, streams.data, selections), streams
 
     # ------------------------------------------------------------------
     def forward_aligned(
@@ -177,13 +331,46 @@ class MIONet(Module):
         self,
         branch_inputs: Sequence[Tensor],
         points: np.ndarray,
+        stacked: bool = True,
+        laplacian_weights: Optional[Sequence[float]] = None,
     ) -> DerivativeStreams:
-        """Aligned prediction plus derivatives; entries shaped (n_funcs, n_pts)."""
+        """Aligned prediction plus derivatives; entries shaped (n_funcs, n_pts).
+
+        The default stacked path tiles the repeated branch features over
+        all stream blocks and contracts the whole stack with a single
+        elementwise product + row reduction; ``stacked=False`` keeps the
+        legacy per-stream contraction.  ``laplacian_weights`` behaves as
+        in :meth:`forward_cartesian_with_derivatives`.
+        """
         points = np.asarray(points, dtype=np.float64)
         n_funcs, n_pts, _ = points.shape
         features = self.branch_features(branch_inputs)
         features = ad.repeat_rows(features, n_pts)
-        trunk_streams = self.trunk.with_derivatives(points.reshape(n_funcs * n_pts, -1))
+        flat_points = points.reshape(n_funcs * n_pts, -1)
+        if stacked:
+            streams = self.trunk.stacked_streams(flat_points, laplacian_weights)
+            d = streams.n_dims
+            blocks = streams.n_blocks
+            feature_stack = ad.tile_rows(features, blocks)
+            summed = ad.sum_(feature_stack * streams.data, axis=1)
+            grouped = ad.reshape(summed, (blocks, n_funcs, n_pts))
+            value = grouped[0] + self.bias
+            gradient = [grouped[1 + i] for i in range(d)]
+            if streams.laplacian_weights is not None:
+                return DerivativeStreams(
+                    value,
+                    gradient,
+                    [],
+                    laplacian_weighted=grouped[1 + d],
+                    laplacian_axis_weights=tuple(
+                        float(w) for w in streams.laplacian_weights
+                    ),
+                )
+            hessian = [grouped[1 + d + i] for i in range(d)]
+            return DerivativeStreams(value, gradient, hessian)
+        if laplacian_weights is not None:
+            raise ValueError("laplacian_weights requires the stacked path")
+        trunk_streams = self.trunk.with_derivatives(flat_points, stacked=False)
 
         def contract(stream: Tensor) -> Tensor:
             return ad.reshape(ad.sum_(features * stream, axis=1), (n_funcs, n_pts))

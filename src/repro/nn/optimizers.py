@@ -38,6 +38,8 @@ class Optimizer:
             raise ValueError(
                 f"got {len(grads)} grads for {len(self.params)} parameters"
             )
+        # np.asarray passes ndarrays through untouched, so this stays
+        # allocation-free for the hot path's Tensor/ndarray inputs.
         return [g.data if isinstance(g, Tensor) else np.asarray(g) for g in grads]
 
     def step(self, grads: Optional[Sequence[GradLike]] = None) -> None:
@@ -92,33 +94,69 @@ class Adam(Optimizer):
         self.weight_decay = float(weight_decay)
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        # One scratch buffer per parameter makes step() allocation-free.
+        self._scratch = [np.empty_like(p.data) for p in self.params]
 
     def step(self, grads: Optional[Sequence[GradLike]] = None) -> None:
+        """Fully in-place update: every array op writes into the moment
+        buffers, the per-parameter scratch, or the parameter itself, and
+        the bias corrections are folded into a single fused scale."""
         resolved = self._resolve_grads(grads)
         self.step_count += 1
         t = self.step_count
         bias1 = 1.0 - self.beta1**t
         bias2 = 1.0 - self.beta2**t
-        for param, grad, m, v in zip(self.params, resolved, self._m, self._v):
-            m *= self.beta1
-            m += (1.0 - self.beta1) * grad
-            v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
+        step_scale = self.lr / bias1
+        decay_scale = 1.0 - self.lr * self.weight_decay
+        for param, grad, m, v, buf in zip(
+            self.params, resolved, self._m, self._v, self._scratch
+        ):
+            np.multiply(m, self.beta1, out=m)
+            np.multiply(grad, 1.0 - self.beta1, out=buf)
+            np.add(m, buf, out=m)
+            np.multiply(v, self.beta2, out=v)
+            np.multiply(grad, grad, out=buf)
+            np.multiply(buf, 1.0 - self.beta2, out=buf)
+            np.add(v, buf, out=v)
+            # buf <- lr/bias1 * m / (sqrt(v / bias2) + eps)
+            np.divide(v, bias2, out=buf)
+            np.sqrt(buf, out=buf)
+            buf += self.eps
+            np.divide(m, buf, out=buf)
+            np.multiply(buf, step_scale, out=buf)
             if self.weight_decay > 0.0:
-                param.data -= self.lr * self.weight_decay * param.data
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+                np.multiply(param.data, decay_scale, out=param.data)
+            np.subtract(param.data, buf, out=param.data)
 
 
 def clip_grad_norm(grads: Sequence[GradLike], max_norm: float) -> List[np.ndarray]:
-    """Scale gradients so their global L2 norm is at most ``max_norm``."""
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    The scaling happens **in place** on the gradient arrays (which the
+    training loop produces fresh every iteration), so the hot path does
+    no allocation beyond the returned list; the norm itself is a flat dot
+    product per array rather than a squared temporary.  Entries that may
+    share memory with an earlier entry (identical objects, aliasing
+    views) are replaced by copies before scaling, so no buffer is ever
+    scaled twice regardless of how the gradients were produced.
+    """
     arrays = [g.data if isinstance(g, Tensor) else np.asarray(g) for g in grads]
-    total = float(np.sqrt(sum(np.sum(a * a) for a in arrays)))
+    total = float(
+        np.sqrt(sum(float(np.dot(a.reshape(-1), a.reshape(-1))) for a in arrays))
+    )
     if total <= max_norm or total == 0.0:
         return arrays
     scale = max_norm / total
-    return [a * scale for a in arrays]
+    cleaned: List[np.ndarray] = []
+    for a in arrays:
+        if not a.flags.writeable or any(
+            np.may_share_memory(a, b) for b in cleaned
+        ):
+            a = a.copy()
+        cleaned.append(a)
+    for a in cleaned:
+        np.multiply(a, scale, out=a)
+    return cleaned
 
 
 class LBFGS(Optimizer):

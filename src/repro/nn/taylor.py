@@ -20,17 +20,42 @@ All streams are built from :mod:`repro.autodiff` ops, so one ordinary
 reverse pass through the final loss yields gradients with respect to every
 network parameter.  The generic double-backward path of the autodiff engine
 is used by the test-suite to verify these propagation rules.
+
+Two equivalent propagation layouts are provided:
+
+* the original **per-axis** layout (:class:`DerivativeStreams`): 2d+1
+  independent (n, width) tensors, one tape chain each — 7 small matmuls
+  per Dense layer in 3-D.  Kept as the numerical reference, reachable via
+  ``trunk_with_derivatives(..., stacked=False)``.
+* the **stacked** layout (:class:`StackedStreams`): all streams packed
+  row-wise into a single ``((2d+1)*n, width)`` tensor ``[V; G_1..G_d;
+  H_1..H_d]``.  Linear maps commute with differentiation, so a Dense
+  layer is *one* large matmul (a single fused tape node whose bias lands
+  on the value block only) and each activation step is one fused kernel:
+  the forward propagates (sigma, sigma', sigma'') in plain numpy and the
+  hand-written VJP uses the closed-form *third* derivative.  This cuts
+  tape nodes per trunk layer from ~30 to 2 and replaces many small BLAS
+  calls with few large ones — the training hot path.
+
+The training loss never consumes per-axis Hessians, only the weighted
+Laplacian ``sum_i w_i H_i`` (eq. 10) and per-axis gradients (eqs. 8/9),
+so the stacked layout optionally fuses the d Hessian blocks into that
+single combination (``laplacian_weights``): ``((d+2)*n, width)`` rows
+instead of ``((2d+1)*n, width)`` through every matmul.  Both stacked
+variants match the per-axis reference to machine precision (see
+``tests/test_taylor_fused.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .. import autodiff as ad
 from ..autodiff import Tensor
+from ..autodiff.tensor import _make as _make_op
 from .activations import Activation
 from .fourier import FourierFeatures
 from .modules import Dense, MLP
@@ -43,11 +68,22 @@ class DerivativeStreams:
     ``gradient[i]`` and ``hessian_diag[i]`` correspond to the i-th *input*
     coordinate of the propagated network.  All entries share the row layout
     of the evaluation points.
+
+    The Laplacian-fused training path does not carry per-axis Hessians at
+    all: it propagates the single weighted combination
+    ``sum_i w_i d^2V/dx_i^2`` instead, stored in ``laplacian_weighted``
+    (with the weights it was built for in ``laplacian_axis_weights`` and
+    ``hessian_diag`` left empty).  Region slices produced by the
+    *selective* combine carry only the entries that region's residual
+    reads; unused entries (including ``value`` and individual
+    ``gradient`` positions) are then ``None``.
     """
 
     value: Tensor
     gradient: List[Tensor]
     hessian_diag: List[Tensor]
+    laplacian_weighted: Optional[Tensor] = None
+    laplacian_axis_weights: Optional[Tuple[float, ...]] = None
 
     @property
     def n_dims(self) -> int:
@@ -57,12 +93,29 @@ class DerivativeStreams:
         """Weighted sum of the diagonal Hessian entries.
 
         ``axis_weights`` carry the nondimensionalization factors
-        ``1 / L_i^2``; they default to 1.
+        ``1 / L_i^2``; they default to 1.  When the streams were produced
+        by the Laplacian-fused propagation the precomputed combination is
+        returned directly (the requested weights must match the ones the
+        stack was built with).
         """
         weights = axis_weights if axis_weights is not None else [1.0] * self.n_dims
         if len(weights) != self.n_dims:
             raise ValueError(
                 f"expected {self.n_dims} axis weights, got {len(weights)}"
+            )
+        if self.laplacian_weighted is not None:
+            built_for = self.laplacian_axis_weights
+            if built_for is not None and not np.allclose(
+                built_for, np.asarray(weights, dtype=np.float64)
+            ):
+                raise ValueError(
+                    f"streams carry a Laplacian fused with weights {built_for}, "
+                    f"but {tuple(weights)} were requested"
+                )
+            return self.laplacian_weighted
+        if not self.hessian_diag:
+            raise ValueError(
+                "streams carry neither per-axis Hessians nor a fused Laplacian"
             )
         total = weights[0] * self.hessian_diag[0]
         for weight, h in zip(weights[1:], self.hessian_diag[1:]):
@@ -157,16 +210,437 @@ def propagate_mlp(streams: DerivativeStreams, mlp: MLP) -> DerivativeStreams:
     return out
 
 
+# ----------------------------------------------------------------------
+# Stacked (fused) propagation
+# ----------------------------------------------------------------------
+@dataclass
+class StackedStreams:
+    """All derivative streams packed row-wise into one tensor.
+
+    Two layouts share the machinery:
+
+    * **full** (``laplacian_weights is None``): ``data`` has shape
+      ``((2*n_dims + 1) * n, width)`` — rows ``[0, n)`` hold the value
+      stream, rows ``[(1+i)*n, (2+i)*n)`` the gradient along axis ``i``
+      and rows ``[(1+n_dims+i)*n, ...)`` the diagonal-Hessian stream
+      along axis ``i``.
+    * **Laplacian-fused** (``laplacian_weights`` given): the d Hessian
+      blocks are replaced by the single weighted combination
+      ``sum_i w_i H_i`` — shape ``((n_dims + 2) * n, width)``.  The
+      physics loss only ever consumes the weighted Laplacian (eq. 10) and
+      per-axis first derivatives (eqs. 8/9), so this drops ``(d-1)*n``
+      rows from every matmul of the training hot path.
+
+    The row count is invariant under Dense/activation/Fourier steps; only
+    the width changes.
+    """
+
+    data: Tensor
+    n: int
+    n_dims: int
+    laplacian_weights: Optional[np.ndarray] = None
+
+    @property
+    def width(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def n_hessian_blocks(self) -> int:
+        return 1 if self.laplacian_weights is not None else self.n_dims
+
+    @property
+    def n_blocks(self) -> int:
+        return 1 + self.n_dims + self.n_hessian_blocks
+
+    def blocks(self) -> Tuple[Tensor, Tensor, Tensor]:
+        """Split into (value, stacked-gradient, Hessian/Laplacian) views.
+
+        The gradient part stays stacked across axes: shapes are
+        ``(n, w)``, ``(d*n, w)`` and ``(d*n, w)`` (full layout) or
+        ``(n, w)`` (Laplacian-fused layout).
+        """
+        n, dn = self.n, self.n_dims * self.n
+        return (
+            self.data[: n],
+            self.data[n : n + dn],
+            self.data[n + dn :],
+        )
+
+    def unpack(self) -> DerivativeStreams:
+        """Expand into the per-axis :class:`DerivativeStreams` layout."""
+        n, d = self.n, self.n_dims
+        value = self.data[:n]
+        gradient = [self.data[(1 + i) * n : (2 + i) * n] for i in range(d)]
+        if self.laplacian_weights is not None:
+            return DerivativeStreams(
+                value,
+                gradient,
+                [],
+                laplacian_weighted=self.data[(1 + d) * n :],
+                laplacian_axis_weights=tuple(float(w) for w in self.laplacian_weights),
+            )
+        hessian = [
+            self.data[(1 + d + i) * n : (2 + d + i) * n] for i in range(d)
+        ]
+        return DerivativeStreams(value, gradient, hessian)
+
+
+def stream_block_index(need: str, n_dims: int) -> int:
+    """Block position of a named stream in the stacked row layout.
+
+    ``need`` is ``"value"``, ``"grad<axis>"`` or ``"laplacian"`` (the
+    vocabulary of :meth:`PhysicsLossBuilder.stream_requirements`); rows
+    of that stream live at ``[index * n, (index + 1) * n)``.  Keeping
+    this next to :class:`StackedStreams` single-sources the layout that
+    ``blocks``/``unpack`` and the selective combine all rely on.
+    """
+    if need == "value":
+        return 0
+    if need == "laplacian":
+        return 1 + n_dims
+    if need.startswith("grad"):
+        axis = int(need[4:])
+        if 0 <= axis < n_dims:
+            return 1 + axis
+    raise ValueError(f"unknown stream name {need!r} for {n_dims} dims")
+
+
+def input_stacked(
+    points: np.ndarray, laplacian_weights: Optional[Sequence[float]] = None
+) -> StackedStreams:
+    """Seed stacked streams: ``[x; I-seeds; 0]`` in one constant tensor."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"points must be (n, d), got shape {points.shape}")
+    n, d = points.shape
+    weights = None
+    if laplacian_weights is not None:
+        weights = np.asarray(laplacian_weights, dtype=np.float64)
+        if weights.shape != (d,):
+            raise ValueError(
+                f"need {d} Laplacian axis weights, got shape {weights.shape}"
+            )
+    hess_blocks = 1 if weights is not None else d
+    rows = (1 + d + hess_blocks) * n
+    data = np.zeros((rows, d))
+    data[:n] = points
+    for i in range(d):
+        data[(1 + i) * n : (2 + i) * n, i] = 1.0
+    return StackedStreams(ad.tensor(data), n, d, weights)
+
+
+def propagate_stacked_dense(
+    streams: StackedStreams, layer: Dense
+) -> StackedStreams:
+    """Affine layer over the whole stack: one fused matmul tape node.
+
+    The weight multiply covers all 2d+1 blocks in a single dgemm; the
+    bias lands on the value rows only (in place, on the fresh output
+    buffer), because differentiation kills constants in the gradient and
+    Hessian streams.  The hand-written VJP is built from ordinary tape
+    ops, so double backward through this node still works.
+    """
+    n = streams.n
+    data, weight = streams.data, layer.weight
+    out = data.data @ weight.data
+    bias = layer.bias if layer.use_bias else None
+    if bias is not None:
+        out[:n] += bias.data
+
+        def vjp(g: Tensor):
+            gs = g @ weight.T if data.requires_grad else None
+            gw = data.T @ g if weight.requires_grad else None
+            gb = ad.sum_(g[:n], axis=0) if bias.requires_grad else None
+            return gs, gw, gb
+
+        node = _make_op(out, (data, weight, bias), vjp, "stacked_affine")
+    else:
+
+        def vjp(g: Tensor):
+            gs = g @ weight.T if data.requires_grad else None
+            gw = data.T @ g if weight.requires_grad else None
+            return gs, gw
+
+        node = _make_op(out, (data, weight), vjp, "stacked_affine")
+    return StackedStreams(node, n, streams.n_dims, streams.laplacian_weights)
+
+
+def _composed_stacked_activation(
+    streams: StackedStreams, activation: Activation
+) -> StackedStreams:
+    """Tape-composed stacked activation (fallback / higher-order path).
+
+    Used when the activation has no closed-form third derivative
+    (``array_taylor3`` returns None): the per-block multipliers
+    sigma'(z) / sigma''(z) are computed once on the value block and tiled
+    down the gradient/Hessian blocks.
+    """
+    n, d = streams.n, streams.n_dims
+    value, grad, hess = streams.blocks()
+    out_value, d1, d2 = activation.taylor(value)
+    d1_tiled = ad.tile_rows(d1, d)
+    out_grad = d1_tiled * grad
+    if streams.laplacian_weights is not None:
+        weights = ad.tensor(streams.laplacian_weights.reshape(d, 1, 1))
+        grad3 = ad.reshape(grad, (d, n, streams.width))
+        quad = ad.sum_(weights * grad3 * grad3, axis=0)
+        out_hess = d2 * quad + d1 * hess
+    else:
+        d2_tiled = ad.tile_rows(d2, d)
+        out_hess = d2_tiled * grad * grad + d1_tiled * hess
+    data = ad.concat([out_value, out_grad, out_hess], axis=0)
+    return StackedStreams(data, n, d, streams.laplacian_weights)
+
+
+def propagate_stacked_activation(
+    streams: StackedStreams, activation: Activation
+) -> StackedStreams:
+    """Second-order chain rule over the whole stack as ONE tape node.
+
+    Forward (all plain numpy, broadcasting sigma-derivative blocks over
+    the axis dimension), in the full layout:
+
+        V' = sigma(V);  G_i' = s1 G_i;  H_i' = s2 G_i^2 + s1 H_i
+
+    and in the Laplacian-fused layout (L = sum_i w_i H_i, Q = sum_i w_i
+    G_i^2, both closed under propagation):
+
+        V' = sigma(V);  G_i' = s1 G_i;  L' = s2 Q + s1 L
+
+    The hand-written VJP uses the closed-form third derivative, e.g. for
+    the full layout:
+
+        dL/dV   = gV s1 + s2 (sum_i gG_i G_i + sum_i gH_i H_i)
+                  + s3 sum_i gH_i G_i^2
+        dL/dG_i = gG_i s1 + 2 s2 gH_i G_i
+        dL/dH_i = gH_i s1
+
+    This collapses the ~25 tape nodes of the composed expression into a
+    single node with a handful of vectorised passes — the core fused
+    training kernel.  Activations without ``array_taylor3`` fall back to
+    the composed tape expression; ``create_graph`` double-backward is
+    only supported by the fallback (the training loop never needs it).
+    """
+    n, d = streams.n, streams.n_dims
+    data = streams.data
+    value_rows = data.data[:n]
+    arrays = activation.array_taylor3(value_rows)
+    if arrays is None:
+        return _composed_stacked_activation(streams, activation)
+    value, s1, s2, s3 = arrays
+    dn = d * n
+    width = data.shape[1]
+    lap_weights = streams.laplacian_weights
+    src = np.ascontiguousarray(data.data)
+    grad3 = src[n : n + dn].reshape(d, n, width)
+    out = np.empty_like(src)
+    out[:n] = value
+    np.multiply(grad3, s1, out=out[n : n + dn].reshape(d, n, width))
+
+    if lap_weights is None:
+        hess3 = src[n + dn :].reshape(d, n, width)
+        out_hess = out[n + dn :].reshape(d, n, width)
+        np.multiply(grad3, grad3, out=out_hess)
+        out_hess *= s2
+        out_hess += s1 * hess3
+
+        def vjp(g: Tensor):
+            if ad.is_grad_enabled():
+                raise NotImplementedError(
+                    "fused stacked activation does not support create_graph; "
+                    "use the per-axis path (stacked=False) for higher-order "
+                    "derivatives"
+                )
+            g_src = np.ascontiguousarray(g.data)
+            g_value = g_src[:n]
+            g_grad3 = g_src[n : n + dn].reshape(d, n, width)
+            g_hess3 = g_src[n + dn :].reshape(d, n, width)
+            out_cot = np.empty_like(src)
+            gh_g = g_hess3 * grad3
+            out_cot[:n] = (
+                g_value * s1
+                + s2
+                * ((g_grad3 * grad3).sum(axis=0) + (g_hess3 * hess3).sum(axis=0))
+                + s3 * (gh_g * grad3).sum(axis=0)
+            )
+            cot_grad = out_cot[n : n + dn].reshape(d, n, width)
+            np.multiply(g_grad3, s1, out=cot_grad)
+            gh_g *= 2.0 * s2
+            cot_grad += gh_g
+            np.multiply(g_hess3, s1, out=out_cot[n + dn :].reshape(d, n, width))
+            return (Tensor(out_cot),)
+
+    else:
+        lap = src[n + dn :]
+        # Q = sum_i w_i G_i^2, accumulated block-wise: einsum/bmm paths
+        # copy the strided (d, n, w) operands, explicit loops do not.
+        scratch = np.empty((n, width))
+        np.multiply(grad3[0], grad3[0], out=scratch)
+        quad = scratch * lap_weights[0]
+        for i in range(1, d):
+            np.multiply(grad3[i], grad3[i], out=scratch)
+            scratch *= lap_weights[i]
+            quad += scratch
+        out_lap = out[n + dn :]
+        np.multiply(quad, s2, out=out_lap)
+        np.multiply(lap, s1, out=scratch)
+        out_lap += scratch
+
+        def vjp(g: Tensor):
+            if ad.is_grad_enabled():
+                raise NotImplementedError(
+                    "fused stacked activation does not support create_graph; "
+                    "use the per-axis path (stacked=False) for higher-order "
+                    "derivatives"
+                )
+            g_src = np.ascontiguousarray(g.data)
+            g_value = g_src[:n]
+            g_grad3 = g_src[n : n + dn].reshape(d, n, width)
+            g_lap = g_src[n + dn :]
+            out_cot = np.empty_like(src)
+            buf = np.empty((n, width))
+            # Value-block cotangent, accumulated block-wise:
+            #   gV s1 + s2 (sum_i gG_i G_i + gL L) + s3 gL Q
+            head = out_cot[:n]
+            np.multiply(g_grad3[0], grad3[0], out=head)
+            for i in range(1, d):
+                np.multiply(g_grad3[i], grad3[i], out=buf)
+                head += buf
+            np.multiply(g_lap, lap, out=buf)
+            head += buf
+            head *= s2
+            np.multiply(g_value, s1, out=buf)
+            head += buf
+            np.multiply(g_lap, quad, out=buf)
+            buf *= s3
+            head += buf
+            # Gradient-block cotangent: gG_i s1 + 2 w_i s2 gL G_i
+            cot_grad = out_cot[n : n + dn].reshape(d, n, width)
+            two_s2_glap = np.multiply(g_lap, 2.0 * s2)
+            for i in range(d):
+                np.multiply(g_grad3[i], s1, out=cot_grad[i])
+                np.multiply(two_s2_glap, grad3[i], out=buf)
+                buf *= lap_weights[i]
+                cot_grad[i] += buf
+            np.multiply(g_lap, s1, out=out_cot[n + dn :])
+            return (Tensor(out_cot),)
+
+    node = _make_op(out, (data,), vjp, "stacked_activation")
+    return StackedStreams(node, n, d, lap_weights)
+
+
+def propagate_stacked_fourier(
+    streams: StackedStreams, fourier: FourierFeatures
+) -> StackedStreams:
+    """Push the stack through ``[sin(xB), cos(xB)]`` with one angle matmul."""
+    n, d = streams.n, streams.n_dims
+    angles = streams.data @ fourier.frequencies
+    angle_v, angle_g, angle_h = StackedStreams(
+        angles, n, d, streams.laplacian_weights
+    ).blocks()
+
+    sin_a, cos_a = ad.sin(angle_v), ad.cos(angle_v)
+    sin_t = ad.tile_rows(sin_a, d)
+    cos_t = ad.tile_rows(cos_a, d)
+    neg_sin_t = -1.0 * sin_t
+    neg_cos_t = -1.0 * cos_t
+
+    value_parts = [sin_a, cos_a]
+    grad_parts = [cos_t * angle_g, neg_sin_t * angle_g]
+    if streams.laplacian_weights is not None:
+        # angle_h here is the single fused stream sum_i w_i H_i of the
+        # angle; the quadratic term needs Q = sum_i w_i (dA/dx_i)^2.
+        weights = ad.tensor(streams.laplacian_weights.reshape(d, 1, 1))
+        angle_g3 = ad.reshape(angle_g, (d, n, angles.shape[1]))
+        quad = ad.sum_(weights * angle_g3 * angle_g3, axis=0)
+        neg_sin = -1.0 * sin_a
+        neg_cos = -1.0 * cos_a
+        hess_parts = [
+            neg_sin * quad + cos_a * angle_h,
+            neg_cos * quad + neg_sin * angle_h,
+        ]
+    else:
+        hess_parts = [
+            neg_sin_t * angle_g * angle_g + cos_t * angle_h,
+            neg_cos_t * angle_g * angle_g + neg_sin_t * angle_h,
+        ]
+    if fourier.include_input:
+        in_value, in_grad, in_hess = streams.blocks()
+        value_parts.append(in_value)
+        grad_parts.append(in_grad)
+        hess_parts.append(in_hess)
+    data = ad.concat(
+        [
+            ad.concat(value_parts, axis=1),
+            ad.concat(grad_parts, axis=1),
+            ad.concat(hess_parts, axis=1),
+        ],
+        axis=0,
+    )
+    return StackedStreams(data, n, d, streams.laplacian_weights)
+
+
+def propagate_stacked_mlp(streams: StackedStreams, mlp: MLP) -> StackedStreams:
+    """Push stacked streams through every layer of an MLP."""
+    out = streams
+    for layer in mlp.layers[:-1]:
+        out = propagate_stacked_dense(out, layer)
+        out = propagate_stacked_activation(out, mlp.activation)
+    out = propagate_stacked_dense(out, mlp.layers[-1])
+    if mlp.output_activation is not None:
+        out = propagate_stacked_activation(out, mlp.output_activation)
+    return out
+
+
+def stacked_prefix(
+    points: np.ndarray,
+    fourier: Optional[FourierFeatures] = None,
+    laplacian_weights: Optional[Sequence[float]] = None,
+) -> StackedStreams:
+    """The constant stage of a stacked trunk pass: seed + Fourier map.
+
+    Depends only on the points and the fixed frequency matrix, never on
+    trainable weights — :meth:`TrunkNet.stacked_streams` caches it across
+    iterations for fixed collocation meshes.
+    """
+    streams = input_stacked(points, laplacian_weights)
+    if fourier is not None:
+        streams = propagate_stacked_fourier(streams, fourier)
+    return streams
+
+
+def trunk_stacked(
+    points: np.ndarray,
+    mlp: MLP,
+    fourier: Optional[FourierFeatures] = None,
+    laplacian_weights: Optional[Sequence[float]] = None,
+) -> StackedStreams:
+    """Stacked-layout trunk evaluation (the fused training hot path).
+
+    With ``laplacian_weights`` the Hessian blocks collapse into the
+    single weighted Laplacian stream the PDE residual consumes.
+    """
+    return propagate_stacked_mlp(
+        stacked_prefix(points, fourier, laplacian_weights), mlp
+    )
+
+
 def trunk_with_derivatives(
     points: np.ndarray,
     mlp: MLP,
     fourier: Optional[FourierFeatures] = None,
+    stacked: bool = True,
 ) -> DerivativeStreams:
     """Evaluate a (Fourier-featured) trunk net with spatial derivatives.
 
     Returns streams at the trunk *feature* output (n, q); the DeepONet
-    combine step contracts them with branch features.
+    combine step contracts them with branch features.  ``stacked=True``
+    (the default) runs the fused single-tensor propagation and unpacks at
+    the end; ``stacked=False`` keeps the legacy 2d+1 independent tape
+    chains as the numerical reference.
     """
+    if stacked:
+        return trunk_stacked(points, mlp, fourier).unpack()
     streams = input_streams(points)
     if fourier is not None:
         streams = propagate_fourier(streams, fourier)
