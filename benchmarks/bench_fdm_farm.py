@@ -1,0 +1,144 @@
+"""Reference-solver farm benchmark: shared-operator sweep vs per-design.
+
+PR 1/2 made the surrogate side fast; this bench pins the contract that
+makes the *reference* side keep up on sweep workloads (Table-I suites,
+floorplan validation, dataset generation).  A 16-design power-map sweep
+shares one operator — only the top-face Neumann RHS changes — so the
+farm assembles + factorizes once and back-substitutes all right-hand
+sides as one ``(n, 16)`` block:
+
+* ``SolveFarm.solve_many`` over the sweep must deliver >= 5x the
+  throughput of per-design ``solve_steady`` calls (each of which
+  re-assembles and re-factorizes from scratch);
+* farm temperatures must match ``solve_steady`` to <= 1e-8 K max-abs;
+* every farm solution's energy audit must balance to <= 1e-8 relative.
+
+Methodology: the per-design baseline is timed over one full pass; the
+farm is timed as the median of three sweeps, each on a *fresh* farm so
+the number honestly includes the one assembly + factorization being
+amortised.  No trained model is needed — the sweep exercises the FV
+substrate only.  With ``REPRO_SMOKE=1`` (the CI perf-contract job) only
+the parity and energy contracts are asserted: throughput ratios on
+loaded CI runners are noise.
+
+Run with ``pytest benchmarks/bench_fdm_farm.py``; measured numbers land
+in ``benchmarks/out/fdm_farm.txt`` (and the repo-root ``BENCH_fdm.json``
+records the committed perf trajectory).
+"""
+
+import json
+import time
+
+import numpy as np
+from conftest import SMOKE
+
+from repro.core import experiment_a
+from repro.fdm import SolveFarm, solve_steady
+
+N_DESIGNS = 16
+MIN_SPEEDUP = 5.0
+MAX_ABS_DEV = 1e-8
+MAX_ENERGY_IMBALANCE = 1e-8
+FARM_ROUNDS = 1 if SMOKE else 3
+
+
+def _sweep_problems():
+    """16 GRF power-map designs on the experiment-A grid (one operator)."""
+    setup = experiment_a(scale="test" if SMOKE else "ci")
+    rng = np.random.default_rng(7)
+    maps = setup.model.inputs[0].sample(rng, N_DESIGNS)
+    grid = setup.eval_grid
+    return grid, [
+        setup.model.concrete_config({"power_map": power_map}).heat_problem(grid)
+        for power_map in maps
+    ]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_farm_sweep_throughput_and_parity(out_dir):
+    """The acceptance numbers: >= 5x sweep throughput, <= 1e-8 K parity."""
+    grid, problems = _sweep_problems()
+
+    # Baseline: the pre-farm path, one assembly + factorization per design.
+    references, baseline_seconds = _timed(
+        lambda: [solve_steady(problem) for problem in problems]
+    )
+
+    # Farm: fresh each round so the timing includes the amortised
+    # assembly + factorization; median de-noises.
+    rounds = []
+    for _ in range(FARM_ROUNDS):
+        solutions, seconds = _timed(lambda: SolveFarm().solve_many(problems))
+        rounds.append(seconds)
+    farm_seconds = sorted(rounds)[len(rounds) // 2]
+
+    max_dev = max(
+        float(np.abs(solution.temperature - reference.temperature).max())
+        for solution, reference in zip(solutions, references)
+    )
+    worst_energy = max(
+        abs(solution.info["energy"].relative_imbalance) for solution in solutions
+    )
+    baseline_rate = N_DESIGNS / baseline_seconds
+    farm_rate = N_DESIGNS / max(farm_seconds, 1e-12)
+    speedup = farm_rate / baseline_rate
+
+    text = "\n".join(
+        [
+            f"fdm farm sweep ({N_DESIGNS} power maps, grid {grid.shape})",
+            f"per-design solve_steady : {baseline_rate:8.1f} solves/s",
+            f"farm block solve        : {farm_rate:8.1f} solves/s",
+            f"speedup                 : {speedup:8.1f}x",
+            f"max |dT| vs solve_steady: {max_dev:10.3e} K",
+            f"worst energy imbalance  : {worst_energy:10.3e}",
+            "",
+        ]
+    )
+    (out_dir / "fdm_farm.txt").write_text(text)
+    (out_dir / "fdm_farm.json").write_text(
+        json.dumps(
+            {
+                "n_designs": N_DESIGNS,
+                "grid": list(grid.shape),
+                "baseline_solves_per_sec": round(baseline_rate, 2),
+                "farm_solves_per_sec": round(farm_rate, 2),
+                "speedup": round(speedup, 2),
+                "max_abs_deviation_K": max_dev,
+                "worst_energy_imbalance": worst_energy,
+                "smoke": SMOKE,
+            },
+            indent=2,
+        )
+    )
+    print("\n" + text)
+
+    assert max_dev <= MAX_ABS_DEV, f"farm deviates from solve_steady by {max_dev}"
+    assert worst_energy <= MAX_ENERGY_IMBALANCE, (
+        f"farm-solved problem breaks energy balance: {worst_energy}"
+    )
+    if not SMOKE:
+        assert speedup >= MIN_SPEEDUP, (
+            f"farm only {speedup:.1f}x over per-design solve_steady"
+        )
+
+
+def test_farm_sweep_bench(benchmark):
+    """pytest-benchmark hook: one fresh-farm sweep per round."""
+    _, problems = _sweep_problems()
+    solutions = benchmark(lambda: SolveFarm().solve_many(problems))
+    assert len(solutions) == N_DESIGNS
+
+
+def test_operator_cache_across_sweeps(benchmark):
+    """Warm-farm sweep: the steady-state cost once the operator is cached."""
+    _, problems = _sweep_problems()
+    farm = SolveFarm()
+    farm.solve_many(problems)  # seed operator + factorization
+    solutions = benchmark(lambda: farm.solve_many(problems))
+    assert len(solutions) == N_DESIGNS
+    assert all(solution.info["operator_cached"] for solution in solutions)

@@ -77,6 +77,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--compare-naive", action="store_true",
                        help="also time the legacy per-design predict loop")
+    sweep.add_argument("--validate", type=int, default=0, metavar="N",
+                       help="FDM-validate the N hottest designs through the "
+                            "shared-operator solve farm")
     return parser
 
 
@@ -267,6 +270,42 @@ def _cmd_sweep(args) -> int:
         "peak T across sweep": f"{peaks.max():.3f} K",
         "coolest peak T": f"{peaks.min():.3f} K",
     }
+
+    if args.validate > 0:
+        from .fdm import get_default_farm
+
+        n_validate = min(args.validate, n_designs)
+        hottest = np.argsort(peaks)[::-1][:n_validate]
+        farm = get_default_farm()
+        problems = [
+            setup.model.concrete_config(
+                {name: batch[index] for name, batch in raws.items()}
+            ).heat_problem(grid)
+            for index in hottest
+        ]
+        start = time.perf_counter()
+        references = farm.solve_many(problems)
+        farm_elapsed = time.perf_counter() - start
+        peak_errors = [
+            abs(reference.t_max - peaks[index])
+            for index, reference in zip(hottest, references)
+        ]
+        worst_energy = max(
+            abs(reference.info["energy"].relative_imbalance)
+            for reference in references
+        )
+        farm_info = farm.cache_info()
+        values["farm validation"] = (
+            f"{n_validate} hottest designs in {farm_elapsed * 1e3:.1f} ms "
+            f"({n_validate / max(farm_elapsed, 1e-12):.1f} solves/s)"
+        )
+        values["farm operator reuse"] = (
+            f"{farm_info['operator_hits']} hits / "
+            f"{farm_info['operator_misses']} misses, "
+            f"{farm_info['factorizations']} factorization(s)"
+        )
+        values["max |peak error|"] = f"{max(peak_errors):.3f} K"
+        values["worst energy imbalance"] = f"{worst_energy:.2e}"
 
     if args.compare_naive:
         n_naive = min(n_designs, 16)

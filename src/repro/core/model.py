@@ -15,7 +15,7 @@ import numpy as np
 from .. import autodiff as ad
 from ..autodiff import Tensor
 from ..engine import CompiledSurrogate
-from ..fdm import ThermalSolution, solve_steady
+from ..fdm import SolveFarm, ThermalSolution, get_default_farm
 from ..geometry import StructuredGrid
 from ..nn import MIONet, load_checkpoint, save_checkpoint
 from ..nn.taylor import DerivativeStreams, stream_block_index
@@ -343,10 +343,19 @@ class DeepOHeat:
         return apply_design(self.config, self.inputs, dict(design))
 
     def reference_solution(
-        self, design: Mapping[str, np.ndarray], grid: StructuredGrid
+        self,
+        design: Mapping[str, np.ndarray],
+        grid: StructuredGrid,
+        farm: Optional[SolveFarm] = None,
     ) -> ThermalSolution:
-        """Solve the same design with the FDM reference solver."""
-        return solve_steady(self.concrete_config(design).heat_problem(grid))
+        """Solve the same design with the FDM reference solver.
+
+        Goes through the shared-operator solve farm, so repeated
+        validations of designs that only move RHS terms (power maps)
+        reuse one cached factorization.
+        """
+        farm = farm if farm is not None else get_default_farm()
+        return farm.solve(self.concrete_config(design).heat_problem(grid))
 
     # ------------------------------------------------------------------
     # Persistence

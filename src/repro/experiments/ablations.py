@@ -34,7 +34,7 @@ from ..core import (
 )
 from ..core.presets import T_AMB
 from ..bc import AdiabaticBC, ConvectionBC
-from ..fdm import solve_steady
+from ..fdm import SolveFarm, get_default_farm
 from ..geometry import Face, StructuredGrid, paper_chip_a
 from ..materials import UniformConductivity
 from ..nn import MLP, FourierFeatures, MIONet, TrunkNet
@@ -95,15 +95,20 @@ def _small_setup(
     return model, plan, trainer_config
 
 
-def _evaluate_small(model) -> float:
-    """MAPE on one held-out block map, vs the FDM reference."""
+def _evaluate_small(model, farm: Optional[SolveFarm] = None) -> float:
+    """MAPE on one held-out block map, vs the FDM reference.
+
+    Every ablation variant evaluates on the same grid/BC structure, so
+    the farm solves all of them against one cached factorization.
+    """
+    farm = farm if farm is not None else get_default_farm()
     map_shape = model.inputs[0].map_shape
     tiles = paper_test_suite()[2].tiles
     grid_map = tiles_to_grid(tiles, map_shape)
     design = {"power_map": grid_map}
     grid = StructuredGrid(paper_chip_a(), (11, 11, 7))
     predicted = model.predict(design, grid.points())
-    reference = solve_steady(model.concrete_config(design).heat_problem(grid))
+    reference = farm.solve(model.concrete_config(design).heat_problem(grid))
     return mape(predicted, reference.temperature)
 
 
@@ -155,7 +160,7 @@ def run_sampling_ablation(iterations: int = 200, seed: int = 0) -> List[Ablation
         design = {"htc_top": 700.0, "htc_bottom": 450.0}
         grid = StructuredGrid(setup.model.config.chip, (9, 9, 7))
         predicted = setup.model.predict(design, grid.points())
-        reference = solve_steady(
+        reference = get_default_farm().solve(
             setup.model.concrete_config(design).heat_problem(grid)
         )
         runs.append(

@@ -8,14 +8,14 @@ max/min colour-bar comparison (paper: agreement within 0.1 K).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis import FieldErrorReport, compare_fields_text, field_report
 from ..analysis.viz import field_slice
 from ..core import ExperimentSetup
-from ..fdm import solve_steady
+from ..fdm import SolveFarm, ThermalSolution, get_default_farm
 
 PAPER_HTC_CASES: Tuple[Tuple[float, float], ...] = ((1000.0, 333.33), (500.0, 500.0))
 """The two test tuples shown in the paper's Fig. 5 rows."""
@@ -67,13 +67,20 @@ class ExperimentBResult:
 
 
 def evaluate_htc_case(
-    setup: ExperimentSetup, htc_top: float, htc_bottom: float
+    setup: ExperimentSetup,
+    htc_top: float,
+    htc_bottom: float,
+    farm: Optional[SolveFarm] = None,
+    reference_solution: Optional[ThermalSolution] = None,
 ) -> HTCCase:
     design = {"htc_top": htc_top, "htc_bottom": htc_bottom}
     predicted = setup.model.predict_grid(design, setup.eval_grid)
-    reference = solve_steady(
-        setup.model.concrete_config(design).heat_problem(setup.eval_grid)
-    ).to_array()
+    if reference_solution is None:
+        farm = farm if farm is not None else get_default_farm()
+        reference_solution = farm.solve(
+            setup.model.concrete_config(design).heat_problem(setup.eval_grid)
+        )
+    reference = reference_solution.to_array()
     return HTCCase(
         htc_top=htc_top,
         htc_bottom=htc_bottom,
@@ -86,9 +93,27 @@ def evaluate_htc_case(
 def run_experiment_b(
     setup: ExperimentSetup,
     cases: Sequence[Tuple[float, float]] = PAPER_HTC_CASES,
+    farm: Optional[SolveFarm] = None,
 ) -> ExperimentBResult:
+    """Evaluate the HTC test cases (Fig. 5).
+
+    HTC changes alter the operator (the convective diagonal), so each
+    distinct tuple is its own farm key — re-running the same cases (or
+    revisiting a tuple inside a sweep) still reuses factorizations.
+    """
+    farm = farm if farm is not None else get_default_farm()
+    problems = [
+        setup.model.concrete_config(
+            {"htc_top": top, "htc_bottom": bottom}
+        ).heat_problem(setup.eval_grid)
+        for top, bottom in cases
+    ]
+    references = farm.solve_many(problems)
     return ExperimentBResult(
-        cases=[evaluate_htc_case(setup, top, bottom) for top, bottom in cases]
+        cases=[
+            evaluate_htc_case(setup, top, bottom, reference_solution=reference)
+            for (top, bottom), reference in zip(cases, references)
+        ]
     )
 
 

@@ -1,6 +1,24 @@
 """Finite-volume thermal solver — the Celsius 3D substitute."""
 
-from .assembly import AssembledSystem, HeatProblem, assemble
+from .assembly import (
+    AssembledSystem,
+    FaceSlot,
+    HeatProblem,
+    OperatorPart,
+    RHSPart,
+    assemble,
+    assemble_operator,
+    assemble_rhs,
+    compose_system,
+    operator_digest,
+)
+from .farm import (
+    FarmStats,
+    SolveFarm,
+    get_default_farm,
+    reset_default_farm,
+    solve_many,
+)
 from .solver import (
     EnergyReport,
     ThermalSolution,
@@ -22,19 +40,31 @@ from .verification import (
 __all__ = [
     "AssembledSystem",
     "EnergyReport",
+    "FaceSlot",
+    "FarmStats",
     "HeatProblem",
     "ManufacturedCase",
+    "OperatorPart",
+    "RHSPart",
+    "SolveFarm",
     "ThermalSolution",
     "TransientResult",
     "TransientSolver",
     "assemble",
+    "assemble_operator",
+    "assemble_rhs",
+    "compose_system",
     "convergence_order",
     "dirichlet_slab_profile",
     "energy_report",
+    "get_default_farm",
     "layered_series_resistance_t_top",
     "manufactured_case",
+    "operator_digest",
+    "reset_default_farm",
     "slab_flux_convection_profile",
     "slab_problem",
     "solve_chip",
+    "solve_many",
     "solve_steady",
 ]

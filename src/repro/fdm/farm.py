@@ -1,0 +1,365 @@
+"""Shared-operator solve farm: cached factorizations + block multi-RHS solves.
+
+Every repeated-reference workload in this reproduction — the ten Table-I
+maps of experiment A, the floorplan annealer's validation solves, the
+data-driven baseline's dataset generation, the speedup study's sweeps —
+solves the *same operator* under many right-hand sides: only the power
+map (a Neumann influx) changes between designs.  Historically each
+:func:`~repro.fdm.solver.solve_steady` call re-assembled and re-factorized
+that operator from scratch.
+
+The farm amortises the expensive half:
+
+* operators are keyed by :func:`~repro.fdm.assembly.operator_digest`
+  (grid + nodal conductivity + BC structure + HTC values) and cached with
+  LRU eviction, together with their sparse LU factorization;
+* :meth:`SolveFarm.solve_many` groups a batch of problems by operator
+  key, assembles each group's right-hand sides (O(n) apiece), stacks
+  them into one ``(n, K)`` block, and runs a *single* SuperLU triangular
+  solve for the whole group — the per-design cost collapses to one RHS
+  assembly plus one back-substitution;
+* ``method="cg"`` switches to a block conjugate-gradient path (Jacobi
+  symmetric scaling, vectorised over the K right-hand sides) for the
+  mesh-scaling regime where factorization memory is the constraint.
+
+Numerics are unchanged: every solution carries the same
+:class:`~repro.fdm.solver.EnergyReport` audit as the per-design path, and
+the test-suite pins cache-hit solves bitwise against cold-cache solves.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from .assembly import (
+    AssembledSystem,
+    HeatProblem,
+    OperatorPart,
+    assemble_operator,
+    assemble_rhs,
+    compose_system,
+    operator_digest,
+)
+from .solver import ThermalSolution, energy_report
+
+
+@dataclass
+class FarmStats:
+    """Counters of what the farm actually did (for tests and CLIs)."""
+
+    operator_hits: int = 0
+    operator_misses: int = 0
+    evictions: int = 0
+    factorizations: int = 0
+    rhs_assemblies: int = 0
+    block_solves: int = 0
+    problems_solved: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "operator_hits": self.operator_hits,
+            "operator_misses": self.operator_misses,
+            "evictions": self.evictions,
+            "factorizations": self.factorizations,
+            "rhs_assemblies": self.rhs_assemblies,
+            "block_solves": self.block_solves,
+            "problems_solved": self.problems_solved,
+        }
+
+
+@dataclass
+class _CachedOperator:
+    """One LRU slot: the operator plus its lazily-built factorization."""
+
+    operator: OperatorPart
+    lu: Optional[spla.SuperLU] = None
+    assembly_seconds: float = 0.0
+    factor_seconds: float = 0.0
+    # Jacobi-scaled system for the CG path, built on first use.
+    cg_scale: Optional[np.ndarray] = None
+    cg_matrix: Optional[sp.csr_matrix] = None
+
+
+def _block_cg(
+    matrix: sp.csr_matrix,
+    block_rhs: np.ndarray,
+    tol: float,
+    max_iter: Optional[int],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised multi-RHS conjugate gradients on an SPD matrix.
+
+    Runs K independent CG recurrences in lock-step so every iteration is
+    one sparse matrix × K-column product (the amortisation win: SpMV on a
+    multivector reuses the matrix traversal).  Columns converge
+    individually against ``tol * ||b_j||``; converged columns are frozen.
+
+    Returns ``(solutions, iterations_per_column)``.
+    """
+    n, k = block_rhs.shape
+    max_iter = 10 * n if max_iter is None else int(max_iter)
+    x = np.zeros((n, k))
+    r = block_rhs.copy()
+    p = r.copy()
+    rs = np.einsum("ij,ij->j", r, r)
+    b_norm = np.sqrt(np.einsum("ij,ij->j", block_rhs, block_rhs))
+    target = tol * np.where(b_norm > 0, b_norm, 1.0)
+    iterations = np.zeros(k, dtype=np.int64)
+    active = np.sqrt(rs) > target
+    it = 0
+    while active.any() and it < max_iter:
+        ap = matrix @ p
+        p_ap = np.einsum("ij,ij->j", p, ap)
+        safe = np.where(p_ap > 0, p_ap, 1.0)
+        alpha = np.where(active, rs / safe, 0.0)
+        x += alpha * p
+        r -= alpha * ap
+        rs_new = np.einsum("ij,ij->j", r, r)
+        it += 1
+        newly_done = active & (np.sqrt(rs_new) <= target)
+        iterations[newly_done] = it
+        active = active & ~newly_done
+        beta = np.where(active, rs_new / np.where(rs > 0, rs, 1.0), 0.0)
+        p = r + beta * p
+        rs = rs_new
+    if active.any():
+        raise RuntimeError(
+            f"block CG: {int(active.sum())}/{k} right-hand sides failed to "
+            f"converge within {max_iter} iterations"
+        )
+    return x, iterations
+
+
+class SolveFarm:
+    """Shared-operator steady solver with cached factorizations.
+
+    Parameters
+    ----------
+    max_operators:
+        LRU capacity: how many distinct operators (matrix +
+        factorization) to keep alive.  Each cached direct-solve operator
+        holds a SuperLU factorization, so memory scales with
+        ``max_operators * fill(n)``.
+    """
+
+    def __init__(self, max_operators: int = 8):
+        if max_operators < 1:
+            raise ValueError("need room for at least one cached operator")
+        self.max_operators = int(max_operators)
+        self._cache: "OrderedDict[str, _CachedOperator]" = OrderedDict()
+        self.stats = FarmStats()
+
+    # ------------------------------------------------------------------
+    # Operator cache
+    # ------------------------------------------------------------------
+    def _entry_for_key(self, key: str, problem: HeatProblem) -> _CachedOperator:
+        entry = self._cache.get(key)
+        if entry is not None:
+            self._cache.move_to_end(key)
+            self.stats.operator_hits += 1
+            return entry
+        self.stats.operator_misses += 1
+        start = time.perf_counter()
+        operator = assemble_operator(problem, key=key)
+        entry = _CachedOperator(
+            operator=operator, assembly_seconds=time.perf_counter() - start
+        )
+        self._cache[key] = entry
+        while len(self._cache) > self.max_operators:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
+    def operator_entry(self, problem: HeatProblem) -> _CachedOperator:
+        """The cached slot for ``problem``'s operator (assembling on miss)."""
+        return self._entry_for_key(operator_digest(problem), problem)
+
+    def operator_for(self, problem: HeatProblem) -> OperatorPart:
+        """The (cached) operator half of ``problem``."""
+        return self.operator_entry(problem).operator
+
+    def cached_keys(self) -> List[str]:
+        """Operator digests currently held, oldest first."""
+        return list(self._cache.keys())
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Assembly against the cache
+    # ------------------------------------------------------------------
+    def assembled(self, problem: HeatProblem) -> AssembledSystem:
+        """A full :class:`AssembledSystem`, operator taken from the cache."""
+        entry = self.operator_entry(problem)
+        self.stats.rhs_assemblies += 1
+        return compose_system(entry.operator, assemble_rhs(problem, entry.operator))
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def _factorization(self, entry: _CachedOperator) -> spla.SuperLU:
+        if entry.lu is None:
+            start = time.perf_counter()
+            entry.lu = spla.splu(entry.operator.matrix.tocsc())
+            entry.factor_seconds = time.perf_counter() - start
+            self.stats.factorizations += 1
+        return entry.lu
+
+    def _cg_system(self, entry: _CachedOperator) -> Tuple[np.ndarray, sp.csr_matrix]:
+        if entry.cg_matrix is None:
+            # Symmetric Jacobi scaling, matching solve_steady's CG path:
+            # the scaled operator has an O(1) spectrum so plain CG on it
+            # converges quickly.
+            matrix = entry.operator.matrix
+            scale = 1.0 / np.sqrt(matrix.diagonal())
+            scaling = sp.diags(scale)
+            entry.cg_scale = scale
+            entry.cg_matrix = (scaling @ matrix @ scaling).tocsr()
+        return entry.cg_scale, entry.cg_matrix
+
+    def solve(
+        self,
+        problem: HeatProblem,
+        method: str = "direct",
+        tol: float = 1e-10,
+        max_iter: Optional[int] = None,
+    ) -> ThermalSolution:
+        """Solve one problem through the cache (see :meth:`solve_many`)."""
+        return self.solve_many([problem], method=method, tol=tol, max_iter=max_iter)[0]
+
+    def solve_many(
+        self,
+        problems: Sequence[HeatProblem],
+        method: str = "direct",
+        tol: float = 1e-10,
+        max_iter: Optional[int] = None,
+    ) -> List[ThermalSolution]:
+        """Solve a batch of problems, amortising shared operators.
+
+        Problems are grouped by operator digest; each group assembles its
+        operator (or takes it from the cache), builds all K right-hand
+        sides, and solves them as a single ``(n, K)`` block — one SuperLU
+        back-substitution (``method="direct"``) or one vectorised block-CG
+        run (``method="cg"``).  Solutions come back in input order, each
+        with its own energy audit and diagnostics.
+        """
+        if method not in ("direct", "cg"):
+            raise ValueError(f"unknown method {method!r}; use 'direct' or 'cg'")
+        solutions: List[Optional[ThermalSolution]] = [None] * len(problems)
+        # Group by operator digest, preserving first-seen order.
+        groups: "OrderedDict[str, List[int]]" = OrderedDict()
+        entries: Dict[str, _CachedOperator] = {}
+        cached_flags: Dict[str, bool] = {}
+        for index, problem in enumerate(problems):
+            key = operator_digest(problem)
+            if key not in groups:
+                groups[key] = []
+                cached_flags[key] = key in self._cache
+                entries[key] = self._entry_for_key(key, problem)
+            else:
+                self.stats.operator_hits += 1
+            groups[key].append(index)
+
+        for key, indices in groups.items():
+            entry = entries[key]
+            operator = entry.operator
+            k_block = len(indices)
+
+            start = time.perf_counter()
+            rhs_parts = [assemble_rhs(problems[i], operator) for i in indices]
+            rhs_seconds = time.perf_counter() - start
+            self.stats.rhs_assemblies += k_block
+
+            block = np.column_stack([part.rhs for part in rhs_parts])
+            start = time.perf_counter()
+            if method == "direct":
+                lu = self._factorization(entry)
+                block_solution = lu.solve(block)
+                iterations = np.zeros(k_block, dtype=np.int64)
+            else:
+                scale, scaled_matrix = self._cg_system(entry)
+                scaled_block = scale[:, None] * block
+                scaled_solution, iterations = _block_cg(
+                    scaled_matrix, scaled_block, tol=tol, max_iter=max_iter
+                )
+                block_solution = scale[:, None] * scaled_solution
+            solve_seconds = time.perf_counter() - start
+            self.stats.block_solves += 1
+            self.stats.problems_solved += k_block
+
+            # Costs actually paid this call, amortised over the block; a
+            # cache-hit operator charges nothing for its assembly.
+            operator_seconds = 0.0 if cached_flags[key] else entry.assembly_seconds
+            for column, (index, part) in enumerate(zip(indices, rhs_parts)):
+                temperature = np.ascontiguousarray(block_solution[:, column])
+                system = compose_system(operator, part)
+                report = energy_report(system, temperature)
+                residual = operator.matrix @ temperature - part.rhs
+                info = {
+                    "method": f"farm-{method}",
+                    "operator_key": key[:16],
+                    "operator_cached": cached_flags[key],
+                    "block_size": k_block,
+                    "assembly_time": (operator_seconds + rhs_seconds) / k_block,
+                    "solve_time": solve_seconds / k_block,
+                    "total_time": (
+                        operator_seconds + rhs_seconds + solve_seconds
+                    )
+                    / k_block,
+                    "factor_time": entry.factor_seconds,
+                    "iterations": int(iterations[column]),
+                    "nnz": int(operator.matrix.nnz),
+                    "n_unknowns": int(part.rhs.size),
+                    "linear_residual": float(np.linalg.norm(residual)),
+                    "energy": report,
+                }
+                solutions[index] = ThermalSolution(
+                    grid=operator.grid, temperature=temperature, info=info
+                )
+        return solutions  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def cache_info(self) -> Dict[str, int]:
+        """Snapshot of the counters plus current cache occupancy."""
+        info = self.stats.as_dict()
+        info["cached_operators"] = len(self._cache)
+        info["max_operators"] = self.max_operators
+        return info
+
+
+# ----------------------------------------------------------------------
+# Shared default farm: process-wide operator reuse across call sites.
+# ----------------------------------------------------------------------
+_default_farm: Optional[SolveFarm] = None
+
+
+def get_default_farm() -> SolveFarm:
+    """The process-wide farm the library call sites share."""
+    global _default_farm
+    if _default_farm is None:
+        _default_farm = SolveFarm()
+    return _default_farm
+
+
+def reset_default_farm() -> None:
+    """Drop the shared farm (tests; or to release factorization memory)."""
+    global _default_farm
+    _default_farm = None
+
+
+def solve_many(
+    problems: Sequence[HeatProblem],
+    method: str = "direct",
+    tol: float = 1e-10,
+    max_iter: Optional[int] = None,
+    farm: Optional[SolveFarm] = None,
+) -> List[ThermalSolution]:
+    """Batch-solve through ``farm`` (default: the shared process farm)."""
+    farm = farm if farm is not None else get_default_farm()
+    return farm.solve_many(problems, method=method, tol=tol, max_iter=max_iter)

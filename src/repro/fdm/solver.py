@@ -47,6 +47,9 @@ class ThermalSolution:
     grid: StructuredGrid
     temperature: np.ndarray  # flat nodal kelvin
     info: Dict = field(default_factory=dict)
+    # Lazily-built trilinear interpolator (see sample()); building one is
+    # O(n) so repeated point queries must not pay it again.
+    _interpolator: object = field(default=None, repr=False, compare=False)
 
     def to_array(self) -> np.ndarray:
         return self.grid.to_array(self.temperature)
@@ -60,12 +63,18 @@ class ThermalSolution:
         return float(np.min(self.temperature))
 
     def sample(self, points: np.ndarray) -> np.ndarray:
-        """Trilinear interpolation of the field at arbitrary SI points."""
-        from scipy.interpolate import RegularGridInterpolator
+        """Trilinear interpolation of the field at arbitrary SI points.
 
-        interp = RegularGridInterpolator(
-            self.grid.axes, self.to_array(), method="linear"
-        )
+        The interpolator is built once and cached, so repeated sampling
+        of one solution costs O(queries), not O(grid rebuild).  The
+        temperature field is treated as frozen after the first call.
+        """
+        if self._interpolator is None:
+            from scipy.interpolate import RegularGridInterpolator
+
+            self._interpolator = RegularGridInterpolator(
+                self.grid.axes, self.to_array(), method="linear"
+            )
         points = np.atleast_2d(np.asarray(points, dtype=np.float64)).copy()
         for axis in range(3):
             points[:, axis] = np.clip(
@@ -73,7 +82,7 @@ class ThermalSolution:
                 self.grid.cuboid.lo[axis],
                 self.grid.cuboid.hi[axis],
             )
-        return interp(points)
+        return self._interpolator(points)
 
 
 def energy_report(system: AssembledSystem, temperature: np.ndarray) -> EnergyReport:
@@ -123,18 +132,27 @@ def solve_steady(
         scaling = sp.diags(scale)
         scaled_matrix = (scaling @ system.matrix @ scaling).tocsr()
         scaled_rhs = scale * system.rhs
+        # scipy's cg returns 0 on success, so the status is useless as an
+        # iteration count — count real iterations via the callback.
+        iteration_count = 0
+
+        def _count_iteration(_xk):
+            nonlocal iteration_count
+            iteration_count += 1
+
         scaled_temperature, status = spla.cg(
             scaled_matrix,
             scaled_rhs,
             rtol=tol,
             maxiter=max_iter,
+            callback=_count_iteration,
         )
         if status > 0:
             raise RuntimeError(f"CG failed to converge within {status} iterations")
         if status < 0:
             raise RuntimeError("CG illegal input or breakdown")
         temperature = scale * scaled_temperature
-        iterations = status
+        iterations = iteration_count
     else:
         raise ValueError(f"unknown method {method!r}; use 'direct' or 'cg'")
     solve_time = time.perf_counter() - start

@@ -13,14 +13,16 @@ stable; theta=0.5 Crank-Nicolson, second order).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, List, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from .assembly import HeatProblem, assemble
+from .assembly import HeatProblem
+from .farm import SolveFarm, get_default_farm
 
 
 @dataclass
@@ -47,15 +49,29 @@ class TransientSolver:
         Spatial problem (geometry, conductivity, BCs, sources).
     volumetric_heat_capacity:
         ``rho * c_p`` in J/(m^3 K): a scalar or a callable of SI points.
+    farm:
+        The :class:`~repro.fdm.farm.SolveFarm` supplying the (possibly
+        cached) spatial operator and the steady-state factorization;
+        defaults to the shared process farm.
     """
 
     def __init__(
         self,
         problem: HeatProblem,
         volumetric_heat_capacity: Union[float, Callable[[np.ndarray], np.ndarray]],
+        farm: Optional[SolveFarm] = None,
     ):
         self.problem = problem
-        self.system = assemble(problem)
+        self._farm = farm if farm is not None else get_default_farm()
+        self.system = self._farm.assembled(problem)
+        # Theta-scheme LHS factorizations keyed by (dt, theta) so
+        # alternating step sizes do not thrash refactorization; LRU-bounded
+        # because each entry holds a full LU.  Keyed off ``self.capacity``
+        # as frozen at construction — do not mutate it afterwards.
+        self._lhs_factors: "OrderedDict[Tuple[float, float], Callable]" = (
+            OrderedDict()
+        )
+        self.max_lhs_factors = 8
         points = problem.grid.points()
         if callable(volumetric_heat_capacity):
             rho_cp = np.asarray(volumetric_heat_capacity(points), dtype=np.float64)
@@ -95,15 +111,7 @@ class TransientSolver:
         matrix = self.system.matrix
         rhs = self.system.rhs
         dirichlet = self.system.dirichlet_mask
-        lhs = (mass + theta * matrix).tocsc()
-        if dirichlet.any():
-            # Keep Dirichlet rows as identity (matrix already has them);
-            # mass on those rows would dilute the constraint.
-            lhs = lhs.tolil()
-            lhs[dirichlet, :] = 0.0
-            lhs[dirichlet, dirichlet] = 1.0
-            lhs = lhs.tocsc()
-        factor = spla.factorized(lhs)
+        factor = self._lhs_factor(dt, theta, mass)
 
         saved_times: List[float] = [0.0]
         saved_fields: List[np.ndarray] = [temperature.copy()]
@@ -121,9 +129,40 @@ class TransientSolver:
         )
 
     # ------------------------------------------------------------------
+    def _lhs_factor(self, dt: float, theta: float, mass: sp.spmatrix) -> Callable:
+        """The factorized theta-scheme LHS, LRU-cached per (dt, theta)."""
+        key = (float(dt), float(theta))
+        factor = self._lhs_factors.get(key)
+        if factor is None:
+            lhs = (mass + theta * self.system.matrix).tocsc()
+            dirichlet = self.system.dirichlet_mask
+            if dirichlet.any():
+                # Keep Dirichlet rows as identity (matrix already has
+                # them); mass on those rows would dilute the constraint.
+                lhs = lhs.tolil()
+                lhs[dirichlet, :] = 0.0
+                lhs[dirichlet, dirichlet] = 1.0
+                lhs = lhs.tocsc()
+            factor = spla.factorized(lhs)
+            self._lhs_factors[key] = factor
+            while len(self._lhs_factors) > self.max_lhs_factors:
+                self._lhs_factors.popitem(last=False)
+        else:
+            self._lhs_factors.move_to_end(key)
+        return factor
+
+    # ------------------------------------------------------------------
+    def initial_steady(self) -> np.ndarray:
+        """The steady field (t -> infinity limit), via the farm's cache.
+
+        Reuses — and on first call seeds — the farm's factorization of
+        this problem's operator instead of running a fresh ``spsolve``.
+        """
+        return self._farm.solve(self.problem).temperature
+
     def steady_state(self) -> np.ndarray:
-        """The t -> infinity limit (the steady solve)."""
-        return spla.spsolve(self.system.matrix.tocsc(), self.system.rhs)
+        """Backwards-compatible alias of :meth:`initial_steady`."""
+        return self.initial_steady()
 
     def time_constant(self) -> float:
         """Crude thermal RC estimate: total capacity / total conductance.

@@ -10,12 +10,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from ..core.model import DeepOHeat
-from ..fdm import solve_steady
+from ..fdm import SolveFarm, get_default_farm
 from ..geometry import StructuredGrid
 from ..power.interpolate import tiles_to_grid
 from .blocks import Floorplan
@@ -25,10 +25,15 @@ class SurrogatePeakObjective:
     """Peak predicted temperature of a floorplan (lower is better)."""
 
     def __init__(self, model: DeepOHeat, eval_grid: StructuredGrid,
-                 input_name: str = "power_map"):
+                 input_name: str = "power_map",
+                 farm: Optional[SolveFarm] = None):
         self.model = model
         self.eval_grid = eval_grid
         self.input_name = input_name
+        # Every candidate floorplan shares the same operator (only the
+        # power-map RHS moves), so reference validation reuses one cached
+        # factorization across the whole annealing run.
+        self.farm = farm if farm is not None else get_default_farm()
         config_input = next(
             inp for inp in model.inputs if inp.name == input_name
         )
@@ -47,7 +52,7 @@ class SurrogatePeakObjective:
     def reference_peak(self, floorplan: Floorplan) -> float:
         """FDM-validated peak temperature of a floorplan."""
         design = {self.input_name: self.power_map(floorplan)}
-        solution = solve_steady(
+        solution = self.farm.solve(
             self.model.concrete_config(design).heat_problem(self.eval_grid)
         )
         return solution.t_max

@@ -110,10 +110,12 @@ class TestSpeedupDriver:
             tiny_a, refine_factor=2, batch_size=4, repeats=1,
             paper_speedup_cpu=3000.0,
         )
-        assert len(study.table.rows) == 3
+        assert len(study.table.rows) == 4
         text = study.format()
         assert "refined" in text and "paper" in text
+        assert "farm" in text  # the amortised shared-operator reference row
         assert study.details["batch_size"] == 4
+        assert study.details["solver_farm_sweep"]["amortized"] > 0
 
     def test_scaling_curve(self, tiny_a):
         rows = fdm_scaling_curve(tiny_a, factors=[1, 2])

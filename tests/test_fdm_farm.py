@@ -1,0 +1,314 @@
+"""Shared-operator solve farm: cache-correctness, block-solve parity, LRU.
+
+The contract under test (ISSUE 3):
+
+* operator digests key on grid / conductivity / BC structure / HTC values
+  — changing any of those must *miss* the cache; RHS-only changes (power
+  map, Neumann flux magnitude, ambient temperature, Dirichlet values)
+  must *hit* it;
+* cache-hit solutions are bitwise identical to cold-cache solutions, and
+  block multi-RHS solves are bitwise identical to one-at-a-time solves;
+* every farm-solved problem keeps the discrete energy balance to <= 1e-8
+  relative imbalance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bc import AdiabaticBC, ConvectionBC, DirichletBC, NeumannBC
+from repro.fdm import (
+    HeatProblem,
+    SolveFarm,
+    TransientSolver,
+    assemble,
+    get_default_farm,
+    operator_digest,
+    reset_default_farm,
+    solve_many,
+    solve_steady,
+)
+from repro.geometry import Face, StructuredGrid, paper_chip_a
+from repro.materials import UniformConductivity
+from repro.power import UniformLayerPower
+
+T_AMB = 298.15
+
+
+def _problem(
+    grid_shape=(7, 7, 5),
+    k=0.1,
+    influx=2500.0,
+    htc=500.0,
+    t_ambient=T_AMB,
+    top_bc=None,
+    bottom_bc=None,
+    power=None,
+):
+    """Experiment-A-shaped problem: power on top, convection bottom."""
+    chip = paper_chip_a()
+    grid = StructuredGrid(chip, grid_shape)
+    bcs = {
+        Face.TOP: top_bc if top_bc is not None else NeumannBC(influx),
+        Face.BOTTOM: (
+            bottom_bc if bottom_bc is not None else ConvectionBC(htc, t_ambient)
+        ),
+    }
+    kwargs = {"grid": grid, "conductivity": UniformConductivity(k), "bcs": bcs}
+    if power is not None:
+        kwargs["volumetric_power"] = power
+    return HeatProblem(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Operator digest: what must hit and what must miss.
+# ----------------------------------------------------------------------
+class TestOperatorDigest:
+    def test_rhs_only_changes_share_the_digest(self):
+        base = operator_digest(_problem())
+        # Neumann flux magnitude (the power map) is RHS-only.
+        assert operator_digest(_problem(influx=9000.0)) == base
+        # Ambient temperature enters b = ... + h A T_amb, not the matrix.
+        assert operator_digest(_problem(t_ambient=310.0)) == base
+        # A spatially-varying power map is still the same operator.
+        assert (
+            operator_digest(
+                _problem(top_bc=NeumannBC(lambda p: 1e3 * (1 + p[:, 0] * 1e3)))
+            )
+            == base
+        )
+
+    def test_volumetric_power_is_rhs_only(self):
+        powered = _problem(
+            power=UniformLayerPower((0.15e-3, 0.35e-3), 1e-3, 1e-6)
+        )
+        assert operator_digest(powered) == operator_digest(_problem())
+
+    def test_dirichlet_value_is_rhs_only(self):
+        hot = _problem(bottom_bc=DirichletBC(350.0))
+        cold = _problem(bottom_bc=DirichletBC(300.0))
+        assert operator_digest(hot) == operator_digest(cold)
+
+    def test_conductivity_change_misses(self):
+        assert operator_digest(_problem(k=0.2)) != operator_digest(_problem())
+
+    def test_htc_value_change_misses(self):
+        assert operator_digest(_problem(htc=750.0)) != operator_digest(_problem())
+
+    def test_bc_type_change_misses(self):
+        base = operator_digest(_problem())
+        dirichlet = operator_digest(_problem(bottom_bc=DirichletBC(T_AMB)))
+        convective_top = operator_digest(
+            _problem(top_bc=ConvectionBC(100.0, T_AMB))
+        )
+        assert dirichlet != base
+        assert convective_top != base
+        assert dirichlet != convective_top
+
+    def test_grid_change_misses(self):
+        assert operator_digest(_problem(grid_shape=(9, 9, 5))) != operator_digest(
+            _problem()
+        )
+
+    def test_adiabatic_is_a_zero_flux_neumann_operator(self):
+        """Adiabatic vs non-zero Neumann leave the matrix identical."""
+        adiabatic = _problem(top_bc=AdiabaticBC())
+        assert operator_digest(adiabatic) == operator_digest(_problem())
+
+
+# ----------------------------------------------------------------------
+# Cache behaviour + numerical parity.
+# ----------------------------------------------------------------------
+class TestFarmSolves:
+    def test_rhs_only_change_hits_and_matches_cold_path_bitwise(self):
+        farm = SolveFarm()
+        farm.solve(_problem(influx=1000.0))
+        assert farm.stats.operator_misses == 1
+
+        hot = _problem(influx=7777.0)
+        warm = farm.solve(hot)  # operator + factorization from cache
+        assert farm.stats.operator_hits == 1
+        assert farm.stats.factorizations == 1
+        assert warm.info["operator_cached"]
+
+        cold = SolveFarm().solve(hot)
+        assert np.array_equal(warm.temperature, cold.temperature)
+
+    def test_farm_matches_solve_steady(self):
+        problems = [
+            _problem(influx=500.0 * (index + 1)) for index in range(5)
+        ]
+        farm = SolveFarm()
+        solutions = farm.solve_many(problems)
+        for problem, solution in zip(problems, solutions):
+            reference = solve_steady(problem)
+            assert np.abs(
+                solution.temperature - reference.temperature
+            ).max() <= 1e-8
+
+    def test_block_solve_is_bitwise_identical_to_single_solves(self):
+        problems = [
+            _problem(influx=300.0 + 100.0 * index) for index in range(4)
+        ]
+        block = SolveFarm().solve_many(problems)
+        for problem, solution in zip(problems, block):
+            single = SolveFarm().solve(problem)
+            assert np.array_equal(solution.temperature, single.temperature)
+
+    def test_mixed_operator_batch_comes_back_in_input_order(self):
+        problems = [
+            _problem(influx=1000.0),
+            _problem(htc=750.0, influx=1000.0),
+            _problem(influx=2000.0),
+            _problem(htc=750.0, influx=2000.0),
+        ]
+        farm = SolveFarm()
+        solutions = farm.solve_many(problems)
+        assert farm.stats.operator_misses == 2
+        assert farm.stats.block_solves == 2
+        for problem, solution in zip(problems, solutions):
+            reference = solve_steady(problem)
+            assert np.abs(
+                solution.temperature - reference.temperature
+            ).max() <= 1e-8
+
+    def test_energy_balance_for_every_farm_problem_class(self):
+        problems = [
+            _problem(influx=4000.0),
+            _problem(bottom_bc=DirichletBC(320.0)),
+            _problem(power=UniformLayerPower((0.15e-3, 0.35e-3), 1e-3, 1e-6)),
+            _problem(t_ambient=285.0, influx=1234.5),
+        ]
+        solutions = SolveFarm().solve_many(problems)
+        for solution in solutions:
+            report = solution.info["energy"]
+            assert abs(report.relative_imbalance) <= 1e-8
+
+    def test_block_cg_matches_direct(self):
+        problems = [
+            _problem(influx=800.0 * (index + 1)) for index in range(3)
+        ]
+        farm = SolveFarm()
+        direct = farm.solve_many(problems, method="direct")
+        iterative = farm.solve_many(problems, method="cg", tol=1e-12)
+        for solution, reference in zip(iterative, direct):
+            assert np.abs(
+                solution.temperature - reference.temperature
+            ).max() <= 1e-7
+            assert solution.info["iterations"] > 0
+            assert solution.info["method"] == "farm-cg"
+            assert abs(solution.info["energy"].relative_imbalance) <= 1e-8
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            SolveFarm().solve(_problem(), method="lobpcg")
+
+    def test_assembled_matches_legacy_assemble(self):
+        problem = _problem(bottom_bc=DirichletBC(305.0))
+        farm = SolveFarm()
+        via_farm = farm.assembled(problem)
+        legacy = assemble(problem)
+        assert (via_farm.matrix != legacy.matrix).nnz == 0
+        assert (via_farm.matrix_raw != legacy.matrix_raw).nnz == 0
+        assert np.array_equal(via_farm.rhs, legacy.rhs)
+        assert np.array_equal(via_farm.rhs_raw, legacy.rhs_raw)
+        assert np.array_equal(via_farm.dirichlet_values, legacy.dirichlet_values)
+        assert via_farm.injected_power == legacy.injected_power
+
+    def test_lru_eviction(self):
+        farm = SolveFarm(max_operators=2)
+        keys = []
+        for k in (0.1, 0.2, 0.3):
+            problem = _problem(k=k)
+            keys.append(operator_digest(problem))
+            farm.solve(problem)
+        assert farm.cache_info()["cached_operators"] == 2
+        assert farm.stats.evictions == 1
+        assert farm.cached_keys() == keys[1:]  # oldest evicted
+        # Re-solving the evicted operator is a miss again.
+        farm.solve(_problem(k=0.1))
+        assert farm.stats.operator_misses == 4
+
+
+# ----------------------------------------------------------------------
+# Default farm + module-level API.
+# ----------------------------------------------------------------------
+class TestDefaultFarm:
+    def test_shared_instance_and_reset(self):
+        reset_default_farm()
+        farm = get_default_farm()
+        assert get_default_farm() is farm
+        reset_default_farm()
+        assert get_default_farm() is not farm
+
+    def test_module_level_solve_many(self):
+        reset_default_farm()
+        solutions = solve_many([_problem(), _problem(influx=100.0)])
+        assert len(solutions) == 2
+        assert get_default_farm().stats.problems_solved == 2
+        reset_default_farm()
+
+
+# ----------------------------------------------------------------------
+# Transient integration (satellite: initial_steady + dt-keyed LHS cache).
+# ----------------------------------------------------------------------
+class TestTransientFarm:
+    def test_initial_steady_reuses_farm_factorization(self):
+        problem = _problem()
+        farm = SolveFarm()
+        solver = TransientSolver(problem, 1.6e6, farm=farm)
+        steady = solver.initial_steady()
+        assert farm.stats.factorizations == 1
+        reference = solve_steady(problem)
+        assert np.abs(steady - reference.temperature).max() <= 1e-8
+        # Another call keeps using the same factorization.
+        again = solver.initial_steady()
+        assert farm.stats.factorizations == 1
+        assert np.array_equal(steady, again)
+        # steady_state stays as a compatible alias.
+        assert np.array_equal(solver.steady_state(), steady)
+
+    def test_theta_lhs_factorization_keyed_by_dt(self):
+        problem = _problem(grid_shape=(5, 5, 4))
+        solver = TransientSolver(problem, 1.6e6, farm=SolveFarm())
+        t0 = np.full(problem.grid.n_nodes, T_AMB)
+        tau = solver.time_constant()
+        solver.run(t0, dt=tau / 50, n_steps=2)
+        solver.run(t0, dt=tau / 25, n_steps=2)
+        solver.run(t0, dt=tau / 50, n_steps=2)  # alternating: no refactor
+        assert len(solver._lhs_factors) == 2
+        # Distinct theta is a distinct LHS.
+        solver.run(t0, dt=tau / 50, n_steps=2, theta=0.5)
+        assert len(solver._lhs_factors) == 3
+
+    def test_cached_dt_factor_matches_fresh_solver(self):
+        problem = _problem(grid_shape=(5, 5, 4))
+        t0 = np.full(problem.grid.n_nodes, T_AMB)
+        tau = 1.0
+        warm = TransientSolver(problem, 1.6e6, farm=SolveFarm())
+        warm.run(t0, dt=tau, n_steps=3)  # seed the (dt, theta) cache
+        warm_result = warm.run(t0, dt=tau, n_steps=3)
+        fresh_result = TransientSolver(problem, 1.6e6, farm=SolveFarm()).run(
+            t0, dt=tau, n_steps=3
+        )
+        assert np.array_equal(warm_result.snapshots, fresh_result.snapshots)
+
+
+# ----------------------------------------------------------------------
+# Satellites in solver.py.
+# ----------------------------------------------------------------------
+class TestSolverSatellites:
+    def test_cg_reports_real_iteration_count(self):
+        solution = solve_steady(_problem(), method="cg", tol=1e-10)
+        assert solution.info["iterations"] > 0
+
+    def test_sample_caches_the_interpolator(self):
+        solution = solve_steady(_problem())
+        points = problem_points = solution.grid.points()[:5]
+        first = solution.sample(points)
+        built = solution._interpolator
+        assert built is not None
+        second = solution.sample(problem_points)
+        assert solution._interpolator is built
+        assert np.array_equal(first, second)
+        # Nodal sampling reproduces the nodal field.
+        assert np.allclose(first, solution.temperature[:5], atol=1e-9)
