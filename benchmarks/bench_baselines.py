@@ -60,7 +60,6 @@ def test_pinn_retrain_vs_operator_inference(benchmark, trained_a, small_grid,
     Benchmark = the operator's forward pass; the PINN retraining time is
     measured once and written to the artifact.
     """
-    map_shape = trained_a.model.inputs[0].map_shape
     rng = np.random.default_rng(1)
     new_map = trained_a.model.inputs[0].sample(rng, 1)[0]
     design = {"power_map": new_map}
@@ -82,7 +81,7 @@ def test_pinn_retrain_vs_operator_inference(benchmark, trained_a, small_grid,
         ["method", "time for a NEW design", "MAPE %"],
         [
             ["DeepOHeat forward pass", "(see benchmark row)", operator_mape],
-            [f"PINN retrain (300 it)", f"{history.wall_time:.1f} s", pinn_mape],
+            ["PINN retrain (300 it)", f"{history.wall_time:.1f} s", pinn_mape],
         ],
     )
     (out_dir / "baseline_pinn.txt").write_text(table + "\n")

@@ -11,7 +11,7 @@ a proportionally relaxed bound.
 import numpy as np
 
 from repro.analysis import format_table
-from repro.experiments import PAPER_HTC_CASES, run_experiment_b
+from repro.experiments import run_experiment_b
 
 
 def test_fig5_cases(benchmark, trained_b, out_dir):

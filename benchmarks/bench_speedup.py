@@ -13,7 +13,6 @@ widens the gap by another 1-2 orders.
 
 import numpy as np
 
-from repro.analysis import SpeedupRow
 from repro.experiments import run_speedup_study
 from repro.fdm import solve_steady
 from repro.power import paper_test_suite, tiles_to_grid

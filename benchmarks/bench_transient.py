@@ -1,0 +1,182 @@
+"""Transient rollout benchmark: serving-engine rollouts vs FDM stepping.
+
+The transient workload's amortization story: a theta-scheme reference
+must *step* through every intermediate dt for every design, while the
+surrogate evaluates any batch of designs at any set of instants as one
+``(B, q) @ (q, K * N)`` matmul against a cached space-time trunk block.
+This bench pins that contract:
+
+* **parity** — ``predict_rollout`` must match the per-instant
+  ``engine.predict(..., t=...)`` loop to <= 1e-10 K (same frozen
+  weights, same trunk features, different batching);
+* **accuracy** — the rollout peak-temperature trace of a trained model
+  stays within 5% (kelvin-relative) of the implicit theta scheme on the
+  held-out step-pulse scenario;
+* **throughput** — warm-cache rollouts deliver more design-instants/sec
+  than per-design theta stepping (asserted only in full local runs; CI
+  runners are too noisy for stable ratios).
+
+``REPRO_SMOKE=1`` (the CI perf-contract job) drops to the tiny ``test``
+scale and asserts parity + accuracy only.  Measured numbers land in
+``benchmarks/out/transient.{txt,json}`` (and the repo-root
+``BENCH_transient.json`` records the committed perf trajectory).
+"""
+
+import json
+import time
+
+import numpy as np
+from conftest import SMOKE
+
+from repro.experiments import run_experiment_c
+
+N_DESIGNS = 4 if SMOKE else 32
+N_TIMES = 5 if SMOKE else 9
+STEPS_PER_INTERVAL = 2 if SMOKE else 8
+MAX_PARITY_DEV = 1e-10
+MAX_PEAK_REL_ERROR = 0.05
+MIN_SPEEDUP = 2.0
+
+
+def _designs(setup, n=N_DESIGNS, seed=0):
+    rng = np.random.default_rng(seed)
+    config_input = setup.model.inputs[0]
+    raws = config_input.sample(rng, n)
+    return [{config_input.name: raw} for raw in raws]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_rollout_parity_accuracy_throughput(trained_transient, out_dir):
+    """The acceptance numbers: <= 1e-10 parity, <= 5% peak error."""
+    setup = trained_transient
+    model = setup.model
+    spec = model.transient
+    grid = setup.eval_grid
+    designs = _designs(setup)
+    times = np.linspace(0.0, spec.horizon, N_TIMES)
+
+    engine = model.compile().warmup(grid, times=times)
+
+    # Parity: the fused rollout vs the per-instant engine loop.
+    rollout = engine.predict_rollout(designs, times, grid=grid)
+    per_instant = np.stack(
+        [engine.predict_batch(designs, grid=grid, t=t) for t in times], axis=1
+    )
+    parity_dev = float(np.abs(rollout - per_instant).max())
+
+    # Accuracy: held-out step pulse vs the implicit theta scheme.
+    accuracy = run_experiment_c(
+        setup,
+        scenario="step",
+        n_times=N_TIMES,
+        steps_per_interval=STEPS_PER_INTERVAL,
+    )
+
+    # Throughput: warm-cache batched rollout (median of 3) vs stepping
+    # every design's theta-scheme reference through the same horizon.
+    rollout_rounds = sorted(
+        _timed(lambda: engine.predict_rollout(designs, times, grid=grid))[1]
+        for _ in range(3)
+    )
+    rollout_seconds = rollout_rounds[1]
+    dt = spec.horizon / (STEPS_PER_INTERVAL * (N_TIMES - 1))
+    _, fdm_seconds = _timed(
+        lambda: [
+            model.reference_rollout(
+                design,
+                grid,
+                dt=dt,
+                n_steps=STEPS_PER_INTERVAL * (N_TIMES - 1),
+                save_every=STEPS_PER_INTERVAL,
+            )
+            for design in designs
+        ]
+    )
+    instants = N_DESIGNS * N_TIMES
+    rollout_rate = instants / max(rollout_seconds, 1e-12)
+    fdm_rate = instants / max(fdm_seconds, 1e-12)
+    speedup = rollout_rate / max(fdm_rate, 1e-12)
+
+    text = "\n".join(
+        [
+            f"transient rollout ({N_DESIGNS} designs x {N_TIMES} instants, "
+            f"grid {grid.shape})",
+            f"engine rollout      : {rollout_rate:10.1f} design-instants/s",
+            f"theta-scheme steps  : {fdm_rate:10.1f} design-instants/s "
+            f"({STEPS_PER_INTERVAL} substeps each)",
+            f"speedup             : {speedup:10.1f}x",
+            f"rollout parity      : {parity_dev:10.3e} K",
+            f"peak rel error      : {accuracy.peak_rel_error * 100:10.3f} %",
+            f"rise-space error    : {accuracy.rise_rel_error * 100:10.1f} %",
+            "",
+        ]
+    )
+    (out_dir / "transient.txt").write_text(text)
+    (out_dir / "transient.json").write_text(
+        json.dumps(
+            {
+                "n_designs": N_DESIGNS,
+                "n_times": N_TIMES,
+                "grid": list(grid.shape),
+                "rollout_instants_per_sec": round(rollout_rate, 2),
+                "fdm_instants_per_sec": round(fdm_rate, 2),
+                "speedup": round(speedup, 2),
+                "parity_dev_K": parity_dev,
+                "peak_rel_error": accuracy.peak_rel_error,
+                "rise_rel_error": accuracy.rise_rel_error,
+                "smoke": SMOKE,
+            },
+            indent=2,
+        )
+    )
+    print("\n" + text)
+
+    assert parity_dev <= MAX_PARITY_DEV, (
+        f"rollout deviates from per-instant predict by {parity_dev} K"
+    )
+    assert accuracy.peak_rel_error <= MAX_PEAK_REL_ERROR, (
+        f"rollout peak trace off by {accuracy.peak_rel_error * 100:.2f}% "
+        f"vs the theta scheme"
+    )
+    if not SMOKE:
+        assert speedup >= MIN_SPEEDUP, (
+            f"rollout only {speedup:.1f}x over theta stepping"
+        )
+
+
+def test_rollout_bench(benchmark, trained_transient):
+    """pytest-benchmark hook: one warm-cache batched rollout per round."""
+    setup = trained_transient
+    times = np.linspace(0.0, setup.model.transient.horizon, N_TIMES)
+    engine = setup.model.compile().warmup(setup.eval_grid, times=times)
+    designs = _designs(setup)
+    out = benchmark(
+        lambda: engine.predict_rollout(designs, times, grid=setup.eval_grid)
+    )
+    assert out.shape == (N_DESIGNS, N_TIMES, setup.eval_grid.n_nodes)
+
+
+def test_fdm_stepping_bench(benchmark, trained_transient):
+    """pytest-benchmark hook: the per-design theta stepping it replaces."""
+    setup = trained_transient
+    spec = setup.model.transient
+    designs = _designs(setup, 2)
+    dt = spec.horizon / (STEPS_PER_INTERVAL * (N_TIMES - 1))
+    out = benchmark(
+        lambda: [
+            setup.model.reference_rollout(
+                design,
+                setup.eval_grid,
+                dt=dt,
+                n_steps=STEPS_PER_INTERVAL * (N_TIMES - 1),
+                save_every=STEPS_PER_INTERVAL,
+            )
+            for design in designs
+        ]
+    )
+    assert len(out) == 2

@@ -42,6 +42,12 @@ def trained_b():
 
 
 @pytest.fixture(scope="session")
+def trained_transient():
+    """CI-scale transient model (trained once, then disk-cached)."""
+    return get_trained_setup("transient", scale=MODEL_SCALE)
+
+
+@pytest.fixture(scope="session")
 def exp_a_result(trained_a):
     """The full p1..p10 evaluation shared by Table-I and Fig.-3 benches."""
     from repro.experiments import run_experiment_a

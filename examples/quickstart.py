@@ -14,7 +14,6 @@ Usage::
 
 import argparse
 
-import numpy as np
 
 from repro.analysis import ascii_heatmap, field_report, kv_block
 from repro.analysis.viz import compare_fields_text, field_slice

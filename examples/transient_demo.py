@@ -10,7 +10,6 @@ Usage::
     python examples/transient_demo.py
 """
 
-import numpy as np
 
 from repro.analysis import ascii_heatmap, format_table
 from repro.bc import ConvectionBC, NeumannBC

@@ -65,7 +65,8 @@ def side_by_side(left: str, right: str, gap: int = 4) -> str:
     left_lines += [""] * (height - len(left_lines))
     right_lines += [""] * (height - len(right_lines))
     return "\n".join(
-        f"{l:<{width}}{' ' * gap}{r}" for l, r in zip(left_lines, right_lines)
+        f"{left:<{width}}{' ' * gap}{right}"
+        for left, right in zip(left_lines, right_lines)
     )
 
 

@@ -8,6 +8,7 @@ Subcommands
 ``evaluate``  evaluate a (cached or given) model on the paper's test cases
 ``speedup``   measure the solver-vs-surrogate speedup table
 ``sweep``     stream a batch of designs through the compiled serving engine
+``transient`` roll a transient surrogate against the theta-scheme reference
 """
 
 from __future__ import annotations
@@ -39,7 +40,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar=("NX", "NY", "NZ"))
 
     train = subparsers.add_parser("train", help="train a preset model")
-    train.add_argument("--experiment", choices=["a", "b", "volumetric"],
+    train.add_argument("--experiment",
+                       choices=["a", "b", "volumetric", "transient"],
                        default="a")
     train.add_argument("--scale", choices=["test", "ci", "paper"], default="ci")
     train.add_argument("--iterations", type=int, default=None,
@@ -80,6 +82,29 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--validate", type=int, default=0, metavar="N",
                        help="FDM-validate the N hottest designs through the "
                             "shared-operator solve farm")
+
+    transient = subparsers.add_parser(
+        "transient",
+        help="transient rollout on a power-pulse scenario vs the "
+             "theta-scheme reference",
+    )
+    transient.add_argument("--scale", choices=["test", "ci"], default="ci")
+    transient.add_argument("--scenario", choices=["step", "ramp", "clock"],
+                           default="step",
+                           help="held-out power pulse to evaluate")
+    transient.add_argument("--times", type=int, default=9,
+                           help="instants compared across the horizon")
+    transient.add_argument("--steps-per-interval", type=int, default=8,
+                           help="implicit reference steps per instant")
+    transient.add_argument("--theta", type=float, default=1.0,
+                           help="time scheme: 1.0 backward Euler, "
+                                "0.5 Crank-Nicolson")
+    transient.add_argument("--early-stop", type=float, default=None,
+                           metavar="TOL",
+                           help="stop the reference once the peak settles "
+                                "below TOL K/s (convergence to steady state)")
+    transient.add_argument("--checkpoint", default=None,
+                           help="explicit checkpoint (defaults to the cache)")
     return parser
 
 
@@ -97,6 +122,7 @@ def _cmd_info(args) -> int:
                 "experiment a": "2D power maps, 1x1x0.5 mm chip (Sec. V-A)",
                 "experiment b": "dual HTC inputs, volumetric layer (Sec. V-B)",
                 "experiment volumetric": "3D power maps (Sec. VI future work)",
+                "experiment transient": "time-modulated power pulses (eq. 1)",
                 "scales": "test (seconds) / ci (minutes) / paper (hours)",
                 "benches": "pytest benchmarks/ --benchmark-only",
             },
@@ -106,14 +132,36 @@ def _cmd_info(args) -> int:
 
 
 def _experiment_setup(name: str, scale: str):
-    from .core import experiment_a, experiment_b, experiment_volumetric
+    from .core import (
+        experiment_a,
+        experiment_b,
+        experiment_transient,
+        experiment_volumetric,
+    )
 
     factories = {
         "a": experiment_a,
         "b": experiment_b,
         "volumetric": experiment_volumetric,
+        "transient": experiment_transient,
     }
     return factories[name](scale=scale)
+
+
+def _trained_setup(name: str, scale: str, checkpoint: Optional[str]):
+    """A ready-to-evaluate setup: checkpoint-backed or cache-trained.
+
+    An explicit checkpoint supplies the weights, so the preset is built
+    untrained and loaded instead of training (or cache-loading) a model
+    whose weights the checkpoint would immediately overwrite.
+    """
+    if checkpoint:
+        setup = _experiment_setup(name, scale)
+        setup.model.load(checkpoint)
+        return setup
+    from .experiments import get_trained_setup
+
+    return get_trained_setup(name, scale=scale)
 
 
 def _cmd_solve(args) -> int:
@@ -164,7 +212,13 @@ def _cmd_solve(args) -> int:
 def _cmd_train(args) -> int:
     from .analysis import model_summary
 
-    setup = _experiment_setup(args.experiment, args.scale)
+    try:
+        setup = _experiment_setup(args.experiment, args.scale)
+    except ValueError as error:
+        # e.g. presets without a paper-scale variant (volumetric,
+        # transient): report cleanly instead of a raw traceback.
+        print(str(error), file=sys.stderr)
+        return 2
     if args.iterations is not None:
         setup.trainer_config.iterations = args.iterations
     if args.seed:
@@ -186,11 +240,9 @@ def _cmd_train(args) -> int:
 
 def _cmd_evaluate(args) -> int:
     from .analysis import format_table
-    from .experiments import get_trained_setup, run_experiment_a, run_experiment_b
+    from .experiments import run_experiment_a, run_experiment_b
 
-    setup = get_trained_setup(args.experiment, scale=args.scale)
-    if args.checkpoint:
-        setup.model.load(args.checkpoint)
+    setup = _trained_setup(args.experiment, args.scale, args.checkpoint)
 
     if args.experiment == "a":
         result = run_experiment_a(setup)
@@ -227,11 +279,8 @@ def _cmd_sweep(args) -> int:
     import time
 
     from .analysis import kv_block, model_summary
-    from .experiments import get_trained_setup
 
-    setup = get_trained_setup(args.experiment, scale=args.scale)
-    if args.checkpoint:
-        setup.model.load(args.checkpoint)
+    setup = _trained_setup(args.experiment, args.scale, args.checkpoint)
     model = setup.model
     grid = setup.eval_grid
     n_designs = max(1, args.designs)
@@ -330,6 +379,31 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_transient(args) -> int:
+    from .experiments import run_experiment_c
+
+    setup = _trained_setup("transient", args.scale, args.checkpoint)
+
+    result = run_experiment_c(
+        setup,
+        scenario=args.scenario,
+        n_times=args.times,
+        steps_per_interval=args.steps_per_interval,
+        theta=args.theta,
+        early_stop_tol=args.early_stop,
+    )
+    print(result.summary_text())
+    print()
+    print(result.table_text())
+    cache = setup.model.engine.cache_info()
+    print()
+    print(
+        f"trunk cache: {cache.hits} hits / {cache.misses} misses "
+        f"(one space-time block per rollout time grid)"
+    )
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "solve": _cmd_solve,
@@ -337,6 +411,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "speedup": _cmd_speedup,
     "sweep": _cmd_sweep,
+    "transient": _cmd_transient,
 }
 
 

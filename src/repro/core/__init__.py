@@ -7,6 +7,7 @@ from .encoding import (
     HTCInput,
     HTCMapInput,
     PowerMapInput,
+    TransientPowerMapInput,
     VolumetricPowerMapInput,
     apply_design,
 )
@@ -16,6 +17,7 @@ from .presets import (
     ExperimentSetup,
     experiment_a,
     experiment_b,
+    experiment_transient,
     experiment_volumetric,
 )
 from .sampler import (
@@ -23,9 +25,11 @@ from .sampler import (
     CollocationPlan,
     MeshCollocation,
     RandomCollocation,
+    TransientCollocation,
     total_points,
 )
 from .trainer import Trainer, TrainerConfig, TrainingHistory
+from .transient import TransientSpec
 
 __all__ = [
     "ChipConfig",
@@ -41,6 +45,9 @@ __all__ = [
     "PhysicsLossBuilder",
     "PowerMapInput",
     "RandomCollocation",
+    "TransientCollocation",
+    "TransientPowerMapInput",
+    "TransientSpec",
     "VolumetricPowerMapInput",
     "Trainer",
     "TrainerConfig",
@@ -48,6 +55,7 @@ __all__ = [
     "apply_design",
     "experiment_a",
     "experiment_b",
+    "experiment_transient",
     "experiment_volumetric",
     "total_points",
 ]

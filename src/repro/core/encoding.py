@@ -22,6 +22,7 @@ from ..bc import ConvectionBC, DirichletBC, NeumannBC
 from ..geometry import Face
 from ..power import GaussianRandomField2D, GaussianRandomField3D
 from ..power.interpolate import grid_bilinear_function
+from ..power.traces import TraceFamily, interpolate_trace
 from .configs import ChipConfig
 
 
@@ -398,6 +399,164 @@ class VolumetricPowerMapInput(ConfigInput):
                 f"expected a single {self.map_shape} map, got {raw_single.shape}"
             )
         return config.with_volumetric_power(self._interpolator(raw_single))
+
+
+class TransientPowerMapInput(ConfigInput):
+    """A time-modulated 2-D power map: ``q(x, t) = map(x) * trace(t)``.
+
+    The transient workload's single operator input.  A raw instance is
+    one flat vector ``[map.ravel(); trace samples]``: the spatial half
+    is a GRF power map exactly as in :class:`PowerMapInput`, the time
+    half is a modulation trace identified by its values on
+    ``n_time_sensors`` equispaced hat times (step / ramp / clock-gating
+    families from :class:`~repro.power.traces.TraceFamily`).  The branch
+    net consumes both halves as one sensor vector — the time-modulated
+    power encoding.
+
+    The continuous-in-time source every consumer sees is the
+    piecewise-linear reconstruction of the trace samples
+    (:func:`~repro.power.traces.interpolate_trace`), so the physics
+    residual, the rollout and the theta-scheme reference all integrate
+    *the same* function.  ``apply`` stamps the ``t = 0`` flux (the
+    initial-condition problem the farm solves); ``apply_at`` stamps any
+    other hat time for the reference stepper's time-varying RHS.
+    """
+
+    residual_kind = "neumann"
+    # Consumed by DeepOHeat.reference_rollout: inputs flagged
+    # time-dependent are re-stamped per step time via ``apply_at``.
+    time_dependent = True
+
+    def __init__(
+        self,
+        chip,
+        horizon: float,
+        face: Face = Face.TOP,
+        map_shape: Tuple[int, int] = (11, 11),
+        n_time_sensors: int = 12,
+        unit_flux: float = 2500.0,
+        grf: Optional[GaussianRandomField2D] = None,
+        traces: Optional[TraceFamily] = None,
+        encode_scale: float = 1.0,
+        name: str = "transient_power",
+    ):
+        if face.axis != 2:
+            raise ValueError("power maps are defined on TOP/BOTTOM faces")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if n_time_sensors < 2:
+            raise ValueError("need at least 2 time sensors")
+        self.chip = chip
+        self.horizon = float(horizon)
+        self.face = face
+        self.map_shape = tuple(map_shape)
+        self.n_time_sensors = int(n_time_sensors)
+        self.unit_flux = float(unit_flux)
+        self.grf = grf if grf is not None else GaussianRandomField2D(
+            self.map_shape, length_scale=0.3
+        )
+        if self.grf.shape != self.map_shape:
+            raise ValueError(
+                f"GRF shape {self.grf.shape} != map shape {self.map_shape}"
+            )
+        self.traces = traces if traces is not None else TraceFamily()
+        self.encode_scale = float(encode_scale)
+        self.name = name
+
+    @property
+    def map_size(self) -> int:
+        return int(np.prod(self.map_shape))
+
+    @property
+    def sensor_dim(self) -> int:
+        return self.map_size + self.n_time_sensors
+
+    # -- raw layout ----------------------------------------------------
+    def pack(self, maps: np.ndarray, trace_samples: np.ndarray) -> np.ndarray:
+        """Stack (n, *map_shape) maps and (n, n_t) traces into raw rows."""
+        maps = np.asarray(maps, dtype=np.float64)
+        trace_samples = np.asarray(trace_samples, dtype=np.float64)
+        if maps.ndim == len(self.map_shape):
+            maps = maps[None, ...]
+        if trace_samples.ndim == 1:
+            trace_samples = trace_samples[None, :]
+        if maps.shape[1:] != self.map_shape:
+            raise ValueError(
+                f"power map shape {maps.shape[1:]} != expected {self.map_shape}"
+            )
+        if trace_samples.shape[1] != self.n_time_sensors:
+            raise ValueError(
+                f"trace has {trace_samples.shape[1]} samples, "
+                f"expected {self.n_time_sensors}"
+            )
+        return np.concatenate(
+            [maps.reshape(maps.shape[0], -1), trace_samples], axis=1
+        )
+
+    def split(self, raw: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Unstack raw rows into ``(maps (n, *shape), traces (n, n_t))``."""
+        raw = np.asarray(raw, dtype=np.float64)
+        if raw.ndim == 1:
+            raw = raw[None, :]
+        if raw.shape[1] != self.sensor_dim:
+            raise ValueError(
+                f"raw width {raw.shape[1]} != expected {self.sensor_dim}"
+            )
+        maps = raw[:, : self.map_size].reshape((raw.shape[0],) + self.map_shape)
+        return maps, raw[:, self.map_size :]
+
+    # -- ConfigInput interface -----------------------------------------
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        maps = self.grf.sample(rng, n)
+        samples = self.traces.sample_samples(rng, n, self.n_time_sensors)
+        return self.pack(maps, samples)
+
+    def encode(self, raw: np.ndarray) -> np.ndarray:
+        maps, trace_samples = self.split(raw)
+        scaled = maps.reshape(maps.shape[0], -1) / self.encode_scale
+        return np.concatenate([scaled, trace_samples], axis=1)
+
+    def modulation(self, raw: np.ndarray, t_hat: np.ndarray) -> np.ndarray:
+        """Trace values ``g(t_hat)`` per instance, shape ``(n, len(t_hat))``."""
+        _, trace_samples = self.split(raw)
+        values = interpolate_trace(trace_samples, t_hat)
+        return values[None, :] if values.ndim == 1 else values
+
+    def values_at(self, raw: np.ndarray, points_si: np.ndarray) -> np.ndarray:
+        """Flux (W/m^2) at space-time points ``(x, y, z, t_seconds)``."""
+        points_si = np.atleast_2d(points_si)
+        if points_si.shape[-1] != 4:
+            raise ValueError(
+                "transient power maps need 4-column (x, y, z, t) points, "
+                f"got {points_si.shape[-1]} columns"
+            )
+        maps, _ = self.split(raw)
+        t_hat = points_si[:, 3] / self.horizon
+        modulation = self.modulation(raw, t_hat)  # (n, n_pts)
+        out = np.empty((maps.shape[0], points_si.shape[0]))
+        extent = (self.chip.size[0], self.chip.size[1])
+        origin = (self.chip.origin[0], self.chip.origin[1])
+        for index, tile_map in enumerate(maps):
+            fn = grid_bilinear_function(tile_map * self.unit_flux, extent, origin)
+            out[index] = fn(points_si[:, :2]) * modulation[index]
+        return out
+
+    def apply_at(
+        self, config: ChipConfig, raw_single: np.ndarray, t_hat: float
+    ) -> ChipConfig:
+        """Stamp the instantaneous flux at hat time ``t_hat`` onto a config."""
+        maps, _ = self.split(raw_single)
+        factor = float(self.modulation(raw_single, np.asarray([t_hat]))[0, 0])
+        fn = grid_bilinear_function(
+            maps[0] * self.unit_flux * factor,
+            (self.chip.size[0], self.chip.size[1]),
+            (self.chip.origin[0], self.chip.origin[1]),
+        )
+        return config.with_bc(self.face, NeumannBC(lambda p: fn(p[:, :2])))
+
+    def apply(self, config: ChipConfig, raw_single: np.ndarray) -> ChipConfig:
+        """The ``t = 0`` stamp: the initial-condition steady problem."""
+        return self.apply_at(config, raw_single, 0.0)
 
 
 def apply_design(

@@ -21,18 +21,19 @@ fine away from interfaces, exactly as in the paper's modular model.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .. import autodiff as ad
 from ..autodiff import Tensor
-from ..bc import AdiabaticBC, ConvectionBC, DirichletBC, NeumannBC
+from ..bc import ConvectionBC, DirichletBC, NeumannBC
 from ..geometry import Face, Nondimensionalizer
 from ..nn.taylor import DerivativeStreams
 from .configs import ChipConfig
 from .encoding import ConfigInput
 from .sampler import CollocationBatch
+from .transient import TransientSpec
 
 
 class PhysicsLossBuilder:
@@ -50,6 +51,16 @@ class PhysicsLossBuilder:
         The hat-coordinate map shared with the trunk net.
     weights:
         Optional per-component weights (default 1.0, as in eq. 11).
+    transient:
+        When given, the trunk carries a fourth (hat time) coordinate:
+        the PDE residual becomes the transient form ``fo dThat/dthat -
+        lap_hat That - q_hat = 0`` (time is one more first-derivative
+        stream) and an ``"ic"`` component anchors ``That(x, 0)`` to the
+        per-function initial field supplied by ``initial_field``.
+    initial_field:
+        ``initial_field(raws, points_si) -> (n_funcs, n_pts)`` kelvin —
+        the t=0 temperature of each sampled configuration at spatial SI
+        points (the model backs this with farm-cached steady solves).
     """
 
     def __init__(
@@ -58,17 +69,24 @@ class PhysicsLossBuilder:
         inputs: Sequence[ConfigInput],
         nd: Nondimensionalizer,
         weights: Optional[Mapping[str, float]] = None,
+        transient: Optional[TransientSpec] = None,
+        initial_field: Optional[Callable] = None,
     ):
         self.config = config
         self.inputs = list(inputs)
         self.nd = nd
         self.weights = dict(weights) if weights else {}
+        self.transient = transient
+        self.initial_field = initial_field
         self.l_ref = float(max(nd.lengths))
         # Nondimensional Laplacian weights (L_ref/L_i)^2 of eq. (10); the
         # trainer hands these to the Laplacian-fused stacked propagation.
-        self.axis_weights = tuple(
-            (self.l_ref / length) ** 2 for length in nd.lengths
-        )
+        # In transient mode the time axis joins with weight 0: the fused
+        # Laplacian stream stays purely spatial while the stack still
+        # carries dThat/dthat as one more first-derivative stream.
+        spatial = tuple((self.l_ref / length) ** 2 for length in nd.lengths)
+        self.axis_weights = spatial + (0.0,) if transient else spatial
+        self.n_dims = 4 if transient else 3
         self._face_input: Dict[str, Tuple[int, ConfigInput]] = {}
         self._volumetric_input: Optional[Tuple[int, ConfigInput]] = None
         for index, config_input in enumerate(self.inputs):
@@ -88,11 +106,16 @@ class PhysicsLossBuilder:
     # ------------------------------------------------------------------
     def _pointwise(self, fn, si: np.ndarray) -> np.ndarray:
         """Evaluate a per-point field for cartesian (npts,3) or aligned
-        (nf, npts, 3) layouts; result broadcasts against (nf, npts)."""
-        if si.ndim == 3:
-            nf, npts, _ = si.shape
-            return np.asarray(fn(si.reshape(-1, 3))).reshape(nf, npts)
-        return np.asarray(fn(si))  # (npts,) broadcasts over functions
+        (nf, npts, 3) layouts; result broadcasts against (nf, npts).
+
+        Material/base-config fields are spatial: transient batches carry
+        a fourth (time) column that is sliced off before evaluation.
+        """
+        spatial = si[..., :3]
+        if spatial.ndim == 3:
+            nf, npts, _ = spatial.shape
+            return np.asarray(fn(spatial.reshape(-1, 3))).reshape(nf, npts)
+        return np.asarray(fn(spatial))  # (npts,) broadcasts over functions
 
     def _input_matrix(
         self, index: int, config_input: ConfigInput, raws: Sequence[np.ndarray],
@@ -124,11 +147,18 @@ class PhysicsLossBuilder:
         there, exactly as on the unselective paths.
         """
         everything = tuple(
-            ["value"] + [f"grad{i}" for i in range(len(self.nd.lengths))]
+            ["value"] + [f"grad{i}" for i in range(self.n_dims)]
         )
-        requirements: Dict[str, Tuple[str, ...]] = {
-            "interior": ("laplacian",)
-        }
+        if self.transient is not None:
+            # Transient PDE residual reads the time derivative (grad3 in
+            # the stacked layout) on top of the spatial Laplacian; the
+            # IC region only reads the value stream.
+            requirements: Dict[str, Tuple[str, ...]] = {
+                "interior": ("grad3", "laplacian"),
+                "initial": ("value",),
+            }
+        else:
+            requirements = {"interior": ("laplacian",)}
         for face in Face:
             override = self._face_input.get(face.name)
             if override is not None:
@@ -163,10 +193,13 @@ class PhysicsLossBuilder:
         si: np.ndarray,
         raws: Sequence[np.ndarray] = (),
     ) -> Tensor:
-        """Eq. (10): the PDE residual over the whole domain.
+        """Eq. (10) / eq. (1): the PDE residual over the whole domain.
 
         When a 3-D power-map input is configured, its per-function source
-        values replace the base config's volumetric power.
+        values replace the base config's volumetric power.  In transient
+        mode the residual gains the ``- fo * dThat/dthat`` term of the
+        governing equation (1): the time derivative is the fourth
+        first-derivative stream of the Taylor stack.
         """
         laplacian = streams.laplacian(self.axis_weights)
         k_values = self._pointwise(self.config.conductivity, si)
@@ -176,7 +209,34 @@ class PhysicsLossBuilder:
         else:
             q_values = self._pointwise(self.config.volumetric_power, si)
         source = q_values * self.l_ref**2 / (k_values * self.nd.dt_ref)
-        return laplacian + ad.tensor(source)
+        residual = laplacian + ad.tensor(source)
+        if self.transient is not None:
+            fo = self.transient.fourier_coefficient(k_values, self.l_ref)
+            residual = residual - ad.tensor(fo) * streams.gradient[3]
+        return residual
+
+    def initial_residual(
+        self,
+        streams: DerivativeStreams,
+        si: np.ndarray,
+        raws: Sequence[np.ndarray],
+    ) -> Tensor:
+        """IC residual: ``That(x, 0) - That_0(x)`` per sampled function.
+
+        ``That_0`` is each configuration's t=0 steady field (kelvin from
+        ``initial_field``, mapped into hat units) — the farm-backed
+        anchor that pins the rollout's starting point.
+        """
+        if self.transient is None:
+            raise ValueError("initial_residual requires transient mode")
+        if self.initial_field is None:
+            raise ValueError(
+                "transient loss needs an initial_field provider for the "
+                "initial-condition residual"
+            )
+        t0_kelvin = np.asarray(self.initial_field(raws, si[..., :3]))
+        target = (t0_kelvin - self.nd.t_ref) / self.nd.dt_ref
+        return streams.value - ad.tensor(target)
 
     def face_residual(
         self,
@@ -253,6 +313,10 @@ class PhysicsLossBuilder:
         for face in Face:
             components[f"bc:{face.name}"] = self.face_residual(
                 face, streams_by_region[face.name], batch.si[face.name], raws
+            )
+        if self.transient is not None and "initial" in streams_by_region:
+            components["ic"] = self.initial_residual(
+                streams_by_region["initial"], batch.si["initial"], raws
             )
 
         total: Optional[Tensor] = None

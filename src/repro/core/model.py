@@ -16,6 +16,8 @@ from .. import autodiff as ad
 from ..autodiff import Tensor
 from ..engine import CompiledSurrogate
 from ..fdm import SolveFarm, ThermalSolution, get_default_farm
+from ..fdm.assembly import assemble_rhs
+from ..fdm.transient import TransientResult, TransientSolver
 from ..geometry import StructuredGrid
 from ..nn import MIONet, load_checkpoint, save_checkpoint
 from ..nn.taylor import DerivativeStreams, stream_block_index
@@ -23,6 +25,7 @@ from .configs import ChipConfig
 from .encoding import ConfigInput, apply_design
 from .losses import PhysicsLossBuilder
 from .sampler import CollocationBatch
+from .transient import TransientSpec
 
 
 class DeepOHeat:
@@ -41,6 +44,11 @@ class DeepOHeat:
         Temperature scale of the hat system (K).
     loss_weights:
         Optional residual weights (paper uses the unweighted sum).
+    transient:
+        A :class:`TransientSpec` switches the model into transient mode:
+        the trunk consumes ``(x, y, z, t)`` (its input width must be 4),
+        the physics loss gains the time-derivative and initial-condition
+        terms, and rollout prediction/validation APIs become available.
     """
 
     def __init__(
@@ -50,6 +58,7 @@ class DeepOHeat:
         net: MIONet,
         dt_ref: float = 10.0,
         loss_weights: Optional[Mapping[str, float]] = None,
+        transient: Optional[TransientSpec] = None,
     ):
         if len(inputs) != net.n_inputs:
             raise ValueError(
@@ -61,11 +70,29 @@ class DeepOHeat:
                     f"input {config_input.name!r} encodes {config_input.sensor_dim} "
                     f"sensors but its branch expects {branch.in_features}"
                 )
+        if transient is not None and net.trunk.in_features != 4:
+            raise ValueError(
+                f"transient mode needs a 4-input trunk (x, y, z, t); this "
+                f"trunk consumes {net.trunk.in_features} coordinates"
+            )
         self.config = config
         self.inputs = list(inputs)
         self.net = net
         self.nd = config.nondimensionalizer(dt_ref)
-        self.builder = PhysicsLossBuilder(config, inputs, self.nd, loss_weights)
+        self.transient = transient
+        self._ic_grid: Optional[StructuredGrid] = (
+            StructuredGrid(config.chip, transient.ic_grid_shape)
+            if transient is not None
+            else None
+        )
+        self.builder = PhysicsLossBuilder(
+            config,
+            inputs,
+            self.nd,
+            loss_weights,
+            transient=transient,
+            initial_field=self.initial_fields if transient is not None else None,
+        )
         self._engine: Optional[CompiledSurrogate] = None
         # Per-batch derived geometry (regions/offsets/points/selections),
         # keyed by batch object identity; see compute_loss.
@@ -334,6 +361,108 @@ class DeepOHeat:
         """Full nodal field, shaped like the grid."""
         flat = self.engine.predict(design, grid=grid)
         return grid.to_array(flat)
+
+    # ------------------------------------------------------------------
+    # Transient mode
+    # ------------------------------------------------------------------
+    def _require_transient(self) -> TransientSpec:
+        if self.transient is None:
+            raise ValueError(
+                "this model is steady-state; build it with transient="
+                "TransientSpec(...) for rollout APIs"
+            )
+        return self.transient
+
+    def initial_fields(
+        self, raws: Sequence[np.ndarray], points_si: np.ndarray
+    ) -> np.ndarray:
+        """t=0 temperature (kelvin) of each sampled configuration.
+
+        Solves every function's initial-condition steady problem (its
+        inputs stamped at t=0) through the shared solve farm — one
+        cached factorization, one RHS assembly + back-substitution per
+        function — and trilinearly samples the fields at ``points_si``
+        (spatial, ``(n_pts, 3)``).  Returns ``(n_funcs, n_pts)``.
+        """
+        self._require_transient()
+        n_funcs = len(np.asarray(raws[0]))
+        problems = []
+        for index in range(n_funcs):
+            config = self.config
+            for config_input, raw in zip(self.inputs, raws):
+                config = config_input.apply(config, raw[index])
+            problems.append(config.heat_problem(self._ic_grid))
+        solutions = get_default_farm().solve_many(problems)
+        points = np.atleast_2d(np.asarray(points_si, dtype=np.float64))
+        return np.stack([solution.sample(points) for solution in solutions])
+
+    def predict_rollout(
+        self,
+        design: Mapping[str, np.ndarray],
+        times: np.ndarray,
+        grid: Optional[StructuredGrid] = None,
+        points_si: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Temperature rollout (kelvin) at ``times`` (s), ``(n_t, n_pts)``.
+
+        Delegates to the engine's amortized rollout path: one trunk
+        evaluation over the whole space-time block (cached across
+        repeated rollouts), one branch pass, one matmul.
+        """
+        self._require_transient()
+        return self.engine.predict_rollout(
+            [design], times, grid=grid, points_si=points_si
+        )[0]
+
+    def reference_rollout(
+        self,
+        design: Mapping[str, np.ndarray],
+        grid: StructuredGrid,
+        dt: float,
+        n_steps: int,
+        theta: float = 1.0,
+        save_every: int = 1,
+        callback=None,
+        farm: Optional[SolveFarm] = None,
+    ) -> TransientResult:
+        """Theta-scheme labels for this design's transient response.
+
+        Starts from the farm-backed initial steady field, then steps the
+        :class:`~repro.fdm.transient.TransientSolver` under the design's
+        *time-varying* right-hand side: inputs exposing ``apply_at`` are
+        re-stamped per step time and only their O(n) RHS half is
+        re-assembled — the operator and its factorizations come from the
+        shared farm cache.
+        """
+        spec = self._require_transient()
+        farm = farm if farm is not None else get_default_farm()
+        problem_zero = self.concrete_config(design).heat_problem(grid)
+        solver = TransientSolver(problem_zero, spec.rho_cp, farm=farm)
+        operator = farm.operator_for(problem_zero)
+
+        time_inputs = [
+            (config_input, design[config_input.name])
+            for config_input in self.inputs
+            if getattr(config_input, "time_dependent", False)
+        ]
+        base_config = self.concrete_config(design)
+
+        def rhs_at(t_seconds: float) -> np.ndarray:
+            config = base_config
+            t_hat = t_seconds / spec.horizon
+            for config_input, raw in time_inputs:
+                config = config_input.apply_at(config, raw, t_hat)
+            return assemble_rhs(config.heat_problem(grid), operator).rhs
+
+        return solver.run(
+            solver.initial_steady(),
+            dt,
+            n_steps,
+            theta=theta,
+            save_every=save_every,
+            rhs=rhs_at if time_inputs else None,
+            callback=callback,
+        )
 
     # ------------------------------------------------------------------
     # Reference path

@@ -23,11 +23,23 @@ from ..geometry import (
 from ..materials import UniformConductivity
 from ..nn import MLP, FourierFeatures, MIONet, TrunkNet
 from ..power import GaussianRandomField2D, GaussianRandomField3D, UniformLayerPower
+from ..power.traces import TraceFamily
 from .configs import ChipConfig
-from .encoding import HTCInput, PowerMapInput, VolumetricPowerMapInput
+from .encoding import (
+    HTCInput,
+    PowerMapInput,
+    TransientPowerMapInput,
+    VolumetricPowerMapInput,
+)
 from .model import DeepOHeat
-from .sampler import CollocationPlan, MeshCollocation, RandomCollocation
+from .sampler import (
+    CollocationPlan,
+    MeshCollocation,
+    RandomCollocation,
+    TransientCollocation,
+)
 from .trainer import Trainer, TrainerConfig
+from .transient import TransientSpec
 
 T_AMB = 298.15
 
@@ -363,5 +375,138 @@ def experiment_volumetric(
         description=(
             f"3D volumetric power map input {params['map_shape']} "
             f"(paper future work); convection top+bottom; scale={scale}"
+        ),
+    )
+
+
+_SCALES_T: Dict[str, Dict] = {
+    # horizon: the chip's through-thickness diffusion time is
+    # rho_cp Lz^2 / k = 1.6e6 * (0.5 mm)^2 / 0.1 = 4 s and the lumped RC
+    # (capacity / convective conductance) is ~1.6 s, so a 4 s window
+    # shows the full step response including partial saturation.
+    # ic_weight: the IC anchor is the only *labelled* signal in the loss;
+    # up-weighting it keeps the rollout's starting point pinned while the
+    # PDE residual shapes the dynamics.
+    "ci": dict(
+        map_shape=(11, 11), n_time_sensors=12, branch=[96] * 3,
+        trunk=[64] * 3, q=48, fourier_freqs=20, fourier_std=2.0,
+        n_interior=384, n_per_face=48, n_initial=96, ic_grid=(9, 9, 6),
+        iterations=2200, n_functions=8, decay_every=300,
+        horizon=4.0, rho_cp=1.6e6, ic_weight=4.0,
+    ),
+    "test": dict(
+        map_shape=(5, 5), n_time_sensors=6, branch=[24] * 2,
+        trunk=[24] * 2, q=16, fourier_freqs=8, fourier_std=1.0,
+        n_interior=96, n_per_face=16, n_initial=32, ic_grid=(5, 5, 4),
+        iterations=400, n_functions=4, decay_every=150,
+        horizon=4.0, rho_cp=1.6e6, ic_weight=4.0,
+    ),
+}
+
+
+def experiment_transient(
+    scale: str = "ci",
+    htc_bottom: float = 500.0,
+    conductivity: float = 0.1,
+    dt_ref: float = 10.0,
+    seed: int = 0,
+) -> ExperimentSetup:
+    """Transient extension: time-modulated power pulses on the chip top.
+
+    The paper's governing equation (1) is transient but only its steady
+    limit (eq. 2) is trained; this preset trains the full equation.  The
+    experiment-A chip keeps its geometry, conductivity and cooling, the
+    single operator input becomes a (GRF map, power trace) pair
+    ``q(x, t) = map(x) * trace(t)``, the trunk consumes ``(x, y, z, t)``
+    and the loss adds the ``fo dThat/dthat`` stream plus a farm-anchored
+    initial-condition term.  Validation is against the theta-scheme
+    :class:`~repro.fdm.transient.TransientSolver` on held-out pulses
+    (see ``repro transient`` / :mod:`repro.experiments.exp_c`).
+    """
+    if scale not in _SCALES_T:
+        raise ValueError(f"unknown scale {scale!r}; choices: {sorted(_SCALES_T)}")
+    params = _SCALES_T[scale]
+    rng = np.random.default_rng(seed)
+    chip = paper_chip_a()
+
+    config = ChipConfig(
+        chip=chip,
+        conductivity=UniformConductivity(conductivity),
+        bcs={
+            Face.BOTTOM: ConvectionBC(htc_bottom, T_AMB),
+            **{face: AdiabaticBC() for face in
+               (Face.XMIN, Face.XMAX, Face.YMIN, Face.YMAX)},
+        },
+        t_ambient=T_AMB,
+    )
+    spec = TransientSpec(
+        rho_cp=params["rho_cp"],
+        horizon=params["horizon"],
+        ic_grid_shape=params["ic_grid"],
+    )
+    power_input = TransientPowerMapInput(
+        chip=chip,
+        horizon=spec.horizon,
+        face=Face.TOP,
+        map_shape=params["map_shape"],
+        n_time_sensors=params["n_time_sensors"],
+        unit_flux=2500.0,
+        grf=GaussianRandomField2D(params["map_shape"], length_scale=0.3),
+        traces=TraceFamily(),
+    )
+
+    q = params["q"]
+    branch = MLP(
+        [power_input.sensor_dim] + params["branch"] + [q],
+        activation="swish",
+        rng=rng,
+    )
+    fourier = FourierFeatures(
+        4, params["fourier_freqs"], std=params["fourier_std"], rng=rng
+    )
+    trunk_mlp = MLP(
+        [fourier.out_features] + params["trunk"] + [q],
+        activation="swish",
+        rng=rng,
+    )
+    net = MIONet([branch], TrunkNet(trunk_mlp, fourier))
+
+    model = DeepOHeat(
+        config,
+        [power_input],
+        net,
+        dt_ref=dt_ref,
+        loss_weights={"ic": params["ic_weight"]},
+        transient=spec,
+    )
+    plan = TransientCollocation(
+        chip,
+        model.nd,
+        horizon=spec.horizon,
+        n_interior=params["n_interior"],
+        n_per_face=params["n_per_face"],
+        n_initial=params["n_initial"],
+    )
+    trainer_config = TrainerConfig(
+        iterations=params["iterations"],
+        n_functions=params["n_functions"],
+        learning_rate=1e-3,
+        decay_rate=0.9,
+        decay_every=params["decay_every"],
+        seed=seed,
+    )
+    eval_grid = StructuredGrid(chip, (13, 13, 9))
+    return ExperimentSetup(
+        name="experiment_transient",
+        scale=scale,
+        model=model,
+        plan=plan,
+        trainer_config=trainer_config,
+        eval_grid=eval_grid,
+        description=(
+            f"time-modulated top power map {params['map_shape']} x "
+            f"{params['n_time_sensors']} trace sensors over a "
+            f"{params['horizon']:g} s window; convection bottom "
+            f"(h={htc_bottom} W/m^2K); scale={scale}"
         ),
     )

@@ -57,9 +57,16 @@ class CollocationBatch:
 
 
 class CollocationPlan:
-    """Base interface: produce a :class:`CollocationBatch` per iteration."""
+    """Base interface: produce a :class:`CollocationBatch` per iteration.
+
+    ``time_dependent`` marks plans whose points carry a fourth (hat
+    time) column; the trainer cross-checks it against the model's
+    transient mode so a mismatch fails fast instead of as a shape error
+    deep inside the stacked propagation.
+    """
 
     aligned = False
+    time_dependent = False
 
     def batch(self, rng: np.random.Generator, n_funcs: int) -> CollocationBatch:
         raise NotImplementedError
@@ -167,6 +174,80 @@ class RandomCollocation(CollocationPlan):
             hat[region] = draws
             si[region] = self.nd.to_si(draws)
         return CollocationBatch(hat=hat, si=si, aligned=self.aligned)
+
+
+class TransientCollocation(CollocationPlan):
+    """Space-time collocation for the transient residual (4-column points).
+
+    Every region's points gain a hat-time coordinate in ``[0, 1]``:
+
+    * ``"interior"`` — fresh uniform draws over the space-time cylinder,
+      where the ``dT/dt - alpha lap T = q`` residual is enforced;
+    * each face — spatial face points at uniform times (the boundary
+      conditions hold for all t);
+    * ``"initial"`` — spatial points pinned at ``t = 0``, where the
+      initial-condition loss anchors the network to the farm-solved
+      steady field of each sampled configuration.
+
+    SI points carry the time column in *seconds* (``t_hat * horizon``)
+    so configuration functions receive physical space-time coordinates.
+    Batches are cartesian (shared across sampled functions), matching
+    the stacked selective-combine training path.
+    """
+
+    aligned = False
+    time_dependent = True
+
+    def __init__(
+        self,
+        chip: Cuboid,
+        nd: Nondimensionalizer,
+        horizon: float,
+        n_interior: int = 512,
+        n_per_face: int = 64,
+        n_initial: int = 128,
+    ):
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if n_interior < 1 or n_per_face < 1 or n_initial < 1:
+            raise ValueError("need at least one point per region")
+        self.chip = chip
+        self.nd = nd
+        self.horizon = float(horizon)
+        self.n_interior = int(n_interior)
+        self.n_per_face = int(n_per_face)
+        self.n_initial = int(n_initial)
+
+    def _to_si(self, hat: np.ndarray) -> np.ndarray:
+        si = np.empty_like(hat)
+        si[:, :3] = self.nd.to_si(hat[:, :3])
+        si[:, 3] = hat[:, 3] * self.horizon
+        return si
+
+    def _draw(
+        self, rng: np.random.Generator, count: int, face: Optional[Face],
+        t_zero: bool
+    ) -> np.ndarray:
+        hat = rng.uniform(size=(count, 4))
+        if face is not None:
+            hat[:, face.axis] = 1.0 if face.is_max else 0.0
+        if t_zero:
+            hat[:, 3] = 0.0
+        return hat
+
+    def batch(self, rng: np.random.Generator, n_funcs: int) -> CollocationBatch:
+        hat: Dict[str, np.ndarray] = {}
+        si: Dict[str, np.ndarray] = {}
+        regions = (
+            [("interior", None, self.n_interior, False)]
+            + [(f.name, f, self.n_per_face, False) for f in Face]
+            + [("initial", None, self.n_initial, True)]
+        )
+        for region, face, count, t_zero in regions:
+            draws = self._draw(rng, count, face, t_zero)
+            hat[region] = draws
+            si[region] = self._to_si(draws)
+        return CollocationBatch(hat=hat, si=si, aligned=False)
 
 
 def total_points(batch: CollocationBatch) -> int:

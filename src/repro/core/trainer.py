@@ -96,6 +96,24 @@ class Trainer:
         plan: CollocationPlan,
         config: Optional[TrainerConfig] = None,
     ):
+        # Transient models train on space-time (4-column) collocation
+        # batches and vice versa; a mismatch would only surface as a
+        # shape error deep inside the stacked propagation, so fail fast
+        # here with the actual fix spelled out.
+        model_transient = model.transient is not None
+        plan_transient = bool(getattr(plan, "time_dependent", False))
+        if model_transient != plan_transient:
+            raise ValueError(
+                "transient mode mismatch: "
+                + (
+                    "the model has a TransientSpec but the collocation plan "
+                    "is steady — use TransientCollocation"
+                    if model_transient
+                    else "the collocation plan is time-dependent but the "
+                    "model is steady — pass transient=TransientSpec(...) "
+                    "to DeepOHeat"
+                )
+            )
         self.model = model
         self.plan = plan
         self.config = config if config is not None else TrainerConfig()

@@ -1,0 +1,86 @@
+"""Transient-mode configuration: the time half of the hat system.
+
+Steady DeepOHeat nondimensionalizes space onto the unit cube and
+temperature onto ``(T - T_ref) / dT_ref``; transient mode adds a fourth
+trunk coordinate ``t_hat = t / horizon`` over one simulated window.  The
+governing equation (paper eq. 1)
+
+    rho c_p dT/dt = div(k grad T) + q_V
+
+multiplied by the same ``L_ref^2 / (k dT_ref)`` factor as the steady
+residual becomes
+
+    fo * dThat/dthat = sum_i (L_ref/L_i)^2 d2That/dyhat_i^2 + q_hat
+
+with the dimensionless group ``fo = rho c_p L_ref^2 / (k * horizon)`` —
+the reciprocal Fourier number of the window.  :class:`TransientSpec`
+carries the two physical scalars (``rho_cp``, ``horizon``) plus the grid
+the initial-condition labels are solved on, and owns the hat-time
+round-trip so every consumer (sampler, losses, engine, reference
+stepper) agrees on the same map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TransientSpec:
+    """Physical time scales of one transient training window.
+
+    Parameters
+    ----------
+    rho_cp:
+        Volumetric heat capacity ``rho * c_p`` in J/(m^3 K); uniform
+        over the chip (layered capacity fields ride on the FDM side
+        only, where :class:`~repro.fdm.transient.TransientSolver`
+        accepts a callable).
+    horizon:
+        Simulated window length in seconds; hat time 1.0 maps to it.
+    ic_grid_shape:
+        Structured-grid shape the farm-backed initial-condition solves
+        (and their trilinear interpolation onto collocation points) use.
+    """
+
+    rho_cp: float
+    horizon: float
+    ic_grid_shape: Tuple[int, int, int] = (9, 9, 6)
+
+    def __post_init__(self):
+        if self.rho_cp <= 0:
+            raise ValueError("rho_cp must be positive")
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if len(self.ic_grid_shape) != 3 or any(n < 2 for n in self.ic_grid_shape):
+            raise ValueError("ic_grid_shape needs >= 2 nodes per axis")
+
+    # -- hat time ------------------------------------------------------
+    def time_to_hat(self, t_seconds: np.ndarray) -> np.ndarray:
+        return np.asarray(t_seconds, dtype=np.float64) / self.horizon
+
+    def time_to_si(self, t_hat: np.ndarray) -> np.ndarray:
+        return np.asarray(t_hat, dtype=np.float64) * self.horizon
+
+    # -- PDE scale factors ---------------------------------------------
+    def fourier_coefficient(self, conductivity, l_ref: float):
+        """``fo = rho c_p L_ref^2 / (k * horizon)``, elementwise in k.
+
+        This is the factor multiplying ``dThat/dthat`` in the hat-space
+        residual; broadcasting over nodal conductivity keeps the
+        transient residual consistent with the steady one's pointwise
+        ``k``.
+        """
+        k = np.asarray(conductivity, dtype=np.float64)
+        return self.rho_cp * l_ref**2 / (k * self.horizon)
+
+    def diffusion_time(self, conductivity: float, length: float) -> float:
+        """The diffusion time ``rho c_p L^2 / k`` of one length scale.
+
+        Useful for choosing ``horizon``: a window of a few diffusion
+        times of the thickest layer captures the full step response.
+        """
+        return self.rho_cp * length**2 / float(conductivity)

@@ -70,6 +70,7 @@ class CompiledSurrogate:
         self.inputs = list(model.inputs)
         self.net = FrozenMIONet(model.net, copy=copy)
         self.nd = model.nd
+        self.transient = getattr(model, "transient", None)
         self.copied = bool(copy)
         self._max_cache_entries = int(max_cache_entries)
         self._cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
@@ -105,6 +106,7 @@ class CompiledSurrogate:
         self,
         grid: Optional[StructuredGrid] = None,
         points_si: Optional[np.ndarray] = None,
+        times: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Cached trunk features ``(n_points, q)`` for a query point set.
 
@@ -112,14 +114,35 @@ class CompiledSurrogate:
         key combines the point-set identity with a digest of the trunk
         weights, so both a grid change and a weight change (live-view
         engines) invalidate transparently.
+
+        ``times`` (transient engines only) evaluates the trunk over the
+        whole space-time block ``points x times`` in one pass: the result
+        is ``(len(times) * n_points, q)``, time-major, and lives in the
+        cache as a *single* entry keyed on the time stamp vector — so a
+        rollout over K steps costs one trunk evaluation amortized across
+        every design batch replayed on the same time grid.
         """
         if (grid is None) == (points_si is None):
             raise ValueError("pass exactly one of grid= or points_si=")
+        if times is not None and self.transient is None:
+            raise ValueError("times= requires a transient model")
+        if times is None and self.transient is not None:
+            raise ValueError(
+                "transient engines need times= (the trunk consumes a time "
+                "coordinate); use predict_rollout for time sweeps"
+            )
         if grid is not None:
             base_key = self._grid_key(grid)
         else:
             points_si = np.atleast_2d(np.asarray(points_si, dtype=np.float64))
             base_key = self._points_key(points_si)
+        if times is not None:
+            times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+            base_key = base_key + (
+                "times",
+                times.shape[0],
+                hashlib.sha1(np.ascontiguousarray(times)).hexdigest(),
+            )
         key = base_key + (self._weights_token(),)
 
         cached = self._cache.get(key)
@@ -130,15 +153,33 @@ class CompiledSurrogate:
 
         self._misses += 1
         points = grid.points() if grid is not None else points_si
-        features = self.net.trunk(self.nd.to_hat(points))
+        hat = self.nd.to_hat(points)
+        if times is not None:
+            hat = self._spacetime_hat(hat, times)
+        features = self.net.trunk(hat)
         self._cache[key] = features
         while len(self._cache) > self._max_cache_entries:
             self._cache.popitem(last=False)
         return features
 
-    def warmup(self, grid: StructuredGrid) -> "CompiledSurrogate":
-        """Precompute trunk features for ``grid`` (e.g. before serving)."""
-        self.trunk_features(grid=grid)
+    def _spacetime_hat(self, hat: np.ndarray, times: np.ndarray) -> np.ndarray:
+        """Tile spatial hat points over hat times: ``(K * n, 4)`` time-major."""
+        n_points = hat.shape[0]
+        n_times = times.shape[0]
+        t_hat = self.transient.time_to_hat(times)
+        block = np.empty((n_times * n_points, 4))
+        block[:, :3] = np.tile(hat, (n_times, 1))
+        block[:, 3] = np.repeat(t_hat, n_points)
+        return block
+
+    def warmup(
+        self, grid: StructuredGrid, times: Optional[np.ndarray] = None
+    ) -> "CompiledSurrogate":
+        """Precompute trunk features for ``grid`` (e.g. before serving).
+
+        Transient engines warm a specific rollout time grid.
+        """
+        self.trunk_features(grid=grid, times=times)
         return self
 
     def cache_info(self) -> CacheInfo:
@@ -208,8 +249,17 @@ class CompiledSurrogate:
         designs: DesignBatch,
         grid: Optional[StructuredGrid] = None,
         points_si: Optional[np.ndarray] = None,
+        t: Optional[float] = None,
     ) -> np.ndarray:
-        """Temperatures (kelvin) for every design, shape ``(B, n_points)``."""
+        """Temperatures (kelvin) for every design, shape ``(B, n_points)``.
+
+        Transient engines evaluate at one instant ``t`` (seconds);
+        steady engines must not pass it.
+        """
+        if t is not None:
+            return self.predict_rollout(
+                designs, [float(t)], grid=grid, points_si=points_si
+            )[:, 0, :]
         trunk = self.trunk_features(grid=grid, points_si=points_si)
         features = self.net.branch_features(self.encode_designs(designs))
         return self.nd.temp_to_si(self.net.combine(features, trunk))
@@ -219,9 +269,36 @@ class CompiledSurrogate:
         design: Mapping[str, np.ndarray],
         grid: Optional[StructuredGrid] = None,
         points_si: Optional[np.ndarray] = None,
+        t: Optional[float] = None,
     ) -> np.ndarray:
         """Single-design temperatures (kelvin), shape ``(n_points,)``."""
-        return self.predict_batch([design], grid=grid, points_si=points_si)[0]
+        return self.predict_batch([design], grid=grid, points_si=points_si, t=t)[0]
+
+    def predict_rollout(
+        self,
+        designs: DesignBatch,
+        times: np.ndarray,
+        grid: Optional[StructuredGrid] = None,
+        points_si: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Temperature rollout over ``times`` (s): ``(B, n_times, n_points)``.
+
+        The serving answer to per-step FDM time stepping: the trunk runs
+        once over the space-time block (one cache entry, reused across
+        every design batch replayed on the same time grid), branch nets
+        run once per design, and the whole rollout is a single
+        ``(B, q) @ (q, K * N)`` matmul — cost per additional design is
+        one branch forward regardless of horizon length.
+        """
+        if self.transient is None:
+            raise ValueError("predict_rollout requires a transient model")
+        times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+        trunk = self.trunk_features(grid=grid, points_si=points_si, times=times)
+        features = self.net.branch_features(self.encode_designs(designs))
+        flat = self.nd.temp_to_si(self.net.combine(features, trunk))
+        n_designs = features.shape[0]
+        n_times = times.shape[0]
+        return flat.reshape(n_designs, n_times, -1)
 
     def predict_grid_batch(
         self, designs: DesignBatch, grid: StructuredGrid

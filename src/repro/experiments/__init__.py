@@ -24,6 +24,14 @@ from .exp_b import (
     htc_design_sweep,
     run_experiment_b,
 )
+from .exp_c import (
+    ExperimentCResult,
+    TransientScenario,
+    heldout_scenarios,
+    run_all_scenarios,
+    run_experiment_c,
+    steady_convergence_callback,
+)
 from .speedup import SpeedupStudy, fdm_scaling_curve, run_speedup_study
 
 __all__ = [
@@ -31,21 +39,27 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "ExperimentAResult",
     "ExperimentBResult",
+    "ExperimentCResult",
     "HTCCase",
     "PAPER_ERRORS",
     "PAPER_HTC_CASES",
     "PowerMapCase",
     "SpeedupStudy",
+    "TransientScenario",
     "evaluate_htc_case",
     "evaluate_power_map",
     "fdm_scaling_curve",
     "figure4_maps",
     "figure4_text",
     "get_trained_setup",
+    "heldout_scenarios",
     "htc_design_sweep",
+    "run_all_scenarios",
     "run_experiment_a",
     "run_experiment_b",
+    "run_experiment_c",
     "run_sampling_ablation",
+    "steady_convergence_callback",
     "run_activation_ablation",
     "run_fourier_ablation",
     "run_speedup_study",

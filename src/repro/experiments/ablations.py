@@ -27,7 +27,6 @@ from ..core import (
     DeepOHeat,
     MeshCollocation,
     PowerMapInput,
-    RandomCollocation,
     Trainer,
     TrainerConfig,
     experiment_b,

@@ -12,7 +12,12 @@ import os
 from pathlib import Path
 from typing import Optional
 
-from ..core import ExperimentSetup, experiment_a, experiment_b
+from ..core import (
+    ExperimentSetup,
+    experiment_a,
+    experiment_b,
+    experiment_transient,
+)
 from ..core.trainer import TrainingHistory
 
 DEFAULT_CACHE_DIR = Path(
@@ -45,7 +50,8 @@ def get_trained_setup(
     Parameters
     ----------
     name:
-        ``"a"`` or ``"b"`` — the paper experiment.
+        ``"a"`` or ``"b"`` — the paper experiments — or ``"transient"``
+        (alias ``"c"``) for the time-dependent extension.
     scale:
         Preset scale (``"test" | "ci" | "paper"``).
     """
@@ -53,8 +59,12 @@ def get_trained_setup(
         setup = experiment_a(scale=scale)
     elif name == "b":
         setup = experiment_b(scale=scale)
+    elif name in ("c", "transient"):
+        setup = experiment_transient(scale=scale)
     else:
-        raise ValueError(f"unknown experiment {name!r}; use 'a' or 'b'")
+        raise ValueError(
+            f"unknown experiment {name!r}; use 'a', 'b' or 'transient'"
+        )
 
     cache_dir = Path(cache_dir) if cache_dir else DEFAULT_CACHE_DIR
     cache_dir.mkdir(parents=True, exist_ok=True)

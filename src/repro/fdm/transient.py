@@ -89,8 +89,27 @@ class TransientSolver:
         n_steps: int,
         theta: float = 1.0,
         save_every: int = 1,
+        rhs: Optional[Union[np.ndarray, Callable[[float], np.ndarray]]] = None,
+        callback: Optional[Callable[[int, float, float], Optional[bool]]] = None,
     ) -> TransientResult:
-        """Advance ``n_steps`` of size ``dt`` from ``t_initial`` (kelvin)."""
+        """Advance ``n_steps`` of size ``dt`` from ``t_initial`` (kelvin).
+
+        Parameters
+        ----------
+        rhs:
+            Right-hand-side override.  ``None`` keeps the problem's
+            assembled (time-constant) RHS; an array fixes a different
+            constant; a callable ``rhs(t_seconds) -> (n,)`` supplies a
+            time-varying source, integrated with the same theta
+            weighting as the operator: ``(1 - theta) rhs(t_n) +
+            theta rhs(t_{n+1})``.
+        callback:
+            Optional progress/early-stop hook ``callback(step, t, peak)``
+            invoked after every accepted step with the step index, the
+            physical time in seconds and the current peak temperature.
+            Returning a truthy value stops the run early; the state at
+            the stopping step is always included in the saved history.
+        """
         if dt <= 0:
             raise ValueError("dt must be positive")
         if not 0.0 <= theta <= 1.0:
@@ -109,21 +128,44 @@ class TransientSolver:
 
         mass = sp.diags(self.capacity / dt)
         matrix = self.system.matrix
-        rhs = self.system.rhs
         dirichlet = self.system.dirichlet_mask
         factor = self._lhs_factor(dt, theta, mass)
+
+        rhs_at = rhs if callable(rhs) else None
+        if rhs_at is not None:
+            rhs_current = np.asarray(rhs_at(0.0), dtype=np.float64)
+        elif rhs is not None:
+            rhs_current = np.asarray(rhs, dtype=np.float64)
+        else:
+            rhs_current = self.system.rhs
+        if rhs_current.shape != (n,):
+            raise ValueError(f"rhs must have {n} entries")
 
         saved_times: List[float] = [0.0]
         saved_fields: List[np.ndarray] = [temperature.copy()]
         for step in range(1, n_steps + 1):
+            t_next = step * dt
             explicit = mass @ temperature - (1.0 - theta) * (matrix @ temperature)
-            b = explicit + rhs
+            if rhs_at is None:
+                b = explicit + rhs_current
+            else:
+                rhs_next = np.asarray(rhs_at(t_next), dtype=np.float64)
+                b = explicit + (1.0 - theta) * rhs_current + theta * rhs_next
+                rhs_current = rhs_next
             if dirichlet.any():
                 b[dirichlet] = self.system.dirichlet_values[dirichlet]
             temperature = factor(b)
-            if step % save_every == 0 or step == n_steps:
-                saved_times.append(step * dt)
+            saved = step % save_every == 0 or step == n_steps
+            if saved:
+                saved_times.append(t_next)
                 saved_fields.append(temperature.copy())
+            if callback is not None and callback(
+                step, t_next, float(temperature.max())
+            ):
+                if not saved:
+                    saved_times.append(t_next)
+                    saved_fields.append(temperature.copy())
+                break
         return TransientResult(
             times=np.asarray(saved_times), snapshots=np.asarray(saved_fields)
         )

@@ -7,6 +7,16 @@ from .interpolate import (
     tiles_piecewise_function,
     tiles_to_grid,
 )
+from .traces import (
+    ConstantTrace,
+    PeriodicTrace,
+    PowerTrace,
+    RampTrace,
+    StepTrace,
+    TraceFamily,
+    interpolate_trace,
+    trace_times,
+)
 from .tiles import (
     Block,
     TilePowerMap,
@@ -24,19 +34,27 @@ from .volumetric import (
 
 __all__ = [
     "Block",
+    "ConstantTrace",
     "GaussianRandomField2D",
     "GaussianRandomField3D",
     "GridVolumetricPower",
+    "PeriodicTrace",
+    "PowerTrace",
+    "RampTrace",
+    "StepTrace",
     "TilePowerMap",
+    "TraceFamily",
     "UniformLayerPower",
     "VolumetricPower",
     "ZeroPower",
     "blocks_to_tiles",
     "grid_bilinear_function",
+    "interpolate_trace",
     "map_complexity",
     "paper_test_suite",
     "random_block_map",
     "tile_centers",
     "tiles_piecewise_function",
     "tiles_to_grid",
+    "trace_times",
 ]

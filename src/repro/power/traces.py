@@ -1,0 +1,214 @@
+"""Time-dependent power modulation traces for transient workloads.
+
+Real 3D-IC power is not static: workloads step (a core waking up), ramp
+(DVFS transitions) or oscillate (clock gating).  A :class:`PowerTrace`
+is a dimensionless modulation factor ``g(t_hat)`` over hat time
+``t_hat in [0, 1]`` (``t_hat = t / horizon``); the transient operator
+input multiplies a spatial power map by it, so one (map, trace) pair
+defines a full space-time boundary source ``q(x, t) = q(x) * g(t)``.
+
+The branch net identifies a trace by its values on ``n`` equispaced hat
+times (the same sensor-value encoding the paper uses for 2-D power
+maps); :func:`interpolate_trace` is the matching continuous
+reconstruction (piecewise linear), used both by the physics residual and
+by the theta-scheme reference solver so the surrogate and the FDM
+labels see *exactly* the same source function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def trace_times(n_samples: int) -> np.ndarray:
+    """The equispaced hat-time sensor locations of an ``n``-sample trace."""
+    if n_samples < 2:
+        raise ValueError("a trace needs at least 2 samples")
+    return np.linspace(0.0, 1.0, int(n_samples))
+
+
+def interpolate_trace(samples: np.ndarray, t_hat: np.ndarray) -> np.ndarray:
+    """Piecewise-linear trace values at arbitrary hat times.
+
+    ``samples`` is ``(n_samples,)`` for one trace or ``(n_traces,
+    n_samples)`` for a batch; the result mirrors the leading axis with a
+    trailing axis of ``len(t_hat)``.  Queries are clamped to ``[0, 1]``
+    (``np.interp`` endpoint semantics), matching the rollout horizon.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    t_hat = np.atleast_1d(np.asarray(t_hat, dtype=np.float64))
+    single = samples.ndim == 1
+    rows = samples[None, :] if single else samples
+    grid = trace_times(rows.shape[1])
+    out = np.empty((rows.shape[0], t_hat.shape[0]))
+    for index, row in enumerate(rows):
+        out[index] = np.interp(t_hat, grid, row)
+    return out[0] if single else out
+
+
+class PowerTrace:
+    """A modulation factor ``g(t_hat)`` over the unit time interval."""
+
+    def __call__(self, t_hat: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def samples(self, n_samples: int) -> np.ndarray:
+        """Sensor encoding: the trace at ``n`` equispaced hat times."""
+        return np.asarray(self(trace_times(n_samples)), dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class StepTrace(PowerTrace):
+    """A workload step: ``base`` before ``t_step``, ``high`` after.
+
+    The switch is linear over ``width`` hat time (a zero-width step
+    cannot be represented by finitely many sensor samples anyway, and a
+    finite slew matches real power-delivery behaviour).
+    """
+
+    base: float = 0.4
+    high: float = 1.2
+    t_step: float = 0.25
+    width: float = 0.05
+
+    def __call__(self, t_hat: np.ndarray) -> np.ndarray:
+        t_hat = np.asarray(t_hat, dtype=np.float64)
+        ramp = np.clip((t_hat - self.t_step) / max(self.width, 1e-9), 0.0, 1.0)
+        return self.base + (self.high - self.base) * ramp
+
+
+@dataclass(frozen=True)
+class RampTrace(PowerTrace):
+    """A linear ramp from ``base`` to ``high`` over ``[t_start, t_end]``."""
+
+    base: float = 0.3
+    high: float = 1.0
+    t_start: float = 0.0
+    t_end: float = 1.0
+
+    def __call__(self, t_hat: np.ndarray) -> np.ndarray:
+        t_hat = np.asarray(t_hat, dtype=np.float64)
+        span = max(self.t_end - self.t_start, 1e-9)
+        ramp = np.clip((t_hat - self.t_start) / span, 0.0, 1.0)
+        return self.base + (self.high - self.base) * ramp
+
+
+@dataclass(frozen=True)
+class PeriodicTrace(PowerTrace):
+    """Clock-gating style oscillation between ``low`` and ``high``.
+
+    A smoothed square wave: periodic with ``period`` (hat time) and high
+    for a ``duty`` fraction of each cycle.  The wave is the cosine
+    distance-to-window thresholded at ``cos(pi * duty)`` — exactly the
+    level the cosine exceeds for a ``duty`` fraction of the period — and
+    squashed through ``tanh(sharpness * ...)``, so larger ``sharpness``
+    squares the edges up while keeping the trace smooth enough for a
+    coordinate network to represent.
+    """
+
+    low: float = 0.3
+    high: float = 1.1
+    period: float = 0.5
+    duty: float = 0.5
+    sharpness: float = 2.0
+
+    def __call__(self, t_hat: np.ndarray) -> np.ndarray:
+        t_hat = np.asarray(t_hat, dtype=np.float64)
+        phase = (t_hat / max(self.period, 1e-9)) % 1.0
+        wave = np.cos(2.0 * np.pi * (phase - 0.5 * self.duty))
+        threshold = np.cos(np.pi * np.clip(self.duty, 1e-3, 1.0 - 1e-3))
+        shaped = np.tanh(self.sharpness * (wave - threshold))
+        return self.low + (self.high - self.low) * 0.5 * (1.0 + shaped)
+
+
+@dataclass(frozen=True)
+class ConstantTrace(PowerTrace):
+    """A time-invariant trace: transient training's steady anchor."""
+
+    level: float = 1.0
+
+    def __call__(self, t_hat: np.ndarray) -> np.ndarray:
+        return np.full_like(np.asarray(t_hat, dtype=np.float64), self.level)
+
+
+class TraceFamily:
+    """A random family over the trace kinds, for branch-space sampling.
+
+    Draws trace *parameters* uniformly from CI-sensible ranges; the
+    mixture ``weights`` follow ``kinds`` order.  ``sample_samples``
+    returns the sensor encodings directly, which is what the transient
+    operator input stores as its raw time half.
+    """
+
+    KINDS = ("step", "ramp", "periodic", "constant")
+
+    def __init__(
+        self,
+        kinds: Sequence[str] = ("step", "ramp", "periodic"),
+        weights: Optional[Sequence[float]] = None,
+        level_range: tuple = (0.2, 1.4),
+    ):
+        unknown = set(kinds) - set(self.KINDS)
+        if unknown:
+            raise ValueError(f"unknown trace kinds: {sorted(unknown)}")
+        if not kinds:
+            raise ValueError("need at least one trace kind")
+        self.kinds = tuple(kinds)
+        if weights is None:
+            probabilities = np.full(len(self.kinds), 1.0 / len(self.kinds))
+        else:
+            probabilities = np.asarray(weights, dtype=np.float64)
+            if probabilities.shape != (len(self.kinds),) or probabilities.sum() <= 0:
+                raise ValueError("weights must match kinds and sum > 0")
+            probabilities = probabilities / probabilities.sum()
+        self.probabilities = probabilities
+        self.level_range = (float(level_range[0]), float(level_range[1]))
+
+    def _levels(self, rng: np.random.Generator) -> tuple:
+        low, high = self.level_range
+        a, b = np.sort(rng.uniform(low, high, size=2))
+        return float(a), float(b)
+
+    def sample_trace(self, rng: np.random.Generator) -> PowerTrace:
+        """Draw one random trace."""
+        kind = self.kinds[rng.choice(len(self.kinds), p=self.probabilities)]
+        base, high = self._levels(rng)
+        if kind == "step":
+            return StepTrace(
+                base=base,
+                high=high,
+                t_step=float(rng.uniform(0.1, 0.6)),
+                width=float(rng.uniform(0.03, 0.12)),
+            )
+        if kind == "ramp":
+            start = float(rng.uniform(0.0, 0.4))
+            return RampTrace(
+                base=base,
+                high=high,
+                t_start=start,
+                t_end=float(rng.uniform(start + 0.2, 1.0)),
+            )
+        if kind == "periodic":
+            return PeriodicTrace(
+                low=base,
+                high=high,
+                period=float(rng.uniform(0.25, 0.6)),
+                duty=float(rng.uniform(0.35, 0.65)),
+                sharpness=float(rng.uniform(1.5, 3.0)),
+            )
+        return ConstantTrace(level=high)
+
+    def sample(self, rng: np.random.Generator, n: int) -> list:
+        """Draw ``n`` random traces."""
+        return [self.sample_trace(rng) for _ in range(n)]
+
+    def sample_samples(
+        self, rng: np.random.Generator, n: int, n_samples: int
+    ) -> np.ndarray:
+        """Sensor encodings of ``n`` random traces, shape ``(n, n_samples)``."""
+        return np.stack(
+            [trace.samples(n_samples) for trace in self.sample(rng, n)],
+        )

@@ -1,7 +1,6 @@
 """Smoke tests for the ablation drivers (full runs live in the benches)."""
 
 import numpy as np
-import pytest
 
 from repro.experiments.ablations import (
     _small_setup,

@@ -129,7 +129,7 @@ class TestViz:
 
     def test_ascii_heatmap_decimates_wide_fields(self):
         art = ascii_heatmap(np.zeros((2, 200)), max_width=50)
-        assert max(len(l) for l in art.split("\n")) <= 100
+        assert max(len(line) for line in art.split("\n")) <= 100
 
     def test_field_slice_top_default(self):
         field = np.arange(24.0).reshape(2, 3, 4)

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import autodiff as ad
 
@@ -351,10 +353,6 @@ class TestNoGrad:
             with ad.no_grad():
                 raise RuntimeError("boom")
         assert ad.is_grad_enabled()
-
-
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 
 @settings(max_examples=25, deadline=None)

@@ -1,6 +1,5 @@
 """Tests for the command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main
@@ -34,7 +33,7 @@ class TestSolve:
     def test_solve_energy_balanced(self, capsys):
         main(["solve", "--map", "p3", "--grid", "7", "7", "5"])
         out = capsys.readouterr().out
-        imbalance_line = [l for l in out.splitlines() if "imbalance" in l][0]
+        imbalance_line = [ln for ln in out.splitlines() if "imbalance" in ln][0]
         value = float(imbalance_line.split(":")[1])
         assert abs(value) < 1e-8
 
@@ -84,6 +83,39 @@ class TestEvaluateAndSpeedup:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTransient:
+    def test_transient_rollout_report(self, tmp_path, capsys, monkeypatch):
+        import repro.experiments.common as common
+
+        monkeypatch.setattr(common, "DEFAULT_CACHE_DIR", tmp_path)
+        assert main(["transient", "--scale", "test", "--scenario", "step",
+                     "--times", "4", "--steps-per-interval", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "transient rollout" in out
+        assert "theta peak (K)" in out
+        assert "trace speedup" in out
+        assert "trunk cache" in out
+
+    def test_transient_early_stop_flag(self, tmp_path, capsys, monkeypatch):
+        import repro.experiments.common as common
+
+        monkeypatch.setattr(common, "DEFAULT_CACHE_DIR", tmp_path)
+        assert main(["transient", "--scale", "test", "--times", "4",
+                     "--steps-per-interval", "2",
+                     "--early-stop", "1e9"]) == 0
+        out = capsys.readouterr().out
+        assert "early-stopped" in out
+
+    def test_train_transient_writes_checkpoint(self, tmp_path):
+        out_path = tmp_path / "transient.npz"
+        code = main([
+            "train", "--experiment", "transient", "--scale", "test",
+            "--iterations", "3", "--output", str(out_path), "--quiet",
+        ])
+        assert code == 0
+        assert out_path.exists()
 
 
 class TestSweep:

@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.bc import AdiabaticBC, ConvectionBC, DirichletBC, NeumannBC
+from repro.bc import AdiabaticBC, ConvectionBC, NeumannBC
 from repro.core import ChipConfig, HTCInput, PowerMapInput, apply_design
 from repro.fdm import solve_steady
-from repro.geometry import Face, StructuredGrid, paper_chip_a
+from repro.geometry import Face, paper_chip_a
 from repro.materials import UniformConductivity
 
 T_AMB = 298.15

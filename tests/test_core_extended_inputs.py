@@ -95,8 +95,6 @@ class TestHTCMapInput:
         raws = [encoder.sample(np.random.default_rng(2), 2)]
         residual = builder.face_residual(Face.BOTTOM, streams, si, raws)
         # Residual = -G_z + Biot * theta = h * L_z / k with theta = 1.
-        lz = builder.nd.lengths[2]
-        expected = raws[0].mean(axis=(1, 2), keepdims=False)  # approx per map
         assert residual.shape == (2, 4)
         assert np.all(residual.data > 0.0)
         # Per-function distinction: different maps give different residuals.

@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro import autodiff as ad
-from repro.bc import ConvectionBC, DirichletBC, NeumannBC
+from repro.bc import ConvectionBC, DirichletBC
 from repro.core import ChipConfig, HTCInput, PowerMapInput
 from repro.core.losses import PhysicsLossBuilder
 from repro.core.sampler import CollocationBatch
@@ -115,7 +115,6 @@ class TestInteriorResidual:
     def test_volumetric_source_enters_with_correct_scale(self):
         from repro.power import UniformLayerPower
 
-        chip = paper_chip_a()
         config = _config().with_volumetric_power(
             UniformLayerPower((0.0, 0.5e-3), 1e-3, 1e-6)  # q = 2e6 W/m^3
         )

@@ -217,7 +217,7 @@ class TestPersistence:
     def test_save_load_roundtrip(self, setup_a, tmp_path):
         clone = experiment_a(scale="test", seed=123)
         path = tmp_path / "model.npz"
-        meta = setup_a.model.save(path, meta={"note": "unit-test"})
+        setup_a.model.save(path, meta={"note": "unit-test"})
         loaded_meta = clone.model.load(path)
         assert loaded_meta["note"] == "unit-test"
         assert loaded_meta["inputs"] == ["power_map"]

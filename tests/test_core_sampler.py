@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.sampler import (
-    CollocationBatch,
     MeshCollocation,
     RandomCollocation,
     total_points,

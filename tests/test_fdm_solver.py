@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bc import AdiabaticBC, ConvectionBC, DirichletBC, NeumannBC
+from repro.bc import ConvectionBC, DirichletBC, NeumannBC
 from repro.fdm import (
     HeatProblem,
     assemble,

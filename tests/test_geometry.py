@@ -139,7 +139,7 @@ class TestCuboidStack:
         low = Layer(Cuboid((0, 0, 0.0), (1, 1, 0.5)), "low")
         high = Layer(Cuboid((0, 0, 0.5), (1, 1, 0.5)), "high")
         stack = CuboidStack([high, low])
-        assert [l.name for l in stack.layers] == ["low", "high"]
+        assert [layer.name for layer in stack.layers] == ["low", "high"]
 
 
 class TestStructuredGrid:

@@ -13,10 +13,8 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.analysis import field_report
 from repro.core import experiment_a, experiment_b
 from repro.experiments import run_experiment_a, run_experiment_b
-from repro.fdm import solve_steady
 from repro.geometry import StructuredGrid
 from repro.power import paper_test_suite
 

@@ -100,7 +100,9 @@ class TestReluDerivatives:
 def test_property_derivatives_consistent_with_finite_differences(value, index):
     activation = SMOOTH_ACTIVATIONS[index]
     eps = 1e-5
-    f = lambda v: activation.value(ad.tensor([v])).data[0]
+    def f(v):
+        return activation.value(ad.tensor([v])).data[0]
+
     numeric_first = (f(value + eps) - f(value - eps)) / (2 * eps)
     numeric_second = (f(value + eps) - 2 * f(value) + f(value - eps)) / eps**2
     assert activation.first(ad.tensor([value])).data[0] == pytest.approx(

@@ -17,7 +17,6 @@ from repro.nn.taylor import (
     input_streams,
     propagate_activation,
     propagate_dense,
-    propagate_fourier,
     trunk_with_derivatives,
 )
 

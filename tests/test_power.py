@@ -11,7 +11,6 @@ from repro.power import (
     GaussianRandomField2D,
     GaussianRandomField3D,
     GridVolumetricPower,
-    TilePowerMap,
     UniformLayerPower,
     ZeroPower,
     blocks_to_tiles,
