@@ -1,24 +1,28 @@
-"""Quickstart: train a small DeepOHeat and predict an unseen power map.
+"""Quickstart: the declarative scenario API end to end.
 
 Runs in under a minute on a laptop CPU.  Pipeline:
 
-1. build the Experiment-A preset (paper Sec. V-A) at test scale;
-2. train it with the physics-informed loss (no simulation data!);
-3. predict the temperature field of an unseen block power map;
+1. build the Experiment-A scenario spec (paper Sec. V-A) at test scale;
+2. train it through a :class:`~repro.api.ThermalService` session (the
+   checkpoint registry makes re-runs instant);
+3. predict the temperature field of an unseen block power map through
+   the compiled serving engine;
 4. compare element-wise against the finite-volume reference solver.
 
 Usage::
 
     python examples/quickstart.py [--scale test|ci]
+
+Scenarios are plain data: ``scenario.to_json("my.json")`` writes a spec
+you can edit and run with ``python -m repro run --config my.json`` — no
+Python required for new workloads (see ``examples/scenarios/``).
 """
 
 import argparse
 
-
 from repro.analysis import ascii_heatmap, field_report, kv_block
 from repro.analysis.viz import compare_fields_text, field_slice
-from repro.core import experiment_a
-from repro.fdm import solve_steady
+from repro.api import ThermalService, scenario_experiment_a
 from repro.power import paper_test_suite, tiles_to_grid
 
 
@@ -28,17 +32,19 @@ def main() -> None:
                         help="preset scale (test: ~30 s, ci: ~3 min)")
     args = parser.parse_args()
 
-    print(f"Building Experiment-A preset at {args.scale!r} scale ...")
-    setup = experiment_a(scale=args.scale)
-    print(setup.description)
+    print(f"Building the Experiment-A scenario at {args.scale!r} scale ...")
+    scenario = scenario_experiment_a(scale=args.scale)
+    print(scenario.description)
+    print(f"content digest: {scenario.content_digest()[:16]}")
+
+    service = ThermalService()
+    setup = service.setup(scenario)
     print(f"network parameters: {setup.model.net.num_parameters():,}")
 
     print("\nTraining (self-supervised, physics-informed loss) ...")
-    history = setup.make_trainer().run(verbose=False)
-    print(
-        f"loss {history.initial_loss:.3e} -> {history.final_loss:.3e} "
-        f"({history.improvement_factor():.1f}x) in {history.wall_time:.1f} s"
-    )
+    result = service.train(scenario)
+    source = "checkpoint registry" if result.from_cache else "fresh training"
+    print(f"final loss {result.final_loss:.3e} ({source})")
 
     # An unseen test design: block-based map p3, interpolated tile->grid.
     tiles = paper_test_suite()[2].tiles
@@ -50,18 +56,26 @@ def main() -> None:
     print(ascii_heatmap(power_map, "power map (units)"))
 
     print("Predicting the full 3-D temperature field ...")
-    predicted = setup.model.predict_grid(design, setup.eval_grid)
+    predicted_flat = service.predict(scenario, [design]).fields[0]
+    predicted = setup.eval_grid.to_array(predicted_flat)
 
     print("Solving the same design with the FV reference solver ...")
-    reference = solve_steady(
-        setup.model.concrete_config(design).heat_problem(setup.eval_grid)
-    ).to_array()
+    reference = service.solve(scenario, designs=[design]).fields[0]
 
     report = field_report(predicted, reference)
     print()
     print(kv_block("accuracy vs reference", report.as_dict()))
     print()
     print(compare_fields_text(field_slice(predicted), field_slice(reference)))
+
+    # The same model through the legacy (deprecated) imperative path:
+    #
+    #     from repro.core import experiment_a          # DeprecationWarning
+    #     setup = experiment_a(scale="test")
+    #     setup.make_trainer().run()
+    #     field = setup.model.predict_grid(design, setup.eval_grid)
+    #
+    # Both routes compile the identical model; prefer scenarios.
 
 
 if __name__ == "__main__":

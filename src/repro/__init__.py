@@ -9,6 +9,8 @@ Thermal Simulation in 3D-IC Design" (DAC 2023) from scratch on numpy:
   :mod:`repro.materials` — the modular chip model of the paper's Sec. III
 * :mod:`repro.fdm` — finite-volume reference solver (Celsius 3D substitute)
 * :mod:`repro.core` — the DeepOHeat framework itself (Sec. IV)
+* :mod:`repro.api` — declarative scenario spec (``ThermalScenario``,
+  versioned JSON) + ``ThermalService`` session façade; ``repro run``
 * :mod:`repro.engine` — compiled tape-free serving engine (batched sweeps,
   trunk-feature caching); ``DeepOHeat.compile()`` / ``repro sweep``
 * :mod:`repro.baselines` — PINN / data-driven / regression / POD baselines
@@ -18,14 +20,16 @@ Thermal Simulation in 3D-IC Design" (DAC 2023) from scratch on numpy:
 
 Quickstart::
 
-    from repro.core import experiment_a
-    setup = experiment_a(scale="test")
-    setup.make_trainer().run()
-    field = setup.model.predict_grid(
-        {"power_map": my_map}, setup.eval_grid
-    )
+    from repro.api import ThermalService, scenario_experiment_a
+    service = ThermalService()
+    scenario = scenario_experiment_a(scale="test")
+    service.train(scenario)          # or a checkpoint-registry hit
+    result = service.predict(scenario, [{"power_map": my_map}])
+
+New workloads are scenario JSON files, not code: see
+``examples/scenarios/`` and ``python -m repro run --config <file>``.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -1,0 +1,1236 @@
+"""Declarative scenario spec: one JSON document per thermal workload.
+
+A :class:`ThermalScenario` fully describes a DeepOHeat workload — chip
+geometry, material, boundary conditions, the operator-input families the
+branch nets consume, the network architecture, the collocation plan and
+the training budget, plus an optional transient section — as plain data.
+It serializes to/from JSON under a versioned schema with collected,
+actionable validation errors, and :meth:`ThermalScenario.compile` lowers
+it onto the existing execution stack (:class:`~repro.core.ChipConfig`,
+:class:`~repro.core.DeepOHeat`, collocation plans,
+:class:`~repro.core.TrainerConfig`) as an
+:class:`~repro.core.presets.ExperimentSetup`.
+
+Design rules
+------------
+* **Spec, not code.**  Everything a workload needs is a field; a new
+  scenario (another HTC pair, a new pulse-trace mixture) is a new JSON
+  file, not a new Python factory.
+* **Bitwise-faithful lowering.**  ``compile()`` consumes the weight-init
+  RNG in the exact order the legacy ``experiment_*`` factories did
+  (branch nets in input order, then Fourier features, then the trunk),
+  so a scenario transcribed from a preset builds the identical model.
+* **Content-addressed identity.**  :meth:`content_digest` hashes the
+  canonical JSON of every *physical and training* field — ``name``,
+  ``description`` and the ``scale`` label are excluded — so two
+  scenarios differing only in an HTC bound or a power family can never
+  alias each other in a checkpoint registry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+SCHEMA_VERSION = 1
+
+_FACE_NAMES = ("xmin", "xmax", "ymin", "ymax", "bottom", "top")
+_BC_KINDS = ("adiabatic", "convection", "dirichlet")
+
+
+class ScenarioValidationError(ValueError):
+    """A scenario failed validation; ``errors`` lists every problem found."""
+
+    def __init__(self, errors: Sequence[str]):
+        self.errors = list(errors)
+        super().__init__(
+            "invalid scenario ({} error{}):\n  - {}".format(
+                len(self.errors),
+                "s" if len(self.errors) != 1 else "",
+                "\n  - ".join(self.errors),
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Strict-dict plumbing: every section rejects unknown keys with a path.
+# ----------------------------------------------------------------------
+def _take(data: Mapping, known: Sequence[str], path: str, errors: List[str]) -> Dict:
+    """Copy ``data`` checking it is a mapping with only ``known`` keys."""
+    if not isinstance(data, Mapping):
+        errors.append(f"{path}: expected an object, got {type(data).__name__}")
+        return {}
+    unknown = sorted(set(data) - set(known))
+    for key in unknown:
+        errors.append(f"{path}: unknown field {key!r} (known: {', '.join(known)})")
+    return {key: value for key, value in data.items() if key in known}
+
+
+def _number(value, path: str, errors: List[str], default=None):
+    if value is None:
+        return default
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        errors.append(f"{path}: expected a number, got {value!r}")
+        return default
+    return float(value)
+
+
+def _integer(value, path: str, errors: List[str], default=None):
+    if value is None:
+        return default
+    if isinstance(value, bool) or not isinstance(value, int):
+        errors.append(f"{path}: expected an integer, got {value!r}")
+        return default
+    return int(value)
+
+
+def _int_tuple(value, length: int, path: str, errors: List[str]):
+    if value is None:
+        return None
+    if (not isinstance(value, (list, tuple)) or len(value) != length
+            or any(isinstance(v, bool) or not isinstance(v, int) for v in value)):
+        errors.append(f"{path}: expected {length} integers, got {value!r}")
+        return None
+    return tuple(int(v) for v in value)
+
+
+def _float_tuple(value, length: int, path: str, errors: List[str]):
+    if value is None:
+        return None
+    if (not isinstance(value, (list, tuple)) or len(value) != length
+            or any(isinstance(v, bool) or not isinstance(v, (int, float))
+                   for v in value)):
+        errors.append(f"{path}: expected {length} numbers, got {value!r}")
+        return None
+    return tuple(float(v) for v in value)
+
+
+# ----------------------------------------------------------------------
+# Sections
+# ----------------------------------------------------------------------
+@dataclass
+class GeometrySpec:
+    """Chip cuboid in millimetres (the paper's unit)."""
+
+    size_mm: Tuple[float, float, float] = (1.0, 1.0, 0.5)
+    origin_mm: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+
+    def to_dict(self) -> Dict:
+        return {"size_mm": list(self.size_mm), "origin_mm": list(self.origin_mm)}
+
+    @classmethod
+    def from_dict(cls, data, path: str, errors: List[str]) -> "GeometrySpec":
+        data = _take(data, ["size_mm", "origin_mm"], path, errors)
+        size = _float_tuple(data.get("size_mm"), 3, f"{path}.size_mm", errors)
+        origin = _float_tuple(data.get("origin_mm"), 3, f"{path}.origin_mm", errors)
+        return cls(
+            size_mm=size if size else (1.0, 1.0, 0.5),
+            origin_mm=origin if origin else (0.0, 0.0, 0.0),
+        )
+
+    def validate(self, path: str, errors: List[str]) -> None:
+        if any(v <= 0 for v in self.size_mm):
+            errors.append(f"{path}.size_mm: all extents must be positive, "
+                          f"got {list(self.size_mm)}")
+
+    def build(self):
+        from ..geometry import Cuboid
+
+        return Cuboid.from_mm(self.origin_mm, self.size_mm)
+
+
+@dataclass
+class MaterialSpec:
+    """Thermal conductivity field; ``uniform`` is the only kind so far."""
+
+    kind: str = "uniform"
+    conductivity: float = 0.1  # W/mK
+
+    def to_dict(self) -> Dict:
+        return {"kind": self.kind, "conductivity": self.conductivity}
+
+    @classmethod
+    def from_dict(cls, data, path: str, errors: List[str]) -> "MaterialSpec":
+        data = _take(data, ["kind", "conductivity"], path, errors)
+        return cls(
+            kind=data.get("kind", "uniform"),
+            conductivity=_number(data.get("conductivity"), f"{path}.conductivity",
+                                 errors, default=0.1),
+        )
+
+    def validate(self, path: str, errors: List[str]) -> None:
+        if self.kind != "uniform":
+            errors.append(f"{path}.kind: unknown material kind {self.kind!r} "
+                          f"(known: uniform)")
+        elif self.conductivity <= 0:
+            errors.append(f"{path}.conductivity: must be positive, "
+                          f"got {self.conductivity}")
+
+    def build(self):
+        from ..materials import UniformConductivity
+
+        return UniformConductivity(self.conductivity)
+
+
+@dataclass
+class BoundarySpec:
+    """One face's fixed boundary condition.
+
+    Faces driven by an operator input (HTC sweeps etc.) carry the
+    *base* condition here; the input re-stamps it per design.
+    """
+
+    kind: str = "adiabatic"
+    htc: Optional[float] = None          # convection, W/m^2K
+    temperature: Optional[float] = None  # dirichlet, K
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"kind": self.kind}
+        if self.htc is not None:
+            out["htc"] = self.htc
+        if self.temperature is not None:
+            out["temperature"] = self.temperature
+        return out
+
+    @classmethod
+    def from_dict(cls, data, path: str, errors: List[str]) -> "BoundarySpec":
+        data = _take(data, ["kind", "htc", "temperature"], path, errors)
+        return cls(
+            kind=data.get("kind", "adiabatic"),
+            htc=_number(data.get("htc"), f"{path}.htc", errors),
+            temperature=_number(data.get("temperature"), f"{path}.temperature",
+                                errors),
+        )
+
+    def validate(self, path: str, errors: List[str]) -> None:
+        if self.kind not in _BC_KINDS:
+            errors.append(f"{path}.kind: unknown boundary kind {self.kind!r} "
+                          f"(known: {', '.join(_BC_KINDS)})")
+            return
+        if self.kind == "convection" and (self.htc is None or self.htc <= 0):
+            errors.append(f"{path}: convection needs a positive 'htc', "
+                          f"got {self.htc!r}")
+        if self.kind == "dirichlet" and self.temperature is None:
+            errors.append(f"{path}: dirichlet needs a 'temperature' in kelvin")
+
+    def build(self, t_ambient: float):
+        from ..bc import AdiabaticBC, ConvectionBC, DirichletBC
+
+        if self.kind == "adiabatic":
+            return AdiabaticBC()
+        if self.kind == "convection":
+            return ConvectionBC(self.htc, t_ambient)
+        return DirichletBC(self.temperature)
+
+
+@dataclass
+class VolumetricSourceSpec:
+    """A fixed (non-varying) internal heat source.
+
+    ``uniform_layer`` is Experiment B's 0.625 mW slab: ``thickness_mm``
+    thick, centred at ``z_center_mm`` (chip mid-plane when null).
+    """
+
+    kind: str = "uniform_layer"
+    total_power: float = 0.000625  # W
+    thickness_mm: float = 0.05
+    z_center_mm: Optional[float] = None
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "total_power": self.total_power,
+            "thickness_mm": self.thickness_mm,
+            "z_center_mm": self.z_center_mm,
+        }
+
+    @classmethod
+    def from_dict(cls, data, path: str, errors: List[str]) -> "VolumetricSourceSpec":
+        data = _take(data, ["kind", "total_power", "thickness_mm", "z_center_mm"],
+                     path, errors)
+        return cls(
+            kind=data.get("kind", "uniform_layer"),
+            total_power=_number(data.get("total_power"), f"{path}.total_power",
+                                errors, default=0.000625),
+            thickness_mm=_number(data.get("thickness_mm"), f"{path}.thickness_mm",
+                                 errors, default=0.05),
+            z_center_mm=_number(data.get("z_center_mm"), f"{path}.z_center_mm",
+                                errors),
+        )
+
+    def validate(self, path: str, errors: List[str]) -> None:
+        if self.kind != "uniform_layer":
+            errors.append(f"{path}.kind: unknown source kind {self.kind!r} "
+                          f"(known: uniform_layer)")
+        elif self.thickness_mm <= 0:
+            errors.append(f"{path}.thickness_mm: must be positive, "
+                          f"got {self.thickness_mm}")
+
+    def build(self, chip):
+        from ..power import UniformLayerPower
+
+        z_mid = (float(chip.center[2]) if self.z_center_mm is None
+                 else self.z_center_mm * 1e-3)
+        half = self.thickness_mm * 1e-3 / 2.0
+        footprint = float(chip.size[0] * chip.size[1])
+        return UniformLayerPower((z_mid - half, z_mid + half),
+                                 self.total_power, footprint)
+
+
+@dataclass
+class GRFSpec:
+    """Gaussian-random-field sampling parameters of a map-valued input."""
+
+    length_scale: float = 0.3
+    variance: float = 1.0
+    transform: str = "none"
+
+    def to_dict(self) -> Dict:
+        return {
+            "length_scale": self.length_scale,
+            "variance": self.variance,
+            "transform": self.transform,
+        }
+
+    @classmethod
+    def from_dict(cls, data, path: str, errors: List[str]) -> "GRFSpec":
+        data = _take(data, ["length_scale", "variance", "transform"], path, errors)
+        return cls(
+            length_scale=_number(data.get("length_scale"), f"{path}.length_scale",
+                                 errors, default=0.3),
+            variance=_number(data.get("variance"), f"{path}.variance", errors,
+                             default=1.0),
+            transform=data.get("transform", "none"),
+        )
+
+    def validate(self, path: str, errors: List[str]) -> None:
+        if self.length_scale <= 0:
+            errors.append(f"{path}.length_scale: must be positive, "
+                          f"got {self.length_scale}")
+        if self.transform not in ("none", "shift_nonneg", "abs", "softplus"):
+            errors.append(f"{path}.transform: unknown transform "
+                          f"{self.transform!r}")
+
+    def build2d(self, shape):
+        from ..power import GaussianRandomField2D
+
+        return GaussianRandomField2D(tuple(shape), length_scale=self.length_scale,
+                                     variance=self.variance,
+                                     transform=self.transform)
+
+    def build3d(self, shape):
+        from ..power import GaussianRandomField3D
+
+        return GaussianRandomField3D(tuple(shape), length_scale=self.length_scale,
+                                     variance=self.variance,
+                                     transform=self.transform)
+
+
+@dataclass
+class TraceFamilySpec:
+    """Random power-trace mixture of a transient input."""
+
+    kinds: Tuple[str, ...] = ("step", "ramp", "periodic")
+    weights: Optional[Tuple[float, ...]] = None
+    level_range: Tuple[float, float] = (0.2, 1.4)
+
+    def to_dict(self) -> Dict:
+        return {
+            "kinds": list(self.kinds),
+            "weights": list(self.weights) if self.weights is not None else None,
+            "level_range": list(self.level_range),
+        }
+
+    @classmethod
+    def from_dict(cls, data, path: str, errors: List[str]) -> "TraceFamilySpec":
+        data = _take(data, ["kinds", "weights", "level_range"], path, errors)
+        kinds = data.get("kinds", ["step", "ramp", "periodic"])
+        if (not isinstance(kinds, (list, tuple)) or not kinds
+                or any(not isinstance(k, str) for k in kinds)):
+            errors.append(f"{path}.kinds: expected a non-empty list of strings, "
+                          f"got {kinds!r}")
+            kinds = ["step", "ramp", "periodic"]
+        weights = data.get("weights")
+        if weights is not None:
+            weights = _float_tuple(weights, len(kinds), f"{path}.weights", errors)
+        level = _float_tuple(data.get("level_range"), 2, f"{path}.level_range",
+                             errors) or (0.2, 1.4)
+        return cls(kinds=tuple(kinds), weights=weights, level_range=level)
+
+    def validate(self, path: str, errors: List[str]) -> None:
+        from ..power.traces import TraceFamily
+
+        unknown = sorted(set(self.kinds) - set(TraceFamily.KINDS))
+        if unknown:
+            errors.append(f"{path}.kinds: unknown trace kinds {unknown} "
+                          f"(known: {', '.join(TraceFamily.KINDS)})")
+        if self.level_range[0] >= self.level_range[1]:
+            errors.append(f"{path}.level_range: need low < high, "
+                          f"got {list(self.level_range)}")
+
+    def build(self):
+        from ..power.traces import TraceFamily
+
+        return TraceFamily(kinds=self.kinds, weights=self.weights,
+                           level_range=self.level_range)
+
+
+@dataclass
+class InputSpec:
+    """One operator input (a branch-net coordinate of the function space).
+
+    ``family`` selects the physics; the other fields parameterize it:
+
+    ``power_map``
+        2-D face power map (Experiment A): ``face``, ``map_shape`` (2),
+        ``unit_flux``, ``grf``.
+    ``htc``
+        uniform face HTC (Experiment B): ``face``, ``low``, ``high``.
+    ``htc_map``
+        inhomogeneous face HTC: ``face``, ``map_shape`` (2), ``low``,
+        ``high``, ``grf``.
+    ``dirichlet``
+        fixed-temperature set-point sweep: ``face``, ``low``, ``high``.
+    ``volumetric_power_map``
+        3-D power map: ``map_shape`` (3), ``unit_density``, ``grf``.
+    ``transient_power_map``
+        time-modulated 2-D map: ``face``, ``map_shape`` (2),
+        ``n_time_sensors``, ``unit_flux``, ``grf``, ``traces``; the time
+        horizon comes from the scenario's ``transient`` section.
+    """
+
+    family: str = "power_map"
+    name: Optional[str] = None
+    face: str = "top"
+    map_shape: Optional[Tuple[int, ...]] = None
+    unit_flux: float = 2500.0
+    unit_density: float = 1.0e7
+    low: float = 333.33
+    high: float = 1000.0
+    n_time_sensors: int = 12
+    grf: GRFSpec = field(default_factory=GRFSpec)
+    traces: TraceFamilySpec = field(default_factory=TraceFamilySpec)
+
+    FAMILIES = ("power_map", "htc", "htc_map", "dirichlet",
+                "volumetric_power_map", "transient_power_map")
+    # Fields serialized per family (everything else stays at its default).
+    _FIELDS = {
+        "power_map": ("name", "face", "map_shape", "unit_flux", "grf"),
+        "htc": ("name", "face", "low", "high"),
+        "htc_map": ("name", "face", "map_shape", "low", "high", "grf"),
+        "dirichlet": ("name", "face", "low", "high"),
+        "volumetric_power_map": ("name", "map_shape", "unit_density", "grf"),
+        "transient_power_map": ("name", "face", "map_shape", "n_time_sensors",
+                                "unit_flux", "grf", "traces"),
+    }
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"family": self.family}
+        for key in self._FIELDS.get(self.family, ()):
+            value = getattr(self, key)
+            if key in ("grf", "traces"):
+                value = value.to_dict()
+            elif key == "map_shape" and value is not None:
+                value = list(value)
+            out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data, path: str, errors: List[str]) -> "InputSpec":
+        if not isinstance(data, Mapping):
+            errors.append(f"{path}: expected an object, got {type(data).__name__}")
+            return cls()
+        family = data.get("family")
+        if family not in cls.FAMILIES:
+            errors.append(f"{path}.family: unknown input family {family!r} "
+                          f"(known: {', '.join(cls.FAMILIES)})")
+            return cls()
+        known = ("family",) + cls._FIELDS[family]
+        data = _take(data, known, path, errors)
+        spec = cls(family=family)
+        spec.name = data.get("name")
+        if "face" in cls._FIELDS[family]:
+            spec.face = data.get("face", "top")
+        shape_len = 3 if family == "volumetric_power_map" else 2
+        if "map_shape" in cls._FIELDS[family]:
+            spec.map_shape = _int_tuple(data.get("map_shape"), shape_len,
+                                        f"{path}.map_shape", errors)
+        spec.unit_flux = _number(data.get("unit_flux"), f"{path}.unit_flux",
+                                 errors, default=2500.0)
+        spec.unit_density = _number(data.get("unit_density"),
+                                    f"{path}.unit_density", errors, default=1.0e7)
+        spec.low = _number(data.get("low"), f"{path}.low", errors, default=333.33)
+        spec.high = _number(data.get("high"), f"{path}.high", errors,
+                            default=1000.0)
+        spec.n_time_sensors = _integer(data.get("n_time_sensors"),
+                                       f"{path}.n_time_sensors", errors,
+                                       default=12)
+        if "grf" in data:
+            spec.grf = GRFSpec.from_dict(data["grf"], f"{path}.grf", errors)
+        if "traces" in data:
+            spec.traces = TraceFamilySpec.from_dict(data["traces"],
+                                                    f"{path}.traces", errors)
+        return spec
+
+    def validate(self, path: str, errors: List[str]) -> None:
+        fields = self._FIELDS.get(self.family)
+        if fields is None:
+            errors.append(f"{path}.family: unknown input family {self.family!r}")
+            return
+        if self.name is not None and (not isinstance(self.name, str)
+                                      or not self.name):
+            errors.append(f"{path}.name: must be a non-empty string or null")
+        if "face" in fields:
+            if self.face not in _FACE_NAMES:
+                errors.append(f"{path}.face: unknown face {self.face!r} "
+                              f"(known: {', '.join(_FACE_NAMES)})")
+            elif (self.family in ("power_map", "htc_map", "transient_power_map")
+                  and self.face not in ("top", "bottom")):
+                errors.append(f"{path}.face: {self.family} inputs live on "
+                              f"'top' or 'bottom', got {self.face!r}")
+        if "map_shape" in fields:
+            if self.map_shape is None:
+                errors.append(f"{path}.map_shape: required for {self.family}")
+            elif any(n < 2 for n in self.map_shape):
+                errors.append(f"{path}.map_shape: need >= 2 sensors per axis, "
+                              f"got {list(self.map_shape)}")
+        if "low" in fields and self.low >= self.high:
+            errors.append(f"{path}: need low < high, got "
+                          f"[{self.low}, {self.high}]")
+        if "n_time_sensors" in fields and self.n_time_sensors < 2:
+            errors.append(f"{path}.n_time_sensors: need at least 2, "
+                          f"got {self.n_time_sensors}")
+        if "grf" in fields:
+            self.grf.validate(f"{path}.grf", errors)
+        if "traces" in fields:
+            self.traces.validate(f"{path}.traces", errors)
+
+    # -- lowering ------------------------------------------------------
+    def _face(self):
+        from ..geometry import Face
+
+        return Face[self.face.upper()]
+
+    def build(self, chip, t_ambient: float,
+              transient: Optional["TransientSectionSpec"]):
+        from ..core.encoding import (
+            DirichletInput,
+            HTCInput,
+            HTCMapInput,
+            PowerMapInput,
+            TransientPowerMapInput,
+            VolumetricPowerMapInput,
+        )
+
+        if self.family == "power_map":
+            return PowerMapInput(
+                chip=chip, face=self._face(), map_shape=self.map_shape,
+                unit_flux=self.unit_flux, grf=self.grf.build2d(self.map_shape),
+                name=self.name or "power_map",
+            )
+        if self.family == "htc":
+            return HTCInput(self._face(), self.low, self.high,
+                            t_ambient=t_ambient, name=self.name)
+        if self.family == "htc_map":
+            return HTCMapInput(
+                chip, face=self._face(), map_shape=self.map_shape,
+                low=self.low, high=self.high, t_ambient=t_ambient,
+                grf=self.grf.build2d(self.map_shape), name=self.name,
+            )
+        if self.family == "dirichlet":
+            return DirichletInput(self._face(), self.low, self.high,
+                                  name=self.name)
+        if self.family == "volumetric_power_map":
+            return VolumetricPowerMapInput(
+                chip, map_shape=self.map_shape, unit_density=self.unit_density,
+                grf=self.grf.build3d(self.map_shape),
+                name=self.name or "power_map_3d",
+            )
+        return TransientPowerMapInput(
+            chip, horizon=transient.horizon, face=self._face(),
+            map_shape=self.map_shape, n_time_sensors=self.n_time_sensors,
+            unit_flux=self.unit_flux, grf=self.grf.build2d(self.map_shape),
+            traces=self.traces.build(), name=self.name or "transient_power",
+        )
+
+
+@dataclass
+class NetworkSpec:
+    """MIONet architecture: per-input branch widths, Fourier trunk, q."""
+
+    branch_hidden: Tuple[Tuple[int, ...], ...] = ((24, 24),)
+    trunk_hidden: Tuple[int, ...] = (24, 24)
+    q: int = 16
+    fourier_frequencies: int = 8
+    fourier_std: float = 1.0
+    activation: str = "swish"
+
+    def to_dict(self) -> Dict:
+        return {
+            "branch_hidden": [list(widths) for widths in self.branch_hidden],
+            "trunk_hidden": list(self.trunk_hidden),
+            "q": self.q,
+            "fourier_frequencies": self.fourier_frequencies,
+            "fourier_std": self.fourier_std,
+            "activation": self.activation,
+        }
+
+    @classmethod
+    def from_dict(cls, data, path: str, errors: List[str]) -> "NetworkSpec":
+        data = _take(data, ["branch_hidden", "trunk_hidden", "q",
+                            "fourier_frequencies", "fourier_std", "activation"],
+                     path, errors)
+
+        def width_list(values, where):
+            if (not isinstance(values, (list, tuple)) or not values
+                    or any(isinstance(w, bool) or not isinstance(w, int)
+                           for w in values)):
+                errors.append(f"{where}: expected a non-empty list of "
+                              f"integer widths, got {values!r}")
+                return (24, 24)
+            return tuple(int(w) for w in values)
+
+        branch = data.get("branch_hidden", [[24, 24]])
+        if not isinstance(branch, (list, tuple)) or not branch:
+            errors.append(f"{path}.branch_hidden: expected a list of width "
+                          f"lists (one per input), got {branch!r}")
+            branch = [[24, 24]]
+        return cls(
+            branch_hidden=tuple(
+                width_list(widths, f"{path}.branch_hidden[{index}]")
+                for index, widths in enumerate(branch)
+            ),
+            trunk_hidden=width_list(data.get("trunk_hidden", [24, 24]),
+                                    f"{path}.trunk_hidden"),
+            q=_integer(data.get("q"), f"{path}.q", errors, default=16),
+            fourier_frequencies=_integer(data.get("fourier_frequencies"),
+                                         f"{path}.fourier_frequencies", errors,
+                                         default=8),
+            fourier_std=_number(data.get("fourier_std"), f"{path}.fourier_std",
+                                errors, default=1.0),
+            activation=data.get("activation", "swish"),
+        )
+
+    def validate(self, path: str, errors: List[str], n_inputs: int) -> None:
+        if len(self.branch_hidden) != n_inputs:
+            errors.append(
+                f"{path}.branch_hidden: {len(self.branch_hidden)} branch "
+                f"stacks for {n_inputs} input(s) — one width list per input"
+            )
+        for index, widths in enumerate(self.branch_hidden):
+            if any(w < 1 for w in widths):
+                errors.append(f"{path}.branch_hidden[{index}]: widths must be "
+                              f">= 1, got {list(widths)}")
+        if any(w < 1 for w in self.trunk_hidden):
+            errors.append(f"{path}.trunk_hidden: widths must be >= 1, "
+                          f"got {list(self.trunk_hidden)}")
+        if self.q < 1:
+            errors.append(f"{path}.q: must be >= 1, got {self.q}")
+        if self.fourier_frequencies < 1:
+            errors.append(f"{path}.fourier_frequencies: must be >= 1, "
+                          f"got {self.fourier_frequencies}")
+        if self.fourier_std <= 0:
+            errors.append(f"{path}.fourier_std: must be positive, "
+                          f"got {self.fourier_std}")
+        from ..nn.activations import activation_names
+
+        if self.activation not in activation_names():
+            errors.append(
+                f"{path}.activation: unknown activation "
+                f"{self.activation!r} (known: "
+                f"{', '.join(activation_names())})"
+            )
+
+
+@dataclass
+class CollocationSpec:
+    """Where the physics residuals are enforced.
+
+    ``mesh`` (fixed structured grid), ``random`` (fresh uniform draws,
+    Experiment-B style) or ``transient`` (space-time cylinder + t=0).
+    """
+
+    kind: str = "mesh"
+    grid: Tuple[int, int, int] = (5, 5, 4)          # mesh
+    n_interior: int = 300                           # random / transient
+    n_per_face: int = 40
+    aligned: bool = True                            # random
+    focus_band: Optional[Tuple[float, float, float]] = None
+    n_initial: int = 128                            # transient
+
+    KINDS = ("mesh", "random", "transient")
+    _FIELDS = {
+        "mesh": ("grid",),
+        "random": ("n_interior", "n_per_face", "aligned", "focus_band"),
+        "transient": ("n_interior", "n_per_face", "n_initial"),
+    }
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"kind": self.kind}
+        for key in self._FIELDS.get(self.kind, ()):
+            value = getattr(self, key)
+            if key in ("grid", "focus_band") and value is not None:
+                value = list(value)
+            out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data, path: str, errors: List[str]) -> "CollocationSpec":
+        if not isinstance(data, Mapping):
+            errors.append(f"{path}: expected an object, got {type(data).__name__}")
+            return cls()
+        kind = data.get("kind")
+        if kind not in cls.KINDS:
+            errors.append(f"{path}.kind: unknown collocation kind {kind!r} "
+                          f"(known: {', '.join(cls.KINDS)})")
+            return cls()
+        data = _take(data, ("kind",) + cls._FIELDS[kind], path, errors)
+        spec = cls(kind=kind)
+        if kind == "mesh":
+            grid = _int_tuple(data.get("grid"), 3, f"{path}.grid", errors)
+            if grid:
+                spec.grid = grid
+        else:
+            spec.n_interior = _integer(data.get("n_interior"),
+                                       f"{path}.n_interior", errors, default=300)
+            spec.n_per_face = _integer(data.get("n_per_face"),
+                                       f"{path}.n_per_face", errors, default=40)
+        if kind == "random":
+            aligned = data.get("aligned", True)
+            if not isinstance(aligned, bool):
+                errors.append(f"{path}.aligned: expected true/false, "
+                              f"got {aligned!r}")
+                aligned = True
+            spec.aligned = aligned
+            spec.focus_band = _float_tuple(data.get("focus_band"), 3,
+                                           f"{path}.focus_band", errors)
+        if kind == "transient":
+            spec.n_initial = _integer(data.get("n_initial"), f"{path}.n_initial",
+                                      errors, default=128)
+        return spec
+
+    def validate(self, path: str, errors: List[str]) -> None:
+        if self.kind not in self.KINDS:
+            errors.append(f"{path}.kind: unknown collocation kind {self.kind!r}")
+            return
+        if self.kind == "mesh":
+            if any(n < 2 for n in self.grid):
+                errors.append(f"{path}.grid: need >= 2 nodes per axis, "
+                              f"got {list(self.grid)}")
+            return
+        if self.n_interior < 1 or self.n_per_face < 1:
+            errors.append(f"{path}: n_interior and n_per_face must be >= 1")
+        if self.kind == "random" and self.focus_band is not None:
+            z0, z1, fraction = self.focus_band
+            if not (0.0 <= z0 < z1 <= 1.0 and 0.0 < fraction < 1.0):
+                errors.append(f"{path}.focus_band: need [z0, z1, fraction] "
+                              f"with 0 <= z0 < z1 <= 1 and 0 < fraction < 1, "
+                              f"got {list(self.focus_band)}")
+        if self.kind == "transient" and self.n_initial < 1:
+            errors.append(f"{path}.n_initial: must be >= 1, "
+                          f"got {self.n_initial}")
+
+    def build(self, chip, nd, transient: Optional["TransientSectionSpec"]):
+        from ..core.sampler import (
+            MeshCollocation,
+            RandomCollocation,
+            TransientCollocation,
+        )
+        from ..geometry import StructuredGrid
+
+        if self.kind == "mesh":
+            return MeshCollocation(StructuredGrid(chip, self.grid), nd)
+        if self.kind == "random":
+            return RandomCollocation(
+                chip, nd, n_interior=self.n_interior,
+                n_per_face=self.n_per_face, aligned=self.aligned,
+                focus_band=self.focus_band,
+            )
+        return TransientCollocation(
+            chip, nd, horizon=transient.horizon, n_interior=self.n_interior,
+            n_per_face=self.n_per_face, n_initial=self.n_initial,
+        )
+
+
+@dataclass
+class TrainingSpec:
+    """Optimisation budget and schedule."""
+
+    iterations: int = 700
+    n_functions: int = 6
+    learning_rate: float = 1e-3
+    decay_rate: float = 0.9
+    decay_every: int = 500
+    seed: int = 0
+
+    def to_dict(self) -> Dict:
+        return {
+            "iterations": self.iterations,
+            "n_functions": self.n_functions,
+            "learning_rate": self.learning_rate,
+            "decay_rate": self.decay_rate,
+            "decay_every": self.decay_every,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data, path: str, errors: List[str]) -> "TrainingSpec":
+        data = _take(data, ["iterations", "n_functions", "learning_rate",
+                            "decay_rate", "decay_every", "seed"], path, errors)
+        return cls(
+            iterations=_integer(data.get("iterations"), f"{path}.iterations",
+                                errors, default=700),
+            n_functions=_integer(data.get("n_functions"), f"{path}.n_functions",
+                                 errors, default=6),
+            learning_rate=_number(data.get("learning_rate"),
+                                  f"{path}.learning_rate", errors, default=1e-3),
+            decay_rate=_number(data.get("decay_rate"), f"{path}.decay_rate",
+                               errors, default=0.9),
+            decay_every=_integer(data.get("decay_every"), f"{path}.decay_every",
+                                 errors, default=500),
+            seed=_integer(data.get("seed"), f"{path}.seed", errors, default=0),
+        )
+
+    def validate(self, path: str, errors: List[str]) -> None:
+        if self.iterations < 1:
+            errors.append(f"{path}.iterations: must be >= 1, "
+                          f"got {self.iterations}")
+        if self.n_functions < 1:
+            errors.append(f"{path}.n_functions: must be >= 1, "
+                          f"got {self.n_functions}")
+        if self.learning_rate <= 0:
+            errors.append(f"{path}.learning_rate: must be positive, "
+                          f"got {self.learning_rate}")
+        if self.decay_every < 1:
+            errors.append(f"{path}.decay_every: must be >= 1, "
+                          f"got {self.decay_every}")
+
+
+@dataclass
+class TransientSectionSpec:
+    """Time scales of a transient workload (maps to ``TransientSpec``)."""
+
+    rho_cp: float = 1.6e6    # J/(m^3 K)
+    horizon: float = 4.0     # s
+    ic_grid: Tuple[int, int, int] = (5, 5, 4)
+
+    def to_dict(self) -> Dict:
+        return {"rho_cp": self.rho_cp, "horizon": self.horizon,
+                "ic_grid": list(self.ic_grid)}
+
+    @classmethod
+    def from_dict(cls, data, path: str, errors: List[str]) -> "TransientSectionSpec":
+        data = _take(data, ["rho_cp", "horizon", "ic_grid"], path, errors)
+        ic_grid = _int_tuple(data.get("ic_grid"), 3, f"{path}.ic_grid", errors)
+        return cls(
+            rho_cp=_number(data.get("rho_cp"), f"{path}.rho_cp", errors,
+                           default=1.6e6),
+            horizon=_number(data.get("horizon"), f"{path}.horizon", errors,
+                            default=4.0),
+            ic_grid=ic_grid if ic_grid else (5, 5, 4),
+        )
+
+    def validate(self, path: str, errors: List[str]) -> None:
+        if self.rho_cp <= 0:
+            errors.append(f"{path}.rho_cp: must be positive, got {self.rho_cp}")
+        if self.horizon <= 0:
+            errors.append(f"{path}.horizon: must be positive, "
+                          f"got {self.horizon}")
+        if any(n < 2 for n in self.ic_grid):
+            errors.append(f"{path}.ic_grid: need >= 2 nodes per axis, "
+                          f"got {list(self.ic_grid)}")
+
+    def build(self):
+        from ..core.transient import TransientSpec
+
+        return TransientSpec(rho_cp=self.rho_cp, horizon=self.horizon,
+                             ic_grid_shape=tuple(self.ic_grid))
+
+
+# ----------------------------------------------------------------------
+# The scenario itself
+# ----------------------------------------------------------------------
+@dataclass
+class ThermalScenario:
+    """A fully-declarative thermal workload (see module docstring)."""
+
+    name: str = "scenario"
+    description: str = ""
+    scale: str = "custom"
+    schema_version: int = SCHEMA_VERSION
+    t_ambient: float = 298.15
+    dt_ref: float = 10.0
+    seed: int = 0  # weight-init RNG seed
+    geometry: GeometrySpec = field(default_factory=GeometrySpec)
+    material: MaterialSpec = field(default_factory=MaterialSpec)
+    boundaries: Dict[str, BoundarySpec] = field(default_factory=dict)
+    volumetric_source: Optional[VolumetricSourceSpec] = None
+    inputs: List[InputSpec] = field(default_factory=list)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    collocation: CollocationSpec = field(default_factory=CollocationSpec)
+    training: TrainingSpec = field(default_factory=TrainingSpec)
+    transient: Optional[TransientSectionSpec] = None
+    loss_weights: Optional[Dict[str, float]] = None
+    eval_grid: Tuple[int, int, int] = (13, 13, 9)
+
+    _TOP_LEVEL = ("name", "description", "scale", "schema_version", "t_ambient",
+                  "dt_ref", "seed", "geometry", "material", "boundaries",
+                  "volumetric_source", "inputs", "network", "collocation",
+                  "training", "transient", "loss_weights", "eval_grid")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "schema_version": self.schema_version,
+            "name": self.name,
+            "description": self.description,
+            "scale": self.scale,
+            "t_ambient": self.t_ambient,
+            "dt_ref": self.dt_ref,
+            "seed": self.seed,
+            "geometry": self.geometry.to_dict(),
+            "material": self.material.to_dict(),
+            "boundaries": {face: bc.to_dict()
+                           for face, bc in self.boundaries.items()},
+            "volumetric_source": (self.volumetric_source.to_dict()
+                                  if self.volumetric_source else None),
+            "inputs": [spec.to_dict() for spec in self.inputs],
+            "network": self.network.to_dict(),
+            "collocation": self.collocation.to_dict(),
+            "training": self.training.to_dict(),
+            "transient": self.transient.to_dict() if self.transient else None,
+            "loss_weights": (dict(self.loss_weights)
+                             if self.loss_weights else None),
+            "eval_grid": list(self.eval_grid),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ThermalScenario":
+        """Parse + validate; raises :class:`ScenarioValidationError`."""
+        errors: List[str] = []
+        if not isinstance(data, Mapping):
+            raise ScenarioValidationError(
+                [f"scenario: expected a JSON object, got {type(data).__name__}"]
+            )
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ScenarioValidationError([
+                f"schema_version: this build reads version {SCHEMA_VERSION}, "
+                f"got {version!r} — regenerate the scenario or upgrade repro"
+            ])
+        data = _take(data, cls._TOP_LEVEL, "scenario", errors)
+
+        scenario = cls(schema_version=SCHEMA_VERSION)
+        name = data.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append("name: required (a non-empty string)")
+        else:
+            scenario.name = name
+        scenario.description = data.get("description", "")
+        scenario.scale = data.get("scale", "custom")
+        scenario.t_ambient = _number(data.get("t_ambient"), "t_ambient", errors,
+                                     default=298.15)
+        scenario.dt_ref = _number(data.get("dt_ref"), "dt_ref", errors,
+                                  default=10.0)
+        scenario.seed = _integer(data.get("seed"), "seed", errors, default=0)
+        if "geometry" in data:
+            scenario.geometry = GeometrySpec.from_dict(data["geometry"],
+                                                       "geometry", errors)
+        boundaries = data.get("boundaries", {})
+        if not isinstance(boundaries, Mapping):
+            errors.append("boundaries: expected an object keyed by face name")
+            boundaries = {}
+        for face, bc_data in boundaries.items():
+            if face not in _FACE_NAMES:
+                errors.append(f"boundaries: unknown face {face!r} "
+                              f"(known: {', '.join(_FACE_NAMES)})")
+                continue
+            scenario.boundaries[face] = BoundarySpec.from_dict(
+                bc_data, f"boundaries.{face}", errors
+            )
+        if "material" in data:
+            scenario.material = MaterialSpec.from_dict(data["material"],
+                                                       "material", errors)
+        if data.get("volumetric_source") is not None:
+            scenario.volumetric_source = VolumetricSourceSpec.from_dict(
+                data["volumetric_source"], "volumetric_source", errors
+            )
+        inputs = data.get("inputs", [])
+        if not isinstance(inputs, (list, tuple)):
+            errors.append("inputs: expected a list of input objects")
+            inputs = []
+        scenario.inputs = [
+            InputSpec.from_dict(spec, f"inputs[{index}]", errors)
+            for index, spec in enumerate(inputs)
+        ]
+        if "network" in data:
+            scenario.network = NetworkSpec.from_dict(data["network"], "network",
+                                                     errors)
+        if "collocation" in data:
+            scenario.collocation = CollocationSpec.from_dict(
+                data["collocation"], "collocation", errors
+            )
+        if "training" in data:
+            scenario.training = TrainingSpec.from_dict(data["training"],
+                                                       "training", errors)
+        if data.get("transient") is not None:
+            scenario.transient = TransientSectionSpec.from_dict(
+                data["transient"], "transient", errors
+            )
+        weights = data.get("loss_weights")
+        if weights is not None:
+            if (not isinstance(weights, Mapping)
+                    or any(isinstance(v, bool) or not isinstance(v, (int, float))
+                           for v in weights.values())):
+                errors.append("loss_weights: expected an object of "
+                              "component -> numeric weight")
+            else:
+                scenario.loss_weights = {str(k): float(v)
+                                         for k, v in weights.items()}
+        eval_grid = _int_tuple(data.get("eval_grid"), 3, "eval_grid", errors)
+        if eval_grid:
+            scenario.eval_grid = eval_grid
+
+        errors.extend(scenario.validate())
+        if errors:
+            raise ScenarioValidationError(_dedupe(errors))
+        return scenario
+
+    def to_json(self, path: Optional[Union[str, Path]] = None) -> str:
+        text = json.dumps(self.to_dict(), indent=2) + "\n"
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_json(cls, source: Union[str, Path]) -> "ThermalScenario":
+        """Load from a JSON string or a ``.json`` file path."""
+        if isinstance(source, Path) or (
+            isinstance(source, str) and not source.lstrip().startswith("{")
+        ):
+            path = Path(source)
+            try:
+                text = path.read_text()
+            except OSError as error:
+                raise ScenarioValidationError(
+                    [f"cannot read scenario file {path}: {error}"]
+                ) from error
+        else:
+            text = source
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ScenarioValidationError(
+                [f"invalid JSON: {error}"]
+            ) from error
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> List[str]:
+        """All semantic problems with this scenario (empty = valid)."""
+        errors: List[str] = []
+        if not self.name:
+            errors.append("name: required (a non-empty string)")
+        if self.dt_ref <= 0:
+            errors.append(f"dt_ref: must be positive, got {self.dt_ref}")
+        self.geometry.validate("geometry", errors)
+        self.material.validate("material", errors)
+        for face, bc in self.boundaries.items():
+            if face not in _FACE_NAMES:
+                errors.append(f"boundaries: unknown face {face!r}")
+            else:
+                bc.validate(f"boundaries.{face}", errors)
+        if self.volumetric_source is not None:
+            self.volumetric_source.validate("volumetric_source", errors)
+        if not self.inputs:
+            errors.append("inputs: need at least one operator input")
+        names = []
+        for index, spec in enumerate(self.inputs):
+            spec.validate(f"inputs[{index}]", errors)
+            names.append(spec.name or self._default_input_name(spec))
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            errors.append(f"inputs: duplicate input names {duplicates} — give "
+                          f"each input a unique 'name'")
+        self.network.validate("network", errors, n_inputs=len(self.inputs))
+        self.collocation.validate("collocation", errors)
+        self.training.validate("training", errors)
+        if any(n < 2 for n in self.eval_grid):
+            errors.append(f"eval_grid: need >= 2 nodes per axis, "
+                          f"got {list(self.eval_grid)}")
+
+        has_transient_input = any(spec.family == "transient_power_map"
+                                  for spec in self.inputs)
+        if self.transient is not None:
+            self.transient.validate("transient", errors)
+            if not has_transient_input:
+                errors.append("transient: section present but no "
+                              "'transient_power_map' input consumes it")
+            if self.collocation.kind != "transient":
+                errors.append("collocation.kind: transient scenarios need "
+                              f"'transient' collocation, got "
+                              f"{self.collocation.kind!r}")
+        else:
+            if has_transient_input:
+                errors.append("transient: a 'transient_power_map' input needs "
+                              "a transient section (rho_cp, horizon, ic_grid)")
+            if self.collocation.kind == "transient":
+                errors.append("collocation.kind: 'transient' collocation "
+                              "needs a transient section")
+
+        if not self._is_well_posed():
+            errors.append(
+                "boundaries: ill-posed — every face is adiabatic and no "
+                "input drives a convection/dirichlet face; heat has no way "
+                "out, so the steady problem has no unique solution"
+            )
+        return _dedupe(errors)
+
+    @staticmethod
+    def _default_input_name(spec: InputSpec) -> str:
+        if spec.family == "power_map":
+            return "power_map"
+        if spec.family == "volumetric_power_map":
+            return "power_map_3d"
+        if spec.family == "transient_power_map":
+            return "transient_power"
+        prefix = {"htc": "htc", "htc_map": "htc_map",
+                  "dirichlet": "tfix"}[spec.family]
+        return f"{prefix}_{spec.face}"
+
+    def _is_well_posed(self) -> bool:
+        if any(bc.kind in ("convection", "dirichlet")
+               for bc in self.boundaries.values()):
+            return True
+        return any(spec.family in ("htc", "htc_map", "dirichlet")
+                   for spec in self.inputs)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def content_digest(self) -> str:
+        """SHA-256 over the canonical JSON of every *content* field.
+
+        ``name``, ``description`` and the ``scale`` label are excluded:
+        they are labels, not physics, so renaming a scenario must not
+        orphan its checkpoints — while any change to an HTC bound, a
+        power family, a network width or a training budget produces a
+        different digest (and therefore a different registry slot).
+        """
+        payload = self.to_dict()
+        for label in ("name", "description", "scale"):
+            payload.pop(label, None)
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Lowering
+    # ------------------------------------------------------------------
+    def compile(self):
+        """Lower onto the execution stack as an ``ExperimentSetup``.
+
+        Raises :class:`ScenarioValidationError` when invalid.  RNG
+        consumption order (branches in input order, Fourier features,
+        trunk) matches the legacy preset factories bitwise.
+        """
+        errors = self.validate()
+        if errors:
+            raise ScenarioValidationError(errors)
+
+        from ..core.configs import ChipConfig
+        from ..core.model import DeepOHeat
+        from ..core.presets import ExperimentSetup
+        from ..core.trainer import TrainerConfig
+        from ..geometry import Face, StructuredGrid
+        from ..nn import MLP, FourierFeatures, MIONet, TrunkNet
+
+        chip = self.geometry.build()
+        bcs = {
+            Face[face.upper()]: bc.build(self.t_ambient)
+            for face, bc in self.boundaries.items()
+        }
+        config = ChipConfig(
+            chip=chip,
+            conductivity=self.material.build(),
+            bcs=bcs,
+            t_ambient=self.t_ambient,
+        )
+        if self.volumetric_source is not None:
+            config = config.with_volumetric_power(
+                self.volumetric_source.build(chip)
+            )
+
+        inputs = [
+            spec.build(chip, self.t_ambient, self.transient)
+            for spec in self.inputs
+        ]
+
+        rng = np.random.default_rng(self.seed)
+        q = self.network.q
+        branches = [
+            MLP(
+                [config_input.sensor_dim] + list(widths) + [q],
+                activation=self.network.activation,
+                rng=rng,
+            )
+            for config_input, widths in zip(inputs, self.network.branch_hidden)
+        ]
+        trunk_coords = 3 if self.transient is None else 4
+        fourier = FourierFeatures(
+            trunk_coords, self.network.fourier_frequencies,
+            std=self.network.fourier_std, rng=rng,
+        )
+        trunk_mlp = MLP(
+            [fourier.out_features] + list(self.network.trunk_hidden) + [q],
+            activation=self.network.activation,
+            rng=rng,
+        )
+        net = MIONet(branches, TrunkNet(trunk_mlp, fourier))
+
+        model = DeepOHeat(
+            config,
+            inputs,
+            net,
+            dt_ref=self.dt_ref,
+            loss_weights=dict(self.loss_weights) if self.loss_weights else None,
+            transient=self.transient.build() if self.transient else None,
+        )
+        plan = self.collocation.build(chip, model.nd, self.transient)
+        trainer_config = TrainerConfig(
+            iterations=self.training.iterations,
+            n_functions=self.training.n_functions,
+            learning_rate=self.training.learning_rate,
+            decay_rate=self.training.decay_rate,
+            decay_every=self.training.decay_every,
+            seed=self.training.seed,
+        )
+        return ExperimentSetup(
+            name=self.name,
+            scale=self.scale,
+            model=model,
+            plan=plan,
+            trainer_config=trainer_config,
+            eval_grid=StructuredGrid(chip, tuple(self.eval_grid)),
+            description=self.description or f"scenario {self.name!r}",
+            scenario=self,
+        )
+
+
+def _dedupe(errors: Sequence[str]) -> List[str]:
+    seen = set()
+    out = []
+    for error in errors:
+        if error not in seen:
+            seen.add(error)
+            out.append(error)
+    return out

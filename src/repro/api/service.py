@@ -1,0 +1,619 @@
+"""ThermalService: one session façade over the whole lifecycle.
+
+A :class:`ThermalService` fronts every operation the stack supports —
+reference solving (shared-operator :class:`~repro.fdm.SolveFarm`),
+physics-informed training with a digest-keyed checkpoint registry,
+batched surrogate serving (:class:`~repro.engine.CompiledSurrogate`
+engines sharing one trunk-feature cache) and transient rollouts —
+behind typed response objects, keyed everywhere by the *content digest*
+of a :class:`~repro.api.scenario.ThermalScenario`.
+
+The digest keying is load-bearing: two scenarios that differ only in an
+HTC bound, a power family or a training budget hash differently, so
+they can never alias each other's checkpoints or compiled models —
+while re-submitting the same JSON (even under a new ``name``) reuses
+every cached artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from .scenario import ThermalScenario
+
+DEFAULT_CACHE_DIR = Path(
+    os.environ.get(
+        "REPRO_MODEL_CACHE",
+        Path(__file__).resolve().parents[3] / ".model_cache",
+    )
+)
+
+Design = Mapping[str, np.ndarray]
+
+
+# ----------------------------------------------------------------------
+# Typed responses
+# ----------------------------------------------------------------------
+@dataclass
+class SolveResult:
+    """FDM reference solve of one or more designs of a scenario."""
+
+    scenario_name: str
+    digest: str
+    grid_shape: tuple
+    designs: List[Dict[str, np.ndarray]]
+    fields: np.ndarray             # (B, nx, ny, nz) kelvin
+    peaks: np.ndarray              # (B,)
+    injected_power: np.ndarray     # (B,) watts
+    energy_imbalance: np.ndarray   # (B,) relative
+    elapsed: float
+    farm_stats: Dict[str, int]
+
+
+@dataclass
+class TrainResult:
+    """Outcome of ``train``: freshly fitted or registry-loaded."""
+
+    scenario_name: str
+    digest: str
+    checkpoint_path: Path
+    from_cache: bool
+    iterations: int
+    final_loss: Optional[float] = None
+    wall_time: Optional[float] = None
+
+
+@dataclass
+class PredictResult:
+    """Batched steady surrogate evaluation."""
+
+    scenario_name: str
+    digest: str
+    fields: np.ndarray   # (B, n_points) kelvin
+    peaks: np.ndarray    # (B,)
+    elapsed: float
+    cache: Dict[str, int]
+
+
+@dataclass
+class RolloutResult:
+    """Batched transient rollout over a shared time grid."""
+
+    scenario_name: str
+    digest: str
+    times: np.ndarray        # (n_times,) seconds
+    fields: np.ndarray       # (B, n_times, n_points) kelvin
+    peak_traces: np.ndarray  # (B, n_times)
+    elapsed: float
+    cache: Dict[str, int]
+
+
+@dataclass
+class SweepChunk:
+    """One streamed slice of a sweep (passed to ``on_chunk``)."""
+
+    start: int
+    stop: int
+    peaks: np.ndarray  # (stop - start,)
+    elapsed: float
+
+
+@dataclass
+class SweepValidation:
+    """FDM cross-check of a sweep's outlier designs."""
+
+    design_indices: np.ndarray   # into the sweep's design batch
+    reference_peaks: np.ndarray
+    peak_errors: np.ndarray      # |surrogate - FDM| kelvin
+    worst_energy_imbalance: float
+    elapsed: float
+    farm_stats: Dict[str, int]
+
+
+@dataclass
+class SweepResult:
+    """A full design-space sweep through the serving engine."""
+
+    scenario_name: str
+    digest: str
+    n_designs: int
+    chunk_size: int
+    grid_shape: tuple
+    raws: Dict[str, np.ndarray]  # stacked raw batches per input
+    peaks: np.ndarray            # (n_designs,)
+    elapsed: float
+    cache: Dict[str, int]
+    validation: Optional[SweepValidation] = None
+
+    @property
+    def throughput(self) -> float:
+        return self.n_designs / max(self.elapsed, 1e-12)
+
+    def design(self, index: int) -> Dict[str, np.ndarray]:
+        """Reconstruct one named design from the stacked raw batches."""
+        return {name: batch[index] for name, batch in self.raws.items()}
+
+
+@dataclass
+class _Session:
+    """Per-digest state the service keeps alive between calls."""
+
+    scenario: ThermalScenario
+    setup: object                       # ExperimentSetup
+    engine: Optional[object] = None     # CompiledSurrogate
+    trained: bool = False
+    meta: Dict = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint registry
+# ----------------------------------------------------------------------
+class CheckpointRegistry:
+    """Content-addressed checkpoint store.
+
+    Files are named ``<slug>-<digest16>-v<version>.npz``: the digest is
+    the key (so physics/training changes can never collide), the name is
+    a sanitized human-readable prefix only, and the package version
+    scopes the slot so a release that changes training semantics without
+    touching any scenario field retrains instead of silently reusing a
+    stale model.
+    """
+
+    DIGEST_CHARS = 16
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    @staticmethod
+    def _slug(name: str) -> str:
+        """Filesystem-safe name prefix (scenario names are arbitrary)."""
+        return re.sub(r"[^A-Za-z0-9._-]+", "_", name) or "scenario"
+
+    def _key(self, scenario: ThermalScenario) -> str:
+        from .. import __version__
+
+        digest = scenario.content_digest()[: self.DIGEST_CHARS]
+        return f"{digest}-v{__version__}.npz"
+
+    def path_for(self, scenario: ThermalScenario) -> Path:
+        return self.root / f"{self._slug(scenario.name)}-{self._key(scenario)}"
+
+    def find(self, scenario: ThermalScenario) -> Optional[Path]:
+        """The stored checkpoint for this content digest, if any.
+
+        Prefers the scenario's own name prefix but accepts any file
+        carrying the digest — renaming a scenario must not orphan its
+        checkpoint (the digest, not the label, is the key).
+        """
+        preferred = self.path_for(scenario)
+        if preferred.exists():
+            return preferred
+        matches = sorted(self.root.glob(f"*-{self._key(scenario)}"))
+        return matches[0] if matches else None
+
+    def has(self, scenario: ThermalScenario) -> bool:
+        return self.find(scenario) is not None
+
+    def save(self, scenario: ThermalScenario, model, meta: Optional[Dict] = None
+             ) -> Path:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(scenario)
+        meta = dict(meta or {})
+        meta.setdefault("scenario_digest", scenario.content_digest())
+        model.save(path, meta=meta)
+        return path
+
+    def load(self, scenario: ThermalScenario, model) -> Dict:
+        path = self.find(scenario)
+        if path is None:
+            raise FileNotFoundError(
+                f"no checkpoint for digest "
+                f"{scenario.content_digest()[:self.DIGEST_CHARS]} "
+                f"in {self.root}"
+            )
+        return model.load(path)
+
+    def entries(self) -> List[Path]:
+        if not self.root.exists():
+            return []
+        return sorted(self.root.glob("*.npz"))
+
+
+# ----------------------------------------------------------------------
+# The façade
+# ----------------------------------------------------------------------
+class ThermalService:
+    """Session façade: solve / train / predict / rollout / sweep.
+
+    Parameters
+    ----------
+    cache_dir:
+        Checkpoint registry root (default: the package-level
+        ``.model_cache``, overridable via ``REPRO_MODEL_CACHE``).
+    farm:
+        Shared-operator FDM solve farm; defaults to the process-wide
+        farm, so reference solves reuse factorizations across services.
+    trunk_cache_entries:
+        Capacity of the session-wide trunk-feature cache every compiled
+        engine shares (keys bind grid *and* weight digest, so scenarios
+        sharing a query grid coexist safely).
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, Path]] = None,
+        farm=None,
+        trunk_cache_entries: int = 16,
+    ):
+        from ..engine import TrunkFeatureCache
+
+        self.registry = CheckpointRegistry(
+            Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
+        )
+        self._farm = farm
+        self._trunk_cache = TrunkFeatureCache(trunk_cache_entries)
+        self._sessions: Dict[str, _Session] = {}
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    @property
+    def farm(self):
+        if self._farm is None:
+            from ..fdm import get_default_farm
+
+            self._farm = get_default_farm()
+        return self._farm
+
+    def session(self, scenario: ThermalScenario) -> _Session:
+        """The per-digest session (compiling the scenario on first use)."""
+        digest = scenario.content_digest()
+        entry = self._sessions.get(digest)
+        if entry is None:
+            entry = _Session(scenario=scenario, setup=scenario.compile())
+            self._sessions[digest] = entry
+        return entry
+
+    def setup(self, scenario: ThermalScenario):
+        """The compiled :class:`~repro.core.presets.ExperimentSetup`."""
+        return self.session(scenario).setup
+
+    def engine(self, scenario: ThermalScenario):
+        """The (trained) compiled serving engine for a scenario."""
+        entry = self.session(scenario)
+        if entry.engine is None:
+            # Live view: weights loaded/trained later stay visible, and
+            # the digest-keyed trunk cache invalidates transparently.
+            entry.engine = entry.setup.model.compile_with_cache(
+                self._trunk_cache
+            )
+        return entry.engine
+
+    def sample_designs(
+        self, scenario: ThermalScenario, n: int, seed: int = 0
+    ) -> Dict[str, np.ndarray]:
+        """Stacked raw design batches drawn from the input families."""
+        entry = self.session(scenario)
+        rng = np.random.default_rng(seed)
+        return {
+            config_input.name: config_input.sample(rng, n)
+            for config_input in entry.setup.model.inputs
+        }
+
+    @staticmethod
+    def _design_list(raws: Mapping[str, np.ndarray], n: int
+                     ) -> List[Dict[str, np.ndarray]]:
+        return [{name: batch[index] for name, batch in raws.items()}
+                for index in range(n)]
+
+    # ------------------------------------------------------------------
+    # Solve (FDM reference)
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        scenario: ThermalScenario,
+        designs: Optional[Sequence[Design]] = None,
+        n_designs: int = 1,
+        grid_shape: Optional[tuple] = None,
+        seed: int = 0,
+    ) -> SolveResult:
+        """Reference-solve designs of a scenario through the solve farm.
+
+        With ``designs=None``, ``n_designs`` random designs are sampled
+        from the scenario's input families (seeded).  Transient
+        scenarios solve their t=0 (initial-condition) problem.
+        """
+        entry = self.session(scenario)
+        model = entry.setup.model
+        if designs is None:
+            raws = self.sample_designs(scenario, n_designs, seed=seed)
+            designs = self._design_list(raws, n_designs)
+        else:
+            designs = [dict(design) for design in designs]
+        grid = (entry.setup.eval_grid if grid_shape is None
+                else self._grid(entry, grid_shape))
+
+        start = time.perf_counter()
+        problems = [
+            model.concrete_config(design).heat_problem(grid)
+            for design in designs
+        ]
+        solutions = self.farm.solve_many(problems)
+        elapsed = time.perf_counter() - start
+
+        return SolveResult(
+            scenario_name=scenario.name,
+            digest=scenario.content_digest(),
+            grid_shape=tuple(grid.shape),
+            designs=designs,
+            fields=np.stack([solution.to_array() for solution in solutions]),
+            peaks=np.asarray([solution.t_max for solution in solutions]),
+            injected_power=np.asarray([
+                solution.info["energy"].injected for solution in solutions
+            ]),
+            energy_imbalance=np.asarray([
+                solution.info["energy"].relative_imbalance
+                for solution in solutions
+            ]),
+            elapsed=elapsed,
+            farm_stats=self.farm.cache_info(),
+        )
+
+    @staticmethod
+    def _grid(entry: _Session, grid_shape: tuple):
+        from ..geometry import StructuredGrid
+
+        return StructuredGrid(entry.setup.model.config.chip, tuple(grid_shape))
+
+    # ------------------------------------------------------------------
+    # Train
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        scenario: ThermalScenario,
+        force_retrain: bool = False,
+        verbose: bool = False,
+    ) -> TrainResult:
+        """Train a scenario's surrogate, or load it from the registry.
+
+        The registry keys on the scenario's *content digest*: any change
+        to physics, architecture or budget lands in a fresh slot, and
+        scenarios differing only by name share one.
+        """
+        entry = self.session(scenario)
+        digest = scenario.content_digest()
+
+        path = None if force_retrain else self.registry.find(scenario)
+        if path is not None:
+            meta = entry.setup.model.load(path)
+            entry.trained = True
+            entry.meta = dict(meta or {})
+            final_loss = entry.meta.get("final_loss")
+            wall_time = entry.meta.get("wall_time")
+            return TrainResult(
+                scenario_name=scenario.name,
+                digest=digest,
+                checkpoint_path=path,
+                from_cache=True,
+                iterations=scenario.training.iterations,
+                final_loss=float(final_loss) if final_loss is not None else None,
+                wall_time=float(wall_time) if wall_time is not None else None,
+            )
+
+        history = entry.setup.make_trainer().run(verbose=verbose)
+        meta = {
+            "final_loss": history.final_loss,
+            "wall_time": history.wall_time,
+            "iterations": scenario.training.iterations,
+        }
+        path = self.registry.save(scenario, entry.setup.model, meta=meta)
+        entry.trained = True
+        entry.meta = meta
+        return TrainResult(
+            scenario_name=scenario.name,
+            digest=digest,
+            checkpoint_path=path,
+            from_cache=False,
+            iterations=scenario.training.iterations,
+            final_loss=history.final_loss,
+            wall_time=history.wall_time,
+        )
+
+    def load_checkpoint(self, scenario: ThermalScenario,
+                        path: Union[str, Path]) -> None:
+        """Load explicit weights for a scenario (bypassing the registry)."""
+        entry = self.session(scenario)
+        entry.setup.model.load(path)
+        entry.trained = True
+
+    def _ensure_trained(self, scenario: ThermalScenario) -> _Session:
+        entry = self.session(scenario)
+        if not entry.trained:
+            self.train(scenario)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Predict / rollout (surrogate serving)
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        scenario: ThermalScenario,
+        designs: Sequence[Design],
+        grid_shape: Optional[tuple] = None,
+        points_si: Optional[np.ndarray] = None,
+        t: Optional[float] = None,
+    ) -> PredictResult:
+        """Batched surrogate evaluation (training on first use if needed).
+
+        Steady scenarios evaluate on the eval grid (or ``grid_shape`` /
+        ``points_si``); transient scenarios need an instant ``t`` in
+        seconds (use :meth:`rollout` for whole trajectories).
+        """
+        entry = self._ensure_trained(scenario)
+        if scenario.transient is not None and t is None:
+            raise ValueError(
+                "transient scenarios evaluate at an instant: pass t= "
+                "(seconds) or use rollout() for full trajectories"
+            )
+        engine = self.engine(scenario)
+        grid = None
+        if points_si is None:
+            grid = (entry.setup.eval_grid if grid_shape is None
+                    else self._grid(entry, grid_shape))
+        start = time.perf_counter()
+        fields = engine.predict_batch(designs, grid=grid, points_si=points_si,
+                                      t=t)
+        elapsed = time.perf_counter() - start
+        return PredictResult(
+            scenario_name=scenario.name,
+            digest=scenario.content_digest(),
+            fields=fields,
+            peaks=fields.max(axis=1),
+            elapsed=elapsed,
+            cache=engine.cache_info()._asdict(),
+        )
+
+    def rollout(
+        self,
+        scenario: ThermalScenario,
+        designs: Sequence[Design],
+        times: np.ndarray,
+        grid_shape: Optional[tuple] = None,
+        points_si: Optional[np.ndarray] = None,
+    ) -> RolloutResult:
+        """Batched transient rollout over a shared time grid (seconds)."""
+        if scenario.transient is None:
+            raise ValueError(
+                "rollout needs a transient scenario; this one is steady "
+                "(no 'transient' section)"
+            )
+        entry = self._ensure_trained(scenario)
+        engine = self.engine(scenario)
+        times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+        grid = None
+        if points_si is None:
+            grid = (entry.setup.eval_grid if grid_shape is None
+                    else self._grid(entry, grid_shape))
+        start = time.perf_counter()
+        fields = engine.predict_rollout(designs, times, grid=grid,
+                                        points_si=points_si)
+        elapsed = time.perf_counter() - start
+        return RolloutResult(
+            scenario_name=scenario.name,
+            digest=scenario.content_digest(),
+            times=times,
+            fields=fields,
+            peak_traces=fields.max(axis=2),
+            elapsed=elapsed,
+            cache=engine.cache_info()._asdict(),
+        )
+
+    # ------------------------------------------------------------------
+    # Sweep (streaming serving + outlier validation)
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        scenario: ThermalScenario,
+        n_designs: int = 64,
+        chunk_size: int = 16,
+        seed: int = 0,
+        validate: int = 0,
+        grid_shape: Optional[tuple] = None,
+        on_chunk: Optional[Callable[[SweepChunk], None]] = None,
+    ) -> SweepResult:
+        """Stream sampled designs through the engine in chunks.
+
+        ``validate=N`` cross-checks the N hottest designs against the
+        FDM farm (shared operator, one back-substitution each) and
+        reports the surrogate's peak-temperature error on them.
+        """
+        if scenario.transient is not None:
+            raise ValueError(
+                "sweep serves steady scenarios; use rollout() for "
+                "transient trajectories"
+            )
+        entry = self._ensure_trained(scenario)
+        engine = self.engine(scenario)
+        n_designs = max(1, int(n_designs))
+        chunk_size = max(1, int(chunk_size))
+        grid = (entry.setup.eval_grid if grid_shape is None
+                else self._grid(entry, grid_shape))
+        raws = self.sample_designs(scenario, n_designs, seed=seed)
+        engine.warmup(grid)
+
+        start = time.perf_counter()
+        peaks = []
+        for lo in range(0, n_designs, chunk_size):
+            hi = min(n_designs, lo + chunk_size)
+            chunk_start = time.perf_counter()
+            fields = engine.predict_batch(
+                {name: batch[lo:hi] for name, batch in raws.items()},
+                grid=grid,
+            )
+            chunk_peaks = fields.max(axis=1)
+            peaks.append(chunk_peaks)
+            if on_chunk is not None:
+                on_chunk(SweepChunk(
+                    start=lo, stop=hi, peaks=chunk_peaks,
+                    elapsed=time.perf_counter() - chunk_start,
+                ))
+        elapsed = time.perf_counter() - start
+        peaks = np.concatenate(peaks)
+
+        validation = None
+        if validate > 0:
+            validation = self._validate_outliers(
+                entry, raws, peaks, min(int(validate), n_designs), grid
+            )
+        return SweepResult(
+            scenario_name=scenario.name,
+            digest=scenario.content_digest(),
+            n_designs=n_designs,
+            chunk_size=chunk_size,
+            grid_shape=tuple(grid.shape),
+            raws=raws,
+            peaks=peaks,
+            elapsed=elapsed,
+            cache=engine.cache_info()._asdict(),
+            validation=validation,
+        )
+
+    def _validate_outliers(self, entry: _Session, raws, peaks,
+                           n_validate: int, grid) -> SweepValidation:
+        model = entry.setup.model
+        hottest = np.argsort(peaks)[::-1][:n_validate]
+        problems = [
+            model.concrete_config(
+                {name: batch[index] for name, batch in raws.items()}
+            ).heat_problem(grid)
+            for index in hottest
+        ]
+        start = time.perf_counter()
+        references = self.farm.solve_many(problems)
+        elapsed = time.perf_counter() - start
+        reference_peaks = np.asarray([ref.t_max for ref in references])
+        return SweepValidation(
+            design_indices=hottest,
+            reference_peaks=reference_peaks,
+            peak_errors=np.abs(reference_peaks - peaks[hottest]),
+            worst_energy_imbalance=max(
+                abs(ref.info["energy"].relative_imbalance)
+                for ref in references
+            ),
+            elapsed=elapsed,
+            farm_stats=self.farm.cache_info(),
+        )
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"ThermalService({len(self._sessions)} scenario session(s), "
+            f"registry={self.registry.root})"
+        )

@@ -1,19 +1,28 @@
 """Command-line interface: ``python -m repro <subcommand>``.
 
+Every subcommand is a thin adapter over the declarative scenario API
+(:mod:`repro.api`): presets become :class:`~repro.api.ThermalScenario`
+specs and all execution routes through one
+:class:`~repro.api.ThermalService` session.
+
 Subcommands
 -----------
-``info``      package/version and preset inventory
-``solve``     run the FV reference solver on a paper workload
-``train``     train a preset and save the checkpoint
-``evaluate``  evaluate a (cached or given) model on the paper's test cases
-``speedup``   measure the solver-vs-surrogate speedup table
-``sweep``     stream a batch of designs through the compiled serving engine
-``transient`` roll a transient surrogate against the theta-scheme reference
+``info``             package/version and preset inventory (``--json``)
+``solve``            run the FV reference solver on a paper workload
+``train``            train a preset and save the checkpoint
+``evaluate``         evaluate a (cached or given) model on the paper's tests
+``speedup``          measure the solver-vs-surrogate speedup table
+``sweep``            stream a batch of designs through the engine (``--json``)
+``transient``        roll a transient surrogate against the theta reference
+``validate-config``  check a scenario JSON, listing every problem found
+``run``              validate → solve → train → predict/rollout a scenario
+                     JSON end-to-end (new workloads without new code)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -27,7 +36,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("info", help="show version and preset inventory")
+    info = subparsers.add_parser("info", help="show version and preset inventory")
+    info.add_argument("--json", action="store_true",
+                      help="machine-readable output (version, schema, presets)")
 
     solve = subparsers.add_parser("solve", help="run the FV reference solver")
     solve.add_argument("--experiment", choices=["a", "b"], default="a")
@@ -82,6 +93,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--validate", type=int, default=0, metavar="N",
                        help="FDM-validate the N hottest designs through the "
                             "shared-operator solve farm")
+    sweep.add_argument("--json", action="store_true",
+                       help="machine-readable sweep result")
 
     transient = subparsers.add_parser(
         "transient",
@@ -105,7 +118,73 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "below TOL K/s (convergence to steady state)")
     transient.add_argument("--checkpoint", default=None,
                            help="explicit checkpoint (defaults to the cache)")
+
+    validate = subparsers.add_parser(
+        "validate-config",
+        help="validate a scenario JSON (exit 0 on ok, 2 on errors)",
+    )
+    validate.add_argument("config", help="path to a ThermalScenario .json")
+
+    run = subparsers.add_parser(
+        "run",
+        help="run a scenario JSON end-to-end: validate, reference-solve, "
+             "train (registry-cached), predict or rollout",
+    )
+    run.add_argument("--config", required=True,
+                     help="path to a ThermalScenario .json")
+    run.add_argument("--designs", type=int, default=4,
+                     help="sampled designs for the serving stage")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--force-retrain", action="store_true",
+                     help="ignore the checkpoint registry")
+    run.add_argument("--parity-tol", type=float, default=1e-8,
+                     help="max |engine - reference path| kelvin before the "
+                          "serving stage is declared broken (exit 3)")
+    run.add_argument("--json", action="store_true",
+                     help="machine-readable pipeline report")
+    run.add_argument("--quiet", action="store_true")
     return parser
+
+
+# ----------------------------------------------------------------------
+# Shared plumbing
+# ----------------------------------------------------------------------
+def _service():
+    """A service session rooted at the shared model cache.
+
+    Reads ``DEFAULT_CACHE_DIR`` through :mod:`repro.experiments.common`
+    at call time so test fixtures (and ``REPRO_MODEL_CACHE``) take
+    effect.
+    """
+    from .api import ThermalService
+    from .experiments import common
+
+    return ThermalService(cache_dir=common.DEFAULT_CACHE_DIR)
+
+
+def _trained(service, name: str, scale: str, checkpoint: Optional[str]):
+    """(scenario, setup) ready to evaluate: checkpoint- or registry-backed."""
+    from .api import scenario_for
+
+    scenario = scenario_for(name, scale=scale)
+    if checkpoint:
+        service.load_checkpoint(scenario, checkpoint)
+    else:
+        service.train(scenario)
+    return scenario, service.setup(scenario)
+
+
+def _jsonable(value):
+    """Recursively convert numpy scalars/arrays for ``json.dumps``."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return _jsonable(value.tolist())
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return value
 
 
 # ----------------------------------------------------------------------
@@ -113,6 +192,19 @@ def _build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 def _cmd_info(args) -> int:
     from . import __version__
+    from .api import SCHEMA_VERSION, preset_inventory
+
+    if args.json:
+        print(json.dumps({
+            "version": __version__,
+            "scenario_schema_version": SCHEMA_VERSION,
+            "presets": preset_inventory(),
+            "scales": ["test", "ci", "paper"],
+            "commands": ["info", "solve", "train", "evaluate", "speedup",
+                         "sweep", "transient", "validate-config", "run"],
+        }, indent=2))
+        return 0
+
     from .analysis import kv_block
 
     print(
@@ -124,6 +216,8 @@ def _cmd_info(args) -> int:
                 "experiment volumetric": "3D power maps (Sec. VI future work)",
                 "experiment transient": "time-modulated power pulses (eq. 1)",
                 "scales": "test (seconds) / ci (minutes) / paper (hours)",
+                "scenario API": "repro run --config <scenario.json> "
+                                "(repro.api.ThermalScenario)",
                 "benches": "pytest benchmarks/ --benchmark-only",
             },
         )
@@ -131,49 +225,14 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _experiment_setup(name: str, scale: str):
-    from .core import (
-        experiment_a,
-        experiment_b,
-        experiment_transient,
-        experiment_volumetric,
-    )
-
-    factories = {
-        "a": experiment_a,
-        "b": experiment_b,
-        "volumetric": experiment_volumetric,
-        "transient": experiment_transient,
-    }
-    return factories[name](scale=scale)
-
-
-def _trained_setup(name: str, scale: str, checkpoint: Optional[str]):
-    """A ready-to-evaluate setup: checkpoint-backed or cache-trained.
-
-    An explicit checkpoint supplies the weights, so the preset is built
-    untrained and loaded instead of training (or cache-loading) a model
-    whose weights the checkpoint would immediately overwrite.
-    """
-    if checkpoint:
-        setup = _experiment_setup(name, scale)
-        setup.model.load(checkpoint)
-        return setup
-    from .experiments import get_trained_setup
-
-    return get_trained_setup(name, scale=scale)
-
-
 def _cmd_solve(args) -> int:
     from .analysis import ascii_heatmap, kv_block
-    from .fdm import solve_steady
-    from .geometry import StructuredGrid
+    from .api import scenario_for
     from .power import paper_test_suite, tiles_to_grid
 
-    setup = _experiment_setup(args.experiment, "ci")
-    grid = setup.eval_grid
-    if args.grid is not None:
-        grid = StructuredGrid(setup.model.config.chip, tuple(args.grid))
+    service = _service()
+    scenario = scenario_for(args.experiment, scale="ci")
+    setup = service.setup(scenario)
 
     if args.experiment == "a":
         suite = {m.name: m for m in paper_test_suite()}
@@ -189,40 +248,46 @@ def _cmd_solve(args) -> int:
         design = {"htc_top": args.htc[0], "htc_bottom": args.htc[1]}
         label = f"experiment b / h=({args.htc[0]:g}, {args.htc[1]:g})"
 
-    solution = solve_steady(setup.model.concrete_config(design).heat_problem(grid))
-    report = solution.info["energy"]
+    result = service.solve(
+        scenario, designs=[design],
+        grid_shape=tuple(args.grid) if args.grid is not None else None,
+    )
+    field = result.fields[0]
     print(
         kv_block(
-            f"FV solve — {label} on {grid.shape}",
+            f"FV solve — {label} on {result.grid_shape}",
             {
-                "T max": f"{solution.t_max:.3f} K",
-                "T min": f"{solution.t_min:.3f} K",
-                "injected power": f"{report.injected * 1e3:.4f} mW",
-                "energy imbalance": f"{report.relative_imbalance:.2e}",
-                "solve time": f"{solution.info['total_time'] * 1e3:.1f} ms",
+                "T max": f"{result.peaks[0]:.3f} K",
+                "T min": f"{field.min():.3f} K",
+                "injected power": f"{result.injected_power[0] * 1e3:.4f} mW",
+                "energy imbalance": f"{result.energy_imbalance[0]:.2e}",
+                "solve time": f"{result.elapsed * 1e3:.1f} ms",
             },
         )
     )
-    top = solution.to_array()[:, :, -1]
     print()
-    print(ascii_heatmap(top, "top-surface temperature (K)"))
+    print(ascii_heatmap(field[:, :, -1], "top-surface temperature (K)"))
     return 0
 
 
 def _cmd_train(args) -> int:
     from .analysis import model_summary
+    from .api import scenario_for
 
     try:
-        setup = _experiment_setup(args.experiment, args.scale)
+        scenario = scenario_for(args.experiment, scale=args.scale)
     except ValueError as error:
         # e.g. presets without a paper-scale variant (volumetric,
         # transient): report cleanly instead of a raw traceback.
         print(str(error), file=sys.stderr)
         return 2
     if args.iterations is not None:
-        setup.trainer_config.iterations = args.iterations
+        scenario.training.iterations = args.iterations
     if args.seed:
-        setup.trainer_config.seed = args.seed
+        scenario.training.seed = args.seed
+
+    service = _service()
+    setup = service.setup(scenario)
     print(f"training {setup.name} ({setup.scale}): {setup.description}")
     print(model_summary(setup.model))
     history = setup.make_trainer().run(verbose=not args.quiet)
@@ -233,7 +298,10 @@ def _cmd_train(args) -> int:
     output = args.output
     if output is None:
         output = f"{setup.name}-{setup.scale}.npz"
-    setup.model.save(output, meta={"final_loss": history.final_loss})
+    setup.model.save(output, meta={
+        "final_loss": history.final_loss,
+        "scenario_digest": scenario.content_digest(),
+    })
     print(f"checkpoint written to {output}")
     return 0
 
@@ -242,7 +310,8 @@ def _cmd_evaluate(args) -> int:
     from .analysis import format_table
     from .experiments import run_experiment_a, run_experiment_b
 
-    setup = _trained_setup(args.experiment, args.scale, args.checkpoint)
+    _, setup = _trained(_service(), args.experiment, args.scale,
+                        args.checkpoint)
 
     if args.experiment == "a":
         result = run_experiment_a(setup)
@@ -280,99 +349,97 @@ def _cmd_sweep(args) -> int:
 
     from .analysis import kv_block, model_summary
 
-    setup = _trained_setup(args.experiment, args.scale, args.checkpoint)
-    model = setup.model
-    grid = setup.eval_grid
-    n_designs = max(1, args.designs)
-    chunk_size = max(1, args.chunk)
-    rng = np.random.default_rng(args.seed)
+    service = _service()
+    scenario, setup = _trained(service, args.experiment, args.scale,
+                               args.checkpoint)
+    result = service.sweep(
+        scenario,
+        n_designs=args.designs,
+        chunk_size=args.chunk,
+        seed=args.seed,
+        validate=args.validate,
+    )
 
-    # One stacked raw batch per branch input, streamed through in chunks.
-    raws = {
-        config_input.name: config_input.sample(rng, n_designs)
-        for config_input in model.inputs
-    }
-    engine = model.compile()
-    engine.warmup(grid)
-
-    start = time.perf_counter()
-    peaks = []
-    for lo in range(0, n_designs, chunk_size):
-        hi = min(n_designs, lo + chunk_size)
-        fields = engine.predict_batch(
-            {name: batch[lo:hi] for name, batch in raws.items()}, grid=grid
-        )
-        peaks.append(fields.max(axis=1))
-    elapsed = time.perf_counter() - start
-    peaks = np.concatenate(peaks)
-
-    print(model_summary(model, title=f"sweep — {setup.name} ({setup.scale})"))
-    print()
-    cache = engine.cache_info()
-    values = {
-        "designs": n_designs,
-        "grid": "x".join(str(n) for n in grid.shape) + f" ({grid.n_nodes} nodes)",
-        "chunk size": chunk_size,
-        "engine time": f"{elapsed * 1e3:.1f} ms",
-        "throughput": f"{n_designs / max(elapsed, 1e-12):.0f} designs/s",
-        "trunk cache": f"{cache.hits} hits / {cache.misses} misses",
-        "peak T across sweep": f"{peaks.max():.3f} K",
-        "coolest peak T": f"{peaks.min():.3f} K",
-    }
-
-    if args.validate > 0:
-        from .fdm import get_default_farm
-
-        n_validate = min(args.validate, n_designs)
-        hottest = np.argsort(peaks)[::-1][:n_validate]
-        farm = get_default_farm()
-        problems = [
-            setup.model.concrete_config(
-                {name: batch[index] for name, batch in raws.items()}
-            ).heat_problem(grid)
-            for index in hottest
-        ]
-        start = time.perf_counter()
-        references = farm.solve_many(problems)
-        farm_elapsed = time.perf_counter() - start
-        peak_errors = [
-            abs(reference.t_max - peaks[index])
-            for index, reference in zip(hottest, references)
-        ]
-        worst_energy = max(
-            abs(reference.info["energy"].relative_imbalance)
-            for reference in references
-        )
-        farm_info = farm.cache_info()
-        values["farm validation"] = (
-            f"{n_validate} hottest designs in {farm_elapsed * 1e3:.1f} ms "
-            f"({n_validate / max(farm_elapsed, 1e-12):.1f} solves/s)"
-        )
-        values["farm operator reuse"] = (
-            f"{farm_info['operator_hits']} hits / "
-            f"{farm_info['operator_misses']} misses, "
-            f"{farm_info['factorizations']} factorization(s)"
-        )
-        values["max |peak error|"] = f"{max(peak_errors):.3f} K"
-        values["worst energy imbalance"] = f"{worst_energy:.2e}"
-
+    naive_rate = None
     if args.compare_naive:
-        n_naive = min(n_designs, 16)
-        designs = [
-            {name: batch[index] for name, batch in raws.items()}
-            for index in range(n_naive)
-        ]
-        points = grid.points()
+        n_naive = min(result.n_designs, 16)
+        designs = [result.design(index) for index in range(n_naive)]
+        points = setup.eval_grid.points()
         start = time.perf_counter()
         for design in designs:
-            model.predict_many_uncached([design], points)
+            setup.model.predict_many_uncached([design], points)
         naive_elapsed = time.perf_counter() - start
         naive_rate = n_naive / max(naive_elapsed, 1e-12)
+
+    if args.json:
+        payload = {
+            "scenario": result.scenario_name,
+            "scale": scenario.scale,
+            "digest": result.digest,
+            "designs": result.n_designs,
+            "chunk_size": result.chunk_size,
+            "grid_shape": list(result.grid_shape),
+            "elapsed_seconds": result.elapsed,
+            "throughput_designs_per_s": result.throughput,
+            "peaks_kelvin": result.peaks,
+            "trunk_cache": result.cache,
+        }
+        if result.validation is not None:
+            payload["validation"] = {
+                "design_indices": result.validation.design_indices,
+                "reference_peaks": result.validation.reference_peaks,
+                "peak_errors": result.validation.peak_errors,
+                "worst_energy_imbalance":
+                    result.validation.worst_energy_imbalance,
+                "elapsed_seconds": result.validation.elapsed,
+                "farm_stats": result.validation.farm_stats,
+            }
+        if naive_rate is not None:
+            payload["naive_designs_per_s"] = naive_rate
+            payload["engine_speedup"] = result.throughput / max(naive_rate,
+                                                                1e-12)
+        print(json.dumps(_jsonable(payload), indent=2))
+        return 0
+
+    print(model_summary(setup.model,
+                        title=f"sweep — {setup.name} ({setup.scale})"))
+    print()
+    cache = result.cache
+    values = {
+        "designs": result.n_designs,
+        "grid": "x".join(str(n) for n in result.grid_shape)
+                + f" ({int(np.prod(result.grid_shape))} nodes)",
+        "chunk size": result.chunk_size,
+        "engine time": f"{result.elapsed * 1e3:.1f} ms",
+        "throughput": f"{result.throughput:.0f} designs/s",
+        "trunk cache": f"{cache['hits']} hits / {cache['misses']} misses",
+        "peak T across sweep": f"{result.peaks.max():.3f} K",
+        "coolest peak T": f"{result.peaks.min():.3f} K",
+    }
+    if result.validation is not None:
+        validation = result.validation
+        n_validate = len(validation.design_indices)
+        farm = validation.farm_stats
+        values["farm validation"] = (
+            f"{n_validate} hottest designs in {validation.elapsed * 1e3:.1f} ms "
+            f"({n_validate / max(validation.elapsed, 1e-12):.1f} solves/s)"
+        )
+        values["farm operator reuse"] = (
+            f"{farm['operator_hits']} hits / "
+            f"{farm['operator_misses']} misses, "
+            f"{farm['factorizations']} factorization(s)"
+        )
+        values["max |peak error|"] = f"{validation.peak_errors.max():.3f} K"
+        values["worst energy imbalance"] = (
+            f"{validation.worst_energy_imbalance:.2e}"
+        )
+    if naive_rate is not None:
         values["naive loop"] = (
-            f"{naive_rate:.1f} designs/s over {n_naive} designs (legacy path)"
+            f"{naive_rate:.1f} designs/s over "
+            f"{min(result.n_designs, 16)} designs (legacy path)"
         )
         values["engine speedup"] = (
-            f"{(n_designs / max(elapsed, 1e-12)) / max(naive_rate, 1e-12):.1f}x"
+            f"{result.throughput / max(naive_rate, 1e-12):.1f}x"
         )
 
     print(kv_block("serving engine sweep", values))
@@ -382,7 +449,8 @@ def _cmd_sweep(args) -> int:
 def _cmd_transient(args) -> int:
     from .experiments import run_experiment_c
 
-    setup = _trained_setup("transient", args.scale, args.checkpoint)
+    service = _service()
+    _, setup = _trained(service, "transient", args.scale, args.checkpoint)
 
     result = run_experiment_c(
         setup,
@@ -404,6 +472,151 @@ def _cmd_transient(args) -> int:
     return 0
 
 
+def _load_scenario(path: str):
+    """(scenario, errors): parse+validate a JSON file, never raising."""
+    from pathlib import Path
+
+    from .api import ScenarioValidationError, ThermalScenario
+
+    try:
+        return ThermalScenario.from_json(Path(path)), []
+    except ScenarioValidationError as error:
+        return None, list(error.errors)
+
+
+def _cmd_validate_config(args) -> int:
+    scenario, errors = _load_scenario(args.config)
+    if errors:
+        print(f"{args.config}: INVALID ({len(errors)} error(s))")
+        for error in errors:
+            print(f"  - {error}")
+        return 2
+    print(f"{args.config}: ok")
+    print(f"  scenario: {scenario.name} (scale={scenario.scale})")
+    print(f"  schema version: {scenario.schema_version}")
+    print(f"  content digest: {scenario.content_digest()[:16]}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    scenario, errors = _load_scenario(args.config)
+    if errors:
+        print(f"{args.config}: INVALID ({len(errors)} error(s))",
+              file=sys.stderr)
+        for error in errors:
+            print(f"  - {error}", file=sys.stderr)
+        return 2
+
+    service = _service()
+    report = {
+        "config": args.config,
+        "scenario": scenario.name,
+        "scale": scenario.scale,
+        "digest": scenario.content_digest(),
+        "transient": scenario.transient is not None,
+    }
+
+    def say(message: str) -> None:
+        if not args.quiet and not args.json:
+            print(message)
+
+    say(f"[1/4] validate: ok — {scenario.name} "
+        f"(digest {scenario.content_digest()[:16]})")
+
+    # [2/4] FDM reference solve of one sampled design.
+    solve = service.solve(scenario, n_designs=1, seed=args.seed)
+    report["solve"] = {
+        "grid_shape": list(solve.grid_shape),
+        "peak_kelvin": float(solve.peaks[0]),
+        "energy_imbalance": float(solve.energy_imbalance[0]),
+        "elapsed_seconds": solve.elapsed,
+    }
+    say(f"[2/4] solve: peak {solve.peaks[0]:.3f} K on "
+        f"{'x'.join(str(n) for n in solve.grid_shape)} "
+        f"(imbalance {solve.energy_imbalance[0]:.1e})")
+
+    # [3/4] train (or load from the digest-keyed registry).
+    trained = service.train(scenario, force_retrain=args.force_retrain,
+                            verbose=False)
+    report["train"] = {
+        "from_cache": trained.from_cache,
+        "checkpoint": str(trained.checkpoint_path),
+        "iterations": trained.iterations,
+        "final_loss": trained.final_loss,
+    }
+    say(f"[3/4] train: {'registry hit' if trained.from_cache else 'trained'} "
+        f"({trained.iterations} iterations, "
+        f"final loss {trained.final_loss:.3e})"
+        if trained.final_loss is not None else
+        f"[3/4] train: {'registry hit' if trained.from_cache else 'trained'}")
+
+    # [4/4] serve: predict (steady) or rollout (transient), with a hard
+    # engine-parity gate against an independent evaluation path.
+    n_designs = max(1, args.designs)
+    raws = service.sample_designs(scenario, n_designs, seed=args.seed + 1)
+    designs = [
+        {name: batch[index] for name, batch in raws.items()}
+        for index in range(n_designs)
+    ]
+    setup = service.setup(scenario)
+    if scenario.transient is None:
+        predicted = service.predict(scenario, designs)
+        reference = setup.model.predict_many_uncached(
+            designs, setup.eval_grid.points()
+        )
+        parity = float(np.max(np.abs(predicted.fields - reference)))
+        # Informational accuracy check: FDM-solve the first served design
+        # (one farm back-substitution — the operator is already cached).
+        oracle = service.solve(scenario, designs=[designs[0]])
+        fdm_gap = float(abs(predicted.peaks[0] - oracle.peaks[0]))
+        report["serve"] = {
+            "mode": "predict",
+            "designs": n_designs,
+            "peak_kelvin": float(predicted.peaks.max()),
+            "engine_parity_kelvin": parity,
+            "fdm_peak_gap_kelvin": fdm_gap,
+            "elapsed_seconds": predicted.elapsed,
+        }
+        say(f"[4/4] predict: {n_designs} designs, hottest peak "
+            f"{predicted.peaks.max():.3f} K, engine parity {parity:.2e} K "
+            f"(FDM sample gap {fdm_gap:.3f} K)")
+    else:
+        times = np.linspace(0.0, scenario.transient.horizon, 5)
+        rollout = service.rollout(scenario, designs, times)
+        # Independent path: one single-instant space-time block per time
+        # (separate trunk tiling/reshape) vs the fused K-instant rollout
+        # block — the parity contract bench_transient.py pins at 1e-10.
+        engine = service.engine(scenario)
+        per_instant = np.stack([
+            engine.predict_batch(designs, grid=setup.eval_grid, t=float(ti))
+            for ti in times
+        ], axis=1)
+        parity = float(np.max(np.abs(rollout.fields - per_instant)))
+        report["serve"] = {
+            "mode": "rollout",
+            "designs": n_designs,
+            "times_seconds": times,
+            "peak_kelvin": float(rollout.peak_traces.max()),
+            "engine_parity_kelvin": parity,
+            "elapsed_seconds": rollout.elapsed,
+        }
+        say(f"[4/4] rollout: {n_designs} designs x {len(times)} instants, "
+            f"hottest peak {rollout.peak_traces.max():.3f} K, "
+            f"per-instant parity {parity:.2e} K")
+
+    ok = bool(np.isfinite(parity)) and parity <= args.parity_tol
+    report["parity_ok"] = ok
+    if args.json:
+        print(json.dumps(_jsonable(report), indent=2))
+    if not ok:
+        print(f"PARITY FAILURE: engine disagrees with the reference "
+              f"path by {parity:.3e} K (tol {args.parity_tol:g})",
+              file=sys.stderr)
+        return 3
+    say("pipeline ok")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "solve": _cmd_solve,
@@ -412,6 +625,8 @@ _COMMANDS = {
     "speedup": _cmd_speedup,
     "sweep": _cmd_sweep,
     "transient": _cmd_transient,
+    "validate-config": _cmd_validate_config,
+    "run": _cmd_run,
 }
 
 

@@ -299,6 +299,17 @@ class DeepOHeat:
         return CompiledSurrogate(self, copy=copy,
                                  max_cache_entries=max_cache_entries)
 
+    def compile_with_cache(self, cache) -> CompiledSurrogate:
+        """Live-view engine backed by an externally shared trunk cache.
+
+        Used by session façades (:class:`~repro.api.ThermalService`)
+        that serve many scenarios: engines share one
+        :class:`~repro.engine.TrunkFeatureCache`, whose keys bind the
+        trunk-weight digest, so scenarios sharing a query grid reuse
+        features safely.
+        """
+        return CompiledSurrogate(self, copy=False, cache=cache)
+
     @property
     def engine(self) -> CompiledSurrogate:
         """Lazily-built live-view engine backing the ``predict*`` facade.

@@ -1,52 +1,38 @@
-"""Paper experiment presets (Sec. V-A and V-B) at three scales.
+"""Legacy preset factories — thin shims over the declarative scenario API.
 
-``scale="paper"`` reproduces the reported architecture and budget exactly
-(10 000 iterations x 50 functions on a V100 in the paper — hours on CPU);
-``scale="ci"`` is the default used by benches (same algorithm, smaller
-nets/budget); ``scale="test"`` is for unit tests (seconds).
+The paper's experiment presets now live as *scenario builders* in
+:mod:`repro.api.presets` (``scenario_experiment_a`` etc.); every factory
+here is a deprecated one-liner that builds the scenario and compiles it,
+so the legacy path and the ``ThermalScenario``-routed path are the same
+code and produce bitwise-identical setups.  Prefer::
+
+    from repro.api import scenario_experiment_a
+    setup = scenario_experiment_a(scale="ci").compile()
+
+or go through :class:`repro.api.ThermalService` for the full lifecycle.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Optional, Tuple
 
-import numpy as np
-
-from ..bc import AdiabaticBC, ConvectionBC
-from ..geometry import (
-    Face,
-    StructuredGrid,
-    paper_chip_a,
-    paper_chip_b,
-)
-from ..materials import UniformConductivity
-from ..nn import MLP, FourierFeatures, MIONet, TrunkNet
-from ..power import GaussianRandomField2D, GaussianRandomField3D, UniformLayerPower
-from ..power.traces import TraceFamily
-from .configs import ChipConfig
-from .encoding import (
-    HTCInput,
-    PowerMapInput,
-    TransientPowerMapInput,
-    VolumetricPowerMapInput,
-)
+from ..geometry import StructuredGrid
 from .model import DeepOHeat
-from .sampler import (
-    CollocationPlan,
-    MeshCollocation,
-    RandomCollocation,
-    TransientCollocation,
-)
+from .sampler import CollocationPlan
 from .trainer import Trainer, TrainerConfig
-from .transient import TransientSpec
 
 T_AMB = 298.15
 
 
 @dataclass
 class ExperimentSetup:
-    """Everything needed to train and evaluate one paper experiment."""
+    """Everything needed to train and evaluate one workload.
+
+    ``scenario`` carries the :class:`~repro.api.ThermalScenario` this
+    setup was compiled from (None for hand-assembled setups).
+    """
 
     name: str
     scale: str
@@ -55,33 +41,19 @@ class ExperimentSetup:
     trainer_config: TrainerConfig
     eval_grid: StructuredGrid
     description: str
+    scenario: Optional[object] = None
 
     def make_trainer(self) -> Trainer:
         return Trainer(self.model, self.plan, self.trainer_config)
 
 
-_SCALES_A: Dict[str, Dict] = {
-    # branch widths exclude the sensor-input layer; trunk widths exclude
-    # the Fourier layer. q = shared output feature width.  fourier_std is
-    # the paper's 2*pi at paper scale; smaller budgets train dramatically
-    # better with lower frequency content (see the Fourier ablation bench
-    # and EXPERIMENTS.md).
-    "paper": dict(
-        map_shape=(21, 21), branch=[256] * 9, trunk=[128] * 5, q=128,
-        fourier_freqs=64, fourier_std=2.0 * np.pi, train_grid=(21, 21, 11),
-        iterations=10_000, n_functions=50, decay_every=500, seed=0,
-    ),
-    "ci": dict(
-        map_shape=(21, 21), branch=[96] * 4, trunk=[64] * 3, q=64,
-        fourier_freqs=24, fourier_std=2.0, train_grid=(11, 11, 7),
-        iterations=2500, n_functions=10, decay_every=300, seed=0,
-    ),
-    "test": dict(
-        map_shape=(7, 7), branch=[24] * 2, trunk=[24] * 2, q=16,
-        fourier_freqs=8, fourier_std=1.0, train_grid=(5, 5, 4),
-        iterations=700, n_functions=6, decay_every=150, seed=0,
-    ),
-}
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.core.{name} is deprecated; build the scenario with "
+        f"repro.api.scenario_{name} (or a scenario JSON) and .compile() it",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def experiment_a(
@@ -91,108 +63,14 @@ def experiment_a(
     dt_ref: float = 10.0,
     seed: int = 0,
 ) -> ExperimentSetup:
-    """Sec. V-A: single-input DeepOHeat over 2-D top-surface power maps.
+    """Deprecated shim for :func:`repro.api.scenario_experiment_a`."""
+    from ..api.presets import scenario_experiment_a
 
-    Chip 1x1x0.5 mm, k=0.1 W/mK, adiabatic sides, convection bottom
-    (h=500, T_amb=298.15 K), GRF(l=0.3) training maps, Fourier trunk with
-    2*pi-std frequencies, Swish activations.
-    """
-    if scale not in _SCALES_A:
-        raise ValueError(f"unknown scale {scale!r}; choices: {sorted(_SCALES_A)}")
-    params = _SCALES_A[scale]
-    rng = np.random.default_rng(seed)
-    chip = paper_chip_a()
-
-    config = ChipConfig(
-        chip=chip,
-        conductivity=UniformConductivity(conductivity),
-        bcs={
-            Face.BOTTOM: ConvectionBC(htc_bottom, T_AMB),
-            **{face: AdiabaticBC() for face in
-               (Face.XMIN, Face.XMAX, Face.YMIN, Face.YMAX)},
-        },
-        t_ambient=T_AMB,
-    )
-    power_input = PowerMapInput(
-        chip=chip,
-        face=Face.TOP,
-        map_shape=params["map_shape"],
-        unit_flux=2500.0,
-        grf=GaussianRandomField2D(params["map_shape"], length_scale=0.3),
-    )
-
-    q = params["q"]
-    branch = MLP(
-        [power_input.sensor_dim] + params["branch"] + [q],
-        activation="swish",
-        rng=rng,
-    )
-    fourier = FourierFeatures(
-        3, params["fourier_freqs"], std=params["fourier_std"], rng=rng
-    )
-    trunk_mlp = MLP(
-        [fourier.out_features] + params["trunk"] + [q],
-        activation="swish",
-        rng=rng,
-    )
-    net = MIONet([branch], TrunkNet(trunk_mlp, fourier))
-
-    model = DeepOHeat(config, [power_input], net, dt_ref=dt_ref)
-    train_grid = StructuredGrid(chip, params["train_grid"])
-    plan = MeshCollocation(train_grid, model.nd)
-    trainer_config = TrainerConfig(
-        iterations=params["iterations"],
-        n_functions=params["n_functions"],
-        learning_rate=1e-3,
-        decay_rate=0.9,
-        decay_every=params["decay_every"],
-        seed=params["seed"],
-    )
-    eval_grid = StructuredGrid(chip, (21, 21, 11))
-    return ExperimentSetup(
-        name="experiment_a",
-        scale=scale,
-        model=model,
-        plan=plan,
-        trainer_config=trainer_config,
-        eval_grid=eval_grid,
-        description=(
-            "2D power map on TOP; adiabatic sides; convection bottom "
-            f"(h={htc_bottom} W/m^2K); k={conductivity} W/mK; scale={scale}"
-        ),
-    )
-
-
-_SCALES_B: Dict[str, Dict] = {
-    # fourier_std: pi at paper scale; lower for small budgets (see the
-    # Fourier ablation bench).  focus_band importance-samples the thin
-    # volumetric power layer, whose stiff local curvature uniform sampling
-    # barely sees at reduced point counts.
-    # loss_weights up-weight the convection residuals: the stiff volumetric
-    # source dominates the unweighted loss and drowns out the (small) HTC
-    # sensitivity signal at reduced budgets; x30 restores monotone
-    # peak-vs-HTC behaviour (measured in the Fig.-5 bench).
-    "paper": dict(
-        branch=[20] * 5, trunk=[128] * 5, q=50, fourier_freqs=64,
-        fourier_std=np.pi, n_interior=7000 // 8, n_per_face=7000 // 48,
-        iterations=5000, n_functions=20, decay_every=500, focus_band=None,
-        loss_weights=None,
-    ),
-    "ci": dict(
-        branch=[20] * 3, trunk=[48] * 3, q=32, fourier_freqs=16,
-        fourier_std=3.0, n_interior=300, n_per_face=40,
-        iterations=1500, n_functions=12, decay_every=300,
-        focus_band=(0.40, 0.60, 0.3),
-        loss_weights={"bc:TOP": 30.0, "bc:BOTTOM": 30.0},
-    ),
-    "test": dict(
-        branch=[12] * 2, trunk=[20] * 2, q=12, fourier_freqs=6,
-        fourier_std=1.5, n_interior=60, n_per_face=12,
-        iterations=900, n_functions=6, decay_every=200,
-        focus_band=(0.40, 0.60, 0.3),
-        loss_weights={"bc:TOP": 30.0, "bc:BOTTOM": 30.0},
-    ),
-}
+    _deprecated("experiment_a")
+    return scenario_experiment_a(
+        scale=scale, htc_bottom=htc_bottom, conductivity=conductivity,
+        dt_ref=dt_ref, seed=seed,
+    ).compile()
 
 
 def experiment_b(
@@ -203,98 +81,14 @@ def experiment_b(
     seed: int = 0,
     aligned: bool = True,
 ) -> ExperimentSetup:
-    """Sec. V-B: dual-input DeepOHeat over top/bottom HTCs.
+    """Deprecated shim for :func:`repro.api.scenario_experiment_b`."""
+    from ..api.presets import scenario_experiment_b
 
-    Chip 1x1x0.55 mm; a 0.05 mm-thick uniform volumetric layer dissipating
-    0.625 mW; convection on both top and bottom with HTCs sampled from
-    [333.33, 1000]^2; random collocation points redrawn per function
-    (aligned batching); pi-std Fourier features.
-    """
-    if scale not in _SCALES_B:
-        raise ValueError(f"unknown scale {scale!r}; choices: {sorted(_SCALES_B)}")
-    params = _SCALES_B[scale]
-    rng = np.random.default_rng(seed)
-    chip = paper_chip_b()
-
-    config = ChipConfig(
-        chip=chip,
-        conductivity=UniformConductivity(conductivity),
-        volumetric_power=UniformLayerPower.paper_experiment_b(chip),
-        bcs={
-            Face.TOP: ConvectionBC(500.0, T_AMB),
-            Face.BOTTOM: ConvectionBC(500.0, T_AMB),
-        },
-        t_ambient=T_AMB,
-    )
-    htc_top = HTCInput(Face.TOP, *htc_range, t_ambient=T_AMB)
-    htc_bottom = HTCInput(Face.BOTTOM, *htc_range, t_ambient=T_AMB)
-
-    q = params["q"]
-    branches = [
-        MLP([1] + params["branch"] + [q], activation="swish", rng=rng),
-        MLP([1] + params["branch"] + [q], activation="swish", rng=rng),
-    ]
-    fourier = FourierFeatures(
-        3, params["fourier_freqs"], std=params["fourier_std"], rng=rng
-    )
-    trunk_mlp = MLP(
-        [fourier.out_features] + params["trunk"] + [q],
-        activation="swish",
-        rng=rng,
-    )
-    net = MIONet(branches, TrunkNet(trunk_mlp, fourier))
-
-    model = DeepOHeat(
-        config,
-        [htc_top, htc_bottom],
-        net,
-        dt_ref=dt_ref,
-        loss_weights=params["loss_weights"],
-    )
-    plan = RandomCollocation(
-        chip,
-        model.nd,
-        n_interior=params["n_interior"],
-        n_per_face=params["n_per_face"],
-        aligned=aligned,
-        focus_band=params["focus_band"],
-    )
-    trainer_config = TrainerConfig(
-        iterations=params["iterations"],
-        n_functions=params["n_functions"],
-        learning_rate=1e-3,
-        decay_rate=0.9,
-        decay_every=params["decay_every"],
-        seed=seed,
-    )
-    eval_grid = StructuredGrid(chip, (21, 21, 12))
-    return ExperimentSetup(
-        name="experiment_b",
-        scale=scale,
-        model=model,
-        plan=plan,
-        trainer_config=trainer_config,
-        eval_grid=eval_grid,
-        description=(
-            "dual HTC inputs on TOP/BOTTOM over "
-            f"[{htc_range[0]:.2f}, {htc_range[1]:.2f}]^2; 0.625 mW volumetric "
-            f"layer; aligned={aligned}; scale={scale}"
-        ),
-    )
-
-
-_SCALES_V: Dict[str, Dict] = {
-    "ci": dict(
-        map_shape=(7, 7, 5), branch=[96] * 3, trunk=[64] * 3, q=48,
-        fourier_freqs=16, fourier_std=2.0, train_grid=(9, 9, 7),
-        iterations=1500, n_functions=10, decay_every=300,
-    ),
-    "test": dict(
-        map_shape=(4, 4, 3), branch=[24] * 2, trunk=[20] * 2, q=16,
-        fourier_freqs=6, fourier_std=1.0, train_grid=(5, 5, 4),
-        iterations=250, n_functions=5, decay_every=150,
-    ),
-}
+    _deprecated("experiment_b")
+    return scenario_experiment_b(
+        scale=scale, htc_range=htc_range, conductivity=conductivity,
+        dt_ref=dt_ref, seed=seed, aligned=aligned,
+    ).compile()
 
 
 def experiment_volumetric(
@@ -304,104 +98,14 @@ def experiment_volumetric(
     dt_ref: float = 10.0,
     seed: int = 0,
 ) -> ExperimentSetup:
-    """Future-work extension: a 3-D volumetric power map as operator input.
+    """Deprecated shim for :func:`repro.api.scenario_experiment_volumetric`."""
+    from ..api.presets import scenario_experiment_volumetric
 
-    The paper closes with "we will further investigate how DeepOHeat
-    performs ... in optimizing 3D power maps" (Sec. VI) and sketches the
-    encoding in Sec. IV-A ("identified by its values on three-dimensional
-    equispaced grid points").  This preset realises it: GRF-sampled
-    non-negative 3-D density maps heat the chip volumetrically; the chip is
-    cooled by convection on top and bottom.  There is no paper-scale
-    variant — the paper never ran this experiment.
-    """
-    if scale not in _SCALES_V:
-        raise ValueError(f"unknown scale {scale!r}; choices: {sorted(_SCALES_V)}")
-    params = _SCALES_V[scale]
-    rng = np.random.default_rng(seed)
-    chip = paper_chip_a()
-
-    config = ChipConfig(
-        chip=chip,
-        conductivity=UniformConductivity(conductivity),
-        bcs={
-            Face.TOP: ConvectionBC(500.0, T_AMB),
-            Face.BOTTOM: ConvectionBC(500.0, T_AMB),
-        },
-        t_ambient=T_AMB,
-    )
-    power_input = VolumetricPowerMapInput(
-        chip=chip,
-        map_shape=params["map_shape"],
-        unit_density=unit_density,
-        grf=GaussianRandomField3D(
-            params["map_shape"], length_scale=0.35, transform="softplus"
-        ),
-    )
-
-    q = params["q"]
-    branch = MLP(
-        [power_input.sensor_dim] + params["branch"] + [q],
-        activation="swish",
-        rng=rng,
-    )
-    fourier = FourierFeatures(
-        3, params["fourier_freqs"], std=params["fourier_std"], rng=rng
-    )
-    trunk_mlp = MLP(
-        [fourier.out_features] + params["trunk"] + [q],
-        activation="swish",
-        rng=rng,
-    )
-    net = MIONet([branch], TrunkNet(trunk_mlp, fourier))
-
-    model = DeepOHeat(config, [power_input], net, dt_ref=dt_ref)
-    plan = MeshCollocation(StructuredGrid(chip, params["train_grid"]), model.nd)
-    trainer_config = TrainerConfig(
-        iterations=params["iterations"],
-        n_functions=params["n_functions"],
-        learning_rate=1e-3,
-        decay_rate=0.9,
-        decay_every=params["decay_every"],
-        seed=seed,
-    )
-    eval_grid = StructuredGrid(chip, (13, 13, 9))
-    return ExperimentSetup(
-        name="experiment_volumetric",
-        scale=scale,
-        model=model,
-        plan=plan,
-        trainer_config=trainer_config,
-        eval_grid=eval_grid,
-        description=(
-            f"3D volumetric power map input {params['map_shape']} "
-            f"(paper future work); convection top+bottom; scale={scale}"
-        ),
-    )
-
-
-_SCALES_T: Dict[str, Dict] = {
-    # horizon: the chip's through-thickness diffusion time is
-    # rho_cp Lz^2 / k = 1.6e6 * (0.5 mm)^2 / 0.1 = 4 s and the lumped RC
-    # (capacity / convective conductance) is ~1.6 s, so a 4 s window
-    # shows the full step response including partial saturation.
-    # ic_weight: the IC anchor is the only *labelled* signal in the loss;
-    # up-weighting it keeps the rollout's starting point pinned while the
-    # PDE residual shapes the dynamics.
-    "ci": dict(
-        map_shape=(11, 11), n_time_sensors=12, branch=[96] * 3,
-        trunk=[64] * 3, q=48, fourier_freqs=20, fourier_std=2.0,
-        n_interior=384, n_per_face=48, n_initial=96, ic_grid=(9, 9, 6),
-        iterations=2200, n_functions=8, decay_every=300,
-        horizon=4.0, rho_cp=1.6e6, ic_weight=4.0,
-    ),
-    "test": dict(
-        map_shape=(5, 5), n_time_sensors=6, branch=[24] * 2,
-        trunk=[24] * 2, q=16, fourier_freqs=8, fourier_std=1.0,
-        n_interior=96, n_per_face=16, n_initial=32, ic_grid=(5, 5, 4),
-        iterations=400, n_functions=4, decay_every=150,
-        horizon=4.0, rho_cp=1.6e6, ic_weight=4.0,
-    ),
-}
+    _deprecated("experiment_volumetric")
+    return scenario_experiment_volumetric(
+        scale=scale, conductivity=conductivity, unit_density=unit_density,
+        dt_ref=dt_ref, seed=seed,
+    ).compile()
 
 
 def experiment_transient(
@@ -411,102 +115,11 @@ def experiment_transient(
     dt_ref: float = 10.0,
     seed: int = 0,
 ) -> ExperimentSetup:
-    """Transient extension: time-modulated power pulses on the chip top.
+    """Deprecated shim for :func:`repro.api.scenario_experiment_transient`."""
+    from ..api.presets import scenario_experiment_transient
 
-    The paper's governing equation (1) is transient but only its steady
-    limit (eq. 2) is trained; this preset trains the full equation.  The
-    experiment-A chip keeps its geometry, conductivity and cooling, the
-    single operator input becomes a (GRF map, power trace) pair
-    ``q(x, t) = map(x) * trace(t)``, the trunk consumes ``(x, y, z, t)``
-    and the loss adds the ``fo dThat/dthat`` stream plus a farm-anchored
-    initial-condition term.  Validation is against the theta-scheme
-    :class:`~repro.fdm.transient.TransientSolver` on held-out pulses
-    (see ``repro transient`` / :mod:`repro.experiments.exp_c`).
-    """
-    if scale not in _SCALES_T:
-        raise ValueError(f"unknown scale {scale!r}; choices: {sorted(_SCALES_T)}")
-    params = _SCALES_T[scale]
-    rng = np.random.default_rng(seed)
-    chip = paper_chip_a()
-
-    config = ChipConfig(
-        chip=chip,
-        conductivity=UniformConductivity(conductivity),
-        bcs={
-            Face.BOTTOM: ConvectionBC(htc_bottom, T_AMB),
-            **{face: AdiabaticBC() for face in
-               (Face.XMIN, Face.XMAX, Face.YMIN, Face.YMAX)},
-        },
-        t_ambient=T_AMB,
-    )
-    spec = TransientSpec(
-        rho_cp=params["rho_cp"],
-        horizon=params["horizon"],
-        ic_grid_shape=params["ic_grid"],
-    )
-    power_input = TransientPowerMapInput(
-        chip=chip,
-        horizon=spec.horizon,
-        face=Face.TOP,
-        map_shape=params["map_shape"],
-        n_time_sensors=params["n_time_sensors"],
-        unit_flux=2500.0,
-        grf=GaussianRandomField2D(params["map_shape"], length_scale=0.3),
-        traces=TraceFamily(),
-    )
-
-    q = params["q"]
-    branch = MLP(
-        [power_input.sensor_dim] + params["branch"] + [q],
-        activation="swish",
-        rng=rng,
-    )
-    fourier = FourierFeatures(
-        4, params["fourier_freqs"], std=params["fourier_std"], rng=rng
-    )
-    trunk_mlp = MLP(
-        [fourier.out_features] + params["trunk"] + [q],
-        activation="swish",
-        rng=rng,
-    )
-    net = MIONet([branch], TrunkNet(trunk_mlp, fourier))
-
-    model = DeepOHeat(
-        config,
-        [power_input],
-        net,
-        dt_ref=dt_ref,
-        loss_weights={"ic": params["ic_weight"]},
-        transient=spec,
-    )
-    plan = TransientCollocation(
-        chip,
-        model.nd,
-        horizon=spec.horizon,
-        n_interior=params["n_interior"],
-        n_per_face=params["n_per_face"],
-        n_initial=params["n_initial"],
-    )
-    trainer_config = TrainerConfig(
-        iterations=params["iterations"],
-        n_functions=params["n_functions"],
-        learning_rate=1e-3,
-        decay_rate=0.9,
-        decay_every=params["decay_every"],
-        seed=seed,
-    )
-    eval_grid = StructuredGrid(chip, (13, 13, 9))
-    return ExperimentSetup(
-        name="experiment_transient",
-        scale=scale,
-        model=model,
-        plan=plan,
-        trainer_config=trainer_config,
-        eval_grid=eval_grid,
-        description=(
-            f"time-modulated top power map {params['map_shape']} x "
-            f"{params['n_time_sensors']} trace sensors over a "
-            f"{params['horizon']:g} s window; convection bottom "
-            f"(h={htc_bottom} W/m^2K); scale={scale}"
-        ),
-    )
+    _deprecated("experiment_transient")
+    return scenario_experiment_transient(
+        scale=scale, htc_bottom=htc_bottom, conductivity=conductivity,
+        dt_ref=dt_ref, seed=seed,
+    ).compile()

@@ -12,7 +12,7 @@ Entry points:
 """
 
 from .frozen import FrozenDense, FrozenMIONet, FrozenMLP, FrozenTrunk
-from .surrogate import CacheInfo, CompiledSurrogate
+from .surrogate import CacheInfo, CompiledSurrogate, TrunkFeatureCache
 
 __all__ = [
     "CacheInfo",
@@ -21,4 +21,5 @@ __all__ = [
     "FrozenMIONet",
     "FrozenMLP",
     "FrozenTrunk",
+    "TrunkFeatureCache",
 ]

@@ -40,6 +40,49 @@ DesignBatch = Union[Sequence[Mapping[str, np.ndarray]], Mapping[str, np.ndarray]
 CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "entries", "max_entries"])
 
 
+class TrunkFeatureCache:
+    """LRU store of trunk-feature blocks, shareable across engines.
+
+    Keys already bind the point set *and* a digest of the trunk weights,
+    so one cache can safely back many :class:`CompiledSurrogate` engines
+    (e.g. a :class:`~repro.api.ThermalService` session serving several
+    scenarios): engines whose scenarios share a query grid and weights
+    hit each other's entries, everything else just coexists under LRU.
+    """
+
+    def __init__(self, max_entries: int = 8):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self._store: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: tuple) -> Optional[np.ndarray]:
+        cached = self._store.get(key)
+        if cached is None:
+            self._misses += 1
+            return None
+        self._hits += 1
+        self._store.move_to_end(key)
+        return cached
+
+    def put(self, key: tuple, value: np.ndarray) -> None:
+        self._store[key] = value
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(hits=self._hits, misses=self._misses,
+                         entries=len(self._store),
+                         max_entries=self.max_entries)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self._hits = 0
+        self._misses = 0
+
+
 class CompiledSurrogate:
     """A trained :class:`~repro.core.DeepOHeat`, compiled for serving.
 
@@ -57,6 +100,11 @@ class CompiledSurrogate:
         Trunk-feature cache capacity (LRU eviction).  Each entry holds an
         ``(n_points, q)`` float64 array, so a 21x21x11 grid with q=128
         costs ~5 MB.
+    cache:
+        An externally-owned :class:`TrunkFeatureCache` to use instead of
+        a private one — the sharing hook for multi-scenario sessions
+        (cache keys bind the trunk-weight digest, so sharing is safe).
+        ``max_cache_entries`` is ignored when given.
     """
 
     def __init__(
@@ -64,6 +112,7 @@ class CompiledSurrogate:
         model: "DeepOHeat",
         copy: bool = True,
         max_cache_entries: int = 8,
+        cache: Optional[TrunkFeatureCache] = None,
     ):
         if max_cache_entries < 1:
             raise ValueError("max_cache_entries must be >= 1")
@@ -72,10 +121,9 @@ class CompiledSurrogate:
         self.nd = model.nd
         self.transient = getattr(model, "transient", None)
         self.copied = bool(copy)
-        self._max_cache_entries = int(max_cache_entries)
-        self._cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
-        self._hits = 0
-        self._misses = 0
+        self._cache = cache if cache is not None else TrunkFeatureCache(
+            max_cache_entries
+        )
         # Snapshot engines are immutable: hash the trunk weights once.
         self._static_digest: Optional[str] = (
             self.net.trunk.digest() if copy else None
@@ -147,19 +195,14 @@ class CompiledSurrogate:
 
         cached = self._cache.get(key)
         if cached is not None:
-            self._hits += 1
-            self._cache.move_to_end(key)
             return cached
 
-        self._misses += 1
         points = grid.points() if grid is not None else points_si
         hat = self.nd.to_hat(points)
         if times is not None:
             hat = self._spacetime_hat(hat, times)
         features = self.net.trunk(hat)
-        self._cache[key] = features
-        while len(self._cache) > self._max_cache_entries:
-            self._cache.popitem(last=False)
+        self._cache.put(key, features)
         return features
 
     def _spacetime_hat(self, hat: np.ndarray, times: np.ndarray) -> np.ndarray:
@@ -183,17 +226,10 @@ class CompiledSurrogate:
         return self
 
     def cache_info(self) -> CacheInfo:
-        return CacheInfo(
-            hits=self._hits,
-            misses=self._misses,
-            entries=len(self._cache),
-            max_entries=self._max_cache_entries,
-        )
+        return self._cache.info()
 
     def clear_cache(self) -> None:
         self._cache.clear()
-        self._hits = 0
-        self._misses = 0
 
     # ------------------------------------------------------------------
     # Design encoding

@@ -1,41 +1,20 @@
 """Shared infrastructure for experiment drivers and benches.
 
 Training a CI-scale model takes minutes; benches and examples therefore
-share trained models through a small on-disk cache keyed by experiment
-name, scale and training budget.  Delete ``.model_cache/`` to force
-retraining.
+share trained models through the :class:`~repro.api.ThermalService`
+checkpoint registry, keyed by each scenario's *content digest* (so two
+workloads differing in any physical or training field can never alias).
+Delete ``.model_cache/`` to force retraining.
 """
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 from typing import Optional
 
-from ..core import (
-    ExperimentSetup,
-    experiment_a,
-    experiment_b,
-    experiment_transient,
-)
+from ..api.service import DEFAULT_CACHE_DIR
+from ..core.presets import ExperimentSetup
 from ..core.trainer import TrainingHistory
-
-DEFAULT_CACHE_DIR = Path(
-    os.environ.get("REPRO_MODEL_CACHE", Path(__file__).resolve().parents[3] / ".model_cache")
-)
-
-
-def _cache_path(cache_dir: Path, setup: ExperimentSetup) -> Path:
-    from .. import __version__
-
-    cfg = setup.trainer_config
-    # The package version participates in the key so preset/hyper-parameter
-    # changes between releases invalidate stale checkpoints.
-    key = (
-        f"{setup.name}-{setup.scale}-it{cfg.iterations}-nf{cfg.n_functions}"
-        f"-seed{cfg.seed}-p{setup.model.net.num_parameters()}-v{__version__}"
-    )
-    return cache_dir / f"{key}.npz"
 
 
 def get_trained_setup(
@@ -50,40 +29,20 @@ def get_trained_setup(
     Parameters
     ----------
     name:
-        ``"a"`` or ``"b"`` — the paper experiments — or ``"transient"``
-        (alias ``"c"``) for the time-dependent extension.
+        ``"a"`` or ``"b"`` — the paper experiments — ``"volumetric"``,
+        or ``"transient"`` (alias ``"c"``) for the time-dependent
+        extension.
     scale:
         Preset scale (``"test" | "ci" | "paper"``).
     """
-    if name == "a":
-        setup = experiment_a(scale=scale)
-    elif name == "b":
-        setup = experiment_b(scale=scale)
-    elif name in ("c", "transient"):
-        setup = experiment_transient(scale=scale)
-    else:
-        raise ValueError(
-            f"unknown experiment {name!r}; use 'a', 'b' or 'transient'"
-        )
+    from ..api import ThermalService, scenario_for
 
-    cache_dir = Path(cache_dir) if cache_dir else DEFAULT_CACHE_DIR
-    cache_dir.mkdir(parents=True, exist_ok=True)
-    path = _cache_path(cache_dir, setup)
-
-    if path.exists() and not force_retrain:
-        setup.model.load(path)
-        return setup
-
-    history = setup.make_trainer().run(verbose=verbose)
-    setup.model.save(
-        path,
-        meta={
-            "final_loss": history.final_loss,
-            "wall_time": history.wall_time,
-            "iterations": setup.trainer_config.iterations,
-        },
+    scenario = scenario_for(name, scale=scale)
+    service = ThermalService(
+        cache_dir=Path(cache_dir) if cache_dir else DEFAULT_CACHE_DIR
     )
-    return setup
+    service.train(scenario, force_retrain=force_retrain, verbose=verbose)
+    return service.setup(scenario)
 
 
 def train_fresh(setup: ExperimentSetup, verbose: bool = False) -> TrainingHistory:

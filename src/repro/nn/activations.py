@@ -279,6 +279,11 @@ _REGISTRY: Dict[str, type] = {
 }
 
 
+def activation_names():
+    """Sorted activation names resolvable by :func:`get_activation`."""
+    return sorted(_REGISTRY)
+
+
 def get_activation(spec) -> Activation:
     """Resolve an activation from a name or pass an instance through."""
     if isinstance(spec, Activation):

@@ -1,8 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
+
+SCENARIO_DIR = Path(__file__).resolve().parents[1] / "examples" / "scenarios"
 
 
 class TestInfo:
@@ -145,3 +150,126 @@ class TestSweep:
                      "--checkpoint", str(ckpt), "--designs", "4"]) == 0
         out = capsys.readouterr().out
         assert "trunk cache" in out
+
+    def test_sweep_json_output(self, tmp_path, capsys, monkeypatch):
+        import repro.experiments.common as common
+
+        monkeypatch.setattr(common, "DEFAULT_CACHE_DIR", tmp_path)
+        ckpt = tmp_path / "model.npz"
+        assert main(["train", "--experiment", "a", "--scale", "test",
+                     "--iterations", "3", "--output", str(ckpt),
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--experiment", "a", "--scale", "test",
+                     "--checkpoint", str(ckpt), "--designs", "5",
+                     "--chunk", "2", "--validate", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["designs"] == 5
+        assert len(payload["peaks_kelvin"]) == 5
+        assert payload["throughput_designs_per_s"] > 0
+        assert "digest" in payload and len(payload["digest"]) == 64
+        assert len(payload["validation"]["peak_errors"]) == 1
+
+
+class TestInfoJson:
+    def test_info_json_is_machine_readable(self, capsys):
+        assert main(["info", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario_schema_version"] == 1
+        assert set(payload["presets"]) == {"a", "b", "volumetric", "transient"}
+        assert "run" in payload["commands"]
+
+
+class TestValidateConfig:
+    def test_valid_shipped_scenario(self, capsys):
+        path = SCENARIO_DIR / "experiment_a_test.json"
+        assert main(["validate-config", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "content digest" in out
+
+    def test_invalid_scenario_lists_errors_nonzero_exit(self, tmp_path,
+                                                        capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({
+            "schema_version": 1, "name": "bad",
+            "inputs": [{"family": "power_map", "map_shape": [7, 7],
+                        "warp_drive": True}],
+            "network": {"branch_hidden": [[8]], "q": 0},
+        }))
+        assert main(["validate-config", str(bad)]) == 2
+        out = capsys.readouterr().out
+        assert "INVALID" in out
+        assert "warp_drive" in out
+        assert "q" in out
+
+    def test_wrong_schema_version(self, tmp_path, capsys):
+        bad = tmp_path / "future.json"
+        bad.write_text(json.dumps({"schema_version": 99, "name": "x"}))
+        assert main(["validate-config", str(bad)]) == 2
+        assert "schema_version" in capsys.readouterr().out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["validate-config", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().out
+
+
+class TestRunConfig:
+    @pytest.fixture()
+    def tiny_config(self, tmp_path):
+        from repro.api import scenario_for
+
+        scenario = scenario_for("a", scale="test")
+        scenario.name = "cli_run_smoke"
+        scenario.training.iterations = 5
+        path = tmp_path / "tiny.json"
+        scenario.to_json(path)
+        return path
+
+    def test_run_pipeline_end_to_end(self, tmp_path, capsys, monkeypatch,
+                                     tiny_config):
+        import repro.experiments.common as common
+
+        monkeypatch.setattr(common, "DEFAULT_CACHE_DIR", tmp_path / "cache")
+        assert main(["run", "--config", str(tiny_config),
+                     "--designs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "validate: ok" in out
+        assert "solve: peak" in out
+        assert "train: trained" in out
+        assert "pipeline ok" in out
+
+    def test_run_reuses_registry_on_second_invocation(self, tmp_path, capsys,
+                                                      monkeypatch,
+                                                      tiny_config):
+        import repro.experiments.common as common
+
+        monkeypatch.setattr(common, "DEFAULT_CACHE_DIR", tmp_path / "cache")
+        assert main(["run", "--config", str(tiny_config), "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["run", "--config", str(tiny_config), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["train"]["from_cache"] is True
+        assert payload["parity_ok"] is True
+        assert payload["serve"]["engine_parity_kelvin"] <= 1e-8
+
+    def test_run_transient_config(self, tmp_path, capsys, monkeypatch):
+        import repro.experiments.common as common
+        from repro.api import scenario_for
+
+        monkeypatch.setattr(common, "DEFAULT_CACHE_DIR", tmp_path / "cache")
+        scenario = scenario_for("transient", scale="test")
+        scenario.name = "cli_transient_smoke"
+        scenario.training.iterations = 3
+        path = tmp_path / "transient.json"
+        scenario.to_json(path)
+        assert main(["run", "--config", str(path), "--designs", "2",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["serve"]["mode"] == "rollout"
+        assert payload["parity_ok"] is True
+
+    def test_run_invalid_config_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["run", "--config", str(bad)]) == 2
+        assert "INVALID" in capsys.readouterr().err
