@@ -1,0 +1,246 @@
+"""Parallel execution layer benchmark: the three levers of ISSUE 6.
+
+PR 3 made one process fast (shared-operator farm); this bench pins the
+contract that lets the repo *scale out* without changing any answer:
+
+* ``SolveFarm.solve_many(workers=4)`` over a mixed-operator sweep must
+  deliver >= 2.5x the serial farm throughput (process sharding, each
+  worker owning the factorizations for its digests);
+* data-parallel training (``TrainerConfig.workers=4``) must reach
+  >= 1.8x serial iterations/s (collocation shards on worker processes,
+  gradients reduced in fixed order into the parent's Adam);
+* the threaded serving merge (``predict_batch(workers=4)``) is measured
+  and recorded (BLAS dgemm chunking; its win depends on matrix shape
+  and core count, so it is reported, not gated).
+
+Parity is *always* asserted, in every mode: sharded solves <= 1e-8 K
+from serial (they are in fact bitwise identical), data-parallel loss
+trajectories <= 1e-10 from serial, threaded serving <= 1e-8 K.  The
+speedup ratios are asserted only on machines with >= 4 cores and with
+``REPRO_SMOKE`` unset — on the 1-core CI runner process sharding can
+only add IPC overhead, and pretending otherwise would gate on noise.
+
+Run with ``pytest benchmarks/bench_parallel.py``; measured numbers land
+in ``benchmarks/out/parallel.txt`` (and the repo-root
+``BENCH_parallel.json`` records the committed perf trajectory).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+from conftest import SMOKE
+
+from repro.core import Trainer, TrainerConfig, experiment_a
+from repro.fdm import SolveFarm
+
+WORKER_LADDER = [1, 2, 4]
+N_DESIGNS = 8 if SMOKE else 32
+N_SERVE = 16 if SMOKE else 64
+TRAIN_ITERATIONS = 4 if SMOKE else 12
+TRAIN_FUNCTIONS = 4 if SMOKE else 8
+MIN_SOLVE_SPEEDUP = 2.5
+MIN_TRAIN_SPEEDUP = 1.8
+MAX_SOLVE_DEV_K = 1e-8
+MAX_LOSS_DRIFT = 1e-10
+MAX_SERVE_DEV_K = 1e-8
+
+#: ratios are only meaningful with real cores under the ladder.
+GATE_RATIOS = not SMOKE and (os.cpu_count() or 1) >= 4
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _sweep_problems(setup):
+    """Power-map sweep: one shared operator, N right-hand sides.
+
+    With one digest group the sharded farm splits the RHS block's
+    columns across workers — the hardest case for sharding to win,
+    since every worker must hold the same factorization.
+    """
+    rng = np.random.default_rng(7)
+    maps = setup.model.inputs[0].sample(rng, N_DESIGNS)
+    grid = setup.eval_grid
+    return [
+        setup.model.concrete_config({"power_map": power_map}).heat_problem(grid)
+        for power_map in maps
+    ]
+
+
+def test_parallel_levers(out_dir):
+    """The acceptance numbers: speedup-vs-workers, parity-gated."""
+    setup = experiment_a(scale="test" if SMOKE else "ci")
+    report = {
+        "cores": os.cpu_count() or 1,
+        "smoke": SMOKE,
+        "ratios_gated": GATE_RATIOS,
+        "workers": WORKER_LADDER,
+    }
+
+    # ------------------------------------------------------------------
+    # Lever (a): process-sharded solve farm.
+    # ------------------------------------------------------------------
+    problems = _sweep_problems(setup)
+    solve_seconds, solve_fields = {}, {}
+    for workers in WORKER_LADDER:
+        farm = SolveFarm(workers=workers)
+        try:
+            solutions, seconds = _timed(lambda: farm.solve_many(problems))
+        finally:
+            farm.close_pool()
+        solve_seconds[workers] = seconds
+        solve_fields[workers] = np.stack(
+            [solution.temperature for solution in solutions]
+        )
+    solve_dev = max(
+        float(np.abs(solve_fields[w] - solve_fields[1]).max())
+        for w in WORKER_LADDER[1:]
+    )
+    solve_speedup = {
+        w: solve_seconds[1] / max(solve_seconds[w], 1e-12)
+        for w in WORKER_LADDER
+    }
+    report["solve_many"] = {
+        "n_designs": N_DESIGNS,
+        "grid": list(setup.eval_grid.shape),
+        "seconds": {str(w): round(solve_seconds[w], 4) for w in WORKER_LADDER},
+        "speedup": {str(w): round(solve_speedup[w], 2) for w in WORKER_LADDER},
+        "max_abs_deviation_K": solve_dev,
+    }
+
+    # ------------------------------------------------------------------
+    # Lever (b): threaded serving merge.
+    # ------------------------------------------------------------------
+    rng = np.random.default_rng(11)
+    raws = setup.model.inputs[0].sample(rng, N_SERVE)
+    designs = [{"power_map": raws[i]} for i in range(N_SERVE)]
+    grid = setup.eval_grid
+    serve_seconds, serve_fields = {}, {}
+    for workers in WORKER_LADDER:
+        engine = setup.model.compile(workers=workers)
+        engine.predict_batch(designs[:2], grid)  # warm the trunk cache
+        fields, seconds = _timed(lambda: engine.predict_batch(designs, grid))
+        serve_seconds[workers] = seconds
+        serve_fields[workers] = fields
+    serve_dev = max(
+        float(np.abs(serve_fields[w] - serve_fields[1]).max())
+        for w in WORKER_LADDER[1:]
+    )
+    report["predict_batch"] = {
+        "n_designs": N_SERVE,
+        "seconds": {str(w): round(serve_seconds[w], 4) for w in WORKER_LADDER},
+        "speedup": {
+            str(w): round(serve_seconds[1] / max(serve_seconds[w], 1e-12), 2)
+            for w in WORKER_LADDER
+        },
+        "max_abs_deviation_K": serve_dev,
+    }
+
+    # ------------------------------------------------------------------
+    # Lever (c): data-parallel physics-informed training.
+    # ------------------------------------------------------------------
+    train_seconds, train_losses = {}, {}
+    for workers in WORKER_LADDER:
+        fresh = experiment_a(scale="test" if SMOKE else "ci", seed=0)
+        cfg = TrainerConfig(
+            iterations=TRAIN_ITERATIONS,
+            n_functions=TRAIN_FUNCTIONS,
+            log_every=max(1, TRAIN_ITERATIONS // 2),
+            seed=0,
+            workers=workers,
+        )
+        trainer = Trainer(fresh.model, fresh.plan, cfg)
+        history, seconds = _timed(lambda: trainer.run(verbose=False))
+        train_seconds[workers] = seconds
+        train_losses[workers] = list(history.total_loss)
+    loss_drift = max(
+        max(
+            abs(a - b)
+            for a, b in zip(train_losses[1], train_losses[w])
+        )
+        for w in WORKER_LADDER[1:]
+    )
+    train_speedup = {
+        w: train_seconds[1] / max(train_seconds[w], 1e-12)
+        for w in WORKER_LADDER
+    }
+    report["training"] = {
+        "iterations": TRAIN_ITERATIONS,
+        "n_functions": TRAIN_FUNCTIONS,
+        "seconds": {str(w): round(train_seconds[w], 4) for w in WORKER_LADDER},
+        "speedup": {str(w): round(train_speedup[w], 2) for w in WORKER_LADDER},
+        "max_loss_drift": loss_drift,
+    }
+
+    # ------------------------------------------------------------------
+    # Report + contracts.
+    # ------------------------------------------------------------------
+    lines = [
+        f"parallel execution levers (cores={report['cores']}, "
+        f"smoke={SMOKE}, ratios_gated={GATE_RATIOS})",
+    ]
+    for lever, unit in [
+        ("solve_many", "sharded farm"),
+        ("predict_batch", "threaded merge"),
+        ("training", "data-parallel"),
+    ]:
+        entry = report[lever]
+        ladder = "  ".join(
+            f"w={w}: {entry['seconds'][str(w)]:.3f}s "
+            f"({entry['speedup'][str(w)]:.2f}x)"
+            for w in WORKER_LADDER
+        )
+        lines.append(f"{lever:14s} ({unit:15s}): {ladder}")
+    lines += [
+        f"solve parity   : {solve_dev:10.3e} K",
+        f"serve parity   : {serve_dev:10.3e} K",
+        f"training drift : {loss_drift:10.3e}",
+        "",
+    ]
+    text = "\n".join(lines)
+    (out_dir / "parallel.txt").write_text(text)
+    (out_dir / "parallel.json").write_text(json.dumps(report, indent=2))
+    print("\n" + text)
+
+    # Parity is the contract in every mode; speed is gated on hardware.
+    assert solve_dev <= MAX_SOLVE_DEV_K, (
+        f"sharded solve deviates from serial by {solve_dev} K"
+    )
+    assert serve_dev <= MAX_SERVE_DEV_K, (
+        f"threaded serving deviates from serial by {serve_dev} K"
+    )
+    assert loss_drift <= MAX_LOSS_DRIFT, (
+        f"data-parallel training drifts from serial by {loss_drift}"
+    )
+    if GATE_RATIOS:
+        assert solve_speedup[4] >= MIN_SOLVE_SPEEDUP, (
+            f"sharded solve only {solve_speedup[4]:.2f}x on 4 workers"
+        )
+        assert train_speedup[4] >= MIN_TRAIN_SPEEDUP, (
+            f"data-parallel training only {train_speedup[4]:.2f}x on 4 workers"
+        )
+
+
+def test_crash_fallback_is_invisible(out_dir):
+    """Killing a pool worker mid-session must not change any answer."""
+    from repro.fdm import operator_digest
+    from repro.parallel import digest_owner
+
+    setup = experiment_a(scale="test")
+    problems = _sweep_problems(setup)[: min(N_DESIGNS, 8)]
+    reference = SolveFarm().solve_many(problems)
+    farm = SolveFarm(workers=2)
+    try:
+        farm.solve_many(problems)
+        owner = digest_owner(operator_digest(problems[0]), 2)
+        farm._pool.terminate_worker(owner)
+        recovered = farm.solve_many(problems)
+    finally:
+        farm.close_pool()
+    for lhs, rhs in zip(reference, recovered):
+        assert np.array_equal(lhs.temperature, rhs.temperature)

@@ -11,7 +11,11 @@ Runs in under a minute on a laptop CPU.  Pipeline:
 
 Usage::
 
-    python examples/quickstart.py [--scale test|ci]
+    python examples/quickstart.py [--scale test|ci] [--workers N]
+
+``--workers 4`` (or ``REPRO_WORKERS=4``) runs the same pipeline through
+the parallel execution layer — sharded reference solves, data-parallel
+training, threaded serving merges — with identical results.
 
 Scenarios are plain data: ``scenario.to_json("my.json")`` writes a spec
 you can edit and run with ``python -m repro run --config my.json`` — no
@@ -30,6 +34,10 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", default="test", choices=["test", "ci"],
                         help="preset scale (test: ~30 s, ci: ~3 min)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="parallel execution width (default: the "
+                             "REPRO_WORKERS env var, else serial); results "
+                             "are identical for any value")
     args = parser.parse_args()
 
     print(f"Building the Experiment-A scenario at {args.scale!r} scale ...")
@@ -37,7 +45,7 @@ def main() -> None:
     print(scenario.description)
     print(f"content digest: {scenario.content_digest()[:16]}")
 
-    service = ThermalService()
+    service = ThermalService(workers=args.workers)
     setup = service.setup(scenario)
     print(f"network parameters: {setup.model.net.num_parameters():,}")
 
@@ -67,6 +75,8 @@ def main() -> None:
     print(kv_block("accuracy vs reference", report.as_dict()))
     print()
     print(compare_fields_text(field_slice(predicted), field_slice(reference)))
+
+    service.close()  # release the worker pool, if --workers built one
 
     # The same model through the legacy (deprecated) imperative path:
     #

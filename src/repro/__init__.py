@@ -13,6 +13,9 @@ Thermal Simulation in 3D-IC Design" (DAC 2023) from scratch on numpy:
   versioned JSON) + ``ThermalService`` session façade; ``repro run``
 * :mod:`repro.engine` — compiled tape-free serving engine (batched sweeps,
   trunk-feature caching); ``DeepOHeat.compile()`` / ``repro sweep``
+* :mod:`repro.parallel`, :mod:`repro.backend` — parallel execution layer
+  (process-sharded solves, data-parallel training, threaded serving)
+  behind one ``workers=`` / ``REPRO_WORKERS`` knob; serial-identical
 * :mod:`repro.baselines` — PINN / data-driven / regression / POD baselines
 * :mod:`repro.analysis` — MAPE/PAPE metrics, timing, ASCII field rendering
 * :mod:`repro.floorplan` — thermal-aware floorplan optimisation example
@@ -30,6 +33,6 @@ New workloads are scenario JSON files, not code: see
 ``examples/scenarios/`` and ``python -m repro run --config <file>``.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["__version__"]

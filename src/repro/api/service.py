@@ -207,7 +207,12 @@ class CheckpointRegistry:
         path = self.path_for(scenario)
         meta = dict(meta or {})
         meta.setdefault("scenario_digest", scenario.content_digest())
-        model.save(path, meta=meta)
+        # Write-then-rename: a crash (or a concurrent writer) mid-save
+        # must never leave a truncated npz in the digest slot, where the
+        # next find() would load it as a valid checkpoint.
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        written = model.save(tmp, meta=meta)
+        os.replace(written, path)
         return path
 
     def load(self, scenario: ThermalScenario, model) -> Dict:
@@ -244,6 +249,15 @@ class ThermalService:
         Capacity of the session-wide trunk-feature cache every compiled
         engine shares (keys bind grid *and* weight digest, so scenarios
         sharing a query grid coexist safely).
+    workers:
+        Session-wide parallelism knob, threaded through every layer:
+        reference solves shard across a process pool (the service then
+        owns a private :class:`~repro.fdm.SolveFarm` rather than the
+        shared default), training runs data-parallel, and serving
+        threads its merge matmul.  ``None`` (default) defers each layer
+        to the ``REPRO_WORKERS`` environment variable; results are
+        identical for any value.  Call :meth:`close` to release the
+        solve pool.
     """
 
     def __init__(
@@ -251,6 +265,7 @@ class ThermalService:
         cache_dir: Optional[Union[str, Path]] = None,
         farm=None,
         trunk_cache_entries: int = 16,
+        workers: Optional[int] = None,
     ):
         from ..engine import TrunkFeatureCache
 
@@ -258,6 +273,7 @@ class ThermalService:
             Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
         )
         self._farm = farm
+        self.workers = workers
         self._trunk_cache = TrunkFeatureCache(trunk_cache_entries)
         self._sessions: Dict[str, _Session] = {}
 
@@ -267,10 +283,23 @@ class ThermalService:
     @property
     def farm(self):
         if self._farm is None:
-            from ..fdm import get_default_farm
+            if self.workers is not None:
+                from ..fdm import SolveFarm
 
-            self._farm = get_default_farm()
+                # A private farm: its worker pool (and the memory its
+                # workers' factorizations hold) belongs to this session,
+                # not to every other default-farm user in the process.
+                self._farm = SolveFarm(workers=self.workers)
+            else:
+                from ..fdm import get_default_farm
+
+                self._farm = get_default_farm()
         return self._farm
+
+    def close(self) -> None:
+        """Release session resources (the private farm's worker pool)."""
+        if self._farm is not None and hasattr(self._farm, "close_pool"):
+            self._farm.close_pool()
 
     def session(self, scenario: ThermalScenario) -> _Session:
         """The per-digest session (compiling the scenario on first use)."""
@@ -292,7 +321,7 @@ class ThermalService:
             # Live view: weights loaded/trained later stay visible, and
             # the digest-keyed trunk cache invalidates transparently.
             entry.engine = entry.setup.model.compile_with_cache(
-                self._trunk_cache
+                self._trunk_cache, workers=self.workers
             )
         return entry.engine
 
@@ -407,7 +436,10 @@ class ThermalService:
                 wall_time=float(wall_time) if wall_time is not None else None,
             )
 
-        history = entry.setup.make_trainer().run(verbose=verbose)
+        trainer = entry.setup.make_trainer()
+        if self.workers is not None:
+            trainer.config.workers = self.workers
+        history = trainer.run(verbose=verbose)
         meta = {
             "final_loss": history.final_loss,
             "wall_time": history.wall_time,

@@ -1,0 +1,198 @@
+"""Pluggable array-module seam: numpy today, GPU-shaped tomorrow.
+
+Every hot kernel in this reproduction bottoms out in a handful of dense
+array primitives — ``matmul`` above all.  Hard-coding ``numpy`` calls at
+each site would mean forking those kernels the day a GPU array module
+(cupy, jax.numpy) arrives; routing them through one seam means only
+this module changes.  The seam deliberately stays *tiny*: it is not an
+abstraction over all of numpy, just over the primitives the execution
+layer (:mod:`repro.parallel`, the serving engine, the trainer) actually
+dispatches.
+
+The one capability the numpy backend adds over raw ``numpy`` is
+**threaded chunked matmul** (:meth:`ArrayBackend.matmul_chunked`):
+``A (m, k) @ B (k, n)`` split into contiguous row blocks of ``A``, each
+dispatched to a worker thread.  numpy's dgemm releases the GIL, so the
+blocks genuinely overlap on multicore hosts while ``B`` is shared
+read-only — the "threaded batched BLAS" lever of the parallel execution
+layer.  With ``workers <= 1`` the call degenerates to a single ``a @ b``
+(bitwise-identical to the historical code path).
+
+Usage::
+
+    from repro.backend import get_backend
+    out = get_backend().matmul_chunked(a, b, workers=4)
+
+``set_backend``/``use_backend`` swap the active backend (a future GPU
+backend would implement the same surface and ignore ``workers``).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "row_chunks",
+]
+
+
+def row_chunks(n_rows: int, workers: int) -> List[Tuple[int, int]]:
+    """Contiguous ``(lo, hi)`` row blocks, one per worker, sizes within 1.
+
+    The split depends only on ``(n_rows, workers)`` — never on load or
+    timing — so a chunked computation is deterministic for a fixed
+    worker count.
+    """
+    workers = max(1, min(int(workers), int(n_rows)))
+    sizes = np.full(workers, n_rows // workers, dtype=int)
+    sizes[: n_rows % workers] += 1
+    bounds = np.concatenate([[0], np.cumsum(sizes)])
+    return [(int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:])]
+
+
+class ArrayBackend:
+    """The primitive surface the execution layer dispatches through.
+
+    Subclasses provide an array module (``xp``) plus the few fused /
+    parallel primitives the hot paths need.  All inputs and outputs are
+    host ndarrays for the numpy backend; a device backend would accept
+    and return its own array type and implement ``to_numpy``.
+    """
+
+    name = "abstract"
+    xp = None  # the array module (numpy for NumpyBackend)
+
+    def asarray(self, array, dtype=np.float64):
+        raise NotImplementedError
+
+    def to_numpy(self, array) -> np.ndarray:
+        raise NotImplementedError
+
+    def empty(self, shape, dtype=np.float64):
+        raise NotImplementedError
+
+    def matmul(self, a, b, out=None):
+        raise NotImplementedError
+
+    def matmul_chunked(self, a, b, workers: int = 1, out=None):
+        raise NotImplementedError
+
+    def synchronize(self) -> None:
+        """Barrier for asynchronous backends (no-op on numpy)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NumpyBackend(ArrayBackend):
+    """Host backend: plain numpy plus a GIL-releasing threaded dgemm.
+
+    A single long-lived :class:`ThreadPoolExecutor` is shared by every
+    chunked call (grown on demand, never shrunk): thread-pool spin-up is
+    tens of microseconds, which would otherwise be paid inside serving
+    calls that only take a few milliseconds.
+    """
+
+    name = "numpy"
+    xp = np
+
+    #: below this many rows a chunked matmul is not worth the dispatch.
+    min_chunk_rows = 2
+
+    def __init__(self) -> None:
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_size = 0
+        self._lock = threading.Lock()
+
+    # -- trivial primitives -------------------------------------------
+    def asarray(self, array, dtype=np.float64):
+        return np.asarray(array, dtype=dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        return np.asarray(array)
+
+    def empty(self, shape, dtype=np.float64):
+        return np.empty(shape, dtype=dtype)
+
+    def matmul(self, a, b, out=None):
+        return np.matmul(a, b, out=out)
+
+    # -- threaded chunked gemm ----------------------------------------
+    def _pool(self, workers: int) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None or self._executor_size < workers:
+                if self._executor is not None:
+                    self._executor.shutdown(wait=False)
+                self._executor = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-gemm"
+                )
+                self._executor_size = workers
+            return self._executor
+
+    def matmul_chunked(self, a, b, workers: int = 1, out=None):
+        """``a @ b`` with rows of ``a`` sharded across worker threads.
+
+        Each thread runs ``np.matmul`` on its contiguous row block with
+        ``out=`` aliasing a disjoint slice of the result, so no
+        post-merge copy is needed and the only shared state (``b``) is
+        read-only.  ``workers <= 1`` (or too few rows to split) falls
+        back to one plain ``a @ b`` — the exact historical expression.
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        m = a.shape[0]
+        workers = max(1, int(workers))
+        if workers <= 1 or m < 2 * self.min_chunk_rows:
+            if out is None:
+                return a @ b
+            return np.matmul(a, b, out=out)
+        if out is None:
+            out = np.empty((m, b.shape[1]), dtype=np.result_type(a, b))
+        chunks = row_chunks(m, workers)
+        pool = self._pool(len(chunks))
+        futures = [
+            pool.submit(np.matmul, a[lo:hi], b, out=out[lo:hi])
+            for lo, hi in chunks
+        ]
+        for future in futures:
+            future.result()
+        return out
+
+
+_backend: ArrayBackend = NumpyBackend()
+_backend_lock = threading.Lock()
+
+
+def get_backend() -> ArrayBackend:
+    """The process-wide active backend (numpy unless swapped)."""
+    return _backend
+
+
+def set_backend(backend: ArrayBackend) -> ArrayBackend:
+    """Install ``backend`` as the active one; returns the previous."""
+    global _backend
+    if not isinstance(backend, ArrayBackend):
+        raise TypeError(f"expected an ArrayBackend, got {type(backend).__name__}")
+    with _backend_lock:
+        previous, _backend = _backend, backend
+    return previous
+
+
+@contextmanager
+def use_backend(backend: ArrayBackend) -> Iterator[ArrayBackend]:
+    """Temporarily swap the active backend (tests; benchmarking)."""
+    previous = set_backend(backend)
+    try:
+        yield backend
+    finally:
+        set_backend(previous)

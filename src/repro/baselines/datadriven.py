@@ -21,6 +21,7 @@ from ..core.model import DeepOHeat
 from ..fdm import SolveFarm, get_default_farm
 from ..geometry import StructuredGrid
 from ..nn import Adam, paper_schedule
+from ..parallel import spawn_seeds
 
 
 @dataclass
@@ -41,8 +42,10 @@ def generate_dataset(
     model: DeepOHeat,
     grid: StructuredGrid,
     n_samples: int,
-    rng: np.random.Generator,
+    rng: Optional[np.random.Generator] = None,
     farm: Optional[SolveFarm] = None,
+    seed: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> SupervisedDataset:
     """Label random configurations with the FDM reference solver.
 
@@ -52,19 +55,44 @@ def generate_dataset(
     their power map share a single assembly + factorization and solve as
     one block of right-hand sides, which is where the data-generation
     speedup lives (see PAPERS.md on block-Krylov data generation).
+
+    Pass exactly one of ``rng`` (the historical shared-stream sampling)
+    or ``seed``: with ``seed``, each fixed 256-sample chunk draws from
+    its own :func:`~repro.parallel.spawn_seeds` child stream — keyed to
+    the chunk, never the worker — so the dataset is bitwise identical
+    for any ``workers`` value.  ``workers`` > 1 shards the farm solves
+    across processes (see :meth:`~repro.fdm.SolveFarm.solve_many`).
     """
-    raw_batches = [
-        config_input.sample(rng, n_samples) for config_input in model.inputs
-    ]
-    points = grid.points()
-    farm = farm if farm is not None else get_default_farm()
-    fields = np.empty((n_samples, points.shape[0]))
+    if (rng is None) == (seed is None):
+        raise ValueError("pass exactly one of rng= or seed=")
     # Chunked streaming keeps peak memory at O(chunk) solutions while the
     # farm's operator cache still amortises across every chunk.
     chunk = 256
+    bounds = [
+        (lo, min(n_samples, lo + chunk)) for lo in range(0, n_samples, chunk)
+    ]
+    if seed is not None:
+        chunk_rngs = [
+            np.random.default_rng(s) for s in spawn_seeds(seed, len(bounds))
+        ]
+        raw_chunks = [
+            [config_input.sample(chunk_rng, hi - lo)
+             for config_input in model.inputs]
+            for chunk_rng, (lo, hi) in zip(chunk_rngs, bounds)
+        ]
+        raw_batches = [
+            np.concatenate([chunk_raws[i] for chunk_raws in raw_chunks], axis=0)
+            for i in range(len(model.inputs))
+        ]
+    else:
+        raw_batches = [
+            config_input.sample(rng, n_samples) for config_input in model.inputs
+        ]
+    points = grid.points()
+    farm = farm if farm is not None else get_default_farm()
+    fields = np.empty((n_samples, points.shape[0]))
     start = time.perf_counter()
-    for lo in range(0, n_samples, chunk):
-        hi = min(n_samples, lo + chunk)
+    for lo, hi in bounds:
         problems = [
             model.concrete_config(
                 {
@@ -74,7 +102,8 @@ def generate_dataset(
             ).heat_problem(grid)
             for index in range(lo, hi)
         ]
-        for index, solution in zip(range(lo, hi), farm.solve_many(problems)):
+        solutions = farm.solve_many(problems, workers=workers)
+        for index, solution in zip(range(lo, hi), solutions):
             fields[index] = model.nd.temp_to_hat(solution.temperature)
     elapsed = time.perf_counter() - start
     return SupervisedDataset(

@@ -34,6 +34,13 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="DeepOHeat reproduction (DAC 2023) command-line tools",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="parallel execution width: worker processes for FDM solves and "
+             "training shards, threads for serving matmuls (default: the "
+             "REPRO_WORKERS env var, else 1; 0 means all cores). Give it "
+             "before the subcommand: repro --workers 4 solve ...",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     info = subparsers.add_parser("info", help="show version and preset inventory")
@@ -149,7 +156,7 @@ def _build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 # Shared plumbing
 # ----------------------------------------------------------------------
-def _service():
+def _service(workers: Optional[int] = None):
     """A service session rooted at the shared model cache.
 
     Reads ``DEFAULT_CACHE_DIR`` through :mod:`repro.experiments.common`
@@ -159,7 +166,7 @@ def _service():
     from .api import ThermalService
     from .experiments import common
 
-    return ThermalService(cache_dir=common.DEFAULT_CACHE_DIR)
+    return ThermalService(cache_dir=common.DEFAULT_CACHE_DIR, workers=workers)
 
 
 def _trained(service, name: str, scale: str, checkpoint: Optional[str]):
@@ -230,7 +237,7 @@ def _cmd_solve(args) -> int:
     from .api import scenario_for
     from .power import paper_test_suite, tiles_to_grid
 
-    service = _service()
+    service = _service(args.workers)
     scenario = scenario_for(args.experiment, scale="ci")
     setup = service.setup(scenario)
 
@@ -286,7 +293,7 @@ def _cmd_train(args) -> int:
     if args.seed:
         scenario.training.seed = args.seed
 
-    service = _service()
+    service = _service(args.workers)
     setup = service.setup(scenario)
     print(f"training {setup.name} ({setup.scale}): {setup.description}")
     print(model_summary(setup.model))
@@ -310,7 +317,7 @@ def _cmd_evaluate(args) -> int:
     from .analysis import format_table
     from .experiments import run_experiment_a, run_experiment_b
 
-    _, setup = _trained(_service(), args.experiment, args.scale,
+    _, setup = _trained(_service(args.workers), args.experiment, args.scale,
                         args.checkpoint)
 
     if args.experiment == "a":
@@ -349,7 +356,7 @@ def _cmd_sweep(args) -> int:
 
     from .analysis import kv_block, model_summary
 
-    service = _service()
+    service = _service(args.workers)
     scenario, setup = _trained(service, args.experiment, args.scale,
                                args.checkpoint)
     result = service.sweep(
@@ -449,7 +456,7 @@ def _cmd_sweep(args) -> int:
 def _cmd_transient(args) -> int:
     from .experiments import run_experiment_c
 
-    service = _service()
+    service = _service(args.workers)
     _, setup = _trained(service, "transient", args.scale, args.checkpoint)
 
     result = run_experiment_c(
@@ -507,7 +514,7 @@ def _cmd_run(args) -> int:
             print(f"  - {error}", file=sys.stderr)
         return 2
 
-    service = _service()
+    service = _service(args.workers)
     report = {
         "config": args.config,
         "scenario": scenario.name,

@@ -9,6 +9,8 @@ driven, which is the paper's headline practicality claim.
 
 from __future__ import annotations
 
+import logging
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -16,9 +18,14 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from .. import autodiff as ad
+from ..backend import row_chunks
 from ..nn import Adam, ExponentialDecay, clip_grad_norm
+from ..parallel import PersistentPool, WorkerCrashed, resolve_workers, spawn_seeds
+from ..parallel.trainwork import seed_worker, train_shard_step, train_worker_init
 from .model import DeepOHeat
-from .sampler import CollocationPlan
+from .sampler import CollocationBatch, CollocationPlan
+
+logger = logging.getLogger("repro.core.trainer")
 
 
 @dataclass
@@ -30,6 +37,12 @@ class TrainerConfig:
     component's (raw) magnitude, EMA-smoothed and clamped, so that no
     single residual — e.g. a stiff volumetric source — monopolises the
     gradient signal.  Off by default (the paper uses the plain eq.-11 sum).
+
+    ``workers`` enables data-parallel training: the sampled configurations
+    shard across worker-process model replicas, whose losses and gradients
+    recombine as the exact function-axis decomposition of the serial loss
+    (resolved via :func:`~repro.parallel.resolve_workers`; ``None`` defers
+    to ``REPRO_WORKERS``, 1 is the untouched serial loop).
     """
 
     iterations: int = 1000
@@ -47,6 +60,7 @@ class TrainerConfig:
     # False falls back to the legacy per-axis tape chains — the reference
     # path the fused-kernel parity tests and benchmarks compare against.
     stacked: bool = True
+    workers: Optional[int] = None
 
     def schedule(self) -> ExponentialDecay:
         return ExponentialDecay(
@@ -127,7 +141,41 @@ class Trainer:
 
         ``callback(iteration, total, components)`` fires every
         ``log_every`` iterations (and on the last one).
+
+        With ``config.workers`` resolving above 1 the run is
+        data-parallel (see :meth:`_run_sharded`); any failure to bring
+        the worker pool up falls back to the serial loop with a warning
+        rather than aborting the run.
         """
+        cfg = self.config
+        workers = min(resolve_workers(cfg.workers), cfg.n_functions)
+        if workers > 1:
+            pool = None
+            try:
+                pool = PersistentPool(
+                    workers,
+                    initializer=train_worker_init,
+                    init_args=(pickle.dumps(self.model),),
+                )
+                for index, seed in enumerate(spawn_seeds(cfg.seed, workers)):
+                    pool.run_on(index, seed_worker, seed)
+            except WorkerCrashed as exc:
+                logger.warning(
+                    "training pool failed to start (%s); running serially", exc
+                )
+                if pool is not None:
+                    pool.close()
+                pool = None
+            if pool is not None:
+                return self._run_sharded(pool, workers, callback, verbose)
+        return self._run_serial(callback, verbose)
+
+    def _run_serial(
+        self,
+        callback: Optional[Callable[[int, float, Dict[str, float]], None]] = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """The historical single-process loop (the workers<=1 path)."""
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         params = self.model.net.parameters()
@@ -166,6 +214,157 @@ class Trainer:
                     print(f"[{iteration:5d}] loss={total.item():.4e} {part_text}")
         history.wall_time = time.perf_counter() - start
         return history
+
+    def _run_sharded(
+        self,
+        pool: PersistentPool,
+        workers: int,
+        callback: Optional[Callable[[int, float, Dict[str, float]], None]],
+        verbose: bool,
+    ) -> TrainingHistory:
+        """Data-parallel run: configuration shards on worker replicas.
+
+        Sampling stays in the parent and consumes the RNG stream exactly
+        as the serial loop does, so the drawn configurations and
+        collocation batches are identical for any worker count.  Each
+        iteration broadcasts the current parameters, evaluates shard
+        losses/gradients on the replicas, and recombines them weighted by
+        each shard's share of the function batch, in fixed shard order —
+        the exact function-axis decomposition of the serial loss, so
+        results differ from serial only by float summation order.  The
+        optimizer step, clipping, schedule and history live in the
+        parent, untouched.  A worker crash demotes the rest of the run to
+        the serial step (with a logged warning); completed iterations are
+        kept.
+        """
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        params = self.model.net.parameters()
+        optimizer = Adam(params, lr=cfg.learning_rate)
+        schedule = cfg.schedule()
+        history = TrainingHistory()
+        bounds = row_chunks(cfg.n_functions, workers)
+        shares = [(hi - lo) / cfg.n_functions for lo, hi in bounds]
+        last_batch = None
+        token = 0
+
+        start = time.perf_counter()
+        try:
+            for iteration in range(cfg.iterations):
+                raws = [
+                    config_input.sample(rng, cfg.n_functions)
+                    for config_input in self.model.inputs
+                ]
+                batch = self.plan.batch(rng, cfg.n_functions)
+                total: Optional[float] = None
+                if pool is not None:
+                    # Shared-point batches cross the pipe once (fixed-mesh
+                    # plans reuse one object, keeping the replicas' geometry
+                    # caches hot); aligned batches carry per-function points
+                    # and are sliced to each shard every iteration.
+                    ship = batch.aligned or batch is not last_batch
+                    if ship:
+                        token += 1
+                        last_batch = batch
+                    param_arrays = [param.data for param in params]
+                    weights = (
+                        dict(self.model.builder.weights)
+                        if cfg.balance_every
+                        else None
+                    )
+                    try:
+                        tickets = []
+                        for worker, (lo, hi) in enumerate(bounds):
+                            if not ship:
+                                send = None
+                            elif batch.aligned:
+                                send = self._slice_batch(batch, lo, hi)
+                            else:
+                                send = batch
+                            tickets.append(
+                                pool.submit(
+                                    worker,
+                                    train_shard_step,
+                                    param_arrays,
+                                    [raw[lo:hi] for raw in raws],
+                                    send,
+                                    token,
+                                    weights,
+                                    cfg.stacked,
+                                )
+                            )
+                        total = 0.0
+                        parts: Dict[str, float] = {}
+                        grad_arrays: Optional[List[np.ndarray]] = None
+                        for share, ticket in zip(shares, tickets):
+                            shard_total, shard_parts, shard_grads = pool.result(
+                                ticket
+                            )
+                            total += share * shard_total
+                            for name, value in shard_parts.items():
+                                parts[name] = parts.get(name, 0.0) + share * value
+                            # Rebuild rather than `acc += ...`: scalar
+                            # parameters (the MIONet bias) carry 0-d grads,
+                            # for which in-place += silently rebinds.
+                            if grad_arrays is None:
+                                grad_arrays = [share * g for g in shard_grads]
+                            else:
+                                grad_arrays = [
+                                    acc + share * g
+                                    for acc, g in zip(grad_arrays, shard_grads)
+                                ]
+                    except WorkerCrashed as exc:
+                        logger.warning(
+                            "training pool worker crashed (%s); finishing the "
+                            "run serially",
+                            exc,
+                        )
+                        pool.close()
+                        pool = None
+                        total = None
+                if total is None:
+                    loss, parts = self.model.compute_loss(
+                        raws, batch, stacked=cfg.stacked
+                    )
+                    grads = ad.grad(loss, params)
+                    grad_arrays = [g.data for g in grads]
+                    total = loss.item()
+                if cfg.balance_every and iteration % cfg.balance_every == 0:
+                    self._rebalance(parts)
+                if cfg.clip_norm is not None:
+                    grad_arrays = clip_grad_norm(grad_arrays, cfg.clip_norm)
+                optimizer.lr = schedule(iteration)
+                optimizer.step(grad_arrays)
+
+                is_log_step = (
+                    iteration % cfg.log_every == 0
+                    or iteration == cfg.iterations - 1
+                )
+                if is_log_step:
+                    history.record(iteration, total, parts, optimizer.lr)
+                    if callback is not None:
+                        callback(iteration, total, parts)
+                    if verbose:
+                        part_text = " ".join(
+                            f"{k}={v:.3e}" for k, v in sorted(parts.items())
+                        )
+                        print(f"[{iteration:5d}] loss={total:.4e} {part_text}")
+        finally:
+            if pool is not None:
+                pool.close()
+        history.wall_time = time.perf_counter() - start
+        return history
+
+    @staticmethod
+    def _slice_batch(batch: CollocationBatch, lo: int, hi: int) -> CollocationBatch:
+        """An aligned batch's rows for one function shard."""
+        return CollocationBatch(
+            hat={region: points[lo:hi] for region, points in batch.hat.items()},
+            si={region: points[lo:hi] for region, points in batch.si.items()},
+            aligned=True,
+            dedup_base=batch.dedup_base,
+            dedup_indices=batch.dedup_indices,
+        )
 
     def _rebalance(self, parts: Dict[str, float]) -> None:
         """Move loss weights toward inverse component magnitudes.

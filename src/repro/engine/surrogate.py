@@ -22,6 +22,7 @@ one matmul, instead of 10k full network evaluations.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict, namedtuple
 from typing import TYPE_CHECKING, List, Mapping, Optional, Sequence, Union
 
@@ -30,6 +31,7 @@ import hashlib
 import numpy as np
 
 from ..geometry import StructuredGrid
+from ..parallel import resolve_workers
 from .frozen import FrozenMIONet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports engine)
@@ -48,6 +50,10 @@ class TrunkFeatureCache:
     (e.g. a :class:`~repro.api.ThermalService` session serving several
     scenarios): engines whose scenarios share a query grid and weights
     hit each other's entries, everything else just coexists under LRU.
+
+    Lookup, insert and eviction run under a lock, so concurrent serving
+    threads can share one cache (at worst a race computes a feature
+    block twice; it never corrupts the LRU ordering).
     """
 
     def __init__(self, max_entries: int = 8):
@@ -57,30 +63,35 @@ class TrunkFeatureCache:
         self._store: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._lock = threading.Lock()
 
     def get(self, key: tuple) -> Optional[np.ndarray]:
-        cached = self._store.get(key)
-        if cached is None:
-            self._misses += 1
-            return None
-        self._hits += 1
-        self._store.move_to_end(key)
-        return cached
+        with self._lock:
+            cached = self._store.get(key)
+            if cached is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            self._store.move_to_end(key)
+            return cached
 
     def put(self, key: tuple, value: np.ndarray) -> None:
-        self._store[key] = value
-        while len(self._store) > self.max_entries:
-            self._store.popitem(last=False)
+        with self._lock:
+            self._store[key] = value
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
 
     def info(self) -> CacheInfo:
-        return CacheInfo(hits=self._hits, misses=self._misses,
-                         entries=len(self._store),
-                         max_entries=self.max_entries)
+        with self._lock:
+            return CacheInfo(hits=self._hits, misses=self._misses,
+                             entries=len(self._store),
+                             max_entries=self.max_entries)
 
     def clear(self) -> None:
-        self._store.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._lock:
+            self._store.clear()
+            self._hits = 0
+            self._misses = 0
 
 
 class CompiledSurrogate:
@@ -105,6 +116,11 @@ class CompiledSurrogate:
         a private one — the sharing hook for multi-scenario sessions
         (cache keys bind the trunk-weight digest, so sharing is safe).
         ``max_cache_entries`` is ignored when given.
+    workers:
+        Default thread count for the design-axis merge matmul in
+        :meth:`predict_batch` / :meth:`predict_rollout` (resolved via
+        :func:`~repro.parallel.resolve_workers`; ``None`` defers to
+        ``REPRO_WORKERS``, 1 is the exact legacy expression).
     """
 
     def __init__(
@@ -113,6 +129,7 @@ class CompiledSurrogate:
         copy: bool = True,
         max_cache_entries: int = 8,
         cache: Optional[TrunkFeatureCache] = None,
+        workers: Optional[int] = None,
     ):
         if max_cache_entries < 1:
             raise ValueError("max_cache_entries must be >= 1")
@@ -121,6 +138,7 @@ class CompiledSurrogate:
         self.nd = model.nd
         self.transient = getattr(model, "transient", None)
         self.copied = bool(copy)
+        self.workers = workers
         self._cache = cache if cache is not None else TrunkFeatureCache(
             max_cache_entries
         )
@@ -286,19 +304,26 @@ class CompiledSurrogate:
         grid: Optional[StructuredGrid] = None,
         points_si: Optional[np.ndarray] = None,
         t: Optional[float] = None,
+        workers: Optional[int] = None,
     ) -> np.ndarray:
         """Temperatures (kelvin) for every design, shape ``(B, n_points)``.
 
         Transient engines evaluate at one instant ``t`` (seconds);
-        steady engines must not pass it.
+        steady engines must not pass it.  ``workers`` (default: the
+        engine's constructor knob) > 1 threads the merge matmul over the
+        design axis.
         """
         if t is not None:
             return self.predict_rollout(
-                designs, [float(t)], grid=grid, points_si=points_si
+                designs, [float(t)], grid=grid, points_si=points_si,
+                workers=workers,
             )[:, 0, :]
         trunk = self.trunk_features(grid=grid, points_si=points_si)
         features = self.net.branch_features(self.encode_designs(designs))
-        return self.nd.temp_to_si(self.net.combine(features, trunk))
+        effective = resolve_workers(self.workers if workers is None else workers)
+        return self.nd.temp_to_si(
+            self.net.combine(features, trunk, workers=effective)
+        )
 
     def predict(
         self,
@@ -316,6 +341,7 @@ class CompiledSurrogate:
         times: np.ndarray,
         grid: Optional[StructuredGrid] = None,
         points_si: Optional[np.ndarray] = None,
+        workers: Optional[int] = None,
     ) -> np.ndarray:
         """Temperature rollout over ``times`` (s): ``(B, n_times, n_points)``.
 
@@ -324,14 +350,18 @@ class CompiledSurrogate:
         every design batch replayed on the same time grid), branch nets
         run once per design, and the whole rollout is a single
         ``(B, q) @ (q, K * N)`` matmul — cost per additional design is
-        one branch forward regardless of horizon length.
+        one branch forward regardless of horizon length.  ``workers`` > 1
+        threads that matmul over the design axis.
         """
         if self.transient is None:
             raise ValueError("predict_rollout requires a transient model")
         times = np.atleast_1d(np.asarray(times, dtype=np.float64))
         trunk = self.trunk_features(grid=grid, points_si=points_si, times=times)
         features = self.net.branch_features(self.encode_designs(designs))
-        flat = self.nd.temp_to_si(self.net.combine(features, trunk))
+        effective = resolve_workers(self.workers if workers is None else workers)
+        flat = self.nd.temp_to_si(
+            self.net.combine(features, trunk, workers=effective)
+        )
         n_designs = features.shape[0]
         n_times = times.shape[0]
         return flat.reshape(n_designs, n_times, -1)

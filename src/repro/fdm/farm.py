@@ -20,7 +20,18 @@ The farm amortises the expensive half:
   assembly plus one back-substitution;
 * ``method="cg"`` switches to a block conjugate-gradient path (Jacobi
   symmetric scaling, vectorised over the K right-hand sides) for the
-  mesh-scaling regime where factorization memory is the constraint.
+  mesh-scaling regime where factorization memory is the constraint;
+* with ``workers > 1`` (constructor knob, per-call override, or the
+  ``REPRO_WORKERS`` environment variable) the block solves shard across
+  a persistent process pool: the parent still owns problem objects and
+  assembly (design closures cannot cross a process boundary), while each
+  worker owns the factorizations for the operator digests
+  :func:`~repro.parallel.digest_owner` routes to it.  An operator matrix
+  crosses the pipe at most once per (worker, digest); afterwards only
+  RHS blocks stream.  A crashed worker demotes the farm to the serial
+  path for the rest of its life (with a logged warning) — results are
+  identical either way, because workers run the same ``splu`` / block-CG
+  kernels on the same matrices.
 
 Numerics are unchanged: every solution carries the same
 :class:`~repro.fdm.solver.EnergyReport` audit as the per-design path, and
@@ -29,6 +40,8 @@ the test-suite pins cache-hit solves bitwise against cold-cache solves.
 
 from __future__ import annotations
 
+import logging
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -38,6 +51,9 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from ..backend import row_chunks
+from ..parallel import PersistentPool, WorkerCrashed, digest_owner, resolve_workers
+from ..parallel.farmwork import solve_chunk, solve_worker_init
 from .assembly import (
     AssembledSystem,
     HeatProblem,
@@ -48,6 +64,8 @@ from .assembly import (
     operator_digest,
 )
 from .solver import ThermalSolution, energy_report
+
+logger = logging.getLogger("repro.fdm.farm")
 
 
 @dataclass
@@ -146,35 +164,51 @@ class SolveFarm:
         factorization) to keep alive.  Each cached direct-solve operator
         holds a SuperLU factorization, so memory scales with
         ``max_operators * fill(n)``.
+    workers:
+        Default worker count for :meth:`solve_many`'s sharded path
+        (resolved via :func:`~repro.parallel.resolve_workers`: ``None``
+        defers to ``REPRO_WORKERS``, ``0`` means all cores, 1 is the
+        serial legacy path).  The pool starts lazily on the first
+        sharded solve and is released by :meth:`close_pool`.
     """
 
-    def __init__(self, max_operators: int = 8):
+    def __init__(self, max_operators: int = 8, workers: Optional[int] = None):
         if max_operators < 1:
             raise ValueError("need room for at least one cached operator")
         self.max_operators = int(max_operators)
+        self.workers = workers
         self._cache: "OrderedDict[str, _CachedOperator]" = OrderedDict()
         self.stats = FarmStats()
+        # The LRU is shared by serving threads (engine compile, transient
+        # stepping), so lookup/insert/evict run under one reentrant lock.
+        self._lock = threading.RLock()
+        self._pool: Optional[PersistentPool] = None
+        self._pool_broken = False
+        # (worker index, digest, method) triples already shipped their
+        # operator matrix — afterwards only RHS blocks cross the pipe.
+        self._worker_has: set = set()
 
     # ------------------------------------------------------------------
     # Operator cache
     # ------------------------------------------------------------------
     def _entry_for_key(self, key: str, problem: HeatProblem) -> _CachedOperator:
-        entry = self._cache.get(key)
-        if entry is not None:
-            self._cache.move_to_end(key)
-            self.stats.operator_hits += 1
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                self._cache.move_to_end(key)
+                self.stats.operator_hits += 1
+                return entry
+            self.stats.operator_misses += 1
+            start = time.perf_counter()
+            operator = assemble_operator(problem, key=key)
+            entry = _CachedOperator(
+                operator=operator, assembly_seconds=time.perf_counter() - start
+            )
+            self._cache[key] = entry
+            while len(self._cache) > self.max_operators:
+                self._cache.popitem(last=False)
+                self.stats.evictions += 1
             return entry
-        self.stats.operator_misses += 1
-        start = time.perf_counter()
-        operator = assemble_operator(problem, key=key)
-        entry = _CachedOperator(
-            operator=operator, assembly_seconds=time.perf_counter() - start
-        )
-        self._cache[key] = entry
-        while len(self._cache) > self.max_operators:
-            self._cache.popitem(last=False)
-            self.stats.evictions += 1
-        return entry
 
     def operator_entry(self, problem: HeatProblem) -> _CachedOperator:
         """The cached slot for ``problem``'s operator (assembling on miss)."""
@@ -186,10 +220,12 @@ class SolveFarm:
 
     def cached_keys(self) -> List[str]:
         """Operator digests currently held, oldest first."""
-        return list(self._cache.keys())
+        with self._lock:
+            return list(self._cache.keys())
 
     def clear(self) -> None:
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     # ------------------------------------------------------------------
     # Assembly against the cache
@@ -239,6 +275,7 @@ class SolveFarm:
         method: str = "direct",
         tol: float = 1e-10,
         max_iter: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> List[ThermalSolution]:
         """Solve a batch of problems, amortising shared operators.
 
@@ -248,6 +285,10 @@ class SolveFarm:
         back-substitution (``method="direct"``) or one vectorised block-CG
         run (``method="cg"``).  Solutions come back in input order, each
         with its own energy audit and diagnostics.
+
+        ``workers`` (default: the farm's constructor knob) > 1 shards the
+        block solves across a persistent process pool — see the module
+        docstring; solutions are identical to the serial path.
         """
         if method not in ("direct", "cg"):
             raise ValueError(f"unknown method {method!r}; use 'direct' or 'cg'")
@@ -260,23 +301,54 @@ class SolveFarm:
             key = operator_digest(problem)
             if key not in groups:
                 groups[key] = []
-                cached_flags[key] = key in self._cache
+                with self._lock:
+                    cached_flags[key] = key in self._cache
                 entries[key] = self._entry_for_key(key, problem)
             else:
                 self.stats.operator_hits += 1
             groups[key].append(index)
 
+        # RHS assembly always happens in the parent: problems carry design
+        # closures that cannot cross a process boundary, and each RHS is
+        # O(n) next to the factorization it feeds.
+        prepared: List[Tuple] = []
         for key, indices in groups.items():
             entry = entries[key]
-            operator = entry.operator
-            k_block = len(indices)
-
             start = time.perf_counter()
-            rhs_parts = [assemble_rhs(problems[i], operator) for i in indices]
+            rhs_parts = [assemble_rhs(problems[i], entry.operator) for i in indices]
             rhs_seconds = time.perf_counter() - start
-            self.stats.rhs_assemblies += k_block
-
+            self.stats.rhs_assemblies += len(indices)
             block = np.column_stack([part.rhs for part in rhs_parts])
+            prepared.append((key, indices, entry, rhs_parts, rhs_seconds, block))
+
+        effective = resolve_workers(self.workers if workers is None else workers)
+        if effective > 1 and len(problems) > 1 and not self._pool_broken:
+            solved = self._solve_groups_sharded(
+                prepared, method, tol, max_iter, effective
+            )
+            if solved is not None:
+                for bundle, outcome in zip(prepared, solved):
+                    key, indices, entry, rhs_parts, rhs_seconds, _ = bundle
+                    block_solution, iterations, solve_seconds, factor_seconds = outcome
+                    self._emit_group(
+                        solutions,
+                        method,
+                        key,
+                        indices,
+                        entry,
+                        cached_flags[key],
+                        rhs_parts,
+                        rhs_seconds,
+                        block_solution,
+                        iterations,
+                        solve_seconds,
+                        factor_seconds,
+                        workers_used=effective,
+                    )
+                return solutions  # type: ignore[return-value]
+
+        for key, indices, entry, rhs_parts, rhs_seconds, block in prepared:
+            k_block = len(indices)
             start = time.perf_counter()
             if method == "direct":
                 lu = self._factorization(entry)
@@ -290,45 +362,197 @@ class SolveFarm:
                 )
                 block_solution = scale[:, None] * scaled_solution
             solve_seconds = time.perf_counter() - start
-            self.stats.block_solves += 1
-            self.stats.problems_solved += k_block
-
-            # Costs actually paid this call, amortised over the block; a
-            # cache-hit operator charges nothing for its assembly.
-            operator_seconds = 0.0 if cached_flags[key] else entry.assembly_seconds
-            for column, (index, part) in enumerate(zip(indices, rhs_parts)):
-                temperature = np.ascontiguousarray(block_solution[:, column])
-                system = compose_system(operator, part)
-                report = energy_report(system, temperature)
-                residual = operator.matrix @ temperature - part.rhs
-                info = {
-                    "method": f"farm-{method}",
-                    "operator_key": key[:16],
-                    "operator_cached": cached_flags[key],
-                    "block_size": k_block,
-                    "assembly_time": (operator_seconds + rhs_seconds) / k_block,
-                    "solve_time": solve_seconds / k_block,
-                    "total_time": (
-                        operator_seconds + rhs_seconds + solve_seconds
-                    )
-                    / k_block,
-                    "factor_time": entry.factor_seconds,
-                    "iterations": int(iterations[column]),
-                    "nnz": int(operator.matrix.nnz),
-                    "n_unknowns": int(part.rhs.size),
-                    "linear_residual": float(np.linalg.norm(residual)),
-                    "energy": report,
-                }
-                solutions[index] = ThermalSolution(
-                    grid=operator.grid, temperature=temperature, info=info
-                )
+            self._emit_group(
+                solutions,
+                method,
+                key,
+                indices,
+                entry,
+                cached_flags[key],
+                rhs_parts,
+                rhs_seconds,
+                block_solution,
+                iterations,
+                solve_seconds,
+                entry.factor_seconds,
+                workers_used=None,
+            )
         return solutions  # type: ignore[return-value]
+
+    def _emit_group(
+        self,
+        solutions: List[Optional[ThermalSolution]],
+        method: str,
+        key: str,
+        indices: Sequence[int],
+        entry: _CachedOperator,
+        was_cached: bool,
+        rhs_parts: Sequence,
+        rhs_seconds: float,
+        block_solution: np.ndarray,
+        iterations: np.ndarray,
+        solve_seconds: float,
+        factor_seconds: float,
+        workers_used: Optional[int],
+    ) -> None:
+        """Per-column postprocessing shared by the serial and sharded paths."""
+        operator = entry.operator
+        k_block = len(indices)
+        self.stats.block_solves += 1
+        self.stats.problems_solved += k_block
+        # Costs actually paid this call, amortised over the block; a
+        # cache-hit operator charges nothing for its assembly.
+        operator_seconds = 0.0 if was_cached else entry.assembly_seconds
+        for column, (index, part) in enumerate(zip(indices, rhs_parts)):
+            temperature = np.ascontiguousarray(block_solution[:, column])
+            system = compose_system(operator, part)
+            report = energy_report(system, temperature)
+            residual = operator.matrix @ temperature - part.rhs
+            info = {
+                "method": f"farm-{method}",
+                "operator_key": key[:16],
+                "operator_cached": was_cached,
+                "block_size": k_block,
+                "assembly_time": (operator_seconds + rhs_seconds) / k_block,
+                "solve_time": solve_seconds / k_block,
+                "total_time": (
+                    operator_seconds + rhs_seconds + solve_seconds
+                )
+                / k_block,
+                "factor_time": factor_seconds,
+                "iterations": int(iterations[column]),
+                "nnz": int(operator.matrix.nnz),
+                "n_unknowns": int(part.rhs.size),
+                "linear_residual": float(np.linalg.norm(residual)),
+                "energy": report,
+            }
+            if workers_used is not None:
+                info["workers"] = workers_used
+            solutions[index] = ThermalSolution(
+                grid=operator.grid, temperature=temperature, info=info
+            )
+
+    # ------------------------------------------------------------------
+    # Process-sharded solving
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, workers: int) -> PersistentPool:
+        if self._pool is not None and self._pool.workers != workers:
+            self.close_pool()
+        if self._pool is None:
+            self._pool = PersistentPool(workers, initializer=solve_worker_init)
+            self._worker_has = set()
+        return self._pool
+
+    def close_pool(self) -> None:
+        """Release the sharded-solve worker pool (idempotent).
+
+        Worker-resident factorizations only ever grow within a pool's
+        lifetime; closing the pool is how that memory is reclaimed.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._worker_has = set()
+
+    def _solve_groups_sharded(
+        self,
+        prepared: Sequence[Tuple],
+        method: str,
+        tol: float,
+        max_iter: Optional[int],
+        workers: int,
+    ) -> Optional[List[Tuple[np.ndarray, np.ndarray, float, float]]]:
+        """Shard the prepared groups' block solves across the pool.
+
+        Each digest routes to its stable owner worker; when there are
+        fewer groups than workers, a group's columns split into
+        ``workers // n_groups`` contiguous chunks fanned out from the
+        owner — a single-operator sweep still uses every worker.  Returns
+        per-group ``(solution block, iterations, solve s, factor s)`` in
+        ``prepared`` order, or ``None`` after a worker crash (the farm is
+        then permanently demoted to the serial path).
+        """
+        chunks_per_group = max(1, workers // len(prepared))
+        total_columns = sum(len(bundle[1]) for bundle in prepared) or 1
+        start = time.perf_counter()
+        try:
+            pool = self._ensure_pool(workers)
+            tickets: List[List[Tuple[int, int, int]]] = []
+            for key, indices, entry, _, _, block in prepared:
+                owner = digest_owner(key, workers)
+                if method == "cg":
+                    scale, send_matrix = self._cg_system(entry)
+                    send_block = scale[:, None] * block
+                else:
+                    send_matrix = entry.operator.matrix
+                    send_block = block
+                group_tickets = []
+                for j, (lo, hi) in enumerate(
+                    row_chunks(block.shape[1], chunks_per_group)
+                ):
+                    target = (owner + j) % workers
+                    mark = (target, key, method)
+                    matrix = None if mark in self._worker_has else send_matrix
+                    ticket = pool.submit(
+                        target,
+                        solve_chunk,
+                        key,
+                        matrix,
+                        method,
+                        send_block[:, lo:hi],
+                        tol,
+                        max_iter,
+                    )
+                    self._worker_has.add(mark)
+                    group_tickets.append((ticket, lo, hi))
+                tickets.append(group_tickets)
+
+            results = []
+            for bundle, group_tickets in zip(prepared, tickets):
+                key, indices, entry, _, _, block = bundle
+                block_solution = np.empty_like(block)
+                iterations = np.zeros(block.shape[1], dtype=np.int64)
+                factor_seconds = 0.0
+                for ticket, lo, hi in group_tickets:
+                    chunk_solution, chunk_iters, chunk_factor, fresh = pool.result(
+                        ticket
+                    )
+                    block_solution[:, lo:hi] = chunk_solution
+                    iterations[lo:hi] = chunk_iters
+                    factor_seconds = max(factor_seconds, chunk_factor)
+                    if fresh and method == "direct":
+                        self.stats.factorizations += 1
+                if method == "cg":
+                    block_solution = entry.cg_scale[:, None] * block_solution
+                results.append((block_solution, iterations, factor_seconds))
+        except WorkerCrashed as exc:
+            logger.warning(
+                "solve farm worker crashed (%s); retrying this batch serially "
+                "and demoting the farm to serial for the rest of its life",
+                exc,
+            )
+            self.close_pool()
+            self._pool_broken = True
+            return None
+        elapsed = time.perf_counter() - start
+        return [
+            (
+                block_solution,
+                iterations,
+                elapsed * len(bundle[1]) / total_columns,
+                factor_seconds,
+            )
+            for bundle, (block_solution, iterations, factor_seconds) in zip(
+                prepared, results
+            )
+        ]
 
     # ------------------------------------------------------------------
     def cache_info(self) -> Dict[str, int]:
         """Snapshot of the counters plus current cache occupancy."""
         info = self.stats.as_dict()
-        info["cached_operators"] = len(self._cache)
+        with self._lock:
+            info["cached_operators"] = len(self._cache)
         info["max_operators"] = self.max_operators
         return info
 
@@ -350,6 +574,8 @@ def get_default_farm() -> SolveFarm:
 def reset_default_farm() -> None:
     """Drop the shared farm (tests; or to release factorization memory)."""
     global _default_farm
+    if _default_farm is not None:
+        _default_farm.close_pool()
     _default_farm = None
 
 
@@ -359,7 +585,10 @@ def solve_many(
     tol: float = 1e-10,
     max_iter: Optional[int] = None,
     farm: Optional[SolveFarm] = None,
+    workers: Optional[int] = None,
 ) -> List[ThermalSolution]:
     """Batch-solve through ``farm`` (default: the shared process farm)."""
     farm = farm if farm is not None else get_default_farm()
-    return farm.solve_many(problems, method=method, tol=tol, max_iter=max_iter)
+    return farm.solve_many(
+        problems, method=method, tol=tol, max_iter=max_iter, workers=workers
+    )

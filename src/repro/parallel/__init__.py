@@ -1,0 +1,40 @@
+"""Parallel execution layer: process sharding, routed pools, seeded RNG.
+
+Three levers, one package (ROADMAP item 2):
+
+* **process-sharded solving** — :class:`~repro.fdm.SolveFarm` streams
+  RHS blocks to a :class:`PersistentPool` whose workers own the SuperLU
+  factorizations for "their" operator digests (:mod:`.farmwork`);
+* **data-parallel training** — :class:`~repro.core.trainer.Trainer`
+  evaluates configuration shards on worker-resident model replicas and
+  reduces gradients in fixed order (:mod:`.trainwork`);
+* **threaded batched BLAS** — the serving engine's chunked dgemm lives
+  behind :mod:`repro.backend`, not here, because it is an array-module
+  concern; this package supplies the *worker count plumbing* both share.
+
+The shared knob is ``workers`` (:func:`resolve_workers`): ``None``
+defers to the ``REPRO_WORKERS`` environment variable, ``0`` means all
+cores, and every parallel path degenerates to the bitwise-identical
+serial code when it resolves to 1.  Worker processes always resolve to
+1 themselves, so parallel layers cannot nest.
+"""
+
+from .pool import (
+    PersistentPool,
+    RemoteError,
+    WorkerCrashed,
+    default_start_method,
+    digest_owner,
+    resolve_workers,
+)
+from .seeding import spawn_seeds
+
+__all__ = [
+    "PersistentPool",
+    "RemoteError",
+    "WorkerCrashed",
+    "default_start_method",
+    "digest_owner",
+    "resolve_workers",
+    "spawn_seeds",
+]

@@ -1,0 +1,95 @@
+"""Worker-side kernels of the sharded solve farm.
+
+The division of labor (see :meth:`repro.fdm.SolveFarm.solve_many`):
+
+* the **parent** owns problem objects, operator assembly and RHS
+  assembly (problems carry design closures that cannot cross a process
+  boundary, and both halves are cheap relative to factorization);
+* each **worker** owns the *factorizations* for the operator digests
+  routed to it — the expensive, memory-heavy artifacts.  An operator
+  matrix is shipped to a worker at most once per digest; afterwards only
+  ``(digest, RHS block)`` pairs stream across the pipe.
+
+Every function here is a module-level callable taking the worker state
+dict first, as :class:`~repro.parallel.pool.PersistentPool` requires.
+Numerics are bitwise-identical to the serial farm: the same
+``splu(matrix.tocsc())`` factorization of the same matrix, the same
+block back-substitution, the same block-CG recurrence.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+__all__ = ["solve_worker_init", "solve_chunk", "worker_digests"]
+
+
+def solve_worker_init() -> Dict:
+    """Per-worker state: factorization / CG-system caches by digest."""
+    return {"factors": {}, "factor_seconds": {}, "cg_systems": {}}
+
+
+def solve_chunk(
+    state: Dict,
+    key: str,
+    matrix: Optional[sp.spmatrix],
+    method: str,
+    block: np.ndarray,
+    tol: float,
+    max_iter: Optional[int],
+) -> Tuple[np.ndarray, np.ndarray, float, bool]:
+    """Solve one RHS block against the worker-resident operator ``key``.
+
+    ``matrix`` accompanies the *first* block of a digest (the parent
+    tracks which workers already hold which operators); subsequent calls
+    pass ``None`` and hit the resident factorization.  Returns
+    ``(solution_block, iterations, factor_seconds, freshly_factorized)``.
+    """
+    if method == "direct":
+        lu = state["factors"].get(key)
+        fresh = lu is None
+        if fresh:
+            if matrix is None:
+                raise RuntimeError(
+                    f"operator {key[:16]} was never shipped to this worker"
+                )
+            start = time.perf_counter()
+            lu = spla.splu(matrix.tocsc())
+            state["factor_seconds"][key] = time.perf_counter() - start
+            state["factors"][key] = lu
+        solution = lu.solve(block)
+        iterations = np.zeros(block.shape[1], dtype=np.int64)
+        return solution, iterations, state["factor_seconds"][key], fresh
+
+    if method == "cg":
+        # ``matrix`` is the Jacobi-scaled SPD system; ``block`` arrives
+        # already scaled and the solution is unscaled by the parent, so
+        # the worker never needs the scale vector.
+        from ..fdm.farm import _block_cg
+
+        system = state["cg_systems"].get(key)
+        fresh = system is None
+        if fresh:
+            if matrix is None:
+                raise RuntimeError(
+                    f"scaled operator {key[:16]} was never shipped to this worker"
+                )
+            system = matrix.tocsr()
+            state["cg_systems"][key] = system
+        solution, iterations = _block_cg(system, block, tol=tol, max_iter=max_iter)
+        return solution, iterations, 0.0, fresh
+
+    raise ValueError(f"unknown method {method!r}")
+
+
+def worker_digests(state: Dict) -> Dict[str, list]:
+    """Digests resident in this worker (introspection for tests/CLIs)."""
+    return {
+        "factors": sorted(state["factors"]),
+        "cg_systems": sorted(state["cg_systems"]),
+    }

@@ -1,0 +1,294 @@
+"""Persistent worker-process pool with per-worker channels.
+
+:class:`PersistentPool` is the process substrate under the sharded solve
+farm and the data-parallel trainer.  It differs from
+``concurrent.futures.ProcessPoolExecutor`` in the two ways those callers
+need:
+
+* **routed submission** — tasks go to a *specific* worker index, so a
+  caller can maintain affinity (the farm keeps each operator digest's
+  factorization resident in one worker; the trainer keeps a model
+  replica per worker) instead of letting a scheduler scatter state;
+* **stateful workers** — each worker runs an ``initializer`` once and
+  threads the returned state object into every task function, so
+  expensive per-worker setup (unpickling a model, allocating caches) is
+  paid once per pool, not once per task.
+
+Task functions must be module-level callables (pickled by reference —
+the only requirement the ``spawn`` start method imposes).  Results come
+back over per-worker pipes; :meth:`PersistentPool.result` surfaces
+remote exceptions with the worker traceback attached, and a worker that
+dies mid-task raises :class:`WorkerCrashed` instead — the signal callers
+use to fall back to their serial paths.
+
+Workers always see ``REPRO_WORKERS=1``: any library code they run that
+consults :func:`resolve_workers` (a farm inside a trainer shard, say)
+stays serial, so pools can never recurse into pools.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import multiprocessing as mp
+import os
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+logger = logging.getLogger("repro.parallel")
+
+__all__ = [
+    "PersistentPool",
+    "WorkerCrashed",
+    "RemoteError",
+    "resolve_workers",
+    "digest_owner",
+    "default_start_method",
+]
+
+#: set in worker processes so nested resolve_workers() calls stay serial.
+_IN_WORKER = False
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count for a parallel-capable call site.
+
+    ``None`` defers to the ``REPRO_WORKERS`` environment variable
+    (absent/empty → 1, the serial default); ``0`` or a negative value
+    means "all available cores".  Inside a pool worker the answer is
+    always 1, so parallel layers never nest.
+    """
+    if _IN_WORKER:
+        return 1
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        if not raw:
+            return 1
+        workers = int(raw)
+    workers = int(workers)
+    if workers <= 0:
+        return max(1, os.cpu_count() or 1)
+    return workers
+
+
+def digest_owner(digest: str, workers: int) -> int:
+    """Stable owner index for an operator digest.
+
+    A pure function of ``(digest, workers)`` — independent of insertion
+    order, call history or pool identity — so the same digest always
+    lands on the same worker for a given pool size, keeping its cached
+    factorization hot.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return int(digest[:16], 16) % int(workers)
+
+
+def default_start_method() -> str:
+    """``REPRO_MP_START`` override, else ``spawn``.
+
+    ``spawn`` is the safe default everywhere (no fork-vs-threads hazards
+    with BLAS pools, identical behavior across platforms and Python
+    versions); ``fork`` can be opted into on Linux for faster pool
+    startup when the process is known to be single-threaded.
+    """
+    return os.environ.get("REPRO_MP_START", "").strip() or "spawn"
+
+
+class WorkerCrashed(RuntimeError):
+    """A pool worker died (killed / segfault / lost pipe) mid-protocol."""
+
+
+class RemoteError(RuntimeError):
+    """A task raised inside a worker; carries the remote traceback."""
+
+
+def _worker_main(conn, initializer, init_args) -> None:
+    """Worker loop: run the initializer, then serve (ticket, fn, args)."""
+    global _IN_WORKER
+    _IN_WORKER = True
+    os.environ["REPRO_WORKERS"] = "1"  # nested call sites stay serial
+    try:
+        state = initializer(*init_args) if initializer is not None else None
+    except BaseException:
+        # Initialization failure: report it for the first ticket, then die.
+        try:
+            conn.send((None, False, traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        if message is None:
+            break
+        ticket, fn, args = message
+        try:
+            result = fn(state, *args)
+            conn.send((ticket, True, result))
+        except BaseException:
+            conn.send((ticket, False, traceback.format_exc()))
+    conn.close()
+
+
+class PersistentPool:
+    """N long-lived workers, each addressable by index.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (>= 1).
+    initializer / init_args:
+        Module-level callable run once per worker; its return value is
+        the worker's state object, passed as the first argument to every
+        task function.  ``init_args`` must be picklable.
+    start_method:
+        multiprocessing start method; default per
+        :func:`default_start_method`.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        initializer: Optional[Callable] = None,
+        init_args: Tuple = (),
+        start_method: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise ValueError("a pool needs at least one worker")
+        method = start_method or default_start_method()
+        ctx = mp.get_context(method)
+        self.workers = int(workers)
+        self.start_method = method
+        self._procs: List[mp.process.BaseProcess] = []
+        self._conns = []
+        self._tickets = itertools.count()
+        self._owner_of: Dict[int, int] = {}  # ticket -> worker index
+        self._results: Dict[int, Tuple[bool, Any]] = {}
+        self._closed = False
+        for _ in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, initializer, init_args),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return (not self._closed) and all(p.is_alive() for p in self._procs)
+
+    def submit(self, worker: int, fn: Callable, *args) -> int:
+        """Queue ``fn(state, *args)`` on ``worker``; returns a ticket."""
+        if self._closed:
+            raise WorkerCrashed("pool is closed")
+        ticket = next(self._tickets)
+        self._owner_of[ticket] = int(worker)
+        try:
+            self._conns[worker].send((ticket, fn, args))
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrashed(f"worker {worker} lost its pipe: {exc}") from exc
+        return ticket
+
+    def result(self, ticket: int, timeout: Optional[float] = None) -> Any:
+        """Block until ``ticket``'s result arrives; raise remote failures.
+
+        Raises :class:`RemoteError` for exceptions thrown by the task
+        (with the worker traceback in the message) and
+        :class:`WorkerCrashed` when the owning worker died before
+        answering.
+        """
+        deadline = None if timeout is None else (time.monotonic() + timeout)
+        worker = self._owner_of[ticket]
+        while ticket not in self._results:
+            conn = self._conns[worker]
+            try:
+                ready = conn.poll(0.05)
+            except (BrokenPipeError, OSError) as exc:
+                raise WorkerCrashed(
+                    f"worker {worker} lost its pipe: {exc}"
+                ) from exc
+            if ready:
+                try:
+                    answered, ok, payload = conn.recv()
+                except (EOFError, ConnectionResetError, OSError) as exc:
+                    raise WorkerCrashed(
+                        f"worker {worker} hung up mid-batch: {exc}"
+                    ) from exc
+                if answered is None:  # initializer failure report
+                    raise RemoteError(
+                        f"worker {worker} failed to initialize:\n{payload}"
+                    )
+                self._results[answered] = (ok, payload)
+                continue
+            if not self._procs[worker].is_alive():
+                raise WorkerCrashed(
+                    f"worker {worker} died (exitcode "
+                    f"{self._procs[worker].exitcode}) before answering"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(f"ticket {ticket} timed out")
+        ok, payload = self._results.pop(ticket)
+        self._owner_of.pop(ticket, None)
+        if not ok:
+            raise RemoteError(
+                f"task on worker {worker} raised:\n{payload}"
+            )
+        return payload
+
+    def run_on(self, worker: int, fn: Callable, *args) -> Any:
+        """submit + result in one call (convenience for sequential use)."""
+        return self.result(self.submit(worker, fn, *args))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the workers down (idempotent; never raises)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def terminate_worker(self, worker: int) -> None:
+        """Hard-kill one worker (test hook for crash-path coverage)."""
+        self._procs[worker].kill()
+        self._procs[worker].join(timeout=5.0)
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ("alive" if self.alive else "broken")
+        return (
+            f"PersistentPool({self.workers} workers, {self.start_method}, {state})"
+        )

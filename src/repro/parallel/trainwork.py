@@ -1,0 +1,88 @@
+"""Worker-side kernels of data-parallel physics-informed training.
+
+Each worker holds a full replica of the :class:`~repro.core.DeepOHeat`
+model (unpickled once at pool initialization) and, per iteration,
+evaluates the physics loss and its parameter gradients on *its shard of
+the sampled configurations*.  The parent samples everything (so the
+iteration consumes the RNG stream exactly as serial training does),
+broadcasts the current parameters, and reduces the shard gradients in a
+fixed order — see :meth:`repro.core.trainer.Trainer.run`.
+
+The collocation batch is broadcast under a token: fixed-mesh plans reuse
+one batch object for the whole run, so it crosses the pipe once and the
+replica's per-batch geometry cache (selections, dedup indices) stays hot
+across iterations, exactly as in serial training.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["train_worker_init", "seed_worker", "train_shard_step"]
+
+
+def train_worker_init(model_blob: bytes) -> Dict:
+    """Unpickle the model replica; the worker RNG arrives via :func:`seed_worker`."""
+    from .. import autodiff as ad  # heavy import paid once per worker
+
+    model = pickle.loads(model_blob)
+    return {
+        "ad": ad,
+        "model": model,
+        "params": model.net.parameters(),
+        "rng": None,
+        "batch": None,
+        "batch_token": None,
+    }
+
+
+def seed_worker(state: Dict, seed: int) -> None:
+    """Install this worker's RNG stream (one routed call after pool start).
+
+    The seed (derived via :func:`~repro.parallel.seeding.spawn_seeds` in
+    the parent) backs any worker-local stochastic operation; the current
+    loss evaluation is deterministic given the broadcast samples, so it
+    exists to keep future stochastic kernels (dropout-style residual
+    sampling) reproducible per *shard*, not per worker schedule.
+    """
+    state["rng"] = np.random.default_rng(int(seed))
+
+
+def train_shard_step(
+    state: Dict,
+    param_arrays: Sequence[np.ndarray],
+    raws_shard: Sequence[np.ndarray],
+    batch,
+    batch_token: int,
+    weights: Optional[Dict[str, float]],
+    stacked: bool,
+) -> Tuple[float, Dict[str, float], List[np.ndarray]]:
+    """One shard's loss and parameter gradients at the given parameters.
+
+    Returns ``(total_loss, loss_components, grad_arrays)`` for the shard
+    — *unweighted*: the parent scales by the shard's share of the
+    function batch and sums in shard order, so the reduction is bitwise
+    deterministic for a fixed worker count.
+    """
+    ad = state["ad"]
+    model = state["model"]
+    params = state["params"]
+    for param, array in zip(params, param_arrays):
+        param.data[...] = array
+    if batch is not None:
+        state["batch"] = batch
+        state["batch_token"] = batch_token
+    elif state["batch_token"] != batch_token:
+        raise RuntimeError(
+            f"stale collocation batch in worker (have {state['batch_token']}, "
+            f"need {batch_token})"
+        )
+    if weights is not None:
+        model.builder.weights.clear()
+        model.builder.weights.update(weights)
+    total, parts = model.compute_loss(raws_shard, state["batch"], stacked=stacked)
+    grads = ad.grad(total, params)
+    return float(total.item()), parts, [grad.data for grad in grads]

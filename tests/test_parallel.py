@@ -1,0 +1,518 @@
+"""Parallel execution layer: pool, sharded farm, data-parallel training.
+
+The contract under test (ISSUE 6):
+
+* every parallel path is a pure *speed* lever — sharded ``solve_many``,
+  threaded ``predict_batch`` merges and data-parallel training must
+  reproduce the serial answer (bitwise for solves and dataset
+  generation, <= 1e-10 loss drift for training) for any worker count;
+* worker affinity is a pure function of the operator digest, results
+  reassemble in request order, and a crashed pool demotes to the serial
+  path with a logged warning — never a wrong or missing answer;
+* randomness keys on the unit of work (chunk / shard), never on the
+  worker, so seeded dataset generation is reproducible at any width;
+* the session caches (SolveFarm LRU, TrunkFeatureCache) survive
+  concurrent access, and checkpoint registry saves are atomic.
+"""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.backend import NumpyBackend, get_backend, row_chunks
+from repro.bc import ConvectionBC, NeumannBC
+from repro.fdm import HeatProblem, SolveFarm, operator_digest
+from repro.geometry import Face, StructuredGrid, paper_chip_a
+from repro.materials import UniformConductivity
+from repro.parallel import (
+    PersistentPool,
+    RemoteError,
+    WorkerCrashed,
+    digest_owner,
+    resolve_workers,
+    spawn_seeds,
+)
+
+T_AMB = 298.15
+
+
+def _problem(grid_shape=(7, 7, 5), k=0.1, influx=2500.0, htc=500.0):
+    """Experiment-A-shaped problem: power on top, convection bottom."""
+    chip = paper_chip_a()
+    grid = StructuredGrid(chip, grid_shape)
+    return HeatProblem(
+        grid=grid,
+        conductivity=UniformConductivity(k),
+        bcs={
+            Face.TOP: NeumannBC(influx),
+            Face.BOTTOM: ConvectionBC(htc, T_AMB),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Pool worker task functions: must be module-level so spawn can import
+# them by qualified name in the child process.
+# ----------------------------------------------------------------------
+def _init_state():
+    return {"calls": 0}
+
+
+def _echo(state, value):
+    state["calls"] += 1
+    return value, state["calls"], os.getpid()
+
+
+def _boom(state):
+    raise ValueError("remote failure with context")
+
+
+# ----------------------------------------------------------------------
+# Deterministic helpers: seeds, chunking, affinity, width resolution.
+# ----------------------------------------------------------------------
+class TestSpawnSeeds:
+    def test_deterministic_and_distinct(self):
+        first = spawn_seeds(1234, 6)
+        second = spawn_seeds(1234, 6)
+        assert first == second
+        assert len(set(first)) == 6
+
+    def test_prefix_stability(self):
+        # Seeds key on (base_seed, index): widening the fan-out must not
+        # reshuffle the streams already handed out.
+        assert spawn_seeds(7, 3) == spawn_seeds(7, 8)[:3]
+
+    def test_edge_cases(self):
+        assert spawn_seeds(0, 0) == []
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestRowChunks:
+    def test_partition_is_exact_and_ordered(self):
+        bounds = row_chunks(103, 4)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 103
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo
+        sizes = [hi - lo for lo, hi in bounds]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_workers_clamped_to_rows(self):
+        assert len(row_chunks(3, 16)) == 3
+        assert row_chunks(1, 4) == [(0, 1)]
+
+
+class TestDigestOwner:
+    def test_stable_and_in_range(self):
+        digest = operator_digest(_problem())
+        owners = {digest_owner(digest, w) for w in range(1, 9)}
+        assert all(
+            0 <= digest_owner(digest, w) < w for w in range(1, 9)
+        )
+        assert digest_owner(digest, 4) == digest_owner(digest, 4)
+        assert owners  # sanity: the set is populated
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            digest_owner("ab" * 8, 0)
+
+
+class TestResolveWorkers:
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_none_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers(None) == 5
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert resolve_workers(None) == 1
+
+    def test_nonpositive_means_all_cores(self):
+        assert resolve_workers(0) == max(1, os.cpu_count() or 1)
+        assert resolve_workers(-1) == max(1, os.cpu_count() or 1)
+
+    def test_in_worker_is_always_serial(self, monkeypatch):
+        from repro.parallel import pool as pool_mod
+
+        monkeypatch.setattr(pool_mod, "_IN_WORKER", True)
+        assert resolve_workers(8) == 1
+
+
+# ----------------------------------------------------------------------
+# Threaded backend: chunked matmul parity.
+# ----------------------------------------------------------------------
+class TestBackendMatmul:
+    def test_serial_path_is_plain_matmul(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(6, 5)), rng.normal(size=(5, 4))
+        assert np.array_equal(
+            get_backend().matmul_chunked(a, b, workers=1), a @ b
+        )
+
+    def test_chunked_matches_serial(self):
+        # Integer-valued entries sum exactly, so row-chunked dgemm must
+        # be bitwise identical to the one-shot product.
+        rng = np.random.default_rng(1)
+        a = rng.integers(-4, 5, size=(37, 12)).astype(float)
+        b = rng.integers(-4, 5, size=(12, 9)).astype(float)
+        backend = NumpyBackend()
+        assert np.array_equal(backend.matmul_chunked(a, b, workers=4), a @ b)
+
+    def test_out_buffer_is_filled(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=(16, 8)), rng.normal(size=(8, 3))
+        out = np.empty((16, 3))
+        result = get_backend().matmul_chunked(a, b, workers=3, out=out)
+        assert result is out
+        assert np.allclose(out, a @ b, rtol=0, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# PersistentPool protocol.
+# ----------------------------------------------------------------------
+class TestPersistentPool:
+    def test_routing_state_and_order(self):
+        with PersistentPool(2, initializer=_init_state) as pool:
+            tickets = [pool.submit(i % 2, _echo, i) for i in range(6)]
+            # Collect out of submission order: the buffer must reorder.
+            results = {t: pool.result(t, timeout=60) for t in reversed(tickets)}
+        values = [results[t][0] for t in tickets]
+        assert values == list(range(6))
+        pids = {results[t][2] for t in tickets}
+        assert len(pids) == 2  # two distinct worker processes
+        # Per-worker state persisted across tasks: call counters reach 3.
+        assert max(results[t][1] for t in tickets) == 3
+
+    def test_remote_error_carries_traceback(self):
+        with PersistentPool(1, initializer=_init_state) as pool:
+            with pytest.raises(RemoteError, match="remote failure"):
+                pool.run_on(0, _boom)
+            # The pool survives a task exception.
+            assert pool.run_on(0, _echo, "still alive")[0] == "still alive"
+
+    def test_killed_worker_raises_worker_crashed(self):
+        pool = PersistentPool(2, initializer=_init_state)
+        try:
+            assert pool.run_on(1, _echo, 1)[0] == 1
+            pool.terminate_worker(1)
+            # The crash surfaces at submit (broken pipe) or at result
+            # (dead process), depending on how fast the OS reaps it.
+            with pytest.raises(WorkerCrashed):
+                ticket = pool.submit(1, _echo, 2)
+                pool.result(ticket, timeout=60)
+        finally:
+            pool.close()
+        assert not pool.alive
+
+
+# ----------------------------------------------------------------------
+# Sharded solve farm: parity, affinity, ordering, crash fallback.
+# ----------------------------------------------------------------------
+@pytest.fixture
+def mixed_problems():
+    """Two operator groups interleaved in request order."""
+    return [
+        _problem(influx=1000.0),
+        _problem(k=0.2, influx=1500.0),
+        _problem(influx=2000.0),
+        _problem(k=0.2, influx=2500.0),
+        _problem(influx=3000.0),
+    ]
+
+
+class TestShardedSolveFarm:
+    def test_sharded_matches_serial_bitwise(self, mixed_problems):
+        serial = SolveFarm().solve_many(mixed_problems)
+        farm = SolveFarm(workers=2)
+        try:
+            sharded = farm.solve_many(mixed_problems)
+            for lhs, rhs in zip(serial, sharded):
+                assert np.array_equal(lhs.temperature, rhs.temperature)
+                assert rhs.info["workers"] == 2
+            assert "workers" not in serial[0].info
+        finally:
+            farm.close_pool()
+
+    def test_resident_operator_streams_rhs_only(self, mixed_problems):
+        farm = SolveFarm(workers=2)
+        try:
+            first = farm.solve_many(mixed_problems)
+            second = farm.solve_many(mixed_problems)
+            for lhs, rhs in zip(first, second):
+                assert np.array_equal(lhs.temperature, rhs.temperature)
+                assert rhs.info["operator_cached"]
+            # Workers kept their factorizations: no re-factorization.
+            assert farm.cache_info()["factorizations"] == 2
+        finally:
+            farm.close_pool()
+
+    def test_results_keep_request_order(self, mixed_problems):
+        farm = SolveFarm(workers=2)
+        try:
+            solutions = farm.solve_many(mixed_problems)
+        finally:
+            farm.close_pool()
+        for problem, solution in zip(mixed_problems, solutions):
+            reference = SolveFarm().solve_many([problem])[0]
+            assert np.array_equal(solution.temperature, reference.temperature)
+
+    def test_cg_parity_and_iterations(self, mixed_problems):
+        serial = SolveFarm().solve_many(mixed_problems, method="cg", tol=1e-10)
+        farm = SolveFarm(workers=2)
+        try:
+            sharded = farm.solve_many(mixed_problems, method="cg", tol=1e-10)
+        finally:
+            farm.close_pool()
+        for lhs, rhs in zip(serial, sharded):
+            assert np.array_equal(lhs.temperature, rhs.temperature)
+            assert lhs.info["iterations"] == rhs.info["iterations"]
+
+    def test_single_group_splits_columns(self):
+        problems = [_problem(influx=500.0 * (i + 1)) for i in range(8)]
+        serial = SolveFarm().solve_many(problems)
+        farm = SolveFarm(workers=2)
+        try:
+            sharded = farm.solve_many(problems)
+        finally:
+            farm.close_pool()
+        for lhs, rhs in zip(serial, sharded):
+            assert np.array_equal(lhs.temperature, rhs.temperature)
+
+    def test_crash_falls_back_to_serial(self, mixed_problems, caplog):
+        farm = SolveFarm(workers=2)
+        try:
+            farm.solve_many(mixed_problems)  # builds the pool
+            # Kill the worker that owns the first operator group, so the
+            # sharded attempt is guaranteed to hit the dead process.
+            owner = digest_owner(operator_digest(mixed_problems[0]), 2)
+            farm._pool.terminate_worker(owner)
+            with caplog.at_level("WARNING", logger="repro.fdm.farm"):
+                solutions = farm.solve_many(mixed_problems)
+            assert any(
+                "serial" in record.message for record in caplog.records
+            )
+            reference = SolveFarm().solve_many(mixed_problems)
+            for lhs, rhs in zip(reference, solutions):
+                assert np.array_equal(lhs.temperature, rhs.temperature)
+            # The pool is demoted permanently; later calls stay serial.
+            assert farm._pool_broken and farm._pool is None
+            again = farm.solve_many(mixed_problems)
+            assert "workers" not in again[0].info
+        finally:
+            farm.close_pool()
+
+    def test_serial_farm_never_builds_a_pool(self, mixed_problems):
+        farm = SolveFarm()
+        farm.solve_many(mixed_problems)
+        assert farm._pool is None
+
+
+# ----------------------------------------------------------------------
+# Thread-safe session caches.
+# ----------------------------------------------------------------------
+class TestThreadSafeCaches:
+    def test_trunk_cache_survives_hammering(self):
+        from repro.engine import TrunkFeatureCache
+
+        cache = TrunkFeatureCache(4)
+        errors = []
+
+        def worker(tag):
+            try:
+                rng = np.random.default_rng(tag)
+                for i in range(200):
+                    key = ("grid", int(rng.integers(0, 8)))
+                    if cache.get(key) is None:
+                        cache.put(key, np.full((3, 3), tag))
+                    cache.info()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert cache.info().entries <= 4
+
+    def test_farm_cache_concurrent_solves(self):
+        farm = SolveFarm(max_operators=2)
+        problems = [
+            _problem(k=0.05 * (1 + tag), influx=1000.0) for tag in range(4)
+        ]
+        errors = []
+
+        def worker(problem):
+            try:
+                for _ in range(5):
+                    farm.solve_many([problem])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(p,)) for p in problems
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert farm.cache_info()["cached_operators"] <= 2
+
+
+# ----------------------------------------------------------------------
+# Data-parallel training parity.
+# ----------------------------------------------------------------------
+class TestDataParallelTraining:
+    def _history_pair(self, make_setup, cfg_kwargs):
+        from repro.core import Trainer, TrainerConfig
+
+        histories = []
+        for workers in (1, 2):
+            setup = make_setup()
+            cfg = TrainerConfig(workers=workers, **cfg_kwargs)
+            histories.append(
+                Trainer(setup.model, setup.plan, cfg).run(verbose=False)
+            )
+        return histories
+
+    def test_experiment_a_matches_serial(self):
+        from repro.core import experiment_a
+
+        serial, sharded = self._history_pair(
+            lambda: experiment_a(scale="test", seed=0),
+            dict(iterations=6, n_functions=4, log_every=3, seed=0),
+        )
+        drift = max(
+            abs(a - b) for a, b in zip(serial.total_loss, sharded.total_loss)
+        )
+        assert drift <= 1e-10
+
+    def test_random_collocation_matches_serial(self):
+        from repro.core import experiment_b
+
+        serial, sharded = self._history_pair(
+            lambda: experiment_b(scale="test", seed=1),
+            dict(iterations=5, n_functions=4, log_every=2, seed=0),
+        )
+        drift = max(
+            abs(a - b) for a, b in zip(serial.total_loss, sharded.total_loss)
+        )
+        assert drift <= 1e-10
+
+    def test_balancing_matches_serial(self):
+        from repro.core import experiment_b
+
+        serial, sharded = self._history_pair(
+            lambda: experiment_b(scale="test", seed=2),
+            dict(
+                iterations=6, n_functions=4, balance_every=2, log_every=3,
+                seed=0,
+            ),
+        )
+        drift = max(
+            abs(a - b) for a, b in zip(serial.total_loss, sharded.total_loss)
+        )
+        assert drift <= 1e-10
+
+    def test_workers_capped_by_functions(self):
+        # workers > n_functions must not spawn idle shards or crash.
+        from repro.core import Trainer, TrainerConfig, experiment_a
+
+        setup = experiment_a(scale="test", seed=3)
+        cfg = TrainerConfig(
+            iterations=3, n_functions=2, log_every=2, seed=0, workers=8
+        )
+        history = Trainer(setup.model, setup.plan, cfg).run(verbose=False)
+        assert np.isfinite(history.total_loss[-1])
+
+
+# ----------------------------------------------------------------------
+# Seeded dataset generation: width-independent bitwise repro.
+# ----------------------------------------------------------------------
+class TestSeededDatasetGeneration:
+    def test_seed_path_is_width_independent(self):
+        from repro.baselines import generate_dataset
+        from repro.core import experiment_a
+
+        setup = experiment_a(scale="test", seed=0)
+        grid = StructuredGrid(setup.model.config.chip, (5, 5, 4))
+        serial = generate_dataset(setup.model, grid, 6, seed=11, workers=1)
+        sharded = generate_dataset(setup.model, grid, 6, seed=11, workers=4)
+        assert np.array_equal(serial.fields_hat, sharded.fields_hat)
+        for lhs, rhs in zip(serial.raws, sharded.raws):
+            assert np.array_equal(lhs, rhs)
+
+    def test_rng_and_seed_are_exclusive(self):
+        from repro.baselines import generate_dataset
+        from repro.core import experiment_a
+
+        setup = experiment_a(scale="test", seed=0)
+        grid = StructuredGrid(setup.model.config.chip, (5, 5, 4))
+        with pytest.raises(ValueError, match="exactly one"):
+            generate_dataset(setup.model, grid, 2)
+        with pytest.raises(ValueError, match="exactly one"):
+            generate_dataset(
+                setup.model, grid, 2, rng=np.random.default_rng(0), seed=1
+            )
+
+
+# ----------------------------------------------------------------------
+# Threaded serving parity.
+# ----------------------------------------------------------------------
+class TestThreadedServing:
+    def test_predict_batch_matches_serial(self):
+        from repro.core import experiment_a
+
+        setup = experiment_a(scale="test", seed=0)
+        rng = np.random.default_rng(0)
+        raws = {"power_map": setup.model.inputs[0].sample(rng, 12)}
+        designs = [
+            {"power_map": raws["power_map"][i]} for i in range(12)
+        ]
+        grid = setup.eval_grid
+        serial = setup.model.compile(workers=1).predict_batch(designs, grid)
+        threaded = setup.model.compile(workers=4).predict_batch(designs, grid)
+        assert np.max(np.abs(serial - threaded)) <= 1e-8
+
+    def test_per_call_override(self):
+        from repro.core import experiment_a
+
+        setup = experiment_a(scale="test", seed=0)
+        rng = np.random.default_rng(1)
+        designs = [
+            {"power_map": setup.model.inputs[0].sample(rng, 1)[0]}
+            for _ in range(6)
+        ]
+        engine = setup.model.compile()  # defaults to serial
+        serial = engine.predict_batch(designs, setup.eval_grid)
+        threaded = engine.predict_batch(designs, setup.eval_grid, workers=3)
+        assert np.max(np.abs(serial - threaded)) <= 1e-8
+
+
+# ----------------------------------------------------------------------
+# Atomic checkpoint registry saves.
+# ----------------------------------------------------------------------
+class TestAtomicRegistrySave:
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        from repro.api import CheckpointRegistry, scenario_experiment_a
+
+        scenario = scenario_experiment_a(scale="test")
+        setup = scenario.compile()
+        registry = CheckpointRegistry(tmp_path)
+        path = registry.save(scenario, setup.model, meta={"final_loss": 1.0})
+        assert path.exists()
+        leftovers = [
+            p for p in tmp_path.iterdir() if ".tmp" in p.name
+        ]
+        assert leftovers == []
+        # The slot round-trips: find() returns it and load() accepts it.
+        assert registry.find(scenario) == path
+        meta = setup.model.load(path)
+        assert float(meta["final_loss"]) == 1.0
