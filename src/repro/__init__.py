@@ -16,6 +16,9 @@ Thermal Simulation in 3D-IC Design" (DAC 2023) from scratch on numpy:
 * :mod:`repro.parallel`, :mod:`repro.backend` — parallel execution layer
   (process-sharded solves, data-parallel training, threaded serving)
   behind one ``workers=`` / ``REPRO_WORKERS`` knob; serial-identical
+* :mod:`repro.serve` — serving daemon: newline-JSON socket protocol with
+  cross-request micro-batching onto the compiled engine's fused matmul,
+  bounded-queue backpressure and byte-budgeted caches; ``repro serve``
 * :mod:`repro.baselines` — PINN / data-driven / regression / POD baselines
 * :mod:`repro.analysis` — MAPE/PAPE metrics, timing, ASCII field rendering
 * :mod:`repro.floorplan` — thermal-aware floorplan optimisation example
@@ -33,6 +36,6 @@ New workloads are scenario JSON files, not code: see
 ``examples/scenarios/`` and ``python -m repro run --config <file>``.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = ["__version__"]

@@ -258,6 +258,17 @@ class ThermalService:
         to the ``REPRO_WORKERS`` environment variable; results are
         identical for any value.  Call :meth:`close` to release the
         solve pool.
+    memory_budget:
+        Optional byte budget over the session's caches, split evenly
+        between the trunk-feature cache and a *private* solve farm
+        (byte-accounted LRU eviction on both — see their
+        ``cache_stats()``).  This is what the serving daemon's
+        ``--memory-budget`` flag sets; results are unchanged, only
+        cache residency (and therefore recompute cost) varies.
+
+    A service is a context manager: ``with ThermalService(...) as s:``
+    tears down the private farm pool, engines and caches exactly once
+    on exit (:meth:`close` is idempotent).
     """
 
     def __init__(
@@ -266,6 +277,7 @@ class ThermalService:
         farm=None,
         trunk_cache_entries: int = 16,
         workers: Optional[int] = None,
+        memory_budget: Optional[int] = None,
     ):
         from ..engine import TrunkFeatureCache
 
@@ -273,9 +285,18 @@ class ThermalService:
             Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
         )
         self._farm = farm
+        self._owns_farm = False
         self.workers = workers
-        self._trunk_cache = TrunkFeatureCache(trunk_cache_entries)
+        self.memory_budget = (
+            None if memory_budget is None else int(memory_budget)
+        )
+        trunk_bytes = (
+            None if self.memory_budget is None else max(1, self.memory_budget // 2)
+        )
+        self._trunk_cache = TrunkFeatureCache(trunk_cache_entries,
+                                              max_bytes=trunk_bytes)
         self._sessions: Dict[str, _Session] = {}
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -283,13 +304,21 @@ class ThermalService:
     @property
     def farm(self):
         if self._farm is None:
-            if self.workers is not None:
+            if self.workers is not None or self.memory_budget is not None:
                 from ..fdm import SolveFarm
 
                 # A private farm: its worker pool (and the memory its
                 # workers' factorizations hold) belongs to this session,
-                # not to every other default-farm user in the process.
-                self._farm = SolveFarm(workers=self.workers)
+                # not to every other default-farm user in the process —
+                # which is also what makes a byte budget enforceable.
+                farm_bytes = (
+                    None if self.memory_budget is None
+                    else max(1, self.memory_budget // 2)
+                )
+                self._farm = SolveFarm(workers=self.workers,
+                                       max_bytes=farm_bytes)
+                self._owns_farm = True
+                self._closed = False  # fresh resources, fresh teardown
             else:
                 from ..fdm import get_default_farm
 
@@ -297,9 +326,44 @@ class ThermalService:
         return self._farm
 
     def close(self) -> None:
-        """Release session resources (the private farm's worker pool)."""
-        if self._farm is not None and hasattr(self._farm, "close_pool"):
-            self._farm.close_pool()
+        """Tear the session down — idempotent, exactly-once.
+
+        Releases the private farm's worker pool and cached
+        factorizations (a farm passed in by the caller is left alone:
+        they own its lifecycle), drops every per-scenario engine, and
+        clears the shared trunk-feature cache.  Safe to call twice; a
+        closed service can still be used, lazily rebuilding what it
+        needs (the flag only guards the teardown itself).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._farm is not None and self._owns_farm:
+            if hasattr(self._farm, "close_pool"):
+                self._farm.close_pool()
+            self._farm = None
+            self._owns_farm = False
+        for entry in self._sessions.values():
+            entry.engine = None
+        self._trunk_cache.clear()
+
+    def __enter__(self) -> "ThermalService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def cache_stats(self) -> Dict[str, Dict]:
+        """Per-cache counters (trunk features + solve farm), one shape.
+
+        The daemon's ``/stats`` endpoint returns this verbatim; the
+        ``farm`` half reads the *session's* farm without instantiating
+        one (a service that never solved has no farm to report).
+        """
+        stats = {"trunk": self._trunk_cache.cache_stats()}
+        if self._farm is not None and hasattr(self._farm, "cache_stats"):
+            stats["farm"] = self._farm.cache_stats()
+        return stats
 
     def session(self, scenario: ThermalScenario) -> _Session:
         """The per-digest session (compiling the scenario on first use)."""

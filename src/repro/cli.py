@@ -17,6 +17,8 @@ Subcommands
 ``validate-config``  check a scenario JSON, listing every problem found
 ``run``              validate → solve → train → predict/rollout a scenario
                      JSON end-to-end (new workloads without new code)
+``serve``            long-running daemon: newline-JSON socket protocol
+                     with cross-request micro-batching (``repro.serve``)
 """
 
 from __future__ import annotations
@@ -150,6 +152,32 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true",
                      help="machine-readable pipeline report")
     run.add_argument("--quiet", action="store_true")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serving daemon: micro-batched predict/rollout/solve over a "
+             "newline-JSON socket",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7070,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--scenario", action="append", default=[],
+                       metavar="JSON", dest="scenarios",
+                       help="scenario JSON to warm-start at boot (registry "
+                            "hit or boot-time training); repeatable")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="most requests fused into one engine call "
+                            "(1 disables fusion)")
+    serve.add_argument("--max-wait-ms", type=float, default=5.0,
+                       help="micro-batching window: how long the oldest "
+                            "request waits for company")
+    serve.add_argument("--queue-depth", type=int, default=128,
+                       help="pending-request bound; beyond it requests are "
+                            "rejected with 'overloaded' + retry_after")
+    serve.add_argument("--memory-budget-mb", type=float, default=None,
+                       metavar="MB",
+                       help="byte budget over the trunk-feature and "
+                            "operator caches (byte-accounted LRU eviction)")
     return parser
 
 
@@ -208,7 +236,8 @@ def _cmd_info(args) -> int:
             "presets": preset_inventory(),
             "scales": ["test", "ci", "paper"],
             "commands": ["info", "solve", "train", "evaluate", "speedup",
-                         "sweep", "transient", "validate-config", "run"],
+                         "sweep", "transient", "validate-config", "run",
+                         "serve"],
         }, indent=2))
         return 0
 
@@ -624,6 +653,25 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .experiments import common
+    from .serve import serve_main
+
+    budget = (None if args.memory_budget_mb is None
+              else int(args.memory_budget_mb * 1024 * 1024))
+    return serve_main(
+        scenario_paths=args.scenarios,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait_ms / 1e3,
+        queue_depth=args.queue_depth,
+        memory_budget=budget,
+        workers=args.workers,
+        cache_dir=common.DEFAULT_CACHE_DIR,
+    )
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "solve": _cmd_solve,
@@ -634,6 +682,7 @@ _COMMANDS = {
     "transient": _cmd_transient,
     "validate-config": _cmd_validate_config,
     "run": _cmd_run,
+    "serve": _cmd_serve,
 }
 
 

@@ -55,6 +55,10 @@ class FrozenDense:
     def num_parameters(self) -> int:
         return self.weight.size + (self.bias.size if self.bias is not None else 0)
 
+    @property
+    def nbytes(self) -> int:
+        return sum(array.nbytes for array in self.arrays())
+
     def arrays(self) -> List[np.ndarray]:
         return [self.weight] if self.bias is None else [self.weight, self.bias]
 
@@ -89,6 +93,10 @@ class FrozenMLP:
     def num_parameters(self) -> int:
         return sum(layer.num_parameters for layer in self.layers)
 
+    @property
+    def nbytes(self) -> int:
+        return sum(layer.nbytes for layer in self.layers)
+
     def arrays(self) -> List[np.ndarray]:
         return [array for layer in self.layers for array in layer.arrays()]
 
@@ -117,6 +125,13 @@ class FrozenTrunk:
     @property
     def num_parameters(self) -> int:
         return self.mlp.num_parameters
+
+    @property
+    def nbytes(self) -> int:
+        total = self.mlp.nbytes
+        if self.frequencies is not None:
+            total += self.frequencies.nbytes
+        return total
 
     def digest(self) -> str:
         """Content hash of every array the trunk features depend on.
@@ -153,6 +168,12 @@ class FrozenMIONet:
     def num_parameters(self) -> int:
         total = sum(branch.num_parameters for branch in self.branches)
         return total + self.trunk.num_parameters + self.bias.size
+
+    @property
+    def nbytes(self) -> int:
+        """Resident weight bytes (what one warm engine pins in memory)."""
+        total = sum(branch.nbytes for branch in self.branches)
+        return total + self.trunk.nbytes + self.bias.nbytes
 
     def branch_features(self, branch_arrays: Sequence[np.ndarray]) -> np.ndarray:
         """Hadamard product of branch outputs, shape (n_funcs, q)."""

@@ -51,18 +51,34 @@ class TrunkFeatureCache:
     scenarios): engines whose scenarios share a query grid and weights
     hit each other's entries, everything else just coexists under LRU.
 
+    Eviction is bounded two ways: ``max_entries`` (count) and, when
+    given, ``max_bytes`` — the resident sum of ``value.nbytes`` across
+    entries.  The byte bound is what a serving daemon's
+    ``--memory-budget`` flag reaches: feature blocks vary over three
+    orders of magnitude between a coarse steady grid and a dense
+    space-time rollout block, so counting entries alone cannot cap
+    memory.  The most recent entry always survives even if it alone
+    exceeds the budget (evicting the block a request needs *right now*
+    would just thrash).
+
     Lookup, insert and eviction run under a lock, so concurrent serving
     threads can share one cache (at worst a race computes a feature
     block twice; it never corrupts the LRU ordering).
     """
 
-    def __init__(self, max_entries: int = 8):
+    def __init__(self, max_entries: int = 8,
+                 max_bytes: Optional[int] = None):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 (or None for unbounded)")
         self.max_entries = int(max_entries)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
         self._store: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._bytes = 0
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
         self._lock = threading.Lock()
 
     def get(self, key: tuple) -> Optional[np.ndarray]:
@@ -75,11 +91,23 @@ class TrunkFeatureCache:
             self._store.move_to_end(key)
             return cached
 
+    def _over_budget(self) -> bool:
+        if len(self._store) > self.max_entries:
+            return True
+        return (self.max_bytes is not None and self._bytes > self.max_bytes
+                and len(self._store) > 1)
+
     def put(self, key: tuple, value: np.ndarray) -> None:
         with self._lock:
+            old = self._store.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
             self._store[key] = value
-            while len(self._store) > self.max_entries:
-                self._store.popitem(last=False)
+            self._bytes += value.nbytes
+            while self._over_budget():
+                _, evicted = self._store.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self._evictions += 1
 
     def info(self) -> CacheInfo:
         with self._lock:
@@ -87,11 +115,26 @@ class TrunkFeatureCache:
                              entries=len(self._store),
                              max_entries=self.max_entries)
 
+    def cache_stats(self) -> dict:
+        """Counters + occupancy in the shape every repo cache reports."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "entries": len(self._store),
+                "bytes": self._bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+            }
+
     def clear(self) -> None:
         with self._lock:
             self._store.clear()
+            self._bytes = 0
             self._hits = 0
             self._misses = 0
+            self._evictions = 0
 
 
 class CompiledSurrogate:
@@ -246,6 +289,9 @@ class CompiledSurrogate:
     def cache_info(self) -> CacheInfo:
         return self._cache.info()
 
+    def cache_stats(self) -> dict:
+        return self._cache.cache_stats()
+
     def clear_cache(self) -> None:
         self._cache.clear()
 
@@ -365,6 +411,56 @@ class CompiledSurrogate:
         n_designs = features.shape[0]
         n_times = times.shape[0]
         return flat.reshape(n_designs, n_times, -1)
+
+    def predict_fused(
+        self,
+        design_groups: Sequence[DesignBatch],
+        grid: Optional[StructuredGrid] = None,
+        points_si: Optional[np.ndarray] = None,
+        times: Optional[np.ndarray] = None,
+        workers: Optional[int] = None,
+    ) -> List[np.ndarray]:
+        """Cross-request batch fusion: many design groups, one merge dgemm.
+
+        The serving daemon's hot path.  ``design_groups`` is a sequence
+        of independent design batches (one per queued request) that all
+        share this engine's weights and the *same* query point set; they
+        are encoded per group, concatenated along the design axis, and
+        pushed through one ``branch_features`` pass plus a single
+        ``(sum B_i, q) @ (q, N)`` matmul — then split back per group.
+
+        Row-wise determinism of the underlying dgemm makes each group's
+        slice bitwise identical to calling :meth:`predict_batch` (or
+        :meth:`predict_rollout` when ``times`` is given) on that group
+        alone, which is the parity contract ``bench_serving_load.py``
+        and the daemon tests pin.
+
+        Returns one array per group: ``(B_i, n_points)`` steady /
+        single-instant, ``(B_i, n_times, n_points)`` with ``times``.
+        """
+        if not design_groups:
+            return []
+        if times is not None:
+            times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+            trunk = self.trunk_features(grid=grid, points_si=points_si,
+                                        times=times)
+        else:
+            trunk = self.trunk_features(grid=grid, points_si=points_si)
+        encoded_groups = [self.encode_designs(group) for group in design_groups]
+        sizes = [arrays[0].shape[0] for arrays in encoded_groups]
+        fused = [
+            np.concatenate([arrays[branch] for arrays in encoded_groups], axis=0)
+            for branch in range(len(self.inputs))
+        ]
+        features = self.net.branch_features(fused)
+        effective = resolve_workers(self.workers if workers is None else workers)
+        flat = self.nd.temp_to_si(
+            self.net.combine(features, trunk, workers=effective)
+        )
+        if times is not None:
+            flat = flat.reshape(flat.shape[0], times.shape[0], -1)
+        bounds = np.concatenate([[0], np.cumsum(sizes)])
+        return [flat[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:])]
 
     def predict_grid_batch(
         self, designs: DesignBatch, grid: StructuredGrid

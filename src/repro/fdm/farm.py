@@ -92,6 +92,16 @@ class FarmStats:
         }
 
 
+def _sparse_nbytes(matrix) -> int:
+    """Resident bytes of a scipy sparse matrix's backing arrays."""
+    total = 0
+    for attr in ("data", "indices", "indptr", "row", "col"):
+        array = getattr(matrix, attr, None)
+        if array is not None:
+            total += array.nbytes
+    return total
+
+
 @dataclass
 class _CachedOperator:
     """One LRU slot: the operator plus its lazily-built factorization."""
@@ -103,6 +113,26 @@ class _CachedOperator:
     # Jacobi-scaled system for the CG path, built on first use.
     cg_scale: Optional[np.ndarray] = None
     cg_matrix: Optional[sp.csr_matrix] = None
+
+    @property
+    def nbytes(self) -> int:
+        """Estimated resident bytes of this slot.
+
+        The SuperLU term uses the factorization's reported fill
+        (``lu.nnz`` nonzeros in L+U at 8 value bytes + 4 index bytes
+        each, plus the two permutation vectors) — an estimate, but the
+        fill dominates by orders of magnitude at any real grid, so the
+        byte budget tracks what actually matters.
+        """
+        total = _sparse_nbytes(self.operator.matrix)
+        if self.lu is not None:
+            n = self.operator.matrix.shape[0]
+            total += int(self.lu.nnz) * 12 + 8 * n
+        if self.cg_matrix is not None:
+            total += _sparse_nbytes(self.cg_matrix)
+        if self.cg_scale is not None:
+            total += self.cg_scale.nbytes
+        return total
 
 
 def _block_cg(
@@ -164,6 +194,14 @@ class SolveFarm:
         factorization) to keep alive.  Each cached direct-solve operator
         holds a SuperLU factorization, so memory scales with
         ``max_operators * fill(n)``.
+    max_bytes:
+        Optional byte budget over the cached slots (operator matrix +
+        SuperLU fill + CG system, per :attr:`_CachedOperator.nbytes`).
+        Entry counts cannot cap memory when grids differ by orders of
+        magnitude, so a serving daemon's ``--memory-budget`` reaches the
+        farm through this bound; the most recently used slot always
+        survives (evicting the operator a solve needs right now would
+        thrash).
     workers:
         Default worker count for :meth:`solve_many`'s sharded path
         (resolved via :func:`~repro.parallel.resolve_workers`: ``None``
@@ -172,10 +210,18 @@ class SolveFarm:
         sharded solve and is released by :meth:`close_pool`.
     """
 
-    def __init__(self, max_operators: int = 8, workers: Optional[int] = None):
+    def __init__(
+        self,
+        max_operators: int = 8,
+        workers: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ):
         if max_operators < 1:
             raise ValueError("need room for at least one cached operator")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 (or None for unbounded)")
         self.max_operators = int(max_operators)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
         self.workers = workers
         self._cache: "OrderedDict[str, _CachedOperator]" = OrderedDict()
         self.stats = FarmStats()
@@ -205,10 +251,23 @@ class SolveFarm:
                 operator=operator, assembly_seconds=time.perf_counter() - start
             )
             self._cache[key] = entry
-            while len(self._cache) > self.max_operators:
+            self._enforce_budget()
+            return entry
+
+    def _cache_nbytes(self) -> int:
+        return sum(entry.nbytes for entry in self._cache.values())
+
+    def _enforce_budget(self) -> None:
+        """Evict oldest slots past the count or byte bound (lock held or
+        reentrant — self._lock is an RLock)."""
+        with self._lock:
+            while len(self._cache) > self.max_operators or (
+                self.max_bytes is not None
+                and len(self._cache) > 1
+                and self._cache_nbytes() > self.max_bytes
+            ):
                 self._cache.popitem(last=False)
                 self.stats.evictions += 1
-            return entry
 
     def operator_entry(self, problem: HeatProblem) -> _CachedOperator:
         """The cached slot for ``problem``'s operator (assembling on miss)."""
@@ -245,6 +304,9 @@ class SolveFarm:
             entry.lu = spla.splu(entry.operator.matrix.tocsc())
             entry.factor_seconds = time.perf_counter() - start
             self.stats.factorizations += 1
+            # The fill just materialized is the dominant byte cost of the
+            # slot — re-check the budget now, not at the next insert.
+            self._enforce_budget()
         return entry.lu
 
     def _cg_system(self, entry: _CachedOperator) -> Tuple[np.ndarray, sp.csr_matrix]:
@@ -257,6 +319,7 @@ class SolveFarm:
             scaling = sp.diags(scale)
             entry.cg_scale = scale
             entry.cg_matrix = (scaling @ matrix @ scaling).tocsr()
+            self._enforce_budget()
         return entry.cg_scale, entry.cg_matrix
 
     def solve(
@@ -555,6 +618,24 @@ class SolveFarm:
             info["cached_operators"] = len(self._cache)
         info["max_operators"] = self.max_operators
         return info
+
+    def cache_stats(self) -> Dict[str, Optional[int]]:
+        """Counters + occupancy in the shape every repo cache reports.
+
+        Same schema as :meth:`repro.engine.TrunkFeatureCache.cache_stats`
+        — the serving daemon's ``/stats`` endpoint and byte-budget logic
+        consume both without caring which cache they came from.
+        """
+        with self._lock:
+            return {
+                "hits": self.stats.operator_hits,
+                "misses": self.stats.operator_misses,
+                "evictions": self.stats.evictions,
+                "entries": len(self._cache),
+                "bytes": self._cache_nbytes(),
+                "max_entries": self.max_operators,
+                "max_bytes": self.max_bytes,
+            }
 
 
 # ----------------------------------------------------------------------

@@ -55,9 +55,15 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     """The effective worker count for a parallel-capable call site.
 
     ``None`` defers to the ``REPRO_WORKERS`` environment variable
-    (absent/empty → 1, the serial default); ``0`` or a negative value
-    means "all available cores".  Inside a pool worker the answer is
-    always 1, so parallel layers never nest.
+    (absent/empty → 1, the serial default; ``0`` means "all available
+    cores"); an explicit ``0`` or negative argument means "all available
+    cores".  Inside a pool worker the answer is always 1, so parallel
+    layers never nest.
+
+    The environment variable is user input reaching deep call sites
+    (pool constructors, thread fan-outs), so malformed values demote to
+    the serial path with a warning instead of raising: a typo in a shell
+    profile must not take down every library entry point.
     """
     if _IN_WORKER:
         return 1
@@ -65,7 +71,17 @@ def resolve_workers(workers: Optional[int] = None) -> int:
         raw = os.environ.get("REPRO_WORKERS", "").strip()
         if not raw:
             return 1
-        workers = int(raw)
+        try:
+            workers = int(raw)
+        except ValueError:
+            logger.warning("REPRO_WORKERS=%r is not an integer; running serial", raw)
+            return 1
+        if workers < 0:
+            logger.warning(
+                "REPRO_WORKERS=%r is negative; running serial (use 0 for all cores)",
+                raw,
+            )
+            return 1
     workers = int(workers)
     if workers <= 0:
         return max(1, os.cpu_count() or 1)

@@ -1,0 +1,212 @@
+"""``ThermalClient``: a blocking socket client for the serving daemon.
+
+One TCP connection, one request in flight at a time (run N clients —
+threads or processes — for concurrency; that is exactly the traffic
+shape the daemon's micro-batcher fuses).  The client owns the retry
+half of the backpressure contract: an ``overloaded`` response sleeps
+``retry_after`` seconds and resends, up to ``max_retries`` times, so
+callers see a slow answer instead of an error when the daemon sheds
+load.
+
+Field arrays come back as nested JSON lists; the client reassembles
+them into float64 numpy arrays.  Python's JSON float round-trip is
+exact, so ``client.predict(...)`` is *bitwise* equal to the in-process
+``service.predict(...)`` it fused with.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..api import ThermalScenario
+from .protocol import ProtocolError, encode_frame, read_frame
+
+_ARRAY_FIELDS = ("fields", "peaks", "peak_traces", "times",
+                 "energy_imbalance")
+
+
+class ServerError(RuntimeError):
+    """A non-ok response: ``code`` carries the protocol error code."""
+
+    def __init__(self, code: str, message: str,
+                 retry_after: Optional[float] = None):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.retry_after = retry_after
+
+
+class ThermalClient:
+    """Connect to a :class:`~repro.serve.daemon.ThermalServer`.
+
+    Parameters
+    ----------
+    host / port:
+        Daemon address.
+    timeout:
+        Socket timeout per response (covers cold-scenario training on
+        the daemon side, hence the generous default).
+    max_retries:
+        How many ``overloaded`` backoffs to absorb before surfacing the
+        error to the caller.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7070,
+                 timeout: float = 600.0, max_retries: int = 8):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.max_retries = int(max_retries)
+        self._sock: Optional[socket.socket] = None
+        self._stream = None
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    def connect(self) -> "ThermalClient":
+        if self._sock is None:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+            self._stream = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._stream.close()
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            self._stream = None
+
+    def __enter__(self) -> "ThermalClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _roundtrip(self, message: Dict) -> Dict:
+        self.connect()
+        self._sock.sendall(encode_frame(message))
+        response = read_frame(self._stream)
+        if response is None:
+            raise ConnectionError("daemon closed the connection")
+        return response
+
+    def _call(self, message: Dict) -> Dict:
+        """Send, absorbing ``overloaded`` backpressure with retries."""
+        message = dict(message)
+        message.setdefault("id", next(self._ids))
+        for attempt in range(self.max_retries + 1):
+            response = self._roundtrip(message)
+            if response.get("ok"):
+                return response["result"]
+            error = response.get("error") or {}
+            code = error.get("code", "error")
+            retry_after = error.get("retry_after")
+            if code == "overloaded" and attempt < self.max_retries:
+                time.sleep(float(retry_after or 0.05))
+                continue
+            raise ServerError(code, error.get("message", "unknown error"),
+                              retry_after)
+        raise ServerError("overloaded", "retries exhausted")  # unreachable
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _scenario_dict(scenario) -> Dict:
+        if isinstance(scenario, ThermalScenario):
+            return scenario.to_dict()
+        if isinstance(scenario, dict):
+            return scenario
+        raise TypeError("scenario must be a ThermalScenario or its to_dict()")
+
+    @staticmethod
+    def _wire_designs(designs: Sequence[Dict]) -> List[Dict]:
+        wire = []
+        for design in designs:
+            wire.append({
+                name: (value.tolist() if isinstance(value, np.ndarray)
+                       else value)
+                for name, value in design.items()
+            })
+        return wire
+
+    @staticmethod
+    def _restore_arrays(result: Dict) -> Dict:
+        for key in _ARRAY_FIELDS:
+            if key in result:
+                result[key] = np.asarray(result[key], dtype=np.float64)
+        return result
+
+    def predict(self, scenario, designs: Sequence[Dict],
+                grid_shape: Optional[Sequence[int]] = None,
+                t: Optional[float] = None,
+                return_fields: bool = True) -> Dict:
+        """Surrogate-evaluate designs; transient scenarios need ``t``."""
+        message: Dict = {
+            "op": "predict",
+            "scenario": self._scenario_dict(scenario),
+            "designs": self._wire_designs(designs),
+            "return_fields": return_fields,
+        }
+        if grid_shape is not None:
+            message["grid_shape"] = [int(n) for n in grid_shape]
+        if t is not None:
+            message["t"] = float(t)
+        return self._restore_arrays(self._call(message))
+
+    def rollout(self, scenario, designs: Sequence[Dict],
+                times: Sequence[float],
+                grid_shape: Optional[Sequence[int]] = None,
+                return_fields: bool = True) -> Dict:
+        """Transient rollout over a shared time grid (seconds)."""
+        message: Dict = {
+            "op": "rollout",
+            "scenario": self._scenario_dict(scenario),
+            "designs": self._wire_designs(designs),
+            "times": [float(v) for v in times],
+            "return_fields": return_fields,
+        }
+        if grid_shape is not None:
+            message["grid_shape"] = [int(n) for n in grid_shape]
+        return self._restore_arrays(self._call(message))
+
+    def solve(self, scenario, designs: Sequence[Dict],
+              grid_shape: Optional[Sequence[int]] = None,
+              return_fields: bool = True) -> Dict:
+        """FDM reference solve through the daemon's solve farm."""
+        message: Dict = {
+            "op": "solve",
+            "scenario": self._scenario_dict(scenario),
+            "designs": self._wire_designs(designs),
+            "return_fields": return_fields,
+        }
+        if grid_shape is not None:
+            message["grid_shape"] = [int(n) for n in grid_shape]
+        return self._restore_arrays(self._call(message))
+
+    def ping(self) -> Dict:
+        return self._call({"op": "ping"})
+
+    def stats(self) -> Dict:
+        return self._call({"op": "stats"})
+
+    def shutdown(self) -> Dict:
+        """Ask the daemon to drain and exit (acknowledged immediately)."""
+        return self._call({"op": "shutdown"})
+
+
+__all__ = ["ProtocolError", "ServerError", "ThermalClient"]

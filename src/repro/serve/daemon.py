@@ -1,0 +1,650 @@
+"""``ThermalServer``: the long-running serving daemon.
+
+Owns one :class:`~repro.api.ThermalService` and exposes it over a TCP
+socket speaking the newline-JSON protocol (:mod:`repro.serve.protocol`).
+Concurrent predict / rollout / solve requests flow through a
+:class:`~repro.serve.batcher.MicroBatcher`: requests sharing a fuse key
+(scenario content digest + query-point identity) are coalesced into one
+fused engine call — a single ``(sum B_i, q) @ (q, N)`` merge dgemm for
+serving ops, one grouped ``SolveFarm.solve_many`` for reference solves —
+and split back per request.  That is the whole point of the daemon: the
+engine's 400–976x batched-arrival speedups only reach real traffic if
+something *makes* the batches.
+
+Operational contracts:
+
+* **Backpressure** — the request queue is bounded; past ``queue_depth``
+  the daemon answers ``overloaded`` with a ``retry_after`` hint instead
+  of buffering (memory stays bounded under any spike).
+* **Memory budget** — ``memory_budget`` bytes are split between the
+  trunk-feature cache and the private solve farm, both byte-accounted
+  LRUs; ``/stats`` reports residency, hits and evictions live.
+* **Warm start** — scenarios passed at boot are trained (or loaded from
+  the digest-keyed checkpoint registry) and their trunk features
+  precomputed before the first request lands.
+* **Clean shutdown** — SIGINT/SIGTERM (or the ``shutdown`` op) stops
+  intake, drains every queued request, flushes responses, closes the
+  worker pools and exits 0.
+* **Serial fallback** — if a fused dispatch fails, each request is
+  retried alone; one poisoned request errors alone instead of failing
+  its whole batch (and a crashed farm worker already demotes the farm
+  itself to its serial path).
+
+Concurrency model: one thread per connection parses and validates;
+*all* compute runs on the single batcher thread (the merge dgemm may
+still thread internally via ``workers``), so the service and its caches
+are never raced and fused results are deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import signal
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..api import ScenarioValidationError, ThermalScenario, ThermalService
+from .batcher import MicroBatcher, QueuedRequest, fuse_key_for
+from .protocol import (
+    BATCHED_OPS,
+    INLINE_OPS,
+    ProtocolError,
+    encode_frame,
+    error_response,
+    ok_response,
+    overloaded_response,
+    read_frame,
+)
+
+logger = logging.getLogger("repro.serve")
+
+
+class RequestError(ValueError):
+    """A request that parsed as JSON but cannot be served (bad_request)."""
+
+
+def _parse_designs(raw) -> List[Dict[str, np.ndarray]]:
+    """Wire designs → the mapping-per-design shape the engine consumes."""
+    if not isinstance(raw, list) or not raw:
+        raise RequestError("'designs' must be a non-empty list of objects")
+    designs = []
+    for index, design in enumerate(raw):
+        if not isinstance(design, dict) or not design:
+            raise RequestError(f"designs[{index}] must be a non-empty object")
+        parsed = {}
+        for name, value in design.items():
+            if isinstance(value, bool):
+                raise RequestError(f"designs[{index}].{name} is a bool")
+            if isinstance(value, (int, float)):
+                parsed[name] = float(value)
+            else:
+                try:
+                    parsed[name] = np.asarray(value, dtype=np.float64)
+                except (TypeError, ValueError) as exc:
+                    raise RequestError(
+                        f"designs[{index}].{name} is not numeric: {exc}"
+                    ) from exc
+        designs.append(parsed)
+    return designs
+
+
+def _parse_grid_shape(raw) -> Optional[Tuple[int, int, int]]:
+    if raw is None:
+        return None
+    try:
+        shape = tuple(int(n) for n in raw)
+    except (TypeError, ValueError) as exc:
+        raise RequestError(f"'grid_shape' must be three integers: {exc}") from exc
+    if len(shape) != 3 or any(n < 2 for n in shape):
+        raise RequestError("'grid_shape' must be three integers >= 2")
+    return shape
+
+
+class ThermalServer:
+    """Socket daemon fronting one :class:`~repro.api.ThermalService`.
+
+    Parameters
+    ----------
+    service:
+        An existing service to serve (the caller keeps its lifecycle);
+        default builds a private one from ``cache_dir`` / ``workers`` /
+        ``memory_budget`` and closes it on shutdown.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`port` after :meth:`start`).
+    max_batch / max_wait / queue_depth:
+        Micro-batching knobs — see :class:`MicroBatcher`.
+    memory_budget:
+        Byte budget over the service's caches (ignored when ``service``
+        is passed in — the caller configured it).
+    request_timeout:
+        Seconds a connection waits for its queued request before giving
+        up (covers boot-time training of a cold scenario).
+    """
+
+    def __init__(
+        self,
+        service: Optional[ThermalService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 16,
+        max_wait: float = 0.005,
+        queue_depth: int = 128,
+        memory_budget: Optional[int] = None,
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        request_timeout: float = 600.0,
+    ):
+        if service is None:
+            service = ThermalService(cache_dir=cache_dir, workers=workers,
+                                     memory_budget=memory_budget)
+            self._owns_service = True
+        else:
+            self._owns_service = False
+        self.service = service
+        self.host = host
+        self.port = int(port)
+        self.request_timeout = float(request_timeout)
+        self.retry_after = max(0.05, 4.0 * max_wait)
+        self.batcher = MicroBatcher(
+            self._execute_group,
+            max_batch=max_batch,
+            max_wait=max_wait,
+            queue_depth=queue_depth,
+        )
+        self._scenarios: Dict[str, ThermalScenario] = {}   # digest -> spec
+        self._spec_index: Dict[str, str] = {}              # raw-dict sha -> digest
+        self._scenario_lock = threading.Lock()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: set = set()
+        self._conn_lock = threading.Lock()
+        self._conn_threads: List[threading.Thread] = []
+        self._draining = threading.Event()
+        self._close_lock = threading.Lock()
+        self._closed = False
+        self._started_at = time.monotonic()
+        self._runners = {
+            "predict": self._run_predict,
+            "rollout": self._run_rollout,
+            "solve": self._run_solve,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ThermalServer":
+        """Bind, listen and serve on background threads; returns self."""
+        if self._listener is not None:
+            return self
+        listener = socket.create_server((self.host, self.port), backlog=64)
+        self._listener = listener
+        self.host, self.port = listener.getsockname()[:2]
+        self._started_at = time.monotonic()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+        logger.info("serving on %s:%d", self.host, self.port)
+        return self
+
+    def warm_start(self, scenarios: Sequence[ThermalScenario]) -> None:
+        """Boot-time model residency: train-or-load + trunk precompute.
+
+        Registry hits load instantly; cold scenarios train now, at boot,
+        instead of inside the first unlucky client's request window.
+        """
+        for scenario in scenarios:
+            digest = scenario.content_digest()
+            with self._scenario_lock:
+                self._scenarios[digest] = scenario
+            result = self.service.train(scenario)
+            engine = self.service.engine(scenario)
+            if scenario.transient is None:
+                engine.warmup(self.service.setup(scenario).eval_grid)
+            logger.info(
+                "warm-started %s (digest %s, %s)",
+                scenario.name, digest[:16],
+                "registry hit" if result.from_cache else "trained at boot",
+            )
+
+    def serve_forever(self, install_signal_handlers: bool = True) -> int:
+        """Run until SIGINT/SIGTERM (or a ``shutdown`` op); returns 0.
+
+        The signal handler only sets a flag — the actual drain (finish
+        queued requests, flush responses, close pools) runs on the main
+        thread afterwards, so a Ctrl-C mid-batch still answers every
+        accepted request before the process exits.
+        """
+        self.start()
+        stop = threading.Event()
+        self._stop_event = stop
+        if install_signal_handlers:
+            def _handler(signum, frame):
+                logger.info("signal %d: draining and shutting down", signum)
+                stop.set()
+
+            signal.signal(signal.SIGINT, _handler)
+            signal.signal(signal.SIGTERM, _handler)
+        try:
+            while not stop.is_set() and not self._closed:
+                stop.wait(0.2)
+        finally:
+            self.close(drain=True)
+        return 0
+
+    def close(self, drain: bool = True) -> None:
+        """Shut down exactly once: drain, flush, release (idempotent)."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._draining.set()
+        # Stop new connections first so the drain is a closed set.
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        self.batcher.close(drain=drain)
+        # Batched responses are flushed by their connection threads the
+        # moment their events fire; SHUT_RD turns each handler's next
+        # readline into a clean EOF without cutting off those writes.
+        with self._conn_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for thread in list(self._conn_threads):
+            thread.join(timeout=5.0)
+        for conn in connections:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._owns_service:
+            self.service.close()
+        logger.info("daemon closed (drained=%s)", drain)
+
+    def __enter__(self) -> "ThermalServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Socket plumbing
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, addr = self._listener.accept()
+            except OSError:  # listener closed: shutdown
+                return
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._conn_lock:
+                self._connections.add(conn)
+            thread = threading.Thread(
+                target=self._handle_connection, args=(conn,),
+                name=f"repro-serve-conn-{addr[1]}", daemon=True,
+            )
+            self._conn_threads.append(thread)
+            thread.start()
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        stream = conn.makefile("rb")
+        try:
+            while True:
+                try:
+                    message = read_frame(stream)
+                except ProtocolError as exc:
+                    conn.sendall(encode_frame(
+                        error_response(None, "bad_request", str(exc))
+                    ))
+                    return
+                if message is None:
+                    return
+                response = self._handle_message(message)
+                conn.sendall(encode_frame(response))
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # peer went away; nothing to answer
+        finally:
+            try:
+                stream.close()
+                conn.close()
+            except OSError:
+                pass
+            with self._conn_lock:
+                self._connections.discard(conn)
+
+    # ------------------------------------------------------------------
+    # Request handling (connection threads)
+    # ------------------------------------------------------------------
+    def _handle_message(self, message: Dict) -> Dict:
+        request_id = message.get("id")
+        op = message.get("op")
+        if op in INLINE_OPS:
+            return self._handle_inline(request_id, op)
+        if op not in BATCHED_OPS:
+            return error_response(
+                request_id, "bad_request",
+                f"unknown op {op!r}; expected one of "
+                f"{sorted(BATCHED_OPS + INLINE_OPS)}",
+            )
+        if self._draining.is_set():
+            return error_response(request_id, "shutting_down",
+                                  "daemon is draining; not accepting work")
+        try:
+            request = self._parse_batched(request_id, op, message)
+        except RequestError as exc:
+            return error_response(request_id, "bad_request", str(exc))
+        if not self.batcher.submit(request):
+            if self._draining.is_set():
+                return error_response(request_id, "shutting_down",
+                                      "daemon is draining; not accepting work")
+            return overloaded_response(request_id, self.retry_after,
+                                       self.batcher.depth())
+        if not request.event.wait(self.request_timeout):
+            return error_response(
+                request_id, "error",
+                f"request timed out after {self.request_timeout:g}s in queue",
+            )
+        return request.response
+
+    def _handle_inline(self, request_id, op: str) -> Dict:
+        if op == "ping":
+            from .. import __version__
+
+            return ok_response(request_id, {
+                "pong": True,
+                "version": __version__,
+                "uptime_seconds": time.monotonic() - self._started_at,
+            })
+        if op == "stats":
+            return ok_response(request_id, self.stats())
+        # shutdown: acknowledge first, then drain on a separate thread so
+        # this connection still receives its response.
+        threading.Thread(target=self.close, kwargs={"drain": True},
+                         name="repro-serve-shutdown", daemon=True).start()
+        if getattr(self, "_stop_event", None) is not None:
+            self._stop_event.set()
+        return ok_response(request_id, {"draining": True})
+
+    def _resolve_scenario(self, raw) -> ThermalScenario:
+        """Parse-and-cache the request's scenario spec.
+
+        Keyed twice: a sha over the raw dict skips re-validation of
+        byte-identical specs (the hot path — every request from a given
+        client repeats its spec), and the content digest is the identity
+        everything downstream fuses and caches on.
+        """
+        if not isinstance(raw, dict):
+            raise RequestError("'scenario' must be a ThermalScenario object "
+                               "(ThermalScenario.to_dict())")
+        spec_key = hashlib.sha1(
+            json.dumps(raw, sort_keys=True, separators=(",", ":"))
+            .encode("utf-8")
+        ).hexdigest()
+        with self._scenario_lock:
+            digest = self._spec_index.get(spec_key)
+            if digest is not None:
+                return self._scenarios[digest]
+        try:
+            scenario = ThermalScenario.from_dict(raw)
+        except ScenarioValidationError as exc:
+            raise RequestError(
+                "invalid scenario: " + "; ".join(exc.errors)
+            ) from exc
+        digest = scenario.content_digest()
+        with self._scenario_lock:
+            # First spec to land under a digest wins; identical content
+            # under a different name maps onto it (digest is the key).
+            existing = self._scenarios.get(digest)
+            if existing is None:
+                self._scenarios[digest] = scenario
+            else:
+                scenario = existing
+            self._spec_index[spec_key] = digest
+        return scenario
+
+    def _parse_batched(self, request_id, op: str, message: Dict
+                       ) -> QueuedRequest:
+        scenario = self._resolve_scenario(message.get("scenario"))
+        digest = scenario.content_digest()
+        designs = _parse_designs(message.get("designs"))
+        grid_shape = _parse_grid_shape(message.get("grid_shape"))
+        payload: Dict = {
+            "designs": designs,
+            "grid_shape": grid_shape,
+            "return_fields": bool(message.get("return_fields", True)),
+        }
+        times = None
+        t = None
+        if op == "rollout":
+            if scenario.transient is None:
+                raise RequestError("rollout needs a transient scenario")
+            raw_times = message.get("times")
+            if not isinstance(raw_times, list) or not raw_times:
+                raise RequestError("rollout needs 'times': a non-empty list "
+                                   "of seconds")
+            try:
+                times = [float(v) for v in raw_times]
+            except (TypeError, ValueError) as exc:
+                raise RequestError(f"'times' must be numbers: {exc}") from exc
+            payload["times"] = times
+        elif op == "predict":
+            t = message.get("t")
+            if scenario.transient is not None:
+                if t is None:
+                    raise RequestError(
+                        "transient scenarios evaluate at an instant: pass "
+                        "'t' (seconds) or use the rollout op"
+                    )
+                t = float(t)
+            elif t is not None:
+                raise RequestError("'t' is only valid for transient scenarios")
+            payload["t"] = t
+        key = fuse_key_for(op, digest, grid_shape, times=times, t=t)
+        return QueuedRequest(request_id=request_id, op=op, fuse_key=key,
+                             payload=payload)
+
+    # ------------------------------------------------------------------
+    # Fused execution (batcher thread)
+    # ------------------------------------------------------------------
+    def _execute_group(self, group: List[QueuedRequest]) -> None:
+        runner = self._runners[group[0].op]
+        try:
+            runner(group)
+        except Exception as exc:
+            if len(group) > 1:
+                # Serial fallback: one poisoned request must only fail
+                # itself.  Recursing with singletons reuses the runner
+                # and turns any remaining failure into a per-request
+                # error response.
+                logger.warning(
+                    "fused %s batch of %d failed (%s: %s); retrying serially",
+                    group[0].op, len(group), type(exc).__name__, exc,
+                )
+                for request in group:
+                    if not request.event.is_set():
+                        self._execute_group([request])
+            else:
+                request = group[0]
+                logger.warning("%s request failed: %s: %s",
+                               request.op, type(exc).__name__, exc)
+                request.resolve(error_response(
+                    request.request_id, "error",
+                    f"{type(exc).__name__}: {exc}",
+                ))
+
+    def _group_context(self, group: List[QueuedRequest]):
+        """(scenario, session entry, engine, grid) shared by a fused group."""
+        digest = group[0].fuse_key[1]
+        with self._scenario_lock:
+            scenario = self._scenarios[digest]
+        entry = self.service._ensure_trained(scenario)
+        engine = self.service.engine(scenario)
+        grid_shape = group[0].payload["grid_shape"]
+        grid = (entry.setup.eval_grid if grid_shape is None
+                else self.service._grid(entry, grid_shape))
+        return scenario, entry, engine, grid
+
+    @staticmethod
+    def _batch_meta(group: List[QueuedRequest], total_designs: int,
+                    elapsed: float) -> Dict:
+        return {
+            "requests": len(group),
+            "designs": total_designs,
+            "fused": len(group) > 1,
+            "elapsed_seconds": elapsed,
+        }
+
+    def _run_predict(self, group: List[QueuedRequest]) -> None:
+        scenario, _, engine, grid = self._group_context(group)
+        design_groups = [r.payload["designs"] for r in group]
+        t = group[0].payload["t"]
+        start = time.perf_counter()
+        if scenario.transient is not None:
+            fields = engine.predict_fused(design_groups, grid=grid,
+                                          times=[t])
+            fields = [block[:, 0, :] for block in fields]
+        else:
+            fields = engine.predict_fused(design_groups, grid=grid)
+        elapsed = time.perf_counter() - start
+        total = sum(len(g) for g in design_groups)
+        meta = self._batch_meta(group, total, elapsed)
+        for request, block in zip(group, fields):
+            result = {
+                "op": "predict",
+                "scenario": scenario.name,
+                "digest": scenario.content_digest(),
+                "peaks": block.max(axis=1),
+                "batch": meta,
+            }
+            if request.payload["return_fields"]:
+                result["fields"] = block
+            request.resolve(ok_response(request.request_id, result))
+
+    def _run_rollout(self, group: List[QueuedRequest]) -> None:
+        scenario, _, engine, grid = self._group_context(group)
+        design_groups = [r.payload["designs"] for r in group]
+        times = np.asarray(group[0].payload["times"], dtype=np.float64)
+        start = time.perf_counter()
+        blocks = engine.predict_fused(design_groups, grid=grid, times=times)
+        elapsed = time.perf_counter() - start
+        total = sum(len(g) for g in design_groups)
+        meta = self._batch_meta(group, total, elapsed)
+        for request, block in zip(group, blocks):
+            result = {
+                "op": "rollout",
+                "scenario": scenario.name,
+                "digest": scenario.content_digest(),
+                "times": times,
+                "peak_traces": block.max(axis=2),
+                "batch": meta,
+            }
+            if request.payload["return_fields"]:
+                result["fields"] = block
+            request.resolve(ok_response(request.request_id, result))
+
+    def _run_solve(self, group: List[QueuedRequest]) -> None:
+        digest = group[0].fuse_key[1]
+        with self._scenario_lock:
+            scenario = self._scenarios[digest]
+        design_groups = [r.payload["designs"] for r in group]
+        flat = [design for g in design_groups for design in g]
+        grid_shape = group[0].payload["grid_shape"]
+        # One grouped farm call: every design in the fused batch shares
+        # the operator digest, so K requests cost one back-substitution
+        # block instead of K factorization-amortized singles.
+        solve = self.service.solve(scenario, designs=flat,
+                                   grid_shape=grid_shape)
+        meta = self._batch_meta(group, len(flat), solve.elapsed)
+        offset = 0
+        for request, designs in zip(group, design_groups):
+            lo, hi = offset, offset + len(designs)
+            offset = hi
+            result = {
+                "op": "solve",
+                "scenario": scenario.name,
+                "digest": digest,
+                "grid_shape": list(solve.grid_shape),
+                "peaks": solve.peaks[lo:hi],
+                "energy_imbalance": solve.energy_imbalance[lo:hi],
+                "batch": meta,
+            }
+            if request.payload["return_fields"]:
+                result["fields"] = solve.fields[lo:hi]
+            request.resolve(ok_response(request.request_id, result))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict:
+        """The ``/stats`` payload: queue, caches, scenarios, residency."""
+        from .. import __version__
+
+        with self._scenario_lock:
+            scenarios = {
+                digest[:16]: scenario.name
+                for digest, scenario in self._scenarios.items()
+            }
+        with self._conn_lock:
+            connections = len(self._connections)
+        return {
+            "version": __version__,
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "host": self.host,
+            "port": self.port,
+            "connections": connections,
+            "draining": self._draining.is_set(),
+            "queue": self.batcher.stats(),
+            "caches": self.service.cache_stats(),
+            "memory_budget": self.service.memory_budget,
+            "scenarios": scenarios,
+        }
+
+    def __repr__(self) -> str:
+        state = ("closed" if self._closed
+                 else "listening" if self._listener is not None else "idle")
+        return f"ThermalServer({self.host}:{self.port}, {state})"
+
+
+def serve_main(
+    scenario_paths: Sequence[Union[str, Path]] = (),
+    host: str = "127.0.0.1",
+    port: int = 7070,
+    max_batch: int = 16,
+    max_wait: float = 0.005,
+    queue_depth: int = 128,
+    memory_budget: Optional[int] = None,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> int:
+    """The ``repro serve`` entry point: boot, warm-start, run, drain."""
+    scenarios = [ThermalScenario.from_json(path) for path in scenario_paths]
+    server = ThermalServer(
+        host=host, port=port, max_batch=max_batch, max_wait=max_wait,
+        queue_depth=queue_depth, memory_budget=memory_budget,
+        workers=workers, cache_dir=cache_dir,
+    )
+    server.start()
+    print(f"repro serve: listening on {server.host}:{server.port} "
+          f"(max_batch={max_batch}, max_wait={max_wait * 1e3:g}ms, "
+          f"queue_depth={queue_depth})", flush=True)
+    if scenarios:
+        server.warm_start(scenarios)
+        print(f"repro serve: warm-started {len(scenarios)} scenario(s)",
+              flush=True)
+    return server.serve_forever()

@@ -140,6 +140,28 @@ class TestResolveWorkers:
         monkeypatch.setattr(pool_mod, "_IN_WORKER", True)
         assert resolve_workers(8) == 1
 
+    def test_malformed_env_warns_and_runs_serial(self, monkeypatch, caplog):
+        # A bad knob in a deploy script must degrade a daemon to serial,
+        # not kill it at import time (ISSUE 7 hardening).
+        monkeypatch.setenv("REPRO_WORKERS", "four")
+        with caplog.at_level("WARNING", logger="repro.parallel"):
+            assert resolve_workers(None) == 1
+        assert "REPRO_WORKERS" in caplog.text
+
+    def test_negative_env_warns_and_runs_serial(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_WORKERS", "-3")
+        with caplog.at_level("WARNING", logger="repro.parallel"):
+            assert resolve_workers(None) == 1
+        assert "negative" in caplog.text
+
+    def test_empty_env_is_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "   ")
+        assert resolve_workers(None) == 1
+
+    def test_env_zero_still_means_all_cores(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert resolve_workers(None) == max(1, os.cpu_count() or 1)
+
 
 # ----------------------------------------------------------------------
 # Threaded backend: chunked matmul parity.

@@ -1,0 +1,626 @@
+"""Serving daemon: protocol, micro-batcher, end-to-end socket parity.
+
+The contract under test (ISSUE 7):
+
+* the newline-JSON protocol round-trips floats exactly, so responses
+  fetched through a real socket are *bitwise* equal to in-process
+  serial ``ThermalService`` calls — including when N concurrent clients
+  with mixed digests and grids get fused into shared merge dgemms;
+* the queue is bounded: overflow answers ``overloaded`` with a
+  ``retry_after`` hint (and the client's retry loop absorbs it), never
+  unbounded buffering;
+* byte-budgeted caches evict under pressure without changing results;
+* shutdown drains in-flight work, flushes every response and closes
+  pools; ``close()`` is idempotent on daemon and service alike;
+* a crashed farm worker demotes the farm to its serial path and the
+  next solve request still answers correctly.
+"""
+
+import io
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import ThermalService, scenario_for
+from repro.serve import (
+    MicroBatcher,
+    ProtocolError,
+    QueuedRequest,
+    ServerError,
+    ThermalClient,
+    ThermalServer,
+    decode_frame,
+    encode_frame,
+    fuse_key_for,
+    read_frame,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+def _tiny(family: str = "a"):
+    scenario = scenario_for(family, scale="test")
+    scenario.training.iterations = 5
+    return scenario
+
+
+def _designs(service, scenario, n, seed=0):
+    raws = service.sample_designs(scenario, n, seed=seed)
+    return [{name: batch[index] for name, batch in raws.items()}
+            for index in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_roundtrip_is_bitwise_for_floats(self):
+        rng = np.random.default_rng(0)
+        field = rng.standard_normal((3, 17)) * 300.0
+        frame = encode_frame({"id": 1, "ok": True,
+                              "result": {"fields": field}})
+        decoded = decode_frame(frame.rstrip(b"\n"))
+        restored = np.asarray(decoded["result"]["fields"], dtype=np.float64)
+        assert np.array_equal(restored, field)  # exact, not approx
+
+    def test_read_frame_eof_and_unterminated(self):
+        assert read_frame(io.BytesIO(b"")) is None
+        assert read_frame(io.BytesIO(b'{"op":"ping"}\n')) == {"op": "ping"}
+        with pytest.raises(ProtocolError):
+            read_frame(io.BytesIO(b'{"op":"ping"}'))  # no newline
+
+    def test_rejects_non_object_and_bad_json(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"[1, 2, 3]")
+        with pytest.raises(ProtocolError):
+            decode_frame(b"{not json")
+
+    def test_fuse_key_binds_identity(self):
+        base = fuse_key_for("predict", "d" * 16, None)
+        assert base == fuse_key_for("predict", "d" * 16, None)
+        assert base != fuse_key_for("solve", "d" * 16, None)
+        assert base != fuse_key_for("predict", "e" * 16, None)
+        assert base != fuse_key_for("predict", "d" * 16, (8, 8, 4))
+        assert base != fuse_key_for("predict", "d" * 16, None, t=0.5)
+        assert (fuse_key_for("rollout", "d" * 16, None, times=[0.1, 0.2])
+                != fuse_key_for("rollout", "d" * 16, None, times=[0.1]))
+
+
+# ----------------------------------------------------------------------
+# MicroBatcher
+# ----------------------------------------------------------------------
+def _request(key, rid=0):
+    return QueuedRequest(request_id=rid, op="predict", fuse_key=key,
+                         payload={})
+
+
+class TestMicroBatcher:
+    def test_same_key_requests_fuse(self):
+        groups = []
+        done = threading.Event()
+
+        def execute(group):
+            groups.append([r.request_id for r in group])
+            for r in group:
+                r.resolve({"ok": True, "id": r.request_id})
+            if sum(len(g) for g in groups) >= 4:
+                done.set()
+
+        batcher = MicroBatcher(execute, max_batch=8, max_wait=0.2)
+        key = ("predict", "aa", ("eval",))
+        requests = [_request(key, i) for i in range(4)]
+        for r in requests:
+            assert batcher.submit(r)
+        done.wait(5.0)
+        for r in requests:
+            assert r.event.wait(5.0)
+        batcher.close()
+        assert [0, 1, 2, 3] in groups  # one fused dispatch
+        stats = batcher.stats()
+        assert stats["fused_requests"] >= 4
+        assert stats["max_batch_seen"] >= 4
+
+    def test_mixed_keys_split_but_preserve_order(self):
+        groups = []
+
+        def execute(group):
+            groups.append(sorted(r.fuse_key for r in group))
+            for r in group:
+                r.resolve({"ok": True})
+
+        batcher = MicroBatcher(execute, max_batch=8, max_wait=0.1)
+        requests = [_request(("a",), 0), _request(("b",), 1),
+                    _request(("a",), 2), _request(("b",), 3)]
+        for r in requests:
+            assert batcher.submit(r)
+        for r in requests:
+            assert r.event.wait(5.0)
+        batcher.close()
+        # every dispatched group is single-key
+        for group in groups:
+            assert len(set(group)) == 1
+
+    def test_max_batch_caps_group_size(self):
+        sizes = []
+
+        def execute(group):
+            sizes.append(len(group))
+            for r in group:
+                r.resolve({"ok": True})
+
+        batcher = MicroBatcher(execute, max_batch=2, max_wait=0.05)
+        requests = [_request(("k",), i) for i in range(5)]
+        for r in requests:
+            assert batcher.submit(r)
+        for r in requests:
+            assert r.event.wait(5.0)
+        batcher.close()
+        assert max(sizes) <= 2
+
+    def test_bounded_queue_rejects_overflow(self):
+        release = threading.Event()
+
+        def execute(group):
+            release.wait(10.0)
+            for r in group:
+                r.resolve({"ok": True})
+
+        batcher = MicroBatcher(execute, max_batch=1, max_wait=0.0,
+                               queue_depth=2)
+        accepted = [_request(("k",), i) for i in range(8)]
+        verdicts = [batcher.submit(r) for r in accepted]
+        # first goes straight to the dispatcher, two queue, rest refuse
+        assert verdicts.count(True) >= 2
+        assert verdicts.count(False) >= 1
+        assert batcher.stats()["rejected"] >= 1
+        release.set()
+        batcher.close()
+
+    def test_close_without_drain_fails_pending(self):
+        release = threading.Event()
+
+        def execute(group):
+            release.wait(10.0)
+            for r in group:
+                r.resolve({"ok": True})
+
+        batcher = MicroBatcher(execute, max_batch=1, max_wait=0.0,
+                               queue_depth=8)
+        requests = [_request(("k",), i) for i in range(4)]
+        for r in requests:
+            assert batcher.submit(r)
+        time.sleep(0.05)  # let the dispatcher take the head request
+        release.set()
+        batcher.close(drain=False)
+        assert not batcher.submit(_request(("k",), 99))  # closed
+        for r in requests:
+            assert r.event.wait(5.0)
+            assert r.response is not None
+        codes = {r.response.get("error", {}).get("code") for r in requests}
+        assert "shutting_down" in codes or all(
+            r.response.get("ok") for r in requests
+        )
+
+    def test_buggy_executor_never_strands_clients(self):
+        def execute(group):
+            raise RuntimeError("boom")
+
+        batcher = MicroBatcher(execute, max_batch=4, max_wait=0.0)
+        request = _request(("k",), 0)
+        assert batcher.submit(request)
+        assert request.event.wait(5.0)
+        assert request.response["ok"] is False
+        batcher.close()
+
+    def test_validates_knobs(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda g: None, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda g: None, queue_depth=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda g: None, max_wait=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Daemon end-to-end (real sockets)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def registry_dir(tmp_path_factory):
+    """Pre-trained registry shared by every daemon in this module."""
+    root = tmp_path_factory.mktemp("serve_registry")
+    with ThermalService(cache_dir=root) as service:
+        for family in ("a", "b", "transient"):
+            service.train(_tiny(family))
+    return root
+
+
+class TestDaemonEndToEnd:
+    def test_concurrent_mixed_traffic_is_bitwise_serial(self, registry_dir):
+        """N clients, mixed digests+grids, fused answers == serial answers."""
+        scn_a, scn_b = _tiny("a"), _tiny("b")
+        with ThermalService(cache_dir=registry_dir) as reference, \
+                ThermalServer(cache_dir=registry_dir, max_wait=0.05) as server:
+            designs_a = _designs(reference, scn_a, 6, seed=1)
+            designs_b = _designs(reference, scn_b, 4, seed=2)
+            expected = {
+                "a-eval": reference.predict(scn_a, designs_a).fields,
+                "a-grid": reference.predict(scn_a, designs_a,
+                                            grid_shape=(7, 7, 4)).fields,
+                "b-eval": reference.predict(scn_b, designs_b).fields,
+            }
+
+            jobs = [
+                ("a-eval", scn_a, designs_a[0:2], None),
+                ("a-eval", scn_a, designs_a[2:4], None),
+                ("a-eval", scn_a, designs_a[4:6], None),
+                ("a-grid", scn_a, designs_a[0:3], (7, 7, 4)),
+                ("b-eval", scn_b, designs_b[0:2], None),
+                ("b-eval", scn_b, designs_b[2:4], None),
+            ]
+            slices = {"a-eval": [(0, 2), (2, 4), (4, 6)],
+                      "a-grid": [(0, 3)],
+                      "b-eval": [(0, 2), (2, 4)]}
+            results = [None] * len(jobs)
+
+            def worker(index, scenario, designs, grid_shape):
+                with ThermalClient(port=server.port) as client:
+                    results[index] = client.predict(
+                        scenario, designs, grid_shape=grid_shape
+                    )
+
+            threads = [
+                threading.Thread(target=worker, args=(i, scn, d, g))
+                for i, (_, scn, d, g) in enumerate(jobs)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+
+            cursor = {key: 0 for key in slices}
+            for (key, _, _, _), result in zip(jobs, results):
+                lo, hi = slices[key][cursor[key]]
+                cursor[key] += 1
+                assert np.array_equal(result["fields"], expected[key][lo:hi])
+                assert np.array_equal(result["peaks"],
+                                      expected[key][lo:hi].max(axis=1))
+            stats = server.stats()
+            assert stats["queue"]["dispatched_requests"] == len(jobs)
+
+    def test_transient_predict_and_rollout_parity(self, registry_dir):
+        scn = _tiny("transient")
+        with ThermalService(cache_dir=registry_dir) as reference, \
+                ThermalServer(cache_dir=registry_dir, max_wait=0.05) as server:
+            designs = _designs(reference, scn, 3, seed=4)
+            times = np.linspace(0.0, scn.transient.horizon, 4)
+            expected = reference.rollout(scn, designs, times)
+            instant = reference.predict(scn, designs,
+                                        t=float(times[1])).fields
+
+            with ThermalClient(port=server.port) as client:
+                rollout = client.rollout(scn, designs,
+                                         times=[float(v) for v in times])
+                predict = client.predict(scn, designs, t=float(times[1]))
+            assert np.array_equal(rollout["fields"], expected.fields)
+            assert np.array_equal(rollout["peak_traces"],
+                                  expected.peak_traces)
+            assert np.array_equal(predict["fields"], instant)
+
+    def test_solve_fuses_and_matches_serial(self, registry_dir):
+        scn = _tiny("a")
+        with ThermalService(cache_dir=registry_dir) as reference, \
+                ThermalServer(cache_dir=registry_dir, max_wait=0.05) as server:
+            designs = _designs(reference, scn, 4, seed=5)
+            expected = reference.solve(scn, designs=designs)
+            results = [None, None]
+
+            def worker(index):
+                with ThermalClient(port=server.port) as client:
+                    results[index] = client.solve(
+                        scn, designs[2 * index:2 * index + 2]
+                    )
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            for index, result in enumerate(results):
+                lo = 2 * index
+                assert np.array_equal(result["fields"],
+                                      expected.fields[lo:lo + 2])
+                assert np.array_equal(result["peaks"],
+                                      expected.peaks[lo:lo + 2])
+                assert np.array_equal(result["energy_imbalance"],
+                                      expected.energy_imbalance[lo:lo + 2])
+
+    def test_eviction_pressure_does_not_change_answers(self, registry_dir):
+        """A ~1-entry byte budget forces constant evictions; answers hold."""
+        scn = _tiny("a")
+        with ThermalService(cache_dir=registry_dir) as reference, \
+                ThermalServer(cache_dir=registry_dir, max_wait=0.01,
+                              memory_budget=64 * 1024) as server:
+            designs = _designs(reference, scn, 2, seed=6)
+            grids = [None, (6, 6, 4), (7, 7, 4), None, (6, 6, 4)]
+            expected = [
+                reference.predict(scn, designs, grid_shape=grid).fields
+                for grid in grids
+            ]
+            with ThermalClient(port=server.port) as client:
+                for grid, fields in zip(grids, expected):
+                    result = client.predict(scn, designs, grid_shape=grid)
+                    assert np.array_equal(result["fields"], fields)
+                stats = client.stats()
+            trunk = stats["caches"]["trunk"]
+            assert trunk["evictions"] > 0
+            assert trunk["max_bytes"] == 32 * 1024  # half the budget
+
+    def test_backpressure_rejects_then_client_retries(self, registry_dir):
+        scn = _tiny("a")
+        with ThermalServer(cache_dir=registry_dir, max_batch=1,
+                           max_wait=0.0, queue_depth=1) as server:
+            server.warm_start([scn])
+            with ThermalService(cache_dir=registry_dir) as reference:
+                designs = _designs(reference, scn, 2, seed=7)
+                expected = reference.predict(scn, designs).fields
+
+            # hold the dispatcher hostage so the queue backs up
+            release = threading.Event()
+            blocker = QueuedRequest(
+                request_id="block", op="predict",
+                fuse_key=("__block__",), payload={},
+            )
+            original = server._execute_group
+
+            def gated(group):
+                if group and group[0].request_id == "block":
+                    release.wait(10.0)
+                    for request in group:
+                        request.resolve({"id": request.request_id,
+                                         "ok": True, "result": {}})
+                    return
+                original(group)
+
+            server.batcher.execute = gated
+            assert server.batcher.submit(blocker)
+            filler = QueuedRequest(request_id="fill", op="predict",
+                                   fuse_key=("__block__",), payload={})
+            time.sleep(0.05)  # dispatcher now holds the blocker
+            assert server.batcher.submit(filler)  # fills the queue
+
+            rejected = {}
+
+            def raw_reject():
+                import socket as socket_mod
+
+                from repro.serve.protocol import encode_frame as enc
+                from repro.serve.protocol import read_frame as rf
+                with socket_mod.create_connection(
+                        ("127.0.0.1", server.port), timeout=30) as sock:
+                    sock.sendall(enc({
+                        "id": "r", "op": "predict",
+                        "scenario": scn.to_dict(),
+                        "designs": [
+                            {k: (v.tolist() if isinstance(v, np.ndarray)
+                                 else v) for k, v in designs[0].items()}
+                        ],
+                    }))
+                    rejected.update(rf(sock.makefile("rb")))
+
+            raw_reject()
+            assert rejected["ok"] is False
+            assert rejected["error"]["code"] == "overloaded"
+            assert rejected["error"]["retry_after"] > 0
+
+            # releasing the dispatcher lets the client retry loop win
+            def release_soon():
+                time.sleep(0.2)
+                release.set()
+
+            threading.Thread(target=release_soon, daemon=True).start()
+            with ThermalClient(port=server.port, max_retries=50) as client:
+                result = client.predict(scn, designs)
+            assert np.array_equal(result["fields"], expected)
+            assert server.batcher.stats()["rejected"] >= 1
+
+    def test_worker_crash_demotes_to_serial_answers_still_correct(
+            self, registry_dir):
+        scn = _tiny("a")
+        with ThermalServer(cache_dir=registry_dir, workers=2,
+                           max_wait=0.01) as server:
+            with ThermalService(cache_dir=registry_dir) as reference:
+                designs = _designs(reference, scn, 2, seed=8)
+                expected = reference.solve(scn, designs=designs)
+            with ThermalClient(port=server.port) as client:
+                first = client.solve(scn, designs)
+                assert np.array_equal(first["peaks"], expected.peaks)
+                # kill a pool worker mid-flight state: the farm demotes
+                # itself to the serial path on the next submission
+                farm = server.service.farm
+                assert farm._pool is not None
+                farm._pool.terminate_worker(0)
+                second = client.solve(scn, designs)
+            assert np.array_equal(second["peaks"], expected.peaks)
+            assert np.array_equal(second["fields"], expected.fields)
+            assert farm._pool_broken or farm._pool is None
+
+    def test_bad_requests_answer_bad_request(self, registry_dir):
+        scn = _tiny("a")
+        with ThermalServer(cache_dir=registry_dir) as server:
+            server.warm_start([scn])
+            with ThermalClient(port=server.port) as client:
+                with pytest.raises(ServerError) as info:
+                    client._call({"op": "predict", "scenario": "nope",
+                                  "designs": []})
+                assert info.value.code == "bad_request"
+                with pytest.raises(ServerError) as info:
+                    client._call({"op": "warp", "scenario": scn.to_dict()})
+                assert info.value.code == "bad_request"
+                with pytest.raises(ServerError) as info:
+                    client.predict(scn, [{"power_map": "NaN soup"}])
+                assert info.value.code == "bad_request"
+                # steady scenario refuses an instant
+                with pytest.raises(ServerError) as info:
+                    client.predict(scn, _designs_inline(scn), t=0.5)
+                assert info.value.code == "bad_request"
+
+    def test_malformed_frame_gets_error_not_hang(self, registry_dir):
+        import socket as socket_mod
+
+        with ThermalServer(cache_dir=registry_dir) as server:
+            with socket_mod.create_connection(
+                    ("127.0.0.1", server.port), timeout=30) as sock:
+                sock.sendall(b"this is not json\n")
+                response = json.loads(sock.makefile("rb").readline())
+            assert response["ok"] is False
+            assert response["error"]["code"] == "bad_request"
+
+    def test_shutdown_op_drains_and_closes(self, registry_dir):
+        scn = _tiny("a")
+        server = ThermalServer(cache_dir=registry_dir, max_wait=0.05)
+        server.start()
+        server.warm_start([scn])
+        with ThermalService(cache_dir=registry_dir) as reference:
+            designs = _designs(reference, scn, 2, seed=9)
+            expected = reference.predict(scn, designs).fields
+        with ThermalClient(port=server.port) as client:
+            result = client.predict(scn, designs)
+            assert np.array_equal(result["fields"], expected)
+            ack = client.shutdown()
+            assert ack["draining"] is True
+        deadline = time.monotonic() + 30
+        while not server._closed and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert server._closed
+        server.close()  # idempotent
+
+    def test_ping_and_stats_shapes(self, registry_dir):
+        with ThermalServer(cache_dir=registry_dir) as server:
+            with ThermalClient(port=server.port) as client:
+                pong = client.ping()
+                assert pong["pong"] is True
+                stats = client.stats()
+            assert stats["queue"]["queue_depth"] == 128
+            assert "trunk" in stats["caches"]
+            assert stats["draining"] is False
+
+
+def _designs_inline(scenario):
+    with ThermalService() as service:
+        return _designs(service, scenario, 1, seed=0)
+
+
+# ----------------------------------------------------------------------
+# Context managers / idempotent teardown (satellite 1)
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_service_context_manager_closes_once(self, tmp_path):
+        service = ThermalService(cache_dir=tmp_path, workers=2)
+        farm = service.farm
+        assert farm is not service  # private farm, not the default
+        assert service._owns_farm
+        service.close()
+        assert service._farm is None
+        service.close()  # second close is a no-op, not an error
+
+    def test_service_with_block(self, tmp_path):
+        with ThermalService(cache_dir=tmp_path) as service:
+            scn = _tiny("a")
+            service.train(scn)
+            service.predict(scn, _designs(service, scn, 1))
+        assert service._trunk_cache.cache_stats()["entries"] == 0
+
+    def test_shared_farm_is_left_alone(self, tmp_path):
+        from repro.fdm import get_default_farm
+
+        with ThermalService(cache_dir=tmp_path) as service:
+            assert service.farm is get_default_farm()
+        # closing the service must not null the process-wide farm
+        assert get_default_farm() is not None
+
+    def test_server_close_idempotent_and_reports(self, registry_dir):
+        server = ThermalServer(cache_dir=registry_dir)
+        server.start()
+        server.close()
+        server.close()
+        assert repr(server).endswith("closed)")
+
+    def test_closed_service_lazily_rebuilds(self, tmp_path):
+        service = ThermalService(cache_dir=tmp_path, workers=2)
+        _ = service.farm
+        service.close()
+        rebuilt = service.farm  # usable again after close
+        assert rebuilt is not None
+        service.close()  # and tears down again
+        assert service._farm is None
+
+
+# ----------------------------------------------------------------------
+# Byte-accounted cache stats (satellite 2)
+# ----------------------------------------------------------------------
+class TestCacheStats:
+    def test_trunk_cache_counts_bytes_and_evicts(self):
+        from repro.engine.surrogate import TrunkFeatureCache
+
+        cache = TrunkFeatureCache(max_entries=8, max_bytes=2000)
+        for index in range(4):
+            cache.put(("k", index), np.zeros(100))  # 800 bytes each
+        stats = cache.cache_stats()
+        assert stats["bytes"] <= 2000
+        assert stats["evictions"] >= 2
+        assert stats["entries"] == stats["bytes"] // 800
+
+    def test_trunk_cache_keeps_most_recent_oversized_entry(self):
+        from repro.engine.surrogate import TrunkFeatureCache
+
+        cache = TrunkFeatureCache(max_entries=8, max_bytes=10)
+        big = np.zeros(1000)
+        cache.put(("big",), big)
+        assert cache.get(("big",)) is big  # never evict down to empty
+
+    def test_farm_budget_evicts_operators(self):
+        from repro.fdm import SolveFarm
+        from repro.geometry import StructuredGrid, paper_chip_a
+
+        farm = SolveFarm(max_operators=8, max_bytes=1)  # everything over
+        chip = paper_chip_a()
+        with ThermalService() as service:
+            scn = _tiny("a")
+            setup = service.setup(scn)
+            model = setup.model
+            design = _designs(service, scn, 1)[0]
+            for shape in ((6, 6, 4), (7, 7, 4), (8, 8, 4)):
+                grid = StructuredGrid(chip, shape)
+                problem = model.concrete_config(design).heat_problem(grid)
+                farm.solve(problem)
+        stats = farm.cache_stats()
+        assert stats["entries"] <= 1  # budget of 1 byte: keep newest only
+        assert stats["evictions"] >= 2
+        assert stats["max_bytes"] == 1
+
+    def test_service_cache_stats_shape(self, tmp_path):
+        with ThermalService(cache_dir=tmp_path,
+                            memory_budget=1024 * 1024) as service:
+            stats = service.cache_stats()
+            assert set(stats["trunk"]) >= {"hits", "misses", "evictions",
+                                           "entries", "bytes", "max_bytes"}
+            assert stats["trunk"]["max_bytes"] == 512 * 1024
+            scn = _tiny("a")
+            service.solve(scn, n_designs=1)
+            stats = service.cache_stats()
+            assert stats["farm"]["max_bytes"] == 512 * 1024
+            assert stats["farm"]["bytes"] > 0
+
+    def test_frozen_nbytes_is_positive_and_additive(self, tmp_path):
+        with ThermalService(cache_dir=tmp_path) as service:
+            scn = _tiny("a")
+            service.train(scn)
+            net = service.engine(scn).net
+        assert net.nbytes > 0
+        assert net.nbytes >= net.trunk.nbytes + sum(
+            b.nbytes for b in net.branches
+        )
