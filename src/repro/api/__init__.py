@@ -53,6 +53,7 @@ from .scenario import (
     TransientSectionSpec,
     VolumetricSourceSpec,
 )
+from ..nn.serialize import CheckpointCorrupt
 from .service import (
     DEFAULT_CACHE_DIR,
     CheckpointRegistry,
@@ -70,6 +71,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "DEFAULT_CACHE_DIR",
     "BoundarySpec",
+    "CheckpointCorrupt",
     "CheckpointRegistry",
     "CollocationSpec",
     "GRFSpec",

@@ -17,6 +17,7 @@ every cached artifact.
 
 from __future__ import annotations
 
+import logging
 import os
 import re
 import time
@@ -26,7 +27,10 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from ..nn.serialize import CheckpointCorrupt
 from .scenario import ThermalScenario
+
+logger = logging.getLogger(__name__)
 
 DEFAULT_CACHE_DIR = Path(
     os.environ.get(
@@ -164,6 +168,17 @@ class CheckpointRegistry:
     scopes the slot so a release that changes training semantics without
     touching any scenario field retrains instead of silently reusing a
     stale model.
+
+    Loads are digest-verified: a checkpoint that fails sha256 payload
+    verification (torn write, bit rot, tampering) is *quarantined* —
+    renamed to ``<name>.corrupt`` so it stops matching :meth:`find` but
+    stays on disk for postmortems — and the
+    :class:`~repro.nn.CheckpointCorrupt` raised carries both paths.
+    An in-progress training run additionally gets a *partial* slot
+    (``<slug>-<digest16>-v<version>.train.npz``, see
+    :meth:`train_state_path`) holding resumable trainer state; partial
+    slots never satisfy :meth:`find` and are excluded from
+    :meth:`entries`.
     """
 
     DIGEST_CHARS = 16
@@ -184,6 +199,19 @@ class CheckpointRegistry:
 
     def path_for(self, scenario: ThermalScenario) -> Path:
         return self.root / f"{self._slug(scenario.name)}-{self._key(scenario)}"
+
+    def train_state_path(self, scenario: ThermalScenario) -> Path:
+        """The *partial* slot: resumable trainer state for this digest.
+
+        Lives next to the final slot but under ``….train.npz``, so
+        :meth:`find` (which globs for ``…-<digest>-v<version>.npz``)
+        can never mistake a half-trained snapshot for a finished model.
+        """
+        key = self._key(scenario)
+        assert key.endswith(".npz")
+        return self.root / (
+            f"{self._slug(scenario.name)}-{key[:-len('.npz')]}.train.npz"
+        )
 
     def find(self, scenario: ThermalScenario) -> Optional[Path]:
         """The stored checkpoint for this content digest, if any.
@@ -207,6 +235,9 @@ class CheckpointRegistry:
         path = self.path_for(scenario)
         meta = dict(meta or {})
         meta.setdefault("scenario_digest", scenario.content_digest())
+        # Lineage slot for downstream provenance tooling: which
+        # checkpoint (if any) this one was fine-tuned/resumed from.
+        meta.setdefault("lineage", {"parent_digest": None})
         # Write-then-rename: a crash (or a concurrent writer) mid-save
         # must never leave a truncated npz in the digest slot, where the
         # next find() would load it as a valid checkpoint.
@@ -215,7 +246,27 @@ class CheckpointRegistry:
         os.replace(written, path)
         return path
 
+    def quarantine(self, path: Union[str, Path]) -> Path:
+        """Move a bad checkpoint aside (``<name>.corrupt``) and return it.
+
+        The rename takes the file out of every future :meth:`find` /
+        :meth:`entries` result while keeping the bytes on disk for
+        inspection; an existing quarantine of the same name is
+        overwritten (the newest corpse wins).
+        """
+        path = Path(path)
+        target = path.with_name(path.name + ".corrupt")
+        os.replace(path, target)
+        return target
+
     def load(self, scenario: ThermalScenario, model) -> Dict:
+        """Restore the stored checkpoint into ``model``; returns metadata.
+
+        A checkpoint that fails digest verification (or otherwise does
+        not deserialize into the model) is quarantined on disk and the
+        re-raised :class:`~repro.nn.CheckpointCorrupt` records where it
+        went — the caller's cue to retrain into the now-empty slot.
+        """
         path = self.find(scenario)
         if path is None:
             raise FileNotFoundError(
@@ -223,12 +274,23 @@ class CheckpointRegistry:
                 f"{scenario.content_digest()[:self.DIGEST_CHARS]} "
                 f"in {self.root}"
             )
-        return model.load(path)
+        try:
+            return model.load(path)
+        except CheckpointCorrupt as exc:
+            quarantined = self.quarantine(path)
+            raise CheckpointCorrupt(
+                path, exc.reason, quarantined=quarantined
+            ) from exc
 
     def entries(self) -> List[Path]:
+        """Finished checkpoints only (partial ``.train.npz`` slots hidden)."""
         if not self.root.exists():
             return []
-        return sorted(self.root.glob("*.npz"))
+        return sorted(
+            path
+            for path in self.root.glob("*.npz")
+            if not path.name.endswith(".train.npz")
+        )
 
 
 # ----------------------------------------------------------------------
@@ -473,43 +535,92 @@ class ThermalService:
         scenario: ThermalScenario,
         force_retrain: bool = False,
         verbose: bool = False,
+        resume: bool = False,
+        checkpoint_every: Optional[int] = None,
     ) -> TrainResult:
         """Train a scenario's surrogate, or load it from the registry.
 
         The registry keys on the scenario's *content digest*: any change
         to physics, architecture or budget lands in a fresh slot, and
-        scenarios differing only by name share one.
+        scenarios differing only by name share one.  A cached checkpoint
+        that fails digest verification is quarantined and the scenario
+        retrained into the slot — corruption self-heals instead of
+        propagating garbage weights.
+
+        ``checkpoint_every=N`` autosaves resumable trainer state into
+        the registry's partial slot every N iterations;
+        ``resume=True`` continues from that slot if present (bitwise
+        identical to an uninterrupted run) and is a no-op fresh start
+        otherwise.  The partial slot is deleted once the run finishes
+        and the final checkpoint is saved.
         """
         entry = self.session(scenario)
         digest = scenario.content_digest()
 
-        path = None if force_retrain else self.registry.find(scenario)
-        if path is not None:
-            meta = entry.setup.model.load(path)
-            entry.trained = True
-            entry.meta = dict(meta or {})
-            final_loss = entry.meta.get("final_loss")
-            wall_time = entry.meta.get("wall_time")
-            return TrainResult(
-                scenario_name=scenario.name,
-                digest=digest,
-                checkpoint_path=path,
-                from_cache=True,
-                iterations=scenario.training.iterations,
-                final_loss=float(final_loss) if final_loss is not None else None,
-                wall_time=float(wall_time) if wall_time is not None else None,
-            )
+        if not force_retrain and self.registry.has(scenario):
+            try:
+                meta = self.registry.load(scenario, entry.setup.model)
+            except CheckpointCorrupt as exc:
+                logger.warning(
+                    "cached checkpoint for %s (digest %s) is corrupt: %s; "
+                    "retraining into the slot",
+                    scenario.name,
+                    digest[: self.registry.DIGEST_CHARS],
+                    exc,
+                )
+            else:
+                path = self.registry.find(scenario)
+                entry.trained = True
+                entry.meta = dict(meta or {})
+                final_loss = entry.meta.get("final_loss")
+                wall_time = entry.meta.get("wall_time")
+                return TrainResult(
+                    scenario_name=scenario.name,
+                    digest=digest,
+                    checkpoint_path=path,
+                    from_cache=True,
+                    iterations=scenario.training.iterations,
+                    final_loss=float(final_loss) if final_loss is not None else None,
+                    wall_time=float(wall_time) if wall_time is not None else None,
+                )
 
         trainer = entry.setup.make_trainer()
         if self.workers is not None:
             trainer.config.workers = self.workers
-        history = trainer.run(verbose=verbose)
+        if checkpoint_every is not None:
+            trainer.config.checkpoint_every = int(checkpoint_every)
+        train_state = None
+        if resume or trainer.config.checkpoint_every:
+            train_state = self.registry.train_state_path(scenario)
+        try:
+            history = trainer.run(
+                verbose=verbose, checkpoint_path=train_state, resume=resume
+            )
+        except CheckpointCorrupt as exc:
+            # The partial slot was torn (e.g. by the very crash we are
+            # resuming from, pre-atomic-write).  load failures happen
+            # before any weight restore, so a fresh start is safe.
+            quarantined = (
+                self.registry.quarantine(exc.path) if exc.path.exists() else None
+            )
+            logger.warning(
+                "resumable trainer state for %s is corrupt: %s "
+                "(quarantined to %s); restarting training from scratch",
+                scenario.name,
+                exc.reason,
+                quarantined,
+            )
+            history = trainer.run(
+                verbose=verbose, checkpoint_path=train_state, resume=False
+            )
         meta = {
             "final_loss": history.final_loss,
             "wall_time": history.wall_time,
             "iterations": scenario.training.iterations,
         }
         path = self.registry.save(scenario, entry.setup.model, meta=meta)
+        if train_state is not None:
+            Path(train_state).unlink(missing_ok=True)
         entry.trained = True
         entry.meta = meta
         return TrainResult(

@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -68,6 +69,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="override the preset's iteration budget")
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--output", default=None, help="checkpoint path (.npz)")
+    train.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N",
+                       help="autosave resumable trainer state every N "
+                            "iterations (crash-safe; see --resume)")
+    train.add_argument("--resume", action="store_true",
+                       help="continue from the autosaved trainer state if "
+                            "present (bitwise-identical to an uninterrupted "
+                            "run); a missing snapshot starts fresh")
     train.add_argument("--quiet", action="store_true")
 
     evaluate = subparsers.add_parser(
@@ -178,6 +187,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="MB",
                        help="byte budget over the trunk-feature and "
                             "operator caches (byte-accounted LRU eviction)")
+    serve.add_argument("--watchdog-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="declare the compute thread wedged after one "
+                            "dispatch runs this long: pending requests fail "
+                            "cleanly and the daemon exits 2 (default: off)")
     return parser
 
 
@@ -326,18 +340,29 @@ def _cmd_train(args) -> int:
     setup = service.setup(scenario)
     print(f"training {setup.name} ({setup.scale}): {setup.description}")
     print(model_summary(setup.model))
-    history = setup.make_trainer().run(verbose=not args.quiet)
+    output = args.output
+    if output is None:
+        output = f"{setup.name}-{setup.scale}.npz"
+    trainer = setup.make_trainer()
+    state_path = None
+    if args.checkpoint_every is not None:
+        trainer.config.checkpoint_every = args.checkpoint_every
+    if args.resume or trainer.config.checkpoint_every:
+        # Resumable trainer state rides next to the final checkpoint; it
+        # is deleted once the run completes.
+        state_path = f"{output}.train"
+    history = trainer.run(verbose=not args.quiet,
+                          checkpoint_path=state_path, resume=args.resume)
     print(
         f"loss {history.initial_loss:.4e} -> {history.final_loss:.4e} "
         f"in {history.wall_time:.1f} s"
     )
-    output = args.output
-    if output is None:
-        output = f"{setup.name}-{setup.scale}.npz"
     setup.model.save(output, meta={
         "final_loss": history.final_loss,
         "scenario_digest": scenario.content_digest(),
     })
+    if state_path is not None:
+        Path(f"{state_path}.npz").unlink(missing_ok=True)
     print(f"checkpoint written to {output}")
     return 0
 
@@ -669,6 +694,7 @@ def _cmd_serve(args) -> int:
         memory_budget=budget,
         workers=args.workers,
         cache_dir=common.DEFAULT_CACHE_DIR,
+        watchdog_timeout=args.watchdog_timeout,
     )
 
 
@@ -688,6 +714,12 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    # Arm the fault-injection registry from REPRO_FAULTS so chaos
+    # harnesses can target whole CLI runs, not just pool workers
+    # (which self-arm in their initializer).  No-op when unset.
+    from repro import faults
+
+    faults.load_from_env()
     args = _build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

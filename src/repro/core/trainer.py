@@ -13,19 +13,42 @@ import logging
 import pickle
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from .. import autodiff as ad
+from .. import faults
 from ..backend import row_chunks
 from ..nn import Adam, ExponentialDecay, clip_grad_norm
+from ..nn.serialize import CheckpointCorrupt, read_payload, write_payload
 from ..parallel import PersistentPool, WorkerCrashed, resolve_workers, spawn_seeds
 from ..parallel.trainwork import seed_worker, train_shard_step, train_worker_init
 from .model import DeepOHeat
 from .sampler import CollocationBatch, CollocationPlan
 
 logger = logging.getLogger("repro.core.trainer")
+
+#: schema tag of trainer-state checkpoints (autosave/resume files).
+STATE_SCHEMA = "repro-trainer-state-v1"
+
+#: config fields that determine the numerical trajectory — a resume with
+#: any of these changed would silently compute a *different* run, so
+#: they are recorded at save time and enforced at load time.  (Worker
+#: count is deliberately absent: it only changes float summation order.)
+_RESUME_FIELDS = (
+    "seed",
+    "n_functions",
+    "learning_rate",
+    "decay_rate",
+    "decay_every",
+    "clip_norm",
+    "balance_every",
+    "balance_momentum",
+    "balance_clip",
+    "stacked",
+)
 
 
 @dataclass
@@ -61,6 +84,15 @@ class TrainerConfig:
     # path the fused-kernel parity tests and benchmarks compare against.
     stacked: bool = True
     workers: Optional[int] = None
+    # Autosave full trainer state (weights, Adam moments, RNG, iteration)
+    # every N completed iterations when a checkpoint_path is passed to
+    # :meth:`Trainer.run`.  None/0 disables autosave.
+    checkpoint_every: Optional[int] = None
+    # Self-healing bound for the data-parallel pool: at most
+    # restart_budget worker respawns per sliding restart_window seconds
+    # before the run finishes serially.
+    restart_budget: int = 3
+    restart_window: float = 60.0
 
     def schedule(self) -> ExponentialDecay:
         return ExponentialDecay(
@@ -101,6 +133,66 @@ class TrainingHistory:
         return self.initial_loss / self.final_loss
 
 
+def save_trainer_state(
+    path: Union[str, Path],
+    *,
+    iteration: int,
+    params: List,
+    optimizer: Adam,
+    rng: np.random.Generator,
+    history: TrainingHistory,
+    weights: Dict[str, float],
+    config: TrainerConfig,
+) -> Path:
+    """Atomically snapshot *everything* a training run needs to continue.
+
+    ``iteration`` is the next iteration to run (the snapshot is taken
+    after a completed step).  The arrays (parameters + Adam first/second
+    moments) carry a payload sha256; the metadata records the optimizer
+    step count, the RNG bit-generator state (JSON-serializable for
+    PCG64 — arbitrary-precision ints round-trip exactly), the recorded
+    history so far, the adaptive loss weights, and the
+    trajectory-determining config fields (enforced on resume).  Resuming
+    from this snapshot is bitwise identical to never having stopped.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    for index, (param, m, v) in enumerate(zip(params, optimizer._m, optimizer._v)):
+        arrays[f"param_{index:03d}"] = param.data
+        arrays[f"adam_m_{index:03d}"] = m
+        arrays[f"adam_v_{index:03d}"] = v
+    meta = {
+        "schema": STATE_SCHEMA,
+        "iteration": int(iteration),
+        "step_count": int(optimizer.step_count),
+        "rng_state": rng.bit_generator.state,
+        "history": {
+            "iterations": list(history.iterations),
+            "total_loss": list(history.total_loss),
+            "components": {k: list(v) for k, v in history.components.items()},
+            "learning_rates": list(history.learning_rates),
+            "wall_time": float(history.wall_time),
+        },
+        "weights": {k: float(v) for k, v in (weights or {}).items()},
+        "config": {name: getattr(config, name) for name in _RESUME_FIELDS},
+    }
+    return write_payload(path, arrays, meta)
+
+
+def load_trainer_state(path: Union[str, Path]) -> Tuple[Dict[str, np.ndarray], Dict]:
+    """Load and verify a :func:`save_trainer_state` snapshot.
+
+    Returns ``(arrays, meta)``.  Raises :class:`CheckpointCorrupt` on a
+    torn/tampered file or wrong schema, ``FileNotFoundError`` when the
+    snapshot simply does not exist.
+    """
+    arrays, meta = read_payload(path)
+    if meta.get("schema") != STATE_SCHEMA:
+        raise CheckpointCorrupt(
+            path, f"unexpected trainer-state schema {meta.get('schema')!r}"
+        )
+    return arrays, meta
+
+
 class Trainer:
     """Runs physics-informed training of a :class:`DeepOHeat` model."""
 
@@ -136,11 +228,22 @@ class Trainer:
         self,
         callback: Optional[Callable[[int, float, Dict[str, float]], None]] = None,
         verbose: bool = False,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        resume: bool = False,
     ) -> TrainingHistory:
         """Train and return the loss history.
 
         ``callback(iteration, total, components)`` fires every
         ``log_every`` iterations (and on the last one).
+
+        ``checkpoint_path`` + ``config.checkpoint_every`` turn on
+        autosave: the full trainer state (parameters, Adam moments, RNG
+        state, iteration, history, loss weights) is written crash-safely
+        every N completed iterations.  ``resume=True`` restores that
+        snapshot if it exists (a missing file starts fresh) and
+        continues with a bitwise-identical trajectory versus an
+        uninterrupted run; a corrupt snapshot raises
+        :class:`~repro.nn.CheckpointCorrupt`.
 
         With ``config.workers`` resolving above 1 the run is
         data-parallel (see :meth:`_run_sharded`); any failure to bring
@@ -148,6 +251,18 @@ class Trainer:
         rather than aborting the run.
         """
         cfg = self.config
+        resumed = None
+        if resume:
+            if checkpoint_path is None:
+                raise ValueError("resume=True requires a checkpoint_path")
+            candidate = Path(checkpoint_path)
+            if not candidate.exists() and candidate.with_suffix(
+                candidate.suffix + ".npz"
+            ).exists():
+                candidate = candidate.with_suffix(candidate.suffix + ".npz")
+            if candidate.exists():
+                resumed = load_trainer_state(candidate)
+                self._check_resume_config(resumed[1])
         workers = min(resolve_workers(cfg.workers), cfg.n_functions)
         if workers > 1:
             pool = None
@@ -156,6 +271,9 @@ class Trainer:
                     workers,
                     initializer=train_worker_init,
                     init_args=(pickle.dumps(self.model),),
+                    auto_heal=False,  # shard replays need manual reseeding
+                    restart_budget=cfg.restart_budget,
+                    restart_window=cfg.restart_window,
                 )
                 for index, seed in enumerate(spawn_seeds(cfg.seed, workers)):
                     pool.run_on(index, seed_worker, seed)
@@ -167,24 +285,122 @@ class Trainer:
                     pool.close()
                 pool = None
             if pool is not None:
-                return self._run_sharded(pool, workers, callback, verbose)
-        return self._run_serial(callback, verbose)
+                return self._run_sharded(
+                    pool, workers, callback, verbose, checkpoint_path, resumed
+                )
+        return self._run_serial(callback, verbose, checkpoint_path, resumed)
+
+    # ------------------------------------------------------------------
+    # Checkpoint/resume plumbing shared by both loops
+    # ------------------------------------------------------------------
+    def _check_resume_config(self, meta: Dict) -> None:
+        """Refuse to resume under config that would change the math."""
+        saved = meta.get("config", {})
+        mismatched = {
+            name: (saved.get(name), getattr(self.config, name))
+            for name in _RESUME_FIELDS
+            if name in saved and saved[name] != getattr(self.config, name)
+        }
+        if mismatched:
+            detail = ", ".join(
+                f"{name}: saved {old!r} != current {new!r}"
+                for name, (old, new) in sorted(mismatched.items())
+            )
+            raise ValueError(
+                f"cannot resume: trajectory-determining config changed ({detail})"
+            )
+
+    def _prepare_run(
+        self, resumed: Optional[Tuple[Dict[str, np.ndarray], Dict]]
+    ) -> Tuple[np.random.Generator, List, Adam, TrainingHistory, int]:
+        """Fresh or restored (rng, params, optimizer, history, start)."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        params = self.model.net.parameters()
+        optimizer = Adam(params, lr=cfg.learning_rate)
+        history = TrainingHistory()
+        start_iteration = 0
+        if resumed is not None:
+            arrays, meta = resumed
+            expected = 3 * len(params)
+            if len(arrays) != expected:
+                raise CheckpointCorrupt(
+                    "<trainer state>",
+                    f"snapshot carries {len(arrays)} arrays but this model "
+                    f"needs {expected} — wrong model for this checkpoint?",
+                )
+            for index, param in enumerate(params):
+                param.data[...] = arrays[f"param_{index:03d}"]
+                optimizer._m[index][...] = arrays[f"adam_m_{index:03d}"]
+                optimizer._v[index][...] = arrays[f"adam_v_{index:03d}"]
+            optimizer.step_count = int(meta["step_count"])
+            rng.bit_generator.state = meta["rng_state"]
+            recorded = meta.get("history", {})
+            history.iterations = list(recorded.get("iterations", []))
+            history.total_loss = list(recorded.get("total_loss", []))
+            history.components = {
+                k: list(v) for k, v in recorded.get("components", {}).items()
+            }
+            history.learning_rates = list(recorded.get("learning_rates", []))
+            history.wall_time = float(recorded.get("wall_time", 0.0))
+            weights = meta.get("weights") or {}
+            if weights:
+                self.model.builder.weights.clear()
+                self.model.builder.weights.update(weights)
+            start_iteration = int(meta["iteration"])
+            logger.info(
+                "resuming training at iteration %d (of %d)",
+                start_iteration,
+                cfg.iterations,
+            )
+        return rng, params, optimizer, history, start_iteration
+
+    def _maybe_checkpoint(
+        self,
+        checkpoint_path: Optional[Union[str, Path]],
+        iteration: int,
+        params: List,
+        optimizer: Adam,
+        rng: np.random.Generator,
+        history: TrainingHistory,
+        prior_wall: float,
+        started: float,
+    ) -> None:
+        """Autosave after iteration ``iteration`` when the cadence says so."""
+        cfg = self.config
+        if checkpoint_path is None or not cfg.checkpoint_every:
+            return
+        done = iteration + 1
+        if done % cfg.checkpoint_every != 0 or done >= cfg.iterations:
+            return
+        history.wall_time = prior_wall + time.perf_counter() - started
+        save_trainer_state(
+            checkpoint_path,
+            iteration=done,
+            params=params,
+            optimizer=optimizer,
+            rng=rng,
+            history=history,
+            weights=self.model.builder.weights,
+            config=cfg,
+        )
 
     def _run_serial(
         self,
         callback: Optional[Callable[[int, float, Dict[str, float]], None]] = None,
         verbose: bool = False,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        resumed: Optional[Tuple[Dict[str, np.ndarray], Dict]] = None,
     ) -> TrainingHistory:
         """The historical single-process loop (the workers<=1 path)."""
         cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
-        params = self.model.net.parameters()
-        optimizer = Adam(params, lr=cfg.learning_rate)
+        rng, params, optimizer, history, start_iteration = self._prepare_run(resumed)
         schedule = cfg.schedule()
-        history = TrainingHistory()
+        prior_wall = history.wall_time
 
         start = time.perf_counter()
-        for iteration in range(cfg.iterations):
+        for iteration in range(start_iteration, cfg.iterations):
+            faults.hit("trainer.iteration", iteration=iteration)
             raws = [
                 config_input.sample(rng, cfg.n_functions)
                 for config_input in self.model.inputs
@@ -212,8 +428,61 @@ class Trainer:
                         f"{k}={v:.3e}" for k, v in sorted(parts.items())
                     )
                     print(f"[{iteration:5d}] loss={total.item():.4e} {part_text}")
-        history.wall_time = time.perf_counter() - start
+            self._maybe_checkpoint(
+                checkpoint_path,
+                iteration,
+                params,
+                optimizer,
+                rng,
+                history,
+                prior_wall,
+                start,
+            )
+        history.wall_time = prior_wall + time.perf_counter() - start
         return history
+
+    def _heal_pool(
+        self, pool: PersistentPool, workers: int, exc: WorkerCrashed
+    ) -> Optional[PersistentPool]:
+        """Respawn dead replicas and reseed them, or give up to serial.
+
+        Pending tickets are forgotten first (their late answers are
+        discarded), because the whole iteration is re-dispatched — the
+        pool-level automatic ticket replay cannot be used here, as a
+        replayed shard may carry ``send=None`` against a replica that
+        lost its batch.  Returns the healed pool, or ``None`` when the
+        restart budget is exhausted (pool closed, caller goes serial).
+        """
+        cfg = self.config
+        try:
+            pool.forget_pending()
+            healed = []
+            # Respawn the known-crashed replica by index first: right
+            # after a crash ``Process.is_alive()`` may not have reaped
+            # the corpse yet, so ``heal_workers`` alone can miss it and
+            # spin (without ever consuming the restart budget).
+            if exc.worker is not None:
+                pool.respawn_worker(exc.worker, cause=str(exc))
+                healed.append(exc.worker)
+            healed += [w for w in pool.heal_workers() if w not in healed]
+            seeds = spawn_seeds(cfg.seed, workers)
+            for index in healed:
+                pool.run_on(index, seed_worker, seeds[index])
+        except WorkerCrashed as give_up:
+            logger.warning(
+                "training pool is beyond healing (%s); finishing the run "
+                "serially",
+                give_up,
+            )
+            pool.close()
+            return None
+        logger.warning(
+            "training pool worker crashed (%s); respawned replicas %s and "
+            "retrying the iteration sharded",
+            exc,
+            healed,
+        )
+        return pool
 
     def _run_sharded(
         self,
@@ -221,6 +490,8 @@ class Trainer:
         workers: int,
         callback: Optional[Callable[[int, float, Dict[str, float]], None]],
         verbose: bool,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        resumed: Optional[Tuple[Dict[str, np.ndarray], Dict]] = None,
     ) -> TrainingHistory:
         """Data-parallel run: configuration shards on worker replicas.
 
@@ -233,16 +504,20 @@ class Trainer:
         the exact function-axis decomposition of the serial loss, so
         results differ from serial only by float summation order.  The
         optimizer step, clipping, schedule and history live in the
-        parent, untouched.  A worker crash demotes the rest of the run to
-        the serial step (with a logged warning); completed iterations are
-        kept.
+        parent, untouched.
+
+        A worker crash heals in place: dead replicas are respawned and
+        reseeded, stale tickets forgotten, and the *same iteration* is
+        re-dispatched sharded (re-shipping the batch), so the reduction
+        order — and therefore the trajectory — is unchanged.  Only when
+        the restart budget is exhausted does the rest of the run demote
+        to the serial step (with a logged warning); completed iterations
+        are kept either way.
         """
         cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
-        params = self.model.net.parameters()
-        optimizer = Adam(params, lr=cfg.learning_rate)
+        rng, params, optimizer, history, start_iteration = self._prepare_run(resumed)
         schedule = cfg.schedule()
-        history = TrainingHistory()
+        prior_wall = history.wall_time
         bounds = row_chunks(cfg.n_functions, workers)
         shares = [(hi - lo) / cfg.n_functions for lo, hi in bounds]
         last_batch = None
@@ -250,14 +525,15 @@ class Trainer:
 
         start = time.perf_counter()
         try:
-            for iteration in range(cfg.iterations):
+            for iteration in range(start_iteration, cfg.iterations):
+                faults.hit("trainer.iteration", iteration=iteration)
                 raws = [
                     config_input.sample(rng, cfg.n_functions)
                     for config_input in self.model.inputs
                 ]
                 batch = self.plan.batch(rng, cfg.n_functions)
                 total: Optional[float] = None
-                if pool is not None:
+                while pool is not None and total is None:
                     # Shared-point batches cross the pipe once (fixed-mesh
                     # plans reuse one object, keeping the replicas' geometry
                     # caches hot); aligned batches carry per-function points
@@ -314,14 +590,12 @@ class Trainer:
                                     for acc, g in zip(grad_arrays, shard_grads)
                                 ]
                     except WorkerCrashed as exc:
-                        logger.warning(
-                            "training pool worker crashed (%s); finishing the "
-                            "run serially",
-                            exc,
-                        )
-                        pool.close()
-                        pool = None
                         total = None
+                        pool = self._heal_pool(pool, workers, exc)
+                        # Respawned replicas lost their resident batch:
+                        # force a re-ship on the retry (and for the rest
+                        # of the run, survivors just overwrite theirs).
+                        last_batch = None
                 if total is None:
                     loss, parts = self.model.compute_loss(
                         raws, batch, stacked=cfg.stacked
@@ -349,10 +623,20 @@ class Trainer:
                             f"{k}={v:.3e}" for k, v in sorted(parts.items())
                         )
                         print(f"[{iteration:5d}] loss={total:.4e} {part_text}")
+                self._maybe_checkpoint(
+                    checkpoint_path,
+                    iteration,
+                    params,
+                    optimizer,
+                    rng,
+                    history,
+                    prior_wall,
+                    start,
+                )
         finally:
             if pool is not None:
                 pool.close()
-        history.wall_time = time.perf_counter() - start
+        history.wall_time = prior_wall + time.perf_counter() - start
         return history
 
     @staticmethod

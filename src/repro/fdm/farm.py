@@ -28,10 +28,15 @@ The farm amortises the expensive half:
   worker owns the factorizations for the operator digests
   :func:`~repro.parallel.digest_owner` routes to it.  An operator matrix
   crosses the pipe at most once per (worker, digest); afterwards only
-  RHS blocks stream.  A crashed worker demotes the farm to the serial
-  path for the rest of its life (with a logged warning) — results are
-  identical either way, because workers run the same ``splu`` / block-CG
-  kernels on the same matrices.
+  RHS blocks stream.  A crashed worker is **healed in place**: the pool
+  respawns the process, the farm re-ships the operators the dead worker
+  held (its ``_worker_has`` marks), and the lost chunk tickets are
+  replayed — the batch completes sharded and the farm stays parallel.
+  Only when the pool's restart budget is exhausted (too many respawns
+  inside the sliding window) does the farm give up, retry the batch
+  serially, and demote itself to the serial path — results are identical
+  either way, because workers run the same ``splu`` / block-CG kernels
+  on the same matrices.
 
 Numerics are unchanged: every solution carries the same
 :class:`~repro.fdm.solver.EnergyReport` audit as the per-design path, and
@@ -53,7 +58,7 @@ import scipy.sparse.linalg as spla
 
 from ..backend import row_chunks
 from ..parallel import PersistentPool, WorkerCrashed, digest_owner, resolve_workers
-from ..parallel.farmwork import solve_chunk, solve_worker_init
+from ..parallel.farmwork import install_operator, solve_chunk, solve_worker_init
 from .assembly import (
     AssembledSystem,
     HeatProblem,
@@ -79,6 +84,8 @@ class FarmStats:
     rhs_assemblies: int = 0
     block_solves: int = 0
     problems_solved: int = 0
+    worker_respawns: int = 0
+    serial_fallbacks: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -89,6 +96,8 @@ class FarmStats:
             "rhs_assemblies": self.rhs_assemblies,
             "block_solves": self.block_solves,
             "problems_solved": self.problems_solved,
+            "worker_respawns": self.worker_respawns,
+            "serial_fallbacks": self.serial_fallbacks,
         }
 
 
@@ -208,6 +217,11 @@ class SolveFarm:
         defers to ``REPRO_WORKERS``, ``0`` means all cores, 1 is the
         serial legacy path).  The pool starts lazily on the first
         sharded solve and is released by :meth:`close_pool`.
+    restart_budget / restart_window:
+        Self-healing bound, passed through to the pool: at most
+        ``restart_budget`` worker respawns inside any sliding
+        ``restart_window`` seconds before the farm gives up and demotes
+        itself to the serial path (see the module docstring).
     """
 
     def __init__(
@@ -215,6 +229,8 @@ class SolveFarm:
         max_operators: int = 8,
         workers: Optional[int] = None,
         max_bytes: Optional[int] = None,
+        restart_budget: int = 3,
+        restart_window: float = 60.0,
     ):
         if max_operators < 1:
             raise ValueError("need room for at least one cached operator")
@@ -223,6 +239,8 @@ class SolveFarm:
         self.max_operators = int(max_operators)
         self.max_bytes = None if max_bytes is None else int(max_bytes)
         self.workers = workers
+        self.restart_budget = int(restart_budget)
+        self.restart_window = float(restart_window)
         self._cache: "OrderedDict[str, _CachedOperator]" = OrderedDict()
         self.stats = FarmStats()
         # The LRU is shared by serving threads (engine compile, transient
@@ -502,9 +520,49 @@ class SolveFarm:
         if self._pool is not None and self._pool.workers != workers:
             self.close_pool()
         if self._pool is None:
-            self._pool = PersistentPool(workers, initializer=solve_worker_init)
+            self._pool = PersistentPool(
+                workers,
+                initializer=solve_worker_init,
+                restart_budget=self.restart_budget,
+                restart_window=self.restart_window,
+                on_respawn=self._replay_worker,
+            )
             self._worker_has = set()
         return self._pool
+
+    def _replay_worker(self, pool: PersistentPool, worker: int) -> None:
+        """Re-ship a respawned worker's resident operators (pool hook).
+
+        The ``_worker_has`` marks are exactly the digests the dead
+        process held; every one still in the parent LRU is reinstalled
+        (factorized eagerly, so the replacement is as warm as the
+        original), and marks whose operator was since evicted from the
+        parent cache are simply dropped — the next solve that routes
+        there re-ships.  Runs *before* the pool replays lost tickets, so
+        ``matrix=None`` chunk tickets find their operator resident.
+        """
+        marks = sorted(m for m in self._worker_has if m[0] == worker)
+        self._worker_has.difference_update(marks)
+        replayed = 0
+        with self._lock:
+            for _, key, method in marks:
+                entry = self._cache.get(key)
+                if entry is None:
+                    continue
+                if method == "cg":
+                    _, matrix = self._cg_system(entry)
+                else:
+                    matrix = entry.operator.matrix
+                pool.run_on(worker, install_operator, key, matrix, method)
+                self._worker_has.add((worker, key, method))
+                replayed += 1
+        self.stats.worker_respawns += 1
+        logger.info(
+            "replayed %d/%d resident operators to respawned farm worker %d",
+            replayed,
+            len(marks),
+            worker,
+        )
 
     def close_pool(self) -> None:
         """Release the sharded-solve worker pool (idempotent).
@@ -530,10 +588,12 @@ class SolveFarm:
         Each digest routes to its stable owner worker; when there are
         fewer groups than workers, a group's columns split into
         ``workers // n_groups`` contiguous chunks fanned out from the
-        owner — a single-operator sweep still uses every worker.  Returns
-        per-group ``(solution block, iterations, solve s, factor s)`` in
-        ``prepared`` order, or ``None`` after a worker crash (the farm is
-        then permanently demoted to the serial path).
+        owner — a single-operator sweep still uses every worker.  Worker
+        crashes heal transparently inside the pool (respawn + operator
+        replay via :meth:`_replay_worker` + lost-ticket resubmission).
+        Returns per-group ``(solution block, iterations, solve s,
+        factor s)`` in ``prepared`` order, or ``None`` once the restart
+        budget is exhausted (the farm then demotes to the serial path).
         """
         chunks_per_group = max(1, workers // len(prepared))
         total_columns = sum(len(bundle[1]) for bundle in prepared) or 1
@@ -589,13 +649,17 @@ class SolveFarm:
                     block_solution = entry.cg_scale[:, None] * block_solution
                 results.append((block_solution, iterations, factor_seconds))
         except WorkerCrashed as exc:
-            logger.warning(
-                "solve farm worker crashed (%s); retrying this batch serially "
-                "and demoting the farm to serial for the rest of its life",
+            # Only reached when healing itself failed (restart budget
+            # exhausted or a replacement died immediately): give up on
+            # the pool, answer this batch serially, stay serial after.
+            logger.error(
+                "solve farm pool is beyond healing (%s); retrying this batch "
+                "serially and demoting the farm to the serial path",
                 exc,
             )
             self.close_pool()
             self._pool_broken = True
+            self.stats.serial_fallbacks += 1
             return None
         elapsed = time.perf_counter() - start
         return [
@@ -609,6 +673,20 @@ class SolveFarm:
                 prepared, results
             )
         ]
+
+    def pool_stats(self) -> Dict[str, object]:
+        """Worker-pool liveness/healing counters (health-probe fodder).
+
+        ``pool`` is ``None`` while no pool is running (serial farm, or
+        not yet started); ``broken`` records a restart-budget give-up.
+        """
+        pool = self._pool
+        return {
+            "pool": None if pool is None else pool.pool_stats(),
+            "broken": self._pool_broken,
+            "worker_respawns": self.stats.worker_respawns,
+            "serial_fallbacks": self.stats.serial_fallbacks,
+        }
 
     # ------------------------------------------------------------------
     def cache_info(self) -> Dict[str, int]:

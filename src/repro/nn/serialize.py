@@ -1,10 +1,23 @@
-"""Checkpoint save/load for modules (npz-based)."""
+"""Checkpoint save/load for modules (npz-based, digest-verified).
+
+Every checkpoint written here carries a sha256 of its parameter payload
+inside the metadata (``payload_sha256``, over the sorted parameter
+names, dtypes, shapes and raw bytes — the meta blob itself is excluded,
+since it contains the digest).  :func:`load_checkpoint` recomputes and
+verifies it, so a truncated npz, a bit-flipped array or a half-written
+file raises a structured :class:`CheckpointCorrupt` instead of a raw
+deserialization traceback from deep inside numpy.  Checkpoints written
+before digests existed load without verification.
+"""
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import zipfile
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Mapping, Optional, Union
 
 import numpy as np
 
@@ -13,30 +26,141 @@ from .modules import Module
 PathLike = Union[str, Path]
 
 _META_KEY = "__meta_json__"
+PAYLOAD_DIGEST_KEY = "payload_sha256"
+
+
+class CheckpointCorrupt(RuntimeError):
+    """A checkpoint file failed deserialization or digest verification.
+
+    Carries the offending ``path``, a human ``reason``, and — when a
+    registry quarantined the file — the ``quarantined`` path it was
+    moved to.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        reason: str,
+        quarantined: Optional[PathLike] = None,
+    ):
+        self.path = Path(path)
+        self.reason = reason
+        self.quarantined = None if quarantined is None else Path(quarantined)
+        message = f"corrupt checkpoint {self.path}: {reason}"
+        if self.quarantined is not None:
+            message += f" (quarantined to {self.quarantined})"
+        super().__init__(message)
+
+
+def payload_digest(arrays: Mapping[str, np.ndarray]) -> str:
+    """sha256 over a named-array payload, order-independent.
+
+    Hashes ``(name, dtype, shape, bytes)`` in sorted-name order, so the
+    digest is a pure function of the content — independent of dict
+    insertion order or npz member order.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.dtype).encode("ascii"))
+        digest.update(str(array.shape).encode("ascii"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def write_payload(
+    path: PathLike, arrays: Mapping[str, np.ndarray], meta: Optional[Dict] = None
+) -> Path:
+    """Crash-safe npz write of named arrays with digested JSON metadata.
+
+    Writes to a sibling temp file and ``os.replace``s into place, so a
+    crash (or ``kill -9``) mid-write leaves either the previous file or
+    nothing — never a torn archive under the real name.  The metadata
+    gains a ``payload_sha256`` digest verified by :func:`read_payload`.
+    Returns the final path (np.savez appends ``.npz`` when missing).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    final = path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    meta = dict(meta or {})
+    meta[PAYLOAD_DIGEST_KEY] = payload_digest(arrays)
+    payload = dict(arrays)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    tmp = final.with_name(final.name + f".tmp{os.getpid()}")
+    np.savez(tmp, **payload)
+    written = tmp if tmp.suffix == ".npz" else tmp.with_suffix(tmp.suffix + ".npz")
+    os.replace(written, final)
+    return final
 
 
 def save_checkpoint(module: Module, path: PathLike, meta: Optional[Dict] = None) -> Path:
     """Write a module's parameters (and optional JSON metadata) to ``path``.
 
-    Parameter names may contain dots; they are stored verbatim as npz keys.
+    Parameter names may contain dots; they are stored verbatim as npz
+    keys.  The write is atomic and the metadata gains a
+    ``payload_sha256`` digest of the parameter arrays, verified by
+    :func:`load_checkpoint` (see :func:`write_payload`).
+    """
+    return write_payload(path, dict(module.state_dict()), meta)
+
+
+def read_payload(path: PathLike) -> tuple:
+    """Load ``(state_arrays, meta)`` from an npz checkpoint, verified.
+
+    The shared deserialization half of :func:`load_checkpoint` and the
+    trainer-state loader: raises :class:`CheckpointCorrupt` for
+    anything short of a well-formed archive whose payload matches its
+    recorded digest (missing files still raise ``FileNotFoundError`` —
+    absence is not corruption).
     """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    payload = dict(module.state_dict())
-    payload[_META_KEY] = np.frombuffer(
-        json.dumps(meta or {}).encode("utf-8"), dtype=np.uint8
-    )
-    np.savez(path, **payload)
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    try:
+        with np.load(path) as archive:
+            meta_raw = (
+                archive[_META_KEY].tobytes().decode("utf-8")
+                if _META_KEY in archive
+                else "{}"
+            )
+            state = {k: archive[k] for k in archive.files if k != _META_KEY}
+        meta = json.loads(meta_raw)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, ValueError, KeyError, EOFError, OSError) as exc:
+        raise CheckpointCorrupt(path, f"unreadable archive: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointCorrupt(path, f"malformed metadata JSON: {exc}") from exc
+    # The digest is an integrity detail, not caller metadata: verify it,
+    # then strip it so save/load round-trips the caller's meta exactly.
+    expected = meta.pop(PAYLOAD_DIGEST_KEY, None)
+    if expected is not None:
+        actual = payload_digest(state)
+        if actual != expected:
+            raise CheckpointCorrupt(
+                path,
+                f"payload digest mismatch (recorded {expected[:16]}…, "
+                f"recomputed {actual[:16]}…)",
+            )
+    return state, meta
 
 
 def load_checkpoint(module: Module, path: PathLike) -> Dict:
-    """Restore parameters saved by :func:`save_checkpoint`; returns metadata."""
+    """Restore parameters saved by :func:`save_checkpoint`; returns metadata.
+
+    Raises :class:`CheckpointCorrupt` when the file is unreadable or its
+    payload fails sha256 verification, and ``FileNotFoundError`` when it
+    simply does not exist.
+    """
     path = Path(path)
     if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
         path = path.with_suffix(path.suffix + ".npz")
-    with np.load(path) as archive:
-        meta_raw = archive[_META_KEY].tobytes().decode("utf-8") if _META_KEY in archive else "{}"
-        state = {k: archive[k] for k in archive.files if k != _META_KEY}
-    module.load_state_dict(state)
-    return json.loads(meta_raw)
+    state, meta = read_payload(path)
+    try:
+        module.load_state_dict(state)
+    except (KeyError, ValueError) as exc:
+        raise CheckpointCorrupt(
+            path, f"state dict does not fit the module: {exc}"
+        ) from exc
+    return meta

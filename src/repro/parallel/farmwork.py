@@ -26,7 +26,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-__all__ = ["solve_worker_init", "solve_chunk", "worker_digests"]
+__all__ = ["solve_worker_init", "solve_chunk", "install_operator", "worker_digests"]
 
 
 def solve_worker_init() -> Dict:
@@ -84,6 +84,34 @@ def solve_chunk(
         solution, iterations = _block_cg(system, block, tol=tol, max_iter=max_iter)
         return solution, iterations, 0.0, fresh
 
+    raise ValueError(f"unknown method {method!r}")
+
+
+def install_operator(
+    state: Dict, key: str, matrix: sp.spmatrix, method: str
+) -> bool:
+    """Eagerly (re)install an operator in this worker's resident cache.
+
+    The warm-state replay half of pool self-healing: when a worker is
+    respawned, the parent re-ships every operator the dead process held
+    (it knows which ones via its ``_worker_has`` marks) through this
+    call, so replayed and future ``solve_chunk`` tickets find the
+    factorization resident exactly as they would have before the crash.
+    Returns True when the install did work, False when the operator was
+    already resident (idempotent — safe to replay).
+    """
+    if method == "direct":
+        if key in state["factors"]:
+            return False
+        start = time.perf_counter()
+        state["factors"][key] = spla.splu(matrix.tocsc())
+        state["factor_seconds"][key] = time.perf_counter() - start
+        return True
+    if method == "cg":
+        if key in state["cg_systems"]:
+            return False
+        state["cg_systems"][key] = matrix.tocsr()
+        return True
     raise ValueError(f"unknown method {method!r}")
 
 

@@ -17,9 +17,21 @@ need:
 Task functions must be module-level callables (pickled by reference —
 the only requirement the ``spawn`` start method imposes).  Results come
 back over per-worker pipes; :meth:`PersistentPool.result` surfaces
-remote exceptions with the worker traceback attached, and a worker that
-dies mid-task raises :class:`WorkerCrashed` instead — the signal callers
-use to fall back to their serial paths.
+remote exceptions with the worker traceback attached.
+
+A worker that dies mid-protocol (killed / segfault / lost pipe) is
+**healed in place** when ``auto_heal`` is on (the default): the pool
+drains any answers still buffered in the dead worker's pipe, respawns
+the process, invokes the ``on_respawn`` callback so the owner can replay
+warm state (the farm re-ships resident operators), and resubmits only
+the tickets that were genuinely lost — all transparently inside
+``submit``/``result``.  Healing is bounded by a restart budget (at most
+``restart_budget`` respawns inside a sliding ``restart_window``
+seconds); once exhausted, :class:`WorkerCrashed` is raised and the
+caller falls back to its serial path.  Callers whose replayed tasks are
+not idempotent (the trainer's batch-token protocol) construct the pool
+with ``auto_heal=False`` and drive :meth:`respawn_worker` /
+:meth:`forget_pending` themselves.
 
 Workers always see ``REPRO_WORKERS=1``: any library code they run that
 consults :func:`resolve_workers` (a farm inside a trainer shard, say)
@@ -34,7 +46,10 @@ import multiprocessing as mp
 import os
 import time
 import traceback
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from .. import faults
 
 logger = logging.getLogger("repro.parallel")
 
@@ -94,7 +109,9 @@ def digest_owner(digest: str, workers: int) -> int:
     A pure function of ``(digest, workers)`` — independent of insertion
     order, call history or pool identity — so the same digest always
     lands on the same worker for a given pool size, keeping its cached
-    factorization hot.
+    factorization hot.  Respawned workers inherit the same index, which
+    is what lets ``on_respawn`` re-ship exactly the digests the dead
+    process owned.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -113,18 +130,28 @@ def default_start_method() -> str:
 
 
 class WorkerCrashed(RuntimeError):
-    """A pool worker died (killed / segfault / lost pipe) mid-protocol."""
+    """A pool worker died and could not (or must not) be healed.
+
+    ``worker`` carries the crashed worker's index when known (manual
+    healers respawn exactly that index instead of racing
+    ``Process.is_alive()``, which may not have reaped the corpse yet).
+    """
+
+    def __init__(self, message: str, worker: Optional[int] = None):
+        super().__init__(message)
+        self.worker = worker
 
 
 class RemoteError(RuntimeError):
     """A task raised inside a worker; carries the remote traceback."""
 
 
-def _worker_main(conn, initializer, init_args) -> None:
+def _worker_main(conn, index, initializer, init_args) -> None:
     """Worker loop: run the initializer, then serve (ticket, fn, args)."""
     global _IN_WORKER
     _IN_WORKER = True
     os.environ["REPRO_WORKERS"] = "1"  # nested call sites stay serial
+    faults.load_from_env()
     try:
         state = initializer(*init_args) if initializer is not None else None
     except BaseException:
@@ -134,6 +161,7 @@ def _worker_main(conn, initializer, init_args) -> None:
         finally:
             conn.close()
         return
+    task_count = 0
     while True:
         try:
             message = conn.recv()
@@ -142,7 +170,10 @@ def _worker_main(conn, initializer, init_args) -> None:
         if message is None:
             break
         ticket, fn, args = message
+        task = task_count
+        task_count += 1
         try:
+            faults.hit("pool.task", worker=index, task=task)
             result = fn(state, *args)
             conn.send((ticket, True, result))
         except BaseException:
@@ -160,10 +191,25 @@ class PersistentPool:
     initializer / init_args:
         Module-level callable run once per worker; its return value is
         the worker's state object, passed as the first argument to every
-        task function.  ``init_args`` must be picklable.
+        task function.  ``init_args`` must be picklable (they are kept
+        for respawns, so they must stay valid for the pool's lifetime).
     start_method:
         multiprocessing start method; default per
         :func:`default_start_method`.
+    auto_heal:
+        Respawn dead workers transparently inside ``submit``/``result``
+        and resubmit their lost tickets.  Turn off when replayed tasks
+        are not idempotent; crashes then raise :class:`WorkerCrashed`
+        and the caller drives :meth:`respawn_worker` itself.
+    restart_budget / restart_window:
+        At most ``restart_budget`` respawns inside any sliding
+        ``restart_window``-second interval; beyond that,
+        :meth:`respawn_worker` raises :class:`WorkerCrashed` (the
+        give-up-to-serial signal).
+    on_respawn:
+        ``callback(pool, worker)`` invoked after a replacement worker
+        finishes initializing but *before* lost tickets are resubmitted
+        — the hook for replaying warm state the dead process held.
     """
 
     def __init__(
@@ -172,28 +218,53 @@ class PersistentPool:
         initializer: Optional[Callable] = None,
         init_args: Tuple = (),
         start_method: Optional[str] = None,
+        auto_heal: bool = True,
+        restart_budget: int = 3,
+        restart_window: float = 60.0,
+        on_respawn: Optional[Callable[["PersistentPool", int], None]] = None,
     ):
         if workers < 1:
             raise ValueError("a pool needs at least one worker")
+        if restart_budget < 0:
+            raise ValueError("restart_budget must be >= 0")
+        if restart_window <= 0:
+            raise ValueError("restart_window must be > 0")
         method = start_method or default_start_method()
-        ctx = mp.get_context(method)
+        self._ctx = mp.get_context(method)
         self.workers = int(workers)
         self.start_method = method
+        self.auto_heal = bool(auto_heal)
+        self.restart_budget = int(restart_budget)
+        self.restart_window = float(restart_window)
+        self.respawns = 0  # lifetime respawn count (not window-scoped)
+        self._on_respawn = on_respawn
+        self._initializer = initializer
+        self._init_args = init_args
+        self._restart_times: Deque[float] = deque()
         self._procs: List[mp.process.BaseProcess] = []
         self._conns = []
         self._tickets = itertools.count()
         self._owner_of: Dict[int, int] = {}  # ticket -> worker index
+        self._task_of: Dict[int, Tuple[Callable, Tuple]] = {}  # for replay
         self._results: Dict[int, Tuple[bool, Any]] = {}
         self._closed = False
-        for _ in range(self.workers):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(child_conn, initializer, init_args),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
+        for index in range(self.workers):
+            self._spawn(index)
+
+    def _spawn(self, index: int) -> None:
+        """Start (or replace) the worker process at ``index``."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, index, self._initializer, self._init_args),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        if index < len(self._procs):
+            self._procs[index] = proc
+            self._conns[index] = parent_conn
+        else:
             self._procs.append(proc)
             self._conns.append(parent_conn)
 
@@ -202,25 +273,51 @@ class PersistentPool:
     def alive(self) -> bool:
         return (not self._closed) and all(p.is_alive() for p in self._procs)
 
+    def pending_for(self, worker: int) -> List[int]:
+        """Outstanding tickets owned by ``worker`` (no collected result)."""
+        return sorted(
+            t
+            for t, w in self._owner_of.items()
+            if w == int(worker) and t not in self._results
+        )
+
+    def pool_stats(self) -> Dict[str, Any]:
+        """Liveness/healing counters (schema shared with farm/serve stats)."""
+        return {
+            "workers": self.workers,
+            "alive": sum(1 for p in self._procs if p.is_alive()),
+            "respawns": self.respawns,
+            "restart_budget": self.restart_budget,
+            "restart_window_s": self.restart_window,
+            "pending": sum(
+                1 for t in self._owner_of if t not in self._results
+            ),
+            "closed": self._closed,
+        }
+
     def submit(self, worker: int, fn: Callable, *args) -> int:
         """Queue ``fn(state, *args)`` on ``worker``; returns a ticket."""
         if self._closed:
             raise WorkerCrashed("pool is closed")
         ticket = next(self._tickets)
         self._owner_of[ticket] = int(worker)
+        self._task_of[ticket] = (fn, args)
         try:
             self._conns[worker].send((ticket, fn, args))
         except (BrokenPipeError, OSError) as exc:
-            raise WorkerCrashed(f"worker {worker} lost its pipe: {exc}") from exc
+            # Healing resubmits every pending ticket on that worker —
+            # including this one, which is already booked above.
+            self._recover(worker, f"worker {worker} lost its pipe: {exc}")
         return ticket
 
     def result(self, ticket: int, timeout: Optional[float] = None) -> Any:
         """Block until ``ticket``'s result arrives; raise remote failures.
 
         Raises :class:`RemoteError` for exceptions thrown by the task
-        (with the worker traceback in the message) and
-        :class:`WorkerCrashed` when the owning worker died before
-        answering.
+        (with the worker traceback in the message).  A dead worker is
+        healed in place when ``auto_heal`` is on (the lost tickets are
+        replayed and the wait continues); otherwise — or once the
+        restart budget is exhausted — :class:`WorkerCrashed` is raised.
         """
         deadline = None if timeout is None else (time.monotonic() + timeout)
         worker = self._owner_of[ticket]
@@ -229,40 +326,159 @@ class PersistentPool:
             try:
                 ready = conn.poll(0.05)
             except (BrokenPipeError, OSError) as exc:
-                raise WorkerCrashed(
-                    f"worker {worker} lost its pipe: {exc}"
-                ) from exc
+                self._recover(worker, f"worker {worker} lost its pipe: {exc}")
+                continue
             if ready:
                 try:
                     answered, ok, payload = conn.recv()
                 except (EOFError, ConnectionResetError, OSError) as exc:
-                    raise WorkerCrashed(
-                        f"worker {worker} hung up mid-batch: {exc}"
-                    ) from exc
+                    self._recover(worker, f"worker {worker} hung up mid-batch: {exc}")
+                    continue
                 if answered is None:  # initializer failure report
                     raise RemoteError(
                         f"worker {worker} failed to initialize:\n{payload}"
                     )
-                self._results[answered] = (ok, payload)
+                if answered in self._owner_of:  # drop stale/forgotten answers
+                    self._results[answered] = (ok, payload)
                 continue
             if not self._procs[worker].is_alive():
-                raise WorkerCrashed(
+                self._recover(
+                    worker,
                     f"worker {worker} died (exitcode "
-                    f"{self._procs[worker].exitcode}) before answering"
+                    f"{self._procs[worker].exitcode}) before answering",
                 )
+                continue
             if deadline is not None and time.monotonic() > deadline:
                 raise TimeoutError(f"ticket {ticket} timed out")
         ok, payload = self._results.pop(ticket)
         self._owner_of.pop(ticket, None)
+        self._task_of.pop(ticket, None)
         if not ok:
-            raise RemoteError(
-                f"task on worker {worker} raised:\n{payload}"
-            )
+            raise RemoteError(f"task on worker {worker} raised:\n{payload}")
         return payload
 
     def run_on(self, worker: int, fn: Callable, *args) -> Any:
         """submit + result in one call (convenience for sequential use)."""
         return self.result(self.submit(worker, fn, *args))
+
+    # ------------------------------------------------------------------
+    # Self-healing
+    def _recover(self, worker: int, reason: str) -> None:
+        """Heal ``worker`` in place, or raise :class:`WorkerCrashed`."""
+        if not self.auto_heal or self._closed:
+            raise WorkerCrashed(reason, worker=worker)
+        self.respawn_worker(worker, cause=reason)
+
+    def _drain_conn(self, worker: int) -> None:
+        """Collect answers still buffered in a dead worker's pipe.
+
+        A worker that answered ticket T and died on T+1 left T's bytes
+        in the pipe; harvesting them means T is not replayed.  Replay
+        would also be *correct* (tasks are deterministic), just wasted
+        work — and the in-flight guard in :meth:`result` would drop the
+        duplicate answer anyway.
+        """
+        conn = self._conns[worker]
+        while True:
+            try:
+                if not conn.poll(0):
+                    return
+                answered, ok, payload = conn.recv()
+            except (EOFError, ConnectionResetError, BrokenPipeError, OSError):
+                return
+            if answered is not None and answered in self._owner_of:
+                self._results[answered] = (ok, payload)
+
+    def respawn_worker(self, worker: int, cause: str = "crash") -> None:
+        """Replace a dead worker in place and replay its lost tickets.
+
+        Enforces the restart budget: once ``restart_budget`` respawns
+        have happened inside the sliding ``restart_window``, raises
+        :class:`WorkerCrashed` with a structured message — the caller's
+        signal to stop healing and fall back to serial.
+        """
+        if self._closed:
+            raise WorkerCrashed("pool is closed")
+        now = time.monotonic()
+        while self._restart_times and now - self._restart_times[0] > self.restart_window:
+            self._restart_times.popleft()
+        if len(self._restart_times) >= self.restart_budget:
+            message = (
+                f"worker {worker} needs a respawn ({cause}) but the restart "
+                f"budget is exhausted: {len(self._restart_times)} respawns in "
+                f"the last {self.restart_window:g}s (budget {self.restart_budget}); "
+                f"giving up on this pool"
+            )
+            logger.error("%s", message)
+            raise WorkerCrashed(message, worker=worker)
+        self._restart_times.append(now)
+        self._drain_conn(worker)
+        old = self._procs[worker]
+        if old.is_alive():
+            old.kill()
+        old.join(timeout=5.0)
+        try:
+            self._conns[worker].close()
+        except OSError:
+            pass
+        try:
+            self._spawn(worker)
+        except Exception as exc:
+            raise WorkerCrashed(
+                f"failed to respawn worker {worker}: {exc}", worker=worker
+            ) from exc
+        self.respawns += 1
+        lost = self.pending_for(worker)
+        logger.warning(
+            "pool worker %d died (%s); respawned in place "
+            "(lifetime respawn %d, %d/%d in window, replaying %d lost tickets)",
+            worker,
+            cause,
+            self.respawns,
+            len(self._restart_times),
+            self.restart_budget,
+            len(lost),
+        )
+        if self._on_respawn is not None:
+            self._on_respawn(self, worker)
+        for ticket in lost:
+            fn, args = self._task_of[ticket]
+            try:
+                self._conns[worker].send((ticket, fn, args))
+            except (BrokenPipeError, OSError) as exc:
+                raise WorkerCrashed(
+                    f"worker {worker} died again during ticket replay: {exc}",
+                    worker=worker,
+                ) from exc
+
+    def heal_workers(self) -> List[int]:
+        """Respawn every dead worker (manual-healing entry point).
+
+        Returns the indices respawned.  Raises :class:`WorkerCrashed`
+        when the restart budget is exhausted.  Meant for
+        ``auto_heal=False`` pools, typically after
+        :meth:`forget_pending` so no stale tickets are replayed.
+        """
+        healed = []
+        for index, proc in enumerate(self._procs):
+            if not proc.is_alive():
+                self.respawn_worker(index, cause="found dead during heal")
+                healed.append(index)
+        return healed
+
+    def forget_pending(self) -> int:
+        """Drop all outstanding-ticket bookkeeping; returns the count.
+
+        Late answers for forgotten tickets are discarded on receipt
+        (see the in-flight guard in :meth:`result`), so a caller that
+        retries a whole round of work — the trainer re-dispatching an
+        iteration after a crash — starts from a clean slate.
+        """
+        pending = sum(1 for t in self._owner_of if t not in self._results)
+        self._owner_of.clear()
+        self._task_of.clear()
+        self._results.clear()
+        return pending
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -306,5 +522,6 @@ class PersistentPool:
     def __repr__(self) -> str:
         state = "closed" if self._closed else ("alive" if self.alive else "broken")
         return (
-            f"PersistentPool({self.workers} workers, {self.start_method}, {state})"
+            f"PersistentPool({self.workers} workers, {self.start_method}, {state}, "
+            f"{self.respawns} respawns)"
         )

@@ -34,27 +34,51 @@ connection handler threads wait on.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+logger = logging.getLogger("repro.serve")
+
 
 @dataclass
 class QueuedRequest:
-    """One in-flight request: payload plus its completion signalling."""
+    """One in-flight request: payload plus its completion signalling.
+
+    ``deadline`` (monotonic seconds, ``None`` = never) lets the client
+    bound its wait: a request whose deadline passes while still queued
+    is resolved ``deadline_exceeded`` *before* any compute is spent on
+    it.  :meth:`resolve` is first-wins — a watchdog failing an in-flight
+    request and the compute thread finishing it late can both call it,
+    and only the first answer reaches the client.
+    """
 
     request_id: Any
     op: str
     fuse_key: Tuple
     payload: Dict
     arrival: float = field(default_factory=time.monotonic)
+    deadline: Optional[float] = None
     event: threading.Event = field(default_factory=threading.Event)
     response: Optional[Dict] = None
+    _resolve_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False
+    )
 
-    def resolve(self, response: Dict) -> None:
-        self.response = response
-        self.event.set()
+    def resolve(self, response: Dict) -> bool:
+        """Deliver ``response`` unless one was already delivered."""
+        with self._resolve_lock:
+            if self.event.is_set():
+                return False
+            self.response = response
+            self.event.set()
+            return True
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        return (self.deadline is not None
+                and (time.monotonic() if now is None else now) > self.deadline)
 
 
 class MicroBatcher:
@@ -100,9 +124,12 @@ class MicroBatcher:
         self._cond = threading.Condition()
         self._closing = False
         self._drained = threading.Event()
+        self._inflight: List[QueuedRequest] = []
+        self._busy_since: Optional[float] = None
         self._stats = {
             "submitted": 0,
             "rejected": 0,
+            "expired": 0,          # dropped at their deadline, pre-compute
             "dispatched_batches": 0,
             "dispatched_requests": 0,
             "fused_requests": 0,   # requests that shared their dispatch
@@ -145,81 +172,162 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # Dispatcher
     # ------------------------------------------------------------------
+    def _expire_locked(self) -> None:
+        """Drop queued requests whose deadline passed (never dispatched).
+
+        Caller holds ``self._cond``.  Answering ``deadline_exceeded``
+        here — before any compute — is the whole value of a deadline:
+        a client that has already given up must not cost a merge dgemm.
+        """
+        now = time.monotonic()
+        alive: List[QueuedRequest] = []
+        for request in self._pending:
+            if request.expired(now):
+                self._stats["expired"] += 1
+                request.resolve({
+                    "id": request.request_id,
+                    "ok": False,
+                    "error": {
+                        "code": "deadline_exceeded",
+                        "message": (
+                            f"request deadline passed after "
+                            f"{now - request.arrival:.3f}s in queue; "
+                            f"dropped before compute"
+                        ),
+                    },
+                })
+            else:
+                alive.append(request)
+        self._pending = alive
+
     def _take_group(self) -> Optional[List[QueuedRequest]]:
         """Block until a batch is ready (or shutdown empties the queue)."""
         with self._cond:
-            while not self._pending:
-                if self._closing:
-                    return None
-                self._cond.wait()
-            head = self._pending[0]
-            deadline = head.arrival + self.max_wait
-            while not self._closing:  # closing ends the window early
-                matching = sum(
-                    1 for r in self._pending if r.fuse_key == head.fuse_key
+            while True:
+                while not self._pending:
+                    if self._closing:
+                        return None
+                    self._cond.wait()
+                head = self._pending[0]
+                deadline = head.arrival + self.max_wait
+                while not self._closing:  # closing ends the window early
+                    matching = sum(
+                        1 for r in self._pending if r.fuse_key == head.fuse_key
+                    )
+                    if matching >= self.max_batch:
+                        break
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                self._expire_locked()
+                if not self._pending:
+                    if self._closing:
+                        return None
+                    continue  # everything expired; wait for fresh work
+                head = self._pending[0]  # may differ after expiry
+                group: List[QueuedRequest] = []
+                rest: List[QueuedRequest] = []
+                for request in self._pending:
+                    if (request.fuse_key == head.fuse_key
+                            and len(group) < self.max_batch):
+                        group.append(request)
+                    else:
+                        rest.append(request)
+                self._pending = rest
+                self._stats["dispatched_batches"] += 1
+                self._stats["dispatched_requests"] += len(group)
+                if len(group) > 1:
+                    self._stats["fused_requests"] += len(group)
+                self._stats["max_batch_seen"] = max(
+                    self._stats["max_batch_seen"], len(group)
                 )
-                if matching >= self.max_batch:
-                    break
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    break
-                self._cond.wait(remaining)
-            group: List[QueuedRequest] = []
-            rest: List[QueuedRequest] = []
-            for request in self._pending:
-                if (request.fuse_key == head.fuse_key
-                        and len(group) < self.max_batch):
-                    group.append(request)
-                else:
-                    rest.append(request)
-            self._pending = rest
-            self._stats["dispatched_batches"] += 1
-            self._stats["dispatched_requests"] += len(group)
-            if len(group) > 1:
-                self._stats["fused_requests"] += len(group)
-            self._stats["max_batch_seen"] = max(
-                self._stats["max_batch_seen"], len(group)
-            )
-            return group
+                return group
 
     def _dispatch_loop(self) -> None:
         while True:
             group = self._take_group()
             if group is None:
                 break
+            # The heartbeat a wedged-compute watchdog reads: busy_since
+            # is set for exactly the span execute() runs, and _inflight
+            # names the requests a watchdog must fail if it never ends.
+            with self._cond:
+                self._inflight = list(group)
+                self._busy_since = time.monotonic()
             try:
                 self.execute(group)
             except BaseException as exc:  # executor bug: never strand clients
                 for request in group:
-                    if not request.event.is_set():
-                        request.resolve({
-                            "id": request.request_id,
-                            "ok": False,
-                            "error": {"code": "error",
-                                      "message": f"internal dispatch "
-                                                 f"failure: {exc}"},
-                        })
+                    request.resolve({
+                        "id": request.request_id,
+                        "ok": False,
+                        "error": {"code": "error",
+                                  "message": f"internal dispatch "
+                                             f"failure: {exc}"},
+                    })
             else:
                 for request in group:
-                    if not request.event.is_set():
-                        request.resolve({
-                            "id": request.request_id,
-                            "ok": False,
-                            "error": {"code": "error",
-                                      "message": "executor returned without "
-                                                 "resolving this request"},
-                        })
+                    request.resolve({
+                        "id": request.request_id,
+                        "ok": False,
+                        "error": {"code": "error",
+                                  "message": "executor returned without "
+                                             "resolving this request"},
+                    })
+            finally:
+                with self._cond:
+                    self._inflight = []
+                    self._busy_since = None
         self._drained.set()
+
+    def busy_seconds(self) -> float:
+        """How long the dispatcher has been inside one execute() call.
+
+        0.0 when idle.  This is the liveness signal: a value that keeps
+        growing past any sane compute time means the single compute
+        thread is wedged and every queued client is stuck behind it.
+        """
+        with self._cond:
+            if self._busy_since is None:
+                return 0.0
+            return time.monotonic() - self._busy_since
+
+    def fail_pending(self, code: str, message: str) -> int:
+        """Fail every queued *and* in-flight request with ``code``.
+
+        The watchdog's hammer: clients blocked behind a wedged compute
+        thread get a clean, machine-actionable error now instead of a
+        socket timeout later.  First-wins resolution makes this safe to
+        race against a compute thread that eventually comes back — its
+        late answers are discarded.  Returns how many requests this
+        call actually resolved.
+        """
+        with self._cond:
+            victims = self._pending + self._inflight
+            self._pending = []
+            self._cond.notify_all()
+        failed = 0
+        for request in victims:
+            failed += request.resolve({
+                "id": request.request_id,
+                "ok": False,
+                "error": {"code": code, "message": message},
+            })
+        return failed
 
     # ------------------------------------------------------------------
     # Shutdown
     # ------------------------------------------------------------------
     def close(self, drain: bool = True, timeout: Optional[float] = None
-              ) -> None:
+              ) -> Optional[threading.Thread]:
         """Stop accepting; by default finish everything already queued.
 
         ``drain=False`` instead fails pending requests immediately with
-        a ``shutting_down`` error.  Idempotent either way.
+        a ``shutting_down`` error.  Idempotent either way.  Returns the
+        dispatcher thread if it failed to join within ``timeout`` (a
+        wedged executor leaks it — logged, and the caller's exit path
+        can report it), else ``None``.
         """
         with self._cond:
             self._closing = True
@@ -235,6 +343,14 @@ class MicroBatcher:
             self._cond.notify_all()
         self._drained.wait(timeout)
         self._thread.join(timeout)
+        if self._thread.is_alive():
+            logger.warning(
+                "batcher dispatch thread %r did not exit within %ss "
+                "(executor still running?); leaking it as a daemon thread",
+                self._thread.name, timeout,
+            )
+            return self._thread
+        return None
 
     @property
     def closed(self) -> bool:

@@ -3,10 +3,15 @@
 One TCP connection, one request in flight at a time (run N clients —
 threads or processes — for concurrency; that is exactly the traffic
 shape the daemon's micro-batcher fuses).  The client owns the retry
-half of the backpressure contract: an ``overloaded`` response sleeps
-``retry_after`` seconds and resends, up to ``max_retries`` times, so
-callers see a slow answer instead of an error when the daemon sheds
-load.
+half of the backpressure contract: ``overloaded`` and ``shutting_down``
+responses — and connection resets (a daemon that restarted mid-request)
+— are retried with capped exponential backoff plus deterministic
+jitter, up to ``max_retries`` times, so callers see a slow answer
+instead of an error when the daemon sheds load or is being bounced by a
+supervisor.  The server's ``retry_after`` hint acts as a floor on each
+sleep.  Every op is idempotent (pure reads of a deterministic model),
+which is what makes resend-after-reset safe.  A surfaced
+:class:`ServerError` carries ``attempts`` — how many tries were spent.
 
 Field arrays come back as nested JSON lists; the client reassembles
 them into float64 numpy arrays.  Python's JSON float round-trip is
@@ -17,6 +22,7 @@ exact, so ``client.predict(...)`` is *bitwise* equal to the in-process
 from __future__ import annotations
 
 import itertools
+import random
 import socket
 import time
 from typing import Dict, List, Optional, Sequence
@@ -29,15 +35,25 @@ from .protocol import ProtocolError, encode_frame, read_frame
 _ARRAY_FIELDS = ("fields", "peaks", "peak_traces", "times",
                  "energy_imbalance")
 
+#: error codes worth retrying: the daemon said "not now", not "never".
+RETRYABLE_CODES = frozenset({"overloaded", "shutting_down"})
+
 
 class ServerError(RuntimeError):
-    """A non-ok response: ``code`` carries the protocol error code."""
+    """A non-ok response: ``code`` carries the protocol error code.
+
+    ``attempts`` is how many tries the client spent before surfacing
+    this (1 for non-retryable codes; ``max_retries + 1`` when a
+    retryable condition never cleared).
+    """
 
     def __init__(self, code: str, message: str,
-                 retry_after: Optional[float] = None):
-        super().__init__(f"[{code}] {message}")
+                 retry_after: Optional[float] = None,
+                 attempts: int = 1):
+        super().__init__(f"[{code}] {message} (after {attempts} attempt(s))")
         self.code = code
         self.retry_after = retry_after
+        self.attempts = attempts
 
 
 class ThermalClient:
@@ -51,16 +67,32 @@ class ThermalClient:
         Socket timeout per response (covers cold-scenario training on
         the daemon side, hence the generous default).
     max_retries:
-        How many ``overloaded`` backoffs to absorb before surfacing the
-        error to the caller.
+        How many retryable failures (``overloaded``, ``shutting_down``,
+        connection reset) to absorb before surfacing the error.
+    backoff_base / backoff_cap:
+        Exponential backoff: attempt ``k`` sleeps
+        ``min(cap, base * 2**k)`` seconds (times jitter), but never
+        less than the server's ``retry_after`` hint.
+    retry_seed:
+        Seed for the jitter stream.  Deterministic by design: tests can
+        pin it, and a fleet of clients seeded differently (the default
+        derives from the object id) desynchronizes instead of
+        thundering back in lockstep.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7070,
-                 timeout: float = 600.0, max_retries: int = 8):
+                 timeout: float = 600.0, max_retries: int = 8,
+                 backoff_base: float = 0.05, backoff_cap: float = 2.0,
+                 retry_seed: Optional[int] = None):
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
         self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self._jitter = random.Random(
+            id(self) if retry_seed is None else retry_seed
+        )
         self._sock: Optional[socket.socket] = None
         self._stream = None
         self._ids = itertools.count(1)
@@ -104,23 +136,52 @@ class ThermalClient:
             raise ConnectionError("daemon closed the connection")
         return response
 
+    def _backoff(self, attempt: int, retry_after: Optional[float]) -> float:
+        """Capped exponential backoff, jittered, floored at retry_after."""
+        delay = min(self.backoff_cap, self.backoff_base * (2.0 ** attempt))
+        delay *= 0.5 + self._jitter.random()  # in [0.5, 1.5) of nominal
+        if retry_after is not None:
+            delay = max(float(retry_after), delay)
+        return delay
+
     def _call(self, message: Dict) -> Dict:
-        """Send, absorbing ``overloaded`` backpressure with retries."""
+        """Send, absorbing retryable failures with backoff.
+
+        Retries ``overloaded`` and ``shutting_down`` responses and
+        connection resets (reconnecting first); every op is an
+        idempotent read, so a resend after a mid-request reset cannot
+        corrupt anything.  Non-retryable codes surface immediately.
+        """
         message = dict(message)
         message.setdefault("id", next(self._ids))
+        last_exc: Optional[ConnectionError] = None
         for attempt in range(self.max_retries + 1):
-            response = self._roundtrip(message)
+            try:
+                response = self._roundtrip(message)
+            except (ConnectionError, TimeoutError, OSError) as exc:
+                # Reset/refused/EOF: the daemon died, restarted, or
+                # dropped us.  Reconnect from scratch on the next try.
+                self.close()
+                last_exc = exc
+                if attempt < self.max_retries:
+                    time.sleep(self._backoff(attempt, None))
+                    continue
+                raise ServerError(
+                    "connection", f"{type(exc).__name__}: {exc}",
+                    attempts=attempt + 1,
+                ) from exc
             if response.get("ok"):
                 return response["result"]
             error = response.get("error") or {}
             code = error.get("code", "error")
             retry_after = error.get("retry_after")
-            if code == "overloaded" and attempt < self.max_retries:
-                time.sleep(float(retry_after or 0.05))
+            if code in RETRYABLE_CODES and attempt < self.max_retries:
+                time.sleep(self._backoff(attempt, retry_after))
                 continue
             raise ServerError(code, error.get("message", "unknown error"),
-                              retry_after)
-        raise ServerError("overloaded", "retries exhausted")  # unreachable
+                              retry_after, attempts=attempt + 1)
+        raise ServerError("connection", str(last_exc),
+                          attempts=self.max_retries + 1)  # unreachable
 
     # ------------------------------------------------------------------
     # Ops
@@ -154,7 +215,8 @@ class ThermalClient:
     def predict(self, scenario, designs: Sequence[Dict],
                 grid_shape: Optional[Sequence[int]] = None,
                 t: Optional[float] = None,
-                return_fields: bool = True) -> Dict:
+                return_fields: bool = True,
+                timeout_ms: Optional[float] = None) -> Dict:
         """Surrogate-evaluate designs; transient scenarios need ``t``."""
         message: Dict = {
             "op": "predict",
@@ -166,12 +228,15 @@ class ThermalClient:
             message["grid_shape"] = [int(n) for n in grid_shape]
         if t is not None:
             message["t"] = float(t)
+        if timeout_ms is not None:
+            message["timeout_ms"] = float(timeout_ms)
         return self._restore_arrays(self._call(message))
 
     def rollout(self, scenario, designs: Sequence[Dict],
                 times: Sequence[float],
                 grid_shape: Optional[Sequence[int]] = None,
-                return_fields: bool = True) -> Dict:
+                return_fields: bool = True,
+                timeout_ms: Optional[float] = None) -> Dict:
         """Transient rollout over a shared time grid (seconds)."""
         message: Dict = {
             "op": "rollout",
@@ -182,11 +247,14 @@ class ThermalClient:
         }
         if grid_shape is not None:
             message["grid_shape"] = [int(n) for n in grid_shape]
+        if timeout_ms is not None:
+            message["timeout_ms"] = float(timeout_ms)
         return self._restore_arrays(self._call(message))
 
     def solve(self, scenario, designs: Sequence[Dict],
               grid_shape: Optional[Sequence[int]] = None,
-              return_fields: bool = True) -> Dict:
+              return_fields: bool = True,
+              timeout_ms: Optional[float] = None) -> Dict:
         """FDM reference solve through the daemon's solve farm."""
         message: Dict = {
             "op": "solve",
@@ -196,6 +264,8 @@ class ThermalClient:
         }
         if grid_shape is not None:
             message["grid_shape"] = [int(n) for n in grid_shape]
+        if timeout_ms is not None:
+            message["timeout_ms"] = float(timeout_ms)
         return self._restore_arrays(self._call(message))
 
     def ping(self) -> Dict:
@@ -203,6 +273,10 @@ class ThermalClient:
 
     def stats(self) -> Dict:
         return self._call({"op": "stats"})
+
+    def health(self) -> Dict:
+        """Readiness/liveness probe (answered inline, never queued)."""
+        return self._call({"op": "health"})
 
     def shutdown(self) -> Dict:
         """Ask the daemon to drain and exit (acknowledged immediately)."""

@@ -27,8 +27,22 @@ Operational contracts:
   worker pools and exits 0.
 * **Serial fallback** — if a fused dispatch fails, each request is
   retried alone; one poisoned request errors alone instead of failing
-  its whole batch (and a crashed farm worker already demotes the farm
-  itself to its serial path).
+  its whole batch (and a crashed farm worker is healed in place by the
+  farm itself — respawn, operator replay, ticket replay — falling back
+  to its serial path only past the restart budget).
+* **Health probes** — the ``health`` op is answered inline on the
+  connection thread (readiness + liveness: queue depth, compute-thread
+  heartbeat, pool status, cache residency), so it answers in
+  milliseconds even while the compute thread is mid-batch.
+* **Watchdog** — with ``watchdog_timeout`` set, a monitor thread
+  watches the compute heartbeat; a dispatch that exceeds the limit
+  declares the compute thread *wedged*: every queued and in-flight
+  request is failed with a clean error, intake stops, and
+  ``serve_forever`` exits nonzero (exit code 2) instead of hanging —
+  the supervisor's cue to restart the process.
+* **Deadlines** — a request carrying ``timeout_ms`` that is still
+  queued when its deadline passes is answered ``deadline_exceeded``
+  before any compute is spent on it.
 
 Concurrency model: one thread per connection parses and validates;
 *all* compute runs on the single batcher thread (the merge dgemm may
@@ -50,6 +64,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import faults
 from ..api import ScenarioValidationError, ThermalScenario, ThermalService
 from .batcher import MicroBatcher, QueuedRequest, fuse_key_for
 from .protocol import (
@@ -127,6 +142,12 @@ class ThermalServer:
     request_timeout:
         Seconds a connection waits for its queued request before giving
         up (covers boot-time training of a cold scenario).
+    watchdog_timeout:
+        Seconds one fused dispatch may run before the compute thread is
+        declared wedged (queued + in-flight requests failed cleanly,
+        intake stopped, ``serve_forever`` exits 2).  ``None`` (default)
+        disables the watchdog — a cold-scenario boot train can
+        legitimately hold the compute thread for minutes.
     """
 
     def __init__(
@@ -141,6 +162,7 @@ class ThermalServer:
         workers: Optional[int] = None,
         cache_dir: Optional[str] = None,
         request_timeout: float = 600.0,
+        watchdog_timeout: Optional[float] = None,
     ):
         if service is None:
             service = ThermalService(cache_dir=cache_dir, workers=workers,
@@ -170,6 +192,12 @@ class ThermalServer:
         self._draining = threading.Event()
         self._close_lock = threading.Lock()
         self._closed = False
+        self.watchdog_timeout = (
+            None if watchdog_timeout is None else float(watchdog_timeout)
+        )
+        self._wedged = threading.Event()
+        self._watchdog_stop = threading.Event()
+        self._watchdog_thread: Optional[threading.Thread] = None
         self._started_at = time.monotonic()
         self._runners = {
             "predict": self._run_predict,
@@ -192,6 +220,12 @@ class ThermalServer:
             target=self._accept_loop, name="repro-serve-accept", daemon=True
         )
         self._accept_thread.start()
+        if self.watchdog_timeout is not None and self._watchdog_thread is None:
+            self._watchdog_thread = threading.Thread(
+                target=self._watchdog_loop, name="repro-serve-watchdog",
+                daemon=True,
+            )
+            self._watchdog_thread.start()
         logger.info("serving on %s:%d", self.host, self.port)
         return self
 
@@ -215,16 +249,57 @@ class ThermalServer:
                 "registry hit" if result.from_cache else "trained at boot",
             )
 
-    def serve_forever(self, install_signal_handlers: bool = True) -> int:
-        """Run until SIGINT/SIGTERM (or a ``shutdown`` op); returns 0.
+    def _watchdog_loop(self) -> None:
+        """Declare the compute thread wedged past ``watchdog_timeout``.
+
+        Polls the batcher's execute-heartbeat; one dispatch exceeding
+        the limit fails every queued and in-flight request with a clean
+        error (first-wins resolution discards any late answer from the
+        stuck thread) and stops the daemon with a nonzero exit — the
+        alternative is every client silently hanging until its socket
+        timeout while the queue grows to its depth limit.
+        """
+        poll = min(0.1, self.watchdog_timeout / 4)
+        while not self._watchdog_stop.wait(poll):
+            busy = self.batcher.busy_seconds()
+            if busy <= self.watchdog_timeout:
+                continue
+            self._wedged.set()
+            failed = self.batcher.fail_pending(
+                "error",
+                f"compute thread wedged (one dispatch busy {busy:.1f}s, "
+                f"watchdog limit {self.watchdog_timeout:g}s); daemon is "
+                f"restarting",
+            )
+            logger.error(
+                "watchdog: compute thread wedged for %.1fs (limit %gs); "
+                "failed %d pending/in-flight request(s) and shutting down",
+                busy, self.watchdog_timeout, failed,
+            )
+            stop = getattr(self, "_stop_event", None)
+            if stop is not None:
+                stop.set()
+            return
+
+    def serve_forever(self, install_signal_handlers: bool = True,
+                      stop: Optional[threading.Event] = None) -> int:
+        """Run until SIGINT/SIGTERM (or a ``shutdown`` op).
+
+        Returns 0 after a clean drain, 2 when the watchdog declared the
+        compute thread wedged (queued work was failed, not drained —
+        the supervisor should restart the process).
 
         The signal handler only sets a flag — the actual drain (finish
         queued requests, flush responses, close pools) runs on the main
         thread afterwards, so a Ctrl-C mid-batch still answers every
         accepted request before the process exits.
+
+        ``stop`` lets a caller that installed its own earlier signal
+        handler share the shutdown event, so a signal delivered before
+        this method's handlers take over is still honoured.
         """
         self.start()
-        stop = threading.Event()
+        stop = stop if stop is not None else threading.Event()
         self._stop_event = stop
         if install_signal_handlers:
             def _handler(signum, frame):
@@ -238,22 +313,48 @@ class ThermalServer:
                 stop.wait(0.2)
         finally:
             self.close(drain=True)
-        return 0
+        return 2 if self._wedged.is_set() else 0
 
     def close(self, drain: bool = True) -> None:
-        """Shut down exactly once: drain, flush, release (idempotent)."""
+        """Shut down exactly once: drain, flush, release (idempotent).
+
+        A wedged compute thread turns ``drain=True`` into a bounded
+        no-drain close: there is nothing left to drain (the watchdog
+        already failed all pending work) and waiting on the stuck
+        dispatch would hang the exit path forever.
+        """
         with self._close_lock:
             if self._closed:
                 return
             self._closed = True
         self._draining.set()
         # Stop new connections first so the drain is a closed set.
+        # shutdown() before close(): closing the fd alone does not wake
+        # a thread blocked in accept() on Linux, which turned every
+        # close into a 5s join timeout on the accept thread.
         if self._listener is not None:
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:
                 pass
-        self.batcher.close(drain=drain)
+        if drain and self.watchdog_timeout is not None \
+                and not self._wedged.is_set():
+            # Drain under watchdog supervision: a dispatch that wedges
+            # right before (or during) shutdown must not turn close()
+            # into an unbounded wait — the still-running watchdog
+            # converts it into a wedge verdict, which aborts the drain.
+            while (self.batcher.depth() or self.batcher.busy_seconds()) \
+                    and not self._wedged.is_set():
+                time.sleep(0.05)
+        self._watchdog_stop.set()
+        if self._wedged.is_set():
+            self.batcher.close(drain=False, timeout=2.0)
+        else:
+            self.batcher.close(drain=drain)
         # Batched responses are flushed by their connection threads the
         # moment their events fire; SHUT_RD turns each handler's next
         # readline into a clean EOF without cutting off those writes.
@@ -273,9 +374,14 @@ class ThermalServer:
                 conn.close()
             except OSError:
                 pass
-        if self._owns_service:
+        if self._owns_service and not self._wedged.is_set():
+            # With a wedged compute thread possibly still *inside* the
+            # service, tearing its caches/pools down underneath it could
+            # block the exit path; the process is about to die anyway.
             self.service.close()
-        logger.info("daemon closed (drained=%s)", drain)
+        logger.info("daemon closed (drained=%s, wedged=%s)",
+                    drain and not self._wedged.is_set(),
+                    self._wedged.is_set())
 
     def __enter__(self) -> "ThermalServer":
         return self.start()
@@ -305,6 +411,10 @@ class ThermalServer:
     def _handle_connection(self, conn: socket.socket) -> None:
         stream = conn.makefile("rb")
         try:
+            peer = conn.getpeername()[1]
+        except OSError:
+            peer = -1
+        try:
             while True:
                 try:
                     message = read_frame(stream)
@@ -315,6 +425,11 @@ class ThermalServer:
                     return
                 if message is None:
                     return
+                try:
+                    faults.hit("serve.connection", peer=peer,
+                               op=message.get("op"))
+                except faults.ConnectionDropInjected:
+                    return  # abrupt close: client sees a connection reset
                 response = self._handle_message(message)
                 conn.sendall(encode_frame(response))
         except (BrokenPipeError, ConnectionResetError, OSError):
@@ -341,6 +456,11 @@ class ThermalServer:
                 request_id, "bad_request",
                 f"unknown op {op!r}; expected one of "
                 f"{sorted(BATCHED_OPS + INLINE_OPS)}",
+            )
+        if self._wedged.is_set():
+            return error_response(
+                request_id, "error",
+                "compute thread is wedged; daemon is restarting",
             )
         if self._draining.is_set():
             return error_response(request_id, "shutting_down",
@@ -373,6 +493,8 @@ class ThermalServer:
             })
         if op == "stats":
             return ok_response(request_id, self.stats())
+        if op == "health":
+            return ok_response(request_id, self.health())
         # shutdown: acknowledge first, then drain on a separate thread so
         # this connection still receives its response.
         threading.Thread(target=self.close, kwargs={"drain": True},
@@ -455,9 +577,21 @@ class ThermalServer:
             elif t is not None:
                 raise RequestError("'t' is only valid for transient scenarios")
             payload["t"] = t
+        deadline = None
+        timeout_ms = message.get("timeout_ms")
+        if timeout_ms is not None:
+            try:
+                timeout_ms = float(timeout_ms)
+            except (TypeError, ValueError) as exc:
+                raise RequestError(
+                    f"'timeout_ms' must be a number: {exc}"
+                ) from exc
+            if timeout_ms <= 0:
+                raise RequestError("'timeout_ms' must be positive")
+            deadline = time.monotonic() + timeout_ms / 1000.0
         key = fuse_key_for(op, digest, grid_shape, times=times, t=t)
         return QueuedRequest(request_id=request_id, op=op, fuse_key=key,
-                             payload=payload)
+                             payload=payload, deadline=deadline)
 
     # ------------------------------------------------------------------
     # Fused execution (batcher thread)
@@ -465,6 +599,10 @@ class ThermalServer:
     def _execute_group(self, group: List[QueuedRequest]) -> None:
         runner = self._runners[group[0].op]
         try:
+            # Chaos hook: a "delay" rule here simulates a slow or wedged
+            # compute thread (watchdog / drain-under-load tests); a
+            # "raise" rule exercises the serial-fallback path below.
+            faults.hit("serve.compute", op=group[0].op, batch=len(group))
             runner(group)
         except Exception as exc:
             if len(group) > 1:
@@ -591,6 +729,51 @@ class ThermalServer:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def health(self) -> Dict:
+        """The ``health`` op payload: readiness + liveness, cheaply.
+
+        Computed entirely from lock-light counters on the connection
+        thread — never touches the compute thread — so it answers in
+        milliseconds even while a long fused solve holds the batcher.
+        ``ready`` means "send work here now"; ``live`` means "the
+        compute thread is not wedged" (a supervisor restarts on
+        ``live: false``).
+        """
+        busy = self.batcher.busy_seconds()
+        wedged = self._wedged.is_set()
+        draining = self._draining.is_set()
+        stalled = (self.watchdog_timeout is not None
+                   and busy > self.watchdog_timeout)
+        # Trunk-cache stats only lock around dict ops — always cheap.
+        cache_bytes = int(
+            self.service._trunk_cache.cache_stats().get("bytes") or 0
+        )
+        # The farm's RLock can be held by the compute thread across an
+        # operator assembly; a probe must degrade, not queue behind it.
+        pool = None
+        farm = self.service._farm
+        farm_lock = getattr(farm, "_lock", None)
+        if farm_lock is not None and farm_lock.acquire(timeout=0.005):
+            try:
+                cache_bytes += int(farm.cache_stats().get("bytes") or 0)
+                if hasattr(farm, "pool_stats"):
+                    pool = farm.pool_stats()
+            finally:
+                farm_lock.release()
+        status = ("wedged" if wedged or stalled
+                  else "draining" if draining else "ok")
+        return {
+            "status": status,
+            "ready": status == "ok",
+            "live": not (wedged or stalled),
+            "queue_depth": self.batcher.depth(),
+            "busy_seconds": busy,
+            "watchdog_timeout": self.watchdog_timeout,
+            "pool": pool,
+            "cache_bytes": cache_bytes,
+            "uptime_seconds": time.monotonic() - self._started_at,
+        }
+
     def stats(self) -> Dict:
         """The ``/stats`` payload: queue, caches, scenarios, residency."""
         from .. import __version__
@@ -631,6 +814,7 @@ def serve_main(
     memory_budget: Optional[int] = None,
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    watchdog_timeout: Optional[float] = None,
 ) -> int:
     """The ``repro serve`` entry point: boot, warm-start, run, drain."""
     scenarios = [ThermalScenario.from_json(path) for path in scenario_paths]
@@ -638,7 +822,20 @@ def serve_main(
         host=host, port=port, max_batch=max_batch, max_wait=max_wait,
         queue_depth=queue_depth, memory_budget=memory_budget,
         workers=workers, cache_dir=cache_dir,
+        watchdog_timeout=watchdog_timeout,
     )
+    # Install the stop handler BEFORE announcing the port: a SIGTERM
+    # that lands between "listening" and serve_forever() taking over
+    # (e.g. during a slow warm-start) must drain, not kill the process
+    # raw.  serve_forever() shares this event, so early signals hold.
+    stop = threading.Event()
+
+    def _early_handler(signum, frame):
+        logger.info("signal %d: draining and shutting down", signum)
+        stop.set()
+
+    signal.signal(signal.SIGINT, _early_handler)
+    signal.signal(signal.SIGTERM, _early_handler)
     server.start()
     print(f"repro serve: listening on {server.host}:{server.port} "
           f"(max_batch={max_batch}, max_wait={max_wait * 1e3:g}ms, "
@@ -647,4 +844,4 @@ def serve_main(
         server.warm_start(scenarios)
         print(f"repro serve: warm-started {len(scenarios)} scenario(s)",
               flush=True)
-    return server.serve_forever()
+    return server.serve_forever(stop=stop)

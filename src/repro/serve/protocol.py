@@ -10,11 +10,16 @@ socket.
 Request shape::
 
     {"id": <any>, "op": "predict" | "rollout" | "solve" | "stats"
-                       | "ping" | "shutdown",
+                       | "ping" | "health" | "shutdown",
      "scenario": {...ThermalScenario.to_dict()...},   # compute ops
      "designs": [{input_name: nested-list | scalar}, ...],
      "times": [...],          # rollout
      "t": <seconds>,          # transient predict at one instant
+     "timeout_ms": <float>,   # optional per-request deadline: if it
+                              # passes while the request is still
+                              # queued, the daemon answers
+                              # ``deadline_exceeded`` without spending
+                              # compute on it
      "grid_shape": [nx, ny, nz]}                      # optional
 
 Response shape::
@@ -28,7 +33,13 @@ after ``retry_after`` seconds; the queue was full, nothing was
 enqueued), ``bad_request`` (malformed JSON / unknown op / invalid
 scenario — do not retry), ``error`` (the request itself failed
 server-side), ``shutting_down`` (daemon is draining; connect elsewhere
-or retry later).
+or retry later), ``deadline_exceeded`` (the request's own
+``timeout_ms`` passed before compute started — nothing ran; resend
+with a larger deadline if still wanted).
+
+``health`` is answered inline on the connection thread — it stays fast
+even while the single compute thread grinds through a long fused batch,
+which is what makes it usable as a readiness/liveness probe.
 """
 
 from __future__ import annotations
@@ -40,8 +51,9 @@ import numpy as np
 
 #: ops that carry designs through the micro-batching queue.
 BATCHED_OPS = ("predict", "rollout", "solve")
-#: ops answered inline by the connection handler.
-INLINE_OPS = ("ping", "stats", "shutdown")
+#: ops answered inline by the connection handler (never queued, so they
+#: answer in milliseconds even when the compute thread is saturated).
+INLINE_OPS = ("ping", "stats", "health", "shutdown")
 
 #: one request line is a scenario spec plus a design batch; 64 MiB is
 #: far above any sane request and far below "peer can OOM the daemon".

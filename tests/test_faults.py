@@ -1,0 +1,716 @@
+"""Chaos suite: deterministic fault injection across every recovery path.
+
+The contract under test (ISSUE 8):
+
+* :mod:`repro.faults` schedules crashes exactly — per-site rules with
+  ``match``/``after``/``times`` gating, seed-deterministic probability,
+  JSON round-trip and ``REPRO_FAULTS`` propagation into spawned
+  workers — and is a single ``None`` check when disarmed;
+* an injected worker kill mid-``solve_many`` is healed in place:
+  results stay bitwise identical to serial, the farm is re-promoted to
+  the parallel path, and the respawn is visible in the counters (not
+  just the logs);
+* a training run killed (``kill -9``-style) at iteration k resumes
+  from its checkpoint to final weights bitwise identical to an
+  uninterrupted run; a corrupt checkpoint is quarantined, never
+  half-loaded;
+* the serving daemon stays observable and honest under faults: the
+  ``health`` op answers inline while compute is busy, expired deadlines
+  die before compute, the watchdog fails a wedged dispatch's clients
+  fast, and the client absorbs connection drops and ``shutting_down``;
+* SIGTERM drains in-flight work and exits 0; SIGTERM with a wedged
+  compute thread exits nonzero within the watchdog deadline.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.api import CheckpointCorrupt, ThermalService, scenario_for
+from repro.bc import ConvectionBC, NeumannBC
+from repro.core import Trainer, TrainerConfig, experiment_a
+from repro.fdm import HeatProblem, SolveFarm, operator_digest
+from repro.geometry import Face, StructuredGrid, paper_chip_a
+from repro.materials import UniformConductivity
+from repro.nn.serialize import read_payload
+from repro.parallel import PersistentPool, digest_owner
+from repro.serve import (
+    MicroBatcher,
+    QueuedRequest,
+    ServerError,
+    ThermalClient,
+    ThermalServer,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+T_AMB = 298.15
+
+
+@pytest.fixture(autouse=True)
+def _always_disarm():
+    """No test leaves a plan armed (or exported) behind."""
+    yield
+    faults.disarm()
+
+
+def _problem(grid_shape=(7, 7, 5), k=0.1, influx=2500.0, htc=500.0):
+    chip = paper_chip_a()
+    grid = StructuredGrid(chip, grid_shape)
+    return HeatProblem(
+        grid=grid,
+        conductivity=UniformConductivity(k),
+        bcs={
+            Face.TOP: NeumannBC(influx),
+            Face.BOTTOM: ConvectionBC(htc, T_AMB),
+        },
+    )
+
+
+def _tiny(iterations=5):
+    scenario = scenario_for("a", scale="test")
+    scenario.training.iterations = iterations
+    return scenario
+
+
+def _designs(service, scenario, n, seed=0):
+    raws = service.sample_designs(scenario, n, seed=seed)
+    return [{name: batch[index] for name, batch in raws.items()}
+            for index in range(n)]
+
+
+def _weights(setup):
+    return [p.data.copy() for p in setup.model.net.parameters()]
+
+
+# Pool task functions must be module-level so spawn can import them.
+def _init_state():
+    return {"calls": 0}
+
+
+def _echo(state, value):
+    state["calls"] += 1
+    return value, os.getpid()
+
+
+def _run_child(script: str, tmp_path: Path, name: str, env_extra=None,
+               **popen_kwargs):
+    """Run ``script`` as a real file (spawn re-imports __main__)."""
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(script))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(env_extra or {})
+    return subprocess.Popen(
+        [sys.executable, str(path)], env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        **popen_kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# FaultPlan semantics
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_disarmed_hit_is_noop(self):
+        assert not faults.active()
+        faults.hit("pool.task", worker=0, task=1)  # no plan: no effect
+        assert faults.fired("pool.task") == 0
+
+    def test_match_after_times_gating(self):
+        plan = faults.FaultPlan(rules=[
+            faults.FaultRule(site="unit.site", match={"tag": "x"},
+                             after=2, times=2),
+        ])
+        faults.arm(plan)
+        faults.hit("unit.site", tag="y")  # non-matching context: ignored
+        faults.hit("unit.site", tag="x")  # skipped (after=2)
+        faults.hit("unit.site", tag="x")  # skipped
+        for _ in range(2):  # the next two matching hits fire
+            with pytest.raises(faults.FaultInjected):
+                faults.hit("unit.site", tag="x")
+        faults.hit("unit.site", tag="x")  # times exhausted: pass again
+        assert faults.fired("unit.site") == 2
+
+    def test_probability_is_seed_deterministic(self):
+        def pattern(seed):
+            plan = faults.FaultPlan(seed=seed, rules=[
+                faults.FaultRule(site="unit.site", times=0,
+                                 probability=0.5),
+            ])
+            faults.arm(plan)
+            fired = []
+            for _ in range(32):
+                try:
+                    faults.hit("unit.site")
+                    fired.append(False)
+                except faults.FaultInjected:
+                    fired.append(True)
+            faults.disarm()
+            return fired
+
+        assert pattern(7) == pattern(7)  # replayable
+        assert pattern(7) != pattern(8)  # but seed-sensitive
+        assert any(pattern(7)) and not all(pattern(7))
+
+    def test_json_roundtrip_and_env_propagation(self):
+        plan = faults.FaultPlan(seed=3, rules=[
+            faults.FaultRule(site="pool.task", action="kill",
+                             match={"worker": 1}, after=4, exit_code=99),
+        ])
+        assert faults.FaultPlan.from_json(plan.to_json()) == plan
+
+        faults.arm(plan, propagate=True)
+        blob = os.environ[faults.ENV_VAR]
+        faults.disarm()
+        assert faults.ENV_VAR not in os.environ  # disarm unexports
+        os.environ[faults.ENV_VAR] = blob  # as a spawned worker sees it
+        try:
+            assert faults.load_from_env()
+            assert faults.active()
+        finally:
+            faults.disarm()
+
+    def test_malformed_env_is_ignored(self):
+        os.environ[faults.ENV_VAR] = "{not json"
+        try:
+            assert not faults.load_from_env()
+            assert not faults.active()
+        finally:
+            faults.disarm()
+
+    def test_delay_and_drop_actions(self):
+        plan = faults.FaultPlan(rules=[
+            faults.FaultRule(site="unit.slow", action="delay",
+                             delay_seconds=0.05),
+            faults.FaultRule(site="unit.drop", action="drop"),
+        ])
+        faults.arm(plan)
+        start = time.perf_counter()
+        faults.hit("unit.slow")
+        assert time.perf_counter() - start >= 0.05
+        with pytest.raises(faults.ConnectionDropInjected):
+            faults.hit("unit.drop")
+        assert faults.fired("unit.slow") == 1
+        assert faults.fired("unit.drop") == 1
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            faults.FaultRule(site="s", action="explode")
+        with pytest.raises(ValueError):
+            faults.FaultRule(site="s", after=-1)
+        with pytest.raises(ValueError):
+            faults.FaultRule(site="s", probability=1.5)
+
+
+# ----------------------------------------------------------------------
+# Pool healing under an injected worker kill
+# ----------------------------------------------------------------------
+class TestPoolChaos:
+    def test_injected_kill_heals_and_replays(self):
+        plan = faults.FaultPlan(rules=[
+            faults.FaultRule(site="pool.task", action="kill",
+                             match={"worker": 1}, times=1),
+        ])
+        faults.arm(plan, propagate=True)
+        pool = PersistentPool(2, initializer=_init_state)
+        # Workers spawned armed; replacements must come up disarmed so
+        # the one-shot kill stays one-shot across the respawn.
+        faults.unpropagate()
+        try:
+            # Worker 1 dies *before executing* its first task; the pool
+            # respawns it and replays the lost ticket transparently.
+            ticket = pool.submit(1, _echo, 42)
+            assert pool.result(ticket, timeout=60)[0] == 42
+            stats = pool.pool_stats()
+            assert stats["respawns"] == 1
+            assert stats["alive"] == 2
+            assert pool.run_on(1, _echo, 43)[0] == 43  # still healthy
+        finally:
+            pool.close()
+
+
+# ----------------------------------------------------------------------
+# Farm: injected kill mid-solve_many -> bitwise parity, re-promotion
+# ----------------------------------------------------------------------
+class TestFarmChaos:
+    def test_injected_kill_mid_solve_bitwise_and_repromoted(self):
+        problems = [
+            _problem(influx=1000.0),
+            _problem(k=0.2, influx=1500.0),
+            _problem(influx=2000.0),
+            _problem(k=0.2, influx=2500.0),
+            _problem(influx=3000.0),
+        ]
+        serial = SolveFarm().solve_many(problems)
+        owner = digest_owner(operator_digest(problems[0]), 2)
+        plan = faults.FaultPlan(rules=[
+            faults.FaultRule(site="pool.task", action="kill",
+                             match={"worker": owner}, times=1),
+        ])
+        faults.arm(plan, propagate=True)
+        farm = SolveFarm(workers=2)
+        farm._ensure_pool(2)  # spawn armed workers before solving
+        faults.unpropagate()
+        try:
+            sharded = farm.solve_many(problems)
+            for lhs, rhs in zip(serial, sharded):
+                assert np.array_equal(lhs.temperature, rhs.temperature)
+            # The criterion is counters, not logs: exactly one respawn,
+            # zero serial fallbacks, the pool alive and still parallel.
+            assert farm.stats.worker_respawns == 1
+            assert farm.stats.serial_fallbacks == 0
+            assert not farm._pool_broken
+            stats = farm.pool_stats()
+            assert stats["pool"]["respawns"] == 1
+            assert stats["pool"]["alive"] == 2
+            again = farm.solve_many(problems)
+            assert again[0].info["workers"] == 2
+        finally:
+            faults.disarm()
+            farm.close_pool()
+
+
+# ----------------------------------------------------------------------
+# Trainer: checkpoint/resume and data-parallel healing
+# ----------------------------------------------------------------------
+class TestTrainerChaos:
+    def test_interrupted_resume_is_bitwise(self, tmp_path):
+        ckpt = str(tmp_path / "state.train.npz")
+        reference = experiment_a(scale="test", seed=0)
+        cfg = TrainerConfig(iterations=10, n_functions=4, log_every=3,
+                            seed=0)
+        full = Trainer(reference.model, reference.plan, cfg).run()
+        expected = _weights(reference)
+
+        cut = experiment_a(scale="test", seed=0)
+        cfg_ck = TrainerConfig(iterations=10, n_functions=4, log_every=3,
+                               seed=0, checkpoint_every=3)
+        plan = faults.FaultPlan(rules=[
+            faults.FaultRule(site="trainer.iteration",
+                             match={"iteration": 6}),
+        ])
+        trainer = Trainer(cut.model, cut.plan, cfg_ck)
+        with pytest.raises(faults.FaultInjected):
+            with faults.injected(plan):
+                trainer.run(checkpoint_path=ckpt)
+        assert os.path.exists(ckpt)
+
+        # Resume on a FRESH model (exactly the post-kill situation).
+        resumed = experiment_a(scale="test", seed=0)
+        history = Trainer(resumed.model, resumed.plan, cfg_ck).run(
+            checkpoint_path=ckpt, resume=True
+        )
+        for lhs, rhs in zip(expected, _weights(resumed)):
+            assert np.array_equal(lhs, rhs)
+        assert history.iterations == full.iterations
+        assert history.total_loss == full.total_loss
+
+    def test_sharded_heal_keeps_trajectory_bitwise(self):
+        reference = experiment_a(scale="test", seed=0)
+        cfg = TrainerConfig(iterations=8, n_functions=4, log_every=2,
+                            seed=0, workers=2)
+        full = Trainer(reference.model, reference.plan, cfg).run()
+        expected = _weights(reference)
+
+        cut = experiment_a(scale="test", seed=0)
+        # after=5: worker 1 dies on its 6th task (mid-run); with only 8
+        # iterations left the respawned worker — which re-arms from the
+        # env with a fresh counter — never reaches its own 6th task, so
+        # the kill stays one-shot.
+        plan = faults.FaultPlan(rules=[
+            faults.FaultRule(site="pool.task", action="kill",
+                             match={"worker": 1}, after=5, times=1),
+        ])
+        trainer = Trainer(cut.model, cut.plan, cfg)
+        with faults.injected(plan, propagate=True):
+            history = trainer.run()
+        for lhs, rhs in zip(expected, _weights(cut)):
+            assert np.array_equal(lhs, rhs)
+        assert history.total_loss == full.total_loss
+
+    def test_kill_dash_nine_then_service_resume_bitwise(self, tmp_path):
+        scn = _tiny(iterations=6)
+        with ThermalService(cache_dir=tmp_path / "ref", workers=0) as svc:
+            ref = svc.train(scn, checkpoint_every=2)
+        ref_state, _ = read_payload(ref.checkpoint_path)
+
+        # Same training run in a child process, killed dead (os._exit,
+        # no cleanup — kill -9 equivalent) at iteration 4.
+        plan = faults.FaultPlan(rules=[
+            faults.FaultRule(site="trainer.iteration", action="kill",
+                             match={"iteration": 4}, exit_code=137),
+        ])
+        child = _run_child(
+            """
+            import sys
+            from repro import faults
+            from repro.api import ThermalService, scenario_for
+
+            faults.load_from_env()
+            scenario = scenario_for("a", scale="test")
+            scenario.training.iterations = 6
+            with ThermalService(cache_dir=sys.argv[1], workers=0) as svc:
+                svc.train(scenario, checkpoint_every=2)
+            print("FINISHED")
+            """.replace("sys.argv[1]", repr(str(tmp_path / "cut"))),
+            tmp_path, "train_kill.py",
+            env_extra={faults.ENV_VAR: plan.to_json()},
+        )
+        out, _ = child.communicate(timeout=300)
+        assert child.returncode == 137, out
+        assert "FINISHED" not in out
+        assert list((tmp_path / "cut").glob("*.train.npz")), out
+
+        # Resume in-process: final weights bitwise equal the
+        # uninterrupted run, and the partial slot is cleaned up.
+        with ThermalService(cache_dir=tmp_path / "cut", workers=0) as svc:
+            resumed = svc.train(scn, resume=True, checkpoint_every=2)
+        assert not resumed.from_cache
+        assert not list((tmp_path / "cut").glob("*.train.npz"))
+        cut_state, _ = read_payload(resumed.checkpoint_path)
+        assert set(ref_state) == set(cut_state)
+        for key in ref_state:
+            assert np.array_equal(ref_state[key], cut_state[key]), key
+
+
+# ----------------------------------------------------------------------
+# Checkpoint integrity: digest validation and quarantine
+# ----------------------------------------------------------------------
+class TestCheckpointCorruption:
+    def test_corrupt_registry_hit_quarantines_and_retrains(self, tmp_path):
+        scn = _tiny(iterations=6)
+        with ThermalService(cache_dir=tmp_path, workers=0) as svc:
+            first = svc.train(scn)
+            assert not first.from_cache
+        ref_state, _ = read_payload(first.checkpoint_path)
+
+        # Flip one byte in the cached payload: load must refuse (with
+        # the bad file quarantined on disk), never half-apply.
+        raw = bytearray(first.checkpoint_path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        first.checkpoint_path.write_bytes(bytes(raw))
+        with ThermalService(cache_dir=tmp_path, workers=0) as svc:
+            with pytest.raises(CheckpointCorrupt) as info:
+                svc.registry.load(scn, svc.session(scn).setup.model)
+            assert info.value.quarantined is not None
+            assert info.value.quarantined.exists()
+            assert info.value.quarantined.suffix == ".corrupt"
+            assert not first.checkpoint_path.exists()
+
+        # A fresh service retrains the now-empty slot to weights
+        # bitwise equal to the original run.
+        with ThermalService(cache_dir=tmp_path, workers=0) as svc:
+            again = svc.train(scn)
+        assert not again.from_cache
+        new_state, _ = read_payload(again.checkpoint_path)
+        for key in ref_state:
+            assert np.array_equal(ref_state[key], new_state[key]), key
+
+    def test_train_self_heals_a_corrupt_cache_hit(self, tmp_path, caplog):
+        scn = _tiny(iterations=6)
+        with ThermalService(cache_dir=tmp_path, workers=0) as svc:
+            svc.train(scn)
+        with ThermalService(cache_dir=tmp_path, workers=0) as svc:
+            path = svc.registry.find(scn)
+            raw = bytearray(path.read_bytes())
+            raw[len(raw) // 2] ^= 0xFF
+            path.write_bytes(bytes(raw))
+            with caplog.at_level("WARNING", logger="repro.api.service"):
+                result = svc.train(scn)
+            assert not result.from_cache  # retrained, not served corrupt
+            assert list(tmp_path.glob("*.corrupt"))
+
+
+# ----------------------------------------------------------------------
+# Serve: health inline, deadlines, watchdog, client retries
+# ----------------------------------------------------------------------
+class TestServeChaos:
+    def test_health_answers_fast_while_compute_busy(self, tmp_path):
+        scn = _tiny()
+        with ThermalServer(cache_dir=tmp_path, workers=0,
+                           max_wait=0.001,
+                           watchdog_timeout=30.0) as server:
+            server.warm_start([scn])
+            with ThermalService(cache_dir=tmp_path) as reference:
+                designs = _designs(reference, scn, 2)
+            faults.arm(faults.FaultPlan(rules=[
+                faults.FaultRule(site="serve.compute", action="delay",
+                                 delay_seconds=1.2,
+                                 match={"op": "predict"}, times=1),
+            ]))
+            with ThermalClient(port=server.port) as probe:
+                health = probe.health()
+                assert health["ready"] and health["live"]
+                assert health["status"] == "ok"
+
+                done = threading.Event()
+
+                def slow_call():
+                    with ThermalClient(port=server.port) as client:
+                        client.predict(scn, designs)
+                    done.set()
+
+                thread = threading.Thread(target=slow_call)
+                thread.start()
+                time.sleep(0.3)  # let it reach the delayed compute
+                assert server.batcher.busy_seconds() > 0.1
+                # The acceptance bar: health answers in < 50 ms while
+                # the compute thread is busy with a long fused call.
+                latencies = []
+                for _ in range(5):
+                    start = time.perf_counter()
+                    health = probe.health()
+                    latencies.append(time.perf_counter() - start)
+                assert min(latencies) < 0.05, latencies
+                assert health["busy_seconds"] > 0.1
+                thread.join(30.0)
+                assert done.is_set()  # the slow request still answered
+
+    def test_deadline_expires_before_compute(self, tmp_path):
+        scn = _tiny()
+        with ThermalServer(cache_dir=tmp_path, workers=0,
+                           max_wait=0.001) as server:
+            server.warm_start([scn])
+            with ThermalService(cache_dir=tmp_path) as reference:
+                designs = _designs(reference, scn, 2)
+            faults.arm(faults.FaultPlan(rules=[
+                faults.FaultRule(site="serve.compute", action="delay",
+                                 delay_seconds=1.0,
+                                 match={"op": "predict"}, times=1),
+            ]))
+            blocker = threading.Thread(
+                target=lambda: ThermalClient(port=server.port).predict(
+                    scn, designs
+                )
+            )
+            blocker.start()
+            time.sleep(0.2)  # occupy the compute thread first
+            with ThermalClient(port=server.port, max_retries=0) as client:
+                with pytest.raises(ServerError) as info:
+                    client.predict(scn, designs, timeout_ms=50)
+            assert info.value.code == "deadline_exceeded"
+            assert info.value.attempts == 1
+            blocker.join(30.0)
+            assert server.batcher.stats()["expired"] == 1
+
+    def test_watchdog_fails_wedged_dispatch_fast(self, tmp_path):
+        scn = _tiny()
+        with ThermalServer(cache_dir=tmp_path, workers=0,
+                           max_wait=0.001,
+                           watchdog_timeout=0.5) as server:
+            server.warm_start([scn])
+            with ThermalService(cache_dir=tmp_path) as reference:
+                designs = _designs(reference, scn, 2)
+            server._stop_event = threading.Event()
+            faults.arm(faults.FaultPlan(rules=[
+                faults.FaultRule(site="serve.compute", action="delay",
+                                 delay_seconds=3.0,
+                                 match={"op": "predict"}, times=1),
+            ]))
+            with ThermalClient(port=server.port, max_retries=0) as client:
+                start = time.perf_counter()
+                with pytest.raises(ServerError) as info:
+                    client.predict(scn, designs)
+                elapsed = time.perf_counter() - start
+            # Failed by the watchdog well before the 3 s wedge cleared.
+            assert info.value.code == "error"
+            assert "wedged" in str(info.value)
+            assert elapsed < 2.5
+            assert server._wedged.is_set()
+            assert server._stop_event.wait(2.0)  # supervisor signal
+            with ThermalClient(port=server.port, max_retries=0) as client:
+                health = client.health()
+            assert health["status"] == "wedged"
+            assert not health["live"]
+
+    def test_client_retries_connection_drop(self, tmp_path):
+        scn = _tiny()
+        with ThermalServer(cache_dir=tmp_path, workers=0) as server:
+            server.warm_start([scn])
+            with ThermalService(cache_dir=tmp_path) as reference:
+                designs = _designs(reference, scn, 2)
+                expected = reference.predict(scn, designs).fields
+            faults.arm(faults.FaultPlan(rules=[
+                faults.FaultRule(site="serve.connection", action="drop",
+                                 match={"op": "predict"}, times=1),
+            ]))
+            with ThermalClient(port=server.port, retry_seed=1,
+                               backoff_base=0.01) as client:
+                result = client.predict(scn, designs)
+            # First attempt's connection was dropped server-side; the
+            # retry reconnected and the answer is still bitwise right.
+            assert faults.fired("serve.connection") == 1
+            assert np.array_equal(result["fields"], expected)
+
+    def test_client_retries_shutting_down_then_surfaces(self, tmp_path):
+        with ThermalServer(cache_dir=tmp_path, workers=0) as server:
+            # Batched ops answer shutting_down while the daemon drains
+            # (the check precedes parsing, so no warm model is needed).
+            server._draining.set()
+            start = time.perf_counter()
+            with ThermalClient(port=server.port, max_retries=2,
+                               retry_seed=0, backoff_base=0.01,
+                               backoff_cap=0.05) as client:
+                with pytest.raises(ServerError) as info:
+                    client._call({"op": "predict", "scenario": {},
+                                  "designs": []})
+            assert info.value.code == "shutting_down"
+            assert info.value.attempts == 3  # initial try + 2 retries
+            assert time.perf_counter() - start >= 0.01  # it did back off
+            server._draining.clear()
+
+    def test_backoff_is_deterministic_and_floored(self):
+        first = ThermalClient(retry_seed=5, backoff_base=0.05,
+                              backoff_cap=2.0)
+        second = ThermalClient(retry_seed=5, backoff_base=0.05,
+                               backoff_cap=2.0)
+        a = [first._backoff(k, None) for k in range(6)]
+        b = [second._backoff(k, None) for k in range(6)]
+        assert a == b  # same seed, same jitter stream
+        assert all(delay <= 2.0 * 1.5 for delay in a)  # capped (pre-jitter)
+        # The server's retry_after hint is a floor on the sleep.
+        assert first._backoff(0, 7.5) >= 7.5
+
+    def test_batcher_close_reports_leaked_thread(self, caplog):
+        release = threading.Event()
+
+        def execute(group):
+            release.wait(30.0)
+            for request in group:
+                request.resolve({"ok": True})
+
+        batcher = MicroBatcher(execute, max_batch=1, max_wait=0.0)
+        request = QueuedRequest(request_id=0, op="predict",
+                                fuse_key=("k",), payload={})
+        assert batcher.submit(request)
+        time.sleep(0.05)  # let the dispatcher enter the wedged execute
+        with caplog.at_level("WARNING", logger="repro.serve"):
+            leaked = batcher.close(drain=False, timeout=0.1)
+        assert leaked is not None and leaked.is_alive()
+        assert any("did not exit" in record.message
+                   for record in caplog.records)
+        release.set()
+        leaked.join(5.0)
+        assert not leaked.is_alive()
+
+
+# ----------------------------------------------------------------------
+# Signal handling: drain-on-SIGTERM, fail-fast when wedged
+# ----------------------------------------------------------------------
+_SERVE_CHILD = """
+import sys
+import threading
+from repro import faults
+from repro.api import scenario_for
+from repro.serve import ThermalServer
+
+faults.load_from_env()
+scenario = scenario_for("a", scale="test")
+scenario.training.iterations = 5
+server = ThermalServer(cache_dir=sys.argv[1], workers=0, port=0,
+                       max_wait=0.001, watchdog_timeout=WATCHDOG)
+server.start()
+server.warm_start([scenario])
+print(f"PORT {server.port}", flush=True)
+sys.exit(server.serve_forever())
+"""
+
+
+class TestSignalHandling:
+    def _start_server(self, tmp_path, watchdog, plan):
+        child = _run_child(
+            _SERVE_CHILD
+            .replace("sys.argv[1]", repr(str(tmp_path / "reg")))
+            .replace("WATCHDOG", watchdog),
+            tmp_path, "serve_child.py",
+            env_extra={faults.ENV_VAR: plan.to_json()},
+        )
+        port = None
+        deadline = time.monotonic() + 240
+        while time.monotonic() < deadline:
+            line = child.stdout.readline()
+            if not line:
+                break
+            if line.startswith("PORT "):
+                port = int(line.split()[1])
+                break
+        if port is None:
+            child.kill()
+            pytest.fail("serve child never reported its port")
+        return child, port
+
+    def _sampled_designs(self, tmp_path):
+        scn = _tiny()
+        with ThermalService(cache_dir=tmp_path / "reg") as reference:
+            return scn, _designs(reference, scn, 2)
+
+    def test_sigterm_mid_request_drains_and_exits_zero(self, tmp_path):
+        plan = faults.FaultPlan(rules=[
+            faults.FaultRule(site="serve.compute", action="delay",
+                             delay_seconds=1.5,
+                             match={"op": "predict"}, times=1),
+        ])
+        child, port = self._start_server(tmp_path, "None", plan)
+        try:
+            scn, designs = self._sampled_designs(tmp_path)
+            answered = {}
+
+            def request():
+                with ThermalClient(port=port, max_retries=0) as client:
+                    answered["fields"] = client.predict(scn, designs)
+
+            thread = threading.Thread(target=request)
+            thread.start()
+            time.sleep(0.5)  # the delayed predict is now in flight
+            child.send_signal(signal.SIGTERM)
+            out, _ = child.communicate(timeout=60)
+            thread.join(30.0)
+        finally:
+            if child.poll() is None:
+                child.kill()
+        # Drained: the in-flight request was answered, then exit 0.
+        assert child.returncode == 0, out
+        assert "fields" in answered
+
+    def test_sigterm_with_wedged_compute_exits_nonzero(self, tmp_path):
+        plan = faults.FaultPlan(rules=[
+            faults.FaultRule(site="serve.compute", action="delay",
+                             delay_seconds=12.0,
+                             match={"op": "predict"}, times=1),
+        ])
+        child, port = self._start_server(tmp_path, "0.5", plan)
+        try:
+            scn, designs = self._sampled_designs(tmp_path)
+
+            def request():
+                try:
+                    with ThermalClient(port=port, max_retries=0) as client:
+                        client.predict(scn, designs)
+                except ServerError:
+                    pass  # the watchdog fails it — expected
+
+            thread = threading.Thread(target=request, daemon=True)
+            thread.start()
+            time.sleep(0.3)  # the wedged predict is now in flight
+            child.send_signal(signal.SIGTERM)
+            start = time.perf_counter()
+            out, _ = child.communicate(timeout=60)
+            elapsed = time.perf_counter() - start
+        finally:
+            if child.poll() is None:
+                child.kill()
+        # Exit nonzero (watchdog verdict), well inside the 12 s wedge:
+        # the close path must not wait out the stuck dispatch.
+        assert child.returncode == 2, out
+        assert elapsed < 8.0

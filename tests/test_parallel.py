@@ -7,8 +7,9 @@ The contract under test (ISSUE 6):
   reproduce the serial answer (bitwise for solves and dataset
   generation, <= 1e-10 loss drift for training) for any worker count;
 * worker affinity is a pure function of the operator digest, results
-  reassemble in request order, and a crashed pool demotes to the serial
-  path with a logged warning — never a wrong or missing answer;
+  reassemble in request order, and a crashed worker is respawned in
+  place (serial fallback only once the restart budget is exhausted,
+  with a logged warning) — never a wrong or missing answer;
 * randomness keys on the unit of work (chunk / shard), never on the
   worker, so seeded dataset generation is reproducible at any width;
 * the session caches (SolveFarm LRU, TrunkFeatureCache) survive
@@ -215,19 +216,49 @@ class TestPersistentPool:
             # The pool survives a task exception.
             assert pool.run_on(0, _echo, "still alive")[0] == "still alive"
 
-    def test_killed_worker_raises_worker_crashed(self):
+    def test_killed_worker_heals_transparently(self):
         pool = PersistentPool(2, initializer=_init_state)
+        try:
+            assert pool.run_on(1, _echo, 1)[0] == 1
+            pool.terminate_worker(1)
+            # Auto-heal (the default): the crash is absorbed, the dead
+            # worker respawned and the lost ticket replayed — the caller
+            # still gets its answer.
+            ticket = pool.submit(1, _echo, 2)
+            assert pool.result(ticket, timeout=60)[0] == 2
+            stats = pool.pool_stats()
+            assert stats["respawns"] == 1
+            assert stats["alive"] == 2
+        finally:
+            pool.close()
+
+    def test_killed_worker_raises_without_auto_heal(self):
+        pool = PersistentPool(2, initializer=_init_state, auto_heal=False)
         try:
             assert pool.run_on(1, _echo, 1)[0] == 1
             pool.terminate_worker(1)
             # The crash surfaces at submit (broken pipe) or at result
             # (dead process), depending on how fast the OS reaps it.
-            with pytest.raises(WorkerCrashed):
+            with pytest.raises(WorkerCrashed) as info:
+                ticket = pool.submit(1, _echo, 2)
+                pool.result(ticket, timeout=60)
+            assert info.value.worker == 1
+        finally:
+            pool.close()
+        assert not pool.alive
+
+    def test_restart_budget_exhaustion_raises(self):
+        pool = PersistentPool(2, initializer=_init_state, restart_budget=0)
+        try:
+            assert pool.run_on(1, _echo, 1)[0] == 1
+            pool.terminate_worker(1)
+            # Budget 0: even one respawn is over budget, so healing
+            # gives up and the structured crash surfaces instead.
+            with pytest.raises(WorkerCrashed, match="budget"):
                 ticket = pool.submit(1, _echo, 2)
                 pool.result(ticket, timeout=60)
         finally:
             pool.close()
-        assert not pool.alive
 
 
 # ----------------------------------------------------------------------
@@ -303,12 +334,33 @@ class TestShardedSolveFarm:
         for lhs, rhs in zip(serial, sharded):
             assert np.array_equal(lhs.temperature, rhs.temperature)
 
-    def test_crash_falls_back_to_serial(self, mixed_problems, caplog):
+    def test_crash_heals_and_stays_parallel(self, mixed_problems):
         farm = SolveFarm(workers=2)
         try:
             farm.solve_many(mixed_problems)  # builds the pool
             # Kill the worker that owns the first operator group, so the
             # sharded attempt is guaranteed to hit the dead process.
+            owner = digest_owner(operator_digest(mixed_problems[0]), 2)
+            farm._pool.terminate_worker(owner)
+            solutions = farm.solve_many(mixed_problems)
+            reference = SolveFarm().solve_many(mixed_problems)
+            for lhs, rhs in zip(reference, solutions):
+                assert np.array_equal(lhs.temperature, rhs.temperature)
+            # The worker was respawned in place: the farm stays on the
+            # parallel path and later calls still shard.
+            assert not farm._pool_broken and farm._pool is not None
+            assert farm.stats.worker_respawns >= 1
+            assert farm.stats.serial_fallbacks == 0
+            again = farm.solve_many(mixed_problems)
+            assert again[0].info["workers"] == 2
+        finally:
+            farm.close_pool()
+
+    def test_budget_exhaustion_falls_back_to_serial(
+            self, mixed_problems, caplog):
+        farm = SolveFarm(workers=2, restart_budget=0)
+        try:
+            farm.solve_many(mixed_problems)  # builds the pool
             owner = digest_owner(operator_digest(mixed_problems[0]), 2)
             farm._pool.terminate_worker(owner)
             with caplog.at_level("WARNING", logger="repro.fdm.farm"):
@@ -319,8 +371,10 @@ class TestShardedSolveFarm:
             reference = SolveFarm().solve_many(mixed_problems)
             for lhs, rhs in zip(reference, solutions):
                 assert np.array_equal(lhs.temperature, rhs.temperature)
-            # The pool is demoted permanently; later calls stay serial.
+            # Budget 0 exhausts immediately: the pool is demoted and
+            # later calls stay serial.
             assert farm._pool_broken and farm._pool is None
+            assert farm.stats.serial_fallbacks == 1
             again = farm.solve_many(mixed_problems)
             assert "workers" not in again[0].info
         finally:

@@ -427,7 +427,7 @@ class TestDaemonEndToEnd:
             assert np.array_equal(result["fields"], expected)
             assert server.batcher.stats()["rejected"] >= 1
 
-    def test_worker_crash_demotes_to_serial_answers_still_correct(
+    def test_worker_crash_heals_answers_still_correct(
             self, registry_dir):
         scn = _tiny("a")
         with ThermalServer(cache_dir=registry_dir, workers=2,
@@ -438,15 +438,16 @@ class TestDaemonEndToEnd:
             with ThermalClient(port=server.port) as client:
                 first = client.solve(scn, designs)
                 assert np.array_equal(first["peaks"], expected.peaks)
-                # kill a pool worker mid-flight state: the farm demotes
-                # itself to the serial path on the next submission
+                # kill a pool worker mid-flight state: the farm respawns
+                # it in place on the next submission and stays parallel
                 farm = server.service.farm
                 assert farm._pool is not None
                 farm._pool.terminate_worker(0)
                 second = client.solve(scn, designs)
             assert np.array_equal(second["peaks"], expected.peaks)
             assert np.array_equal(second["fields"], expected.fields)
-            assert farm._pool_broken or farm._pool is None
+            assert not farm._pool_broken and farm._pool is not None
+            assert farm.stats.worker_respawns >= 1
 
     def test_bad_requests_answer_bad_request(self, registry_dir):
         scn = _tiny("a")
