@@ -36,6 +36,6 @@ New workloads are scenario JSON files, not code: see
 ``examples/scenarios/`` and ``python -m repro run --config <file>``.
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = ["__version__"]

@@ -394,4 +394,5 @@ def preset_inventory() -> Dict[str, Dict]:
 
 
 def scenario_names() -> Tuple[str, ...]:
+    """Names accepted by :func:`scenario_for`."""
     return ("a", "b", "volumetric", "transient")

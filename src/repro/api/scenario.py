@@ -121,10 +121,12 @@ class GeometrySpec:
     origin_mm: Tuple[float, float, float] = (0.0, 0.0, 0.0)
 
     def to_dict(self) -> Dict:
+        """JSON-ready dict form."""
         return {"size_mm": list(self.size_mm), "origin_mm": list(self.origin_mm)}
 
     @classmethod
     def from_dict(cls, data, path: str, errors: List[str]) -> "GeometrySpec":
+        """Parse from dict form, collecting errors instead of raising."""
         data = _take(data, ["size_mm", "origin_mm"], path, errors)
         size = _float_tuple(data.get("size_mm"), 3, f"{path}.size_mm", errors)
         origin = _float_tuple(data.get("origin_mm"), 3, f"{path}.origin_mm", errors)
@@ -134,11 +136,13 @@ class GeometrySpec:
         )
 
     def validate(self, path: str, errors: List[str]) -> None:
+        """Append human-actionable problems to ``errors``."""
         if any(v <= 0 for v in self.size_mm):
             errors.append(f"{path}.size_mm: all extents must be positive, "
                           f"got {list(self.size_mm)}")
 
     def build(self):
+        """The concrete :class:`~repro.geometry.Cuboid` in SI metres."""
         from ..geometry import Cuboid
 
         return Cuboid.from_mm(self.origin_mm, self.size_mm)
@@ -152,10 +156,12 @@ class MaterialSpec:
     conductivity: float = 0.1  # W/mK
 
     def to_dict(self) -> Dict:
+        """JSON-ready dict form."""
         return {"kind": self.kind, "conductivity": self.conductivity}
 
     @classmethod
     def from_dict(cls, data, path: str, errors: List[str]) -> "MaterialSpec":
+        """Parse from dict form, collecting errors instead of raising."""
         data = _take(data, ["kind", "conductivity"], path, errors)
         return cls(
             kind=data.get("kind", "uniform"),
@@ -164,6 +170,7 @@ class MaterialSpec:
         )
 
     def validate(self, path: str, errors: List[str]) -> None:
+        """Append human-actionable problems to ``errors``."""
         if self.kind != "uniform":
             errors.append(f"{path}.kind: unknown material kind {self.kind!r} "
                           f"(known: uniform)")
@@ -172,6 +179,7 @@ class MaterialSpec:
                           f"got {self.conductivity}")
 
     def build(self):
+        """The concrete conductivity field."""
         from ..materials import UniformConductivity
 
         return UniformConductivity(self.conductivity)
@@ -190,6 +198,7 @@ class BoundarySpec:
     temperature: Optional[float] = None  # dirichlet, K
 
     def to_dict(self) -> Dict:
+        """JSON-ready dict form."""
         out: Dict = {"kind": self.kind}
         if self.htc is not None:
             out["htc"] = self.htc
@@ -199,6 +208,7 @@ class BoundarySpec:
 
     @classmethod
     def from_dict(cls, data, path: str, errors: List[str]) -> "BoundarySpec":
+        """Parse from dict form, collecting errors instead of raising."""
         data = _take(data, ["kind", "htc", "temperature"], path, errors)
         return cls(
             kind=data.get("kind", "adiabatic"),
@@ -208,6 +218,7 @@ class BoundarySpec:
         )
 
     def validate(self, path: str, errors: List[str]) -> None:
+        """Append human-actionable problems to ``errors``."""
         if self.kind not in _BC_KINDS:
             errors.append(f"{path}.kind: unknown boundary kind {self.kind!r} "
                           f"(known: {', '.join(_BC_KINDS)})")
@@ -219,6 +230,7 @@ class BoundarySpec:
             errors.append(f"{path}: dirichlet needs a 'temperature' in kelvin")
 
     def build(self, t_ambient: float):
+        """The concrete boundary-condition object."""
         from ..bc import AdiabaticBC, ConvectionBC, DirichletBC
 
         if self.kind == "adiabatic":
@@ -242,6 +254,7 @@ class VolumetricSourceSpec:
     z_center_mm: Optional[float] = None
 
     def to_dict(self) -> Dict:
+        """JSON-ready dict form."""
         return {
             "kind": self.kind,
             "total_power": self.total_power,
@@ -251,6 +264,7 @@ class VolumetricSourceSpec:
 
     @classmethod
     def from_dict(cls, data, path: str, errors: List[str]) -> "VolumetricSourceSpec":
+        """Parse from dict form, collecting errors instead of raising."""
         data = _take(data, ["kind", "total_power", "thickness_mm", "z_center_mm"],
                      path, errors)
         return cls(
@@ -264,6 +278,7 @@ class VolumetricSourceSpec:
         )
 
     def validate(self, path: str, errors: List[str]) -> None:
+        """Append human-actionable problems to ``errors``."""
         if self.kind != "uniform_layer":
             errors.append(f"{path}.kind: unknown source kind {self.kind!r} "
                           f"(known: uniform_layer)")
@@ -272,6 +287,7 @@ class VolumetricSourceSpec:
                           f"got {self.thickness_mm}")
 
     def build(self, chip):
+        """The concrete volumetric power source."""
         from ..power import UniformLayerPower
 
         z_mid = (float(chip.center[2]) if self.z_center_mm is None
@@ -291,6 +307,7 @@ class GRFSpec:
     transform: str = "none"
 
     def to_dict(self) -> Dict:
+        """JSON-ready dict form."""
         return {
             "length_scale": self.length_scale,
             "variance": self.variance,
@@ -299,6 +316,7 @@ class GRFSpec:
 
     @classmethod
     def from_dict(cls, data, path: str, errors: List[str]) -> "GRFSpec":
+        """Parse from dict form, collecting errors instead of raising."""
         data = _take(data, ["length_scale", "variance", "transform"], path, errors)
         return cls(
             length_scale=_number(data.get("length_scale"), f"{path}.length_scale",
@@ -309,6 +327,7 @@ class GRFSpec:
         )
 
     def validate(self, path: str, errors: List[str]) -> None:
+        """Append human-actionable problems to ``errors``."""
         if self.length_scale <= 0:
             errors.append(f"{path}.length_scale: must be positive, "
                           f"got {self.length_scale}")
@@ -317,6 +336,7 @@ class GRFSpec:
                           f"{self.transform!r}")
 
     def build2d(self, shape):
+        """The 2-D GRF input family."""
         from ..power import GaussianRandomField2D
 
         return GaussianRandomField2D(tuple(shape), length_scale=self.length_scale,
@@ -324,6 +344,7 @@ class GRFSpec:
                                      transform=self.transform)
 
     def build3d(self, shape):
+        """The volumetric GRF input family."""
         from ..power import GaussianRandomField3D
 
         return GaussianRandomField3D(tuple(shape), length_scale=self.length_scale,
@@ -340,6 +361,7 @@ class TraceFamilySpec:
     level_range: Tuple[float, float] = (0.2, 1.4)
 
     def to_dict(self) -> Dict:
+        """JSON-ready dict form."""
         return {
             "kinds": list(self.kinds),
             "weights": list(self.weights) if self.weights is not None else None,
@@ -348,6 +370,7 @@ class TraceFamilySpec:
 
     @classmethod
     def from_dict(cls, data, path: str, errors: List[str]) -> "TraceFamilySpec":
+        """Parse from dict form, collecting errors instead of raising."""
         data = _take(data, ["kinds", "weights", "level_range"], path, errors)
         kinds = data.get("kinds", ["step", "ramp", "periodic"])
         if (not isinstance(kinds, (list, tuple)) or not kinds
@@ -363,6 +386,7 @@ class TraceFamilySpec:
         return cls(kinds=tuple(kinds), weights=weights, level_range=level)
 
     def validate(self, path: str, errors: List[str]) -> None:
+        """Append human-actionable problems to ``errors``."""
         from ..power.traces import TraceFamily
 
         unknown = sorted(set(self.kinds) - set(TraceFamily.KINDS))
@@ -374,6 +398,7 @@ class TraceFamilySpec:
                           f"got {list(self.level_range)}")
 
     def build(self):
+        """The concrete time-trace family."""
         from ..power.traces import TraceFamily
 
         return TraceFamily(kinds=self.kinds, weights=self.weights,
@@ -430,6 +455,7 @@ class InputSpec:
     }
 
     def to_dict(self) -> Dict:
+        """JSON-ready dict form."""
         out: Dict = {"family": self.family}
         for key in self._FIELDS.get(self.family, ()):
             value = getattr(self, key)
@@ -442,6 +468,7 @@ class InputSpec:
 
     @classmethod
     def from_dict(cls, data, path: str, errors: List[str]) -> "InputSpec":
+        """Parse from dict form, collecting errors instead of raising."""
         if not isinstance(data, Mapping):
             errors.append(f"{path}: expected an object, got {type(data).__name__}")
             return cls()
@@ -478,6 +505,7 @@ class InputSpec:
         return spec
 
     def validate(self, path: str, errors: List[str]) -> None:
+        """Append human-actionable problems to ``errors``."""
         fields = self._FIELDS.get(self.family)
         if fields is None:
             errors.append(f"{path}.family: unknown input family {self.family!r}")
@@ -518,6 +546,7 @@ class InputSpec:
 
     def build(self, chip, t_ambient: float,
               transient: Optional["TransientSectionSpec"]):
+        """The concrete operator-input family."""
         from ..core.encoding import (
             DirichletInput,
             HTCInput,
@@ -571,6 +600,7 @@ class NetworkSpec:
     activation: str = "swish"
 
     def to_dict(self) -> Dict:
+        """JSON-ready dict form."""
         return {
             "branch_hidden": [list(widths) for widths in self.branch_hidden],
             "trunk_hidden": list(self.trunk_hidden),
@@ -582,11 +612,13 @@ class NetworkSpec:
 
     @classmethod
     def from_dict(cls, data, path: str, errors: List[str]) -> "NetworkSpec":
+        """Parse from dict form, collecting errors instead of raising."""
         data = _take(data, ["branch_hidden", "trunk_hidden", "q",
                             "fourier_frequencies", "fourier_std", "activation"],
                      path, errors)
 
         def width_list(values, where):
+            """Validated list of positive layer widths (default on error)."""
             if (not isinstance(values, (list, tuple)) or not values
                     or any(isinstance(w, bool) or not isinstance(w, int)
                            for w in values)):
@@ -617,6 +649,7 @@ class NetworkSpec:
         )
 
     def validate(self, path: str, errors: List[str], n_inputs: int) -> None:
+        """Append human-actionable problems to ``errors``."""
         if len(self.branch_hidden) != n_inputs:
             errors.append(
                 f"{path}.branch_hidden: {len(self.branch_hidden)} branch "
@@ -671,6 +704,7 @@ class CollocationSpec:
     }
 
     def to_dict(self) -> Dict:
+        """JSON-ready dict form."""
         out: Dict = {"kind": self.kind}
         for key in self._FIELDS.get(self.kind, ()):
             value = getattr(self, key)
@@ -681,6 +715,7 @@ class CollocationSpec:
 
     @classmethod
     def from_dict(cls, data, path: str, errors: List[str]) -> "CollocationSpec":
+        """Parse from dict form, collecting errors instead of raising."""
         if not isinstance(data, Mapping):
             errors.append(f"{path}: expected an object, got {type(data).__name__}")
             return cls()
@@ -715,6 +750,7 @@ class CollocationSpec:
         return spec
 
     def validate(self, path: str, errors: List[str]) -> None:
+        """Append human-actionable problems to ``errors``."""
         if self.kind not in self.KINDS:
             errors.append(f"{path}.kind: unknown collocation kind {self.kind!r}")
             return
@@ -736,6 +772,7 @@ class CollocationSpec:
                           f"got {self.n_initial}")
 
     def build(self, chip, nd, transient: Optional["TransientSectionSpec"]):
+        """The concrete collocation configuration."""
         from ..core.sampler import (
             MeshCollocation,
             RandomCollocation,
@@ -769,6 +806,7 @@ class TrainingSpec:
     seed: int = 0
 
     def to_dict(self) -> Dict:
+        """JSON-ready dict form."""
         return {
             "iterations": self.iterations,
             "n_functions": self.n_functions,
@@ -780,6 +818,7 @@ class TrainingSpec:
 
     @classmethod
     def from_dict(cls, data, path: str, errors: List[str]) -> "TrainingSpec":
+        """Parse from dict form, collecting errors instead of raising."""
         data = _take(data, ["iterations", "n_functions", "learning_rate",
                             "decay_rate", "decay_every", "seed"], path, errors)
         return cls(
@@ -797,6 +836,7 @@ class TrainingSpec:
         )
 
     def validate(self, path: str, errors: List[str]) -> None:
+        """Append human-actionable problems to ``errors``."""
         if self.iterations < 1:
             errors.append(f"{path}.iterations: must be >= 1, "
                           f"got {self.iterations}")
@@ -820,11 +860,13 @@ class TransientSectionSpec:
     ic_grid: Tuple[int, int, int] = (5, 5, 4)
 
     def to_dict(self) -> Dict:
+        """JSON-ready dict form."""
         return {"rho_cp": self.rho_cp, "horizon": self.horizon,
                 "ic_grid": list(self.ic_grid)}
 
     @classmethod
     def from_dict(cls, data, path: str, errors: List[str]) -> "TransientSectionSpec":
+        """Parse from dict form, collecting errors instead of raising."""
         data = _take(data, ["rho_cp", "horizon", "ic_grid"], path, errors)
         ic_grid = _int_tuple(data.get("ic_grid"), 3, f"{path}.ic_grid", errors)
         return cls(
@@ -836,6 +878,7 @@ class TransientSectionSpec:
         )
 
     def validate(self, path: str, errors: List[str]) -> None:
+        """Append human-actionable problems to ``errors``."""
         if self.rho_cp <= 0:
             errors.append(f"{path}.rho_cp: must be positive, got {self.rho_cp}")
         if self.horizon <= 0:
@@ -846,6 +889,7 @@ class TransientSectionSpec:
                           f"got {list(self.ic_grid)}")
 
     def build(self):
+        """The concrete transient section."""
         from ..core.transient import TransientSpec
 
         return TransientSpec(rho_cp=self.rho_cp, horizon=self.horizon,
@@ -887,6 +931,7 @@ class ThermalScenario:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
+        """JSON-ready dict form."""
         return {
             "schema_version": self.schema_version,
             "name": self.name,
@@ -1004,6 +1049,7 @@ class ThermalScenario:
         return scenario
 
     def to_json(self, path: Optional[Union[str, Path]] = None) -> str:
+        """Serialize to JSON text, optionally writing ``path``."""
         text = json.dumps(self.to_dict(), indent=2) + "\n"
         if path is not None:
             Path(path).write_text(text)

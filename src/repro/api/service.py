@@ -138,6 +138,7 @@ class SweepResult:
 
     @property
     def throughput(self) -> float:
+        """Designs per second over the sweep."""
         return self.n_designs / max(self.elapsed, 1e-12)
 
     def design(self, index: int) -> Dict[str, np.ndarray]:
@@ -198,6 +199,7 @@ class CheckpointRegistry:
         return f"{digest}-v{__version__}.npz"
 
     def path_for(self, scenario: ThermalScenario) -> Path:
+        """The canonical checkpoint path for this scenario."""
         return self.root / f"{self._slug(scenario.name)}-{self._key(scenario)}"
 
     def train_state_path(self, scenario: ThermalScenario) -> Path:
@@ -227,10 +229,12 @@ class CheckpointRegistry:
         return matches[0] if matches else None
 
     def has(self, scenario: ThermalScenario) -> bool:
+        """Whether a finished checkpoint exists for this digest."""
         return self.find(scenario) is not None
 
     def save(self, scenario: ThermalScenario, model, meta: Optional[Dict] = None
              ) -> Path:
+        """Atomically write ``model`` (tmp + rename, payload sha256)."""
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(scenario)
         meta = dict(meta or {})
@@ -327,6 +331,14 @@ class ThermalService:
         ``cache_stats()``).  This is what the serving daemon's
         ``--memory-budget`` flag sets; results are unchanged, only
         cache residency (and therefore recompute cost) varies.
+    solver:
+        Solver tier for every reference FDM solve the session issues
+        (``"auto"`` / ``"lu"`` / ``"block_cg"`` / ``"recycled"``, see
+        :meth:`repro.fdm.SolveFarm.solve_many` and ``docs/solvers.md``).
+        ``None`` (default) keeps the farm's exact direct path.  With a
+        ``memory_budget``, ``"auto"`` lets grids whose LU factorization
+        cannot fit the budget degrade to the iterative tiers instead of
+        thrashing the cache.
 
     A service is a context manager: ``with ThermalService(...) as s:``
     tears down the private farm pool, engines and caches exactly once
@@ -340,6 +352,7 @@ class ThermalService:
         trunk_cache_entries: int = 16,
         workers: Optional[int] = None,
         memory_budget: Optional[int] = None,
+        solver: Optional[str] = None,
     ):
         from ..engine import TrunkFeatureCache
 
@@ -349,6 +362,7 @@ class ThermalService:
         self._farm = farm
         self._owns_farm = False
         self.workers = workers
+        self.solver = solver
         self.memory_budget = (
             None if memory_budget is None else int(memory_budget)
         )
@@ -365,6 +379,7 @@ class ThermalService:
     # ------------------------------------------------------------------
     @property
     def farm(self):
+        """The session's solve farm: private when budgeted, else shared."""
         if self._farm is None:
             if self.workers is not None or self.memory_budget is not None:
                 from ..fdm import SolveFarm
@@ -500,7 +515,7 @@ class ThermalService:
             model.concrete_config(design).heat_problem(grid)
             for design in designs
         ]
-        solutions = self.farm.solve_many(problems)
+        solutions = self.farm.solve_many(problems, solver=self.solver)
         elapsed = time.perf_counter() - start
 
         return SolveResult(
@@ -803,7 +818,7 @@ class ThermalService:
             for index in hottest
         ]
         start = time.perf_counter()
-        references = self.farm.solve_many(problems)
+        references = self.farm.solve_many(problems, solver=self.solver)
         elapsed = time.perf_counter() - start
         reference_peaks = np.asarray([ref.t_max for ref in references])
         return SweepValidation(

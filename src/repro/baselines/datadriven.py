@@ -46,6 +46,7 @@ def generate_dataset(
     farm: Optional[SolveFarm] = None,
     seed: Optional[int] = None,
     workers: Optional[int] = None,
+    solver: Optional[str] = None,
 ) -> SupervisedDataset:
     """Label random configurations with the FDM reference solver.
 
@@ -62,6 +63,11 @@ def generate_dataset(
     the chunk, never the worker — so the dataset is bitwise identical
     for any ``workers`` value.  ``workers`` > 1 shards the farm solves
     across processes (see :meth:`~repro.fdm.SolveFarm.solve_many`).
+    ``solver`` selects the farm tier for the labelling solves
+    (``"auto"``/``"lu"``/``"block_cg"``/``"recycled"``): the recycled
+    tier is the data-generation regime the block-Krylov recipe targets —
+    every chunk reuses one operator, so the deflation basis harvested
+    from the first block accelerates all the rest.
     """
     if (rng is None) == (seed is None):
         raise ValueError("pass exactly one of rng= or seed=")
@@ -102,7 +108,7 @@ def generate_dataset(
             ).heat_problem(grid)
             for index in range(lo, hi)
         ]
-        solutions = farm.solve_many(problems, workers=workers)
+        solutions = farm.solve_many(problems, workers=workers, solver=solver)
         for index, solution in zip(range(lo, hi), solutions):
             fields[index] = model.nd.temp_to_hat(solution.temperature)
     elapsed = time.perf_counter() - start

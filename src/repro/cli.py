@@ -44,6 +44,14 @@ def _build_parser() -> argparse.ArgumentParser:
              "REPRO_WORKERS env var, else 1; 0 means all cores). Give it "
              "before the subcommand: repro --workers 4 solve ...",
     )
+    parser.add_argument(
+        "--solver", choices=["auto", "lu", "block_cg", "recycled"],
+        default=None,
+        help="FDM solver tier for reference solves (default: per-grid "
+             "legacy behaviour). 'auto' picks by operator size and memory "
+             "budget; see docs/solvers.md. Give it before the subcommand: "
+             "repro --solver auto solve ...",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     info = subparsers.add_parser("info", help="show version and preset inventory")
@@ -198,7 +206,7 @@ def _build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 # Shared plumbing
 # ----------------------------------------------------------------------
-def _service(workers: Optional[int] = None):
+def _service(workers: Optional[int] = None, solver: Optional[str] = None):
     """A service session rooted at the shared model cache.
 
     Reads ``DEFAULT_CACHE_DIR`` through :mod:`repro.experiments.common`
@@ -208,7 +216,8 @@ def _service(workers: Optional[int] = None):
     from .api import ThermalService
     from .experiments import common
 
-    return ThermalService(cache_dir=common.DEFAULT_CACHE_DIR, workers=workers)
+    return ThermalService(cache_dir=common.DEFAULT_CACHE_DIR,
+                          workers=workers, solver=solver)
 
 
 def _trained(service, name: str, scale: str, checkpoint: Optional[str]):
@@ -280,7 +289,7 @@ def _cmd_solve(args) -> int:
     from .api import scenario_for
     from .power import paper_test_suite, tiles_to_grid
 
-    service = _service(args.workers)
+    service = _service(args.workers, args.solver)
     scenario = scenario_for(args.experiment, scale="ci")
     setup = service.setup(scenario)
 
@@ -336,7 +345,7 @@ def _cmd_train(args) -> int:
     if args.seed:
         scenario.training.seed = args.seed
 
-    service = _service(args.workers)
+    service = _service(args.workers, args.solver)
     setup = service.setup(scenario)
     print(f"training {setup.name} ({setup.scale}): {setup.description}")
     print(model_summary(setup.model))
@@ -371,7 +380,7 @@ def _cmd_evaluate(args) -> int:
     from .analysis import format_table
     from .experiments import run_experiment_a, run_experiment_b
 
-    _, setup = _trained(_service(args.workers), args.experiment, args.scale,
+    _, setup = _trained(_service(args.workers, args.solver), args.experiment, args.scale,
                         args.checkpoint)
 
     if args.experiment == "a":
@@ -410,7 +419,7 @@ def _cmd_sweep(args) -> int:
 
     from .analysis import kv_block, model_summary
 
-    service = _service(args.workers)
+    service = _service(args.workers, args.solver)
     scenario, setup = _trained(service, args.experiment, args.scale,
                                args.checkpoint)
     result = service.sweep(
@@ -510,7 +519,7 @@ def _cmd_sweep(args) -> int:
 def _cmd_transient(args) -> int:
     from .experiments import run_experiment_c
 
-    service = _service(args.workers)
+    service = _service(args.workers, args.solver)
     _, setup = _trained(service, "transient", args.scale, args.checkpoint)
 
     result = run_experiment_c(
@@ -568,7 +577,7 @@ def _cmd_run(args) -> int:
             print(f"  - {error}", file=sys.stderr)
         return 2
 
-    service = _service(args.workers)
+    service = _service(args.workers, args.solver)
     report = {
         "config": args.config,
         "scenario": scenario.name,
@@ -695,6 +704,7 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         cache_dir=common.DEFAULT_CACHE_DIR,
         watchdog_timeout=args.watchdog_timeout,
+        solver=args.solver,
     )
 
 

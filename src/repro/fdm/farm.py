@@ -21,6 +21,18 @@ The farm amortises the expensive half:
 * ``method="cg"`` switches to a block conjugate-gradient path (Jacobi
   symmetric scaling, vectorised over the K right-hand sides) for the
   mesh-scaling regime where factorization memory is the constraint;
+* ``solver=`` (constructor knob or per-call) selects a *tier* from
+  :mod:`repro.fdm.krylov` instead of the legacy ``method`` pair:
+  ``"lu"`` is the exact direct path with an up-front byte-budget
+  refusal (:class:`~repro.fdm.krylov.MemoryBudgetExceeded`),
+  ``"block_cg"`` is CSR-backed preconditioned block CG, ``"recycled"``
+  is matrix-free deflated block CG whose
+  :class:`~repro.fdm.krylov.RecycleBasis` carries solved subspaces
+  across blocks and repeat sweeps, and ``"auto"`` picks per operator
+  from the byte budget (:func:`~repro.fdm.krylov.choose_tier`) — grids
+  whose LU fill cannot fit degrade to the iterative tiers instead of
+  failing.  ``solver=None`` (the default) leaves the legacy ``method``
+  paths bitwise untouched;
 * with ``workers > 1`` (constructor knob, per-call override, or the
   ``REPRO_WORKERS`` environment variable) the block solves shard across
   a persistent process pool: the parent still owns problem objects and
@@ -49,7 +61,7 @@ import logging
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -58,7 +70,12 @@ import scipy.sparse.linalg as spla
 
 from ..backend import row_chunks
 from ..parallel import PersistentPool, WorkerCrashed, digest_owner, resolve_workers
-from ..parallel.farmwork import install_operator, solve_chunk, solve_worker_init
+from ..parallel.farmwork import (
+    install_basis,
+    install_operator,
+    solve_chunk,
+    solve_worker_init,
+)
 from .assembly import (
     AssembledSystem,
     HeatProblem,
@@ -68,6 +85,21 @@ from .assembly import (
     compose_system,
     operator_digest,
 )
+from .krylov import (
+    PRECONDITIONERS,
+    TIERS,
+    MemoryBudgetExceeded,
+    RecycleBasis,
+    StencilCore,
+    StencilOperator,
+    assemble_stencil,
+    block_pcg,
+    choose_tier,
+    estimate_csr_bytes,
+    estimate_lu_bytes,
+    ssor_preconditioner,
+    stencil_energy_report,
+)
 from .solver import ThermalSolution, energy_report
 
 logger = logging.getLogger("repro.fdm.farm")
@@ -75,7 +107,15 @@ logger = logging.getLogger("repro.fdm.farm")
 
 @dataclass
 class FarmStats:
-    """Counters of what the farm actually did (for tests and CLIs)."""
+    """Counters of what the farm actually did (for tests and CLIs).
+
+    Besides the scalar counters, ``iterations_by_digest`` accumulates
+    the per-block iteration counts of every iterative solve (legacy
+    ``method="cg"`` and the ``block_cg`` / ``recycled`` tiers), keyed by
+    the 16-char digest prefix — one entry per solved block, in solve
+    order, so recycling's iteration drop across a digest group is
+    directly observable (see :meth:`SolveFarm.cache_stats`).
+    """
 
     operator_hits: int = 0
     operator_misses: int = 0
@@ -86,8 +126,20 @@ class FarmStats:
     problems_solved: int = 0
     worker_respawns: int = 0
     serial_fallbacks: int = 0
+    iterations_by_digest: Dict[str, List[int]] = field(default_factory=dict)
+
+    def record_block_iterations(self, key: str, iterations: np.ndarray) -> None:
+        """Append one solved block's iteration count under its digest.
+
+        A lock-step block costs as many operator actions as its slowest
+        column, so the recorded number is the per-column maximum.
+        """
+        self.iterations_by_digest.setdefault(key[:16], []).append(
+            int(np.max(iterations)) if np.size(iterations) else 0
+        )
 
     def as_dict(self) -> Dict[str, int]:
+        """The scalar counters as a plain dict (JSON-able)."""
         return {
             "operator_hits": self.operator_hits,
             "operator_misses": self.operator_misses,
@@ -113,15 +165,36 @@ def _sparse_nbytes(matrix) -> int:
 
 @dataclass
 class _CachedOperator:
-    """One LRU slot: the operator plus its lazily-built factorization."""
+    """One LRU slot: an operator in whichever representations were built.
 
-    operator: OperatorPart
+    ``operator`` (CSR + lazily-built SuperLU / scaled-CG system) and
+    ``stencil`` (matrix-free, with its scaled core, Jacobi scale and
+    recycle basis) are both optional: a slot populated only through the
+    ``recycled`` tier never materializes a sparse matrix at all, which
+    is the point of that tier.  Both halves share the digest key, so a
+    problem solved under different tiers occupies one slot.
+    """
+
+    operator: Optional[OperatorPart] = None
     lu: Optional[spla.SuperLU] = None
     assembly_seconds: float = 0.0
     factor_seconds: float = 0.0
-    # Jacobi-scaled system for the CG path, built on first use.
+    # Jacobi-scaled system for the CG / block_cg paths, built on first use.
     cg_scale: Optional[np.ndarray] = None
     cg_matrix: Optional[sp.csr_matrix] = None
+    # SSOR preconditioner over cg_matrix (block_cg tier, opt-in).
+    ssor_apply: Optional[object] = None
+    ssor_nbytes: int = 0
+    # Matrix-free half (recycled tier).
+    stencil: Optional[StencilOperator] = None
+    stencil_scale: Optional[np.ndarray] = None
+    scaled_core: Optional[StencilCore] = None
+    basis: Optional[RecycleBasis] = None
+
+    @property
+    def operator_like(self):
+        """Whichever representation can assemble RHS / audit energy."""
+        return self.operator if self.operator is not None else self.stencil
 
     @property
     def nbytes(self) -> int:
@@ -133,14 +206,25 @@ class _CachedOperator:
         fill dominates by orders of magnitude at any real grid, so the
         byte budget tracks what actually matters.
         """
-        total = _sparse_nbytes(self.operator.matrix)
-        if self.lu is not None:
-            n = self.operator.matrix.shape[0]
-            total += int(self.lu.nnz) * 12 + 8 * n
+        total = 0
+        if self.operator is not None:
+            total += _sparse_nbytes(self.operator.matrix)
+            if self.lu is not None:
+                n = self.operator.matrix.shape[0]
+                total += int(self.lu.nnz) * 12 + 8 * n
         if self.cg_matrix is not None:
             total += _sparse_nbytes(self.cg_matrix)
         if self.cg_scale is not None:
             total += self.cg_scale.nbytes
+        total += self.ssor_nbytes
+        if self.stencil is not None:
+            total += self.stencil.nbytes
+        if self.scaled_core is not None:
+            total += self.scaled_core.nbytes
+        if self.stencil_scale is not None:
+            total += self.stencil_scale.nbytes
+        if self.basis is not None:
+            total += self.basis.nbytes
         return total
 
 
@@ -222,6 +306,22 @@ class SolveFarm:
         ``restart_budget`` worker respawns inside any sliding
         ``restart_window`` seconds before the farm gives up and demotes
         itself to the serial path (see the module docstring).
+    solver:
+        Default solver tier for :meth:`solve_many` (per-call
+        overridable): ``None`` keeps the legacy ``method`` semantics
+        bitwise; ``"auto"`` / ``"lu"`` / ``"block_cg"`` / ``"recycled"``
+        engage the tier policy (see the module docstring and
+        ``docs/solvers.md``).
+    preconditioner:
+        Extra preconditioner for the ``block_cg`` tier: ``"jacobi"``
+        (symmetric diagonal scaling only — the measured best default) or
+        ``"ssor"`` (symmetric Gauss-Seidel on top of the scaling).  The
+        matrix-free ``recycled`` tier always uses plain Jacobi scaling.
+    recycle_block / recycle_vectors:
+        The ``recycled`` tier solves a digest group in sub-blocks of
+        ``recycle_block`` columns, harvesting up to ``recycle_vectors``
+        deflation vectors from earlier sub-blocks into the group's
+        :class:`~repro.fdm.krylov.RecycleBasis`.
     """
 
     def __init__(
@@ -231,16 +331,36 @@ class SolveFarm:
         max_bytes: Optional[int] = None,
         restart_budget: int = 3,
         restart_window: float = 60.0,
+        solver: Optional[str] = None,
+        preconditioner: str = "jacobi",
+        recycle_block: int = 8,
+        recycle_vectors: int = 16,
     ):
         if max_operators < 1:
             raise ValueError("need room for at least one cached operator")
         if max_bytes is not None and max_bytes < 1:
             raise ValueError("max_bytes must be >= 1 (or None for unbounded)")
+        if solver is not None and solver != "auto" and solver not in TIERS:
+            raise ValueError(
+                f"unknown solver {solver!r}; use 'auto', 'lu', 'block_cg', "
+                "'recycled' or None for the legacy method paths"
+            )
+        if preconditioner not in PRECONDITIONERS:
+            raise ValueError(
+                f"unknown preconditioner {preconditioner!r}; "
+                f"use one of {PRECONDITIONERS}"
+            )
+        if recycle_block < 1:
+            raise ValueError("recycle_block must be >= 1")
         self.max_operators = int(max_operators)
         self.max_bytes = None if max_bytes is None else int(max_bytes)
         self.workers = workers
         self.restart_budget = int(restart_budget)
         self.restart_window = float(restart_window)
+        self.solver = solver
+        self.preconditioner = preconditioner
+        self.recycle_block = int(recycle_block)
+        self.recycle_vectors = int(recycle_vectors)
         self._cache: "OrderedDict[str, _CachedOperator]" = OrderedDict()
         self.stats = FarmStats()
         # The LRU is shared by serving threads (engine compile, transient
@@ -251,24 +371,48 @@ class SolveFarm:
         # (worker index, digest, method) triples already shipped their
         # operator matrix — afterwards only RHS blocks cross the pipe.
         self._worker_has: set = set()
+        # (worker index, digest) -> shipped RecycleBasis version, so a
+        # grown basis re-ships exactly once per worker.
+        self._worker_basis: Dict[Tuple[int, str], int] = {}
 
     # ------------------------------------------------------------------
     # Operator cache
     # ------------------------------------------------------------------
-    def _entry_for_key(self, key: str, problem: HeatProblem) -> _CachedOperator:
+    def _entry_for_key(
+        self,
+        key: str,
+        problem: HeatProblem,
+        representation: str = "matrix",
+    ) -> _CachedOperator:
+        """The LRU slot for ``key``, with ``representation`` materialized.
+
+        ``representation`` is ``"matrix"`` (CSR operator — the direct /
+        CG / block_cg paths) or ``"stencil"`` (matrix-free — the
+        recycled tier).  A slot that exists but lacks the requested
+        representation builds just that half and still counts as a hit:
+        hits/misses track digest-level reuse, not representations.
+        """
         with self._lock:
             entry = self._cache.get(key)
-            if entry is not None:
+            fresh = entry is None
+            if fresh:
+                self.stats.operator_misses += 1
+                entry = _CachedOperator()
+            else:
                 self._cache.move_to_end(key)
                 self.stats.operator_hits += 1
-                return entry
-            self.stats.operator_misses += 1
-            start = time.perf_counter()
-            operator = assemble_operator(problem, key=key)
-            entry = _CachedOperator(
-                operator=operator, assembly_seconds=time.perf_counter() - start
-            )
-            self._cache[key] = entry
+            if representation == "matrix" and entry.operator is None:
+                start = time.perf_counter()
+                entry.operator = assemble_operator(problem, key=key)
+                entry.assembly_seconds += time.perf_counter() - start
+            elif representation == "stencil" and entry.stencil is None:
+                start = time.perf_counter()
+                entry.stencil = assemble_stencil(problem, key=key)
+                entry.assembly_seconds += time.perf_counter() - start
+            if fresh:
+                # Insert only after a successful build, so an ill-posed
+                # problem never leaves an empty slot behind.
+                self._cache[key] = entry
             self._enforce_budget()
             return entry
 
@@ -301,6 +445,7 @@ class SolveFarm:
             return list(self._cache.keys())
 
     def clear(self) -> None:
+        """Drop every cached operator artifact (stats survive)."""
         with self._lock:
             self._cache.clear()
 
@@ -340,23 +485,85 @@ class SolveFarm:
             self._enforce_budget()
         return entry.cg_scale, entry.cg_matrix
 
+    def _stencil_system(
+        self, entry: _CachedOperator
+    ) -> Tuple[np.ndarray, StencilCore, RecycleBasis]:
+        """The recycled tier's solve state: scale, scaled core, basis."""
+        if entry.scaled_core is None:
+            entry.stencil_scale, entry.scaled_core = entry.stencil.core.scaled()
+            self._enforce_budget()
+        if entry.basis is None:
+            entry.basis = RecycleBasis(max_vectors=self.recycle_vectors)
+        return entry.stencil_scale, entry.scaled_core, entry.basis
+
+    def _ssor(self, entry: _CachedOperator):
+        """The cached SSOR apply over the entry's scaled CG system."""
+        if entry.ssor_apply is None:
+            _, scaled_matrix = self._cg_system(entry)
+            entry.ssor_apply = ssor_preconditioner(scaled_matrix)
+            # The closure holds the lower/upper triangular copies —
+            # about one more CSR worth of bytes each.
+            entry.ssor_nbytes = 2 * _sparse_nbytes(scaled_matrix)
+            self._enforce_budget()
+        return entry.ssor_apply
+
+    def _resolve_mode(self, solver: Optional[str], method: str, n_nodes: int) -> str:
+        """Solve mode for one operator group.
+
+        ``solver=None`` passes the legacy ``method`` through untouched
+        (``"direct"`` / ``"cg"``, bitwise-stable paths).  Otherwise the
+        tier policy applies: ``"lu"`` maps to the direct path but
+        *refuses up front* (:class:`~repro.fdm.krylov.MemoryBudgetExceeded`)
+        when its estimated CSR + fill footprint cannot fit the farm's
+        byte budget; ``"auto"`` degrades through the tiers instead of
+        refusing (:func:`~repro.fdm.krylov.choose_tier`).
+        """
+        if solver is None:
+            return method
+        if solver == "auto":
+            tier = choose_tier(n_nodes, self.max_bytes)
+            return "direct" if tier == "lu" else tier
+        if solver == "lu":
+            if self.max_bytes is not None:
+                estimate = estimate_csr_bytes(n_nodes) + estimate_lu_bytes(n_nodes)
+                if estimate > self.max_bytes:
+                    raise MemoryBudgetExceeded(
+                        f"solver='lu' refused: estimated CSR+LU footprint "
+                        f"{estimate} B for n={n_nodes} exceeds the farm byte "
+                        f"budget {self.max_bytes} B; use solver='auto' (or "
+                        "'block_cg'/'recycled') to degrade instead"
+                    )
+            return "direct"
+        return solver
+
     def solve(
         self,
         problem: HeatProblem,
         method: str = "direct",
-        tol: float = 1e-10,
+        tol: Optional[float] = None,
         max_iter: Optional[int] = None,
+        solver: Optional[str] = None,
+        preconditioner: Optional[str] = None,
     ) -> ThermalSolution:
         """Solve one problem through the cache (see :meth:`solve_many`)."""
-        return self.solve_many([problem], method=method, tol=tol, max_iter=max_iter)[0]
+        return self.solve_many(
+            [problem],
+            method=method,
+            tol=tol,
+            max_iter=max_iter,
+            solver=solver,
+            preconditioner=preconditioner,
+        )[0]
 
     def solve_many(
         self,
         problems: Sequence[HeatProblem],
         method: str = "direct",
-        tol: float = 1e-10,
+        tol: Optional[float] = None,
         max_iter: Optional[int] = None,
         workers: Optional[int] = None,
+        solver: Optional[str] = None,
+        preconditioner: Optional[str] = None,
     ) -> List[ThermalSolution]:
         """Solve a batch of problems, amortising shared operators.
 
@@ -367,24 +574,59 @@ class SolveFarm:
         run (``method="cg"``).  Solutions come back in input order, each
         with its own energy audit and diagnostics.
 
+        ``solver`` (default: the farm's constructor knob) engages the
+        tier policy instead of ``method``: ``"lu"`` (exact direct with
+        up-front byte-budget refusal), ``"block_cg"`` (CSR-backed
+        preconditioned block CG), ``"recycled"`` (matrix-free deflated
+        block CG with a subspace recycled across blocks and calls) or
+        ``"auto"`` (per-operator choice from the byte budget).  Tiers
+        are chosen per digest group, so one batch may mix them.  The
+        iterative tiers default to ``tol=1e-12`` (measured parity vs LU
+        at that tolerance is ~1e-10 K); the legacy paths keep 1e-10.
+
         ``workers`` (default: the farm's constructor knob) > 1 shards the
         block solves across a persistent process pool — see the module
-        docstring; solutions are identical to the serial path.
+        docstring; legacy-path solutions are identical to the serial
+        path, tier solutions agree with LU to solver tolerance.
         """
         if method not in ("direct", "cg"):
             raise ValueError(f"unknown method {method!r}; use 'direct' or 'cg'")
+        solver = self.solver if solver is None else solver
+        if solver is not None and solver != "auto" and solver not in TIERS:
+            raise ValueError(
+                f"unknown solver {solver!r}; use 'auto', 'lu', 'block_cg', "
+                "'recycled' or None for the legacy method paths"
+            )
+        precond_name = (
+            self.preconditioner if preconditioner is None else preconditioner
+        )
+        if precond_name not in PRECONDITIONERS:
+            raise ValueError(
+                f"unknown preconditioner {precond_name!r}; "
+                f"use one of {PRECONDITIONERS}"
+            )
         solutions: List[Optional[ThermalSolution]] = [None] * len(problems)
-        # Group by operator digest, preserving first-seen order.
+        # Group by operator digest, preserving first-seen order.  The
+        # solve mode (and with it the representation to materialize) is
+        # resolved per group: an "auto" batch may run small grids direct
+        # and large grids matrix-free side by side.
         groups: "OrderedDict[str, List[int]]" = OrderedDict()
         entries: Dict[str, _CachedOperator] = {}
         cached_flags: Dict[str, bool] = {}
+        modes: Dict[str, str] = {}
         for index, problem in enumerate(problems):
             key = operator_digest(problem)
             if key not in groups:
                 groups[key] = []
+                mode = self._resolve_mode(solver, method, problem.grid.n_nodes)
+                modes[key] = mode
                 with self._lock:
                     cached_flags[key] = key in self._cache
-                entries[key] = self._entry_for_key(key, problem)
+                entries[key] = self._entry_for_key(
+                    key,
+                    problem,
+                    representation="stencil" if mode == "recycled" else "matrix",
+                )
             else:
                 self.stats.operator_hits += 1
             groups[key].append(index)
@@ -395,25 +637,39 @@ class SolveFarm:
         prepared: List[Tuple] = []
         for key, indices in groups.items():
             entry = entries[key]
+            mode = modes[key]
+            group_tol = self._group_tol(tol, mode)
             start = time.perf_counter()
-            rhs_parts = [assemble_rhs(problems[i], entry.operator) for i in indices]
+            rhs_parts = [
+                assemble_rhs(problems[i], entry.operator_like) for i in indices
+            ]
             rhs_seconds = time.perf_counter() - start
             self.stats.rhs_assemblies += len(indices)
             block = np.column_stack([part.rhs for part in rhs_parts])
-            prepared.append((key, indices, entry, rhs_parts, rhs_seconds, block))
+            prepared.append(
+                (key, indices, entry, rhs_parts, rhs_seconds, block, mode, group_tol)
+            )
+
+        # Deflation dims as the solves will *use* them (pre-augment), so
+        # emitted info reports what accelerated this batch, not the
+        # basis it leaves behind.
+        used_dims = {
+            key: 0 if entries[key].basis is None else entries[key].basis.m
+            for key in groups
+        }
 
         effective = resolve_workers(self.workers if workers is None else workers)
         if effective > 1 and len(problems) > 1 and not self._pool_broken:
             solved = self._solve_groups_sharded(
-                prepared, method, tol, max_iter, effective
+                prepared, max_iter, effective, precond_name
             )
             if solved is not None:
                 for bundle, outcome in zip(prepared, solved):
-                    key, indices, entry, rhs_parts, rhs_seconds, _ = bundle
+                    key, indices, entry, rhs_parts, rhs_seconds, _, mode, _ = bundle
                     block_solution, iterations, solve_seconds, factor_seconds = outcome
                     self._emit_group(
                         solutions,
-                        method,
+                        mode,
                         key,
                         indices,
                         entry,
@@ -425,27 +681,70 @@ class SolveFarm:
                         solve_seconds,
                         factor_seconds,
                         workers_used=effective,
+                        solver_requested=solver,
+                        precond_name=precond_name,
+                        deflation_used=used_dims[key],
                     )
                 return solutions  # type: ignore[return-value]
 
-        for key, indices, entry, rhs_parts, rhs_seconds, block in prepared:
+        for key, indices, entry, rhs_parts, rhs_seconds, block, mode, group_tol in (
+            prepared
+        ):
             k_block = len(indices)
             start = time.perf_counter()
-            if method == "direct":
+            if mode == "direct":
                 lu = self._factorization(entry)
                 block_solution = lu.solve(block)
                 iterations = np.zeros(k_block, dtype=np.int64)
-            else:
+            elif mode == "cg":
                 scale, scaled_matrix = self._cg_system(entry)
                 scaled_block = scale[:, None] * block
                 scaled_solution, iterations = _block_cg(
-                    scaled_matrix, scaled_block, tol=tol, max_iter=max_iter
+                    scaled_matrix, scaled_block, tol=group_tol, max_iter=max_iter
                 )
+                block_solution = scale[:, None] * scaled_solution
+                with self._lock:
+                    self.stats.record_block_iterations(key, iterations)
+            elif mode == "block_cg":
+                scale, scaled_matrix = self._cg_system(entry)
+                precond = self._ssor(entry) if precond_name == "ssor" else None
+                scaled_solution, iterations = block_pcg(
+                    lambda v, m=scaled_matrix: m @ v,
+                    scale[:, None] * block,
+                    tol=group_tol,
+                    max_iter=max_iter,
+                    precond=precond,
+                )
+                block_solution = scale[:, None] * scaled_solution
+                with self._lock:
+                    self.stats.record_block_iterations(key, iterations)
+            else:  # recycled
+                scale, core, basis = self._stencil_system(entry)
+                scaled_block = scale[:, None] * block
+                scaled_solution = np.empty_like(scaled_block)
+                iterations = np.zeros(k_block, dtype=np.int64)
+                # Sub-block splitting is what makes recycling pay within
+                # a single call: block i+1 starts from (and deflates
+                # against) the subspace block i resolved.
+                for lo in range(0, k_block, self.recycle_block):
+                    hi = min(lo + self.recycle_block, k_block)
+                    sub_solution, sub_iters = block_pcg(
+                        core.apply,
+                        scaled_block[:, lo:hi],
+                        tol=group_tol,
+                        max_iter=max_iter,
+                        basis=basis,
+                    )
+                    scaled_solution[:, lo:hi] = sub_solution
+                    iterations[lo:hi] = sub_iters
+                    with self._lock:
+                        self.stats.record_block_iterations(key, sub_iters)
+                    basis.augment(sub_solution, core.apply)
                 block_solution = scale[:, None] * scaled_solution
             solve_seconds = time.perf_counter() - start
             self._emit_group(
                 solutions,
-                method,
+                mode,
                 key,
                 indices,
                 entry,
@@ -457,13 +756,23 @@ class SolveFarm:
                 solve_seconds,
                 entry.factor_seconds,
                 workers_used=None,
+                solver_requested=solver,
+                precond_name=precond_name,
+                deflation_used=used_dims[key],
             )
         return solutions  # type: ignore[return-value]
+
+    @staticmethod
+    def _group_tol(tol: Optional[float], mode: str) -> float:
+        """Effective tolerance: legacy paths keep 1e-10, tiers 1e-12."""
+        if tol is not None:
+            return tol
+        return 1e-12 if mode in ("block_cg", "recycled") else 1e-10
 
     def _emit_group(
         self,
         solutions: List[Optional[ThermalSolution]],
-        method: str,
+        mode: str,
         key: str,
         indices: Sequence[int],
         entry: _CachedOperator,
@@ -475,22 +784,41 @@ class SolveFarm:
         solve_seconds: float,
         factor_seconds: float,
         workers_used: Optional[int],
+        solver_requested: Optional[str] = None,
+        precond_name: str = "jacobi",
+        deflation_used: int = 0,
     ) -> None:
-        """Per-column postprocessing shared by the serial and sharded paths."""
-        operator = entry.operator
+        """Per-column postprocessing shared by the serial and sharded paths.
+
+        Branches on representation: matrix-backed modes audit through
+        the CSR operator exactly as before; the ``recycled`` mode audits
+        through the stencil action (same
+        :class:`~repro.fdm.solver.EnergyReport` contract, no matrix).
+        """
+        stencil_mode = mode == "recycled"
+        operator = entry.stencil if stencil_mode else entry.operator
         k_block = len(indices)
         self.stats.block_solves += 1
         self.stats.problems_solved += k_block
         # Costs actually paid this call, amortised over the block; a
         # cache-hit operator charges nothing for its assembly.
         operator_seconds = 0.0 if was_cached else entry.assembly_seconds
+        if stencil_mode:
+            core = operator.core
+            nnz = int(core.diag_raw.size + 2 * sum(c.size for c in core.cond))
+        else:
+            nnz = int(operator.matrix.nnz)
         for column, (index, part) in enumerate(zip(indices, rhs_parts)):
             temperature = np.ascontiguousarray(block_solution[:, column])
-            system = compose_system(operator, part)
-            report = energy_report(system, temperature)
-            residual = operator.matrix @ temperature - part.rhs
+            if stencil_mode:
+                report = stencil_energy_report(operator, part, temperature)
+                residual = operator.apply(temperature) - part.rhs
+            else:
+                system = compose_system(operator, part)
+                report = energy_report(system, temperature)
+                residual = operator.matrix @ temperature - part.rhs
             info = {
-                "method": f"farm-{method}",
+                "method": f"farm-{mode}",
                 "operator_key": key[:16],
                 "operator_cached": was_cached,
                 "block_size": k_block,
@@ -502,13 +830,21 @@ class SolveFarm:
                 / k_block,
                 "factor_time": factor_seconds,
                 "iterations": int(iterations[column]),
-                "nnz": int(operator.matrix.nnz),
+                "nnz": nnz,
                 "n_unknowns": int(part.rhs.size),
                 "linear_residual": float(np.linalg.norm(residual)),
                 "energy": report,
             }
             if workers_used is not None:
                 info["workers"] = workers_used
+            if solver_requested is not None:
+                info["solver"] = "lu" if mode == "direct" else mode
+                if mode == "block_cg":
+                    info["preconditioner"] = precond_name
+                if mode == "recycled":
+                    info["preconditioner"] = "jacobi"
+                    info["deflation_dim"] = deflation_used
+                info["matrix_free"] = stencil_mode
             solutions[index] = ThermalSolution(
                 grid=operator.grid, temperature=temperature, info=info
             )
@@ -528,6 +864,7 @@ class SolveFarm:
                 on_respawn=self._replay_worker,
             )
             self._worker_has = set()
+            self._worker_basis = {}
         return self._pool
 
     def _replay_worker(self, pool: PersistentPool, worker: int) -> None:
@@ -543,17 +880,32 @@ class SolveFarm:
         """
         marks = sorted(m for m in self._worker_has if m[0] == worker)
         self._worker_has.difference_update(marks)
+        stale_bases = [wk for wk in self._worker_basis if wk[0] == worker]
+        for wk in stale_bases:
+            del self._worker_basis[wk]
         replayed = 0
         with self._lock:
             for _, key, method in marks:
                 entry = self._cache.get(key)
                 if entry is None:
                     continue
-                if method == "cg":
+                if method in ("cg", "block_cg"):
                     _, matrix = self._cg_system(entry)
+                elif method == "recycled":
+                    _, matrix, _ = self._stencil_system(entry)
                 else:
                     matrix = entry.operator.matrix
                 pool.run_on(worker, install_operator, key, matrix, method)
+                if method == "recycled":
+                    # The replacement must also get the current deflation
+                    # basis, or its next chunks would regress to cold
+                    # iteration counts.
+                    basis = entry.basis
+                    if basis is not None and basis.m:
+                        pool.run_on(
+                            worker, install_basis, key, basis.W, basis.version
+                        )
+                        self._worker_basis[(worker, key)] = basis.version
                 self._worker_has.add((worker, key, method))
                 replayed += 1
         self.stats.worker_respawns += 1
@@ -574,26 +926,35 @@ class SolveFarm:
             self._pool.close()
             self._pool = None
             self._worker_has = set()
+            self._worker_basis = {}
 
     def _solve_groups_sharded(
         self,
         prepared: Sequence[Tuple],
-        method: str,
-        tol: float,
         max_iter: Optional[int],
         workers: int,
+        precond_name: str = "jacobi",
     ) -> Optional[List[Tuple[np.ndarray, np.ndarray, float, float]]]:
         """Shard the prepared groups' block solves across the pool.
 
         Each digest routes to its stable owner worker; when there are
         fewer groups than workers, a group's columns split into
         ``workers // n_groups`` contiguous chunks fanned out from the
-        owner — a single-operator sweep still uses every worker.  Worker
-        crashes heal transparently inside the pool (respawn + operator
-        replay via :meth:`_replay_worker` + lost-ticket resubmission).
-        Returns per-group ``(solution block, iterations, solve s,
-        factor s)`` in ``prepared`` order, or ``None`` once the restart
-        budget is exhausted (the farm then demotes to the serial path).
+        owner — a single-operator sweep still uses every worker.  The
+        payload shipped once per (worker, digest, mode) is the CSR
+        matrix (direct), the scaled CSR system (cg / block_cg) or the
+        scaled :class:`~repro.fdm.krylov.StencilCore` plus the current
+        deflation basis (recycled; the basis re-ships on version bumps
+        and to respawned workers).  Chunks of a recycled group run
+        concurrently against the basis as of batch start; the parent
+        augments the basis from the returned solutions, so recycling
+        compounds across *calls* when sharded (and across sub-blocks
+        when serial).  Worker crashes heal transparently inside the pool
+        (respawn + operator/basis replay via :meth:`_replay_worker` +
+        lost-ticket resubmission).  Returns per-group ``(solution block,
+        iterations, solve s, factor s)`` in ``prepared`` order, or
+        ``None`` once the restart budget is exhausted (the farm then
+        demotes to the serial path).
         """
         chunks_per_group = max(1, workers // len(prepared))
         total_columns = sum(len(bundle[1]) for bundle in prepared) or 1
@@ -601,10 +962,14 @@ class SolveFarm:
         try:
             pool = self._ensure_pool(workers)
             tickets: List[List[Tuple[int, int, int]]] = []
-            for key, indices, entry, _, _, block in prepared:
+            install_tickets: List[int] = []
+            for key, indices, entry, _, _, block, mode, group_tol in prepared:
                 owner = digest_owner(key, workers)
-                if method == "cg":
+                if mode in ("cg", "block_cg"):
                     scale, send_matrix = self._cg_system(entry)
+                    send_block = scale[:, None] * block
+                elif mode == "recycled":
+                    scale, send_matrix, basis = self._stencil_system(entry)
                     send_block = scale[:, None] * block
                 else:
                     send_matrix = entry.operator.matrix
@@ -614,17 +979,45 @@ class SolveFarm:
                     row_chunks(block.shape[1], chunks_per_group)
                 ):
                     target = (owner + j) % workers
-                    mark = (target, key, method)
+                    mark = (target, key, mode)
                     matrix = None if mark in self._worker_has else send_matrix
+                    if mode == "recycled":
+                        # The basis install must land between the
+                        # operator and the chunks: install_operator
+                        # first (basis reconstruction needs the resident
+                        # stencil), then the basis, then matrix-less
+                        # chunks.  Same-worker tickets run in order.
+                        if matrix is not None:
+                            install_tickets.append(
+                                pool.submit(
+                                    target, install_operator, key, matrix, mode
+                                )
+                            )
+                            self._worker_has.add(mark)
+                            matrix = None
+                        if basis.m and (
+                            self._worker_basis.get((target, key)) != basis.version
+                        ):
+                            install_tickets.append(
+                                pool.submit(
+                                    target,
+                                    install_basis,
+                                    key,
+                                    basis.W,
+                                    basis.version,
+                                )
+                            )
+                            self._worker_basis[(target, key)] = basis.version
                     ticket = pool.submit(
                         target,
                         solve_chunk,
                         key,
                         matrix,
-                        method,
+                        mode,
                         send_block[:, lo:hi],
-                        tol,
+                        group_tol,
                         max_iter,
+                        precond_name,
                     )
                     self._worker_has.add(mark)
                     group_tickets.append((ticket, lo, hi))
@@ -632,7 +1025,7 @@ class SolveFarm:
 
             results = []
             for bundle, group_tickets in zip(prepared, tickets):
-                key, indices, entry, _, _, block = bundle
+                key, indices, entry, _, _, block, mode, _ = bundle
                 block_solution = np.empty_like(block)
                 iterations = np.zeros(block.shape[1], dtype=np.int64)
                 factor_seconds = 0.0
@@ -643,11 +1036,28 @@ class SolveFarm:
                     block_solution[:, lo:hi] = chunk_solution
                     iterations[lo:hi] = chunk_iters
                     factor_seconds = max(factor_seconds, chunk_factor)
-                    if fresh and method == "direct":
+                    if fresh and mode == "direct":
                         self.stats.factorizations += 1
-                if method == "cg":
+                    if mode in ("cg", "block_cg", "recycled"):
+                        with self._lock:
+                            self.stats.record_block_iterations(key, chunk_iters)
+                if mode in ("cg", "block_cg"):
                     block_solution = entry.cg_scale[:, None] * block_solution
+                elif mode == "recycled":
+                    # Harvest this batch's solutions into the basis so
+                    # the *next* sharded batch (or a respawned worker)
+                    # starts deflated; cap the harvest at one sub-block
+                    # to bound the A-orthogonalization cost.
+                    _, core, basis = self._stencil_system(entry)
+                    basis.augment(
+                        block_solution[:, : self.recycle_block], core.apply
+                    )
+                    block_solution = (
+                        entry.stencil_scale[:, None] * block_solution
+                    )
                 results.append((block_solution, iterations, factor_seconds))
+            for ticket in install_tickets:
+                pool.result(ticket)
         except WorkerCrashed as exc:
             # Only reached when healing itself failed (restart budget
             # exhausted or a replacement died immediately): give up on
@@ -697,12 +1107,16 @@ class SolveFarm:
         info["max_operators"] = self.max_operators
         return info
 
-    def cache_stats(self) -> Dict[str, Optional[int]]:
+    def cache_stats(self) -> Dict[str, object]:
         """Counters + occupancy in the shape every repo cache reports.
 
         Same schema as :meth:`repro.engine.TrunkFeatureCache.cache_stats`
         — the serving daemon's ``/stats`` endpoint and byte-budget logic
-        consume both without caring which cache they came from.
+        consume both without caring which cache they came from — plus an
+        ``"iterations"`` map making the iterative tiers observable: per
+        16-char digest prefix, the number of solved blocks, the summed
+        iteration count and the per-block history (in solve order, so a
+        recycling win shows as a strictly decreasing sequence).
         """
         with self._lock:
             return {
@@ -713,6 +1127,14 @@ class SolveFarm:
                 "bytes": self._cache_nbytes(),
                 "max_entries": self.max_operators,
                 "max_bytes": self.max_bytes,
+                "iterations": {
+                    digest: {
+                        "blocks": len(history),
+                        "total": int(sum(history)),
+                        "per_block": list(history),
+                    }
+                    for digest, history in self.stats.iterations_by_digest.items()
+                },
             }
 
 
@@ -741,13 +1163,21 @@ def reset_default_farm() -> None:
 def solve_many(
     problems: Sequence[HeatProblem],
     method: str = "direct",
-    tol: float = 1e-10,
+    tol: Optional[float] = None,
     max_iter: Optional[int] = None,
     farm: Optional[SolveFarm] = None,
     workers: Optional[int] = None,
+    solver: Optional[str] = None,
+    preconditioner: Optional[str] = None,
 ) -> List[ThermalSolution]:
     """Batch-solve through ``farm`` (default: the shared process farm)."""
     farm = farm if farm is not None else get_default_farm()
     return farm.solve_many(
-        problems, method=method, tol=tol, max_iter=max_iter, workers=workers
+        problems,
+        method=method,
+        tol=tol,
+        max_iter=max_iter,
+        workers=workers,
+        solver=solver,
+        preconditioner=preconditioner,
     )

@@ -28,14 +28,17 @@ class EnergyReport:
 
     @property
     def extracted(self) -> float:
+        """Watts leaving the chip (convective + Dirichlet faces)."""
         return self.convected_out + self.dirichlet_out
 
     @property
     def imbalance(self) -> float:
+        """Injected minus extracted watts (0 for a conservative scheme)."""
         return self.injected - self.extracted
 
     @property
     def relative_imbalance(self) -> float:
+        """``imbalance`` over the larger of the two flows."""
         scale = max(abs(self.injected), abs(self.extracted), 1e-300)
         return self.imbalance / scale
 
@@ -52,14 +55,17 @@ class ThermalSolution:
     _interpolator: object = field(default=None, repr=False, compare=False)
 
     def to_array(self) -> np.ndarray:
+        """The field reshaped to the grid's ``(nx, ny, nz)`` array."""
         return self.grid.to_array(self.temperature)
 
     @property
     def t_max(self) -> float:
+        """Hottest nodal temperature, kelvin."""
         return float(np.max(self.temperature))
 
     @property
     def t_min(self) -> float:
+        """Coldest nodal temperature, kelvin."""
         return float(np.min(self.temperature))
 
     def sample(self, points: np.ndarray) -> np.ndarray:

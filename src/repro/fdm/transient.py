@@ -34,9 +34,11 @@ class TransientResult:
 
     @property
     def final(self) -> np.ndarray:
+        """The last saved snapshot."""
         return self.snapshots[-1]
 
     def peak_history(self) -> np.ndarray:
+        """Peak temperature per saved snapshot, kelvin."""
         return self.snapshots.max(axis=1)
 
 

@@ -39,6 +39,7 @@ def slab_flux_convection_profile(
     z0 = float(chip.lo[2])
 
     def profile(points: np.ndarray) -> np.ndarray:
+        """Exact temperature at SI ``points``."""
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
         return t_ambient + influx / htc + (influx / k) * (points[:, 2] - z0)
 
@@ -73,6 +74,7 @@ def dirichlet_slab_profile(
     z0, z1 = float(chip.lo[2]), float(chip.hi[2])
 
     def profile(points: np.ndarray) -> np.ndarray:
+        """Exact temperature at SI ``points``."""
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
         frac = (points[:, 2] - z0) / (z1 - z0)
         return t_bottom + (t_top - t_bottom) * frac
@@ -100,6 +102,7 @@ class ManufacturedCase:
     exact: Callable[[np.ndarray], np.ndarray]
 
     def exact_field(self) -> np.ndarray:
+        """The exact solution evaluated on the case's grid nodes."""
         return self.exact(self.problem.grid.points())
 
 
@@ -121,6 +124,7 @@ def manufactured_case(
     s = float(np.sum((np.pi / lengths) ** 2))
 
     def shape_fn(points: np.ndarray) -> np.ndarray:
+        """The separable sine shape over the chip."""
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
         rel = (points - chip.lo) / lengths
         return np.sin(np.pi * rel[:, 0]) * np.sin(np.pi * rel[:, 1]) * np.sin(
@@ -128,6 +132,7 @@ def manufactured_case(
         )
 
     def exact(points: np.ndarray) -> np.ndarray:
+        """Exact manufactured temperature at SI ``points``."""
         return base + amplitude * shape_fn(points)
 
     class _Source(VolumetricPower):

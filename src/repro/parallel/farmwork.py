@@ -10,9 +10,17 @@ The division of labor (see :meth:`repro.fdm.SolveFarm.solve_many`):
   matrix is shipped to a worker at most once per digest; afterwards only
   ``(digest, RHS block)`` pairs stream across the pipe.
 
+The iterative tiers extend the same contract: ``block_cg`` chunks run
+against a worker-resident Jacobi-scaled CSR system (with an optional
+worker-built SSOR preconditioner), and ``recycled`` chunks run against a
+worker-resident scaled :class:`~repro.fdm.krylov.StencilCore` plus a
+deflation basis the parent ships by version (:func:`install_basis`) —
+only the ``(n, m)`` basis vectors cross the pipe; the worker recomputes
+their operator images locally.
+
 Every function here is a module-level callable taking the worker state
 dict first, as :class:`~repro.parallel.pool.PersistentPool` requires.
-Numerics are bitwise-identical to the serial farm: the same
+Legacy-path numerics are bitwise-identical to the serial farm: the same
 ``splu(matrix.tocsc())`` factorization of the same matrix, the same
 block back-substitution, the same block-CG recurrence.
 """
@@ -23,32 +31,56 @@ import time
 from typing import Dict, Optional, Tuple
 
 import numpy as np
-import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-__all__ = ["solve_worker_init", "solve_chunk", "install_operator", "worker_digests"]
+__all__ = [
+    "solve_worker_init",
+    "solve_chunk",
+    "install_operator",
+    "install_basis",
+    "worker_digests",
+]
 
 
 def solve_worker_init() -> Dict:
-    """Per-worker state: factorization / CG-system caches by digest."""
-    return {"factors": {}, "factor_seconds": {}, "cg_systems": {}}
+    """Per-worker state: resident solver artifacts keyed by digest.
+
+    ``factors`` / ``cg_systems`` back the legacy direct/CG paths;
+    ``stencils`` holds scaled :class:`~repro.fdm.krylov.StencilCore`
+    kernels, ``bases`` their deflation bases, and ``ssor`` cached SSOR
+    preconditioner closures for the ``block_cg`` tier.
+    """
+    return {
+        "factors": {},
+        "factor_seconds": {},
+        "cg_systems": {},
+        "stencils": {},
+        "bases": {},
+        "ssor": {},
+    }
 
 
 def solve_chunk(
     state: Dict,
     key: str,
-    matrix: Optional[sp.spmatrix],
+    matrix,
     method: str,
     block: np.ndarray,
     tol: float,
     max_iter: Optional[int],
+    preconditioner: Optional[str] = None,
 ) -> Tuple[np.ndarray, np.ndarray, float, bool]:
     """Solve one RHS block against the worker-resident operator ``key``.
 
     ``matrix`` accompanies the *first* block of a digest (the parent
     tracks which workers already hold which operators); subsequent calls
-    pass ``None`` and hit the resident factorization.  Returns
-    ``(solution_block, iterations, factor_seconds, freshly_factorized)``.
+    pass ``None`` and hit the resident artifact.  Its type depends on
+    ``method``: a CSR operator (``direct``), a Jacobi-scaled CSR system
+    (``cg`` / ``block_cg``) or a scaled
+    :class:`~repro.fdm.krylov.StencilCore` (``recycled``).  For the
+    scaled methods the block arrives pre-scaled and the parent unscales
+    the solution, so the worker never needs the scale vector.  Returns
+    ``(solution_block, iterations, factor_seconds, freshly_installed)``.
     """
     if method == "direct":
         lu = state["factors"].get(key)
@@ -67,9 +99,6 @@ def solve_chunk(
         return solution, iterations, state["factor_seconds"][key], fresh
 
     if method == "cg":
-        # ``matrix`` is the Jacobi-scaled SPD system; ``block`` arrives
-        # already scaled and the solution is unscaled by the parent, so
-        # the worker never needs the scale vector.
         from ..fdm.farm import _block_cg
 
         system = state["cg_systems"].get(key)
@@ -84,21 +113,66 @@ def solve_chunk(
         solution, iterations = _block_cg(system, block, tol=tol, max_iter=max_iter)
         return solution, iterations, 0.0, fresh
 
+    if method == "block_cg":
+        from ..fdm.krylov import block_pcg, ssor_preconditioner
+
+        system = state["cg_systems"].get(key)
+        fresh = system is None
+        if fresh:
+            if matrix is None:
+                raise RuntimeError(
+                    f"scaled operator {key[:16]} was never shipped to this worker"
+                )
+            system = matrix.tocsr()
+            state["cg_systems"][key] = system
+        precond = None
+        if preconditioner == "ssor":
+            precond = state["ssor"].get(key)
+            if precond is None:
+                precond = ssor_preconditioner(system)
+                state["ssor"][key] = precond
+        solution, iterations = block_pcg(
+            lambda v: system @ v, block, tol=tol, max_iter=max_iter, precond=precond
+        )
+        return solution, iterations, 0.0, fresh
+
+    if method == "recycled":
+        from ..fdm.krylov import block_pcg
+
+        core = state["stencils"].get(key)
+        fresh = core is None
+        if fresh:
+            if matrix is None:
+                raise RuntimeError(
+                    f"stencil operator {key[:16]} was never shipped to this worker"
+                )
+            core = matrix
+            state["stencils"][key] = core
+        solution, iterations = block_pcg(
+            core.apply,
+            block,
+            tol=tol,
+            max_iter=max_iter,
+            basis=state["bases"].get(key),
+        )
+        return solution, iterations, 0.0, fresh
+
     raise ValueError(f"unknown method {method!r}")
 
 
-def install_operator(
-    state: Dict, key: str, matrix: sp.spmatrix, method: str
-) -> bool:
+def install_operator(state: Dict, key: str, matrix, method: str) -> bool:
     """Eagerly (re)install an operator in this worker's resident cache.
 
     The warm-state replay half of pool self-healing: when a worker is
     respawned, the parent re-ships every operator the dead process held
     (it knows which ones via its ``_worker_has`` marks) through this
     call, so replayed and future ``solve_chunk`` tickets find the
-    factorization resident exactly as they would have before the crash.
-    Returns True when the install did work, False when the operator was
-    already resident (idempotent — safe to replay).
+    artifact resident exactly as they would have before the crash.  It
+    is also the normal install path for ``recycled`` operators, because
+    a deflation basis (:func:`install_basis`) can only land on a worker
+    whose stencil is already resident.  Returns True when the install
+    did work, False when the operator was already resident (idempotent —
+    safe to replay).
     """
     if method == "direct":
         if key in state["factors"]:
@@ -107,17 +181,56 @@ def install_operator(
         state["factors"][key] = spla.splu(matrix.tocsc())
         state["factor_seconds"][key] = time.perf_counter() - start
         return True
-    if method == "cg":
+    if method in ("cg", "block_cg"):
         if key in state["cg_systems"]:
             return False
         state["cg_systems"][key] = matrix.tocsr()
         return True
+    if method == "recycled":
+        if key in state["stencils"]:
+            return False
+        state["stencils"][key] = matrix
+        return True
     raise ValueError(f"unknown method {method!r}")
 
 
+def install_basis(state: Dict, key: str, vectors: np.ndarray, version: int) -> int:
+    """(Re)install the deflation basis for digest ``key``.
+
+    The parent ships only the A-orthonormal vectors; their operator
+    images are recomputed here against the resident scaled stencil
+    (``m`` stencil actions — cheaper than shipping a second ``(n, m)``
+    array).  Idempotent per version: re-installing the version already
+    resident is a no-op, so crash-replayed install tickets are safe.
+    Returns the resident basis version.
+    """
+    from ..fdm.krylov import RecycleBasis
+
+    core = state["stencils"].get(key)
+    if core is None:
+        raise RuntimeError(
+            f"cannot install a basis for {key[:16]}: stencil not resident "
+            "(the parent must install_operator first)"
+        )
+    resident = state["bases"].get(key)
+    if resident is not None and resident.version == int(version):
+        return resident.version
+    basis = RecycleBasis.from_vectors(vectors, core.apply, version=int(version))
+    state["bases"][key] = basis
+    return basis.version
+
+
 def worker_digests(state: Dict) -> Dict[str, list]:
-    """Digests resident in this worker (introspection for tests/CLIs)."""
+    """Digests resident in this worker (introspection for tests/CLIs).
+
+    ``bases`` reports ``(digest, version)`` pairs so a respawn test can
+    prove the replacement worker got the current basis back.
+    """
     return {
         "factors": sorted(state["factors"]),
         "cg_systems": sorted(state["cg_systems"]),
+        "stencils": sorted(state["stencils"]),
+        "bases": sorted(
+            (digest, basis.version) for digest, basis in state["bases"].items()
+        ),
     }

@@ -271,6 +271,7 @@ class PersistentPool:
     # ------------------------------------------------------------------
     @property
     def alive(self) -> bool:
+        """Whether every worker process is still running."""
         return (not self._closed) and all(p.is_alive() for p in self._procs)
 
     def pending_for(self, worker: int) -> List[int]:

@@ -77,6 +77,7 @@ class QueuedRequest:
             return True
 
     def expired(self, now: Optional[float] = None) -> bool:
+        """Whether the request's deadline passed while it waited."""
         return (self.deadline is not None
                 and (time.monotonic() if now is None else now) > self.deadline)
 
@@ -158,10 +159,12 @@ class MicroBatcher:
             return True
 
     def depth(self) -> int:
+        """Pending requests right now."""
         with self._cond:
             return len(self._pending)
 
     def stats(self) -> Dict[str, int]:
+        """Counter snapshot (enqueued, fused, rejected, depth, ...)."""
         with self._cond:
             snapshot = dict(self._stats)
             snapshot["depth"] = len(self._pending)
@@ -354,6 +357,7 @@ class MicroBatcher:
 
     @property
     def closed(self) -> bool:
+        """Whether shutdown has begun (no new intake)."""
         with self._cond:
             return self._closing
 

@@ -101,6 +101,7 @@ class ThermalClient:
     # Connection lifecycle
     # ------------------------------------------------------------------
     def connect(self) -> "ThermalClient":
+        """Open (or reuse) the TCP connection; returns ``self``."""
         if self._sock is None:
             sock = socket.create_connection((self.host, self.port),
                                             timeout=self.timeout)
@@ -110,6 +111,7 @@ class ThermalClient:
         return self
 
     def close(self) -> None:
+        """Close the socket (idempotent)."""
         if self._sock is not None:
             try:
                 self._stream.close()
@@ -269,9 +271,11 @@ class ThermalClient:
         return self._restore_arrays(self._call(message))
 
     def ping(self) -> Dict:
+        """Round-trip liveness check through the request queue."""
         return self._call({"op": "ping"})
 
     def stats(self) -> Dict:
+        """The daemon's live cache/farm/queue counters."""
         return self._call({"op": "stats"})
 
     def health(self) -> Dict:

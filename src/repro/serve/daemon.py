@@ -148,6 +148,12 @@ class ThermalServer:
         intake stopped, ``serve_forever`` exits 2).  ``None`` (default)
         disables the watchdog — a cold-scenario boot train can
         legitimately hold the compute thread for minutes.
+    solver:
+        Solver tier for the service's reference FDM solves (ignored when
+        ``service`` is passed in): ``"auto"`` pairs naturally with
+        ``memory_budget``, letting oversized grids degrade to the
+        iterative tiers instead of thrashing the farm cache — see
+        ``docs/solvers.md``.
     """
 
     def __init__(
@@ -163,10 +169,12 @@ class ThermalServer:
         cache_dir: Optional[str] = None,
         request_timeout: float = 600.0,
         watchdog_timeout: Optional[float] = None,
+        solver: Optional[str] = None,
     ):
         if service is None:
             service = ThermalService(cache_dir=cache_dir, workers=workers,
-                                     memory_budget=memory_budget)
+                                     memory_budget=memory_budget,
+                                     solver=solver)
             self._owns_service = True
         else:
             self._owns_service = False
@@ -815,6 +823,7 @@ def serve_main(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     watchdog_timeout: Optional[float] = None,
+    solver: Optional[str] = None,
 ) -> int:
     """The ``repro serve`` entry point: boot, warm-start, run, drain."""
     scenarios = [ThermalScenario.from_json(path) for path in scenario_paths]
@@ -822,7 +831,7 @@ def serve_main(
         host=host, port=port, max_batch=max_batch, max_wait=max_wait,
         queue_depth=queue_depth, memory_budget=memory_budget,
         workers=workers, cache_dir=cache_dir,
-        watchdog_timeout=watchdog_timeout,
+        watchdog_timeout=watchdog_timeout, solver=solver,
     )
     # Install the stop handler BEFORE announcing the port: a SIGTERM
     # that lands between "listening" and serve_forever() taking over

@@ -111,6 +111,7 @@ def read_frame(stream) -> Optional[Dict]:
 # Response constructors
 # ----------------------------------------------------------------------
 def ok_response(request_id: Any, result: Dict) -> Dict:
+    """A success frame carrying ``result``."""
     return {"id": request_id, "ok": True, "result": result}
 
 
@@ -120,6 +121,7 @@ def error_response(
     message: str,
     retry_after: Optional[float] = None,
 ) -> Dict:
+    """A failure frame: ``code``, ``message``, optional ``retry_after``."""
     error: Dict[str, Any] = {"code": code, "message": message}
     if retry_after is not None:
         error["retry_after"] = float(retry_after)

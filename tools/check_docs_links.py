@@ -1,0 +1,61 @@
+"""Docs link checker: every relative markdown link must resolve.
+
+Scans README.md and docs/*.md for inline markdown links and images
+(``[text](target)`` / ``![alt](target)``) and fails if a relative
+target does not exist on disk, relative to the file containing the
+link.  External links (http/https/mailto) and pure in-page anchors
+(``#section``) are skipped — CI should not depend on the network or on
+heading slugs.  Targets with a fragment (``file.md#section``) are
+checked for the file part only.  Targets that escape the repo root
+(GitHub's ``../../actions/...`` badge convention) are out of scope.
+
+Run from the repo root (the CI ``docs-check`` job does):
+
+    python tools/check_docs_links.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check_file(path: Path, root: Path) -> list:
+    """Return ``(lineno, target)`` for every broken relative link."""
+    broken = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for target in LINK.findall(line):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.is_relative_to(root):
+                continue  # escapes the repo (GitHub badge convention)
+            if not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main() -> int:
+    """Check README.md + docs/*.md; print failures, return exit code."""
+    root = Path(__file__).resolve().parent.parent
+    files = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    failures = 0
+    for path in files:
+        for lineno, target in check_file(path, root):
+            rel = path.relative_to(root)
+            print(f"{rel}:{lineno}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)")
+        return 1
+    print(f"OK: all relative links in {len(files)} file(s) resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
