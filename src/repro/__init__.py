@@ -19,6 +19,10 @@ Thermal Simulation in 3D-IC Design" (DAC 2023) from scratch on numpy:
 * :mod:`repro.serve` — serving daemon: newline-JSON socket protocol with
   cross-request micro-batching onto the compiled engine's fused matmul,
   bounded-queue backpressure and byte-budgeted caches; ``repro serve``
+* :mod:`repro.family` — foundation-style scenario families: one
+  scenario-conditioned surrogate trained round-robin over a family spec,
+  checkpoint lineage, few-shot fine-tuning; ``repro family`` / ``repro
+  finetune``
 * :mod:`repro.baselines` — PINN / data-driven / regression / POD baselines
 * :mod:`repro.analysis` — MAPE/PAPE metrics, timing, ASCII field rendering
 * :mod:`repro.floorplan` — thermal-aware floorplan optimisation example
@@ -36,6 +40,6 @@ New workloads are scenario JSON files, not code: see
 ``examples/scenarios/`` and ``python -m repro run --config <file>``.
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = ["__version__"]

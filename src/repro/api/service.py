@@ -21,14 +21,14 @@ import logging
 import os
 import re
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-from ..nn.serialize import CheckpointCorrupt
-from .scenario import ThermalScenario
+from ..nn.serialize import CheckpointCorrupt, read_checkpoint_meta
+from .scenario import ScenarioValidationError, ThermalScenario
 
 logger = logging.getLogger(__name__)
 
@@ -157,6 +157,17 @@ class _Session:
     meta: Dict = field(default_factory=dict)
 
 
+@dataclass
+class _FamilySession:
+    """Per-family-digest state (shared conditioned net + member setups)."""
+
+    family: object                      # ScenarioFamily
+    setup: object                       # FamilySetup
+    engine: Optional[object] = None     # CompiledSurrogate (conditioned)
+    trained: bool = False
+    meta: Dict = field(default_factory=dict)
+
+
 # ----------------------------------------------------------------------
 # Checkpoint registry
 # ----------------------------------------------------------------------
@@ -232,16 +243,29 @@ class CheckpointRegistry:
         """Whether a finished checkpoint exists for this digest."""
         return self.find(scenario) is not None
 
-    def save(self, scenario: ThermalScenario, model, meta: Optional[Dict] = None
-             ) -> Path:
-        """Atomically write ``model`` (tmp + rename, payload sha256)."""
+    def save(self, scenario: ThermalScenario, model,
+             meta: Optional[Dict] = None,
+             parent_digest: Optional[str] = None) -> Path:
+        """Atomically write ``model`` (tmp + rename, payload sha256).
+
+        ``parent_digest`` records checkpoint provenance in the lineage
+        slot: the content digest of the checkpoint this one was warm
+        started from (a family base for fine-tuned members, ``None``
+        for roots trained from scratch).  :meth:`lineage` walks it.
+        """
+        return self._write_slot(self.path_for(scenario), scenario, model,
+                                meta, parent_digest)
+
+    def _write_slot(self, path: Path, scenario, model,
+                    meta: Optional[Dict], parent_digest: Optional[str]
+                    ) -> Path:
+        """Shared atomic writer behind the final and fine-tuned slots."""
         self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(scenario)
         meta = dict(meta or {})
         meta.setdefault("scenario_digest", scenario.content_digest())
-        # Lineage slot for downstream provenance tooling: which
-        # checkpoint (if any) this one was fine-tuned/resumed from.
-        meta.setdefault("lineage", {"parent_digest": None})
+        # Lineage slot: which checkpoint (if any) this one was
+        # fine-tuned/resumed from — walked by lineage().
+        meta.setdefault("lineage", {"parent_digest": parent_digest})
         # Write-then-rename: a crash (or a concurrent writer) mid-save
         # must never leave a truncated npz in the digest slot, where the
         # next find() would load it as a valid checkpoint.
@@ -295,6 +319,145 @@ class CheckpointRegistry:
             for path in self.root.glob("*.npz")
             if not path.name.endswith(".train.npz")
         )
+
+    # ------------------------------------------------------------------
+    # Fine-tuned slots, family sidecars, lineage
+    # ------------------------------------------------------------------
+    def fine_tune_path(self, scenario: ThermalScenario) -> Path:
+        """The *fine-tuned* slot for this digest (``….ft.npz``).
+
+        A separate namespace from the final slot: :meth:`find` globs
+        ``…-<digest>-v<version>.npz`` exactly, so a fine-tuned member
+        can never shadow (or be shadowed by) a from-scratch checkpoint
+        of the same scenario — callers choose which to prefer.
+        """
+        key = self._key(scenario)
+        return self.root / (
+            f"{self._slug(scenario.name)}-{key[:-len('.npz')]}.ft.npz"
+        )
+
+    def find_fine_tuned(self, scenario: ThermalScenario) -> Optional[Path]:
+        """The stored fine-tuned checkpoint for this digest, if any."""
+        preferred = self.fine_tune_path(scenario)
+        if preferred.exists():
+            return preferred
+        key = self._key(scenario)
+        matches = sorted(
+            self.root.glob(f"*-{key[:-len('.npz')]}.ft.npz")
+        )
+        return matches[0] if matches else None
+
+    def save_fine_tuned(self, scenario: ThermalScenario, model,
+                        meta: Optional[Dict] = None,
+                        parent_digest: Optional[str] = None) -> Path:
+        """Atomically write a fine-tuned member into its ``.ft`` slot."""
+        return self._write_slot(self.fine_tune_path(scenario), scenario,
+                                model, meta, parent_digest)
+
+    def family_spec_path(self, family) -> Path:
+        """The JSON sidecar recording a family checkpoint's spec."""
+        key = self._key(family)
+        return self.root / (
+            f"{self._slug(family.name)}-{key[:-len('.npz')]}.family.json"
+        )
+
+    def write_family_spec(self, family) -> Path:
+        """Persist the family spec sidecar (atomic; idempotent).
+
+        The sidecar is what makes :meth:`find_family_ancestor` possible
+        across processes: a fresh registry can re-derive which families
+        its checkpoints belong to without any in-memory state.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.family_spec_path(family)
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        tmp.write_text(family.to_json())
+        os.replace(tmp, path)
+        return path
+
+    def find_family_ancestor(self, scenario: ThermalScenario):
+        """``(family, checkpoint_path)`` of a trained family covering this.
+
+        Scans the family spec sidecars (sorted, so ties break
+        deterministically), skipping unparseable specs and families
+        whose checkpoint is missing.  Returns ``None`` when no trained
+        family covers the scenario.
+        """
+        if not self.root.exists():
+            return None
+        from ..family import ScenarioFamily
+
+        for spec_path in sorted(self.root.glob("*.family.json")):
+            try:
+                family = ScenarioFamily.from_json(spec_path)
+            except (ScenarioValidationError, OSError):
+                continue
+            checkpoint = self.find(family)
+            if checkpoint is None:
+                continue
+            if family.covers(scenario):
+                return family, checkpoint
+        return None
+
+    def _find_by_digest(self, digest: str) -> Optional[Path]:
+        """Any finished checkpoint carrying ``digest`` (any version/slot)."""
+        short = digest[: self.DIGEST_CHARS]
+        matches = sorted(
+            path
+            for path in self.root.glob(f"*-{short}-v*.npz")
+            if not path.name.endswith(".train.npz")
+        )
+        return matches[0] if matches else None
+
+    def lineage(self, scenario) -> List[Dict]:
+        """The checkpoint provenance chain, child first, root last.
+
+        Starts from the scenario's fine-tuned slot (falling back to the
+        final slot) and follows ``lineage.parent_digest`` links through
+        the registry.  Each entry is
+        ``{"digest", "path", "parent_digest"}``.  An empty list means
+        no checkpoint exists; a missing or cyclic parent raises
+        :class:`~repro.nn.CheckpointCorrupt` — lineage metadata that
+        cannot be walked is corruption, not a soft miss.
+        """
+        path = self.find_fine_tuned(scenario) or self.find(scenario)
+        if path is None:
+            return []
+        chain: List[Dict] = []
+        seen: set = set()
+        while path is not None:
+            if str(path) in seen:
+                raise CheckpointCorrupt(
+                    path, "cyclic checkpoint lineage (parent chain loops "
+                    "back to an already-visited checkpoint)"
+                )
+            seen.add(str(path))
+            meta = read_checkpoint_meta(path)
+            digest = meta.get("scenario_digest")
+            if digest is not None:
+                if digest in seen:
+                    raise CheckpointCorrupt(
+                        path, f"cyclic checkpoint lineage at digest "
+                        f"{digest[:self.DIGEST_CHARS]}…"
+                    )
+                seen.add(digest)
+            parent = (meta.get("lineage") or {}).get("parent_digest")
+            chain.append({
+                "digest": digest,
+                "path": str(path),
+                "parent_digest": parent,
+            })
+            if parent is None:
+                break
+            path = self._find_by_digest(parent)
+            if path is None:
+                raise CheckpointCorrupt(
+                    chain[-1]["path"],
+                    f"parent checkpoint (digest "
+                    f"{parent[:self.DIGEST_CHARS]}…) is missing from the "
+                    f"registry",
+                )
+        return chain
 
 
 # ----------------------------------------------------------------------
@@ -372,6 +535,8 @@ class ThermalService:
         self._trunk_cache = TrunkFeatureCache(trunk_cache_entries,
                                               max_bytes=trunk_bytes)
         self._sessions: Dict[str, _Session] = {}
+        self._families: Dict[str, _FamilySession] = {}
+        self._finetuned: Dict[str, _Session] = {}
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -422,6 +587,10 @@ class ThermalService:
             self._owns_farm = False
         for entry in self._sessions.values():
             entry.engine = None
+        for family_entry in self._families.values():
+            family_entry.engine = None
+        for ft_entry in self._finetuned.values():
+            ft_entry.engine = None
         self._trunk_cache.clear()
 
     def __enter__(self) -> "ThermalService":
@@ -660,6 +829,345 @@ class ThermalService:
         if not entry.trained:
             self.train(scenario)
         return entry
+
+    # ------------------------------------------------------------------
+    # Families: multi-scenario training, fine-tuning, lineage
+    # ------------------------------------------------------------------
+    def family_session(self, family) -> _FamilySession:
+        """The per-family-digest session (compiling on first use)."""
+        digest = family.content_digest()
+        entry = self._families.get(digest)
+        if entry is None:
+            entry = _FamilySession(family=family, setup=family.compile())
+            self._families[digest] = entry
+        return entry
+
+    def family_engine(self, family):
+        """The compiled conditioned serving engine for a family.
+
+        One engine serves *every* covered member: member identity rides
+        in the ``scenario_conditioning`` design key (see
+        :meth:`predict_member`), so requests for different members fuse
+        on the engine's cached-trunk fast path exactly like same-member
+        batches.
+        """
+        entry = self.family_session(family)
+        if entry.engine is None:
+            entry.engine = entry.setup.model.compile_with_cache(
+                self._trunk_cache, workers=self.workers
+            )
+        return entry.engine
+
+    def train_family(
+        self,
+        family,
+        force_retrain: bool = False,
+        verbose: bool = False,
+        resume: bool = False,
+        checkpoint_every: Optional[int] = None,
+    ) -> TrainResult:
+        """Train one conditioned surrogate across the family's members.
+
+        Same registry contract as :meth:`train` — keyed by the
+        *family's* content digest, with the same corrupt-quarantine
+        self-healing and resumable partial slot — plus a
+        ``<slug>-<digest>-….family.json`` sidecar recording the spec,
+        which is what lets :meth:`CheckpointRegistry.find_family_ancestor`
+        match covered scenarios to this checkpoint in later processes.
+        """
+        from ..family.trainer import FamilyTrainer
+
+        entry = self.family_session(family)
+        digest = family.content_digest()
+        iterations = family.base.training.iterations
+
+        if not force_retrain and self.registry.has(family):
+            try:
+                meta = self.registry.load(family, entry.setup.model)
+            except CheckpointCorrupt as exc:
+                logger.warning(
+                    "cached family checkpoint for %s (digest %s) is corrupt: "
+                    "%s; retraining into the slot",
+                    family.name,
+                    digest[: self.registry.DIGEST_CHARS],
+                    exc,
+                )
+            else:
+                self.registry.write_family_spec(family)
+                path = self.registry.find(family)
+                entry.trained = True
+                entry.meta = dict(meta or {})
+                final_loss = entry.meta.get("final_loss")
+                wall_time = entry.meta.get("wall_time")
+                return TrainResult(
+                    scenario_name=family.name,
+                    digest=digest,
+                    checkpoint_path=path,
+                    from_cache=True,
+                    iterations=iterations,
+                    final_loss=(float(final_loss)
+                                if final_loss is not None else None),
+                    wall_time=(float(wall_time)
+                               if wall_time is not None else None),
+                )
+
+        trainer = FamilyTrainer(entry.setup)
+        if self.workers is not None:
+            trainer.config.workers = self.workers
+        if checkpoint_every is not None:
+            trainer.config.checkpoint_every = int(checkpoint_every)
+        train_state = None
+        if resume or trainer.config.checkpoint_every:
+            train_state = self.registry.train_state_path(family)
+        try:
+            history = trainer.run(
+                verbose=verbose, checkpoint_path=train_state, resume=resume
+            )
+        except CheckpointCorrupt as exc:
+            quarantined = (
+                self.registry.quarantine(exc.path) if exc.path.exists()
+                else None
+            )
+            logger.warning(
+                "resumable family trainer state for %s is corrupt: %s "
+                "(quarantined to %s); restarting training from scratch",
+                family.name,
+                exc.reason,
+                quarantined,
+            )
+            history = trainer.run(
+                verbose=verbose, checkpoint_path=train_state, resume=False
+            )
+        meta = {
+            "final_loss": history.final_loss,
+            "wall_time": history.wall_time,
+            "iterations": iterations,
+            "family": {
+                "name": family.name,
+                "n_members": family.n_members,
+                "member_digests": [
+                    member.content_digest() for member in entry.setup.members
+                ],
+            },
+        }
+        path = self.registry.save(family, entry.setup.model, meta=meta)
+        self.registry.write_family_spec(family)
+        if train_state is not None:
+            Path(train_state).unlink(missing_ok=True)
+        entry.trained = True
+        entry.meta = meta
+        return TrainResult(
+            scenario_name=family.name,
+            digest=digest,
+            checkpoint_path=path,
+            from_cache=False,
+            iterations=iterations,
+            final_loss=history.final_loss,
+            wall_time=history.wall_time,
+        )
+
+    def _ensure_family_trained(self, family) -> _FamilySession:
+        entry = self.family_session(family)
+        if not entry.trained:
+            self.train_family(family)
+        return entry
+
+    def fine_tune(
+        self,
+        scenario: ThermalScenario,
+        from_family,
+        iterations: Optional[int] = None,
+        force_retrain: bool = False,
+        verbose: bool = False,
+    ) -> TrainResult:
+        """Fine-tune the family surrogate to one covered scenario.
+
+        Warm-starts a *fresh* conditioned model from the family
+        checkpoint (training the family first if needed — the family
+        serving engine's weights are never mutated) and trains it on
+        the target scenario alone.  The result lands in the scenario's
+        ``.ft.npz`` registry slot with ``parent_digest`` set to the
+        family's content digest, so :meth:`lineage` walks member →
+        family.  ``iterations`` overrides the scenario's own training
+        budget (the point of fine-tuning is needing far fewer).
+        """
+        family = from_family
+        if not family.covers(scenario):
+            raise ValueError(
+                f"scenario {scenario.name!r} is outside family "
+                f"{family.name!r}'s envelope; fine-tune targets must be "
+                f"covered members"
+            )
+        from ..family.trainer import FamilySetup, FamilyTrainer
+
+        digest = scenario.content_digest()
+        cached = self._finetuned.get(digest)
+        if cached is not None and not force_retrain:
+            path = self.registry.find_fine_tuned(scenario)
+            if path is not None:
+                return TrainResult(
+                    scenario_name=scenario.name,
+                    digest=digest,
+                    checkpoint_path=path,
+                    from_cache=True,
+                    iterations=int(cached.meta.get("iterations", 0)),
+                    final_loss=cached.meta.get("final_loss"),
+                    wall_time=cached.meta.get("wall_time"),
+                )
+
+        # A fresh compile gives fine-tuning its own net: the family
+        # session (and any engine serving it) keeps its weights.
+        fresh = family.compile()
+        target = fresh.member_setup(scenario)
+
+        ft_path = self.registry.find_fine_tuned(scenario)
+        if ft_path is not None and not force_retrain:
+            try:
+                meta = target.model.load(ft_path)
+            except CheckpointCorrupt as exc:
+                quarantined = self.registry.quarantine(ft_path)
+                logger.warning(
+                    "fine-tuned checkpoint for %s is corrupt: %s "
+                    "(quarantined to %s); re-fine-tuning into the slot",
+                    scenario.name, exc.reason, quarantined,
+                )
+            else:
+                session = _Session(scenario=scenario, setup=target,
+                                   trained=True, meta=dict(meta or {}))
+                self._finetuned[digest] = session
+                return TrainResult(
+                    scenario_name=scenario.name,
+                    digest=digest,
+                    checkpoint_path=ft_path,
+                    from_cache=True,
+                    iterations=int(session.meta.get("iterations", 0)),
+                    final_loss=session.meta.get("final_loss"),
+                    wall_time=session.meta.get("wall_time"),
+                )
+
+        if not self.registry.has(family):
+            self.train_family(family, verbose=verbose)
+        self.registry.load(family, target.model)
+
+        config = replace(
+            target.trainer_config,
+            iterations=(int(iterations) if iterations is not None
+                        else target.trainer_config.iterations),
+        )
+        if self.workers is not None:
+            config.workers = self.workers
+        ft_setup = FamilySetup(
+            family=family,
+            net=fresh.net,
+            envelope_inputs=fresh.envelope_inputs,
+            members=[scenario],
+            setups=[target],
+            trainer_config=config,
+        )
+        history = FamilyTrainer(ft_setup, config=config).run(verbose=verbose)
+        meta = {
+            "final_loss": history.final_loss,
+            "wall_time": history.wall_time,
+            "iterations": config.iterations,
+        }
+        path = self.registry.save_fine_tuned(
+            scenario, target.model, meta=meta,
+            parent_digest=family.content_digest(),
+        )
+        session = _Session(scenario=scenario, setup=target, trained=True,
+                           meta=meta)
+        self._finetuned[digest] = session
+        return TrainResult(
+            scenario_name=scenario.name,
+            digest=digest,
+            checkpoint_path=path,
+            from_cache=False,
+            iterations=config.iterations,
+            final_loss=history.final_loss,
+            wall_time=history.wall_time,
+        )
+
+    def predict_member(
+        self,
+        family,
+        scenario: ThermalScenario,
+        designs: Sequence[Design],
+        grid_shape: Optional[tuple] = None,
+        points_si: Optional[np.ndarray] = None,
+        t: Optional[float] = None,
+        prefer_fine_tuned: bool = True,
+    ) -> PredictResult:
+        """Serve a covered member scenario through the family surrogate.
+
+        Injects the member's conditioning vector into every design and
+        evaluates on the conditioned engine — the fine-tuned member
+        checkpoint when one exists (and ``prefer_fine_tuned``), else
+        the shared family engine (training the family on first use).
+        """
+        if not family.covers(scenario):
+            raise ValueError(
+                f"scenario {scenario.name!r} is outside family "
+                f"{family.name!r}'s envelope"
+            )
+        if scenario.transient is not None and t is None:
+            raise ValueError(
+                "transient scenarios evaluate at an instant: pass t= "
+                "(seconds)"
+            )
+        digest = scenario.content_digest()
+        session = None
+        if prefer_fine_tuned:
+            session = self._finetuned.get(digest)
+            if (session is None
+                    and self.registry.find_fine_tuned(scenario) is not None):
+                self.fine_tune(scenario, from_family=family)
+                session = self._finetuned.get(digest)
+        if session is not None:
+            if session.engine is None:
+                session.engine = session.setup.model.compile_with_cache(
+                    self._trunk_cache, workers=self.workers
+                )
+            engine = session.engine
+            setup = session.setup
+        else:
+            entry = self._ensure_family_trained(family)
+            engine = self.family_engine(family)
+            setup = entry.setup.setups[0]
+
+        vector = family.conditioning_vector(scenario)
+        conditioned = [
+            {**dict(design), "scenario_conditioning": vector}
+            for design in designs
+        ]
+        grid = None
+        if points_si is None:
+            if grid_shape is None:
+                grid = setup.eval_grid
+            else:
+                from ..geometry import StructuredGrid
+
+                grid = StructuredGrid(setup.model.config.chip,
+                                      tuple(grid_shape))
+        start = time.perf_counter()
+        fields = engine.predict_batch(conditioned, grid=grid,
+                                      points_si=points_si, t=t)
+        elapsed = time.perf_counter() - start
+        return PredictResult(
+            scenario_name=scenario.name,
+            digest=digest,
+            fields=fields,
+            peaks=fields.max(axis=1),
+            elapsed=elapsed,
+            cache=engine.cache_info()._asdict(),
+        )
+
+    def lineage(self, scenario) -> List[Dict]:
+        """Checkpoint provenance chain for a scenario (child → root).
+
+        Delegates to :meth:`CheckpointRegistry.lineage`; surfaced by
+        ``repro info --json --config <scenario>``.
+        """
+        return self.registry.lineage(scenario)
 
     # ------------------------------------------------------------------
     # Predict / rollout (surrogate serving)

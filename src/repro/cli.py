@@ -14,11 +14,16 @@ Subcommands
 ``speedup``          measure the solver-vs-surrogate speedup table
 ``sweep``            stream a batch of designs through the engine (``--json``)
 ``transient``        roll a transient surrogate against the theta reference
-``validate-config``  check a scenario JSON, listing every problem found
+``validate-config``  check a scenario (or family) JSON, listing every
+                     problem found
 ``run``              validate → solve → train → predict/rollout a scenario
                      JSON end-to-end (new workloads without new code)
 ``serve``            long-running daemon: newline-JSON socket protocol
                      with cross-request micro-batching (``repro.serve``)
+``family``           train one conditioned surrogate across a
+                     ``ScenarioFamily`` JSON (``repro.family``)
+``finetune``         warm-start a covered scenario from its family
+                     checkpoint (records ``parent_digest`` lineage)
 """
 
 from __future__ import annotations
@@ -57,6 +62,9 @@ def _build_parser() -> argparse.ArgumentParser:
     info = subparsers.add_parser("info", help="show version and preset inventory")
     info.add_argument("--json", action="store_true",
                       help="machine-readable output (version, schema, presets)")
+    info.add_argument("--config", default=None, metavar="JSON",
+                      help="scenario or family JSON: also report its digest, "
+                           "registry checkpoint and lineage chain")
 
     solve = subparsers.add_parser("solve", help="run the FV reference solver")
     solve.add_argument("--experiment", choices=["a", "b"], default="a")
@@ -180,8 +188,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="TCP port (0 picks an ephemeral port)")
     serve.add_argument("--scenario", action="append", default=[],
                        metavar="JSON", dest="scenarios",
-                       help="scenario JSON to warm-start at boot (registry "
-                            "hit or boot-time training); repeatable")
+                       help="scenario (or family) JSON to warm-start at boot "
+                            "(exact registry hit, family-ancestor fallback, "
+                            "or boot-time training); repeatable")
     serve.add_argument("--max-batch", type=int, default=16,
                        help="most requests fused into one engine call "
                             "(1 disables fusion)")
@@ -200,6 +209,45 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="declare the compute thread wedged after one "
                             "dispatch runs this long: pending requests fail "
                             "cleanly and the daemon exits 2 (default: off)")
+
+    family = subparsers.add_parser(
+        "family",
+        help="train one conditioned surrogate across a ScenarioFamily JSON",
+    )
+    family.add_argument("action", choices=["train"],
+                        help="family operation")
+    family.add_argument("--config", required=True,
+                        help="path to a ScenarioFamily .json")
+    family.add_argument("--force-retrain", action="store_true",
+                        help="ignore the checkpoint registry")
+    family.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="N",
+                        help="autosave resumable trainer state every N "
+                             "iterations (crash-safe; see --resume)")
+    family.add_argument("--resume", action="store_true",
+                        help="continue from the autosaved trainer state if "
+                             "present (bitwise-identical to an uninterrupted "
+                             "run); a missing snapshot starts fresh")
+    family.add_argument("--quiet", action="store_true")
+
+    finetune = subparsers.add_parser(
+        "finetune",
+        help="fine-tune a family checkpoint to one covered scenario "
+             "(records parent_digest lineage)",
+    )
+    finetune.add_argument("--config", required=True,
+                          help="target ThermalScenario .json (must be "
+                               "covered by the family's envelope)")
+    finetune.add_argument("--family", required=True, dest="family_config",
+                          metavar="JSON",
+                          help="ScenarioFamily .json to warm-start from "
+                               "(trained first if its checkpoint is missing)")
+    finetune.add_argument("--iterations", type=int, default=None,
+                          help="fine-tune budget (default: the scenario's "
+                               "own training.iterations)")
+    finetune.add_argument("--force-retrain", action="store_true",
+                          help="ignore a cached fine-tuned checkpoint")
+    finetune.add_argument("--quiet", action="store_true")
     return parser
 
 
@@ -248,20 +296,80 @@ def _jsonable(value):
 # ----------------------------------------------------------------------
 # Subcommand implementations (each returns an exit code).
 # ----------------------------------------------------------------------
+def _config_report(path: str):
+    """Digest/checkpoint/lineage report for a scenario or family JSON."""
+    from pathlib import Path
+
+    from .api import ScenarioValidationError
+    from .family import ScenarioFamily, sniff_family_json
+    from .nn.serialize import CheckpointCorrupt
+
+    report = {"path": path}
+    try:
+        if sniff_family_json(Path(path)):
+            spec = ScenarioFamily.from_json(Path(path))
+            report["kind"] = "family"
+            report["n_members"] = spec.n_members
+        else:
+            spec, errors = _load_scenario(path)
+            if errors:
+                report["errors"] = errors
+                return report
+            report["kind"] = "scenario"
+    except ScenarioValidationError as error:
+        report["errors"] = list(error.errors)
+        return report
+    report["name"] = spec.name
+    report["digest"] = spec.content_digest()
+
+    registry = _service().registry
+    checkpoint = None
+    if report["kind"] == "scenario":
+        checkpoint = registry.find_fine_tuned(spec)
+    checkpoint = checkpoint or registry.find(spec)
+    report["checkpoint"] = None if checkpoint is None else str(checkpoint)
+    try:
+        report["lineage"] = registry.lineage(spec)
+    except CheckpointCorrupt as error:
+        report["lineage_error"] = str(error)
+    return report
+
+
 def _cmd_info(args) -> int:
     from . import __version__
     from .api import SCHEMA_VERSION, preset_inventory
 
     if args.json:
-        print(json.dumps({
+        payload = {
             "version": __version__,
             "scenario_schema_version": SCHEMA_VERSION,
             "presets": preset_inventory(),
             "scales": ["test", "ci", "paper"],
             "commands": ["info", "solve", "train", "evaluate", "speedup",
                          "sweep", "transient", "validate-config", "run",
-                         "serve"],
-        }, indent=2))
+                         "serve", "family", "finetune"],
+        }
+        if args.config:
+            payload["config"] = _config_report(args.config)
+        print(json.dumps(_jsonable(payload), indent=2))
+        return 0
+
+    if args.config:
+        report = _config_report(args.config)
+        if "errors" in report:
+            print(f"{args.config}: INVALID ({len(report['errors'])} error(s))")
+            for error in report["errors"]:
+                print(f"  - {error}")
+            return 2
+        print(f"{args.config}: {report['kind']} {report['name']} "
+              f"(digest {report['digest'][:16]})")
+        print(f"  checkpoint: {report['checkpoint'] or '<none>'}")
+        for entry in report.get("lineage", []):
+            parent = entry["parent_digest"]
+            print(f"  lineage: {entry['digest'][:16]} <- "
+                  f"{'<root>' if parent is None else parent[:16]}")
+        if "lineage_error" in report:
+            print(f"  lineage: ERROR {report['lineage_error']}")
         return 0
 
     from .analysis import kv_block
@@ -555,6 +663,28 @@ def _load_scenario(path: str):
 
 
 def _cmd_validate_config(args) -> int:
+    from pathlib import Path
+
+    from .family import sniff_family_json
+
+    if sniff_family_json(Path(args.config)):
+        from .api import ScenarioValidationError
+        from .family import FAMILY_SCHEMA_VERSION, ScenarioFamily
+
+        try:
+            family = ScenarioFamily.from_json(Path(args.config))
+        except ScenarioValidationError as error:
+            print(f"{args.config}: INVALID ({len(error.errors)} error(s))")
+            for err in error.errors:
+                print(f"  - {err}")
+            return 2
+        print(f"{args.config}: ok")
+        print(f"  family: {family.name} ({family.n_members} member(s), "
+              f"{len(family.axes)} axis(es))")
+        print(f"  family schema version: {FAMILY_SCHEMA_VERSION}")
+        print(f"  content digest: {family.content_digest()[:16]}")
+        return 0
+
     scenario, errors = _load_scenario(args.config)
     if errors:
         print(f"{args.config}: INVALID ({len(errors)} error(s))")
@@ -708,6 +838,86 @@ def _cmd_serve(args) -> int:
     )
 
 
+def _cmd_family(args) -> int:
+    from pathlib import Path
+
+    from .api import ScenarioValidationError
+    from .family import ScenarioFamily
+
+    try:
+        family = ScenarioFamily.from_json(Path(args.config))
+    except ScenarioValidationError as error:
+        print(f"{args.config}: INVALID ({len(error.errors)} error(s))",
+              file=sys.stderr)
+        for err in error.errors:
+            print(f"  - {err}", file=sys.stderr)
+        return 2
+
+    service = _service(args.workers, args.solver)
+    if not args.quiet:
+        print(f"family {family.name}: {family.n_members} member(s), "
+              f"digest {family.content_digest()[:16]}")
+    result = service.train_family(
+        family,
+        force_retrain=args.force_retrain,
+        verbose=not args.quiet,
+        resume=args.resume,
+        checkpoint_every=args.checkpoint_every,
+    )
+    status = "registry hit" if result.from_cache else "trained"
+    if result.final_loss is not None:
+        status += f", final loss {result.final_loss:.3e}"
+    print(f"family {family.name}: {status} ({result.iterations} iterations)")
+    print(f"checkpoint: {result.checkpoint_path}")
+    return 0
+
+
+def _cmd_finetune(args) -> int:
+    from pathlib import Path
+
+    from .api import ScenarioValidationError
+    from .family import ScenarioFamily
+
+    scenario, errors = _load_scenario(args.config)
+    if errors:
+        print(f"{args.config}: INVALID ({len(errors)} error(s))",
+              file=sys.stderr)
+        for err in errors:
+            print(f"  - {err}", file=sys.stderr)
+        return 2
+    try:
+        family = ScenarioFamily.from_json(Path(args.family_config))
+    except ScenarioValidationError as error:
+        print(f"{args.family_config}: INVALID ({len(error.errors)} error(s))",
+              file=sys.stderr)
+        for err in error.errors:
+            print(f"  - {err}", file=sys.stderr)
+        return 2
+
+    service = _service(args.workers, args.solver)
+    try:
+        result = service.fine_tune(
+            scenario,
+            from_family=family,
+            iterations=args.iterations,
+            force_retrain=args.force_retrain,
+            verbose=not args.quiet,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    status = "registry hit" if result.from_cache else "fine-tuned"
+    if result.final_loss is not None:
+        status += f", final loss {result.final_loss:.3e}"
+    print(f"{scenario.name}: {status} ({result.iterations} iterations)")
+    print(f"checkpoint: {result.checkpoint_path}")
+    for entry in service.lineage(scenario):
+        parent = entry["parent_digest"]
+        print(f"lineage: {entry['digest'][:16]} <- "
+              f"{'<root>' if parent is None else parent[:16]}")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "solve": _cmd_solve,
@@ -719,6 +929,8 @@ _COMMANDS = {
     "validate-config": _cmd_validate_config,
     "run": _cmd_run,
     "serve": _cmd_serve,
+    "family": _cmd_family,
+    "finetune": _cmd_finetune,
 }
 
 

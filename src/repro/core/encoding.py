@@ -559,6 +559,66 @@ class TransientPowerMapInput(ConfigInput):
         return self.apply_at(config, raw_single, 0.0)
 
 
+class ScenarioConditioningInput(ConfigInput):
+    """A fixed scenario-identity vector as a (physics-inert) branch input.
+
+    The conditioning hook for multi-scenario ("family") training: every
+    design of a given scenario carries the same fixed-width vector (a
+    normalized summary of where the scenario sits inside its family —
+    see :meth:`repro.family.ScenarioFamily.conditioning_vector`), which
+    the MIONet consumes through an extra branch.  Under the Hadamard
+    feature merge that branch *modulates* the physical branches'
+    features, so one set of weights specializes per scenario.
+
+    ``residual_kind`` is ``"none"`` and ``face`` is ``None``: the loss
+    builder registers no residual for it, ``apply`` leaves configs
+    untouched, and ``values_at`` is identically zero — the vector only
+    exists on the encoding side.
+    """
+
+    residual_kind = "none"
+    face = None
+
+    def __init__(self, vector: np.ndarray,
+                 name: str = "scenario_conditioning"):
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        if vector.size < 1:
+            raise ValueError("conditioning vector must be non-empty")
+        self.vector = vector
+        self.name = name
+
+    @property
+    def sensor_dim(self) -> int:
+        """Width of the encoded branch-net input vector."""
+        return int(self.vector.size)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Tile the fixed vector ``n`` times (consumes no RNG draws)."""
+        return np.tile(self.vector, (int(n), 1))
+
+    def encode(self, raw: np.ndarray) -> np.ndarray:
+        """Validated pass-through: raw rows *are* the branch input."""
+        raw = np.asarray(raw, dtype=np.float64)
+        if raw.ndim == 1:
+            raw = raw[None, :]
+        if raw.shape[-1] != self.sensor_dim:
+            raise ValueError(
+                f"conditioning width {raw.shape[-1]} != expected "
+                f"{self.sensor_dim}"
+            )
+        return raw.reshape(raw.shape[0], self.sensor_dim)
+
+    def values_at(self, raw: np.ndarray, points_si: np.ndarray) -> np.ndarray:
+        """Zero field: conditioning carries no physical configuration."""
+        raw = self.encode(raw)
+        points_si = np.atleast_2d(points_si)
+        return np.zeros((raw.shape[0], points_si.shape[0]))
+
+    def apply(self, config: ChipConfig, raw_single: np.ndarray) -> ChipConfig:
+        """No-op: the concrete physics is fully set by the other inputs."""
+        return config
+
+
 def apply_design(
     config: ChipConfig, inputs: Sequence[ConfigInput], design: dict
 ) -> ChipConfig:

@@ -1,0 +1,96 @@
+"""Scenario-conditioned encoding: one branch stack across a family.
+
+Every family member keeps its *own* physics (sampling ranges, boundary
+stamping, residual faces) but must encode through the *same* branch
+weights — otherwise members could not share a net, and the serving
+daemon could not fuse requests for different members into one merge
+dgemm.  :class:`FamilyEncodedInput` is the seam: it delegates
+``encode``/``sensor_dim`` to the family's **envelope** input (identical
+across members, normalizing over the full family range) and everything
+physical — ``sample``, ``values_at``, ``apply`` and any family-specific
+extras (``apply_at``, ``pack``/``split``/``modulation``…) — to the
+member's own input.
+
+Member *identity* never enters through these wrappers: it rides
+exclusively in the fixed
+:class:`~repro.core.encoding.ScenarioConditioningInput` vector appended
+as the final branch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.configs import ChipConfig
+from ..core.encoding import ConfigInput
+
+
+class FamilyEncodedInput(ConfigInput):
+    """A member input re-encoded through the family envelope.
+
+    Parameters
+    ----------
+    member_input:
+        The input built from the member scenario — owns sampling
+        (member sub-ranges) and concrete physics (``apply``,
+        ``values_at``).
+    envelope_input:
+        The same-position input built from the family envelope — owns
+        ``encode`` and ``sensor_dim``, so every member normalizes its
+        raws onto the same sensor scale.
+    """
+
+    def __init__(self, member_input: ConfigInput,
+                 envelope_input: ConfigInput):
+        if member_input.sensor_dim != envelope_input.sensor_dim:
+            raise ValueError(
+                f"member input {member_input.name!r} sensor width "
+                f"{member_input.sensor_dim} != envelope width "
+                f"{envelope_input.sensor_dim}"
+            )
+        self._member = member_input
+        self._envelope = envelope_input
+        # Instance attributes shadow the ConfigInput class defaults so
+        # the loss builder and engine see the member's identity.
+        self.name = member_input.name
+        self.residual_kind = member_input.residual_kind
+        self.face = getattr(member_input, "face", None)
+        if getattr(member_input, "time_dependent", False):
+            self.time_dependent = True
+
+    # ``sensor_dim``/``sample``/... exist on the ConfigInput base class,
+    # so ``__getattr__`` never fires for them — each delegation below
+    # must be explicit.
+    @property
+    def sensor_dim(self) -> int:
+        """Sensor width (the shared envelope encoding's width)."""
+        return self._envelope.sensor_dim
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw raw instances from the *member's* distribution."""
+        return self._member.sample(rng, n)
+
+    def encode(self, raw: np.ndarray) -> np.ndarray:
+        """Encode through the *envelope* normalization (member-agnostic)."""
+        return self._envelope.encode(raw)
+
+    def values_at(self, raw: np.ndarray, points_si: np.ndarray) -> np.ndarray:
+        """Physical values per the member's own configuration function."""
+        return self._member.values_at(raw, points_si)
+
+    def apply(self, config: ChipConfig, raw_single: np.ndarray) -> ChipConfig:
+        """Stamp the member's concrete physics onto a config."""
+        return self._member.apply(config, raw_single)
+
+    def __getattr__(self, attr: str):
+        # Family-specific extras (apply_at, pack, split, modulation,
+        # chip, horizon, low, high, t_ambient, ...) come straight from
+        # the member input.  Only fires for attributes not found the
+        # normal way, so the explicit overrides above always win.
+        if attr.startswith("_"):
+            raise AttributeError(attr)
+        return getattr(self._member, attr)
+
+    def __repr__(self) -> str:
+        return (f"FamilyEncodedInput({self.name!r}, "
+                f"member={type(self._member).__name__})")

@@ -1,0 +1,545 @@
+"""``ScenarioFamily``: a versioned spec for a *distribution* of scenarios.
+
+Where a :class:`~repro.api.ThermalScenario` pins one workload, a
+``ScenarioFamily`` declares a **base** scenario plus a set of sampled
+**axes** — HTC sub-ranges, material conductivity, power-trace levels —
+and deterministically enumerates member scenarios from a seed.  One
+conditioned model (see :mod:`repro.family.conditioning`) trains across
+the members and fine-tunes to unseen ones in a fraction of from-scratch
+cost (the Therm-FM recipe over the DeepOHeat stack).
+
+Axis kinds
+----------
+``htc_range``
+    Targets an ``htc`` input by name.  The family spans the outer
+    ``[low, high]`` envelope; each member gets a width-``member_width``
+    sub-range centred at a seeded uniform draw.
+``conductivity``
+    Samples ``material.conductivity`` uniformly from ``[low, high]``.
+``trace_levels``
+    Targets a ``transient_power_map`` input; scales its trace
+    ``level_range`` by a uniform factor from ``[low, high]``.
+
+Identity mirrors the scenario spec: ``content_digest()`` hashes the
+canonical JSON of every content field (labels excluded), so a family is
+a first-class key in the checkpoint registry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..api.scenario import (
+    ScenarioValidationError,
+    ThermalScenario,
+    _dedupe,
+    _integer,
+    _number,
+    _take,
+)
+
+FAMILY_SCHEMA_VERSION = 1
+
+
+def _input_names(scenario: ThermalScenario) -> List[str]:
+    """Resolved (explicit-or-default) input names, in input order."""
+    return [
+        spec.name or ThermalScenario._default_input_name(spec)
+        for spec in scenario.inputs
+    ]
+
+
+@dataclass
+class FamilyAxis:
+    """One sampled dimension of a scenario family (see module docstring)."""
+
+    kind: str = "htc_range"
+    input: Optional[str] = None
+    low: float = 0.0
+    high: float = 1.0
+    member_width: float = 0.0
+
+    KINDS = ("htc_range", "conductivity", "trace_levels")
+    _FIELDS = {
+        "htc_range": ("input", "low", "high", "member_width"),
+        "conductivity": ("low", "high"),
+        "trace_levels": ("input", "low", "high"),
+    }
+    # Conditioning-vector entries contributed per axis kind.
+    _WIDTH = {"htc_range": 2, "conductivity": 1, "trace_levels": 1}
+
+    def to_dict(self) -> Dict:
+        """JSON-ready dict form."""
+        out: Dict = {"kind": self.kind}
+        for key in self._FIELDS.get(self.kind, ()):
+            out[key] = getattr(self, key)
+        return out
+
+    @classmethod
+    def from_dict(cls, data, path: str, errors: List[str]) -> "FamilyAxis":
+        """Parse from dict form, collecting errors instead of raising."""
+        if not isinstance(data, Mapping):
+            errors.append(f"{path}: expected an object, got "
+                          f"{type(data).__name__}")
+            return cls()
+        kind = data.get("kind", "htc_range")
+        if kind not in cls.KINDS:
+            errors.append(f"{path}.kind: unknown axis kind {kind!r} "
+                          f"(known: {', '.join(cls.KINDS)})")
+            return cls()
+        data = _take(data, ("kind",) + cls._FIELDS[kind], path, errors)
+        axis = cls(kind=kind)
+        if "input" in cls._FIELDS[kind]:
+            target = data.get("input")
+            if target is not None and not isinstance(target, str):
+                errors.append(f"{path}.input: expected an input name string, "
+                              f"got {target!r}")
+                target = None
+            axis.input = target
+        axis.low = _number(data.get("low"), f"{path}.low", errors, default=0.0)
+        axis.high = _number(data.get("high"), f"{path}.high", errors,
+                            default=1.0)
+        if kind == "htc_range":
+            axis.member_width = _number(data.get("member_width"),
+                                        f"{path}.member_width", errors,
+                                        default=0.0)
+        return axis
+
+    def validate(self, path: str, base: ThermalScenario,
+                 errors: List[str]) -> None:
+        """Append human-actionable problems to ``errors``."""
+        if self.low >= self.high:
+            errors.append(f"{path}: need low < high, "
+                          f"got [{self.low}, {self.high}]")
+        if self.kind == "conductivity":
+            if self.low <= 0:
+                errors.append(f"{path}.low: conductivity must be positive, "
+                              f"got {self.low}")
+            return
+        if self.kind == "trace_levels" and self.low <= 0:
+            errors.append(f"{path}.low: trace-level scale must be positive, "
+                          f"got {self.low}")
+        names = _input_names(base)
+        if self.input is None:
+            errors.append(f"{path}.input: required (one of "
+                          f"{', '.join(names) or 'none — base has no inputs'})")
+            return
+        if self.input not in names:
+            errors.append(f"{path}.input: no base input named "
+                          f"{self.input!r} (known: {', '.join(names)})")
+            return
+        spec = base.inputs[names.index(self.input)]
+        want = "htc" if self.kind == "htc_range" else "transient_power_map"
+        if spec.family != want:
+            errors.append(f"{path}.input: {self.input!r} is a "
+                          f"{spec.family!r} input; {self.kind} needs {want!r}")
+        if self.kind == "htc_range":
+            if self.member_width <= 0:
+                errors.append(f"{path}.member_width: must be positive, "
+                              f"got {self.member_width}")
+            elif self.member_width >= self.high - self.low:
+                errors.append(
+                    f"{path}.member_width: must be narrower than the "
+                    f"envelope span {self.high - self.low:g}, "
+                    f"got {self.member_width:g}"
+                )
+
+    @property
+    def width(self) -> int:
+        """Entries this axis contributes to the conditioning vector."""
+        return self._WIDTH[self.kind]
+
+
+@dataclass
+class ScenarioFamily:
+    """A base scenario plus sampled axes (see module docstring)."""
+
+    name: str = "family"
+    description: str = ""
+    base: ThermalScenario = field(default_factory=ThermalScenario)
+    axes: List[FamilyAxis] = field(default_factory=list)
+    n_members: int = 4
+    sample_seed: int = 0
+    conditioning_hidden: Tuple[int, ...] = (16, 16)
+
+    _TOP_LEVEL = ("family_schema_version", "name", "description", "base",
+                  "axes", "n_members", "sample_seed", "conditioning_hidden")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-ready dict form."""
+        return {
+            "family_schema_version": FAMILY_SCHEMA_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "base": self.base.to_dict(),
+            "axes": [axis.to_dict() for axis in self.axes],
+            "n_members": self.n_members,
+            "sample_seed": self.sample_seed,
+            "conditioning_hidden": list(self.conditioning_hidden),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioFamily":
+        """Parse + validate; raises :class:`ScenarioValidationError`."""
+        if not isinstance(data, Mapping):
+            raise ScenarioValidationError(
+                [f"family: expected a JSON object, got {type(data).__name__}"]
+            )
+        version = data.get("family_schema_version")
+        if version != FAMILY_SCHEMA_VERSION:
+            raise ScenarioValidationError([
+                f"family_schema_version: this build reads version "
+                f"{FAMILY_SCHEMA_VERSION}, got {version!r} — regenerate the "
+                f"family or upgrade repro"
+            ])
+        errors: List[str] = []
+        data = _take(data, cls._TOP_LEVEL, "family", errors)
+        family = cls()
+        name = data.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append("family.name: required (a non-empty string)")
+        else:
+            family.name = name
+        family.description = data.get("description", "")
+        try:
+            family.base = ThermalScenario.from_dict(data.get("base"))
+        except ScenarioValidationError as exc:
+            errors.extend(f"family.base: {err}" for err in exc.errors)
+        raw_axes = data.get("axes", [])
+        if not isinstance(raw_axes, (list, tuple)):
+            errors.append("family.axes: expected a list of axis objects")
+            raw_axes = []
+        family.axes = [
+            FamilyAxis.from_dict(axis, f"family.axes[{index}]", errors)
+            for index, axis in enumerate(raw_axes)
+        ]
+        family.n_members = _integer(data.get("n_members"), "family.n_members",
+                                    errors, default=4)
+        family.sample_seed = _integer(data.get("sample_seed"),
+                                      "family.sample_seed", errors, default=0)
+        hidden = data.get("conditioning_hidden", [16, 16])
+        if (not isinstance(hidden, (list, tuple)) or not hidden
+                or any(isinstance(w, bool) or not isinstance(w, int)
+                       or w < 1 for w in hidden)):
+            errors.append("family.conditioning_hidden: expected a non-empty "
+                          f"list of positive integer widths, got {hidden!r}")
+        else:
+            family.conditioning_hidden = tuple(int(w) for w in hidden)
+        errors.extend(family.validate())
+        if errors:
+            raise ScenarioValidationError(_dedupe(errors))
+        return family
+
+    def to_json(self, path: Optional[Union[str, Path]] = None) -> str:
+        """Serialize to JSON text, optionally writing ``path``."""
+        text = json.dumps(self.to_dict(), indent=2) + "\n"
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_json(cls, source: Union[str, Path]) -> "ScenarioFamily":
+        """Load from a JSON string or a ``.json`` file path."""
+        text = str(source)
+        if not text.lstrip().startswith("{"):
+            text = Path(source).read_text()
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioValidationError(
+                [f"family: not valid JSON ({exc})"]
+            ) from exc
+        return cls.from_dict(data)
+
+    def validate(self) -> List[str]:
+        """Every problem found (empty means the family is valid)."""
+        errors: List[str] = []
+        if self.n_members < 1:
+            errors.append(f"family.n_members: must be >= 1, "
+                          f"got {self.n_members}")
+        if not self.axes:
+            errors.append("family.axes: at least one sampled axis is "
+                          "required (otherwise use the scenario directly)")
+        targeted = [axis.input for axis in self.axes if axis.input is not None]
+        if len(targeted) != len(set(targeted)):
+            errors.append("family.axes: each input may be targeted by at "
+                          "most one axis")
+        if sum(axis.kind == "conductivity" for axis in self.axes) > 1:
+            errors.append("family.axes: at most one conductivity axis")
+        for index, axis in enumerate(self.axes):
+            axis.validate(f"family.axes[{index}]", self.base, errors)
+        return _dedupe(errors)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def content_digest(self) -> str:
+        """SHA-256 over canonical JSON of every content field.
+
+        Mirrors :meth:`ThermalScenario.content_digest`: ``name``,
+        ``description`` and the base's labels are excluded, so renaming
+        never orphans a family checkpoint while any change to an axis,
+        the base physics or the conditioning width produces a new
+        registry slot.
+        """
+        payload = self.to_dict()
+        for label in ("name", "description"):
+            payload.pop(label, None)
+            payload["base"].pop(label, None)
+        payload["base"].pop("scale", None)
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Member enumeration
+    # ------------------------------------------------------------------
+    def member(self, index: int) -> ThermalScenario:
+        """The ``index``-th sampled member scenario (deterministic).
+
+        Indices ``0..n_members-1`` are the training members;
+        larger indices are the held-out stream (see :meth:`holdout`).
+        Each index seeds its own RNG stream, so member ``k`` is
+        independent of ``n_members``.
+        """
+        rng = np.random.default_rng([int(self.sample_seed), int(index)])
+        data = self.base.to_dict()
+        names = _input_names(self.base)
+        for axis in self.axes:
+            if axis.kind == "htc_range":
+                spot = names.index(axis.input)
+                half = axis.member_width / 2.0
+                center = float(rng.uniform(axis.low + half, axis.high - half))
+                data["inputs"][spot]["low"] = center - half
+                data["inputs"][spot]["high"] = center + half
+            elif axis.kind == "conductivity":
+                data["material"]["conductivity"] = float(
+                    rng.uniform(axis.low, axis.high)
+                )
+            else:  # trace_levels
+                spot = names.index(axis.input)
+                scale = float(rng.uniform(axis.low, axis.high))
+                level = data["inputs"][spot]["traces"]["level_range"]
+                data["inputs"][spot]["traces"]["level_range"] = [
+                    level[0] * scale, level[1] * scale,
+                ]
+        data["name"] = f"{self.name}-m{index:03d}"
+        data["description"] = f"member {index} of family {self.name!r}"
+        return ThermalScenario.from_dict(data)
+
+    def members(self) -> List[ThermalScenario]:
+        """The training members (indices ``0..n_members-1``)."""
+        return [self.member(index) for index in range(self.n_members)]
+
+    def holdout(self, index: int) -> ThermalScenario:
+        """Held-out member ``index`` — never seen during family training."""
+        return self.member(self.n_members + int(index))
+
+    def envelope(self) -> ThermalScenario:
+        """The base scenario widened to the axes' outer bounds.
+
+        This is the *encoding* scenario: its inputs normalize over the
+        full family envelope, so every member (and any covered
+        fine-tune target) encodes consistently through one shared
+        branch stack.
+        """
+        data = self.base.to_dict()
+        names = _input_names(self.base)
+        for axis in self.axes:
+            if axis.kind == "htc_range":
+                spot = names.index(axis.input)
+                data["inputs"][spot]["low"] = axis.low
+                data["inputs"][spot]["high"] = axis.high
+            elif axis.kind == "conductivity":
+                data["material"]["conductivity"] = (axis.low + axis.high) / 2.0
+            else:  # trace_levels: widest plausible level range
+                spot = names.index(axis.input)
+                level = data["inputs"][spot]["traces"]["level_range"]
+                data["inputs"][spot]["traces"]["level_range"] = [
+                    level[0] * axis.low, level[1] * axis.high,
+                ]
+        data["name"] = f"{self.name}-envelope"
+        data["description"] = f"encoding envelope of family {self.name!r}"
+        return ThermalScenario.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def covers(self, scenario: ThermalScenario, tol: float = 1e-9) -> bool:
+        """Whether ``scenario`` lies inside this family's envelope.
+
+        True when every axis value falls within its bounds **and**
+        everything off-axis matches the base exactly — except ``name``,
+        ``description``, ``scale`` (labels), the weight-init ``seed``
+        and the ``training`` section (a warm start replaces the weights
+        wholesale and fine-tune budgets legitimately differ).
+        """
+        base = self.base.to_dict()
+        cand = scenario.to_dict()
+        for payload in (base, cand):
+            for label in ("name", "description", "scale", "seed", "training"):
+                payload.pop(label, None)
+        base_names = _input_names(self.base)
+        cand_names = _input_names(scenario)
+        if base_names != cand_names:
+            return False
+        for axis in self.axes:
+            if axis.kind == "htc_range":
+                spot = base_names.index(axis.input)
+                spec = scenario.inputs[spot]
+                if spec.low >= spec.high:
+                    return False
+                if (spec.low < axis.low - tol
+                        or spec.high > axis.high + tol):
+                    return False
+                for payload in (base, cand):
+                    payload["inputs"][spot]["low"] = None
+                    payload["inputs"][spot]["high"] = None
+            elif axis.kind == "conductivity":
+                value = scenario.material.conductivity
+                if value < axis.low - tol or value > axis.high + tol:
+                    return False
+                for payload in (base, cand):
+                    payload["material"]["conductivity"] = None
+            else:  # trace_levels
+                spot = base_names.index(axis.input)
+                base_level = self.base.inputs[spot].traces.level_range
+                cand_level = scenario.inputs[spot].traces.level_range
+                scales = [cand_level[0] / base_level[0],
+                          cand_level[1] / base_level[1]]
+                if abs(scales[0] - scales[1]) > tol:
+                    return False
+                if (scales[0] < axis.low - tol
+                        or scales[0] > axis.high + tol):
+                    return False
+                for payload in (base, cand):
+                    payload["inputs"][spot]["traces"]["level_range"] = None
+        return base == cand
+
+    # ------------------------------------------------------------------
+    # Conditioning
+    # ------------------------------------------------------------------
+    @property
+    def conditioning_dim(self) -> int:
+        """Fixed width of the conditioning vector (+1 for the bias)."""
+        return sum(axis.width for axis in self.axes) + 1
+
+    def conditioning_vector(self, scenario: ThermalScenario) -> np.ndarray:
+        """Fixed-width scenario embedding the conditioning branch consumes.
+
+        Per axis, the member's value(s) normalized against the axis
+        envelope (``htc_range`` contributes its normalized [low, high]
+        pair), followed by a constant ``1.0`` bias entry — so an
+        all-central member still produces a non-degenerate branch
+        input under the MIONet Hadamard merge.
+        """
+        names = _input_names(scenario)
+        entries: List[float] = []
+        for axis in self.axes:
+            span = axis.high - axis.low
+            if axis.kind == "htc_range":
+                spec = scenario.inputs[names.index(axis.input)]
+                entries.append((spec.low - axis.low) / span)
+                entries.append((spec.high - axis.low) / span)
+            elif axis.kind == "conductivity":
+                value = scenario.material.conductivity
+                entries.append((value - axis.low) / span)
+            else:  # trace_levels
+                spot = names.index(axis.input)
+                base_level = self.base.inputs[spot].traces.level_range
+                scale = scenario.inputs[spot].traces.level_range[0] \
+                    / base_level[0]
+                entries.append((scale - axis.low) / span)
+        entries.append(1.0)
+        return np.asarray(entries, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Lowering
+    # ------------------------------------------------------------------
+    def compile(self) -> "FamilySetup":
+        """Lower the family onto the execution stack.
+
+        Builds one shared conditioned :class:`~repro.nn.MIONet` (branch
+        stacks for the envelope inputs, an extra conditioning branch,
+        Fourier features, trunk — weight RNG seeded from the base's
+        ``seed``) and wraps every training member as a
+        :class:`~repro.core.presets.ExperimentSetup` whose model aliases
+        that net.  Plain ``ThermalScenario.compile()`` is untouched —
+        unconditioned models stay bitwise identical.
+        """
+        errors = self.validate()
+        if errors:
+            raise ScenarioValidationError(errors)
+        from ..core.trainer import TrainerConfig
+        from ..nn import MLP, FourierFeatures, MIONet, TrunkNet
+        from .trainer import FamilySetup
+
+        env_setup = self.envelope().compile()
+        env_inputs = env_setup.model.inputs
+        network = self.base.network
+
+        rng = np.random.default_rng(self.base.seed)
+        q = network.q
+        branches = [
+            MLP([config_input.sensor_dim] + list(widths) + [q],
+                activation=network.activation, rng=rng)
+            for config_input, widths in zip(env_inputs, network.branch_hidden)
+        ]
+        branches.append(
+            MLP([self.conditioning_dim] + list(self.conditioning_hidden) + [q],
+                activation=network.activation, rng=rng)
+        )
+        trunk_coords = 3 if self.base.transient is None else 4
+        fourier = FourierFeatures(
+            trunk_coords, network.fourier_frequencies,
+            std=network.fourier_std, rng=rng,
+        )
+        trunk_mlp = MLP(
+            [fourier.out_features] + list(network.trunk_hidden) + [q],
+            activation=network.activation, rng=rng,
+        )
+        net = MIONet(branches, TrunkNet(trunk_mlp, fourier))
+
+        members = self.members()
+        training = self.base.training
+        trainer_config = TrainerConfig(
+            iterations=training.iterations,
+            n_functions=training.n_functions,
+            learning_rate=training.learning_rate,
+            decay_rate=training.decay_rate,
+            decay_every=training.decay_every,
+            seed=training.seed,
+        )
+        setup = FamilySetup(
+            family=self,
+            net=net,
+            envelope_inputs=env_inputs,
+            members=members,
+            setups=[],
+            trainer_config=trainer_config,
+        )
+        setup.setups = [setup.member_setup(member) for member in members]
+        return setup
+
+
+def sniff_family_json(source: Union[str, Path]) -> bool:
+    """Whether a JSON file/string is a family spec (vs a plain scenario)."""
+    text = str(source)
+    if not text.lstrip().startswith("{"):
+        try:
+            text = Path(source).read_text()
+        except OSError:
+            return False
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        return False
+    return isinstance(data, Mapping) and "family_schema_version" in data

@@ -146,6 +146,35 @@ def read_payload(path: PathLike) -> tuple:
     return state, meta
 
 
+def read_checkpoint_meta(path: PathLike) -> Dict:
+    """Load only the JSON metadata of an npz checkpoint, skipping arrays.
+
+    For lineage walks and registry introspection where deserializing
+    (and digest-verifying) the full parameter payload would be wasted
+    work.  Raises :class:`CheckpointCorrupt` on unreadable archives or
+    malformed metadata; missing files raise ``FileNotFoundError``.
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    try:
+        with np.load(path) as archive:
+            meta_raw = (
+                archive[_META_KEY].tobytes().decode("utf-8")
+                if _META_KEY in archive
+                else "{}"
+            )
+        meta = json.loads(meta_raw)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, ValueError, KeyError, EOFError, OSError) as exc:
+        raise CheckpointCorrupt(path, f"unreadable archive: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointCorrupt(path, f"malformed metadata JSON: {exc}") from exc
+    meta.pop(PAYLOAD_DIGEST_KEY, None)
+    return meta
+
+
 def load_checkpoint(module: Module, path: PathLike) -> Dict:
     """Restore parameters saved by :func:`save_checkpoint`; returns metadata.
 

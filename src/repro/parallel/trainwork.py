@@ -21,7 +21,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["train_worker_init", "seed_worker", "train_shard_step"]
+__all__ = [
+    "family_train_shard_step",
+    "family_worker_init",
+    "seed_worker",
+    "train_shard_step",
+    "train_worker_init",
+]
 
 
 def train_worker_init(model_blob: bytes) -> Dict:
@@ -84,5 +90,55 @@ def train_shard_step(
         model.builder.weights.clear()
         model.builder.weights.update(weights)
     total, parts = model.compute_loss(raws_shard, state["batch"], stacked=stacked)
+    grads = ad.grad(total, params)
+    return float(total.item()), parts, [grad.data for grad in grads]
+
+
+def family_worker_init(models_blob: bytes) -> Dict:
+    """Unpickle the member-model replicas for family training.
+
+    All member models arrive in *one* pickle blob: pickle memoization
+    preserves object identity across the list, so the replicas share
+    one net in the worker exactly as they do in the parent — gradients
+    for any member land on the same parameter arrays.
+    """
+    from .. import autodiff as ad  # heavy import paid once per worker
+
+    models = pickle.loads(models_blob)
+    return {
+        "ad": ad,
+        "models": models,
+        "params": models[0].net.parameters(),
+        "rng": None,
+        "batch": None,
+        "batch_token": None,
+    }
+
+
+def family_train_shard_step(
+    state: Dict,
+    member: int,
+    param_arrays: Sequence[np.ndarray],
+    raws_shard: Sequence[np.ndarray],
+    batch,
+    batch_token: int,
+    stacked: bool,
+) -> Tuple[float, Dict[str, float], List[np.ndarray]]:
+    """One shard's loss/gradients for family member ``member``.
+
+    Same contract as :func:`train_shard_step` — unweighted shard
+    results, parent-side share-scaled reduction — but the loss comes
+    from the selected member model (round-robin in the parent).  The
+    batch changes every iteration (members interleave), so it is always
+    broadcast rather than cached under a token.
+    """
+    ad = state["ad"]
+    model = state["models"][member]
+    params = state["params"]
+    for param, array in zip(params, param_arrays):
+        param.data[...] = array
+    state["batch"] = batch
+    state["batch_token"] = batch_token
+    total, parts = model.compute_loss(raws_shard, batch, stacked=stacked)
     grads = ad.grad(total, params)
     return float(total.item()), parts, [grad.data for grad in grads]

@@ -191,6 +191,9 @@ class ThermalServer:
         )
         self._scenarios: Dict[str, ThermalScenario] = {}   # digest -> spec
         self._spec_index: Dict[str, str] = {}              # raw-dict sha -> digest
+        self._families: Dict[str, object] = {}             # family digest -> spec
+        self._routes: Dict[str, str] = {}                  # scenario digest -> family digest
+        self._boot_sources: Dict[str, str] = {}            # digest16 -> boot source
         self._scenario_lock = threading.Lock()
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
@@ -237,24 +240,70 @@ class ThermalServer:
         logger.info("serving on %s:%d", self.host, self.port)
         return self
 
-    def warm_start(self, scenarios: Sequence[ThermalScenario]) -> None:
+    def warm_start(self, scenarios: Sequence[ThermalScenario],
+                   families: Sequence = ()) -> None:
         """Boot-time model residency: train-or-load + trunk precompute.
 
         Registry hits load instantly; cold scenarios train now, at boot,
         instead of inside the first unlucky client's request window.
+        Families train-or-load their shared conditioned model the same
+        way, and a scenario with no exact checkpoint falls back to a
+        covering family ancestor from the registry instead of training
+        from scratch — the per-scenario boot source (``exact`` /
+        ``family:<digest16>`` / ``trained``) is reported by the
+        ``stats`` op.
         """
+        for family in families:
+            fam_digest = family.content_digest()
+            with self._scenario_lock:
+                self._families[fam_digest] = family
+            result = self.service.train_family(family)
+            engine = self.service.family_engine(family)
+            setup = self.service.family_session(family).setup.setups[0]
+            if family.base.transient is None:
+                engine.warmup(setup.eval_grid)
+            self._boot_sources[fam_digest[:16]] = (
+                "exact" if result.from_cache else "trained"
+            )
+            logger.info(
+                "warm-started family %s (digest %s, %d member(s), %s)",
+                family.name, fam_digest[:16], family.n_members,
+                "registry hit" if result.from_cache else "trained at boot",
+            )
         for scenario in scenarios:
             digest = scenario.content_digest()
             with self._scenario_lock:
                 self._scenarios[digest] = scenario
-            result = self.service.train(scenario)
-            engine = self.service.engine(scenario)
-            if scenario.transient is None:
-                engine.warmup(self.service.setup(scenario).eval_grid)
+            ancestor = None
+            if not self.service.registry.has(scenario):
+                ancestor = self.service.registry.find_family_ancestor(
+                    scenario
+                )
+            if ancestor is not None:
+                family, _ = ancestor
+                fam_digest = family.content_digest()
+                with self._scenario_lock:
+                    self._families.setdefault(fam_digest, family)
+                    self._routes[digest] = fam_digest
+                self.service.train_family(family)
+                engine = self.service.family_engine(family)
+                setup = self.service.family_session(family).setup.setups[0]
+                if scenario.transient is None:
+                    engine.warmup(setup.eval_grid)
+                source = f"family:{fam_digest[:16]}"
+            else:
+                result = self.service.train(scenario)
+                engine = self.service.engine(scenario)
+                if scenario.transient is None:
+                    engine.warmup(self.service.setup(scenario).eval_grid)
+                source = "exact" if result.from_cache else "trained"
+            self._boot_sources[digest[:16]] = source
             logger.info(
                 "warm-started %s (digest %s, %s)",
                 scenario.name, digest[:16],
-                "registry hit" if result.from_cache else "trained at boot",
+                {"exact": "registry hit", "trained": "trained at boot"}.get(
+                    source, f"family ancestor {source}"
+                ),
             )
 
     def _watchdog_loop(self) -> None:
@@ -548,6 +597,36 @@ class ThermalServer:
             self._spec_index[spec_key] = digest
         return scenario
 
+    def _route_for(self, scenario: ThermalScenario) -> Optional[str]:
+        """The family digest serving this scenario, or ``None`` for exact.
+
+        Fallback ordering: an exact-digest checkpoint (or an
+        already-trained session) always wins; only a scenario the
+        registry has never trained routes to a covering family
+        ancestor.  Routes are cached per digest — the decision is made
+        once, so a group's requests all land on one engine.
+        """
+        digest = scenario.content_digest()
+        with self._scenario_lock:
+            route = self._routes.get(digest)
+        if route is not None:
+            return route
+        entry = self.service._sessions.get(digest)
+        if (entry is not None and entry.trained) \
+                or self.service.registry.has(scenario):
+            return None
+        ancestor = self.service.registry.find_family_ancestor(scenario)
+        if ancestor is None:
+            return None
+        family, _ = ancestor
+        fam_digest = family.content_digest()
+        with self._scenario_lock:
+            self._families.setdefault(fam_digest, family)
+            self._routes[digest] = fam_digest
+        logger.info("routing %s (digest %s) to family ancestor %s",
+                    scenario.name, digest[:16], fam_digest[:16])
+        return fam_digest
+
     def _parse_batched(self, request_id, op: str, message: Dict
                        ) -> QueuedRequest:
         scenario = self._resolve_scenario(message.get("scenario"))
@@ -597,7 +676,17 @@ class ThermalServer:
             if timeout_ms <= 0:
                 raise RequestError("'timeout_ms' must be positive")
             deadline = time.monotonic() + timeout_ms / 1000.0
-        key = fuse_key_for(op, digest, grid_shape, times=times, t=t)
+        # Family routing (surrogate ops only — reference solves use the
+        # member's concrete physics, no conditioning): requests for
+        # *different* members of one family share a fuse key, so they
+        # coalesce into a single conditioned merge dgemm.
+        key_digest = digest
+        if op != "solve":
+            route = self._route_for(scenario)
+            if route is not None:
+                key_digest = f"family:{route}"
+                payload["scenario_digest"] = digest
+        key = fuse_key_for(op, key_digest, grid_shape, times=times, t=t)
         return QueuedRequest(request_id=request_id, op=op, fuse_key=key,
                              payload=payload, deadline=deadline)
 
@@ -656,7 +745,93 @@ class ThermalServer:
             "elapsed_seconds": elapsed,
         }
 
+    def _family_group_context(self, group: List[QueuedRequest]):
+        """(family, member scenarios, engine, grid) for a family-routed group."""
+        fam_digest = group[0].fuse_key[1][len("family:"):]
+        with self._scenario_lock:
+            family = self._families[fam_digest]
+            members = [
+                self._scenarios[request.payload["scenario_digest"]]
+                for request in group
+            ]
+        self.service._ensure_family_trained(family)
+        engine = self.service.family_engine(family)
+        setup = self.service.family_session(family).setup.setups[0]
+        grid_shape = group[0].payload["grid_shape"]
+        if grid_shape is None:
+            grid = setup.eval_grid
+        else:
+            from ..geometry import StructuredGrid
+
+            grid = StructuredGrid(setup.model.config.chip, tuple(grid_shape))
+        return family, members, engine, grid
+
+    def _conditioned_design_groups(self, family, members,
+                                   group: List[QueuedRequest]) -> List[List]:
+        """Per-request designs with each member's conditioning injected."""
+        design_groups = []
+        for request, member in zip(group, members):
+            vector = family.conditioning_vector(member)
+            design_groups.append([
+                {**design, "scenario_conditioning": vector}
+                for design in request.payload["designs"]
+            ])
+        return design_groups
+
+    def _run_predict_family(self, group: List[QueuedRequest]) -> None:
+        """Fused predict across (possibly different) family members."""
+        family, members, engine, grid = self._family_group_context(group)
+        design_groups = self._conditioned_design_groups(family, members, group)
+        t = group[0].payload["t"]
+        start = time.perf_counter()
+        if members[0].transient is not None:
+            fields = engine.predict_fused(design_groups, grid=grid, times=[t])
+            fields = [block[:, 0, :] for block in fields]
+        else:
+            fields = engine.predict_fused(design_groups, grid=grid)
+        elapsed = time.perf_counter() - start
+        total = sum(len(g) for g in design_groups)
+        meta = self._batch_meta(group, total, elapsed)
+        for request, member, block in zip(group, members, fields):
+            result = {
+                "op": "predict",
+                "scenario": member.name,
+                "digest": member.content_digest(),
+                "family": family.content_digest(),
+                "peaks": block.max(axis=1),
+                "batch": meta,
+            }
+            if request.payload["return_fields"]:
+                result["fields"] = block
+            request.resolve(ok_response(request.request_id, result))
+
+    def _run_rollout_family(self, group: List[QueuedRequest]) -> None:
+        """Fused rollout across (possibly different) family members."""
+        family, members, engine, grid = self._family_group_context(group)
+        design_groups = self._conditioned_design_groups(family, members, group)
+        times = np.asarray(group[0].payload["times"], dtype=np.float64)
+        start = time.perf_counter()
+        blocks = engine.predict_fused(design_groups, grid=grid, times=times)
+        elapsed = time.perf_counter() - start
+        total = sum(len(g) for g in design_groups)
+        meta = self._batch_meta(group, total, elapsed)
+        for request, member, block in zip(group, members, blocks):
+            result = {
+                "op": "rollout",
+                "scenario": member.name,
+                "digest": member.content_digest(),
+                "family": family.content_digest(),
+                "times": times,
+                "peak_traces": block.max(axis=2),
+                "batch": meta,
+            }
+            if request.payload["return_fields"]:
+                result["fields"] = block
+            request.resolve(ok_response(request.request_id, result))
+
     def _run_predict(self, group: List[QueuedRequest]) -> None:
+        if group[0].fuse_key[1].startswith("family:"):
+            return self._run_predict_family(group)
         scenario, _, engine, grid = self._group_context(group)
         design_groups = [r.payload["designs"] for r in group]
         t = group[0].payload["t"]
@@ -683,6 +858,8 @@ class ThermalServer:
             request.resolve(ok_response(request.request_id, result))
 
     def _run_rollout(self, group: List[QueuedRequest]) -> None:
+        if group[0].fuse_key[1].startswith("family:"):
+            return self._run_rollout_family(group)
         scenario, _, engine, grid = self._group_context(group)
         design_groups = [r.payload["designs"] for r in group]
         times = np.asarray(group[0].payload["times"], dtype=np.float64)
@@ -791,6 +968,10 @@ class ThermalServer:
                 digest[:16]: scenario.name
                 for digest, scenario in self._scenarios.items()
             }
+            families = {
+                digest[:16]: family.name
+                for digest, family in self._families.items()
+            }
         with self._conn_lock:
             connections = len(self._connections)
         return {
@@ -804,6 +985,8 @@ class ThermalServer:
             "caches": self.service.cache_stats(),
             "memory_budget": self.service.memory_budget,
             "scenarios": scenarios,
+            "families": families,
+            "boot_sources": dict(self._boot_sources),
         }
 
     def __repr__(self) -> str:
@@ -825,8 +1008,23 @@ def serve_main(
     watchdog_timeout: Optional[float] = None,
     solver: Optional[str] = None,
 ) -> int:
-    """The ``repro serve`` entry point: boot, warm-start, run, drain."""
-    scenarios = [ThermalScenario.from_json(path) for path in scenario_paths]
+    """The ``repro serve`` entry point: boot, warm-start, run, drain.
+
+    Scenario paths holding a family spec (sniffed by
+    ``family_schema_version``) warm-start the family's shared
+    conditioned model; plain scenario JSONs warm-start exactly as
+    before, falling back to a covering family ancestor when their own
+    checkpoint is missing.
+    """
+    from ..family import ScenarioFamily, sniff_family_json
+
+    scenarios = []
+    families = []
+    for path in scenario_paths:
+        if sniff_family_json(path):
+            families.append(ScenarioFamily.from_json(path))
+        else:
+            scenarios.append(ThermalScenario.from_json(path))
     server = ThermalServer(
         host=host, port=port, max_batch=max_batch, max_wait=max_wait,
         queue_depth=queue_depth, memory_budget=memory_budget,
@@ -849,8 +1047,12 @@ def serve_main(
     print(f"repro serve: listening on {server.host}:{server.port} "
           f"(max_batch={max_batch}, max_wait={max_wait * 1e3:g}ms, "
           f"queue_depth={queue_depth})", flush=True)
-    if scenarios:
-        server.warm_start(scenarios)
-        print(f"repro serve: warm-started {len(scenarios)} scenario(s)",
-              flush=True)
+    if scenarios or families:
+        server.warm_start(scenarios, families=families)
+        if families:
+            print(f"repro serve: warm-started {len(families)} family(ies)",
+                  flush=True)
+        if scenarios:
+            print(f"repro serve: warm-started {len(scenarios)} scenario(s)",
+                  flush=True)
     return server.serve_forever(stop=stop)

@@ -266,8 +266,14 @@ class TestNovelScenarios:
         assert setup.model.net.num_parameters() > 0
 
     def test_every_shipped_scenario_is_valid(self):
+        from repro.family import ScenarioFamily, sniff_family_json
+
         files = sorted(SCENARIO_DIR.glob("*.json"))
         assert len(files) >= 6
         for path in files:
+            if sniff_family_json(path):
+                family = ScenarioFamily.from_json(path)
+                assert family.validate() == []
+                continue
             scenario = ThermalScenario.from_json(path)
             assert scenario.validate() == []

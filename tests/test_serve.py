@@ -625,3 +625,119 @@ class TestCacheStats:
         assert net.nbytes >= net.trunk.nbytes + sum(
             b.nbytes for b in net.branches
         )
+
+
+# ----------------------------------------------------------------------
+# Family serving (ISSUE 10): cross-member fusion + warm-start fallback
+# ----------------------------------------------------------------------
+def _serve_family():
+    base = scenario_for("b", scale="test")
+    base.training.iterations = 5
+    from repro.family import ScenarioFamily
+
+    return ScenarioFamily.from_dict({
+        "family_schema_version": 1,
+        "name": "serve_family",
+        "base": base.to_dict(),
+        "axes": [
+            {"kind": "htc_range", "input": "htc_top",
+             "low": 333.33, "high": 1000.0, "member_width": 150.0},
+            {"kind": "htc_range", "input": "htc_bottom",
+             "low": 333.33, "high": 1000.0, "member_width": 150.0},
+        ],
+        "n_members": 2,
+        "sample_seed": 7,
+        "conditioning_hidden": [8],
+    })
+
+
+@pytest.fixture(scope="module")
+def family_registry(tmp_path_factory):
+    """Registry holding one trained tiny family (plus its spec sidecar)."""
+    root = tmp_path_factory.mktemp("serve_family_registry")
+    with ThermalService(cache_dir=root) as service:
+        service.train_family(_serve_family())
+    return root
+
+
+class TestFamilyServing:
+    def test_different_members_fuse_and_match_serial(self, family_registry):
+        """Two held-out members share one fused batch, bitwise vs serial."""
+        family = _serve_family()
+        members = [family.holdout(0), family.holdout(1)]
+        with ThermalService(cache_dir=family_registry) as reference, \
+                ThermalServer(cache_dir=family_registry,
+                              max_wait=0.25) as server:
+            designs = [_designs(reference, member, 2, seed=index)
+                       for index, member in enumerate(members)]
+            expected = [
+                reference.predict_member(family, member, member_designs,
+                                         prefer_fine_tuned=False)
+                for member, member_designs in zip(members, designs)
+            ]
+            results = [None, None]
+
+            def worker(index):
+                with ThermalClient(port=server.port) as client:
+                    results[index] = client.predict(members[index],
+                                                    designs[index])
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+
+            fam_digest = family.content_digest()
+            for index, result in enumerate(results):
+                assert result["family"] == fam_digest
+                assert result["batch"]["fused"], \
+                    "cross-member requests did not fuse into one batch"
+                assert np.array_equal(result["fields"],
+                                      expected[index].fields)
+                assert np.array_equal(result["peaks"],
+                                      expected[index].peaks)
+
+    def test_exact_checkpoint_wins_over_family_route(self, family_registry):
+        family = _serve_family()
+        member = family.member(0)
+        member.training.iterations = 3
+        with ThermalService(cache_dir=family_registry) as service:
+            service.train(member)
+            with ThermalServer(service=service, max_wait=0.0) as server:
+                assert server._route_for(member) is None
+                expected = service.predict(member,
+                                           _designs(service, member, 1))
+                with ThermalClient(port=server.port) as client:
+                    result = client.predict(member,
+                                            _designs(service, member, 1))
+                assert "family" not in result
+                assert np.array_equal(result["fields"], expected.fields)
+
+    def test_warm_start_family_fallback_and_stats(self, family_registry):
+        family = _serve_family()
+        holdout = family.holdout(0)
+        with ThermalServer(cache_dir=family_registry,
+                           max_wait=0.0) as server:
+            server.warm_start([holdout])
+            stats = server.stats()
+            fam16 = family.content_digest()[:16]
+            assert stats["families"] == {fam16: "serve_family"}
+            source = stats["boot_sources"][holdout.content_digest()[:16]]
+            assert source == f"family:{fam16}"
+            # The route is pinned: a served predict rides the family.
+            with ThermalClient(port=server.port) as client:
+                with ThermalService(cache_dir=family_registry) as reference:
+                    result = client.predict(
+                        holdout, _designs(reference, holdout, 1))
+            assert result["family"] == family.content_digest()
+
+    def test_warm_start_families_boot_exactly(self, family_registry):
+        family = _serve_family()
+        with ThermalServer(cache_dir=family_registry,
+                           max_wait=0.0) as server:
+            server.warm_start([], families=[family])
+            stats = server.stats()
+            fam16 = family.content_digest()[:16]
+            assert stats["boot_sources"][fam16] == "exact"
